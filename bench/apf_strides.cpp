@@ -1,0 +1,46 @@
+// Proposition 4.1 (Section 4.2.1): T^<c> strides are
+// 2^{floor((x-1)/2^{c-1}) + c} -- exponential in the row index. Larger c
+// penalizes a few low-index rows but helps everyone else.
+#include "apf/tc.hpp"
+#include "bench_util.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+
+void print_report() {
+  bench::banner("Prop. 4.1 -- stride growth of the T^<c> family",
+                "strides double every 2^{c-1} rows; raising c trades a "
+                "small low-row penalty for much slower growth");
+  std::vector<std::vector<std::string>> rows;
+  const apf::TcApf t1(1), t2(2), t3(3), t4(4);
+  for (index_t x : {1ull, 2ull, 4ull, 8ull, 12ull, 16ull, 24ull, 32ull, 48ull}) {
+    rows.push_back({bench::fmt_u(x),
+                    "2^" + std::to_string(t1.stride_log2(x)),
+                    "2^" + std::to_string(t2.stride_log2(x)),
+                    "2^" + std::to_string(t3.stride_log2(x)),
+                    "2^" + std::to_string(t4.stride_log2(x))});
+  }
+  std::printf("%s\n",
+              report::render_table({"x", "S<1>_x", "S<2>_x", "S<3>_x", "S<4>_x"},
+                                   rows)
+                  .c_str());
+  std::printf("(compare columns row by row: c = 4 loses only at x <= 8 "
+              "and wins by exponential margins afterwards -- the Fig. 6 "
+              "top-half story)\n\n");
+}
+
+void BM_TcStride(benchmark::State& state) {
+  const apf::TcApf t(static_cast<index_t>(state.range(0)));
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.stride_log2(x));
+    x = x % 1000000 + 1;
+  }
+}
+BENCHMARK(BM_TcStride)->Arg(1)->Arg(3);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,67 @@
+// Propositions 4.2-4.4 (Sections 4.2.2-4.2.3): stride growth across the
+// sampler. T^# is quadratic (S_x = 2^{1+2 lg x} <= 2x^2); T^[k] and T^*
+// are subquadratic -- T^* ~ 8x 4^{sqrt(2 lg x)} shows it at practical x.
+#include <cmath>
+
+#include "apf/tk.hpp"
+#include "apf/tsharp.hpp"
+#include "apf/tstar.hpp"
+#include "bench_util.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+
+void print_report() {
+  bench::banner("Props. 4.2-4.4 -- quadratic vs subquadratic stride growth",
+                "lg S_x: T^# tracks 1 + 2 lg x; T^* tracks "
+                "3 + lg x + 2 sqrt(2 lg x); T^[2], T^[3] sit between "
+                "x and x^2 (asymptotically subquadratic)");
+  const apf::TSharpApf sharp;
+  const apf::TStarApf star;
+  const apf::TkApf t2(2), t3(3);
+  std::vector<std::vector<std::string>> rows;
+  for (index_t x = 16; x <= (index_t{1} << 40); x *= 16) {
+    const double lgx = std::log2(static_cast<double>(x));
+    rows.push_back({bench::fmt_u(x), bench::fmt(lgx),
+                    bench::fmt_u(sharp.stride_log2(x)),
+                    bench::fmt_u(t2.stride_log2(x)),
+                    bench::fmt_u(t3.stride_log2(x)),
+                    bench::fmt_u(star.stride_log2(x)),
+                    bench::fmt(3.0 + lgx + 2.0 * std::sqrt(2.0 * lgx))});
+  }
+  std::printf("%s\n",
+              report::render_table({"x", "lg x", "lg S# (=1+2lgx)", "lg S[2]",
+                                    "lg S[3]", "lg S*", "T* model"},
+                                   rows)
+                  .c_str());
+  std::printf("(down each column: S# doubles its exponent with lg x "
+              "(quadratic); S[2], S[3], S* grow their exponents ever more "
+              "slowly than 2 lg x -- subquadratic, with T^* closely "
+              "tracking the 8x 4^sqrt(2 lg x) model of Prop. 4.4)\n\n");
+}
+
+void BM_TStarStrideLookup(benchmark::State& state) {
+  const apf::TStarApf star;
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(star.stride_log2(x));
+    x = x % (1 << 20) + 1;
+  }
+}
+BENCHMARK(BM_TStarStrideLookup);
+
+void BM_TkStrideLookup(benchmark::State& state) {
+  const apf::TkApf t(2);
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.stride_log2(x));
+    x = x % (1 << 20) + 1;
+  }
+}
+BENCHMARK(BM_TkStrideLookup);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

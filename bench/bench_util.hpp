@@ -1,0 +1,38 @@
+// Shared helpers for the benchmark harness: headers, formatted numbers,
+// and the print-then-measure main() pattern.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace pfl::bench {
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+inline std::string fmt_u(unsigned long long v) { return std::to_string(v); }
+
+}  // namespace pfl::bench
+
+/// Prints the paper-style report, then runs google-benchmark timings.
+#define PFL_BENCH_MAIN(PRINT_REPORT)                      \
+  int main(int argc, char** argv) {                       \
+    PRINT_REPORT();                                       \
+    benchmark::Initialize(&argc, argv);                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                  \
+    benchmark::Shutdown();                                \
+    return 0;                                             \
+  }

@@ -1,0 +1,65 @@
+// Section 4.2.2's crossover claims: T^# (quadratic strides) overtakes the
+// T^<c> family (exponential strides) at x = 5 (c=1), x = 11 (c=2),
+// x = 25 (c=3). Our exact arithmetic confirms 5 and 11, and finds one
+// extra violation for c = 3 at x = 32 (see EXPERIMENTS.md); dominance is
+// permanent from x = 33.
+#include <vector>
+
+#include "apf/tc.hpp"
+#include "apf/tsharp.hpp"
+#include "apf/tstar.hpp"
+#include "bench_util.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+
+void print_report() {
+  bench::banner("Section 4.2.2 -- stride crossovers T^<c> vs T^# vs T^*",
+                "T^<1> >= T^# from x=5; T^<2> from x=11; T^<3> from x=25 "
+                "(single exception x=32); T^* beats T^# from similar x");
+
+  const apf::TSharpApf sharp;
+  const apf::TStarApf star;
+  std::vector<std::vector<std::string>> rows;
+  for (index_t c : {1ull, 2ull, 3ull}) {
+    const apf::TcApf tc(c);
+    std::vector<index_t> violations;
+    for (index_t x = 1; x <= 4096; ++x)
+      if (tc.stride_log2(x) < sharp.stride_log2(x)) violations.push_back(x);
+    std::string list;
+    for (index_t v : violations) list += (list.empty() ? "" : ",") + std::to_string(v);
+    const index_t first_dominant =
+        violations.empty() ? 1 : violations.back() + 1;
+    rows.push_back({"T<" + std::to_string(c) + ">", list,
+                    bench::fmt_u(first_dominant)});
+  }
+  std::printf("rows where S^{<c>}_x < S^#_x (x <= 4096), and the first x "
+              "from which T^<c> dominates forever:\n%s\n",
+              report::render_table({"APF", "violations", "dominant from"}, rows)
+                  .c_str());
+
+  // T^* vs T^#: first row from which T^*'s strides never exceed T^#'s.
+  index_t last_star_violation = 0;
+  for (index_t x = 1; x <= 1u << 20; ++x)
+    if (star.stride_log2(x) > sharp.stride_log2(x)) last_star_violation = x;
+  std::printf("T^* strides exceed T^#'s for the last time at x = %llu; "
+              "beyond that the subquadratic growth wins permanently.\n\n",
+              static_cast<unsigned long long>(last_star_violation));
+}
+
+void BM_StrideComparison(benchmark::State& state) {
+  const apf::TcApf t3(3);
+  const apf::TSharpApf sharp;
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t3.stride_log2(x) >= sharp.stride_log2(x));
+    x = x % 4096 + 1;
+  }
+}
+BENCHMARK(BM_StrideComparison);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

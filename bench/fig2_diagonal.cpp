@@ -1,0 +1,56 @@
+// Fig. 2: the diagonal PF D, 8x8 sample with the shell x + y = 6
+// highlighted, plus pair/unpair throughput.
+#include "bench_util.hpp"
+#include "core/diagonal.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner("Fig. 2 -- the diagonal PF D(x,y) = C(x+y-1,2) + y",
+                "values enumerate upward along diagonal shells x+y = c; "
+                "the 8x8 corner matches the paper cell for cell");
+  const DiagonalPf d;
+  std::printf("%s", report::render_grid(d, 8, 8,
+                                        [](index_t x, index_t y) {
+                                          return x + y == 6;
+                                        })
+                        .c_str());
+  std::printf("(highlighted: shell x + y = 6)\n\n");
+}
+
+void BM_DiagonalPair(benchmark::State& state) {
+  const pfl::DiagonalPf d;
+  pfl::index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.pair(x, 1000003 - x));
+    x = x % 1000000 + 1;
+  }
+}
+BENCHMARK(BM_DiagonalPair);
+
+void BM_DiagonalUnpair(benchmark::State& state) {
+  const pfl::DiagonalPf d;
+  pfl::index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.unpair(z));
+    z = z % 1000000007ull + 1;
+  }
+}
+BENCHMARK(BM_DiagonalUnpair);
+
+void BM_DiagonalRoundTrip(benchmark::State& state) {
+  const pfl::DiagonalPf d;
+  pfl::index_t z = 123456789;
+  for (auto _ : state) {
+    const pfl::Point p = d.unpair(z);
+    z = d.pair(p.x, p.y) % 1000000007ull + 1;
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_DiagonalRoundTrip);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,47 @@
+// Fig. 3: the square-shell PF A_{1,1}, 8x8 sample with the shell
+// max(x,y) = 5 highlighted, plus throughput.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "core/square_shell.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner("Fig. 3 -- the square-shell PF A11(x,y) = m^2+m+y-x+1",
+                "counterclockwise walk along square shells max(x,y) = c; "
+                "perfectly compact on square arrays (eq. 3.2)");
+  const SquareShellPf a;
+  std::printf("%s", report::render_grid(a, 8, 8,
+                                        [](index_t x, index_t y) {
+                                          return std::max(x, y) == 5;
+                                        })
+                        .c_str());
+  std::printf("(highlighted: shell max(x, y) = 5)\n\n");
+}
+
+void BM_SquarePair(benchmark::State& state) {
+  const pfl::SquareShellPf a;
+  pfl::index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.pair(x, 1000003 - x));
+    x = x % 1000000 + 1;
+  }
+}
+BENCHMARK(BM_SquarePair);
+
+void BM_SquareUnpair(benchmark::State& state) {
+  const pfl::SquareShellPf a;
+  pfl::index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.unpair(z));
+    z = z % 1000000007ull + 1;
+  }
+}
+BENCHMARK(BM_SquareUnpair);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,46 @@
+// Fig. 4: the hyperbolic PF H, 8x7 sample with the shell xy = 6
+// highlighted, plus throughput (H costs O(sqrt(xy)) per evaluation --
+// the "ease of computation" price of optimal compactness).
+#include "bench_util.hpp"
+#include "core/hyperbolic.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner("Fig. 4 -- the hyperbolic PF H (eq. 3.4)",
+                "reverse-lexicographic walk along hyperbolic shells xy = c; "
+                "worst-case optimal spread Theta(n log n)");
+  const HyperbolicPf h;
+  std::printf("%s", report::render_grid(h, 8, 7,
+                                        [](index_t x, index_t y) {
+                                          return x * y == 6;
+                                        })
+                        .c_str());
+  std::printf("(highlighted: shell xy = 6)\n\n");
+}
+
+void BM_HyperbolicPair(benchmark::State& state) {
+  const pfl::HyperbolicPf h;
+  pfl::index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.pair(x, 3000 - x));
+    x = x % 2900 + 1;
+  }
+}
+BENCHMARK(BM_HyperbolicPair);
+
+void BM_HyperbolicUnpair(benchmark::State& state) {
+  const pfl::HyperbolicPf h;
+  pfl::index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.unpair(z));
+    z = z % 10000000 + 1;
+  }
+}
+BENCHMARK(BM_HyperbolicUnpair);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,53 @@
+// Fig. 5: the aggregate positions of all arrays with n or fewer positions
+// are the lattice points under the hyperbola xy = n; their count is
+// Theta(n log n) -- the lower bound for ANY pairing function's spread.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/spread.hpp"
+#include "numtheory/divisor.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner(
+      "Fig. 5 -- lattice points under the hyperbola xy <= n",
+      "the point count D(n) grows as n ln n + (2g-1) n; for n = 16 the "
+      "paper's figure shows 50 positions");
+
+  // The n = 16 instance drawn in the figure: per-row widths and total.
+  std::printf("n = 16: row widths floor(16/x):");
+  for (index_t x = 1; x <= 16; ++x) std::printf(" %llu",
+      static_cast<unsigned long long>(16 / x));
+  std::printf("\n  total lattice points = %llu (paper: 50)\n\n",
+              static_cast<unsigned long long>(lattice_points_under_hyperbola(16)));
+
+  std::vector<std::vector<std::string>> rows;
+  for (index_t n = 16; n <= (1u << 22); n *= 8) {
+    const index_t count = lattice_points_under_hyperbola(n);
+    const double nn = static_cast<double>(n);
+    const double model = nn * std::log(nn) + (2 * 0.5772156649 - 1.0) * nn;
+    rows.push_back({bench::fmt_u(n), bench::fmt_u(count),
+                    bench::fmt(static_cast<double>(count) / (nn * std::log2(nn))),
+                    bench::fmt(static_cast<double>(count) / model)});
+  }
+  std::printf("%s\n",
+              pfl::report::render_table(
+                  {"n", "points D(n)", "D(n)/(n lg n)", "D(n)/model"}, rows)
+                  .c_str());
+  std::printf("(model = n ln n + (2*gamma - 1) n; ratio -> 1 confirms "
+              "Theta(n log n))\n\n");
+}
+
+void BM_LatticeCountHyperbolaMethod(benchmark::State& state) {
+  const pfl::index_t n = static_cast<pfl::index_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pfl::lattice_points_under_hyperbola(n));
+}
+BENCHMARK(BM_LatticeCountHyperbolaMethod)->Range(1 << 10, 1 << 24);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

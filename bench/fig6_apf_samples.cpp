@@ -1,0 +1,73 @@
+// Fig. 6: sample values of the APF sampler -- T^<1>, T^<3>, T^#, T^* --
+// at the rows the paper quotes, with group indices. Regenerates the
+// figure's numbers exactly.
+#include "apf/tc.hpp"
+#include "apf/tsharp.hpp"
+#include "apf/tstar.hpp"
+#include "bench_util.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using pfl::index_t;
+
+template <class Apf>
+void print_rows(const char* title, const Apf& apf,
+                std::initializer_list<index_t> xs) {
+  std::vector<std::vector<std::string>> rows;
+  for (index_t x : xs) {
+    std::vector<std::string> row{std::to_string(x),
+                                 std::to_string(apf.group_of(x))};
+    for (index_t y = 1; y <= 5; ++y)
+      row.push_back(std::to_string(apf.pair(x, y)));
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s\n%s\n", title,
+              pfl::report::render_table(
+                  {"x", "g", "y=1", "y=2", "y=3", "y=4", "y=5"}, rows)
+                  .c_str());
+}
+
+void print_report() {
+  pfl::bench::banner("Fig. 6 -- sample values of several APFs",
+                     "each block matches the paper's figure cell for cell "
+                     "(x, group index g, T(x, 1..5))");
+  print_rows("T<1>(x,y):", pfl::apf::TcApf(1), {14, 15});
+  print_rows("T<3>(x,y):", pfl::apf::TcApf(3), {14, 15, 28, 29});
+  print_rows("T#(x,y):", pfl::apf::TSharpApf(), {28, 29});
+  print_rows("T*(x,y):", pfl::apf::TStarApf(), {28, 29});
+}
+
+void BM_TcPair(benchmark::State& state) {
+  const pfl::apf::TcApf t(3);
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.pair(x, 17));
+    x = x % 128 + 1;
+  }
+}
+BENCHMARK(BM_TcPair);
+
+void BM_TSharpPair(benchmark::State& state) {
+  const pfl::apf::TSharpApf t;
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.pair(x, 17));
+    x = x % 100000 + 1;
+  }
+}
+BENCHMARK(BM_TSharpPair);
+
+void BM_TStarPair(benchmark::State& state) {
+  const pfl::apf::TStarApf t;
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.pair(x, 17));
+    x = x % 100000 + 1;
+  }
+}
+BENCHMARK(BM_TStarPair);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,125 @@
+// Section 3's Aside (Rosenberg-Stockmeyer [14]): for by-position access,
+// a hashing scheme stores any n-position array -- regardless of aspect
+// ratio -- in fewer than 2n memory locations with expected O(1) access.
+#include <random>
+
+#include "bench_util.hpp"
+#include "report/table.hpp"
+#include "storage/cuckoo_array.hpp"
+#include "storage/hashed_array.hpp"
+
+namespace {
+
+using namespace pfl;
+
+void print_report() {
+  bench::banner("Section 3 Aside -- hashing scheme for by-position access",
+                "< 2n memory locations for any aspect ratio; expected O(1) "
+                "access (worst case is measured here, bounded O(log log n) "
+                "in [14]'s full construction)");
+  std::vector<std::vector<std::string>> rows;
+  for (auto [label, rows_n, cols_n] :
+       {std::tuple<const char*, index_t, index_t>{"1 x n", 1, 65536},
+        {"sqrt x sqrt", 256, 256},
+        {"n x 1", 65536, 1},
+        {"4 x n/4", 4, 16384}}) {
+    storage::HashedArray<int> h;
+    for (index_t x = 1; x <= rows_n; ++x)
+      for (index_t y = 1; y <= cols_n; ++y) h.put(x, y, 1);
+    const double n = static_cast<double>(h.size());
+    rows.push_back({label, bench::fmt_u(h.size()), bench::fmt_u(h.slot_count()),
+                    bench::fmt(static_cast<double>(h.slot_count()) / n),
+                    bench::fmt_u(h.max_probe())});
+  }
+  std::printf("%s\n",
+              report::render_table({"shape", "n", "slots", "slots/n",
+                                    "max probe"},
+                                   rows)
+                  .c_str());
+  std::printf("(slots/n < 2 for every aspect ratio -- the paper's envelope; "
+              "expected probes are O(1) at load 3/4, while the observed MAX "
+              "probe grows slowly with n -- [14]'s bucketed construction "
+              "would bound it at O(log log n))\n\n");
+
+  // The library's stronger analogue: bucketized cuckoo hashing with a
+  // HARD worst-case probe bound (constant 8), still under 2n slots.
+  std::vector<std::vector<std::string>> cuckoo_rows;
+  for (auto [label, rows_n, cols_n] :
+       {std::tuple<const char*, index_t, index_t>{"1 x n", 1, 65536},
+        {"sqrt x sqrt", 256, 256}}) {
+    storage::CuckooArray<int> c;
+    for (index_t x = 1; x <= rows_n; ++x)
+      for (index_t y = 1; y <= cols_n; ++y) c.put(x, y, 1);
+    cuckoo_rows.push_back(
+        {label, bench::fmt_u(c.size()), bench::fmt_u(c.slot_count()),
+         bench::fmt(static_cast<double>(c.slot_count()) /
+                    static_cast<double>(c.size())),
+         bench::fmt_u(storage::CuckooArray<int>::max_lookup_probes()),
+         bench::fmt_u(c.rehashes())});
+  }
+  std::printf("cuckoo (2-choice, 4-slot buckets):\n%s\n",
+              report::render_table({"shape", "n", "slots", "slots/n",
+                                    "worst-case probes", "rehashes"},
+                                   cuckoo_rows)
+                  .c_str());
+  std::printf("(worst-case probes is a CONSTANT 8 -- a hard O(1) bound, "
+              "stronger than [14]'s O(log log n) target -- at a tighter "
+              "memory envelope; inserts pay via occasional eviction "
+              "chains/rehashes)\n\n");
+}
+
+void BM_HashedPut(benchmark::State& state) {
+  storage::HashedArray<int> h;
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    h.put(1 + rng() % 1000000, 1 + rng() % 1000000, 7);
+    benchmark::DoNotOptimize(h.size());
+  }
+}
+BENCHMARK(BM_HashedPut);
+
+void BM_HashedGetHit(benchmark::State& state) {
+  storage::HashedArray<int> h;
+  for (index_t i = 1; i <= 100000; ++i) h.put(i, i * 7 % 99991 + 1, 1);
+  std::mt19937_64 rng(2);
+  for (auto _ : state) {
+    const index_t x = 1 + rng() % 100000;
+    benchmark::DoNotOptimize(h.get(x, x * 7 % 99991 + 1));
+  }
+}
+BENCHMARK(BM_HashedGetHit);
+
+void BM_CuckooGetHit(benchmark::State& state) {
+  storage::CuckooArray<int> c;
+  for (index_t i = 1; i <= 100000; ++i) c.put(i, i * 7 % 99991 + 1, 1);
+  std::mt19937_64 rng(4);
+  for (auto _ : state) {
+    const index_t x = 1 + rng() % 100000;
+    benchmark::DoNotOptimize(c.get(x, x * 7 % 99991 + 1));
+  }
+}
+BENCHMARK(BM_CuckooGetHit);
+
+void BM_CuckooPut(benchmark::State& state) {
+  storage::CuckooArray<int> c;
+  std::mt19937_64 rng(6);
+  for (auto _ : state) {
+    c.put(1 + rng() % 1000000, 1 + rng() % 1000000, 7);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_CuckooPut);
+
+void BM_HashedGetMiss(benchmark::State& state) {
+  storage::HashedArray<int> h;
+  for (index_t i = 1; i <= 100000; ++i) h.put(i, 1, 1);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.get(1 + rng() % 100000, 2));
+  }
+}
+BENCHMARK(BM_HashedGetMiss);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

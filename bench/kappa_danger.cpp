@@ -1,0 +1,53 @@
+// Section 4.2.3's cautionary tale: a copy-index that grows too fast,
+// kappa(g) = 2^g, makes strides SUPERquadratic -- at every group front,
+// S_x >~ x^2 log x. Faster kappa growth does not mean more compactness.
+#include <cmath>
+
+#include "apf/grouped_apf.hpp"
+#include "apf/tsharp.hpp"
+#include "bench_util.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+
+void print_report() {
+  bench::banner("Section 4.2.3 -- the danger of excessively fast kappa",
+                "kappa(g) = 2^g gives S_x ~ x^2 log x at group fronts: "
+                "worse than the plain quadratic T^#");
+  const apf::GroupedApf texp(apf::kappa_exponential(), "T-exp");
+  const apf::TSharpApf sharp;
+  std::vector<std::vector<std::string>> rows;
+  for (index_t g = 1; g <= 6; ++g) {
+    const index_t x = texp.group_start(g);
+    const double lgx = std::log2(static_cast<double>(x));
+    rows.push_back({bench::fmt_u(g), bench::fmt_u(x),
+                    bench::fmt_u(texp.stride_log2(x)),
+                    bench::fmt(2 * lgx + std::log2(std::max(lgx, 1.0))),
+                    bench::fmt_u(sharp.stride_log2(x))});
+  }
+  std::printf("%s\n",
+              report::render_table({"g", "x = group front", "lg S_x (T-exp)",
+                                    "2 lg x + lg lg x", "lg S_x (T#)"},
+                                   rows)
+                  .c_str());
+  std::printf("(T-exp's exponent exceeds the superquadratic threshold "
+              "2 lg x + lg lg x at every front and dwarfs T#'s 1 + 2 lg x; "
+              "stride() itself overflows 64 bits from g = 6 -- the library "
+              "reports exact exponents via stride_log2 instead of wrapping)\n\n");
+}
+
+void BM_TExpStrideLog2(benchmark::State& state) {
+  const apf::GroupedApf texp(apf::kappa_exponential(), "T-exp");
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(texp.stride_log2(x));
+    x = x % 65536 + 1;
+  }
+}
+BENCHMARK(BM_TExpStrideLog2);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,84 @@
+// The "ease of computation" axis that Sections 3-4 trade against
+// compactness: ns/op for pair and unpair across every mapping the library
+// ships. The paper's qualitative ordering -- polynomials and bit tricks
+// are cheap, hyperbolic shells pay O(sqrt) number theory -- shows up as
+// orders of magnitude here.
+#include <memory>
+#include <vector>
+
+#include "apf/registry.hpp"
+#include "bench_util.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+using namespace pfl;
+
+struct Subject {
+  std::string name;
+  PfPtr pf;
+  index_t x_mod;  ///< rows cycle in 1..x_mod (APF values explode past this)
+};
+
+const std::vector<Subject>& mappings() {
+  static const std::vector<Subject> all = [] {
+    std::vector<Subject> out;
+    for (const auto& entry : core_pairing_functions())
+      out.push_back({entry.name, entry.pf, 1500});
+    for (const auto& entry : apf::sampler_apfs()) {
+      if (entry.name == "T<1>" || entry.name == "T-exp") continue;  // overflow
+      // Exponential-stride APFs overflow 64 bits beyond a few dozen rows.
+      out.push_back({entry.name, entry.apf, 48});
+    }
+    return out;
+  }();
+  return all;
+}
+
+void print_report() {
+  bench::banner("ease of computation -- pair/unpair cost of every mapping",
+                "polynomial and bit-trick mappings are a few ns; the "
+                "hyperbolic PF pays O(sqrt(xy)) divisor arithmetic for its "
+                "optimal compactness");
+  std::printf("mappings under test:");
+  for (const auto& entry : mappings()) std::printf(" %s", entry.name.c_str());
+  std::printf("\n\n");
+}
+
+void BM_Pair(benchmark::State& state) {
+  const auto& entry = mappings()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(entry.name);
+  index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entry.pf->pair(x, entry.x_mod + 1 - x));
+    x = x % entry.x_mod + 1;
+  }
+}
+
+void BM_Unpair(benchmark::State& state) {
+  const auto& entry = mappings()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(entry.name);
+  // Unpair only values the mapping attains (stay within a safe prefix and
+  // skip values that fast-growing APFs place beyond 64-bit rows).
+  std::vector<index_t> zs;
+  for (index_t x = 1; x <= 64; ++x)
+    for (index_t y = 1; y <= 64; ++y) zs.push_back(entry.pf->pair(x, y));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entry.pf->unpair(zs[i]));
+    i = (i + 1) % zs.size();
+  }
+}
+
+struct RegisterAll {
+  RegisterAll() {
+    for (std::size_t i = 0; i < mappings().size(); ++i) {
+      benchmark::RegisterBenchmark("BM_Pair", BM_Pair)->Arg(static_cast<int>(i));
+      benchmark::RegisterBenchmark("BM_Unpair", BM_Unpair)->Arg(static_cast<int>(i));
+    }
+  }
+} register_all;
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

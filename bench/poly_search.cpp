@@ -1,0 +1,91 @@
+// Section 2 -- the polynomial-PF question, computationally:
+//   item 1: within the searched box, only Cantor's D and its twin survive
+//           among quadratics (Fueter-Polya [4]);
+//   item 2: unit density separates PFs from impostors ([7]);
+//   items 3-4: no candidate with nonzero cubic part survives; all-positive
+//           super-quadratics fail instantly (Lew-Rosenberg [8]).
+#include "bench_util.hpp"
+#include "polysearch/binomial_basis.hpp"
+#include "polysearch/search.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+using polysearch::BivariatePolynomial;
+
+void print_report() {
+  bench::banner("Section 2 -- search for polynomial pairing functions",
+                "the only quadratic PFs are D and its twin; no cubic "
+                "survives; unit density 1 exactly for PFs");
+
+  const auto quad = polysearch::search_quadratics(/*bound=*/3);
+  std::printf("quadratics, numerators in [-3,3]^6 over denominator 2: "
+              "%llu candidates\n",
+              static_cast<unsigned long long>(quad.candidates));
+  std::printf("  rejected: %llu non-integral, %llu non-positive, "
+              "%llu collisions, %llu coverage gaps\n",
+              static_cast<unsigned long long>(quad.non_integral),
+              static_cast<unsigned long long>(quad.non_positive),
+              static_cast<unsigned long long>(quad.collisions),
+              static_cast<unsigned long long>(quad.coverage_gaps));
+  std::printf("  survivors (%zu):\n", quad.survivors.size());
+  for (const auto& p : quad.survivors)
+    std::printf("    %s\n", p.to_string().c_str());
+
+  // The binomial basis covers ALL integer-valued quadratics (monomial
+  // boxes over a fixed denominator only sample them); same survivors.
+  const auto binomial = polysearch::search_binomial_quadratics(/*bound=*/2);
+  std::printf("\nbinomial-basis quadratics (complete integer-valued space, "
+              "coefficients in [-2,2]^6): %llu candidates\n",
+              static_cast<unsigned long long>(binomial.candidates));
+  std::printf("  survivors (%zu):\n", binomial.survivors.size());
+  for (const auto& p : binomial.survivors)
+    std::printf("    %s\n", p.to_string().c_str());
+
+  const auto cubic = polysearch::search_superquadratics(3, /*bound=*/1);
+  std::printf("\ncubics with nonzero degree-3 part, numerators in [-1,1]^10: "
+              "%llu candidates, %zu survivors (paper: none exists)\n",
+              static_cast<unsigned long long>(cubic.candidates),
+              cubic.survivors.size());
+
+  std::printf("\nunit density (count of P <= n, over n):\n");
+  std::vector<std::vector<std::string>> rows;
+  BivariatePolynomial gappy(3, 1);  // (x+y)^3 + x: injective but sparse
+  gappy.set_coefficient(3, 0, 1);
+  gappy.set_coefficient(2, 1, 3);
+  gappy.set_coefficient(1, 2, 3);
+  gappy.set_coefficient(0, 3, 1);
+  gappy.set_coefficient(1, 0, 1);
+  for (index_t n : {1000ull, 10000ull, 100000ull}) {
+    rows.push_back(
+        {bench::fmt_u(n),
+         bench::fmt(polysearch::unit_density(BivariatePolynomial::cantor_diagonal(), n)),
+         bench::fmt(polysearch::unit_density(gappy, n))});
+  }
+  std::printf("%s\n",
+              report::render_table({"n", "density of D", "density of (x+y)^3+x"},
+                                   rows)
+                  .c_str());
+  std::printf("(D: exactly 1.0 -- a bijection; the super-quadratic decays "
+              "toward 0: its range has the 'large gaps' of Section 2)\n\n");
+}
+
+void BM_QuadraticSearchSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto stats = polysearch::search_quadratics(2);
+    benchmark::DoNotOptimize(stats.survivors.size());
+  }
+}
+BENCHMARK(BM_QuadraticSearchSmall)->Unit(benchmark::kMillisecond);
+
+void BM_CandidateCheck(benchmark::State& state) {
+  const auto d = polysearch::BivariatePolynomial::cantor_diagonal();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(polysearch::check_pf_candidate(d));
+}
+BENCHMARK(BM_CandidateCheck)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,93 @@
+// Section 3's motivating complaint: language processors remap the whole
+// array on every reshape -- Omega(n^2) work for O(n) changes -- while a
+// PF-based storage mapping never remaps at all.
+#include <chrono>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/square_shell.hpp"
+#include "report/table.hpp"
+#include "storage/bounded_array.hpp"
+#include "storage/extendible_array.hpp"
+#include "storage/naive_remap_array.hpp"
+
+namespace {
+
+using namespace pfl;
+
+struct GrowthResult {
+  index_t moves = 0;
+  double millis = 0.0;
+};
+
+// Grow an n x 1 array to n x n one column at a time, writing each new
+// column (the O(n)-cell change per reshape).
+template <class Array>
+GrowthResult grow_one_column_at_a_time(Array& array, index_t n) {
+  const auto start = std::chrono::steady_clock::now();
+  for (index_t x = 1; x <= n; ++x) array.at(x, 1) = static_cast<int>(x);
+  for (index_t c = 2; c <= n; ++c) {
+    array.append_col();
+    for (index_t x = 1; x <= n; ++x) array.at(x, c) = static_cast<int>(x + c);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return {array.element_moves(),
+          std::chrono::duration<double, std::milli>(stop - start).count()};
+}
+
+void print_report() {
+  bench::banner("Section 3 intro -- reshape cost: naive remap vs PF storage",
+                "naive: Omega(n^2) moves per O(n)-cell reshape (Theta(n^3) "
+                "for the whole growth); PF mapping: zero moves, ever");
+  std::vector<std::vector<std::string>> rows;
+  for (index_t n : {32ull, 64ull, 128ull, 256ull}) {
+    storage::NaiveRemapArray<int> naive(n, 1);
+    const auto naive_result = grow_one_column_at_a_time(naive, n);
+    storage::ExtendibleArray<int> pf_array(std::make_shared<SquareShellPf>(), n, 1);
+    const auto pf_result = grow_one_column_at_a_time(pf_array, n);
+    // The static-allocation alternative needs the final shape declared up
+    // front (here it guesses generously: 4x the eventual need per side).
+    storage::BoundedArray<int> bounded(4 * n, 4 * n, n, 1);
+    const auto bounded_result = grow_one_column_at_a_time(bounded, n);
+    rows.push_back({bench::fmt_u(n), bench::fmt_u(naive_result.moves),
+                    bench::fmt(naive_result.millis),
+                    bench::fmt_u(pf_result.moves),
+                    bench::fmt(pf_result.millis),
+                    bench::fmt_u(pf_array.address_high_water()),
+                    bench::fmt_u(bounded_result.moves),
+                    bench::fmt_u(bounded.address_high_water())});
+  }
+  std::printf("%s\n",
+              report::render_table({"n", "naive moves", "naive ms", "PF moves",
+                                    "PF ms", "PF high-water", "bounded moves",
+                                    "bounded footprint"},
+                                   rows)
+                  .c_str());
+  std::printf("(naive moves ~ n^3/2 and scale 8x per doubling; PF moves are "
+              "identically 0 with high-water = n^2 exactly; the static "
+              "bounded array also never moves but pays a 16x footprint for "
+              "its 4x safety margin -- and dies past it. The PF approach is "
+              "bounded-array arithmetic without the bound.)\n\n");
+}
+
+void BM_NaiveGrow(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    storage::NaiveRemapArray<int> naive(n, 1);
+    benchmark::DoNotOptimize(grow_one_column_at_a_time(naive, n).moves);
+  }
+}
+BENCHMARK(BM_NaiveGrow)->Range(16, 256);
+
+void BM_PfGrow(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    storage::ExtendibleArray<int> a(std::make_shared<SquareShellPf>(), n, 1);
+    benchmark::DoNotOptimize(grow_one_column_at_a_time(a, n).moves);
+  }
+}
+BENCHMARK(BM_PfGrow)->Range(16, 256);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,47 @@
+// Section 3.2's opening complaint, measured: the diagonal PF D spreads an
+// n x n array over ~2n^2 addresses and a 1 x n array over (n^2+n)/2.
+#include "bench_util.hpp"
+#include "core/diagonal.hpp"
+#include "core/spread.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner("Section 3.2 -- how badly D manages storage",
+                "D(n,n) ~ 2n^2 (factor-2 waste on squares); "
+                "D(1,n) = (n^2+n)/2 (quadratic waste on a linear array); "
+                "S_D(n) = (n^2+n)/2");
+  const DiagonalPf d;
+  std::vector<std::vector<std::string>> rows;
+  for (index_t n : {4ull, 16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+    const index_t square_corner = d.pair(n, n);
+    const index_t line_end = d.pair(1, n);
+    const index_t s = spread(d, n);
+    rows.push_back({bench::fmt_u(n), bench::fmt_u(square_corner),
+                    bench::fmt(static_cast<double>(square_corner) /
+                               static_cast<double>(n * n)),
+                    bench::fmt_u(line_end), bench::fmt_u(s),
+                    bench::fmt(static_cast<double>(s) /
+                               static_cast<double>(n))});
+  }
+  std::printf("%s\n",
+              report::render_table({"n", "D(n,n)", "D(n,n)/n^2", "D(1,n)",
+                                    "S_D(n)", "S_D(n)/n"},
+                                   rows)
+                  .c_str());
+  std::printf("(D(n,n)/n^2 -> 2: the paper's \"spreads n^2 positions over "
+              "2n^2 addresses\"; S_D(n)/n grows linearly: no compactness)\n\n");
+}
+
+void BM_SpreadScanDiagonal(benchmark::State& state) {
+  const pfl::DiagonalPf d;
+  const pfl::index_t n = static_cast<pfl::index_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(pfl::spread(d, n));
+}
+BENCHMARK(BM_SpreadScanDiagonal)->Range(1 << 8, 1 << 16);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,68 @@
+// Section 3.2.1 (eqs. 3.2-3.3): PFs that favor one fixed aspect ratio
+// manage storage PERFECTLY -- the aspect-restricted spread equals n
+// exactly -- while paying quadratically on other shapes.
+#include "bench_util.hpp"
+#include "core/aspect_ratio.hpp"
+#include "core/spread.hpp"
+#include "core/square_shell.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner("Section 3.2.1 -- perfect compactness on a fixed aspect ratio",
+                "S_{A_{a,b}}(n) = n exactly on ak x bk arrays (eq. 3.2); "
+                "the closed-form A11 (eq. 3.3) achieves it for squares");
+
+  std::vector<std::vector<std::string>> rows;
+  const SquareShellPf a11;
+  for (auto [a, b] : {std::pair<index_t, index_t>{1, 1}, {1, 2}, {2, 3}}) {
+    const AspectRatioPf pf(a, b);
+    for (index_t k : {8ull, 64ull, 256ull}) {
+      const index_t n = a * b * k * k;
+      rows.push_back({pf.name(), bench::fmt_u(k), bench::fmt_u(n),
+                      bench::fmt_u(aspect_spread(pf, a, b, n)),
+                      bench::fmt_u(spread(pf, n))});
+    }
+  }
+  for (index_t k : {8ull, 64ull, 256ull}) {
+    const index_t n = k * k;
+    rows.push_back({"A11 (eq. 3.3)", bench::fmt_u(k), bench::fmt_u(n),
+                    bench::fmt_u(aspect_spread(a11, 1, 1, n)),
+                    bench::fmt_u(spread(a11, n))});
+  }
+  std::printf("%s\n",
+              report::render_table({"PF", "k", "n = ab k^2",
+                                    "favored-aspect spread (= n)",
+                                    "worst-case spread S(n)"},
+                                   rows)
+                  .c_str());
+  std::printf("(favored spread equals n in every row -- storage is perfect "
+              "on the favored ratio; the unrestricted spread is ~n^2: the "
+              "price on arbitrary shapes)\n\n");
+}
+
+void BM_AspectRatioPair(benchmark::State& state) {
+  const pfl::AspectRatioPf pf(2, 3);
+  pfl::index_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.pair(x, 3 * x + 1));
+    x = x % 100000 + 1;
+  }
+}
+BENCHMARK(BM_AspectRatioPair);
+
+void BM_AspectRatioUnpair(benchmark::State& state) {
+  const pfl::AspectRatioPf pf(2, 3);
+  pfl::index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.unpair(z));
+    z = z % 1000000007ull + 1;
+  }
+}
+BENCHMARK(BM_AspectRatioUnpair);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

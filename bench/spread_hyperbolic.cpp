@@ -1,0 +1,51 @@
+// Section 3.2.3: the hyperbolic PF H attains the optimal worst-case
+// spread S_H(n) = Theta(n log n); no PF beats it by more than a constant
+// factor because the lattice points under xy = n number Theta(n log n).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/spread.hpp"
+#include "core/square_shell.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace pfl;
+  bench::banner("Section 3.2.3 -- S_H(n) = Theta(n log n), and that is optimal",
+                "H's spread equals the lattice-point lower bound exactly; "
+                "D and A11 are quadratically worse on arbitrary shapes");
+  const HyperbolicPf h;
+  const DiagonalPf d;
+  const SquareShellPf a;
+  std::vector<std::vector<std::string>> rows;
+  for (index_t n : {16ull, 256ull, 4096ull, 65536ull, 262144ull}) {
+    const index_t sh = spread(h, n);
+    const index_t lower = lattice_points_under_hyperbola(n);
+    const double nlgn =
+        static_cast<double>(n) * std::log2(static_cast<double>(n));
+    rows.push_back({bench::fmt_u(n), bench::fmt_u(sh), bench::fmt_u(lower),
+                    bench::fmt(static_cast<double>(sh) / nlgn),
+                    bench::fmt_u(spread(d, n)), bench::fmt_u(spread(a, n))});
+  }
+  std::printf("%s\n",
+              report::render_table({"n", "S_H(n)", "lower bound D(n)",
+                                    "S_H/(n lg n)", "S_D(n)", "S_A11(n)"},
+                                   rows)
+                  .c_str());
+  std::printf("(S_H == lower bound in every row: H is exactly optimal; "
+              "S_D and S_A11 grow ~n^2/2 and ~n^2)\n\n");
+}
+
+void BM_HyperbolicSpreadScan(benchmark::State& state) {
+  const pfl::HyperbolicPf h;
+  const pfl::index_t n = static_cast<pfl::index_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(pfl::spread(h, n));
+}
+BENCHMARK(BM_HyperbolicSpreadScan)->Range(1 << 6, 1 << 12);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,0 +1,111 @@
+// Section 4 -- accountable Web computing, end to end: identical synthetic
+// volunteer workloads run against each allocation function. The memory
+// envelope (max task index) tracks the APF's stride growth; accountability
+// (misattributions) is perfect regardless; banning catches errant
+// volunteers; the speed-ordered front end trades rebinds for compactness.
+#include <memory>
+
+#include "apf/registry.hpp"
+#include "bench_util.hpp"
+#include "report/table.hpp"
+#include "wbc/simulation.hpp"
+
+namespace {
+
+using namespace pfl;
+
+wbc::SimulationConfig base_config() {
+  wbc::SimulationConfig config;
+  config.initial_volunteers = 48;
+  config.steps = 150;
+  config.arrival_rate = 0.2;
+  config.departure_prob = 0.01;
+  config.audit_rate = 0.3;
+  config.seed = 2002;
+  return config;
+}
+
+void print_report() {
+  bench::banner("Section 4 -- WBC: memory envelope and accountability by APF",
+                "identical workload; compact APFs keep the max task index "
+                "small; T^{-1} attributes every audited result correctly");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& entry : apf::sampler_apfs()) {
+    if (entry.name == "T<1>" || entry.name == "T-exp") continue;  // overflow
+    const auto report = wbc::run_simulation(entry.apf, base_config());
+    rows.push_back({entry.name, bench::fmt_u(report.tasks_issued),
+                    bench::fmt_u(report.max_task_index),
+                    bench::fmt(static_cast<double>(report.max_task_index) /
+                               static_cast<double>(report.tasks_issued)),
+                    bench::fmt_u(report.bad_results_caught),
+                    bench::fmt_u(report.bans),
+                    bench::fmt_u(report.misattributions)});
+  }
+  std::printf("%s\n",
+              report::render_table({"APF", "tasks", "max index",
+                                    "index/task (waste)", "bad caught",
+                                    "bans", "misattrib"},
+                                   rows)
+                  .c_str());
+  std::printf("(the exponential family collapses first -- T<2> wastes ~10^5x "
+              "more than everyone else at only ~80 rows, T<3> is next; "
+              "T<4>, T#, T[k], T* are comparable at this small population "
+              "and separate per bench_apf_subquadratic as rows grow. "
+              "misattributions are 0 everywhere: the accountability claim)\n\n");
+
+  // Front-end policy ablation.
+  std::vector<std::vector<std::string>> policy_rows;
+  for (auto [label, policy] :
+       {std::pair<const char*, wbc::AssignmentPolicy>{
+            "first-free", wbc::AssignmentPolicy::kFirstFree},
+        {"speed-ordered", wbc::AssignmentPolicy::kSpeedOrdered}}) {
+    auto config = base_config();
+    config.policy = policy;
+    const auto report =
+        wbc::run_simulation(apf::make_apf("T#"), config);
+    policy_rows.push_back({label, bench::fmt_u(report.max_task_index),
+                           bench::fmt_u(report.rebinds),
+                           bench::fmt_u(report.recycled_tasks),
+                           bench::fmt_u(report.misattributions)});
+  }
+  std::printf("front-end policy ablation (T#):\n%s\n",
+              report::render_table({"policy", "max index", "rebinds",
+                                    "recycled", "misattrib"},
+                                   policy_rows)
+                  .c_str());
+  std::printf("(speed ordering binds fast volunteers to small-stride rows "
+              "at the cost of rebind bookkeeping; accountability survives "
+              "churn and recycling in both)\n\n");
+}
+
+void BM_SimulationStep(benchmark::State& state) {
+  auto config = base_config();
+  config.steps = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report = wbc::run_simulation(apf::make_apf("T#"), config);
+    benchmark::DoNotOptimize(report.tasks_issued);
+  }
+}
+BENCHMARK(BM_SimulationStep)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_TaskIssue(benchmark::State& state) {
+  wbc::TaskServer server(apf::make_apf("T#"));
+  const auto row = server.open_row();
+  for (auto _ : state) benchmark::DoNotOptimize(server.next_task(row).task);
+}
+BENCHMARK(BM_TaskIssue);
+
+void BM_Trace(benchmark::State& state) {
+  wbc::TaskServer server(apf::make_apf("T#"));
+  index_t z = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.trace(z).row);
+    z = z % 1000000 + 1;
+  }
+}
+BENCHMARK(BM_Trace);
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

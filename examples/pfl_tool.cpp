@@ -1,0 +1,159 @@
+// pfl_tool -- command-line front end to the library's machinery.
+//
+//   pfl_tool table <pf> [rows cols]        sample grid (Fig. 1 template)
+//   pfl_tool pair <pf> <x> <y>             one value
+//   pfl_tool unpair <pf> <z>               one preimage
+//   pfl_tool spread <pf> <n> [n2 ...]      compactness profile, CSV-able
+//   pfl_tool apf <name> <x> [count]        base/stride/group + task stream
+//   pfl_tool search-quadratics [bound]     the Section 2 experiment
+//   pfl_tool list                          every mapping name
+//
+// Exit code 0 on success, 1 on usage/domain errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apf/registry.hpp"
+#include "core/registry.hpp"
+#include "core/spread.hpp"
+#include "polysearch/search.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pfl;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <command> ...\n"
+               "  table <pf> [rows cols]   sample grid\n"
+               "  pair <pf> <x> <y>        evaluate\n"
+               "  unpair <pf> <z>          invert\n"
+               "  spread <pf> <n>...       compactness profile (CSV)\n"
+               "  apf <name> <x> [count]   base/stride/group + tasks\n"
+               "  search-quadratics [b]    Section 2 experiment\n"
+               "  list                     all mapping names\n",
+               argv0);
+  return 1;
+}
+
+index_t parse_u64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0')
+    throw DomainError(std::string("not a number: ") + s);
+  return v;
+}
+
+int cmd_list() {
+  std::printf("pairing functions:\n");
+  for (const auto& entry : core_pairing_functions())
+    std::printf("  %s\n", entry.name.c_str());
+  std::printf("additive pairing functions:\n");
+  for (const auto& entry : apf::sampler_apfs())
+    std::printf("  %s\n", entry.name.c_str());
+  return 0;
+}
+
+int cmd_table(int argc, char** argv) {
+  if (argc < 1) throw DomainError("table: missing mapping name");
+  const auto pf = make_core_pf(argv[0]);
+  const index_t rows = argc > 1 ? parse_u64(argv[1]) : 8;
+  const index_t cols = argc > 2 ? parse_u64(argv[2]) : 8;
+  std::printf("%s", report::render_grid(*pf, rows, cols).c_str());
+  return 0;
+}
+
+int cmd_pair(int argc, char** argv) {
+  if (argc < 3) throw DomainError("pair: need <pf> <x> <y>");
+  const auto pf = make_core_pf(argv[0]);
+  std::printf("%llu\n", static_cast<unsigned long long>(
+                            pf->pair(parse_u64(argv[1]), parse_u64(argv[2]))));
+  return 0;
+}
+
+int cmd_unpair(int argc, char** argv) {
+  if (argc < 2) throw DomainError("unpair: need <pf> <z>");
+  const auto pf = make_core_pf(argv[0]);
+  const Point p = pf->unpair(parse_u64(argv[1]));
+  std::printf("%llu %llu\n", static_cast<unsigned long long>(p.x),
+              static_cast<unsigned long long>(p.y));
+  return 0;
+}
+
+int cmd_spread(int argc, char** argv) {
+  if (argc < 2) throw DomainError("spread: need <pf> <n>...");
+  const auto pf = make_core_pf(argv[0]);
+  std::vector<index_t> ns;
+  for (int i = 1; i < argc; ++i) ns.push_back(parse_u64(argv[i]));
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : spread_series(*pf, ns)) {
+    char per_n[32], per_nlgn[32];
+    std::snprintf(per_n, sizeof(per_n), "%.4f", row.per_n);
+    std::snprintf(per_nlgn, sizeof(per_nlgn), "%.4f", row.per_nlgn);
+    rows.push_back({std::to_string(row.n), std::to_string(row.spread), per_n,
+                    per_nlgn});
+  }
+  std::fputs(report::to_csv({"n", "spread", "spread_per_n", "spread_per_nlgn"},
+                            rows)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_apf(int argc, char** argv) {
+  if (argc < 2) throw DomainError("apf: need <name> <x> [count]");
+  const auto apf = apf::make_apf(argv[0]);
+  const index_t x = parse_u64(argv[1]);
+  const index_t count = argc > 2 ? parse_u64(argv[2]) : 5;
+  std::printf("group  g = %llu\n",
+              static_cast<unsigned long long>(apf->group_of(x)));
+  std::printf("base   B = %llu\n", static_cast<unsigned long long>(apf->base(x)));
+  try {
+    std::printf("stride S = %llu\n",
+                static_cast<unsigned long long>(apf->stride(x)));
+  } catch (const OverflowError&) {
+    std::printf("stride S = 2^%llu (exceeds 64 bits)\n",
+                static_cast<unsigned long long>(apf->stride_log2(x)));
+  }
+  std::printf("tasks:");
+  for (index_t t = 1; t <= count; ++t)
+    std::printf(" %llu", static_cast<unsigned long long>(apf->pair(x, t)));
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_search_quadratics(int argc, char** argv) {
+  const std::int64_t bound =
+      argc > 0 ? static_cast<std::int64_t>(parse_u64(argv[0])) : 3;
+  const auto stats = polysearch::search_quadratics(bound);
+  std::printf("%llu candidates, survivors:\n",
+              static_cast<unsigned long long>(stats.candidates));
+  for (const auto& p : stats.survivors)
+    std::printf("  %s\n", p.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "table") return cmd_table(argc - 2, argv + 2);
+    if (cmd == "pair") return cmd_pair(argc - 2, argv + 2);
+    if (cmd == "unpair") return cmd_unpair(argc - 2, argv + 2);
+    if (cmd == "spread") return cmd_spread(argc - 2, argv + 2);
+    if (cmd == "apf") return cmd_apf(argc - 2, argv + 2);
+    if (cmd == "search-quadratics")
+      return cmd_search_quadratics(argc - 2, argv + 2);
+  } catch (const pfl::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,67 @@
+// Quickstart: the pairing-function library in five minutes.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the paper's cast of characters: the diagonal PF, the
+// square-shell PF, the hyperbolic PF, an additive PF -- pairing,
+// unpairing, twins, and what "compactness" means.
+#include <cstdio>
+
+#include "apf/tsharp.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/square_shell.hpp"
+#include "core/spread.hpp"
+#include "core/transpose.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pfl;
+
+  std::printf("== 1. A pairing function maps positions to addresses ==\n");
+  const DiagonalPf diagonal;
+  const index_t z = diagonal.pair(3, 4);
+  std::printf("Cantor's D(3, 4) = %llu\n", static_cast<unsigned long long>(z));
+  const Point p = diagonal.unpair(z);
+  std::printf("...and D^{-1}(%llu) = (%llu, %llu): bijective, no table kept.\n\n",
+              static_cast<unsigned long long>(z),
+              static_cast<unsigned long long>(p.x),
+              static_cast<unsigned long long>(p.y));
+
+  std::printf("== 2. The paper's Fig. 2 is three lines of code ==\n");
+  std::printf("%s\n", report::render_grid(diagonal, 5, 5).c_str());
+
+  std::printf("== 3. Every PF has a twin (swap the arguments) ==\n");
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  std::printf("twin(3, 4) = D(4, 3) = %llu\n\n",
+              static_cast<unsigned long long>(twin->pair(3, 4)));
+
+  std::printf("== 4. Compactness: how far does an n-position array spread? ==\n");
+  const SquareShellPf square;
+  const HyperbolicPf hyperbolic;
+  for (index_t n : {64ull, 1024ull}) {
+    std::printf("n = %-5llu  S_diagonal = %-8llu  S_square = %-8llu  "
+                "S_hyperbolic = %llu\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(spread(diagonal, n)),
+                static_cast<unsigned long long>(spread(square, n)),
+                static_cast<unsigned long long>(spread(hyperbolic, n)));
+  }
+  std::printf("(hyperbolic ~ n lg n is worst-case optimal; the others are "
+              "quadratic)\n\n");
+
+  std::printf("== 5. Additive PFs: base + stride, built for accountability ==\n");
+  const apf::TSharpApf sharp;
+  std::printf("volunteer 9's tasks: T#(9, t) = %llu + (t-1) * %llu -> ",
+              static_cast<unsigned long long>(sharp.base(9)),
+              static_cast<unsigned long long>(sharp.stride(9)));
+  for (index_t t = 1; t <= 4; ++t)
+    std::printf("%llu ", static_cast<unsigned long long>(sharp.pair(9, t)));
+  const Point who = sharp.unpair(sharp.pair(9, 3));
+  std::printf("\nwho computed task %llu? T^{-1} says volunteer %llu "
+              "(their %llu-th task).\n",
+              static_cast<unsigned long long>(sharp.pair(9, 3)),
+              static_cast<unsigned long long>(who.x),
+              static_cast<unsigned long long>(who.y));
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Accountable Web computing (Section 4), narrated: a small volunteer
+// project with honest and dishonest participants, dynamic arrival and
+// departure, auditing via the inverse task-allocation function, and a ban.
+//
+//   $ ./build/examples/web_volunteers
+#include <cstdio>
+#include <memory>
+
+#include "apf/tsharp.hpp"
+#include "wbc/frontend.hpp"
+
+namespace {
+
+pfl::wbc::Result honest_answer(pfl::wbc::TaskIndex task) {
+  return task * 2654435761ull % 1000003;  // stand-in computation
+}
+
+void show(const char* text) { std::printf("%s\n", text); }
+
+}  // namespace
+
+int main() {
+  using namespace pfl;
+  using namespace pfl::wbc;
+
+  FrontEnd project(std::make_shared<apf::TSharpApf>(),
+                   AssignmentPolicy::kSpeedOrdered, /*ban_threshold=*/2);
+
+  show("== volunteers register; faster machines get smaller rows ==");
+  project.arrive(/*id=*/101, /*speed=*/1.0);   // laptop
+  project.arrive(/*id=*/102, /*speed=*/8.0);   // workstation
+  project.arrive(/*id=*/103, /*speed=*/3.0);   // desktop
+  std::printf("rows: workstation=%llu desktop=%llu laptop=%llu\n\n",
+              static_cast<unsigned long long>(project.row_of(102)),
+              static_cast<unsigned long long>(project.row_of(103)),
+              static_cast<unsigned long long>(project.row_of(101)));
+
+  show("== tasks flow; nobody stores a task->volunteer table ==");
+  for (int round = 0; round < 3; ++round) {
+    for (VolunteerId id : {101ull, 102ull, 103ull}) {
+      const TaskAssignment a = project.request_task(id);
+      // volunteer 103 is malicious: returns garbage.
+      const Result value =
+          id == 103 ? honest_answer(a.task) + 1 : honest_answer(a.task);
+      project.submit_result(id, a.task, value);
+      std::printf("  volunteer %llu computed task %llu\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(a.task));
+    }
+  }
+
+  // The malicious volunteer grabs one more task and sits on it -- this is
+  // the unfinished work the front end will have to recycle after the ban.
+  const TaskAssignment hoarded = project.request_task(103);
+  std::printf("\nvolunteer 103 is holding task %llu, unfinished\n",
+              static_cast<unsigned long long>(hoarded.task));
+
+  show("\n== the project owner audits a couple of suspicious results ==");
+  // Recompute two of volunteer 103's tasks. The owner knows only the task
+  // indices; T^{-1} plus the epoch records name the culprit.
+  const auto& server = project.server();
+  const apf::TSharpApf apf;
+  const RowIndex row103 = 2;  // desktop sits on row 2 (speed order)
+  for (index_t seq : {index_t{1}, index_t{2}}) {
+    const TaskIndex task = apf.pair(row103, seq);
+    const AuditOutcome outcome = project.audit(task, honest_answer(task));
+    std::printf("  audit task %llu: %s -> volunteer %llu (errors: %llu%s)\n",
+                static_cast<unsigned long long>(task),
+                outcome.correct ? "correct" : "WRONG",
+                static_cast<unsigned long long>(outcome.volunteer),
+                static_cast<unsigned long long>(outcome.error_count),
+                outcome.banned ? ", BANNED" : "");
+  }
+
+  show("\n== the ban is a forced departure; unfinished work is recycled ==");
+  std::printf("volunteer 103 active? %s  banned? %s\n",
+              project.is_active(103) ? "yes" : "no",
+              project.is_banned(103) ? "yes" : "no");
+  std::printf("recycle queue holds %llu orphaned task(s)\n",
+              static_cast<unsigned long long>(project.recycle_queue_size()));
+
+  show("\n== a new volunteer arrives and picks up the orphans ==");
+  project.arrive(104, 2.0);
+  while (project.recycle_queue_size() > 0) {
+    const TaskAssignment a = project.request_task(104);
+    project.submit_result(104, a.task, honest_answer(a.task));
+    std::printf("  volunteer 104 re-computed orphaned task %llu\n",
+                static_cast<unsigned long long>(a.task));
+  }
+
+  std::printf("\nserver totals: %llu tasks issued, max task index %llu, "
+              "%llu results\n",
+              static_cast<unsigned long long>(server.total_issued()),
+              static_cast<unsigned long long>(server.max_task_index()),
+              static_cast<unsigned long long>(server.total_results()));
+  return 0;
+}

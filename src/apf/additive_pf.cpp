@@ -1,0 +1,14 @@
+#include "apf/additive_pf.hpp"
+
+#include "numtheory/checked.hpp"
+
+namespace pfl::apf {
+
+index_t AdditivePairingFunction::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t b = base(x);
+  if (y == 1) return b;
+  return nt::checked_add(b, nt::checked_mul(y - 1, stride(x)));
+}
+
+}  // namespace pfl::apf

@@ -1,0 +1,49 @@
+// Additive pairing functions (Section 4): an APF gives every row x a base
+// entry B_x and a stride S_x and maps
+//
+//     T(x, y) = B_x + (y - 1) * S_x.
+//
+// In the Web-computing reading, row x is a volunteer and T(x, t) is the
+// index of the t-th task handed to that volunteer; the stride is computed
+// once at registration and stored. Accountability is the inverse map:
+// given a task index, T^{-1} names the volunteer who computed it.
+#pragma once
+
+#include "core/pairing_function.hpp"
+
+namespace pfl::apf {
+
+class AdditivePairingFunction : public PairingFunction {
+ public:
+  /// B_x = T(x, 1), the base row-entry.
+  virtual index_t base(index_t x) const = 0;
+
+  /// S_x = T(x, y+1) - T(x, y), independent of y. Throws OverflowError
+  /// when the exact stride exceeds 64 bits (possible for the "dangerous"
+  /// copy-indices of Section 4.2.3); use stride_log2 for growth studies.
+  virtual index_t stride(index_t x) const = 0;
+
+  /// Exact log2 of the stride. Every APF built by Procedure
+  /// APF-Constructor has a power-of-two stride 2^{1 + g + kappa(g)}
+  /// (eq. 4.2), so this is total even where stride() overflows.
+  virtual index_t stride_log2(index_t x) const = 0;
+
+  /// The group index g of row x (Step 1 of APF-Constructor).
+  virtual index_t group_of(index_t x) const = 0;
+
+  /// T(x, y) = B_x + (y-1) S_x, overflow-checked.
+  index_t pair(index_t x, index_t y) const override;
+
+  /// Every APF row is an arithmetic progression (Theorem 4.2); expose the
+  /// stride for additive traversal. Returns nullopt only when the stride
+  /// itself exceeds 64 bits.
+  std::optional<index_t> row_stride(index_t x) const override {
+    try {
+      return stride(x);
+    } catch (const OverflowError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+}  // namespace pfl::apf

@@ -1,0 +1,118 @@
+#include "apf/grouped_apf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl::apf {
+
+namespace {
+constexpr index_t kMaxRow = std::numeric_limits<index_t>::max();
+}
+
+GroupedApf::GroupedApf(Kappa kappa, std::string name, NoTabulation)
+    : kappa_(std::move(kappa)), name_(std::move(name)) {
+  if (name_.empty()) name_ = "apf(" + kappa_.name + ")";
+}
+
+GroupedApf::GroupedApf(Kappa kappa, std::string name, std::size_t max_groups)
+    : GroupedApf(std::move(kappa), std::move(name), NoTabulation{}) {
+  index_t start = 1;
+  for (index_t g = 0; groups_.size() < max_groups; ++g) {
+    index_t k;
+    try {
+      k = kappa_(g);
+    } catch (const OverflowError&) {
+      // kappa itself overflows: the group is astronomically large and in
+      // particular covers the rest of the 64-bit row range.
+      groups_.push_back({g, start, 64});
+      return;
+    }
+    groups_.push_back({g, start, k});
+    if (k >= 64) return;  // size 2^k alone covers all remaining rows
+    const index_t size = index_t{1} << k;
+    if (start > kMaxRow - size) return;  // next start would exceed 64 bits
+    start += size;
+  }
+  // Cap hit with rows still uncovered (possible only for slowly growing
+  // kappa, e.g. constant). Queries beyond coverage_end_ throw; the
+  // closed-form subclasses (TcApf) avoid the cap entirely.
+  coverage_end_ = start - 1;
+}
+
+index_t GroupedApf::kappa_of(index_t g) const { return kappa_(g); }
+
+GroupedApf::Group GroupedApf::group_of_row(index_t x) const {
+  if (x > coverage_end_)
+    throw OverflowError("GroupedApf(" + name_ + "): row " + std::to_string(x) +
+                        " is beyond the tabulated groups; raise max_groups or "
+                        "use a closed-form subclass (TcApf)");
+  // Last group with start <= x.
+  const auto it = std::upper_bound(
+      groups_.begin(), groups_.end(), x,
+      [](index_t value, const Group& grp) { return value < grp.start; });
+  return *(it - 1);  // groups_[0].start == 1 <= x always
+}
+
+GroupedApf::Group GroupedApf::group_by_index(index_t g) const {
+  if (g >= groups_.size())
+    throw OverflowError("GroupedApf(" + name_ + "): group " +
+                        std::to_string(g) + " starts beyond the 64-bit rows");
+  return groups_[static_cast<std::size_t>(g)];
+}
+
+index_t GroupedApf::group_start(index_t g) const { return group_by_index(g).start; }
+
+index_t GroupedApf::group_of(index_t x) const {
+  if (x == 0) throw DomainError("group_of: rows are 1-based");
+  return group_of_row(x).g;
+}
+
+index_t GroupedApf::base(index_t x) const {
+  if (x == 0) throw DomainError("APF base: rows are 1-based");
+  const Group grp = group_of_row(x);
+  const index_t i = x - grp.start + 1;
+  // B_x = 2^g * (2i - 1).
+  const index_t odd = nt::checked_add(nt::checked_mul(2, i - 1), 1);
+  if (grp.g >= 64) throw OverflowError("APF base: signature 2^g overflows");
+  return nt::checked_shl(odd, static_cast<unsigned>(grp.g));
+}
+
+index_t GroupedApf::stride(index_t x) const {
+  const index_t lg = stride_log2(x);
+  if (lg >= 64)
+    throw OverflowError("APF stride: 2^" + std::to_string(lg) +
+                        " overflows 64 bits (see stride_log2)");
+  return index_t{1} << lg;
+}
+
+index_t GroupedApf::stride_log2(index_t x) const {
+  if (x == 0) throw DomainError("APF stride: rows are 1-based");
+  const Group grp = group_of_row(x);
+  // S_x = 2^{1 + g + kappa(g)} (eq. 4.2).
+  return nt::checked_add(nt::checked_add(1, grp.g), grp.kappa);
+}
+
+Point GroupedApf::unpair(index_t z) const {
+  require_value(z);
+  const index_t g = nt::trailing_zeros(z);
+  const Group grp = group_by_index(g);  // throws if rows not representable
+  const index_t odd = z >> g;
+  if (grp.kappa >= 63) {
+    // Group so large that 2^{1+kappa} exceeds 64 bits: y is forced to 1.
+    const index_t i = (odd + 1) / 2;
+    const index_t x = nt::checked_add(grp.start, i - 1);
+    return {x, 1};
+  }
+  const index_t modulus = index_t{1} << (grp.kappa + 1);
+  const index_t w = odd & (modulus - 1);  // = 2i - 1
+  const index_t i = (w + 1) / 2;
+  const index_t y = (odd - w) / modulus + 1;
+  const index_t x = nt::checked_add(grp.start, i - 1);
+  return {x, y};
+}
+
+}  // namespace pfl::apf

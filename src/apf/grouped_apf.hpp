@@ -1,0 +1,97 @@
+// Procedure APF-Constructor (Section 4.1) as an executable engine.
+//
+// Step 1 partitions rows into groups of sizes 2^{kappa(g)}; group g starts
+// at row  start(g) = 1 + sum_{j<g} 2^{kappa(j)}  (eq. 4.3). Step 2-3 hand
+// group g its own copy of the odd integers, signed with the multiplier
+// 2^g, via Lemma 4.1 with c = kappa(g). The resulting APF is
+//
+//     T(x, y) = 2^g * ( 2^{1+kappa(g)} (y-1) + (2i - 1) ),
+//     i = x - start(g) + 1   (the within-group index of row x),
+//
+// with base row-entry B_x = 2^g (2i-1) and stride S_x = 2^{1+g+kappa(g)}
+// (Theorem 4.2, eq. 4.2).
+//
+// NOTE on eq. (4.1): the paper writes the odd multiplier as
+// "(2 x_{g,i} + 1 mod 2^{1+kappa(g)})". Evaluating Fig. 6 shows the
+// intended value is 2i-1 over the within-group index i -- which also
+// agrees with the paper's own closed forms for T^<c> ("2x-1 mod 2^c") and
+// T^# ("2x+1 mod 2^{1+lg x}"). See DESIGN.md "Notation fix".
+//
+// The inverse (Theorem 4.2's proof, implemented literally): the trailing
+// zeros of z identify the group g = nu_2(z); the odd part decomposes as
+// (2i-1) mod 2^{1+kappa(g)} and the quotient recovers y.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apf/additive_pf.hpp"
+#include "apf/kappa.hpp"
+
+namespace pfl::apf {
+
+class GroupedApf : public AdditivePairingFunction {
+ public:
+  /// Builds group-boundary metadata for the given copy-index function.
+  ///
+  /// The boundary table is tabulated up to `max_groups` groups or until
+  /// group starts leave the 64-bit row range, whichever is first. For the
+  /// growing copy-indices of Sections 4.2.2-4.2.3 a handful of groups
+  /// exhausts 64 bits; for *constant* kappa the table would be unbounded,
+  /// so rows beyond the tabulated coverage throw OverflowError on access
+  /// (the closed-form subclass TcApf has no such limit).
+  explicit GroupedApf(Kappa kappa, std::string name = "",
+                      std::size_t max_groups = 4096);
+
+  index_t base(index_t x) const override;
+  index_t stride(index_t x) const override;
+  index_t stride_log2(index_t x) const override;
+  index_t group_of(index_t x) const override;
+
+  /// Inverse per Theorem 4.2. Throws DomainError for z outside N, and
+  /// OverflowError when the preimage row of a (mathematically valid)
+  /// value does not fit in 64 bits.
+  Point unpair(index_t z) const override;
+
+  std::string name() const override { return name_; }
+
+  /// kappa(g) for this APF's copy-index.
+  index_t kappa_of(index_t g) const;
+
+  /// First row of group g (eq. 4.3); throws OverflowError when the group
+  /// starts beyond the 64-bit row range.
+  index_t group_start(index_t g) const;
+
+  /// Number of tabulated groups (covers every representable row).
+  index_t tabulated_groups() const { return static_cast<index_t>(groups_.size()); }
+
+ protected:
+  struct Group {
+    index_t g = 0;       ///< group index
+    index_t start = 0;   ///< first row of the group
+    index_t kappa = 0;   ///< copy-index kappa(g)
+  };
+
+  /// Group containing row x. Overridable with closed forms (TcApf, TSharpApf).
+  virtual Group group_of_row(index_t x) const;
+
+  /// Group metadata by index. Throws OverflowError past the 64-bit range.
+  virtual Group group_by_index(index_t g) const;
+
+ private:
+  Kappa kappa_;
+  std::string name_;
+  // groups_[g] covers rows [start, start + 2^kappa - 1]; the final entry
+  // may extend past 2^64 (its size saturates). Rows above coverage_end_
+  // (only possible when the max_groups cap was hit) are not represented.
+  std::vector<Group> groups_;
+  index_t coverage_end_ = ~index_t{0};
+
+ protected:
+  /// For closed-form subclasses that bypass tabulation.
+  struct NoTabulation {};
+  GroupedApf(Kappa kappa, std::string name, NoTabulation);
+};
+
+}  // namespace pfl::apf

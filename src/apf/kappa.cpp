@@ -1,0 +1,61 @@
+#include "apf/kappa.hpp"
+
+#include "numtheory/checked.hpp"
+
+namespace pfl::apf {
+
+Kappa kappa_constant(index_t c) {
+  if (c == 0) throw DomainError("kappa_constant: c must be >= 1");
+  return {"const-" + std::to_string(c - 1),
+          [c](index_t /*g*/) { return c - 1; }};
+}
+
+Kappa kappa_identity() {
+  return {"identity", [](index_t g) { return g; }};
+}
+
+Kappa kappa_power(index_t k) {
+  if (k == 0) throw DomainError("kappa_power: k must be >= 1");
+  return {"power-" + std::to_string(k), [k](index_t g) {
+            index_t v = 1;
+            for (index_t i = 0; i < k; ++i) v = nt::checked_mul(v, g);
+            return v;
+          }};
+}
+
+Kappa kappa_half_square() {
+  return {"half-square", [](index_t g) {
+            // ceil(g^2 / 2), exact.
+            const index_t sq = nt::checked_mul(g, g);
+            return sq / 2 + sq % 2;
+          }};
+}
+
+Kappa kappa_exponential() {
+  return {"exponential", [](index_t g) {
+            if (g >= 64) throw OverflowError("kappa_exponential: 2^g overflows");
+            return index_t{1} << g;
+          }};
+}
+
+Kappa kappa_geometric(index_t num, index_t den) {
+  if (den == 0 || num < den)
+    throw DomainError("kappa_geometric: base must be >= 1");
+  return {"geometric-" + std::to_string(num) + "/" + std::to_string(den),
+          [num, den](index_t g) {
+            // round(num^g / den^g) in exact 128-bit arithmetic.
+            u128 n = 1, d = 1;
+            for (index_t i = 0; i < g; ++i) {
+              if (n > (~u128{0}) / num)
+                throw OverflowError("kappa_geometric: num^g overflows");
+              n *= num;
+              d *= den;
+            }
+            const u128 rounded = (n + d / 2) / d;
+            if (rounded > ~std::uint64_t{0})
+              throw OverflowError("kappa_geometric: kappa overflows");
+            return static_cast<index_t>(rounded);
+          }};
+}
+
+}  // namespace pfl::apf

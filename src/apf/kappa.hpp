@@ -1,0 +1,54 @@
+// Copy-index functions kappa(g) for Procedure APF-Constructor (Section 4.1).
+//
+// kappa(g) determines the size 2^kappa(g) of volunteer/row group g, and
+// thereby the whole character of the resulting APF (Section 4.2):
+//   constant        -> T^<c>,  easy to compute, exponential strides;
+//   identity        -> T^#,    easy to compute, quadratic strides;
+//   g^k             -> T^[k],  subquadratic strides (Prop. 4.3);
+//   ceil(g^2 / 2)   -> T^*,    subquadratic with early onset (eq. 4.8);
+//   2^g             -> the cautionary tale of Section 4.2.3: strides grow
+//                      *super*quadratically (>= x^2 log x at group fronts).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace pfl::apf {
+
+/// A named copy-index function g -> kappa(g), g >= 0.
+struct Kappa {
+  std::string name;
+  std::function<index_t(index_t)> fn;
+
+  index_t operator()(index_t g) const { return fn(g); }
+};
+
+/// kappa(g) = c - 1 (equal group sizes 2^{c-1}); yields T^<c>.
+Kappa kappa_constant(index_t c);
+
+/// kappa(g) = g (group sizes 2^g, i.e. groups {2^g .. 2^{g+1}-1}); T^#.
+Kappa kappa_identity();
+
+/// kappa(g) = g^k; yields T^[k] (Prop. 4.3).
+Kappa kappa_power(index_t k);
+
+/// kappa(g) = ceil(g^2 / 2); yields T^* (eq. 4.8).
+Kappa kappa_half_square();
+
+/// kappa(g) = 2^g; the "excessively fast growing" example of Section 4.2.3.
+Kappa kappa_exponential();
+
+/// kappa(g) = round(base^g) for rational base = num/den >= 1, computed in
+/// exact integer arithmetic (round(num^g / den^g)). The knob for probing
+/// the paper's closing OPEN PROBLEM -- "the growth rate at which faster
+/// growing kappa starts hurting compactness": at group fronts the stride
+/// exponent is ~ kappa(g) + g against lg x ~ kappa(g-1), so the stride
+/// growth exponent approaches kappa(g)/kappa(g-1) -> base. base < 2 stays
+/// subquadratic, base = 2 is the x^2 log x borderline of Section 4.2.3,
+/// base > 2 is polynomially superquadratic. bench_kappa_threshold sweeps
+/// this empirically.
+Kappa kappa_geometric(index_t num, index_t den);
+
+}  // namespace pfl::apf

@@ -1,0 +1,35 @@
+#include "apf/registry.hpp"
+
+#include "apf/grouped_apf.hpp"
+#include "apf/tc.hpp"
+#include "apf/tk.hpp"
+#include "apf/tsharp.hpp"
+#include "apf/tstar.hpp"
+
+namespace pfl::apf {
+
+std::vector<NamedApf> sampler_apfs() {
+  std::vector<NamedApf> out;
+  const auto add = [&out](ApfPtr apf) {
+    out.push_back({apf->name(), std::move(apf)});
+  };
+  add(std::make_shared<TcApf>(1));
+  add(std::make_shared<TcApf>(2));
+  add(std::make_shared<TcApf>(3));
+  add(std::make_shared<TcApf>(4));
+  add(std::make_shared<TSharpApf>());
+  add(std::make_shared<TkApf>(2));
+  add(std::make_shared<TkApf>(3));
+  add(std::make_shared<TStarApf>());
+  add(std::make_shared<GroupedApf>(kappa_exponential(), "T-exp"));
+  return out;
+}
+
+ApfPtr make_apf(const std::string& name) {
+  for (auto& entry : sampler_apfs()) {
+    if (entry.name == name) return entry.apf;
+  }
+  throw DomainError("make_apf: unknown APF '" + name + "'");
+}
+
+}  // namespace pfl::apf

@@ -1,0 +1,27 @@
+// Name-indexed registry of the Section 4 APF sampler, mirroring
+// core/registry.hpp for the additive world.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apf/additive_pf.hpp"
+
+namespace pfl::apf {
+
+using ApfPtr = std::shared_ptr<const AdditivePairingFunction>;
+
+struct NamedApf {
+  std::string name;
+  ApfPtr apf;
+};
+
+/// The paper's sampler: T<1>, T<2>, T<3>, T<4>, T#, T[2], T[3], T*, and
+/// the cautionary kappa(g) = 2^g APF (named "T-exp").
+std::vector<NamedApf> sampler_apfs();
+
+/// Look up a sampler APF by name; throws DomainError for unknown names.
+ApfPtr make_apf(const std::string& name);
+
+}  // namespace pfl::apf

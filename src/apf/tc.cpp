@@ -1,0 +1,26 @@
+#include "apf/tc.hpp"
+
+#include "numtheory/checked.hpp"
+
+namespace pfl::apf {
+
+TcApf::TcApf(index_t c)
+    : GroupedApf(kappa_constant(c), "T<" + std::to_string(c) + ">",
+                 NoTabulation{}),
+      c_(c) {
+  if (c == 0) throw DomainError("TcApf: c must be >= 1");
+  if (c > 64) throw OverflowError("TcApf: group size 2^{c-1} overflows");
+}
+
+GroupedApf::Group TcApf::group_of_row(index_t x) const {
+  const index_t g = (x - 1) >> (c_ - 1);
+  return {g, (g << (c_ - 1)) + 1, c_ - 1};
+}
+
+GroupedApf::Group TcApf::group_by_index(index_t g) const {
+  // start(g) = g * 2^{c-1} + 1 must fit in 64 bits.
+  const index_t start = nt::checked_add(nt::checked_shl(g, static_cast<unsigned>(c_ - 1)), 1);
+  return {g, start, c_ - 1};
+}
+
+}  // namespace pfl::apf

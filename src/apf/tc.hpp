@@ -1,0 +1,36 @@
+// T^<c> (Section 4.2.1): APF-Constructor with equal group sizes,
+// kappa(g) = c - 1. Closed form:
+//
+//     T^<c>(x, y) = 2^{floor((x-1)/2^{c-1})} [ 2^c (y-1) + (2x-1 mod 2^c) ],
+//
+// with base row-entries and strides (Prop. 4.1)
+//
+//     B_x <= S_x = 2^{floor((x-1)/2^{c-1}) + c}.
+//
+// Easy to compute, but strides grow *exponentially* with the row index;
+// larger c penalizes a few low rows and helps everyone else (Fig. 6, top).
+//
+// Group boundaries are unbounded in number (start(g) = g 2^{c-1} + 1), so
+// this subclass replaces GroupedApf's tabulation with the closed form.
+#pragma once
+
+#include "apf/grouped_apf.hpp"
+
+namespace pfl::apf {
+
+class TcApf final : public GroupedApf {
+ public:
+  /// Requires c >= 1.
+  explicit TcApf(index_t c);
+
+  index_t c() const { return c_; }
+
+ protected:
+  Group group_of_row(index_t x) const override;
+  Group group_by_index(index_t g) const override;
+
+ private:
+  index_t c_;
+};
+
+}  // namespace pfl::apf

@@ -1,0 +1,17 @@
+#include "apf/tk.hpp"
+
+#include <cmath>
+
+namespace pfl::apf {
+
+TkApf::TkApf(index_t k)
+    : GroupedApf(kappa_power(k), "T[" + std::to_string(k) + "]"), k_(k) {}
+
+index_t TkApf::approx_group_of(index_t x) const {
+  if (x == 0) throw DomainError("T[k]: rows are 1-based");
+  const double lg = std::log2(static_cast<double>(x));
+  return static_cast<index_t>(
+      std::ceil(std::pow(lg, 1.0 / static_cast<double>(k_))));
+}
+
+}  // namespace pfl::apf

@@ -1,0 +1,30 @@
+// T^[k] (Section 4.2.3, Prop. 4.3): APF-Constructor with kappa(g) = g^k.
+// Subquadratic stride growth
+//
+//     B_x <= S_x = x * 2^{O((lg x)^{1/k})},
+//
+// but no closed form in x is known (the paper: "closed-form expressions
+// ... have eluded us"); group boundaries come from the tabulation engine.
+// T^[1] coincides with T^# (cross-checked in tests).
+#pragma once
+
+#include "apf/grouped_apf.hpp"
+
+namespace pfl::apf {
+
+class TkApf final : public GroupedApf {
+ public:
+  /// Requires k >= 1.
+  explicit TkApf(index_t k);
+
+  index_t k() const { return k_; }
+
+  /// The paper's asymptotic group-index expression
+  /// g = ceil((lg x)^{1/k}) (used "slightly inaccurately" in analysis).
+  index_t approx_group_of(index_t x) const;
+
+ private:
+  index_t k_;
+};
+
+}  // namespace pfl::apf

@@ -1,0 +1,21 @@
+#include "apf/tsharp.hpp"
+
+#include "numtheory/bits.hpp"
+
+namespace pfl::apf {
+
+TSharpApf::TSharpApf() : GroupedApf(kappa_identity(), "T#", NoTabulation{}) {}
+
+GroupedApf::Group TSharpApf::group_of_row(index_t x) const {
+  const index_t g = nt::ilog2(x);
+  return {g, index_t{1} << g, g};
+}
+
+GroupedApf::Group TSharpApf::group_by_index(index_t g) const {
+  if (g >= 64)
+    throw OverflowError("T#: group " + std::to_string(g) +
+                        " starts beyond the 64-bit rows");
+  return {g, index_t{1} << g, g};
+}
+
+}  // namespace pfl::apf

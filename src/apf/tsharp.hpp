@@ -1,0 +1,29 @@
+// T^# (Section 4.2.2, eq. 4.6): APF-Constructor with kappa(g) = g, i.e.
+// group g is exactly the rows {2^g, ..., 2^{g+1}-1} and g = floor(lg x).
+// Closed form:
+//
+//     T^#(x, y) = 2^{lg x} ( 2^{1+lg x} (y-1) + (2x+1 mod 2^{1+lg x}) ),
+//
+// with quadratically growing strides (Prop. 4.2):
+//
+//     B_x < S_x = 2^{1 + 2 floor(lg x)} <= 2 x^2.
+//
+// The sweet spot of the ease/compactness tradeoff: one bit-scan to
+// compute, strides only quadratic. Crossovers vs the T^<c> family land at
+// x = 5 (c=1), x = 11 (c=2), x = 25 (c=3) -- reproduced by bench_crossover.
+#pragma once
+
+#include "apf/grouped_apf.hpp"
+
+namespace pfl::apf {
+
+class TSharpApf final : public GroupedApf {
+ public:
+  TSharpApf();
+
+ protected:
+  Group group_of_row(index_t x) const override;
+  Group group_by_index(index_t g) const override;
+};
+
+}  // namespace pfl::apf

@@ -1,0 +1,17 @@
+#include "apf/tstar.hpp"
+
+#include <cmath>
+
+#include "numtheory/bits.hpp"
+
+namespace pfl::apf {
+
+TStarApf::TStarApf() : GroupedApf(kappa_half_square(), "T*") {}
+
+index_t TStarApf::approx_group_of(index_t x) {
+  if (x == 0) throw DomainError("T*: rows are 1-based");
+  const double lg = std::log2(static_cast<double>(x));
+  return static_cast<index_t>(std::ceil(std::sqrt(2.0 * lg))) + 1;
+}
+
+}  // namespace pfl::apf

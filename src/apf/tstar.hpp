@@ -1,0 +1,25 @@
+// T^* (Section 4.2.3, eq. 4.8): APF-Constructor with
+// kappa*(g) = ceil(g^2 / 2). A close relative of T^[2] whose subquadratic
+// stride growth shows up at much smaller rows:
+//
+//     B_x <= S_x = 2^{1 + g + kappa*(g)} ~ 8 x 4^{sqrt(2 lg x)}  (Prop 4.4).
+//
+// The group index follows g = (1 + o(1)) (ceil(sqrt(2 lg x)) + 1); the
+// paper analyzes with the simplified expression g = ceil(sqrt(2 lg x)) + 1,
+// exposed here as approx_group_of() so tests/benches can measure the o(1).
+#pragma once
+
+#include "apf/grouped_apf.hpp"
+
+namespace pfl::apf {
+
+class TStarApf final : public GroupedApf {
+ public:
+  TStarApf();
+
+  /// The paper's simplified group-index expression (slightly inaccurate
+  /// for small x; compare with group_of() to see the o(1) term).
+  static index_t approx_group_of(index_t x);
+};
+
+}  // namespace pfl::apf

@@ -1,0 +1,64 @@
+#include "core/aspect_ratio.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+
+AspectRatioPf::AspectRatioPf(index_t a, index_t b) : a_(a), b_(b) {
+  if (a == 0 || b == 0)
+    throw DomainError("AspectRatioPf: aspect ratio components must be >= 1");
+}
+
+std::string AspectRatioPf::name() const {
+  return "aspect-" + std::to_string(a_) + "x" + std::to_string(b_);
+}
+
+index_t AspectRatioPf::shell_of(index_t x, index_t y) const {
+  require_coords(x, y);
+  return std::max(nt::ceil_div(x, a_), nt::ceil_div(y, b_));
+}
+
+index_t AspectRatioPf::pair(index_t x, index_t y) const {
+  const index_t k = shell_of(x, y);
+  const index_t j = k - 1;  // previous (contained) array is aj x bj
+  // Base: ab * j^2 positions precede this shell.
+  const index_t base = nt::checked_mul(nt::checked_mul(a_, b_), nt::checked_mul(j, j));
+  index_t rank;  // 1-based within the shell
+  if (x > a_ * j) {
+    // New-rows leg: a rows by bk columns, column-major.
+    rank = nt::checked_add(nt::checked_mul(y - 1, a_), x - a_ * j);
+  } else {
+    // New-columns leg: aj rows by b columns, column-major, after the
+    // a * bk positions of the rows leg.
+    const index_t rows_leg = nt::checked_mul(a_, nt::checked_mul(b_, k));
+    rank = nt::checked_add(rows_leg,
+                           nt::checked_add(nt::checked_mul(y - b_ * j - 1, a_ * j), x));
+  }
+  return nt::checked_add(base, rank);
+}
+
+Point AspectRatioPf::unpair(index_t z) const {
+  require_value(z);
+  // Largest j with ab*j^2 <= z - 1, then k = j + 1.
+  const index_t ab = a_ * b_;
+  const index_t j = nt::isqrt((z - 1) / ab);
+  const index_t k = j + 1;
+  index_t r = z - ab * j * j;  // 1-based rank within shell k
+  const index_t rows_leg = a_ * b_ * k;
+  if (r <= rows_leg) {
+    const index_t y = (r - 1) / a_ + 1;
+    const index_t x = a_ * j + (r - 1) % a_ + 1;
+    return {x, y};
+  }
+  r -= rows_leg;
+  const index_t leg_width = a_ * j;  // rows in the columns leg (j >= 1 here)
+  const index_t y = b_ * j + (r - 1) / leg_width + 1;
+  const index_t x = (r - 1) % leg_width + 1;
+  return {x, y};
+}
+
+}  // namespace pfl

@@ -1,0 +1,42 @@
+// The fixed-aspect-ratio pairing functions A_{a,b} of Section 3.2.1.
+//
+// Shell k comprises the positions of the ak x bk array that are not in the
+// a(k-1) x b(k-1) array; cumulative shell sizes telescope to ab*k^2, so
+// *any* within-shell enumeration order yields perfect compactness in the
+// sense of eq. (3.2): every position of an ak x bk array with n or fewer
+// positions gets an address <= n.
+//
+// Within-shell order (Step 2b of Procedure PF-Constructor, "by columns"):
+// first the new-rows leg {a(k-1) < x <= ak, y <= bk} column by column with
+// x increasing inside a column, then the new-columns leg
+// {x <= a(k-1), b(k-1) < y <= bk} likewise. The paper notes (Step 2b) that
+// any systematic order works; A_{1,1} under this order is a valid PF that
+// is equally compact as -- but pointwise different from -- the closed-form
+// A11 of eq. (3.3), which walks the shell in the opposite direction.
+#pragma once
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class AspectRatioPf final : public PairingFunction {
+ public:
+  /// Favors arrays of dimensions ak x bk. Requires a, b >= 1.
+  AspectRatioPf(index_t a, index_t b);
+
+  index_t pair(index_t x, index_t y) const override;
+  Point unpair(index_t z) const override;
+  std::string name() const override;
+
+  index_t a() const { return a_; }
+  index_t b() const { return b_; }
+
+  /// The shell index k = max(ceil(x/a), ceil(y/b)) a position lives on.
+  index_t shell_of(index_t x, index_t y) const;
+
+ private:
+  index_t a_;
+  index_t b_;
+};
+
+}  // namespace pfl

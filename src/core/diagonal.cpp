@@ -1,0 +1,29 @@
+#include "core/diagonal.hpp"
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+
+index_t DiagonalPf::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  // (x+y-1)(x+y-2)/2 + y, checked. x + y can itself overflow for extreme
+  // coordinates, so the sum is checked first.
+  const index_t s = nt::checked_add(x, y);
+  return nt::checked_add(nt::binom2(s - 1), y);
+}
+
+Point DiagonalPf::unpair(index_t z) const {
+  require_value(z);
+  // Largest t with T(t) = t(t+1)/2 <= z - 1; then the shell is s = t + 2.
+  // t = floor((sqrt(8(z-1) + 1) - 1) / 2); 8(z-1)+1 needs 128 bits.
+  // T(t) <= z-1  <=>  (2t+1)^2 <= 8(z-1)+1, so with the exact integer sqrt
+  // r = isqrt(8(z-1)+1) the largest such t is (r-1)/2 -- no fixup needed.
+  const u128 disc = u128(8) * (z - 1) + 1;
+  const index_t t = (nt::isqrt_u128(disc) - 1) / 2;
+  const index_t y = z - nt::triangular(t);
+  const index_t x = (t + 2) - y;
+  return {x, y};
+}
+
+}  // namespace pfl

@@ -1,0 +1,32 @@
+// The Cauchy-Cantor diagonal pairing function (Section 2, eq. 2.1):
+//
+//     D(x, y) = C(x + y - 1, 2) + y = (x+y-1)(x+y-2)/2 + y,
+//
+// which enumerates N x N upward along the diagonal shells x + y = c
+// (Fig. 2). Its "twin" exchanges x and y; both are the only quadratic
+// polynomial PFs (Fueter-Polya [4]).
+#pragma once
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class DiagonalPf final : public PairingFunction {
+ public:
+  DiagonalPf() = default;
+
+  index_t pair(index_t x, index_t y) const override;
+
+  /// Inverse via the explicit recipe of Davis [3]: recover the shell
+  /// s = x + y as the unique s with T(s-2) < z <= T(s-1) (T = triangular),
+  /// then y = z - T(s-2) and x = s - y. O(1) arithmetic.
+  Point unpair(index_t z) const override;
+
+  std::string name() const override { return "diagonal"; }
+
+  /// Largest shell index s = x + y whose full shell fits below 2^64; used
+  /// by property tests to probe near-overflow behaviour.
+  static constexpr index_t kMaxShell = 6074000999ull;
+};
+
+}  // namespace pfl

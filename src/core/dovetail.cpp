@@ -1,0 +1,65 @@
+#include "core/dovetail.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+
+DovetailMapping::DovetailMapping(std::vector<PfPtr> components)
+    : components_(std::move(components)) {
+  if (components_.empty())
+    throw DomainError("DovetailMapping: needs at least one component");
+  for (const auto& c : components_) {
+    if (!c) throw DomainError("DovetailMapping: null component");
+    if (!c->surjective())
+      throw DomainError("DovetailMapping: components must be genuine PFs");
+  }
+}
+
+index_t DovetailMapping::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t m = components_.size();
+  index_t best = std::numeric_limits<index_t>::max();
+  bool any = false;
+  for (index_t k = 1; k <= m; ++k) {
+    index_t candidate;
+    try {
+      candidate = nt::checked_add(nt::checked_mul(m, components_[k - 1]->pair(x, y)), k - 1);
+    } catch (const OverflowError&) {
+      continue;  // this component's offer exceeds 64 bits; others may not
+    }
+    if (candidate < best) {
+      best = candidate;
+      any = true;
+    }
+  }
+  if (!any) throw OverflowError("DovetailMapping: all offers overflow 64 bits");
+  return best;
+}
+
+Point DovetailMapping::unpair(index_t z) const {
+  require_value(z);
+  const index_t m = components_.size();
+  const index_t k = z % m + 1;
+  const index_t inner = z / m;  // (z - (k-1)) / m
+  if (inner == 0) throw DomainError("DovetailMapping: address below image");
+  const Point p = components_[k - 1]->unpair(inner);
+  if (pair(p.x, p.y) != z)
+    throw DomainError("DovetailMapping: address " + std::to_string(z) +
+                      " is not attained (component " + std::to_string(k) +
+                      " did not win the min there)");
+  return p;
+}
+
+std::string DovetailMapping::name() const {
+  std::string n = "dovetail(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) n += ",";
+    n += components_[i]->name();
+  }
+  return n + ")";
+}
+
+}  // namespace pfl

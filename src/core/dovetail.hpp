@@ -1,0 +1,48 @@
+// Dovetailing (Section 3.2.2): combine m mappings A_1 ... A_m into
+//
+//     A(x, y) = min_k { m * A_k(x, y) + (k - 1) },
+//
+// i.e. give A_k the congruence class (k-1) mod m and take the best offer.
+// The result's spread satisfies  S_A(n) <= m * min_k S_{A_k}(n) + (m-1)
+// (the paper absorbs the additive congruence-class offset into the
+// constant), so a PF compact on each of m aspect ratios costs only a
+// factor m.
+//
+// A is INJECTIVE but not necessarily surjective: if A(p) = A(q) = v with
+// v = k - 1 (mod m), then A_k(p) = A_k(q), hence p = q because A_k is a
+// bijection; but a value m * A_k(p) + k - 1 is only attained if k wins the
+// min at p, so some addresses may go unused. We therefore expose the
+// combinator as an injective *storage mapping* (surjective() == false);
+// unpair() throws DomainError on unattained addresses. This is exactly the
+// relaxation under which [12] states the compactness theorem.
+#pragma once
+
+#include <vector>
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class DovetailMapping final : public PairingFunction {
+ public:
+  /// Requires at least one component. Components must be genuine PFs
+  /// (surjective), otherwise the congruence-class trick mislabels values.
+  explicit DovetailMapping(std::vector<PfPtr> components);
+
+  index_t pair(index_t x, index_t y) const override;
+
+  /// Decode: k = (z mod m) + 1 names the component; A_k's preimage of
+  /// (z - (k-1)) / m is the candidate position, accepted only if the min
+  /// at that position actually is z (else z is an unattained address).
+  Point unpair(index_t z) const override;
+
+  std::string name() const override;
+  bool surjective() const override { return false; }
+
+  std::size_t arity() const { return components_.size(); }
+
+ private:
+  std::vector<PfPtr> components_;
+};
+
+}  // namespace pfl

@@ -1,0 +1,38 @@
+// Enumeration-order iteration. Theorem 3.1's whole point is that a PF IS
+// an enumeration of N x N; these helpers let callers consume it that way
+// -- visit positions in address order, without writing unpair loops.
+#pragma once
+
+#include <vector>
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+/// Calls f(z, point) for every address z = first..last in order, where
+/// point = pf.unpair(z). Requires a genuine PF (every address attained);
+/// throws DomainError otherwise before visiting anything.
+template <class F>
+void enumerate_range(const PairingFunction& pf, index_t first, index_t last,
+                     F&& f) {
+  if (first == 0) throw DomainError("enumerate_range: addresses are 1-based");
+  if (!pf.surjective())
+    throw DomainError("enumerate_range: mapping has unattained addresses");
+  for (index_t z = first; z <= last; ++z) {
+    f(z, pf.unpair(z));
+    if (z == ~index_t{0}) break;  // avoid wrap at the 64-bit ceiling
+  }
+}
+
+/// The first `count` positions of the enumeration, in order.
+inline std::vector<Point> enumeration_prefix(const PairingFunction& pf,
+                                             index_t count) {
+  std::vector<Point> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count == 0) return out;
+  enumerate_range(pf, 1, count,
+                  [&out](index_t, const Point& p) { out.push_back(p); });
+  return out;
+}
+
+}  // namespace pfl

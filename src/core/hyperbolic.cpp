@@ -1,0 +1,32 @@
+#include "core/hyperbolic.hpp"
+
+#include <algorithm>
+
+#include "numtheory/checked.hpp"
+#include "numtheory/divisor.hpp"
+#include "numtheory/factorization.hpp"
+
+namespace pfl {
+
+index_t HyperbolicPf::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t n = nt::checked_mul(x, y);
+  const index_t base = nt::divisor_summatory(n - 1);
+  const auto divs = nt::divisors(n);  // ascending
+  // Rank of x with x descending: the largest divisor has rank 1.
+  const auto it = std::lower_bound(divs.begin(), divs.end(), x);
+  const auto ascending_index = static_cast<index_t>(it - divs.begin());
+  const index_t rank = divs.size() - ascending_index;
+  return nt::checked_add(base, rank);
+}
+
+Point HyperbolicPf::unpair(index_t z) const {
+  require_value(z);
+  const index_t n = nt::summatory_lower_bound(z);
+  const index_t rank = z - nt::divisor_summatory(n - 1);  // 1-based, descending
+  const auto divs = nt::divisors(n);
+  const index_t x = divs[divs.size() - rank];
+  return {x, n / x};
+}
+
+}  // namespace pfl

@@ -1,0 +1,85 @@
+#include "core/hyperbolic_cached.hpp"
+
+#include <algorithm>
+
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+
+CachedHyperbolicPf::CachedHyperbolicPf(index_t limit) : limit_(limit) {
+  if (limit < 1) throw DomainError("CachedHyperbolicPf: limit must be >= 1");
+  if (limit > (index_t{1} << 28))
+    throw OverflowError("CachedHyperbolicPf: cache would exceed memory budget");
+  const std::size_t n = static_cast<std::size_t>(limit);
+  // Smallest-prime-factor sieve.
+  spf_.assign(n + 1, 0);
+  for (std::size_t i = 2; i <= n; ++i) {
+    if (spf_[i] == 0) {
+      for (std::size_t j = i; j <= n; j += i)
+        if (spf_[j] == 0) spf_[j] = static_cast<std::uint32_t>(i);
+    }
+  }
+  // delta prefix sums via the divisor-count recurrence from SPF: factor
+  // each n and multiply (e_i + 1); O(n log n) overall and cache-friendly.
+  cumulative_.assign(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    index_t m = i, count = 1;
+    while (m > 1) {
+      const index_t p = spf_[static_cast<std::size_t>(m)];
+      index_t e = 0;
+      while (m % p == 0) {
+        m /= p;
+        ++e;
+      }
+      count *= e + 1;
+    }
+    cumulative_[i] = cumulative_[i - 1] + count;
+  }
+}
+
+void CachedHyperbolicPf::divisors_descending(index_t n,
+                                             std::vector<index_t>& out) const {
+  out.assign(1, 1);
+  index_t m = n;
+  while (m > 1) {
+    const index_t p = spf_[static_cast<std::size_t>(m)];
+    index_t e = 0;
+    while (m % p == 0) {
+      m /= p;
+      ++e;
+    }
+    const std::size_t existing = out.size();
+    index_t pe = 1;
+    for (index_t k = 1; k <= e; ++k) {
+      pe *= p;
+      for (std::size_t i = 0; i < existing; ++i) out.push_back(out[i] * pe);
+    }
+  }
+  std::sort(out.begin(), out.end(), std::greater<index_t>());
+}
+
+index_t CachedHyperbolicPf::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t n = nt::checked_mul(x, y);
+  if (n > limit_) return exact_.pair(x, y);
+  std::vector<index_t> divs;
+  divisors_descending(n, divs);
+  const auto it = std::find(divs.begin(), divs.end(), x);
+  const index_t rank = static_cast<index_t>(it - divs.begin()) + 1;
+  return cumulative_[static_cast<std::size_t>(n - 1)] + rank;
+}
+
+Point CachedHyperbolicPf::unpair(index_t z) const {
+  require_value(z);
+  if (z > cumulative_.back()) return exact_.unpair(z);
+  // Smallest shell N with D(N) >= z.
+  const auto it = std::lower_bound(cumulative_.begin() + 1, cumulative_.end(), z);
+  const index_t n = static_cast<index_t>(it - cumulative_.begin());
+  const index_t rank = z - cumulative_[static_cast<std::size_t>(n - 1)];
+  std::vector<index_t> divs;
+  divisors_descending(n, divs);
+  const index_t x = divs[static_cast<std::size_t>(rank - 1)];
+  return {x, n / x};
+}
+
+}  // namespace pfl

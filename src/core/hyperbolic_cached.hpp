@@ -1,0 +1,50 @@
+// Sieve-accelerated hyperbolic PF.
+//
+// The exact HyperbolicPf pays O(sqrt(xy)) per evaluation (divisor
+// summatory by the hyperbola method, divisors by Pollard rho). That is
+// the honest price for unbounded inputs -- but an extendible-TABLE
+// workload touches a bounded region, and there the whole cost can be
+// prepaid: sieve delta(k) and its prefix sums up to a limit L, plus a
+// smallest-prime-factor table for O(delta(N)) divisor enumeration.
+// Within the cached region pair() is then O(delta) ~ O(1) amortized and
+// unpair() a binary search; beyond it, calls fall back to the exact path,
+// so the mapping stays total (and remains the SAME function -- tests
+// cross-check pointwise).
+//
+// This is the library's ablation point for the paper's ease-of-computation
+// axis: bench_hyperbolic_cached measures how much of H's cost is
+// fundamental vs. cacheable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hyperbolic.hpp"
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class CachedHyperbolicPf final : public PairingFunction {
+ public:
+  /// Caches shells xy <= limit (memory ~ 16 bytes per cached integer).
+  explicit CachedHyperbolicPf(index_t limit);
+
+  index_t pair(index_t x, index_t y) const override;
+  Point unpair(index_t z) const override;
+  std::string name() const override { return "hyperbolic-cached"; }
+
+  index_t cache_limit() const { return limit_; }
+  /// Largest value answerable from the cache: D(limit).
+  index_t cached_value_limit() const { return cumulative_.back(); }
+
+ private:
+  /// Divisors of n <= limit_, descending, via the SPF table.
+  void divisors_descending(index_t n, std::vector<index_t>& out) const;
+
+  index_t limit_;
+  HyperbolicPf exact_;                    ///< fallback beyond the cache
+  std::vector<std::uint32_t> spf_;        ///< smallest prime factor
+  std::vector<index_t> cumulative_;       ///< cumulative_[n] = D(n)
+};
+
+}  // namespace pfl

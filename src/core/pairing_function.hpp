@@ -1,0 +1,84 @@
+// The central abstraction: a pairing function, i.e. a bijection
+// F : N x N <-> N (Section 1.1 of the paper).
+//
+// Two views are offered:
+//   * `PairingFunction`, a runtime-polymorphic interface, used by the
+//     spread analyzer, the extendible-array storage layer, the WBC server
+//     and the benchmark registry, all of which select mappings dynamically;
+//   * the `PairingLike` concept, for templates that want static dispatch in
+//     hot loops (the storage layer is parameterized both ways).
+//
+// Contract: coordinates and values are 1-based (N = positive integers).
+// pair() is total on N x N up to 64-bit overflow (OverflowError beyond);
+// unpair() is total on the image. For true PFs the image is all of N; an
+// *injective storage mapping* (surjective() == false, e.g. DovetailMapping)
+// may skip addresses, and unpair() throws DomainError on a skipped address.
+#pragma once
+
+#include <concepts>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace pfl {
+
+class PairingFunction {
+ public:
+  virtual ~PairingFunction() = default;
+
+  /// The address assigned to row x, column y. Throws DomainError if either
+  /// coordinate is 0, OverflowError if the exact value exceeds 64 bits.
+  virtual index_t pair(index_t x, index_t y) const = 0;
+
+  /// Convenience overload.
+  index_t pair(Point p) const { return pair(p.x, p.y); }
+
+  /// The unique position with pair(position) == z. Throws DomainError for
+  /// z == 0 and, for non-surjective mappings, for z outside the image.
+  virtual Point unpair(index_t z) const = 0;
+
+  /// Human-readable identifier, e.g. "diagonal" or "hyperbolic".
+  virtual std::string name() const = 0;
+
+  /// True iff every positive integer is an address (a genuine PF).
+  /// DovetailMapping (Section 3.2.2) returns false: it is injective with a
+  /// spread guarantee but may leave gaps.
+  virtual bool surjective() const { return true; }
+
+  /// If row x is an arithmetic progression F(x, y) = B + (y-1) S with a
+  /// stride the mapping knows a priori (additive PFs, Theorem 4.2),
+  /// returns S -- row walkers then step with a single addition
+  /// (Stockmeyer's "additive traversal" [16]). Default: unknown.
+  virtual std::optional<index_t> row_stride(index_t /*x*/) const {
+    return std::nullopt;
+  }
+
+  /// True iff pair(x, y) is strictly increasing in y for every fixed x.
+  /// All mappings in this library are; the spread analyzer exploits this to
+  /// scan only the hyperbola boundary (O(n) instead of Theta(n log n)
+  /// evaluations).
+  virtual bool monotone_in_y() const { return true; }
+
+ protected:
+  static void require_coords(index_t x, index_t y) {
+    if (x == 0 || y == 0)
+      throw DomainError("pairing function: coordinates are 1-based");
+  }
+  static void require_value(index_t z) {
+    if (z == 0) throw DomainError("pairing function: values are 1-based");
+  }
+};
+
+using PfPtr = std::shared_ptr<const PairingFunction>;
+
+/// Static-dispatch counterpart of PairingFunction for template hot paths.
+template <class F>
+concept PairingLike = requires(const F f, index_t v) {
+  { f.pair(v, v) } -> std::convertible_to<index_t>;
+  { f.unpair(v) } -> std::convertible_to<Point>;
+  { f.name() } -> std::convertible_to<std::string>;
+};
+
+}  // namespace pfl

@@ -1,0 +1,49 @@
+#include "core/registry.hpp"
+
+#include <memory>
+
+#include "core/aspect_ratio.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/shell_constructor.hpp"
+#include "core/square_shell.hpp"
+#include "core/szudzik.hpp"
+#include "core/transpose.hpp"
+
+namespace pfl {
+
+std::vector<NamedPf> core_pairing_functions() {
+  std::vector<NamedPf> out;
+  const auto add = [&out](PfPtr pf) { out.push_back({pf->name(), std::move(pf)}); };
+  add(std::make_shared<DiagonalPf>());
+  add(make_twin(std::make_shared<DiagonalPf>()));
+  add(std::make_shared<SquareShellPf>());
+  add(make_twin(std::make_shared<SquareShellPf>()));
+  add(std::make_shared<AspectRatioPf>(1, 1));
+  add(std::make_shared<AspectRatioPf>(1, 2));
+  add(std::make_shared<AspectRatioPf>(2, 3));
+  add(std::make_shared<HyperbolicPf>());
+  add(std::make_shared<SzudzikPf>());  // extension: literature comparison
+  return out;
+}
+
+std::vector<NamedPf> shell_engine_pairing_functions() {
+  std::vector<NamedPf> out;
+  const auto add = [&out](PfPtr pf) { out.push_back({pf->name(), std::move(pf)}); };
+  add(std::make_shared<ShellPf>(diagonal_shells()));
+  add(std::make_shared<ShellPf>(square_shells()));
+  add(std::make_shared<ShellPf>(hyperbolic_shells()));
+  add(std::make_shared<ShellPf>(rectangular_shells(1, 1)));
+  add(std::make_shared<ShellPf>(rectangular_shells(1, 2)));
+  add(std::make_shared<ShellPf>(rectangular_shells(2, 3)));
+  return out;
+}
+
+PfPtr make_core_pf(const std::string& name) {
+  for (auto& entry : core_pairing_functions()) {
+    if (entry.name == name) return entry.pf;
+  }
+  throw DomainError("make_core_pf: unknown pairing function '" + name + "'");
+}
+
+}  // namespace pfl

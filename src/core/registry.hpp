@@ -1,0 +1,33 @@
+// Name-indexed registry of the library's mappings, used by the benchmark
+// harness, the examples, and cross-checking tests to iterate over "every
+// PF the paper discusses" without hand-maintaining lists in each binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+struct NamedPf {
+  std::string name;
+  PfPtr pf;
+};
+
+/// The classical Section 2-3 mappings: diagonal (+twin), square-shell
+/// (+clockwise twin), fixed-aspect A_{1,1}, A_{1,2} and A_{2,3},
+/// hyperbolic -- plus Szudzik's elegant PF as the standard literature
+/// comparison (an extension; see szudzik.hpp). All entries are genuine
+/// PFs (surjective).
+std::vector<NamedPf> core_pairing_functions();
+
+/// Same mappings rebuilt through the generic PF-Constructor engine
+/// (ShellPf over the matching shell scheme), for cross-checking.
+std::vector<NamedPf> shell_engine_pairing_functions();
+
+/// Look up any mapping from core_pairing_functions() by name.
+/// Throws DomainError for unknown names.
+PfPtr make_core_pf(const std::string& name);
+
+}  // namespace pfl

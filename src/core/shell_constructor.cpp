@@ -1,0 +1,214 @@
+#include "core/shell_constructor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+#include "numtheory/divisor.hpp"
+#include "numtheory/factorization.hpp"
+
+namespace pfl {
+
+ShellPf::ShellPf(std::shared_ptr<const ShellScheme> scheme)
+    : scheme_(std::move(scheme)) {
+  if (!scheme_) throw DomainError("ShellPf: null scheme");
+}
+
+std::string ShellPf::name() const { return "shell-pf(" + scheme_->name() + ")"; }
+
+index_t ShellPf::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t c = scheme_->shell_of(x, y);
+  return nt::checked_add(scheme_->cumulative_before(c),
+                         scheme_->rank_in_shell(c, x, y));
+}
+
+index_t ShellPf::cumulative_saturating(index_t c) const {
+  try {
+    return scheme_->cumulative_before(c);
+  } catch (const OverflowError&) {
+    return std::numeric_limits<index_t>::max();
+  }
+}
+
+Point ShellPf::unpair(index_t z) const {
+  require_value(z);
+  // Gallop for an upper bound: smallest power-of-two c with
+  // cumulative_before(c) >= z; shells are nonempty so cumulative grows.
+  index_t hi = 1;
+  while (cumulative_saturating(hi) < z) {
+    if (hi > std::numeric_limits<index_t>::max() / 2)
+      throw DomainError("ShellPf: value beyond representable shells");
+    hi *= 2;
+  }
+  // Largest c with cumulative_before(c) < z lies in [hi/2, hi).
+  index_t lo = hi / 2 < 1 ? 1 : hi / 2;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo + 1) / 2;
+    if (cumulative_saturating(mid) < z)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  const index_t c = lo;
+  const index_t r = z - scheme_->cumulative_before(c);
+  return scheme_->position(c, r);
+}
+
+namespace {
+
+class DiagonalShellScheme final : public ShellScheme {
+ public:
+  index_t shell_of(index_t x, index_t y) const override {
+    return nt::checked_add(x, y) - 1;
+  }
+  index_t cumulative_before(index_t c) const override {
+    return nt::triangular(c - 1);
+  }
+  index_t shell_size(index_t c) const override { return c; }
+  index_t rank_in_shell(index_t /*c*/, index_t /*x*/, index_t y) const override {
+    return y;
+  }
+  Point position(index_t c, index_t r) const override {
+    if (r == 0 || r > c) throw DomainError("diagonal shells: rank out of range");
+    return {c + 1 - r, r};
+  }
+  std::string name() const override { return "diagonal"; }
+};
+
+class SquareShellScheme final : public ShellScheme {
+ public:
+  index_t shell_of(index_t x, index_t y) const override { return std::max(x, y); }
+  index_t cumulative_before(index_t c) const override {
+    return nt::checked_mul(c - 1, c - 1);
+  }
+  index_t shell_size(index_t c) const override { return 2 * c - 1; }
+  index_t rank_in_shell(index_t c, index_t x, index_t y) const override {
+    // Counterclockwise per eq. (3.3): rank = m + y - x + 1, m = c - 1.
+    return (c - 1) + y + 1 - x;
+  }
+  Point position(index_t c, index_t r) const override {
+    if (r == 0 || r > 2 * c - 1)
+      throw DomainError("square shells: rank out of range");
+    if (r <= c) return {c, r};
+    return {2 * c - r, c};
+  }
+  std::string name() const override { return "square"; }
+};
+
+class HyperbolicShellScheme final : public ShellScheme {
+ public:
+  index_t shell_of(index_t x, index_t y) const override {
+    return nt::checked_mul(x, y);
+  }
+  index_t cumulative_before(index_t c) const override {
+    return nt::divisor_summatory(c - 1);
+  }
+  index_t shell_size(index_t c) const override { return nt::divisor_count(c); }
+  index_t rank_in_shell(index_t c, index_t x, index_t /*y*/) const override {
+    const auto divs = nt::divisors(c);
+    const auto it = std::lower_bound(divs.begin(), divs.end(), x);
+    return divs.size() - static_cast<index_t>(it - divs.begin());
+  }
+  Point position(index_t c, index_t r) const override {
+    const auto divs = nt::divisors(c);
+    if (r == 0 || r > divs.size())
+      throw DomainError("hyperbolic shells: rank out of range");
+    const index_t x = divs[divs.size() - r];
+    return {x, c / x};
+  }
+  std::string name() const override { return "hyperbolic"; }
+};
+
+class RectangularShellScheme final : public ShellScheme {
+ public:
+  RectangularShellScheme(index_t a, index_t b) : a_(a), b_(b) {
+    if (a == 0 || b == 0)
+      throw DomainError("rectangular shells: aspect components must be >= 1");
+  }
+  index_t shell_of(index_t x, index_t y) const override {
+    return std::max(nt::ceil_div(x, a_), nt::ceil_div(y, b_));
+  }
+  index_t cumulative_before(index_t c) const override {
+    return nt::checked_mul(nt::checked_mul(a_, b_), nt::checked_mul(c - 1, c - 1));
+  }
+  index_t shell_size(index_t c) const override {
+    return a_ * b_ * (2 * c - 1);
+  }
+  index_t rank_in_shell(index_t c, index_t x, index_t y) const override {
+    const index_t j = c - 1;
+    if (x > a_ * j) return (y - 1) * a_ + (x - a_ * j);
+    return a_ * b_ * c + (y - b_ * j - 1) * (a_ * j) + x;
+  }
+  Point position(index_t c, index_t r) const override {
+    if (r == 0 || r > shell_size(c))
+      throw DomainError("rectangular shells: rank out of range");
+    const index_t j = c - 1;
+    const index_t rows_leg = a_ * b_ * c;
+    if (r <= rows_leg)
+      return {a_ * j + (r - 1) % a_ + 1, (r - 1) / a_ + 1};
+    const index_t rr = r - rows_leg;
+    const index_t leg_width = a_ * j;
+    return {(rr - 1) % leg_width + 1, b_ * j + (rr - 1) / leg_width + 1};
+  }
+  std::string name() const override {
+    return "rect-" + std::to_string(a_) + "x" + std::to_string(b_);
+  }
+
+ private:
+  index_t a_;
+  index_t b_;
+};
+
+class ReversedShellScheme final : public ShellScheme {
+ public:
+  explicit ReversedShellScheme(std::shared_ptr<const ShellScheme> inner)
+      : inner_(std::move(inner)) {
+    if (!inner_) throw DomainError("reverse_within_shells: null scheme");
+  }
+  index_t shell_of(index_t x, index_t y) const override {
+    return inner_->shell_of(x, y);
+  }
+  index_t cumulative_before(index_t c) const override {
+    return inner_->cumulative_before(c);
+  }
+  index_t shell_size(index_t c) const override { return inner_->shell_size(c); }
+  index_t rank_in_shell(index_t c, index_t x, index_t y) const override {
+    return inner_->shell_size(c) - inner_->rank_in_shell(c, x, y) + 1;
+  }
+  Point position(index_t c, index_t r) const override {
+    const index_t size = inner_->shell_size(c);
+    if (r == 0 || r > size)
+      throw DomainError("reversed shells: rank out of range");
+    return inner_->position(c, size - r + 1);
+  }
+  std::string name() const override { return inner_->name() + "-reversed"; }
+
+ private:
+  std::shared_ptr<const ShellScheme> inner_;
+};
+
+}  // namespace
+
+std::shared_ptr<const ShellScheme> reverse_within_shells(
+    std::shared_ptr<const ShellScheme> inner) {
+  return std::make_shared<ReversedShellScheme>(std::move(inner));
+}
+
+std::shared_ptr<const ShellScheme> diagonal_shells() {
+  return std::make_shared<DiagonalShellScheme>();
+}
+std::shared_ptr<const ShellScheme> square_shells() {
+  return std::make_shared<SquareShellScheme>();
+}
+std::shared_ptr<const ShellScheme> hyperbolic_shells() {
+  return std::make_shared<HyperbolicShellScheme>();
+}
+std::shared_ptr<const ShellScheme> rectangular_shells(index_t a, index_t b) {
+  return std::make_shared<RectangularShellScheme>(a, b);
+}
+
+}  // namespace pfl

@@ -1,0 +1,91 @@
+#include "core/spread.hpp"
+
+#include <cmath>
+
+#include "numtheory/bits.hpp"
+#include "numtheory/divisor.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pfl {
+
+index_t spread(const PairingFunction& pf, index_t n, par::ThreadPool* pool) {
+  if (n == 0) throw DomainError("spread: n must be positive");
+  const auto combine = [](index_t& acc, const index_t& v) {
+    if (v > acc) acc = v;
+  };
+  if (pf.monotone_in_y()) {
+    // max over boundary points (x, floor(n/x)).
+    return par::parallel_reduce<index_t>(
+        1, n + 1, 0,
+        [&pf, n](index_t& acc, index_t x) {
+          const index_t v = pf.pair(x, n / x);
+          if (v > acc) acc = v;
+        },
+        combine, /*grain=*/512, pool);
+  }
+  return par::parallel_reduce<index_t>(
+      1, n + 1, 0,
+      [&pf, n](index_t& acc, index_t x) {
+        const index_t ymax = n / x;
+        for (index_t y = 1; y <= ymax; ++y) {
+          const index_t v = pf.pair(x, y);
+          if (v > acc) acc = v;
+        }
+      },
+      combine, /*grain=*/64, pool);
+}
+
+index_t aspect_spread(const PairingFunction& pf, index_t a, index_t b,
+                      index_t n, par::ThreadPool* pool) {
+  if (a == 0 || b == 0)
+    throw DomainError("aspect_spread: aspect components must be >= 1");
+  // Arrays of the favored ratio are nested, so only the largest one that
+  // fits matters: ak x bk with k = floor(sqrt(n / (ab))).
+  const index_t k = nt::isqrt(n / (a * b));
+  if (k == 0) return 0;
+  const index_t rows = a * k, cols = b * k;
+  const auto combine = [](index_t& acc, const index_t& v) {
+    if (v > acc) acc = v;
+  };
+  if (pf.monotone_in_y()) {
+    return par::parallel_reduce<index_t>(
+        1, rows + 1, 0,
+        [&pf, cols](index_t& acc, index_t x) {
+          const index_t v = pf.pair(x, cols);
+          if (v > acc) acc = v;
+        },
+        combine, /*grain=*/512, pool);
+  }
+  return par::parallel_reduce<index_t>(
+      1, rows + 1, 0,
+      [&pf, cols](index_t& acc, index_t x) {
+        for (index_t y = 1; y <= cols; ++y) {
+          const index_t v = pf.pair(x, y);
+          if (v > acc) acc = v;
+        }
+      },
+      combine, /*grain=*/64, pool);
+}
+
+index_t lattice_points_under_hyperbola(index_t n) {
+  return nt::divisor_summatory(n);
+}
+
+std::vector<SpreadRow> spread_series(const PairingFunction& pf,
+                                     const std::vector<index_t>& ns,
+                                     par::ThreadPool* pool) {
+  std::vector<SpreadRow> rows;
+  rows.reserve(ns.size());
+  for (const index_t n : ns) {
+    SpreadRow row;
+    row.n = n;
+    row.spread = spread(pf, n, pool);
+    row.per_n = static_cast<double>(row.spread) / static_cast<double>(n);
+    const double lg = n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+    row.per_nlgn = static_cast<double>(row.spread) / (static_cast<double>(n) * lg);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace pfl

@@ -1,0 +1,55 @@
+// The spread function (Section 3.2, eq. 3.1):
+//
+//     S_A(n) = max{ A(x, y) : xy <= n },
+//
+// the largest address a mapping assigns to any position of an array/table
+// with n or fewer positions. Compactness means slow growth of S_A.
+//
+// Facts the analyzer reproduces (and the bench harness reports):
+//   * S_D(n) with n = k^2 equals 2n (diagonal spreads k x k over ~2k^2);
+//     a 1 x n array alone costs D(1, n) = (n^2 + n)/2;
+//   * S_{A_{a,b}}(n) == n exactly on the favored aspect ratio (eq. 3.2);
+//   * S_H(n) = Theta(n log n), and *no* PF does better in the worst case,
+//     because the lattice points under xy = n number Theta(n log n) and
+//     every array contains (1, 1).
+#pragma once
+
+#include <vector>
+
+#include "core/pairing_function.hpp"
+#include "par/thread_pool.hpp"
+
+namespace pfl {
+
+/// Exact S_A(n). For mappings monotone in y the scan touches only the
+/// hyperbola boundary points (x, floor(n/x)) -- O(n) evaluations,
+/// parallelized; otherwise all Theta(n log n) lattice points are visited.
+index_t spread(const PairingFunction& pf, index_t n,
+               par::ThreadPool* pool = nullptr);
+
+/// The aspect-restricted spread of eq. (3.2): the largest address the
+/// mapping assigns to any position of an ak x bk array with abk^2 <= n
+/// positions (i.e. k = floor(sqrt(n / ab))). A_{a,b} achieves the optimum
+/// value n exactly ("manages storage perfectly"). Returns 0 when even the
+/// a x b array does not fit (n < ab).
+index_t aspect_spread(const PairingFunction& pf, index_t a, index_t b,
+                      index_t n, par::ThreadPool* pool = nullptr);
+
+/// Exact number of lattice points under the hyperbola: #{(x,y) : xy <= n}.
+/// This is the divisor summatory function; Fig. 5's n = 16 gives 50.
+index_t lattice_points_under_hyperbola(index_t n);
+
+/// One row of a compactness report.
+struct SpreadRow {
+  index_t n = 0;        ///< array-size bound
+  index_t spread = 0;   ///< S_A(n)
+  double per_n = 0.0;   ///< S_A(n) / n        (1.0 = perfectly compact)
+  double per_nlgn = 0.0;///< S_A(n) / (n lg n) (constant <=> Theta(n log n))
+};
+
+/// Evaluates the spread at each n in `ns` (rows in the given order).
+std::vector<SpreadRow> spread_series(const PairingFunction& pf,
+                                     const std::vector<index_t>& ns,
+                                     par::ThreadPool* pool = nullptr);
+
+}  // namespace pfl

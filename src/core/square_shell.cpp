@@ -1,0 +1,28 @@
+#include "core/square_shell.hpp"
+
+#include <algorithm>
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+
+index_t SquareShellPf::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t m = std::max(x, y) - 1;
+  // m^2 + m + y - x + 1 in 128-bit arithmetic: the intermediate
+  // m^2 + m + y + 1 can transiently exceed 64 bits even when the final
+  // value fits (e.g. A11(2, 2^32) = 2^64 - 1).
+  const u128 v = u128(m) * m + m + y + 1;
+  return nt::narrow(v - x);  // x <= m + 1 <= v, cannot underflow
+}
+
+Point SquareShellPf::unpair(index_t z) const {
+  require_value(z);
+  const index_t m = nt::isqrt_ceil(z) - 1;
+  const index_t r = z - m * m;  // 1 <= r <= 2m + 1
+  if (r <= m + 1) return {m + 1, r};
+  return {2 * m + 2 - r, m + 1};
+}
+
+}  // namespace pfl

@@ -1,0 +1,30 @@
+// The square-shell pairing function A_{1,1} (Section 3.2.1, eq. 3.3):
+//
+//     A11(x, y) = m^2 + m + y - x + 1,   m = max(x-1, y-1),
+//
+// which walks counterclockwise along the square shells max(x, y) = c
+// (Fig. 3). It is *perfectly compact* on square arrays: every position of
+// an n-position square array receives an address <= n, i.e. S(n) = n in
+// the sense of eq. (3.2).
+#pragma once
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class SquareShellPf final : public PairingFunction {
+ public:
+  SquareShellPf() = default;
+
+  index_t pair(index_t x, index_t y) const override;
+
+  /// Inverse: shell m = ceil(sqrt(z)) - 1 (shell m holds the addresses
+  /// m^2 + 1 .. (m+1)^2); the offset r = z - m^2 lands on the column leg
+  /// (x = m+1, y = r) when r <= m+1, else on the row leg
+  /// (x = 2m+2-r, y = m+1). O(1) arithmetic.
+  Point unpair(index_t z) const override;
+
+  std::string name() const override { return "square-shell"; }
+};
+
+}  // namespace pfl

@@ -1,0 +1,26 @@
+#include "core/szudzik.hpp"
+
+#include <algorithm>
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+
+index_t SzudzikPf::pair(index_t x, index_t y) const {
+  require_coords(x, y);
+  const index_t m = std::max(x, y) - 1;
+  const u128 base = u128(m) * m;
+  if (x == m + 1) return nt::narrow(base + y);        // column leg
+  return nt::narrow(base + m + 1 + x);                 // row leg (x <= m)
+}
+
+Point SzudzikPf::unpair(index_t z) const {
+  require_value(z);
+  const index_t m = nt::isqrt_ceil(z) - 1;
+  const index_t r = z - m * m;  // 1 <= r <= 2m + 1
+  if (r <= m + 1) return {m + 1, r};
+  return {r - m - 1, m + 1};
+}
+
+}  // namespace pfl

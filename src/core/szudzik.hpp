@@ -1,0 +1,29 @@
+// Szudzik's "elegant" pairing function, adapted to the paper's 1-based
+// convention -- NOT from the paper (it postdates it, 2006), included as
+// the comparison point the wider literature reaches for first. In the
+// paper's vocabulary it is simply another Procedure PF-Constructor
+// instance over the SAME square shells max(x,y) = c as A11, with a
+// different Step 2b order (column leg ascending, then row leg ascending
+// -- where A11 walks the row leg descending). Consequently it shares
+// A11's perfect square compactness, as the tests verify; the two differ
+// only in the within-shell walk.
+//
+//     S(x, y) = m^2 + y            if x = m+1 (column leg),
+//             = m^2 + m + 1 + x    if y = m+1, x <= m (row leg),
+//     with m = max(x, y) - 1.
+#pragma once
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class SzudzikPf final : public PairingFunction {
+ public:
+  SzudzikPf() = default;
+
+  index_t pair(index_t x, index_t y) const override;
+  Point unpair(index_t z) const override;
+  std::string name() const override { return "szudzik"; }
+};
+
+}  // namespace pfl

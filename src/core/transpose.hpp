@@ -1,0 +1,42 @@
+// Transposition adapter: every PF in the paper has a "twin" obtained by
+// exchanging x and y (e.g. the twin of D noted after eq. 2.1, and the
+// clockwise twin of A11 noted after eq. 3.3). TransposedPf produces the
+// twin of any mapping without re-deriving formulas.
+#pragma once
+
+#include <utility>
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+class TransposedPf final : public PairingFunction {
+ public:
+  explicit TransposedPf(PfPtr inner) : inner_(std::move(inner)) {
+    if (!inner_) throw DomainError("TransposedPf: null inner mapping");
+  }
+
+  index_t pair(index_t x, index_t y) const override { return inner_->pair(y, x); }
+
+  Point unpair(index_t z) const override {
+    const Point p = inner_->unpair(z);
+    return {p.y, p.x};
+  }
+
+  std::string name() const override { return inner_->name() + "-twin"; }
+  bool surjective() const override { return inner_->surjective(); }
+
+  /// The twin of a mapping monotone in y is monotone in x instead; we
+  /// cannot promise y-monotonicity, so be conservative.
+  bool monotone_in_y() const override { return false; }
+
+ private:
+  PfPtr inner_;
+};
+
+/// Convenience: the twin of any mapping.
+inline PfPtr make_twin(PfPtr inner) {
+  return std::make_shared<TransposedPf>(std::move(inner));
+}
+
+}  // namespace pfl

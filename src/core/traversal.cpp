@@ -1,0 +1,84 @@
+#include "core/traversal.hpp"
+
+#include <set>
+#include <vector>
+
+namespace pfl {
+
+RowProgression row_progression(const PairingFunction& pf, index_t x,
+                               index_t probe_len) {
+  if (probe_len < 2)
+    throw DomainError("row_progression: probe length must be >= 2");
+  RowProgression result;
+  result.base = pf.pair(x, 1);
+  index_t prev = result.base;
+  index_t second = pf.pair(x, 2);
+  if (second <= prev) return result;  // not even increasing: not additive
+  const index_t stride = second - prev;
+  prev = second;
+  for (index_t y = 3; y <= probe_len; ++y) {
+    const index_t v = pf.pair(x, y);
+    if (v <= prev || v - prev != stride) return result;
+    prev = v;
+  }
+  result.additive = true;
+  result.stride = stride;
+  return result;
+}
+
+namespace {
+
+TraversalCost walk(const PairingFunction& pf,
+                   const std::vector<Point>& cells, index_t page_size) {
+  if (page_size == 0) throw DomainError("traversal: page size must be >= 1");
+  TraversalCost cost;
+  std::set<index_t> pages;
+  index_t prev = 0, lo = 0, hi = 0;
+  for (const Point& p : cells) {
+    const index_t addr = pf.pair(p.x, p.y);
+    if (cost.cells == 0) {
+      lo = hi = addr;
+    } else {
+      cost.total_jump += addr > prev ? addr - prev : prev - addr;
+      if (addr < lo) lo = addr;
+      if (addr > hi) hi = addr;
+    }
+    pages.insert(addr / page_size);
+    prev = addr;
+    ++cost.cells;
+  }
+  cost.span = hi - lo;
+  cost.pages_touched = static_cast<index_t>(pages.size());
+  return cost;
+}
+
+}  // namespace
+
+TraversalCost row_traversal(const PairingFunction& pf, index_t x, index_t cols,
+                            index_t page_size) {
+  std::vector<Point> cells;
+  cells.reserve(static_cast<std::size_t>(cols));
+  for (index_t y = 1; y <= cols; ++y) cells.push_back({x, y});
+  return walk(pf, cells, page_size);
+}
+
+TraversalCost column_traversal(const PairingFunction& pf, index_t y,
+                               index_t rows, index_t page_size) {
+  std::vector<Point> cells;
+  cells.reserve(static_cast<std::size_t>(rows));
+  for (index_t x = 1; x <= rows; ++x) cells.push_back({x, y});
+  return walk(pf, cells, page_size);
+}
+
+TraversalCost block_traversal(const PairingFunction& pf, index_t x0, index_t y0,
+                              index_t h, index_t w, index_t page_size) {
+  if (x0 == 0 || y0 == 0)
+    throw DomainError("block_traversal: corners are 1-based");
+  std::vector<Point> cells;
+  cells.reserve(static_cast<std::size_t>(h * w));
+  for (index_t x = x0; x < x0 + h; ++x)
+    for (index_t y = y0; y < y0 + w; ++y) cells.push_back({x, y});
+  return walk(pf, cells, page_size);
+}
+
+}  // namespace pfl

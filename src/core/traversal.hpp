@@ -1,0 +1,62 @@
+// Access-pattern analysis (Section 3's Aside: storage mappings differ in
+// how well they support access "by position, by row/column, by block (at
+// varying computational costs)"; Stockmeyer [16] singles out *additive
+// traversal* -- rows that map to arithmetic progressions, so walking a row
+// needs one addition per step and no PF evaluation at all).
+//
+// This module measures those costs for any mapping:
+//   * row_progression: is row x an arithmetic progression, and with what
+//     stride? (Every Section 4 APF: yes, by construction -- this is what
+//     makes them "additive". The diagonal PF: no -- the step
+//     D(x, y+1) - D(x, y) = x + y grows with y.)
+//   * traversal costs: walking a row, column, or rectangular block in
+//     order, how far apart are consecutive addresses, how many distinct
+//     fixed-size pages are touched (an idealized cache/disk model), and
+//     what address span the walk covers.
+#pragma once
+
+#include <cstddef>
+
+#include "core/pairing_function.hpp"
+
+namespace pfl {
+
+/// Result of probing whether a row is an arithmetic progression.
+struct RowProgression {
+  bool additive = false;  ///< F(x, y+1) - F(x, y) constant over the probe
+  index_t base = 0;       ///< F(x, 1)
+  index_t stride = 0;     ///< the common difference (0 unless additive)
+};
+
+/// Probes row x over y = 1..probe_len. A `true` result is evidence over
+/// the probe window, not a proof for all y (for APFs it IS exact, by
+/// Theorem 4.2; tests cross-check against stride()).
+RowProgression row_progression(const PairingFunction& pf, index_t x,
+                               index_t probe_len = 64);
+
+/// Cost profile of visiting a sequence of cells in order.
+struct TraversalCost {
+  index_t cells = 0;         ///< cells visited
+  u128 total_jump = 0;       ///< sum of |addr_{i+1} - addr_i|
+  index_t span = 0;          ///< max address - min address
+  index_t pages_touched = 0; ///< distinct pages of the given size
+  double mean_jump() const {
+    return cells <= 1 ? 0.0
+                      : static_cast<double>(total_jump) /
+                            static_cast<double>(cells - 1);
+  }
+};
+
+/// Walk row x across columns 1..cols.
+TraversalCost row_traversal(const PairingFunction& pf, index_t x, index_t cols,
+                            index_t page_size = 4096);
+
+/// Walk column y down rows 1..rows.
+TraversalCost column_traversal(const PairingFunction& pf, index_t y,
+                               index_t rows, index_t page_size = 4096);
+
+/// Walk the h x w block with top-left corner (x0, y0), row-major.
+TraversalCost block_traversal(const PairingFunction& pf, index_t x0, index_t y0,
+                              index_t h, index_t w, index_t page_size = 4096);
+
+}  // namespace pfl

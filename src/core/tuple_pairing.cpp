@@ -1,0 +1,70 @@
+#include "core/tuple_pairing.hpp"
+
+#include <utility>
+
+namespace pfl {
+
+TuplePairing::TuplePairing(PfPtr pf, std::size_t arity, Fold fold)
+    : pf_(std::move(pf)), arity_(arity), fold_(fold) {
+  if (!pf_) throw DomainError("TuplePairing: null pairing function");
+  if (!pf_->surjective())
+    throw DomainError("TuplePairing: base mapping must be a genuine PF");
+  if (arity_ == 0) throw DomainError("TuplePairing: arity must be >= 1");
+}
+
+std::string TuplePairing::name() const {
+  return pf_->name() + "^" + std::to_string(arity_) +
+         (fold_ == Fold::kLeft ? "-left" : "-balanced");
+}
+
+index_t TuplePairing::pair(std::span<const index_t> coords) const {
+  if (coords.size() != arity_)
+    throw DomainError("TuplePairing: expected " + std::to_string(arity_) +
+                      " coordinates, got " + std::to_string(coords.size()));
+  for (index_t c : coords)
+    if (c == 0) throw DomainError("TuplePairing: coordinates are 1-based");
+  return fold_range(coords);
+}
+
+index_t TuplePairing::fold_range(std::span<const index_t> coords) const {
+  if (coords.size() == 1) return coords[0];
+  if (fold_ == Fold::kLeft) {
+    index_t acc = coords[0];
+    for (std::size_t i = 1; i < coords.size(); ++i)
+      acc = pf_->pair(acc, coords[i]);
+    return acc;
+  }
+  // Balanced: split as evenly as possible, left half gets the extra.
+  const std::size_t half = (coords.size() + 1) / 2;
+  return pf_->pair(fold_range(coords.subspan(0, half)),
+                   fold_range(coords.subspan(half)));
+}
+
+std::vector<index_t> TuplePairing::unpair(index_t z) const {
+  if (z == 0) throw DomainError("TuplePairing: values are 1-based");
+  std::vector<index_t> out;
+  out.reserve(arity_);
+  unfold_range(z, arity_, out);
+  return out;
+}
+
+void TuplePairing::unfold_range(index_t z, std::size_t count,
+                                std::vector<index_t>& out) const {
+  if (count == 1) {
+    out.push_back(z);
+    return;
+  }
+  if (fold_ == Fold::kLeft) {
+    // z = P(prefix, last): peel coordinates off the right.
+    const Point p = pf_->unpair(z);
+    unfold_range(p.x, count - 1, out);
+    out.push_back(p.y);
+    return;
+  }
+  const std::size_t half = (count + 1) / 2;
+  const Point p = pf_->unpair(z);
+  unfold_range(p.x, half, out);
+  unfold_range(p.y, count - half, out);
+}
+
+}  // namespace pfl

@@ -1,0 +1,66 @@
+// Foundational types for the pairing-function library (pfl).
+//
+// The paper works over N = {1, 2, 3, ...}. Every public coordinate and
+// address in this library is therefore 1-based; 0 is *never* a valid
+// coordinate or pairing-function value, and APIs throw DomainError when
+// handed one.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace pfl {
+
+/// Unsigned integer type for coordinates and pairing-function values.
+using index_t = std::uint64_t;
+
+/// 128-bit helpers for intermediate products that may exceed 64 bits.
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A coordinate or value was outside the function's domain/range
+/// (e.g. a 0 coordinate, or un-pairing a value a mapping never produces).
+class DomainError : public Error {
+ public:
+  explicit DomainError(const std::string& what) : Error(what) {}
+};
+
+/// An exact result does not fit in 64 bits. The library never silently
+/// wraps: every arithmetic step on user-reachable paths is checked.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// A 1-based position in the (row, column) plane N x N.
+///
+/// Follows the paper's convention: `x` is the row index, `y` the column
+/// index, so F(x, y) reads "row x, column y" exactly as in Figs. 1-4.
+struct Point {
+  index_t x = 1;
+  index_t y = 1;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+}  // namespace pfl
+
+template <>
+struct std::hash<pfl::Point> {
+  std::size_t operator()(const pfl::Point& p) const noexcept {
+    // splitmix-style mix of the two halves; good enough for hash maps.
+    std::uint64_t h = p.x * 0x9E3779B97F4A7C15ull;
+    h ^= p.y + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,102 @@
+// Bit-level integer utilities: exact floor(log2), floor(sqrt), powers of
+// two, trailing zeros. All functions are total on their stated domains and
+// constexpr where the implementation allows.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace pfl::nt {
+
+/// floor(log2(n)) for n >= 1. The paper's `lg x` (footnote a: base 2).
+constexpr unsigned ilog2(index_t n) {
+  if (n == 0) throw DomainError("ilog2: argument must be positive");
+  return static_cast<unsigned>(std::bit_width(n) - 1);
+}
+
+/// ceil(log2(n)) for n >= 1.
+constexpr unsigned ilog2_ceil(index_t n) {
+  if (n == 0) throw DomainError("ilog2_ceil: argument must be positive");
+  return n == 1 ? 0u : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+/// True iff n is a power of two (n >= 1).
+constexpr bool is_pow2(index_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// 2^k as a checked 64-bit value (k <= 63).
+constexpr index_t pow2(unsigned k) {
+  if (k >= 64) throw OverflowError("pow2: exponent >= 64");
+  return index_t{1} << k;
+}
+
+/// Number of trailing zero bits; the "signature" extraction of Thm 4.2
+/// (the group index g of an APF value is its 2-adic valuation).
+constexpr unsigned trailing_zeros(index_t n) {
+  if (n == 0) throw DomainError("trailing_zeros: argument must be positive");
+  return static_cast<unsigned>(std::countr_zero(n));
+}
+
+/// Exact floor(sqrt(n)) for any 64-bit n.
+///
+/// Uses the hardware double sqrt as a first guess, then fixes the result
+/// with exact integer comparisons: doubles cannot represent all 64-bit
+/// integers, so the guess may be off by one in either direction.
+constexpr index_t isqrt(index_t n) {
+  if (n == 0) return 0;
+  if (std::is_constant_evaluated()) {
+    // Newton iteration for constexpr contexts. Starting from an
+    // over-estimate, the iterates decrease monotonically until they first
+    // fail to decrease, at which point x == floor(sqrt(n)) or x == it + 1.
+    index_t x = index_t{1} << ((std::bit_width(n) + 1) / 2);
+    index_t y = (x + n / x) / 2;
+    while (y < x) {
+      x = y;
+      y = (x + n / x) / 2;
+    }
+    while (u128(x) * x > n) --x;
+    return x;
+  }
+  auto r = static_cast<index_t>(__builtin_sqrt(static_cast<double>(n)));
+  while (r > 0 && (u128(r) * r > n)) --r;
+  while (u128(r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+/// Number of significant bits in a 128-bit value (0 for v == 0).
+constexpr unsigned bit_width_u128(u128 v) {
+  const auto hi = static_cast<std::uint64_t>(v >> 64);
+  const auto lo = static_cast<std::uint64_t>(v);
+  return hi != 0 ? 64 + std::bit_width(hi) : std::bit_width(lo);
+}
+
+/// Exact floor(sqrt(n)) for 128-bit n (the result always fits in 64 bits).
+/// Needed by the diagonal-PF inverse, where 8(z-1)+1 can exceed 64 bits.
+constexpr index_t isqrt_u128(u128 n) {
+  if (n == 0) return 0;
+  // Newton from an over-estimate descends monotonically; stop at the first
+  // non-decrease, then fix up (x is then floor(sqrt(n)) or one above).
+  u128 x = u128(1) << ((bit_width_u128(n) + 1) / 2);
+  u128 y = (x + n / x) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  while (x * x > n) --x;
+  return static_cast<index_t>(x);
+}
+
+/// Exact ceil(sqrt(n)).
+constexpr index_t isqrt_ceil(index_t n) {
+  const index_t r = isqrt(n);
+  return r * r == n ? r : r + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr index_t ceil_div(index_t a, index_t b) {
+  if (b == 0) throw DomainError("ceil_div: division by zero");
+  return a / b + (a % b != 0);
+}
+
+}  // namespace pfl::nt

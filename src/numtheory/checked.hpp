@@ -1,0 +1,70 @@
+// Overflow-checked 64-bit arithmetic.
+//
+// Pairing functions routinely produce addresses quadratic (or worse) in
+// their inputs; the "dangerous" APFs of Section 4.2.3 overflow 64 bits for
+// tiny rows. The library policy is: never wrap silently -- every
+// user-reachable arithmetic step either produces the exact value or throws
+// OverflowError.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace pfl::nt {
+
+/// a + b, throwing OverflowError if the exact sum exceeds 64 bits.
+constexpr index_t checked_add(index_t a, index_t b) {
+  index_t r = 0;
+  if (__builtin_add_overflow(a, b, &r))
+    throw OverflowError("checked_add: 64-bit overflow");
+  return r;
+}
+
+/// a - b, throwing DomainError on underflow (library values are unsigned).
+constexpr index_t checked_sub(index_t a, index_t b) {
+  if (b > a) throw DomainError("checked_sub: negative result");
+  return a - b;
+}
+
+/// a * b, throwing OverflowError if the exact product exceeds 64 bits.
+constexpr index_t checked_mul(index_t a, index_t b) {
+  index_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw OverflowError("checked_mul: 64-bit overflow");
+  return r;
+}
+
+/// a << k, throwing OverflowError if bits are lost.
+constexpr index_t checked_shl(index_t a, unsigned k) {
+  if (a == 0 || k == 0) return a;
+  if (k >= 64 || (a >> (64 - k)) != 0)
+    throw OverflowError("checked_shl: 64-bit overflow");
+  return a << k;
+}
+
+/// Full-width 128-bit product; never overflows.
+constexpr u128 mul_wide(index_t a, index_t b) { return u128(a) * b; }
+
+/// Narrow a 128-bit value back to 64 bits, or throw.
+constexpr index_t narrow(u128 v) {
+  if (v > u128(~std::uint64_t{0}))
+    throw OverflowError("narrow: value exceeds 64 bits");
+  return static_cast<index_t>(v);
+}
+
+/// The triangular number T(n) = n(n+1)/2, exact and checked.
+/// T appears throughout Section 2: D(x,y) = T(x+y-2) + y.
+constexpr index_t triangular(index_t n) {
+  // One of n, n+1 is even; divide that one first so the product is exact.
+  const u128 t = (n % 2 == 0) ? u128(n / 2) * (n + 1) : u128((n + 1) / 2) * n;
+  return narrow(t);
+}
+
+/// Binomial coefficient C(n, 2) = n(n-1)/2 as written in eq. (2.1).
+constexpr index_t binom2(index_t n) {
+  if (n < 2) return 0;
+  return triangular(n - 1);
+}
+
+}  // namespace pfl::nt

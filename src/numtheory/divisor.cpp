@@ -1,0 +1,40 @@
+#include "numtheory/divisor.hpp"
+
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl::nt {
+
+std::vector<std::uint32_t> divisor_count_sieve(index_t limit) {
+  if (limit > (index_t{1} << 32))
+    throw OverflowError("divisor_count_sieve: table too large");
+  std::vector<std::uint32_t> delta(static_cast<std::size_t>(limit) + 1, 0);
+  for (index_t d = 1; d <= limit; ++d)
+    for (index_t m = d; m <= limit; m += d) ++delta[static_cast<std::size_t>(m)];
+  return delta;
+}
+
+index_t divisor_summatory(index_t n) {
+  if (n == 0) return 0;
+  const index_t root = isqrt(n);
+  u128 sum = 0;
+  for (index_t i = 1; i <= root; ++i) sum += n / i;
+  const u128 total = 2 * sum - u128(root) * root;
+  return narrow(total);
+}
+
+index_t summatory_lower_bound(index_t z) {
+  if (z == 0) throw DomainError("summatory_lower_bound: z must be positive");
+  // D(N) >= N, so the answer is at most z; D is nondecreasing.
+  index_t lo = 1, hi = z;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    if (divisor_summatory(mid) >= z)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace pfl::nt

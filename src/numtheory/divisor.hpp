@@ -1,0 +1,34 @@
+// The divisor-count function delta(n) and its summatory function
+// D(n) = sum_{k<=n} delta(k), which are the backbone of the hyperbolic
+// pairing function H of Section 3.2.3 (eq. 3.4).
+//
+// D(n) also *is* the count of integer lattice points under the hyperbola
+// xy <= n (Fig. 5): each point <x, y> with xy = k is one of the delta(k)
+// 2-part factorizations of k. The Theta(n log n) growth of D is precisely
+// the paper's lower-bound argument for the spread of any PF.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pfl::nt {
+
+/// delta(k) for all k in [1, limit], by a divisor sieve in O(limit log limit).
+/// Entry [0] is unused (index k holds delta(k)); throws OverflowError if
+/// `limit` is large enough that the table would not fit in memory anyway.
+std::vector<std::uint32_t> divisor_count_sieve(index_t limit);
+
+/// Exact D(n) = sum_{k=1}^{n} delta(k) = #{(x,y) in N^2 : xy <= n},
+/// via the Dirichlet hyperbola method in O(sqrt(n)) time:
+///     D(n) = 2 * sum_{i=1}^{floor(sqrt n)} floor(n/i)  -  floor(sqrt n)^2.
+/// D(0) == 0.
+index_t divisor_summatory(index_t n);
+
+/// The smallest N >= 1 with divisor_summatory(N) >= z, for z >= 1.
+/// This is the hyperbolic-shell lookup of H^{-1}: value z lives on shell
+/// xy = N. Binary search over the O(sqrt n) summatory, so O(sqrt(z) log z).
+index_t summatory_lower_bound(index_t z);
+
+}  // namespace pfl::nt

@@ -1,0 +1,156 @@
+#include "numtheory/factorization.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace pfl::nt {
+
+index_t mulmod(index_t a, index_t b, index_t m) {
+  if (m == 0) throw DomainError("mulmod: modulus must be positive");
+  return static_cast<index_t>((u128(a) * b) % m);
+}
+
+index_t powmod(index_t a, index_t e, index_t m) {
+  if (m == 0) throw DomainError("powmod: modulus must be positive");
+  index_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) result = mulmod(result, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+// One Miller-Rabin round; returns true if n passes for witness a.
+bool miller_rabin_round(index_t n, index_t a, index_t d, unsigned r) {
+  index_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+index_t gcd64(index_t a, index_t b) { return std::gcd(a, b); }
+
+// Brent's cycle-finding variant of Pollard's rho. Returns a nontrivial
+// factor of composite odd n (may be composite itself), or n itself on a
+// failed round (caller retries with a different seed).
+index_t pollard_brent(index_t n, index_t seed) {
+  if (n % 2 == 0) return 2;
+  const index_t c = 1 + seed % (n - 1);
+  // f(v) = v^2 + c (mod n), computed without 64-bit overflow.
+  const auto advance = [n, c](index_t v) {
+    return static_cast<index_t>((u128(v) * v + c) % n);
+  };
+  index_t x = 2 + seed % (n - 3);
+  index_t y = x, d = 1, saved = y;
+  const index_t step = 128;
+  for (index_t limit = 1; d == 1; limit *= 2) {
+    x = y;
+    for (index_t i = 0; i < limit; ++i) y = advance(y);
+    for (index_t i = 0; i < limit && d == 1; i += step) {
+      saved = y;
+      index_t prod = 1;
+      const index_t inner = std::min<index_t>(step, limit - i);
+      for (index_t j = 0; j < inner; ++j) {
+        y = advance(y);
+        prod = mulmod(prod, x > y ? x - y : y - x, n);
+      }
+      d = gcd64(prod, n);
+    }
+  }
+  if (d == n) {
+    // The batched gcd collapsed; replay one step at a time from `saved`.
+    d = 1;
+    y = saved;
+    while (d == 1) {
+      y = advance(y);
+      if (x == y) return n;  // true cycle without a factor: retry caller
+      d = gcd64(x > y ? x - y : y - x, n);
+    }
+  }
+  return d;
+}
+
+void factor_into(index_t n, std::vector<index_t>& primes) {
+  if (n == 1) return;
+  if (is_prime(n)) {
+    primes.push_back(n);
+    return;
+  }
+  index_t d = n;
+  for (index_t seed = 1; d == n; ++seed) d = pollard_brent(n, seed * 0x9E3779B97F4A7C15ull);
+  factor_into(d, primes);
+  factor_into(n / d, primes);
+}
+
+}  // namespace
+
+bool is_prime(index_t n) {
+  if (n < 2) return false;
+  for (index_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  index_t d = n - 1;
+  unsigned r = 0;
+  while (d % 2 == 0) {
+    d /= 2;
+    ++r;
+  }
+  for (index_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (!miller_rabin_round(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::vector<PrimePower> factor(index_t n) {
+  if (n == 0) throw DomainError("factor: argument must be positive");
+  std::vector<index_t> primes;
+  // Strip small primes first; rho only sees hard cores.
+  for (index_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    while (n % p == 0) {
+      primes.push_back(p);
+      n /= p;
+    }
+  }
+  factor_into(n, primes);
+  std::sort(primes.begin(), primes.end());
+  std::vector<PrimePower> out;
+  for (index_t p : primes) {
+    if (!out.empty() && out.back().prime == p) {
+      ++out.back().exponent;
+    } else {
+      out.push_back({p, 1});
+    }
+  }
+  return out;
+}
+
+std::vector<index_t> divisors(index_t n) {
+  const auto pps = factor(n);
+  std::vector<index_t> divs{1};
+  for (const auto& pp : pps) {
+    const std::size_t existing = divs.size();
+    index_t pe = 1;
+    for (unsigned e = 1; e <= pp.exponent; ++e) {
+      pe *= pp.prime;
+      for (std::size_t i = 0; i < existing; ++i) divs.push_back(divs[i] * pe);
+    }
+  }
+  std::sort(divs.begin(), divs.end());
+  return divs;
+}
+
+index_t divisor_count(index_t n) {
+  index_t count = 1;
+  for (const auto& pp : factor(n)) count *= pp.exponent + 1;
+  return count;
+}
+
+}  // namespace pfl::nt

@@ -1,0 +1,48 @@
+// Integer factorization for 64-bit values.
+//
+// The hyperbolic pairing function H (eq. 3.4) ranks a position <x, y> among
+// the 2-part factorizations of N = x*y, and its inverse must *enumerate*
+// the divisors of N. Supporting arbitrary 64-bit shells therefore needs a
+// real factorizer: deterministic Miller-Rabin for primality plus Brent's
+// variant of Pollard's rho for splitting.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pfl::nt {
+
+/// A prime power p^e in a factorization.
+struct PrimePower {
+  index_t prime = 0;
+  unsigned exponent = 0;
+
+  friend bool operator==(const PrimePower&, const PrimePower&) = default;
+};
+
+/// (a * b) mod m without overflow, for any 64-bit operands.
+index_t mulmod(index_t a, index_t b, index_t m);
+
+/// (a ^ e) mod m.
+index_t powmod(index_t a, index_t e, index_t m);
+
+/// Deterministic Miller-Rabin, correct for all 64-bit inputs
+/// (uses the standard 12-witness set {2, 3, 5, ..., 37}).
+bool is_prime(index_t n);
+
+/// Prime factorization of n >= 1, sorted by prime. factor(1) == {}.
+std::vector<PrimePower> factor(index_t n);
+
+/// All divisors of n >= 1, in increasing order.
+/// The k-th divisor d (descending) is exactly the row x of the k-th
+/// 2-part factorization <x, n/x> of n in the paper's "reverse
+/// lexicographic" order (verified against Fig. 4).
+std::vector<index_t> divisors(index_t n);
+
+/// The number-of-divisors function delta(n) of Section 3.2.3.
+index_t divisor_count(index_t n);
+
+}  // namespace pfl::nt

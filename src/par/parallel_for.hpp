@@ -1,0 +1,89 @@
+// parallel_for / parallel_reduce over integer ranges.
+//
+// Work is split into contiguous chunks claimed dynamically from an atomic
+// cursor, so irregular per-index cost (e.g. the divisor computations inside
+// hyperbolic-PF scans) balances automatically. Exceptions thrown by the body
+// propagate to the caller through the futures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace pfl::par {
+
+/// Calls body(i) for every i in [begin, end), in parallel.
+/// `grain` is the chunk size claimed per worker round-trip.
+template <class Body>
+void parallel_for(std::uint64_t begin, std::uint64_t end, Body&& body,
+                  std::uint64_t grain = 1024, ThreadPool* pool = nullptr) {
+  if (begin >= end) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (grain == 0) grain = 1;
+  const std::uint64_t total = end - begin;
+  const std::size_t workers =
+      static_cast<std::size_t>(std::min<std::uint64_t>(pool->size(), (total + grain - 1) / grain));
+  if (workers <= 1) {
+    for (std::uint64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<std::uint64_t> cursor{begin};
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool->submit([&cursor, end, grain, &body] {
+      for (;;) {
+        const std::uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= end) return;
+        const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+        for (std::uint64_t i = lo; i < hi; ++i) body(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first body exception
+}
+
+/// Folds body(i) over [begin, end) with a per-worker accumulator and a
+/// final sequential combine. `T` must be copyable; `combine(T&, const T&)`
+/// merges a worker-local partial into the running total.
+template <class T, class Body, class Combine>
+T parallel_reduce(std::uint64_t begin, std::uint64_t end, T identity, Body&& body,
+                  Combine&& combine, std::uint64_t grain = 1024,
+                  ThreadPool* pool = nullptr) {
+  if (begin >= end) return identity;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (grain == 0) grain = 1;
+  const std::uint64_t total = end - begin;
+  const std::size_t workers =
+      static_cast<std::size_t>(std::min<std::uint64_t>(pool->size(), (total + grain - 1) / grain));
+  if (workers <= 1) {
+    T acc = identity;
+    for (std::uint64_t i = begin; i < end; ++i) body(acc, i);
+    return acc;
+  }
+  std::atomic<std::uint64_t> cursor{begin};
+  std::vector<T> partials(workers, identity);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool->submit([&cursor, end, grain, &body, &partials, w] {
+      T local = partials[w];
+      for (;;) {
+        const std::uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= end) break;
+        const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+        for (std::uint64_t i = lo; i < hi; ++i) body(local, i);
+      }
+      partials[w] = std::move(local);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  T acc = identity;
+  for (auto& p : partials) combine(acc, p);
+  return acc;
+}
+
+}  // namespace pfl::par

@@ -1,0 +1,63 @@
+// A small fixed-size thread pool.
+//
+// Spread-function scans (Section 3.2), unit-density estimation and the
+// quadratic-polynomial search (Section 2), and multi-round WBC simulations
+// (Section 4) are all embarrassingly parallel sweeps; this pool is their
+// shared execution substrate. Design follows CP.* of the C++ Core
+// Guidelines: tasks communicate only through futures/atomics, the pool owns
+// its threads (RAII), and shutdown is deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pfl::par {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future observes its completion/exception.
+  template <class F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// The process-wide default pool (lazily constructed, never destroyed
+  /// before main exits).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace pfl::par

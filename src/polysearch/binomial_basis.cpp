@@ -1,0 +1,236 @@
+#include "polysearch/binomial_basis.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "par/parallel_for.hpp"
+
+namespace pfl::polysearch {
+
+namespace {
+
+// Signed coefficients of the falling factorial x(x-1)...(x-i+1) = i! C(x,i)
+// as a polynomial in x (index = power), for i = 0..4.
+constexpr std::int64_t kFalling[5][5] = {
+    {1, 0, 0, 0, 0},
+    {0, 1, 0, 0, 0},
+    {0, -1, 1, 0, 0},
+    {0, 2, -3, 1, 0},
+    {0, -6, 11, -6, 1},
+};
+
+constexpr std::int64_t kFactorial[5] = {1, 1, 2, 6, 24};
+
+/// C(x, i) exactly, i <= 4, without overflow for x <= 2^20.
+i128 binom_small(index_t x, int i) {
+  if (x < static_cast<index_t>(i)) return 0;
+  i128 prod = 1;
+  for (int k = 0; k < i; ++k) prod *= static_cast<i128>(x - static_cast<index_t>(k));
+  return prod / kFactorial[i];
+}
+
+}  // namespace
+
+BinomialPolynomial::BinomialPolynomial(int degree) : degree_(degree) {
+  if (degree < 0 || degree > kMaxDegree)
+    throw DomainError("BinomialPolynomial: degree out of range");
+}
+
+void BinomialPolynomial::set_coefficient(int i, int j, std::int64_t value) {
+  if (i < 0 || j < 0 || i + j > degree_)
+    throw DomainError("BinomialPolynomial: term exceeds degree");
+  a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = value;
+}
+
+i128 BinomialPolynomial::eval(index_t x, index_t y) const {
+  if (x > (index_t{1} << 20) || y > (index_t{1} << 20))
+    throw DomainError("BinomialPolynomial: coordinates capped at 2^20");
+  i128 acc = 0;
+  for (int i = 0; i <= degree_; ++i) {
+    const i128 cx = binom_small(x, i);
+    if (cx == 0 && i > 0) continue;
+    for (int j = 0; i + j <= degree_; ++j) {
+      const std::int64_t c = a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (c == 0) continue;
+      acc += i128(c) * cx * binom_small(y, j);
+    }
+  }
+  return acc;
+}
+
+std::string BinomialPolynomial::to_string() const {
+  std::string out;
+  const auto term_name = [](int i, int j) -> std::string {
+    std::string s;
+    if (i == 1) s += "x";
+    else if (i > 1) s += "C(x," + std::to_string(i) + ")";
+    if (j == 1) s += "y";
+    else if (j > 1) s += "C(y," + std::to_string(j) + ")";
+    return s;
+  };
+  for (int d = degree_; d >= 0; --d) {
+    for (int i = d; i >= 0; --i) {
+      const int j = d - i;
+      const std::int64_t c = a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (c == 0) continue;
+      if (!out.empty()) out += c > 0 ? " + " : " - ";
+      else if (c < 0) out += "-";
+      const std::int64_t mag = c < 0 ? -c : c;
+      const std::string name = term_name(i, j);
+      if (mag != 1 || name.empty()) out += std::to_string(mag);
+      out += name;
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+BivariatePolynomial BinomialPolynomial::to_monomial_basis() const {
+  // Common denominator 24 clears every i! j! with i + j <= 4.
+  BivariatePolynomial mono(degree_, 24);
+  std::array<std::array<std::int64_t, kMaxDegree + 1>, kMaxDegree + 1> num{};
+  for (int i = 0; i <= degree_; ++i)
+    for (int j = 0; i + j <= degree_; ++j) {
+      const std::int64_t c = a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (c == 0) continue;
+      const std::int64_t scale = 24 / (kFactorial[i] * kFactorial[j]);
+      for (int k = 0; k <= i; ++k)
+        for (int l = 0; l <= j; ++l)
+          num[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)] +=
+              c * scale * kFalling[i][k] * kFalling[j][l];
+    }
+  for (int k = 0; k <= degree_; ++k)
+    for (int l = 0; k + l <= degree_; ++l)
+      mono.set_coefficient(k, l, num[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)]);
+  return mono;
+}
+
+BinomialPolynomial BinomialPolynomial::cantor_diagonal() {
+  // D = C(x,2) + C(y,2) + xy - x + 1.
+  BinomialPolynomial p(2);
+  p.set_coefficient(2, 0, 1);
+  p.set_coefficient(0, 2, 1);
+  p.set_coefficient(1, 1, 1);
+  p.set_coefficient(1, 0, -1);
+  p.set_coefficient(0, 0, 1);
+  return p;
+}
+
+BinomialPolynomial BinomialPolynomial::cantor_twin() {
+  BinomialPolynomial p(2);
+  p.set_coefficient(2, 0, 1);
+  p.set_coefficient(0, 2, 1);
+  p.set_coefficient(1, 1, 1);
+  p.set_coefficient(0, 1, -1);
+  p.set_coefficient(0, 0, 1);
+  return p;
+}
+
+namespace {
+
+/// Shared candidacy passes for integer-valued candidates (integrality is
+/// structural in this basis, so only positivity/injectivity/coverage).
+Verdict check_values(const BinomialPolynomial& poly, const CheckConfig& config) {
+  std::unordered_set<index_t> seen;
+  seen.reserve(static_cast<std::size_t>(config.grid * config.grid));
+  const auto eval_addr = [&poly](index_t x, index_t y, Verdict& verdict) -> index_t {
+    const i128 v = poly.eval(x, y);
+    if (v <= 0) {
+      verdict = Verdict::kNonPositive;
+      return 0;
+    }
+    if (v > i128(~std::uint64_t{0})) return static_cast<index_t>(~std::uint64_t{0});
+    return static_cast<index_t>(v);
+  };
+  Verdict verdict = Verdict::kPass;
+  for (index_t x = 1; x <= config.grid; ++x)
+    for (index_t y = 1; y <= config.grid; ++y) {
+      const index_t v = eval_addr(x, y, verdict);
+      if (v == 0) return verdict;
+      if (!seen.insert(v).second) return Verdict::kCollision;
+    }
+  for (index_t k = 1; k <= config.coverage_prefix; ++k)
+    if (!seen.count(k)) return Verdict::kCoverageGap;
+  std::unordered_set<index_t> strip;
+  for (index_t x = 1; x <= config.strip_length; ++x)
+    for (index_t y = 1; y <= 2; ++y) {
+      const index_t v = eval_addr(x, y, verdict);
+      if (v == 0) return verdict;
+      if (!strip.insert(v).second) return Verdict::kCollision;
+    }
+  strip.clear();
+  for (index_t y = 1; y <= config.strip_length; ++y)
+    for (index_t x = 1; x <= 2; ++x) {
+      const index_t v = eval_addr(x, y, verdict);
+      if (v == 0) return verdict;
+      if (!strip.insert(v).second) return Verdict::kCollision;
+    }
+  return Verdict::kPass;
+}
+
+Verdict quick_values(const BinomialPolynomial& poly) {
+  std::array<index_t, 16> values{};
+  std::size_t count = 0;
+  for (index_t x = 1; x <= 4; ++x)
+    for (index_t y = 1; y <= 4; ++y) {
+      const i128 v = poly.eval(x, y);
+      if (v <= 0) return Verdict::kNonPositive;
+      if (v > i128(~std::uint64_t{0})) return Verdict::kCoverageGap;
+      const auto value = static_cast<index_t>(v);
+      for (std::size_t k = 0; k < count; ++k)
+        if (values[k] == value) return Verdict::kCollision;
+      values[count++] = value;
+    }
+  return Verdict::kPass;
+}
+
+}  // namespace
+
+Verdict check_binomial_candidate(const BinomialPolynomial& poly,
+                                 const CheckConfig& config) {
+  return check_values(poly, config);
+}
+
+BinomialSearchStats search_binomial_quadratics(std::int64_t bound,
+                                               const CheckConfig& config) {
+  if (bound < 1)
+    throw DomainError("search_binomial_quadratics: bound must be >= 1");
+  // Coefficient order: a20, a02, a11, a10, a01, a00.
+  const std::uint64_t radix = static_cast<std::uint64_t>(2 * bound + 1);
+  std::uint64_t total = 1;
+  for (int i = 0; i < 6; ++i) total *= radix;
+
+  return par::parallel_reduce<BinomialSearchStats>(
+      0, total, BinomialSearchStats{},
+      [&](BinomialSearchStats& local, std::uint64_t flat) {
+        BinomialPolynomial poly(2);
+        const int is[6] = {2, 0, 1, 1, 0, 0};
+        const int js[6] = {0, 2, 1, 0, 1, 0};
+        std::uint64_t rest = flat;
+        for (int m = 0; m < 6; ++m) {
+          poly.set_coefficient(is[m], js[m],
+                               static_cast<std::int64_t>(rest % radix) - bound);
+          rest /= radix;
+        }
+        ++local.candidates;
+        Verdict v = quick_values(poly);
+        if (v == Verdict::kPass) v = check_values(poly, config);
+        switch (v) {
+          case Verdict::kPass: local.survivors.push_back(poly); break;
+          case Verdict::kNonPositive: ++local.non_positive; break;
+          case Verdict::kCollision: ++local.collisions; break;
+          case Verdict::kCoverageGap: ++local.coverage_gaps; break;
+          case Verdict::kNonIntegral: break;  // impossible in this basis
+        }
+      },
+      [](BinomialSearchStats& acc, const BinomialSearchStats& part) {
+        acc.candidates += part.candidates;
+        acc.non_positive += part.non_positive;
+        acc.collisions += part.collisions;
+        acc.coverage_gaps += part.coverage_gaps;
+        acc.survivors.insert(acc.survivors.end(), part.survivors.begin(),
+                             part.survivors.end());
+      },
+      /*grain=*/1024);
+}
+
+}  // namespace pfl::polysearch

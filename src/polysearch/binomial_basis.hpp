@@ -1,0 +1,85 @@
+// Integer-valued polynomials in the binomial basis.
+//
+// The coefficient-box search in search.hpp enumerates polynomials with
+// numerators over a fixed denominator -- which covers Cantor's
+// half-integer-coefficient D but samples the space of integer-valued
+// polynomials unevenly. The classically complete parameterization is the
+// BINOMIAL BASIS: a polynomial takes integer values on all integers iff
+//
+//     P(x, y) = sum_{i,j} a_ij * C(x, i) * C(y, j),   a_ij in Z
+//
+// (products of binomial coefficients; Polya). Searching integer boxes of
+// a_ij therefore covers EVERY integer-valued polynomial of the given
+// degree up to the box bound -- a strictly stronger sweep for the
+// Section 2 uniqueness question. In this basis Cantor's polynomial is
+//
+//     D = C(x,2) + C(y,2) + xy - x + 1
+//
+// i.e. (a20,a02,a11,a10,a01,a00) = (1,1,1,-1,0,1), and its twin swaps the
+// linear terms to (0,-1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "polysearch/checker.hpp"
+
+namespace pfl::polysearch {
+
+/// Bivariate polynomial sum a_ij C(x,i) C(y,j), total degree <= 4.
+class BinomialPolynomial {
+ public:
+  static constexpr int kMaxDegree = 4;
+
+  BinomialPolynomial() = default;
+  explicit BinomialPolynomial(int degree);
+
+  int degree() const { return degree_; }
+  std::int64_t coefficient(int i, int j) const { return a_[i][j]; }
+  void set_coefficient(int i, int j, std::int64_t value);
+
+  /// Exact value at (x, y) -- always an integer by construction; may be
+  /// non-positive or huge, which the checker classifies.
+  i128 eval(index_t x, index_t y) const;
+
+  /// Human-readable form, e.g. "C(x,2) + C(y,2) + xy - x + 1".
+  std::string to_string() const;
+
+  /// Conversion to the monomial-basis representation (denominator i!j!
+  /// products cleared); used to cross-check the two search spaces.
+  BivariatePolynomial to_monomial_basis() const;
+
+  static BinomialPolynomial cantor_diagonal();
+  static BinomialPolynomial cantor_twin();
+
+  friend bool operator==(const BinomialPolynomial&, const BinomialPolynomial&) = default;
+
+ private:
+  int degree_ = 0;
+  std::array<std::array<std::int64_t, kMaxDegree + 1>, kMaxDegree + 1> a_{};
+};
+
+/// PF-candidacy check in the binomial basis (same passes as
+/// check_pf_candidate: positivity, injectivity on grid + strips, prefix
+/// coverage; integrality holds by construction).
+Verdict check_binomial_candidate(const BinomialPolynomial& poly,
+                                 const CheckConfig& config = {});
+
+struct BinomialSearchStats {
+  std::uint64_t candidates = 0;
+  std::uint64_t non_positive = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t coverage_gaps = 0;
+  std::vector<BinomialPolynomial> survivors;
+};
+
+/// Exhaustive search over ALL integer-valued quadratics with binomial-basis
+/// coefficients in [-bound, bound]. With bound >= 1 the box contains D and
+/// its twin; the expected survivor set is exactly {D, twin}.
+BinomialSearchStats search_binomial_quadratics(std::int64_t bound,
+                                               const CheckConfig& config = {});
+
+}  // namespace pfl::polysearch

@@ -1,0 +1,54 @@
+// PF-candidacy checking and density estimation for polynomials
+// (the computational content of Section 2's uniqueness discussion).
+//
+// A finite computation cannot *prove* a polynomial is a bijection on all
+// of N x N, but it can refute one, and the checks here refute everything
+// except genuine PFs in practice:
+//
+//   1. integrality / positivity on a grid (a PF maps into N);
+//   2. injectivity on the grid AND on long thin strips (catches linear
+//      impostors like x + G(y-1) whose first collision lies off the
+//      square grid);
+//   3. prefix coverage: every integer 1..K must be attained on the grid
+//      (a bijection's small values have small preimages for polynomials
+//      with positive definite growth).
+//
+// The expected outcome, matching Fueter-Polya [4] and Lew-Rosenberg [7,8]:
+// within any searched coefficient box, the only quadratic survivors are
+// Cantor's D and its twin, and no candidate with a nonzero cubic or
+// quartic part survives at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "polysearch/polynomial.hpp"
+
+namespace pfl::polysearch {
+
+enum class Verdict {
+  kPass,          ///< consistent with being a PF (not a proof)
+  kNonIntegral,   ///< some value is not a positive integer
+  kNonPositive,
+  kCollision,     ///< two positions share a value
+  kCoverageGap,   ///< some integer in 1..K is never attained
+};
+
+const char* verdict_name(Verdict v);
+
+struct CheckConfig {
+  index_t grid = 40;         ///< square grid side for injectivity+coverage
+  index_t strip_length = 2000;///< length of the 2-row / 2-column strips
+  index_t coverage_prefix = 40;///< K: integers 1..K must all be attained
+};
+
+/// Full candidacy check; returns the first failure found (cheapest first).
+Verdict check_pf_candidate(const BivariatePolynomial& poly,
+                           const CheckConfig& config = {});
+
+/// Unit-density estimate (Section 2, item 2 / [7]): the number of lattice
+/// points with P(x, y) <= n, divided by n. A PF has density exactly 1;
+/// super-quadratic polynomials have density -> 0 (the "large gaps").
+double unit_density(const BivariatePolynomial& poly, index_t n);
+
+}  // namespace pfl::polysearch

@@ -1,0 +1,109 @@
+#include "polysearch/polynomial.hpp"
+
+#include <limits>
+
+namespace pfl::polysearch {
+
+BivariatePolynomial::BivariatePolynomial(int degree, std::int64_t denominator)
+    : degree_(degree), den_(denominator) {
+  if (degree < 0 || degree > kMaxDegree)
+    throw DomainError("BivariatePolynomial: degree out of range");
+  if (denominator <= 0)
+    throw DomainError("BivariatePolynomial: denominator must be positive");
+}
+
+void BivariatePolynomial::set_coefficient(int i, int j, std::int64_t numerator) {
+  if (i < 0 || j < 0 || i + j > degree_)
+    throw DomainError("BivariatePolynomial: monomial exceeds degree");
+  num_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = numerator;
+}
+
+bool BivariatePolynomial::has_degree_terms(int d) const {
+  for (int i = 0; i <= d; ++i) {
+    const int j = d - i;
+    if (i <= kMaxDegree && j >= 0 && j <= kMaxDegree &&
+        num_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] != 0)
+      return true;
+  }
+  return false;
+}
+
+i128 BivariatePolynomial::eval_scaled(index_t x, index_t y) const {
+  if (x > (index_t{1} << 20) || y > (index_t{1} << 20))
+    throw DomainError("BivariatePolynomial: coordinates capped at 2^20");
+  // Powers fit easily: (2^20)^4 = 2^80, times |num| <= 2^63: < 2^144?
+  // No -- cap numerators implicitly: callers use small boxes; the product
+  // |num| * x^i * y^j stays far below 2^127 for |num| < 2^40.
+  i128 acc = 0;
+  i128 xpow = 1;
+  for (int i = 0; i <= degree_; ++i) {
+    i128 ypow = 1;
+    for (int j = 0; i + j <= degree_; ++j) {
+      const std::int64_t c =
+          num_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (c != 0) acc += i128(c) * xpow * ypow;
+      ypow *= static_cast<i128>(y);
+    }
+    xpow *= static_cast<i128>(x);
+  }
+  return acc;
+}
+
+std::optional<index_t> BivariatePolynomial::eval_as_address(index_t x,
+                                                            index_t y) const {
+  const i128 scaled = eval_scaled(x, y);
+  if (scaled <= 0) return std::nullopt;
+  if (scaled % den_ != 0) return std::nullopt;
+  const i128 value = scaled / den_;
+  if (value > i128(std::numeric_limits<index_t>::max())) return std::nullopt;
+  return static_cast<index_t>(value);
+}
+
+std::string BivariatePolynomial::to_string() const {
+  std::string out;
+  for (int d = degree_; d >= 0; --d) {
+    for (int i = d; i >= 0; --i) {
+      const int j = d - i;
+      const std::int64_t c =
+          num_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (c == 0) continue;
+      if (!out.empty()) out += c > 0 ? " + " : " - ";
+      else if (c < 0) out += "-";
+      const std::int64_t a = c < 0 ? -c : c;
+      std::string mono;
+      if (i > 0) mono += "x" + (i > 1 ? "^" + std::to_string(i) : "");
+      if (j > 0) mono += "y" + (j > 1 ? "^" + std::to_string(j) : "");
+      if (a != 1 || mono.empty()) out += std::to_string(a);
+      out += mono;
+    }
+  }
+  if (out.empty()) out = "0";
+  if (den_ != 1) out = "(" + out + ")/" + std::to_string(den_);
+  return out;
+}
+
+BivariatePolynomial BivariatePolynomial::cantor_diagonal() {
+  // D(x,y) = (x+y-1)(x+y-2)/2 + y = (x^2 + 2xy + y^2 - 3x - y + 2) / 2.
+  BivariatePolynomial p(2, 2);
+  p.set_coefficient(2, 0, 1);
+  p.set_coefficient(1, 1, 2);
+  p.set_coefficient(0, 2, 1);
+  p.set_coefficient(1, 0, -3);
+  p.set_coefficient(0, 1, -1);
+  p.set_coefficient(0, 0, 2);
+  return p;
+}
+
+BivariatePolynomial BivariatePolynomial::cantor_twin() {
+  // The twin exchanges x and y: (x^2 + 2xy + y^2 - x - 3y + 2) / 2.
+  BivariatePolynomial p(2, 2);
+  p.set_coefficient(2, 0, 1);
+  p.set_coefficient(1, 1, 2);
+  p.set_coefficient(0, 2, 1);
+  p.set_coefficient(1, 0, -1);
+  p.set_coefficient(0, 1, -3);
+  p.set_coefficient(0, 0, 2);
+  return p;
+}
+
+}  // namespace pfl::polysearch

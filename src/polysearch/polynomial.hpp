@@ -1,0 +1,60 @@
+// Bivariate polynomials with rational coefficients, for the Section 2
+// question: which polynomials are pairing functions?
+//
+// Coefficients are stored as integer numerators over a common denominator
+// (Cantor's D = ((x+y)^2 - x - 3y + 2) / 2 has denominator 2). Evaluation
+// is exact 128-bit integer arithmetic; callers learn whether the value is
+// integral, positive and within 64 bits.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace pfl::polysearch {
+
+/// Dense bivariate polynomial of total degree <= kMaxDegree.
+/// num[i][j] is the numerator of the x^i y^j coefficient.
+class BivariatePolynomial {
+ public:
+  static constexpr int kMaxDegree = 4;
+
+  BivariatePolynomial() = default;
+  BivariatePolynomial(int degree, std::int64_t denominator);
+
+  int degree() const { return degree_; }
+  std::int64_t denominator() const { return den_; }
+
+  std::int64_t coefficient(int i, int j) const { return num_[i][j]; }
+  void set_coefficient(int i, int j, std::int64_t numerator);
+
+  /// True iff some monomial of total degree exactly d is nonzero.
+  bool has_degree_terms(int d) const;
+
+  /// Exact value * denominator at (x, y), in 128 bits.
+  /// Coordinates are bounded (x, y <= 2^20) so no intermediate overflow.
+  i128 eval_scaled(index_t x, index_t y) const;
+
+  /// The polynomial's value at (x, y) if it is a positive integer fitting
+  /// in 64 bits; nullopt otherwise (non-integral, <= 0, or too large).
+  std::optional<index_t> eval_as_address(index_t x, index_t y) const;
+
+  /// Human-readable form, e.g. "(x^2 + 2xy + y^2 - x - 3y + 2)/2".
+  std::string to_string() const;
+
+  /// Cantor's diagonal polynomial D (eq. 2.1) and its twin, as the
+  /// expected survivors of the quadratic search.
+  static BivariatePolynomial cantor_diagonal();
+  static BivariatePolynomial cantor_twin();
+
+  friend bool operator==(const BivariatePolynomial&, const BivariatePolynomial&) = default;
+
+ private:
+  int degree_ = 0;
+  std::int64_t den_ = 1;
+  std::array<std::array<std::int64_t, kMaxDegree + 1>, kMaxDegree + 1> num_{};
+};
+
+}  // namespace pfl::polysearch

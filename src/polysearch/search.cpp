@@ -1,0 +1,114 @@
+#include "polysearch/search.hpp"
+
+#include <array>
+#include <utility>
+
+#include "par/parallel_for.hpp"
+
+namespace pfl::polysearch {
+
+namespace {
+
+/// Monomials (i, j) of total degree <= deg, leading degree first so that
+/// "nonzero leading part" is a prefix test on the coefficient tuple.
+std::vector<std::pair<int, int>> monomials(int deg) {
+  std::vector<std::pair<int, int>> out;
+  for (int d = deg; d >= 0; --d)
+    for (int i = d; i >= 0; --i) out.push_back({i, d - i});
+  return out;
+}
+
+/// Allocation-free fast rejection on a 4x4 grid: integral, positive,
+/// pairwise distinct. Classifies the failure for the stats.
+Verdict quick_check(const BivariatePolynomial& poly) {
+  std::array<index_t, 16> values{};
+  std::size_t count = 0;
+  for (index_t x = 1; x <= 4; ++x)
+    for (index_t y = 1; y <= 4; ++y) {
+      const i128 scaled = poly.eval_scaled(x, y);
+      if (scaled <= 0) return Verdict::kNonPositive;
+      if (scaled % poly.denominator() != 0) return Verdict::kNonIntegral;
+      const i128 v = scaled / poly.denominator();
+      if (v > i128(~std::uint64_t{0})) return Verdict::kCoverageGap;
+      const auto value = static_cast<index_t>(v);
+      for (std::size_t k = 0; k < count; ++k)
+        if (values[k] == value) return Verdict::kCollision;
+      values[count++] = value;
+    }
+  return Verdict::kPass;
+}
+
+void tally(SearchStats& stats, Verdict v, const BivariatePolynomial& poly) {
+  switch (v) {
+    case Verdict::kPass:
+      stats.survivors.push_back(poly);
+      break;
+    case Verdict::kNonIntegral: ++stats.non_integral; break;
+    case Verdict::kNonPositive: ++stats.non_positive; break;
+    case Verdict::kCollision: ++stats.collisions; break;
+    case Verdict::kCoverageGap: ++stats.coverage_gaps; break;
+  }
+}
+
+/// Exhaustive box search over all coefficient tuples with numerators in
+/// [-bound, bound]. `leading_terms` > 0 requires at least one of the
+/// first `leading_terms` coefficients (the degree-d monomials) nonzero.
+SearchStats search_box(int degree, std::int64_t bound, std::int64_t den,
+                       const CheckConfig& config, std::size_t leading_terms) {
+  const auto monos = monomials(degree);
+  const std::uint64_t radix = static_cast<std::uint64_t>(2 * bound + 1);
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < monos.size(); ++i) total *= radix;
+
+  auto stats = par::parallel_reduce<SearchStats>(
+      0, total, SearchStats{},
+      [&](SearchStats& local, std::uint64_t flat) {
+        BivariatePolynomial poly(degree, den);
+        bool leading_nonzero = leading_terms == 0;
+        std::uint64_t rest = flat;
+        for (std::size_t m = 0; m < monos.size(); ++m) {
+          const std::int64_t c =
+              static_cast<std::int64_t>(rest % radix) - bound;
+          rest /= radix;
+          poly.set_coefficient(monos[m].first, monos[m].second, c);
+          if (m < leading_terms && c != 0) leading_nonzero = true;
+        }
+        if (!leading_nonzero) return;
+        ++local.candidates;
+        Verdict v = quick_check(poly);
+        if (v == Verdict::kPass) v = check_pf_candidate(poly, config);
+        tally(local, v, poly);
+      },
+      [](SearchStats& acc, const SearchStats& part) {
+        acc.candidates += part.candidates;
+        acc.non_integral += part.non_integral;
+        acc.non_positive += part.non_positive;
+        acc.collisions += part.collisions;
+        acc.coverage_gaps += part.coverage_gaps;
+        acc.survivors.insert(acc.survivors.end(), part.survivors.begin(),
+                             part.survivors.end());
+      },
+      /*grain=*/4096);
+  return stats;
+}
+
+}  // namespace
+
+SearchStats search_quadratics(std::int64_t bound, std::int64_t den,
+                              const CheckConfig& config) {
+  if (bound < 1) throw DomainError("search_quadratics: bound must be >= 1");
+  return search_box(2, bound, den, config, /*leading_terms=*/0);
+}
+
+SearchStats search_superquadratics(int degree, std::int64_t bound,
+                                   std::int64_t den,
+                                   const CheckConfig& config) {
+  if (degree != 3 && degree != 4)
+    throw DomainError("search_superquadratics: degree must be 3 or 4");
+  if (bound < 1) throw DomainError("search_superquadratics: bound must be >= 1");
+  // The degree-d monomials come first in monomials(); there are d+1 of them.
+  return search_box(degree, bound, den, config,
+                    static_cast<std::size_t>(degree) + 1);
+}
+
+}  // namespace pfl::polysearch

@@ -1,0 +1,48 @@
+// Exhaustive coefficient-box searches for polynomial pairing functions.
+//
+// Section 2's state of knowledge, reproduced computationally:
+//   item 1 (Fueter-Polya): within the searched box, the only quadratic
+//          survivors are Cantor's D and its twin;
+//   item 3 (Lew-Rosenberg): no candidate with a nonzero cubic or quartic
+//          part survives;
+//   item 4: super-quadratic polynomials with all-positive coefficients
+//          fail immediately (coverage gaps -- their range is too sparse).
+//
+// The searches are bounded (finite coefficient boxes, finite grids); that
+// bound is the honest computational analogue of the open question the
+// paper poses. Boxes are parallelized over the leading coefficients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "polysearch/checker.hpp"
+#include "polysearch/polynomial.hpp"
+
+namespace pfl::polysearch {
+
+struct SearchStats {
+  std::uint64_t candidates = 0;    ///< total coefficient tuples visited
+  std::uint64_t non_integral = 0;
+  std::uint64_t non_positive = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t coverage_gaps = 0;
+  std::vector<BivariatePolynomial> survivors;
+};
+
+/// Searches all quadratics (a x^2 + b xy + c y^2 + d x + e y + f) / den
+/// with numerators in [-bound, bound]. With bound >= 3 and den = 2 the box
+/// contains Cantor's polynomials; the expected survivor set is exactly
+/// {D, twin}.
+SearchStats search_quadratics(std::int64_t bound, std::int64_t den = 2,
+                              const CheckConfig& config = {});
+
+/// Searches polynomials of total degree `degree` (3 or 4) with numerators
+/// in [-bound, bound] over denominator `den`, REQUIRING a nonzero leading
+/// (degree-d) part -- pure lower-degree polynomials are excluded so the
+/// result speaks to Section 2 item 3. Expected survivors: none.
+SearchStats search_superquadratics(int degree, std::int64_t bound,
+                                   std::int64_t den = 2,
+                                   const CheckConfig& config = {});
+
+}  // namespace pfl::polysearch

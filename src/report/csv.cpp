@@ -1,0 +1,47 @@
+#include "report/csv.hpp"
+
+#include <sstream>
+
+namespace pfl::report {
+
+namespace {
+
+void write_field(std::ostream& out, const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+void write_row(std::ostream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    write_field(out, row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  write_row(out, header);
+  for (const auto& row : rows) write_row(out, row);
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  write_csv(out, header, rows);
+  return out.str();
+}
+
+}  // namespace pfl::report

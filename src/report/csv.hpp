@@ -1,0 +1,20 @@
+// CSV export for benchmark series -- so the harness's paper-table data can
+// be re-plotted externally (gnuplot/pandas) without re-running anything.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pfl::report {
+
+/// Writes header + rows as RFC-4180-ish CSV: fields containing commas,
+/// quotes or newlines are double-quoted with quotes doubled.
+void write_csv(std::ostream& out, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Convenience: the CSV as a string.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace pfl::report

@@ -1,0 +1,66 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfl::report {
+
+namespace {
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace
+
+std::string render_grid(const PairingFunction& pf, index_t rows, index_t cols,
+                        const ShellPredicate& highlight) {
+  std::vector<std::vector<std::string>> cells(static_cast<std::size_t>(rows));
+  std::size_t width = 0;
+  for (index_t x = 1; x <= rows; ++x) {
+    auto& row = cells[static_cast<std::size_t>(x - 1)];
+    row.reserve(static_cast<std::size_t>(cols));
+    for (index_t y = 1; y <= cols; ++y) {
+      std::string cell = std::to_string(pf.pair(x, y));
+      if (highlight && highlight(x, y)) cell = "[" + cell + "]";
+      width = std::max(width, cell.size());
+      row.push_back(std::move(cell));
+    }
+  }
+  std::ostringstream out;
+  for (const auto& row : cells) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out << "  ";
+      out << pad_left(row[j], width);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t j = 0; j < header.size(); ++j) widths[j] = header[j].size();
+  for (const auto& row : rows)
+    for (std::size_t j = 0; j < row.size() && j < widths.size(); ++j)
+      widths[j] = std::max(widths[j], row[j].size());
+
+  std::ostringstream out;
+  const auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (std::size_t j = 0; j < row.size() && j < widths.size(); ++j) {
+      if (j > 0) out << "  ";
+      out << pad_left(row[j], widths[j]);
+    }
+    out << '\n';
+  };
+  emit(header);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (widths.empty() ? 0 : widths.size() - 1), '-')
+      << '\n';
+  for (const auto& row : rows) emit(row);
+  return out.str();
+}
+
+}  // namespace pfl::report

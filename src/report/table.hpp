@@ -1,0 +1,28 @@
+// ASCII rendering of pairing-function samples in the paper's figure
+// layout (Fig. 1 template): rows are x = 1..R top to bottom, columns are
+// y = 1..C left to right, and an optional shell predicate highlights
+// member cells with brackets, mirroring the shaded shells of Figs. 2-4.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pairing_function.hpp"
+
+namespace pfl::report {
+
+/// Predicate selecting the highlighted shell, e.g. x + y == 6 for Fig. 2.
+using ShellPredicate = std::function<bool(index_t x, index_t y)>;
+
+/// Renders F(x, y) for x in 1..rows, y in 1..cols as an aligned grid.
+/// Highlighted cells are wrapped in [brackets].
+std::string render_grid(const PairingFunction& pf, index_t rows, index_t cols,
+                        const ShellPredicate& highlight = {});
+
+/// Renders a generic table: `header` above `rows`, columns right-aligned
+/// to their widest entry. Used by the bench harness for paper-style rows.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace pfl::report

@@ -1,0 +1,89 @@
+// The OTHER classical alternative the paper's Section 3 context implies:
+// static over-allocation. Declare hard maxima (MaxRows x MaxCols) up
+// front, lay the array out row-major inside that envelope, and "reshape"
+// by just moving the logical bounds -- zero element moves, O(1) address
+// arithmetic... and memory proportional to the DECLARED maximum rather
+// than the used cells, plus a hard wall when growth exceeds the guess.
+//
+// Same interface family as ExtendibleArray/NaiveRemapArray so benchmarks
+// can line all three up: the PF approach is exactly "bounded-array
+// address arithmetic without the bound".
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pfl::storage {
+
+template <class T>
+class BoundedArray {
+ public:
+  /// Hard maxima declared at construction; exceeded growth throws.
+  BoundedArray(index_t max_rows, index_t max_cols, index_t rows = 0,
+               index_t cols = 0)
+      : max_rows_(max_rows), max_cols_(max_cols), rows_(rows), cols_(cols),
+        buffer_(static_cast<std::size_t>(max_rows * max_cols)) {
+    if (max_rows == 0 || max_cols == 0)
+      throw DomainError("BoundedArray: maxima must be >= 1");
+    check_shape(rows, cols);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t max_rows() const { return max_rows_; }
+  index_t max_cols() const { return max_cols_; }
+
+  T& at(index_t x, index_t y) {
+    check_bounds(x, y);
+    return buffer_[offset(x, y)];
+  }
+  const T* get(index_t x, index_t y) const {
+    check_bounds(x, y);
+    return &buffer_[offset(x, y)];
+  }
+
+  /// O(1): only the logical bounds move. Throws past the declared maxima
+  /// -- the failure mode this strategy is infamous for. Shrinking does
+  /// not clear cells (they become unreachable, like 1970s runtimes).
+  index_t resize(index_t new_rows, index_t new_cols) {
+    check_shape(new_rows, new_cols);
+    rows_ = new_rows;
+    cols_ = new_cols;
+    return 0;
+  }
+
+  void append_row() { resize(rows_ + 1, cols_); }
+  void append_col() { resize(rows_, cols_ + 1); }
+
+  index_t element_moves() const { return 0; }
+
+  /// The whole point: the footprint is max_rows * max_cols, always.
+  index_t address_high_water() const { return max_rows_ * max_cols_; }
+  std::size_t bytes_reserved() const { return buffer_.capacity() * sizeof(T); }
+
+ private:
+  void check_shape(index_t r, index_t c) const {
+    if (r > max_rows_ || c > max_cols_)
+      throw DomainError("BoundedArray: shape " + std::to_string(r) + " x " +
+                        std::to_string(c) + " exceeds declared maxima " +
+                        std::to_string(max_rows_) + " x " +
+                        std::to_string(max_cols_));
+  }
+  void check_bounds(index_t x, index_t y) const {
+    if (x == 0 || y == 0 || x > rows_ || y > cols_)
+      throw DomainError("BoundedArray: position outside logical bounds");
+  }
+  std::size_t offset(index_t x, index_t y) const {
+    // Row-major within the MAXIMUM envelope, so reshapes never remap.
+    return static_cast<std::size_t>((x - 1) * max_cols_ + (y - 1));
+  }
+
+  index_t max_rows_;
+  index_t max_cols_;
+  index_t rows_;
+  index_t cols_;
+  std::vector<T> buffer_;
+};
+
+}  // namespace pfl::storage

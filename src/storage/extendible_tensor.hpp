@@ -1,0 +1,123 @@
+// k-dimensional extendible array (the paper, Section 3: "Extending this
+// work to higher dimensionalities is immediate"). Storage map = any 2-D PF
+// iterated through TuplePairing; the 2-D guarantees carry over verbatim:
+// growth along any dimension moves nothing, shrinking erases exactly the
+// dropped cells.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/tuple_pairing.hpp"
+#include "storage/sparse_store.hpp"
+
+namespace pfl::storage {
+
+template <class T>
+class ExtendibleTensor {
+ public:
+  /// An empty tensor with the given extents (all may be 0). Balanced
+  /// folding by default -- see TuplePairing for the compactness ablation.
+  ExtendibleTensor(PfPtr pf, std::vector<index_t> dims,
+                   TuplePairing::Fold fold = TuplePairing::Fold::kBalanced)
+      : pairing_(std::move(pf), dims.size(), fold), dims_(std::move(dims)) {
+    if (dims_.empty()) throw DomainError("ExtendibleTensor: rank must be >= 1");
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+  const std::vector<index_t>& dims() const { return dims_; }
+
+  T& at(std::span<const index_t> coords) {
+    check_bounds(coords);
+    return store_.at_or_default(pairing_.pair(coords));
+  }
+  T& at(std::initializer_list<index_t> coords) {
+    return at(std::span<const index_t>(coords.begin(), coords.size()));
+  }
+
+  const T* get(std::span<const index_t> coords) const {
+    check_bounds(coords);
+    return store_.get(pairing_.pair(coords));
+  }
+  const T* get(std::initializer_list<index_t> coords) const {
+    return get(std::span<const index_t>(coords.begin(), coords.size()));
+  }
+
+  /// Reshape to `new_dims` (same rank). Growth in any dimension moves
+  /// nothing; each dropped cell is erased exactly once, O(#dropped).
+  void resize(const std::vector<index_t>& new_dims) {
+    if (new_dims.size() != dims_.size())
+      throw DomainError("ExtendibleTensor: rank is immutable");
+    // Slab decomposition of (old box) \ (new box): for each dimension d,
+    // erase { x_i <= min(old,new)_i for i < d } x { new_d < x_d <= old_d }
+    //     x { x_i <= old_i for i > d }.
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+      if (new_dims[d] >= dims_[d]) continue;
+      std::vector<index_t> lo(dims_.size(), 1), hi(dims_.size());
+      for (std::size_t i = 0; i < dims_.size(); ++i)
+        hi[i] = i < d ? std::min(dims_[i], new_dims[i]) : dims_[i];
+      lo[d] = new_dims[d] + 1;
+      hi[d] = dims_[d];
+      erase_box(lo, hi);
+    }
+    dims_ = new_dims;
+  }
+
+  /// Grow/shrink one dimension by one (convenience edge operations).
+  void grow(std::size_t dim) {
+    auto next = dims_;
+    next.at(dim) += 1;
+    resize(next);
+  }
+  void shrink(std::size_t dim) {
+    auto next = dims_;
+    if (next.at(dim) == 0) throw DomainError("ExtendibleTensor: dimension empty");
+    next.at(dim) -= 1;
+    resize(next);
+  }
+
+  index_t element_moves() const { return 0; }
+  index_t reshape_work() const { return reshape_work_; }
+  index_t address_high_water() const { return store_.high_water(); }
+  std::size_t stored() const { return store_.size(); }
+  const TuplePairing& pairing() const { return pairing_; }
+
+ private:
+  void check_bounds(std::span<const index_t> coords) const {
+    if (coords.size() != dims_.size())
+      throw DomainError("ExtendibleTensor: wrong coordinate count");
+    for (std::size_t i = 0; i < coords.size(); ++i)
+      if (coords[i] == 0 || coords[i] > dims_[i])
+        throw DomainError("ExtendibleTensor: coordinate " + std::to_string(i) +
+                          " out of bounds");
+  }
+
+  void erase_box(const std::vector<index_t>& lo, const std::vector<index_t>& hi) {
+    for (std::size_t i = 0; i < lo.size(); ++i)
+      if (lo[i] > hi[i]) return;  // empty slab
+    std::vector<index_t> cursor = lo;
+    for (;;) {
+      if (store_.erase(pairing_.pair(cursor))) ++reshape_work_;
+      // Odometer increment.
+      std::size_t d = 0;
+      while (d < cursor.size()) {
+        if (cursor[d] < hi[d]) {
+          ++cursor[d];
+          break;
+        }
+        cursor[d] = lo[d];
+        ++d;
+      }
+      if (d == cursor.size()) return;
+    }
+  }
+
+  TuplePairing pairing_;
+  SparseStore<T> store_;
+  std::vector<index_t> dims_;
+  index_t reshape_work_ = 0;
+};
+
+}  // namespace pfl::storage

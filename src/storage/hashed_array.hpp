@@ -1,0 +1,155 @@
+// Position-hashed extendible array storage, after the "Aside" of
+// Section 3 (Rosenberg-Stockmeyer [14]): if one only ever accesses an
+// extendible array BY POSITION, a hashing scheme beats any PF --
+// regardless of aspect ratio it uses fewer than 2n memory locations for
+// an n-position array and answers accesses in expected O(1) time.
+//
+// Implementation (documented substitution, see DESIGN.md): open addressing
+// with linear probing and backward-shift deletion. Capacity grows by 7/5
+// when the load factor reaches 3/4, which maintains the paper's envelope
+//
+//     slots < 2n for all n >= 32   (derivation in grow())
+//
+// and keeps expected probe chains O(1). [14]'s O(log log n) worst-case
+// bound needs its bucketed rehashing machinery; here the worst case is
+// *measured* (max_probe()) rather than bounded, which is what the
+// benchmark reports alongside the paper's expected-time claim.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pfl::storage {
+
+template <class T>
+class HashedArray {
+ public:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  HashedArray() : slots_(kMinCapacity) {}
+
+  /// Insert or overwrite the element at position (x, y).
+  void put(index_t x, index_t y, T value) {
+    check(x, y);
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t i = locate(x, y);
+    if (!slots_[i]) {
+      slots_[i].emplace(Entry{x, y, std::move(value)});
+      ++size_;
+    } else {
+      slots_[i]->value = std::move(value);
+    }
+  }
+
+  /// Pointer to the element, or nullptr. Expected O(1).
+  const T* get(index_t x, index_t y) const {
+    check(x, y);
+    const std::size_t i = locate(x, y);
+    return slots_[i] ? &slots_[i]->value : nullptr;
+  }
+
+  T* get(index_t x, index_t y) {
+    return const_cast<T*>(static_cast<const HashedArray*>(this)->get(x, y));
+  }
+
+  /// Erase with backward-shift compaction (no tombstones, so probe
+  /// lengths never degrade). Returns true if an element was removed.
+  bool erase(index_t x, index_t y) {
+    check(x, y);
+    std::size_t i = locate(x, y);
+    if (!slots_[i]) return false;
+    slots_[i].reset();
+    --size_;
+    // Shift back any displaced successors.
+    std::size_t hole = i;
+    for (std::size_t j = next(i); slots_[j]; j = next(j)) {
+      const std::size_t home = index_for(slots_[j]->x, slots_[j]->y);
+      // Move into the hole if the hole lies cyclically between the
+      // element's home slot and its current slot.
+      const bool between = (hole >= home)
+                               ? (j > hole || j < home)
+                               : (j > hole && j < home);
+      if (between) {
+        slots_[hole] = std::move(slots_[j]);
+        slots_[j].reset();
+        hole = j;
+      }
+    }
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Total memory locations -- the paper's "< 2n" claim, verified by the
+  /// test suite for all n >= kMinCapacity.
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Longest probe chain observed by locate() so far (measured stand-in
+  /// for [14]'s O(log log n) worst-case bound).
+  std::size_t max_probe() const { return max_probe_; }
+
+ private:
+  struct Entry {
+    index_t x, y;
+    T value;
+  };
+
+  static void check(index_t x, index_t y) {
+    if (x == 0 || y == 0) throw DomainError("HashedArray: 1-based positions");
+  }
+
+  static std::uint64_t mix(index_t x, index_t y) {
+    std::uint64_t h = x * 0x9E3779B97F4A7C15ull;
+    h ^= y + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    return h;
+  }
+
+  std::size_t index_for(index_t x, index_t y) const {
+    return static_cast<std::size_t>(mix(x, y) % slots_.size());
+  }
+
+  std::size_t next(std::size_t i) const { return i + 1 < slots_.size() ? i + 1 : 0; }
+
+  /// Slot holding (x, y), or the empty slot where it would be inserted.
+  std::size_t locate(index_t x, index_t y) const {
+    std::size_t i = index_for(x, y);
+    std::size_t probes = 1;
+    while (slots_[i] && !(slots_[i]->x == x && slots_[i]->y == y)) {
+      i = next(i);
+      ++probes;
+    }
+    if (probes > max_probe_) max_probe_ = probes;
+    return i;
+  }
+
+  void grow() {
+    // Triggered when (size+1)/capacity > 3/4; new capacity = 7/5 * old.
+    // At the trigger, capacity < (4/3)(n+1), so right after growth
+    // capacity < (7/5)(4/3)(n+1) + 1 < 1.87 n + 3 < 2n once n >= 32 --
+    // and capacity only shrinks relative to n until the next trigger.
+    // Hence the paper's "< 2n memory locations" envelope holds for all
+    // n >= 32 (tested), with a constant floor below that.
+    std::vector<std::optional<Entry>> old = std::move(slots_);
+    slots_.assign(old.size() * 7 / 5 + 1, std::nullopt);
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot) {
+        const std::size_t i = locate(slot->x, slot->y);
+        slots_[i] = std::move(slot);
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<std::optional<Entry>> slots_;
+  std::size_t size_ = 0;
+  mutable std::size_t max_probe_ = 0;
+};
+
+}  // namespace pfl::storage

@@ -1,0 +1,89 @@
+// The baseline Section 3 criticizes: a contiguous row-major array that
+// COMPLETELY REMAPS on every reshape. "This is, of course, very wasteful
+// of time, since one does Omega(n^2) work to accommodate O(n) changes."
+//
+// Interface mirrors ExtendibleArray so benchmarks can swap them; the
+// element_moves() counter makes the Omega(n^2)-vs-O(n) contrast measurable.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pfl::storage {
+
+template <class T>
+class NaiveRemapArray {
+ public:
+  explicit NaiveRemapArray(index_t rows = 0, index_t cols = 0)
+      : rows_(rows), cols_(cols),
+        buffer_(static_cast<std::size_t>(rows * cols)) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  T& at(index_t x, index_t y) {
+    check_bounds(x, y);
+    return buffer_[offset(x, y)];
+  }
+
+  const T* get(index_t x, index_t y) const {
+    check_bounds(x, y);
+    return &buffer_[offset(x, y)];
+  }
+
+  /// Reshape by allocating a fresh row-major buffer and copying every
+  /// surviving element -- the full remap the paper's intro complains
+  /// about. Returns the number of element moves (== surviving cells).
+  index_t resize(index_t new_rows, index_t new_cols) {
+    std::vector<T> fresh(static_cast<std::size_t>(new_rows * new_cols));
+    const index_t copy_rows = new_rows < rows_ ? new_rows : rows_;
+    const index_t copy_cols = new_cols < cols_ ? new_cols : cols_;
+    index_t moves = 0;
+    for (index_t x = 1; x <= copy_rows; ++x)
+      for (index_t y = 1; y <= copy_cols; ++y) {
+        fresh[static_cast<std::size_t>((x - 1) * new_cols + (y - 1))] =
+            std::move(buffer_[offset(x, y)]);
+        ++moves;
+      }
+    buffer_ = std::move(fresh);
+    rows_ = new_rows;
+    cols_ = new_cols;
+    total_moves_ += moves;
+    return moves;
+  }
+
+  void append_row() { resize(rows_ + 1, cols_); }
+  void append_col() { resize(rows_, cols_ + 1); }
+  void remove_row() {
+    if (rows_ == 0) throw DomainError("remove_row: no rows");
+    resize(rows_ - 1, cols_);
+  }
+  void remove_col() {
+    if (cols_ == 0) throw DomainError("remove_col: no columns");
+    resize(rows_, cols_ - 1);
+  }
+
+  /// Cumulative element moves across all reshapes (the Omega(n^2) story).
+  index_t element_moves() const { return total_moves_; }
+
+  index_t address_high_water() const { return rows_ * cols_; }
+  std::size_t bytes_reserved() const { return buffer_.capacity() * sizeof(T); }
+
+ private:
+  void check_bounds(index_t x, index_t y) const {
+    if (x == 0 || y == 0 || x > rows_ || y > cols_)
+      throw DomainError("NaiveRemapArray: position outside bounds");
+  }
+
+  std::size_t offset(index_t x, index_t y) const {
+    return static_cast<std::size_t>((x - 1) * cols_ + (y - 1));
+  }
+
+  index_t rows_;
+  index_t cols_;
+  std::vector<T> buffer_;
+  index_t total_moves_ = 0;
+};
+
+}  // namespace pfl::storage

@@ -1,0 +1,62 @@
+// Row-address cursor with the additive fast path of Stockmeyer [16].
+//
+// Walking row x of a PF-addressed array means producing the address
+// sequence F(x, 1), F(x, 2), ... . For additive PFs that sequence is an
+// arithmetic progression whose stride the mapping stores, so the cursor
+// advances with ONE addition and no PF evaluation; for every other
+// mapping it falls back to evaluating F at each column. Same interface,
+// cost chosen automatically via PairingFunction::row_stride().
+#pragma once
+
+#include "core/pairing_function.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl::storage {
+
+class RowAddressCursor {
+ public:
+  /// Positioned at (x, 1). The mapping must outlive the cursor.
+  RowAddressCursor(const PairingFunction& pf, index_t x)
+      : pf_(&pf), x_(x), y_(1), address_(pf.pair(x, 1)) {
+    const auto stride = pf.row_stride(x);
+    stride_ = stride.value_or(0);
+  }
+
+  index_t row() const { return x_; }
+  index_t column() const { return y_; }
+  index_t address() const { return address_; }
+
+  /// True when stepping costs one addition (APF rows).
+  bool additive() const { return stride_ != 0; }
+
+  /// Moves to the next column. Overflow-checked either way.
+  void advance() {
+    ++y_;
+    if (stride_ != 0) {
+      address_ = nt::checked_add(address_, stride_);
+    } else {
+      address_ = pf_->pair(x_, y_);
+    }
+  }
+
+  /// Moves forward by `count` columns (one multiply on the fast path).
+  void advance_by(index_t count) {
+    if (count == 0) return;
+    if (stride_ != 0) {
+      y_ += count;
+      address_ = nt::checked_add(address_, nt::checked_mul(stride_, count));
+    } else {
+      y_ += count;
+      address_ = pf_->pair(x_, y_);
+    }
+  }
+
+ private:
+  const PairingFunction* pf_;
+  index_t x_;
+  index_t y_;
+  index_t address_;
+  index_t stride_ = 0;
+};
+
+}  // namespace pfl::storage

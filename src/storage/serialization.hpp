@@ -1,0 +1,83 @@
+// Persistence for PF-addressed extendible arrays.
+//
+// The serialized form is a small text header (magic, version, mapping
+// name, shape) followed by one `x y value` line per WRITTEN cell, in
+// row-major order. Addresses are deliberately NOT stored: on load the
+// cells are re-paired through the array's own mapping, so a snapshot taken
+// with one PF can be restored through a different PF -- a storage-map
+// migration, which the address-based layout of a naive dump would forbid.
+//
+// Values must round-trip through operator<< / operator>> (numeric types
+// and std::string without spaces do; provide your own overloads
+// otherwise).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "storage/extendible_array.hpp"
+
+namespace pfl::storage {
+
+inline constexpr const char* kArrayMagic = "pfl-extendible-array";
+inline constexpr int kArrayFormatVersion = 1;
+
+/// Writes the array (shape + written cells) to `out`.
+template <class T>
+void save_array(std::ostream& out, const ExtendibleArray<T>& array) {
+  out << kArrayMagic << ' ' << kArrayFormatVersion << '\n';
+  out << array.mapping().name() << '\n';
+  out << array.rows() << ' ' << array.cols() << ' ' << array.stored() << '\n';
+  array.for_each([&out](index_t x, index_t y, const T& value) {
+    out << x << ' ' << y << ' ' << value << '\n';
+  });
+  if (!out) throw Error("save_array: stream write failed");
+}
+
+/// Restores a snapshot into a fresh array addressed by `pf` (which may
+/// differ from the mapping used at save time -- the cells migrate).
+template <class T>
+ExtendibleArray<T> load_array(std::istream& in, PfPtr pf) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kArrayMagic)
+    throw DomainError("load_array: not a pfl array snapshot");
+  if (version != kArrayFormatVersion)
+    throw DomainError("load_array: unsupported format version " +
+                      std::to_string(version));
+  std::string saved_mapping;
+  in >> saved_mapping;
+  index_t rows = 0, cols = 0;
+  std::size_t cells = 0;
+  if (!(in >> rows >> cols >> cells))
+    throw DomainError("load_array: malformed shape header");
+  ExtendibleArray<T> array(std::move(pf), rows, cols);
+  for (std::size_t i = 0; i < cells; ++i) {
+    index_t x = 0, y = 0;
+    T value{};
+    if (!(in >> x >> y >> value))
+      throw DomainError("load_array: truncated cell list (expected " +
+                        std::to_string(cells) + " cells, got " +
+                        std::to_string(i) + ")");
+    array.at(x, y) = std::move(value);  // bounds-checked by the array
+  }
+  return array;
+}
+
+/// Round-trip helpers via strings (testing / small snapshots).
+template <class T>
+std::string save_array_to_string(const ExtendibleArray<T>& array) {
+  std::ostringstream out;
+  save_array(out, array);
+  return out.str();
+}
+
+template <class T>
+ExtendibleArray<T> load_array_from_string(const std::string& data, PfPtr pf) {
+  std::istringstream in(data);
+  return load_array<T>(in, std::move(pf));
+}
+
+}  // namespace pfl::storage

@@ -1,0 +1,113 @@
+// Paged sparse backing store for PF-addressed arrays.
+//
+// A pairing function turns a 2-D position into a single integer address;
+// the store keeps whatever addresses are actually occupied, in fixed-size
+// pages, and reports the address-space statistics the compactness story of
+// Section 3.2 is about: high-water address (the realized "spread"), pages
+// and bytes reserved, live element count.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "core/types.hpp"
+
+namespace pfl::storage {
+
+template <class T>
+class SparseStore {
+ public:
+  static constexpr index_t kPageSize = 256;
+
+  /// Inserts or overwrites the element at `address` (1-based).
+  void put(index_t address, T value) {
+    check_address(address);
+    Page& page = pages_[address / kPageSize];
+    const std::size_t slot = address % kPageSize;
+    if (!page.used.test(slot)) {
+      page.used.set(slot);
+      ++size_;
+    }
+    page.slots[slot] = std::move(value);
+    if (address > high_water_) high_water_ = address;
+  }
+
+  /// Pointer to the element, or nullptr when the address is empty.
+  const T* get(index_t address) const {
+    check_address(address);
+    const auto it = pages_.find(address / kPageSize);
+    if (it == pages_.end()) return nullptr;
+    const std::size_t slot = address % kPageSize;
+    return it->second.used.test(slot) ? &it->second.slots[slot] : nullptr;
+  }
+
+  T* get(index_t address) {
+    return const_cast<T*>(static_cast<const SparseStore*>(this)->get(address));
+  }
+
+  /// Reference to the element, default-constructing an empty slot.
+  T& at_or_default(index_t address) {
+    check_address(address);
+    Page& page = pages_[address / kPageSize];
+    const std::size_t slot = address % kPageSize;
+    if (!page.used.test(slot)) {
+      page.used.set(slot);
+      page.slots[slot] = T{};
+      ++size_;
+    }
+    if (address > high_water_) high_water_ = address;
+    return page.slots[slot];
+  }
+
+  /// Removes the element; returns true if one was present. Pages that
+  /// become empty are released (shrinking an array returns its memory).
+  bool erase(index_t address) {
+    check_address(address);
+    const auto it = pages_.find(address / kPageSize);
+    if (it == pages_.end()) return false;
+    const std::size_t slot = address % kPageSize;
+    if (!it->second.used.test(slot)) return false;
+    it->second.used.reset(slot);
+    it->second.slots[slot] = T{};
+    --size_;
+    if (it->second.used.none()) pages_.erase(it);
+    return true;
+  }
+
+  bool contains(index_t address) const { return get(address) != nullptr; }
+
+  /// Live element count.
+  std::size_t size() const { return size_; }
+
+  /// Largest address ever occupied -- the realized spread of the mapping.
+  index_t high_water() const { return high_water_; }
+
+  /// Currently reserved pages / bytes (live footprint, not high water).
+  std::size_t page_count() const { return pages_.size(); }
+  std::size_t bytes_reserved() const { return pages_.size() * sizeof(Page); }
+
+  void clear() {
+    pages_.clear();
+    size_ = 0;
+    high_water_ = 0;
+  }
+
+ private:
+  struct Page {
+    std::array<T, kPageSize> slots{};
+    std::bitset<kPageSize> used;
+  };
+
+  static void check_address(index_t address) {
+    if (address == 0) throw DomainError("SparseStore: addresses are 1-based");
+  }
+
+  std::unordered_map<index_t, Page> pages_;
+  std::size_t size_ = 0;
+  index_t high_water_ = 0;
+};
+
+}  // namespace pfl::storage

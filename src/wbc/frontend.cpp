@@ -1,0 +1,210 @@
+#include "wbc/frontend.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace pfl::wbc {
+
+namespace {
+constexpr index_t kServerBansDisabled = std::numeric_limits<index_t>::max();
+}
+
+FrontEnd::FrontEnd(apf::ApfPtr apf, AssignmentPolicy policy,
+                   index_t ban_threshold)
+    : apf_(apf), policy_(policy),
+      server_(std::move(apf), kServerBansDisabled),
+      ban_threshold_(ban_threshold) {
+  if (ban_threshold_ == 0)
+    throw DomainError("FrontEnd: ban threshold must be >= 1");
+}
+
+RowIndex FrontEnd::row_of(VolunteerId id) const {
+  const auto it = active_.find(id);
+  if (it == active_.end())
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " is not active");
+  return it->second.row;
+}
+
+bool FrontEnd::is_banned(VolunteerId id) const { return banned_.count(id) != 0; }
+
+void FrontEnd::bind(VolunteerId id, RowIndex row) {
+  active_[id].row = row;
+  epochs_[row].push_back({id, server_.issued_to(row) + 1, 0});
+  rows_touched_[id].insert(row);
+}
+
+void FrontEnd::unbind(VolunteerId id) {
+  const RowIndex row = active_.at(id).row;
+  auto& list = epochs_.at(row);
+  Epoch& open = list.back();
+  open.last_seq = server_.issued_to(row);
+  if (open.last_seq < open.first_seq) list.pop_back();  // never used
+  active_.at(id).row = 0;
+}
+
+RowIndex FrontEnd::fresh_or_free_row() {
+  if (!free_rows_.empty()) {
+    const RowIndex row = *free_rows_.begin();
+    free_rows_.erase(free_rows_.begin());
+    return row;
+  }
+  return server_.open_row();
+}
+
+void FrontEnd::reconcile_speed_order() {
+  // Invariant: the i-th fastest active volunteer holds row i.
+  while (server_.row_count() < by_speed_.size()) server_.open_row();
+  std::vector<std::pair<VolunteerId, RowIndex>> moves;
+  RowIndex target = 1;
+  for (const auto& [key, id] : by_speed_) {
+    if (active_.at(id).row != target) moves.push_back({id, target});
+    ++target;
+  }
+  // Two phases so epochs close before rows change hands.
+  for (const auto& [id, row] : moves) {
+    if (active_.at(id).row != 0) unbind(id);
+  }
+  for (const auto& [id, row] : moves) {
+    bind(id, row);
+    ++rebinds_;
+  }
+}
+
+RowIndex FrontEnd::arrive(VolunteerId id, double speed) {
+  if (is_banned(id))
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " is banned");
+  if (active_.count(id))
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " already active");
+  active_.emplace(id, ActiveVolunteer{0, speed});
+  if (policy_ == AssignmentPolicy::kSpeedOrdered) {
+    by_speed_.emplace(SpeedKey{speed, id}, id);
+    reconcile_speed_order();
+  } else {
+    bind(id, fresh_or_free_row());
+  }
+  return active_.at(id).row;
+}
+
+void FrontEnd::depart(VolunteerId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end())
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " is not active");
+  const RowIndex row = it->second.row;
+  // Recycle every task the volunteer left unfinished, across all epochs
+  // they ever owned (rebinds may have moved them between rows)...
+  const auto touched = rows_touched_.find(id);
+  if (touched != rows_touched_.end()) {
+    for (RowIndex r : touched->second) {
+      for (index_t seq : server_.outstanding_of(r)) {
+        if (epoch_owner_or_zero(r, seq) != id) continue;
+        const TaskIndex task = server_.allocation_function().pair(r, seq);
+        // A task already recycled and reissued to someone still holding it
+        // is that volunteer's responsibility now -- don't recycle it twice.
+        if (held_by_someone(task)) continue;
+        recycle_.push_back(task);
+      }
+    }
+    rows_touched_.erase(touched);
+  }
+  // ...and any reissued tasks they were holding.
+  const auto held = held_reissues_.find(id);
+  if (held != held_reissues_.end()) {
+    for (TaskIndex task : held->second) recycle_.push_back(task);
+    held_reissues_.erase(held);
+  }
+  unbind(id);
+  if (policy_ == AssignmentPolicy::kSpeedOrdered) {
+    by_speed_.erase(SpeedKey{it->second.speed, id});
+    active_.erase(it);
+    reconcile_speed_order();
+  } else {
+    active_.erase(it);
+    free_rows_.insert(row);
+  }
+}
+
+TaskAssignment FrontEnd::request_task(VolunteerId id) {
+  if (is_banned(id))
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " is banned");
+  const RowIndex row = row_of(id);
+  if (!recycle_.empty()) {
+    const TaskIndex task = recycle_.back();
+    recycle_.pop_back();
+    reissued_to_[task] = id;
+    held_reissues_[id].insert(task);
+    return server_.trace(task);
+  }
+  return server_.next_task(row);
+}
+
+void FrontEnd::submit_result(VolunteerId id, TaskIndex task, Result value) {
+  const auto held = held_reissues_.find(id);
+  if (held != held_reissues_.end()) held->second.erase(task);
+  server_.submit_result(task, value);
+}
+
+VolunteerId FrontEnd::volunteer_of_task(TaskIndex task) const {
+  const auto re = reissued_to_.find(task);
+  if (re != reissued_to_.end()) return re->second;
+  const TaskAssignment who = server_.trace(task);
+  if (who.sequence > server_.issued_to(who.row))
+    throw DomainError("FrontEnd: task " + std::to_string(task) +
+                      " was never issued");
+  return epoch_lookup(who.row, who.sequence);
+}
+
+VolunteerId FrontEnd::epoch_owner_or_zero(RowIndex row, index_t seq) const {
+  const auto it = epochs_.find(row);
+  if (it == epochs_.end()) return 0;
+  for (const Epoch& e : it->second) {
+    if (seq >= e.first_seq && (e.last_seq == 0 || seq <= e.last_seq))
+      return e.volunteer;
+  }
+  return 0;
+}
+
+bool FrontEnd::held_by_someone(TaskIndex task) const {
+  const auto re = reissued_to_.find(task);
+  if (re == reissued_to_.end()) return false;
+  const auto held = held_reissues_.find(re->second);
+  return held != held_reissues_.end() && held->second.count(task) != 0;
+}
+
+VolunteerId FrontEnd::epoch_lookup(RowIndex row, index_t seq) const {
+  const auto it = epochs_.find(row);
+  if (it == epochs_.end())
+    throw DomainError("FrontEnd: row " + std::to_string(row) +
+                      " has no epochs");
+  for (const Epoch& e : it->second) {
+    if (seq >= e.first_seq && (e.last_seq == 0 || seq <= e.last_seq))
+      return e.volunteer;
+  }
+  throw DomainError("FrontEnd: no epoch covers row " + std::to_string(row) +
+                    " sequence " + std::to_string(seq));
+}
+
+AuditOutcome FrontEnd::audit(TaskIndex task, Result truth) {
+  AuditOutcome outcome = server_.audit(task, truth);  // row-level trace
+  const VolunteerId who = volunteer_of_task(task);
+  outcome.volunteer = who;
+  if (!outcome.correct) {
+    const index_t errors = ++errors_[who];
+    outcome.error_count = errors;
+    if (errors >= ban_threshold_ && !is_banned(who)) {
+      banned_.insert(who);
+      if (active_.count(who)) depart(who);  // ban = forced departure
+    }
+  } else {
+    outcome.error_count = errors_.count(who) ? errors_.at(who) : 0;
+  }
+  outcome.banned = is_banned(who);
+  return outcome;
+}
+
+}  // namespace pfl::wbc

@@ -1,0 +1,132 @@
+// The "front end" Section 4 describes around the APF core: volunteers
+// arrive and depart dynamically, faster volunteers are always assigned
+// smaller row indices, and the tasks a departing volunteer leaves
+// unfinished are recycled to others WITHOUT losing accountability.
+//
+// Mechanism. Each row carries a list of *epochs* -- (volunteer, first
+// sequence, last sequence) -- closed whenever the row changes hands. To
+// answer "who computed workload task k?" the front end runs the pure
+// inverse T^{-1}(k) = (row, t) and looks t up in that row's short epoch
+// list; a small side map covers recycled (reissued) tasks. Bookkeeping is
+// O(#arrivals + #departures + #recycled), never O(#tasks) -- the
+// "computationally lightweight" property the paper claims.
+//
+// Two index-assignment policies (an ablation the benchmarks compare):
+//   kFirstFree    -- arrivals take the lowest retired row, else a new one;
+//   kSpeedOrdered -- the invariant "faster volunteer <=> smaller row" is
+//                    maintained continuously by rebinding rows on arrival
+//                    and departure (each rebind closes/opens epochs, and
+//                    costs O(active volunteers) per event). Because every
+//                    APF's strides grow with the row index, keeping the
+//                    fast (task-hungry) volunteers on small rows keeps the
+//                    workload's memory envelope small.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "wbc/server.hpp"
+#include "wbc/types.hpp"
+
+namespace pfl::wbc {
+
+enum class AssignmentPolicy { kFirstFree, kSpeedOrdered };
+
+class FrontEnd {
+ public:
+  FrontEnd(apf::ApfPtr apf, AssignmentPolicy policy,
+           index_t ban_threshold = 3);
+
+  /// Volunteer `id` registers with the given speed (tasks per time unit in
+  /// the simulator; only its *order* matters here). Returns the row bound.
+  RowIndex arrive(VolunteerId id, double speed);
+
+  /// Volunteer departs; their row is retired and every task they left
+  /// unfinished joins the recycle queue.
+  void depart(VolunteerId id);
+
+  bool is_active(VolunteerId id) const { return active_.count(id) != 0; }
+  RowIndex row_of(VolunteerId id) const;
+
+  /// Issues the next task for the volunteer: first drains the recycle
+  /// queue (reissued tasks are recorded for accountability), then falls
+  /// through to the APF stream T(row, t).
+  TaskAssignment request_task(VolunteerId id);
+
+  void submit_result(VolunteerId id, TaskIndex task, Result value);
+
+  /// Audits a returned task; attribution resolves through reissue records
+  /// and row epochs to the volunteer accountable for the submitted value.
+  AuditOutcome audit(TaskIndex task, Result truth);
+
+  /// Who is accountable for workload task `k` (the volunteer that last
+  /// received it). Throws DomainError for never-issued tasks.
+  VolunteerId volunteer_of_task(TaskIndex task) const;
+
+  bool is_banned(VolunteerId id) const;
+
+  /// Number of row rebinds performed to keep the speed-order invariant
+  /// (0 under kFirstFree) -- the cost side of the ablation.
+  index_t rebinds() const { return rebinds_; }
+
+  index_t recycle_queue_size() const { return recycle_.size(); }
+
+  /// Distinct tasks that have been recycled and reissued at least once.
+  index_t reissued_tasks() const { return reissued_to_.size(); }
+
+  const TaskServer& server() const { return server_; }
+
+ private:
+  struct Epoch {
+    VolunteerId volunteer = 0;
+    index_t first_seq = 1;
+    index_t last_seq = 0;  ///< 0 = still open
+  };
+
+  struct ActiveVolunteer {
+    RowIndex row = 0;
+    double speed = 0.0;
+  };
+
+  /// Sort key for the speed-ordered policy: fastest first, ties by id.
+  struct SpeedKey {
+    double speed = 0.0;
+    VolunteerId id = 0;
+    friend bool operator<(const SpeedKey& a, const SpeedKey& b) {
+      if (a.speed != b.speed) return a.speed > b.speed;
+      return a.id < b.id;
+    }
+  };
+
+  void bind(VolunteerId id, RowIndex row);
+  void unbind(VolunteerId id);
+  RowIndex fresh_or_free_row();
+  void reconcile_speed_order();
+  VolunteerId epoch_lookup(RowIndex row, index_t seq) const;
+  VolunteerId epoch_owner_or_zero(RowIndex row, index_t seq) const;
+  bool held_by_someone(TaskIndex task) const;
+
+  apf::ApfPtr apf_;
+  AssignmentPolicy policy_;
+  TaskServer server_;
+  index_t ban_threshold_;
+  std::unordered_map<VolunteerId, ActiveVolunteer> active_;
+  std::unordered_map<RowIndex, std::vector<Epoch>> epochs_;
+  std::set<RowIndex> free_rows_;              ///< retired rows (kFirstFree)
+  std::map<SpeedKey, VolunteerId> by_speed_;  ///< kSpeedOrdered ranking
+  std::vector<TaskIndex> recycle_;            ///< orphaned tasks to reissue
+  std::unordered_map<TaskIndex, VolunteerId> reissued_to_;
+  std::unordered_map<VolunteerId, std::set<TaskIndex>> held_reissues_;
+  /// Rows a volunteer has ever been bound to (dedup'd): departures must
+  /// recycle unfinished tasks from *every* epoch the volunteer owned, not
+  /// just the row they held last (rebinds move volunteers across rows).
+  std::unordered_map<VolunteerId, std::set<RowIndex>> rows_touched_;
+  std::unordered_map<VolunteerId, index_t> errors_;
+  std::unordered_set<VolunteerId> banned_;
+  index_t rebinds_ = 0;
+};
+
+}  // namespace pfl::wbc

@@ -1,0 +1,233 @@
+#include "wbc/replication.hpp"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <utility>
+
+namespace pfl::wbc {
+
+ReplicatedServer::ReplicatedServer(PfPtr replica_pf, index_t replication,
+                                   index_t ban_threshold)
+    : replica_pf_(std::move(replica_pf)), replication_(replication),
+      ban_threshold_(ban_threshold) {
+  if (!replica_pf_) throw DomainError("ReplicatedServer: null pairing function");
+  if (!replica_pf_->surjective())
+    throw DomainError("ReplicatedServer: replica mapping must be a genuine PF");
+  if (replication_ == 0)
+    throw DomainError("ReplicatedServer: replication must be >= 1");
+  if (ban_threshold_ == 0)
+    throw DomainError("ReplicatedServer: ban threshold must be >= 1");
+}
+
+VolunteerId ReplicatedServer::register_volunteer() {
+  const VolunteerId id = next_volunteer_++;
+  known_.insert(id);
+  return id;
+}
+
+ReplicatedServer::PendingTask& ReplicatedServer::open_fresh_task() {
+  const index_t id = next_task_++;
+  PendingTask task;
+  task.id = id;
+  task.assignees.assign(static_cast<std::size_t>(replication_), 0);
+  task.results.assign(static_cast<std::size_t>(replication_), std::nullopt);
+  auto [it, inserted] = pending_.emplace(id, std::move(task));
+  open_order_.push_back(id);
+  return it->second;
+}
+
+ReplicatedServer::Assignment ReplicatedServer::request_task(VolunteerId v) {
+  if (!known_.count(v))
+    throw DomainError("ReplicatedServer: unknown volunteer " + std::to_string(v));
+  if (is_banned(v))
+    throw DomainError("ReplicatedServer: volunteer " + std::to_string(v) +
+                      " is banned");
+  // Oldest open task with a free slot this volunteer has not touched.
+  for (index_t task_id : open_order_) {
+    const auto it = pending_.find(task_id);
+    if (it == pending_.end()) continue;  // already decided, lazily skipped
+    PendingTask& task = it->second;
+    const auto& assignees = task.assignees;
+    if (std::find(assignees.begin(), assignees.end(), v) != assignees.end())
+      continue;  // distinct-volunteers rule
+    for (std::size_t j = 0; j < assignees.size(); ++j) {
+      if (assignees[j] == 0) {
+        task.assignees[j] = v;
+        const index_t replica = static_cast<index_t>(j) + 1;
+        const TaskIndex virt = replica_pf_->pair(task.id, replica);
+        if (virt > max_virtual_) max_virtual_ = virt;
+        ++issued_;
+        return {virt, task.id, replica};
+      }
+    }
+  }
+  // No reusable slot: open a fresh abstract task.
+  PendingTask& task = open_fresh_task();
+  task.assignees[0] = v;
+  const TaskIndex virt = replica_pf_->pair(task.id, 1);
+  if (virt > max_virtual_) max_virtual_ = virt;
+  ++issued_;
+  return {virt, task.id, 1};
+}
+
+ReplicatedServer::Assignment ReplicatedServer::decode(TaskIndex virtual_task) const {
+  const Point p = replica_pf_->unpair(virtual_task);
+  return {virtual_task, p.x, p.y};
+}
+
+void ReplicatedServer::submit(VolunteerId v, TaskIndex virtual_task,
+                              Result value) {
+  const Assignment a = decode(virtual_task);
+  const auto it = pending_.find(a.abstract_task);
+  if (it == pending_.end())
+    throw DomainError("ReplicatedServer: task " + std::to_string(virtual_task) +
+                      " is not pending");
+  PendingTask& task = it->second;
+  if (a.replica == 0 || a.replica > replication_ ||
+      task.assignees[static_cast<std::size_t>(a.replica - 1)] != v)
+    throw DomainError("ReplicatedServer: replica not assigned to volunteer " +
+                      std::to_string(v));
+  auto& slot = task.results[static_cast<std::size_t>(a.replica - 1)];
+  if (slot.has_value())
+    throw DomainError("ReplicatedServer: duplicate result for task " +
+                      std::to_string(virtual_task));
+  slot = value;
+  ++task.returned;
+  if (task.returned == replication_) tally(task);
+}
+
+void ReplicatedServer::tally(PendingTask& task) {
+  // Count votes; strict majority wins.
+  std::map<Result, index_t> votes;
+  for (const auto& r : task.results) ++votes[*r];
+  const auto winner = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const index_t majority = replication_ / 2 + 1;
+  Decision decision;
+  decision.abstract_task = task.id;
+  if (winner->second >= majority) {
+    decision.decided = true;
+    decision.value = winner->first;
+    std::vector<VolunteerId> newly_banned;
+    for (std::size_t j = 0; j < task.results.size(); ++j) {
+      if (*task.results[j] != decision.value) {
+        const VolunteerId culprit = task.assignees[j];
+        decision.dissenters.push_back(culprit);
+        if (++strikes_[culprit] >= ban_threshold_ && !is_banned(culprit)) {
+          banned_.insert(culprit);
+          newly_banned.push_back(culprit);
+        }
+      }
+    }
+    decisions_.push_back(std::move(decision));
+    ++decided_;
+    pending_.erase(task.id);
+    // A banned volunteer will never return their other outstanding
+    // replicas; reopen those slots so the tasks can still complete.
+    for (VolunteerId culprit : newly_banned) release_unreturned_slots(culprit);
+    return;
+  }
+  // Tie: nobody reaches a majority (possible only for even vote splits or
+  // all-distinct values). Re-replicate from scratch with fresh slots; the
+  // old votes are discarded (a full audit trail would keep them -- out of
+  // scope here, counted as a retry by the experiment harness).
+  const index_t id = task.id;
+  task.assignees.assign(static_cast<std::size_t>(replication_), 0);
+  task.results.assign(static_cast<std::size_t>(replication_), std::nullopt);
+  task.returned = 0;
+  open_order_.push_back(id);
+}
+
+void ReplicatedServer::release_unreturned_slots(VolunteerId v) {
+  for (auto& [id, task] : pending_) {
+    bool reopened = false;
+    for (std::size_t j = 0; j < task.assignees.size(); ++j) {
+      if (task.assignees[j] == v && !task.results[j].has_value()) {
+        task.assignees[j] = 0;
+        reopened = true;
+      }
+    }
+    if (reopened) open_order_.push_back(id);
+  }
+}
+
+std::vector<ReplicatedServer::Decision> ReplicatedServer::drain_decisions() {
+  std::vector<Decision> out;
+  out.swap(decisions_);
+  // Compact the open-task queue of stale entries occasionally.
+  std::deque<index_t> fresh;
+  for (index_t id : open_order_)
+    if (pending_.count(id)) fresh.push_back(id);
+  open_order_.swap(fresh);
+  return out;
+}
+
+index_t ReplicatedServer::strikes(VolunteerId v) const {
+  const auto it = strikes_.find(v);
+  return it == strikes_.end() ? 0 : it->second;
+}
+
+ReplicationReport run_replication_experiment(
+    PfPtr replica_pf, const ReplicationExperimentConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  ReplicatedServer server(std::move(replica_pf), config.replication,
+                          config.ban_threshold);
+  // Volunteer behaviour: colluders return hash(task)+1 (the SAME wrong
+  // value -- worst case for voting); careless return independent noise.
+  enum class Kind { kHonest, kColluder, kCareless };
+  std::vector<Kind> kind;
+  std::vector<VolunteerId> roster;
+  for (index_t i = 0; i < config.volunteers; ++i) {
+    roster.push_back(server.register_volunteer());
+    const double u = coin(rng);
+    kind.push_back(u < config.colluder_fraction ? Kind::kColluder
+                   : u < config.colluder_fraction + config.careless_fraction
+                       ? Kind::kCareless
+                       : Kind::kHonest);
+  }
+  const auto truth = [](index_t abstract_task) -> Result {
+    std::uint64_t h = abstract_task * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 31;
+    return h;
+  };
+
+  ReplicationReport report;
+  while (server.tasks_decided() < config.abstract_tasks) {
+    // Shuffle request order each round so replicas mix across kinds.
+    std::shuffle(roster.begin(), roster.end(), rng);
+    bool any_active = false;
+    for (VolunteerId v : roster) {
+      if (server.is_banned(v)) continue;
+      any_active = true;
+      const auto a = server.request_task(v);
+      Result value = truth(a.abstract_task);
+      switch (kind[static_cast<std::size_t>(v - 1)]) {
+        case Kind::kHonest: break;
+        case Kind::kColluder: value += 1; break;  // agreed wrong value
+        case Kind::kCareless:
+          if (coin(rng) < 0.05) value += 2 + rng() % 97;
+          break;
+      }
+      server.submit(v, a.virtual_task, value);
+      ++report.tasks_computed;
+    }
+    if (!any_active) break;  // everyone banned (degenerate configs)
+    for (const auto& d : server.drain_decisions()) {
+      if (d.decided && d.value != truth(d.abstract_task)) ++report.wrong_accepted;
+    }
+  }
+  report.decided = server.tasks_decided();
+  report.bans = server.total_bans();
+  report.max_virtual_index = server.max_virtual_index();
+  // Retries = issues beyond replication * decided, roughly.
+  if (server.tasks_issued() > report.decided * config.replication)
+    report.undecided_retries =
+        server.tasks_issued() - report.decided * config.replication;
+  return report;
+}
+
+}  // namespace pfl::wbc

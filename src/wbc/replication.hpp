@@ -1,0 +1,138 @@
+// Replication with majority voting -- the library's extension of the
+// paper's accountability scheme (DESIGN.md "Extensions").
+//
+// Section 4's server can only *detect* a false result by re-computing the
+// task itself (auditing). The classical remedy in volunteer computing is
+// REPLICATION: hand each abstract task to r distinct volunteers and accept
+// the majority value. Pairing functions make the bookkeeping vanish: the
+// virtual task index shipped to a volunteer is  V = P(t, j)  for abstract
+// task t and replica slot j, so the server recovers (t, j) from any
+// returned index by pure arithmetic -- the same trick the paper plays for
+// volunteer accountability, one level up.
+//
+// Dissenters from a decided majority accumulate strikes and are banned at
+// a threshold; their unfinished replica slots reopen for reassignment.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pairing_function.hpp"
+#include "wbc/types.hpp"
+
+namespace pfl::wbc {
+
+class ReplicatedServer {
+ public:
+  /// `replica_pf` folds (abstract task, replica slot) into virtual task
+  /// indices; must be a genuine PF. `replication` r >= 1 is the number of
+  /// distinct volunteers per abstract task (majority = floor(r/2) + 1).
+  ReplicatedServer(PfPtr replica_pf, index_t replication,
+                   index_t ban_threshold = 2);
+
+  /// Registers a volunteer; ids are handed out 1, 2, 3, ...
+  VolunteerId register_volunteer();
+
+  struct Assignment {
+    TaskIndex virtual_task = 0;  ///< P(abstract_task, replica)
+    index_t abstract_task = 0;
+    index_t replica = 0;         ///< 1-based slot
+  };
+
+  /// Next replica slot for this volunteer: the oldest abstract task with
+  /// a free slot that this volunteer has not touched, else a fresh task.
+  /// Throws DomainError for unknown or banned volunteers.
+  Assignment request_task(VolunteerId v);
+
+  /// Volunteer returns a value for a virtual task index. When the last
+  /// replica of the abstract task arrives, the vote is tallied
+  /// immediately (see drain_decisions()).
+  void submit(VolunteerId v, TaskIndex virtual_task, Result value);
+
+  /// Decode a virtual index -- pure arithmetic, no tables.
+  Assignment decode(TaskIndex virtual_task) const;
+
+  struct Decision {
+    index_t abstract_task = 0;
+    bool decided = false;           ///< a strict majority existed
+    Result value = 0;               ///< accepted value when decided
+    std::vector<VolunteerId> dissenters;  ///< voters against the majority
+  };
+
+  /// Decisions made since the last drain, in task order. Undecided ties
+  /// are re-replicated automatically (fresh slots reopen) and do not
+  /// appear until resolved.
+  std::vector<Decision> drain_decisions();
+
+  bool is_banned(VolunteerId v) const { return banned_.count(v) != 0; }
+  index_t strikes(VolunteerId v) const;
+
+  /// The memory envelope: largest virtual task index ever issued.
+  TaskIndex max_virtual_index() const { return max_virtual_; }
+  index_t replication() const { return replication_; }
+  index_t tasks_issued() const { return issued_; }
+  index_t tasks_decided() const { return decided_; }
+  index_t total_bans() const { return static_cast<index_t>(banned_.size()); }
+
+ private:
+  struct PendingTask {
+    index_t id = 0;
+    std::vector<VolunteerId> assignees;          ///< slot j -> volunteer (0 = free)
+    std::vector<std::optional<Result>> results;  ///< slot j -> value
+    index_t returned = 0;
+  };
+
+  PendingTask& open_fresh_task();
+  void tally(PendingTask& task);
+  void release_unreturned_slots(VolunteerId v);
+
+  PfPtr replica_pf_;
+  index_t replication_;
+  index_t ban_threshold_;
+  VolunteerId next_volunteer_ = 1;
+  index_t next_task_ = 1;
+  std::unordered_set<VolunteerId> known_;
+  std::unordered_set<VolunteerId> banned_;
+  std::unordered_map<VolunteerId, index_t> strikes_;
+  std::unordered_map<index_t, PendingTask> pending_;  ///< by abstract id
+  std::deque<index_t> open_order_;                    ///< tasks w/ free slots
+  std::vector<Decision> decisions_;
+  TaskIndex max_virtual_ = 0;
+  index_t issued_ = 0;
+  index_t decided_ = 0;
+};
+
+/// Synthetic colluding-adversary experiment: a fraction of volunteers
+/// return an agreed-upon wrong value (the worst case for voting); honest
+/// volunteers return the truth; careless ones return independent noise.
+struct ReplicationExperimentConfig {
+  index_t volunteers = 60;
+  index_t abstract_tasks = 2000;
+  index_t replication = 3;
+  double colluder_fraction = 0.10;
+  double careless_fraction = 0.10;
+  index_t ban_threshold = 2;
+  std::uint64_t seed = 7;
+};
+
+struct ReplicationReport {
+  index_t decided = 0;
+  index_t wrong_accepted = 0;   ///< colluders out-voted the honest majority
+  index_t undecided_retries = 0;
+  index_t bans = 0;
+  index_t tasks_computed = 0;   ///< total replica executions (the overhead)
+  TaskIndex max_virtual_index = 0;
+  double overhead() const {
+    return decided == 0 ? 0.0
+                        : static_cast<double>(tasks_computed) /
+                              static_cast<double>(decided);
+  }
+};
+
+ReplicationReport run_replication_experiment(
+    PfPtr replica_pf, const ReplicationExperimentConfig& config);
+
+}  // namespace pfl::wbc

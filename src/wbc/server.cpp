@@ -1,0 +1,101 @@
+#include "wbc/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pfl::wbc {
+
+TaskServer::TaskServer(apf::ApfPtr apf, index_t ban_threshold)
+    : apf_(std::move(apf)), ban_threshold_(ban_threshold) {
+  if (!apf_) throw DomainError("TaskServer: null allocation function");
+  if (ban_threshold_ == 0)
+    throw DomainError("TaskServer: ban threshold must be >= 1");
+}
+
+RowIndex TaskServer::open_row() {
+  const RowIndex row = next_row_++;
+  rows_.emplace(row, RowState{});
+  return row;
+}
+
+TaskServer::RowState& TaskServer::state_of(RowIndex row) {
+  const auto it = rows_.find(row);
+  if (it == rows_.end())
+    throw DomainError("TaskServer: row " + std::to_string(row) + " not open");
+  return it->second;
+}
+
+const TaskServer::RowState* TaskServer::find_state(RowIndex row) const {
+  const auto it = rows_.find(row);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+TaskAssignment TaskServer::next_task(RowIndex row) {
+  RowState& state = state_of(row);
+  if (is_banned(row))
+    throw DomainError("TaskServer: row " + std::to_string(row) + " is banned");
+  const index_t seq = state.issued + 1;
+  const TaskIndex task = apf_->pair(row, seq);
+  state.issued = seq;
+  state.outstanding.insert(seq);
+  ++total_issued_;
+  if (task > max_task_) max_task_ = task;
+  return {task, row, seq};
+}
+
+TaskAssignment TaskServer::trace(TaskIndex task) const {
+  const Point p = apf_->unpair(task);
+  return {task, p.x, p.y};
+}
+
+void TaskServer::submit_result(TaskIndex task, Result value) {
+  const TaskAssignment who = trace(task);
+  RowState& state = state_of(who.row);
+  const auto it = state.outstanding.find(who.sequence);
+  if (it == state.outstanding.end())
+    throw DomainError("TaskServer: task " + std::to_string(task) +
+                      " not outstanding for row " + std::to_string(who.row));
+  state.outstanding.erase(it);
+  results_.emplace(task, value);
+  ++total_results_;
+}
+
+AuditOutcome TaskServer::audit(TaskIndex task, Result truth) {
+  const auto it = results_.find(task);
+  if (it == results_.end())
+    throw DomainError("TaskServer: no result submitted for task " +
+                      std::to_string(task));
+  const TaskAssignment who = trace(task);
+  RowState& state = state_of(who.row);
+  AuditOutcome outcome;
+  outcome.row = who.row;
+  outcome.correct = (it->second == truth);
+  if (!outcome.correct) {
+    ++state.errors;
+    if (state.errors >= ban_threshold_ && !is_banned(who.row))
+      banned_.insert(who.row);
+  }
+  outcome.error_count = state.errors;
+  outcome.banned = is_banned(who.row);
+  return outcome;
+}
+
+index_t TaskServer::errors_of(RowIndex row) const {
+  const RowState* s = find_state(row);
+  return s ? s->errors : 0;
+}
+
+index_t TaskServer::issued_to(RowIndex row) const {
+  const RowState* s = find_state(row);
+  return s ? s->issued : 0;
+}
+
+std::vector<index_t> TaskServer::outstanding_of(RowIndex row) const {
+  const RowState* s = find_state(row);
+  if (!s) return {};
+  std::vector<index_t> out(s->outstanding.begin(), s->outstanding.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pfl::wbc

@@ -1,0 +1,93 @@
+// Row-level accountable task server (Section 4).
+//
+// The server knows nothing about people -- only rows of the additive
+// pairing function. It issues row x's t-th task as workload index
+// T(x, t) = B_x + (t-1) S_x (one multiply-add from the stored base and
+// stride), accepts results, and audits: the inverse T^{-1} recovers
+// (row, t) from any workload index, so any false result is attributed to
+// its row with *zero* bookkeeping per task. Rows accumulating too many
+// confirmed errors are banned from further tasks -- the accountability
+// mechanism the paper proposes (note: accountability, not security).
+//
+// The FrontEnd (frontend.hpp) layers volunteer identities, dynamic
+// arrival/departure and index recycling on top of these rows.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "apf/registry.hpp"
+#include "wbc/types.hpp"
+
+namespace pfl::wbc {
+
+class TaskServer {
+ public:
+  /// `ban_threshold`: confirmed errors before a row is banned.
+  explicit TaskServer(apf::ApfPtr apf, index_t ban_threshold = 3);
+
+  /// Opens the next fresh row (rows are handed out 1, 2, 3, ...).
+  RowIndex open_row();
+
+  /// Number of rows opened so far.
+  RowIndex row_count() const { return next_row_ - 1; }
+
+  /// Issues the next task for `row`. Throws DomainError if the row was
+  /// never opened or is banned.
+  TaskAssignment next_task(RowIndex row);
+
+  /// Pure accountability: which (row, sequence) produced this workload
+  /// index. No per-task state consulted -- this is T^{-1}.
+  TaskAssignment trace(TaskIndex task) const;
+
+  /// Volunteer hands back a result for a previously issued task.
+  /// Throws DomainError if the task was never issued or already returned.
+  void submit_result(TaskIndex task, Result value);
+
+  /// Audits a returned task against the recomputed truth. Traces the row,
+  /// tallies errors, bans at the threshold. Throws DomainError if no
+  /// result was submitted for the task.
+  AuditOutcome audit(TaskIndex task, Result truth);
+
+  bool is_banned(RowIndex row) const { return banned_.count(row) != 0; }
+  index_t errors_of(RowIndex row) const;
+
+  /// Tasks issued to `row` so far (the row's current sequence count).
+  index_t issued_to(RowIndex row) const;
+
+  /// Sequence numbers issued to `row` whose results are still outstanding.
+  std::vector<index_t> outstanding_of(RowIndex row) const;
+
+  /// The memory-envelope metric of Section 4: the largest workload index
+  /// ever issued. Compact APFs keep this small.
+  TaskIndex max_task_index() const { return max_task_; }
+
+  index_t total_issued() const { return total_issued_; }
+  index_t total_results() const { return total_results_; }
+  index_t total_bans() const { return static_cast<index_t>(banned_.size()); }
+
+  const apf::AdditivePairingFunction& allocation_function() const { return *apf_; }
+
+ private:
+  struct RowState {
+    index_t issued = 0;                     ///< tasks handed out
+    index_t errors = 0;                     ///< confirmed false results
+    std::unordered_set<index_t> outstanding;///< sequences awaiting results
+  };
+
+  RowState& state_of(RowIndex row);
+  const RowState* find_state(RowIndex row) const;
+
+  apf::ApfPtr apf_;
+  index_t ban_threshold_;
+  RowIndex next_row_ = 1;
+  std::unordered_map<RowIndex, RowState> rows_;
+  std::unordered_map<TaskIndex, Result> results_;
+  std::unordered_set<RowIndex> banned_;
+  TaskIndex max_task_ = 0;
+  index_t total_issued_ = 0;
+  index_t total_results_ = 0;
+};
+
+}  // namespace pfl::wbc

@@ -1,0 +1,152 @@
+#include "wbc/simulation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace pfl::wbc {
+
+namespace {
+
+/// Deterministic ground truth for a task: what an honest volunteer returns.
+Result true_result(TaskIndex task) {
+  std::uint64_t h = task + 0x9E3779B97F4A7C15ull;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+struct SimVolunteer {
+  VolunteerId id = 0;
+  double speed = 1.0;
+  double error_prob = 0.0;
+  std::vector<TaskIndex> backlog;  ///< tasks requested, not yet submitted
+};
+
+}  // namespace
+
+SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::exponential_distribution<double> speed_dist(1.0 / config.mean_speed);
+  std::poisson_distribution<int> arrivals_dist(config.arrival_rate);
+
+  FrontEnd frontend(std::move(apf), config.policy, config.ban_threshold);
+  SimulationReport report;
+
+  std::unordered_map<VolunteerId, SimVolunteer> volunteers;
+  std::unordered_map<TaskIndex, VolunteerId> computed_by;  // oracle
+  index_t unaudited_bad = 0;
+  VolunteerId next_id = 1;
+
+  const auto spawn = [&]() {
+    SimVolunteer v;
+    v.id = next_id++;
+    v.speed = 0.25 + speed_dist(rng);
+    const double kind = coin(rng);
+    if (kind < config.malicious_fraction) {
+      v.error_prob = 0.30;
+    } else if (kind < config.malicious_fraction + config.careless_fraction) {
+      v.error_prob = 0.02;
+    }
+    frontend.arrive(v.id, v.speed);
+    volunteers.emplace(v.id, std::move(v));
+    ++report.arrivals;
+  };
+
+  const auto remove_volunteer = [&](VolunteerId id, bool voluntary) {
+    if (frontend.is_active(id)) {
+      if (voluntary) {
+        frontend.depart(id);
+        ++report.departures;
+      }
+      // Bans depart inside FrontEnd::audit; either way drop sim state.
+    }
+    volunteers.erase(id);
+  };
+
+  for (index_t i = 0; i < config.initial_volunteers; ++i) spawn();
+
+  for (index_t step = 0; step < config.steps; ++step) {
+    // Arrivals.
+    const int n_arrive = arrivals_dist(rng);
+    for (int i = 0; i < n_arrive; ++i) spawn();
+
+    // Work: submit backlog, then request new tasks.
+    std::vector<VolunteerId> ids;
+    ids.reserve(volunteers.size());
+    for (const auto& [id, v] : volunteers) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());  // deterministic order
+
+    for (VolunteerId id : ids) {
+      auto vit = volunteers.find(id);
+      if (vit == volunteers.end() || !frontend.is_active(id)) continue;
+      SimVolunteer& v = vit->second;
+
+      // Submit everything held, possibly wrongly; audit a sample.
+      for (TaskIndex task : v.backlog) {
+        const bool lie = coin(rng) < v.error_prob;
+        const Result value = lie ? true_result(task) + 1 : true_result(task);
+        frontend.submit_result(id, task, value);
+        computed_by[task] = id;
+        ++report.results_returned;
+        if (coin(rng) < config.audit_rate) {
+          const AuditOutcome outcome = frontend.audit(task, true_result(task));
+          ++report.audits;
+          if (!outcome.correct) {
+            ++report.bad_results_caught;
+            if (outcome.volunteer != computed_by.at(task))
+              ++report.misattributions;
+            if (outcome.banned && !frontend.is_active(outcome.volunteer)) {
+              // Forced departure happened inside audit; reflect it here.
+              if (outcome.volunteer == id) break;  // stop this backlog
+            }
+          }
+        } else if (lie) {
+          ++unaudited_bad;
+        }
+      }
+      v.backlog.clear();
+      if (!frontend.is_active(id)) {
+        volunteers.erase(id);
+        continue;
+      }
+
+      // Request new work proportional to speed.
+      std::poisson_distribution<int> work(v.speed);
+      const int n_tasks = work(rng);
+      for (int t = 0; t < n_tasks; ++t)
+        v.backlog.push_back(frontend.request_task(id).task);
+    }
+
+    // Voluntary departures (abandoning any backlog).
+    for (VolunteerId id : ids) {
+      if (volunteers.count(id) && frontend.is_active(id) &&
+          coin(rng) < config.departure_prob) {
+        remove_volunteer(id, /*voluntary=*/true);
+      }
+    }
+  }
+
+  report.tasks_issued = frontend.server().total_issued();
+  report.max_task_index = frontend.server().max_task_index();
+  report.bans = 0;
+  // Count bans by scanning outcome history indirectly: the front end bans
+  // volunteers; expose through errors: a volunteer is banned iff
+  // is_banned -- tally over all ever-seen ids.
+  for (VolunteerId id = 1; id < next_id; ++id)
+    if (frontend.is_banned(id)) ++report.bans;
+  report.rebinds = frontend.rebinds();
+  report.recycled_tasks = frontend.reissued_tasks();
+  report.bad_accept_rate =
+      report.results_returned == 0
+          ? 0.0
+          : static_cast<double>(unaudited_bad) /
+                static_cast<double>(report.results_returned);
+  return report;
+}
+
+}  // namespace pfl::wbc

@@ -1,0 +1,61 @@
+// Discrete-event Web-computing simulation (the synthetic stand-in for a
+// real volunteer population -- see DESIGN.md "Substitutions").
+//
+// A seeded population of volunteers with heterogeneous speeds and
+// reliabilities works through a task stream. Some volunteers are careless
+// (occasional wrong results), some malicious (frequently wrong); the
+// server audits a sample of returned results, traces every bad one through
+// T^{-1}, and bans repeat offenders. Volunteers arrive and depart
+// dynamically through the FrontEnd.
+//
+// What the paper's Section 4 claims, and the metrics that check it here:
+//   * memory envelope: max task index issued, driven by the APF's stride
+//     growth (compare APFs at fixed workload);
+//   * accountability: every audited-bad result attributes to the volunteer
+//     who actually computed it (`misattributions` must be 0);
+//   * banning works: errant volunteers stop receiving tasks after at most
+//     ban_threshold confirmed errors.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "wbc/frontend.hpp"
+
+namespace pfl::wbc {
+
+struct SimulationConfig {
+  index_t initial_volunteers = 64;
+  index_t steps = 200;               ///< simulation time steps
+  double arrival_rate = 0.5;         ///< expected arrivals per step
+  double departure_prob = 0.002;     ///< per-volunteer departure chance/step
+  double mean_speed = 2.0;           ///< mean tasks per step per volunteer
+  double malicious_fraction = 0.05;  ///< volunteers lying ~30% of the time
+  double careless_fraction = 0.10;   ///< volunteers erring ~2% of the time
+  double audit_rate = 0.25;          ///< fraction of results audited
+  index_t ban_threshold = 3;
+  AssignmentPolicy policy = AssignmentPolicy::kFirstFree;
+  std::uint64_t seed = 42;
+};
+
+struct SimulationReport {
+  index_t tasks_issued = 0;
+  index_t results_returned = 0;
+  index_t audits = 0;
+  index_t bad_results_caught = 0;
+  index_t misattributions = 0;      ///< MUST be 0: accountability invariant
+  index_t bans = 0;
+  index_t max_task_index = 0;       ///< the Section 4 memory envelope
+  index_t arrivals = 0;
+  index_t departures = 0;
+  index_t rebinds = 0;              ///< speed-order maintenance cost
+  index_t recycled_tasks = 0;       ///< orphans reissued by the front end
+  double bad_accept_rate = 0.0;     ///< unaudited-bad / results
+};
+
+/// Runs the simulation with the given allocation function. Deterministic
+/// for a fixed config (seeded mt19937_64 throughout).
+SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config);
+
+}  // namespace pfl::wbc

@@ -1,0 +1,41 @@
+// Vocabulary types for the Web-Based Computing (WBC) subsystem
+// (Section 4): volunteers visit a website, receive tasks, return results;
+// the task-allocation function links volunteer v's t-th task to the
+// workload index T(v, t), and its inverse restores accountability.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace pfl::wbc {
+
+/// Stable external identity of a volunteer (survives re-registration).
+using VolunteerId = std::uint64_t;
+
+/// Internal APF row a volunteer is currently bound to (1-based).
+using RowIndex = index_t;
+
+/// Global workload task number (1-based): the APF value T(row, seq).
+using TaskIndex = index_t;
+
+/// Opaque computed result (the simulator uses a checksum).
+using Result = std::uint64_t;
+
+/// A task as handed to a volunteer.
+struct TaskAssignment {
+  TaskIndex task = 0;   ///< workload index T(row, seq)
+  RowIndex row = 0;     ///< the row it was issued through
+  index_t sequence = 0; ///< t: this is the row's t-th task
+};
+
+/// Outcome of auditing one returned result.
+struct AuditOutcome {
+  bool correct = false;          ///< result matched the recomputed truth
+  VolunteerId volunteer = 0;     ///< who is accountable (via T^{-1})
+  RowIndex row = 0;
+  index_t error_count = 0;       ///< volunteer's total confirmed errors
+  bool banned = false;           ///< whether this audit triggered a ban
+};
+
+}  // namespace pfl::wbc

@@ -1,0 +1,70 @@
+// Fig. 6 of the paper, cell by cell: sample values of T^<1>, T^<3>, T^#
+// and T^* at the quoted rows, plus the group indices g shown in the
+// figure's second column. This is the primary end-to-end check that our
+// reading of eq. (4.1) (odd multiplier = 2i-1 over the within-group index)
+// is the paper's intended construction.
+#include <gtest/gtest.h>
+
+#include "apf/tc.hpp"
+#include "apf/tsharp.hpp"
+#include "apf/tstar.hpp"
+
+namespace pfl::apf {
+namespace {
+
+TEST(Fig6Test, TOneRows14And15) {
+  const TcApf t1(1);
+  EXPECT_EQ(t1.group_of(14), 13ull);
+  EXPECT_EQ(t1.group_of(15), 14ull);
+  const index_t row14[] = {8192, 24576, 40960, 57344, 73728};
+  const index_t row15[] = {16384, 49152, 81920, 114688, 147456};
+  for (index_t y = 1; y <= 5; ++y) {
+    EXPECT_EQ(t1.pair(14, y), row14[y - 1]) << "y=" << y;
+    EXPECT_EQ(t1.pair(15, y), row15[y - 1]) << "y=" << y;
+  }
+}
+
+TEST(Fig6Test, TThreeRows14To29) {
+  const TcApf t3(3);
+  EXPECT_EQ(t3.group_of(14), 3ull);
+  EXPECT_EQ(t3.group_of(15), 3ull);
+  EXPECT_EQ(t3.group_of(28), 6ull);
+  EXPECT_EQ(t3.group_of(29), 7ull);
+  const index_t row14[] = {24, 88, 152, 216, 280};
+  const index_t row15[] = {40, 104, 168, 232, 296};
+  const index_t row28[] = {448, 960, 1472, 1984, 2496};
+  const index_t row29[] = {128, 1152, 2176, 3200, 4224};
+  for (index_t y = 1; y <= 5; ++y) {
+    EXPECT_EQ(t3.pair(14, y), row14[y - 1]) << "y=" << y;
+    EXPECT_EQ(t3.pair(15, y), row15[y - 1]) << "y=" << y;
+    EXPECT_EQ(t3.pair(28, y), row28[y - 1]) << "y=" << y;
+    EXPECT_EQ(t3.pair(29, y), row29[y - 1]) << "y=" << y;
+  }
+}
+
+TEST(Fig6Test, TSharpRows28And29) {
+  const TSharpApf ts;
+  EXPECT_EQ(ts.group_of(28), 4ull);
+  EXPECT_EQ(ts.group_of(29), 4ull);
+  const index_t row28[] = {400, 912, 1424, 1936, 2448};
+  const index_t row29[] = {432, 944, 1456, 1968, 2480};
+  for (index_t y = 1; y <= 5; ++y) {
+    EXPECT_EQ(ts.pair(28, y), row28[y - 1]) << "y=" << y;
+    EXPECT_EQ(ts.pair(29, y), row29[y - 1]) << "y=" << y;
+  }
+}
+
+TEST(Fig6Test, TStarRows28And29) {
+  const TStarApf t;
+  EXPECT_EQ(t.group_of(28), 3ull);
+  EXPECT_EQ(t.group_of(29), 3ull);
+  const index_t row28[] = {328, 840, 1352, 1864, 2376};
+  const index_t row29[] = {344, 856, 1368, 1880, 2392};
+  for (index_t y = 1; y <= 5; ++y) {
+    EXPECT_EQ(t.pair(28, y), row28[y - 1]) << "y=" << y;
+    EXPECT_EQ(t.pair(29, y), row29[y - 1]) << "y=" << y;
+  }
+}
+
+}  // namespace
+}  // namespace pfl::apf

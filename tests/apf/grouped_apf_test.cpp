@@ -1,0 +1,134 @@
+#include "apf/grouped_apf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apf/tc.hpp"
+#include "numtheory/bits.hpp"
+
+namespace pfl::apf {
+namespace {
+
+TEST(GroupedApfTest, Theorem42StrideRelation) {
+  // B_x < S_x = 2^{1 + g + kappa(g)} for every engine-built APF.
+  for (const auto& kappa : {kappa_identity(), kappa_power(2),
+                            kappa_half_square()}) {
+    const GroupedApf t(kappa);
+    for (index_t x = 1; x <= 500; ++x) {
+      const index_t g = t.group_of(x);
+      ASSERT_EQ(t.stride_log2(x), 1 + g + t.kappa_of(g)) << t.name() << " " << x;
+      if (t.stride_log2(x) < 64) {
+        ASSERT_LT(t.base(x), t.stride(x)) << t.name() << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(GroupedApfTest, EveryIntegerIsPowerOfTwoTimesOdd) {
+  // The surjectivity argument of Theorem 4.2 in executable form: the
+  // engine's unpair never fails on 1..K and reconstructs z exactly.
+  const GroupedApf t(kappa_identity());
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 30000; ++z) {
+    const Point p = t.unpair(z);
+    ASSERT_EQ(t.pair(p.x, p.y), z) << z;
+    ASSERT_TRUE(seen.insert(p).second) << z;
+  }
+}
+
+TEST(GroupedApfTest, SignatureIsTrailingZeroCount) {
+  // "The trailing 0's of each image integer identify x's group g."
+  const GroupedApf t(kappa_half_square());
+  for (index_t x = 1; x <= 400; ++x)
+    for (index_t y = 1; y <= 10; ++y) {
+      const index_t z = t.pair(x, y);
+      ASSERT_EQ(nt::trailing_zeros(z), t.group_of(x)) << x;
+    }
+}
+
+TEST(GroupedApfTest, GroupsPartitionTheRows) {
+  // Consecutive groups tile N: start(g+1) = start(g) + 2^kappa(g).
+  const GroupedApf t(kappa_power(2));
+  for (index_t g = 0; g + 1 < t.tabulated_groups(); ++g) {
+    ASSERT_EQ(t.group_start(g + 1),
+              t.group_start(g) + (index_t{1} << t.kappa_of(g)));
+  }
+  EXPECT_EQ(t.group_start(0), 1ull);
+}
+
+TEST(GroupedApfTest, TabulationCapIsLazilyEnforced) {
+  // Constant kappa cannot tabulate all 2^64 rows; rows inside coverage
+  // work, rows beyond throw, and the closed form TcApf agrees inside.
+  const GroupedApf generic(kappa_constant(3), "T<3>-generic", /*max_groups=*/64);
+  const TcApf closed(3);
+  // 64 groups of size 4 cover rows 1..256. Past-g-60 rows have bases that
+  // themselves overflow 64 bits (2^g signature), so compare bases where
+  // representable and exponents everywhere.
+  for (index_t x = 1; x <= 256; ++x) {
+    ASSERT_EQ(generic.stride_log2(x), closed.stride_log2(x)) << x;
+    if (generic.stride_log2(x) < 60) {
+      ASSERT_EQ(generic.base(x), closed.base(x)) << x;
+    }
+  }
+  EXPECT_THROW(generic.stride_log2(257), OverflowError);
+  EXPECT_NO_THROW(closed.stride_log2(257));
+}
+
+TEST(GroupedApfTest, DangerousKappaStrides) {
+  // Section 4.2.3: kappa(g) = 2^g makes strides at group fronts grow like
+  // x^2 log x. Group fronts: x = start(g); stride_log2 = 1 + g + 2^g.
+  const GroupedApf t(kappa_exponential(), "T-exp");
+  // Sizes 2^{2^g}: starts 1, 3, 7, 23, 279, 65815, ...
+  EXPECT_EQ(t.group_start(0), 1ull);
+  EXPECT_EQ(t.group_start(1), 3ull);
+  EXPECT_EQ(t.group_start(2), 7ull);
+  EXPECT_EQ(t.group_start(3), 23ull);
+  EXPECT_EQ(t.group_start(4), 279ull);
+  EXPECT_EQ(t.group_start(5), 65815ull);
+  for (index_t g = 2; g <= 5; ++g) {
+    const index_t x = t.group_start(g);
+    const double lgx = std::log2(static_cast<double>(x));
+    const double lgS = static_cast<double>(t.stride_log2(x));
+    // Superquadratic: lg S > 2 lg x + lg lg x - 1 at fronts.
+    EXPECT_GT(lgS, 2 * lgx + std::log2(lgx) - 1.0) << "g=" << g;
+  }
+  EXPECT_EQ(t.stride_log2(65815), 1 + 5 + 32ull);
+  // One group further the stride exceeds 64 bits -- stride() must *throw*
+  // (lg S = 1 + 6 + 64 = 71) while stride_log2 stays exact.
+  const index_t front6 = t.group_start(6);
+  EXPECT_EQ(front6, 65815ull + 4294967296ull);
+  EXPECT_THROW(t.stride(front6), OverflowError);
+  EXPECT_EQ(t.stride_log2(front6), 71ull);
+}
+
+TEST(GroupedApfTest, UnpairBeyondRepresentableRowsThrows) {
+  // A value with many trailing zeros belongs to a group whose rows exceed
+  // 64 bits for fast-growing kappa; unpair must refuse, not fabricate.
+  const GroupedApf t(kappa_half_square());
+  // kappa* tabulates ~11 groups within 64-bit rows; nu_2(z) = 40 is way out.
+  EXPECT_THROW(t.unpair(index_t{1} << 40), OverflowError);
+}
+
+TEST(GroupedApfTest, PairUnpairStressAcrossGroups) {
+  const GroupedApf t(kappa_half_square());
+  for (index_t x : {1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 39ull, 40ull, 295ull,
+                    296ull, 8487ull, 8488ull}) {
+    for (index_t y : {1ull, 2ull, 100ull}) {
+      ASSERT_EQ(t.unpair(t.pair(x, y)), (Point{x, y})) << x << "," << y;
+    }
+  }
+}
+
+TEST(GroupedApfTest, DomainErrors) {
+  const GroupedApf t(kappa_identity());
+  EXPECT_THROW(t.pair(0, 1), DomainError);
+  EXPECT_THROW(t.pair(1, 0), DomainError);
+  EXPECT_THROW(t.unpair(0), DomainError);
+  EXPECT_THROW(t.base(0), DomainError);
+  EXPECT_THROW(t.stride(0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::apf

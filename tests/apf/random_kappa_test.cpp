@@ -1,0 +1,83 @@
+// Theorem 4.2 claims Procedure APF-Constructor yields a valid APF for ANY
+// copy-index function kappa. The shipped kappas are all monotone and
+// smooth; this suite drives the engine with seeded RANDOM kappas --
+// jagged, non-monotone, repeating -- and re-checks every Theorem 4.2
+// property, which is as close to the "for all kappa" quantifier as a test
+// can get.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "apf/grouped_apf.hpp"
+#include "numtheory/bits.hpp"
+
+namespace pfl::apf {
+namespace {
+
+Kappa random_kappa(std::uint64_t seed, index_t max_kappa) {
+  // Deterministic jagged kappa: hash the group index.
+  return {"random-" + std::to_string(seed),
+          [seed, max_kappa](index_t g) {
+            std::uint64_t h = (g + 1) * 0x9E3779B97F4A7C15ull ^ seed;
+            h ^= h >> 31;
+            h *= 0xBF58476D1CE4E5B9ull;
+            h ^= h >> 29;
+            return h % (max_kappa + 1);
+          }};
+}
+
+class RandomKappaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomKappaTest, Theorem42Properties) {
+  const GroupedApf t(random_kappa(GetParam(), 6));
+  // (a) Groups tile the rows: start(g+1) = start(g) + 2^kappa(g).
+  for (index_t g = 0; g + 1 < std::min<index_t>(t.tabulated_groups(), 64); ++g)
+    ASSERT_EQ(t.group_start(g + 1),
+              t.group_start(g) + (index_t{1} << t.kappa_of(g)));
+  // (b) B_x < S_x = 2^{1+g+kappa(g)}.
+  for (index_t x = 1; x <= 2000; ++x) {
+    const index_t g = t.group_of(x);
+    ASSERT_EQ(t.stride_log2(x), 1 + g + t.kappa_of(g)) << x;
+    if (t.stride_log2(x) < 64) {
+      ASSERT_LT(t.base(x), t.stride(x)) << x;
+    }
+  }
+  // (c) The signature: trailing zeros of every value name the group.
+  for (index_t x = 1; x <= 300; ++x)
+    for (index_t y : {1ull, 2ull, 17ull})
+      ASSERT_EQ(nt::trailing_zeros(t.pair(x, y)), t.group_of(x));
+}
+
+TEST_P(RandomKappaTest, PrefixBijectivity) {
+  const GroupedApf t(random_kappa(GetParam(), 6));
+  const index_t groups = t.tabulated_groups();
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 20000; ++z) {
+    if (nt::trailing_zeros(z) >= groups) {
+      ASSERT_THROW(t.unpair(z), OverflowError);
+      continue;
+    }
+    const Point p = t.unpair(z);
+    ASSERT_EQ(t.pair(p.x, p.y), z) << "z=" << z;
+    ASSERT_TRUE(seen.insert(p).second) << "z=" << z;
+  }
+}
+
+TEST_P(RandomKappaTest, GridRoundTrip) {
+  const GroupedApf t(random_kappa(GetParam(), 6));
+  for (index_t x = 1; x <= 150; ++x)
+    for (index_t y = 1; y <= 40; ++y) {
+      if (t.stride_log2(x) >= 57) continue;
+      ASSERT_EQ(t.unpair(t.pair(x, y)), (Point{x, y})) << x << "," << y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKappaTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pfl::apf

@@ -1,0 +1,107 @@
+#include "apf/tc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pfl::apf {
+namespace {
+
+class TcApfTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(TcApfTest, ClosedFormOfSection421) {
+  // T^<c>(x,y) = 2^{floor((x-1)/2^{c-1})} [ 2^c (y-1) + (2x-1 mod 2^c) ].
+  const index_t c = GetParam();
+  const TcApf t(c);
+  for (index_t x = 1; x <= 40; ++x)
+    for (index_t y = 1; y <= 20; ++y) {
+      const index_t g = (x - 1) >> (c - 1);
+      const index_t expected =
+          (index_t{1} << g) *
+          ((index_t{1} << c) * (y - 1) + ((2 * x - 1) % (index_t{1} << c)));
+      ASSERT_EQ(t.pair(x, y), expected) << "c=" << c << " (" << x << "," << y << ")";
+    }
+}
+
+TEST_P(TcApfTest, Proposition41StrideFormula) {
+  // B_x <= S_x = 2^{floor((x-1)/2^{c-1}) + c}.
+  const index_t c = GetParam();
+  const TcApf t(c);
+  for (index_t x = 1; x <= 50; ++x) {
+    const index_t g = (x - 1) >> (c - 1);
+    if (g + c >= 64) break;
+    EXPECT_EQ(t.stride(x), index_t{1} << (g + c)) << "x=" << x;
+    EXPECT_EQ(t.stride_log2(x), g + c);
+    EXPECT_LE(t.base(x), t.stride(x)) << "x=" << x;
+    EXPECT_EQ(t.stride(x), t.pair(x, 2) - t.pair(x, 1));
+    EXPECT_EQ(t.stride(x), t.pair(x, 7) - t.pair(x, 6));
+  }
+}
+
+TEST_P(TcApfTest, PrefixBijectivity) {
+  const index_t c = GetParam();
+  const TcApf t(c);
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 20000; ++z) {
+    const Point p = t.unpair(z);
+    ASSERT_EQ(t.pair(p.x, p.y), z) << "c=" << c << " z=" << z;
+    ASSERT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST_P(TcApfTest, GridRoundTrip) {
+  const index_t c = GetParam();
+  const TcApf t(c);
+  for (index_t x = 1; x <= 40; ++x)
+    for (index_t y = 1; y <= 40; ++y) {
+      if (t.stride_log2(x) >= 58) continue;  // value would overflow
+      ASSERT_EQ(t.unpair(t.pair(x, y)), (Point{x, y}));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, TcApfTest, ::testing::Values(1, 2, 3, 4, 6),
+                         [](const ::testing::TestParamInfo<index_t>& info) {
+                           return "c" + std::to_string(info.param);
+                         });
+
+TEST(TcApfTest, LargerCPenalizesFewHelpsMany) {
+  // Section 4.2.1: "a larger value of c penalizes a few low-index rows but
+  // gives all others significantly smaller base row-entries and strides."
+  const TcApf t1(1), t3(3);
+  // Penalty zone: some x where T<3> strides exceed T<1>'s.
+  index_t penalized = 0, helped = 0;
+  for (index_t x = 1; x <= 40; ++x) {
+    if (t3.stride_log2(x) > t1.stride_log2(x)) ++penalized;
+    if (t3.stride_log2(x) < t1.stride_log2(x)) ++helped;
+  }
+  EXPECT_GT(penalized, 0u);
+  EXPECT_GT(helped, penalized);
+  // Asymptotically T<3> always wins: strides 2^{x/4+O(1)} vs 2^{x+O(1)}.
+  for (index_t x = 10; x <= 60; ++x)
+    EXPECT_LT(t3.stride_log2(x), t1.stride_log2(x)) << "x=" << x;
+}
+
+TEST(TcApfTest, ExponentialStrideGrowth) {
+  // Strides grow exponentially in x: stride_log2 is Theta(x / 2^{c-1}).
+  const TcApf t2(2);
+  EXPECT_EQ(t2.stride_log2(1), 2ull);
+  EXPECT_EQ(t2.stride_log2(100), ((100 - 1) / 2) + 2);
+  EXPECT_EQ(t2.stride_log2(1000), ((1000 - 1) / 2) + 2);
+}
+
+TEST(TcApfTest, UnlimitedRows) {
+  // Unlike the tabulated engine, the closed form handles any 64-bit row
+  // (though values overflow quickly -- stride_log2 stays exact).
+  const TcApf t1(1);
+  EXPECT_EQ(t1.stride_log2(index_t{1} << 40), (index_t{1} << 40) + 0ull);
+  EXPECT_THROW(t1.stride(200), OverflowError);
+  EXPECT_THROW(t1.pair(200, 2), OverflowError);
+}
+
+TEST(TcApfTest, ConstructionErrors) {
+  EXPECT_THROW(TcApf(0), DomainError);
+  EXPECT_THROW(TcApf(65), OverflowError);
+}
+
+}  // namespace
+}  // namespace pfl::apf

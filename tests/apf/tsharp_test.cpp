@@ -1,0 +1,88 @@
+#include "apf/tsharp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apf/grouped_apf.hpp"
+#include "numtheory/bits.hpp"
+
+namespace pfl::apf {
+namespace {
+
+TEST(TSharpTest, ClosedFormEquation46) {
+  // T^#(x,y) = 2^{lg x} ( 2^{1+lg x}(y-1) + (2x+1 mod 2^{1+lg x}) ).
+  const TSharpApf t;
+  for (index_t x = 1; x <= 200; ++x)
+    for (index_t y = 1; y <= 20; ++y) {
+      const index_t lg = nt::ilog2(x);
+      const index_t mod = index_t{1} << (1 + lg);
+      const index_t expected =
+          (index_t{1} << lg) * (mod * (y - 1) + ((2 * x + 1) % mod));
+      ASSERT_EQ(t.pair(x, y), expected) << "(" << x << "," << y << ")";
+    }
+}
+
+TEST(TSharpTest, MatchesGenericEngineWithIdentityKappa) {
+  // T^# is APF-Constructor with kappa(g) = g; the closed form and the
+  // tabulating engine must agree everywhere.
+  const TSharpApf closed;
+  const GroupedApf generic(kappa_identity(), "T#-generic");
+  for (index_t x = 1; x <= 300; ++x) {
+    ASSERT_EQ(closed.base(x), generic.base(x)) << x;
+    ASSERT_EQ(closed.stride_log2(x), generic.stride_log2(x)) << x;
+    ASSERT_EQ(closed.group_of(x), generic.group_of(x)) << x;
+  }
+  for (index_t z = 1; z <= 20000; ++z)
+    ASSERT_EQ(closed.unpair(z), generic.unpair(z)) << z;
+}
+
+TEST(TSharpTest, Proposition42QuadraticStrides) {
+  // B_x < S_x = 2^{1 + 2 lg x} <= 2 x^2.
+  const TSharpApf t;
+  for (index_t x = 1; x <= 2000; ++x) {
+    const index_t lg = nt::ilog2(x);
+    ASSERT_EQ(t.stride(x), index_t{1} << (1 + 2 * lg)) << x;
+    ASSERT_LT(t.base(x), t.stride(x)) << x;
+    ASSERT_LE(t.stride(x), 2 * x * x) << x;
+    // And the stride really is what consecutive tasks differ by.
+    ASSERT_EQ(t.pair(x, 9) - t.pair(x, 8), t.stride(x)) << x;
+  }
+}
+
+TEST(TSharpTest, GroupsAreDyadicBlocks) {
+  const TSharpApf t;
+  // Group g is exactly {2^g .. 2^{g+1}-1} (Section 4.2.2).
+  for (index_t g = 0; g < 10; ++g) {
+    for (index_t x = index_t{1} << g; x < (index_t{2} << g); ++x)
+      ASSERT_EQ(t.group_of(x), g) << x;
+  }
+}
+
+TEST(TSharpTest, PrefixBijectivity) {
+  const TSharpApf t;
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 50000; ++z) {
+    const Point p = t.unpair(z);
+    ASSERT_EQ(t.pair(p.x, p.y), z) << "z=" << z;
+    ASSERT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(TSharpTest, GridRoundTrip) {
+  const TSharpApf t;
+  for (index_t x = 1; x <= 100; ++x)
+    for (index_t y = 1; y <= 100; ++y)
+      ASSERT_EQ(t.unpair(t.pair(x, y)), (Point{x, y}));
+}
+
+TEST(TSharpTest, LargeRowsStayExact) {
+  const TSharpApf t;
+  const index_t x = (index_t{1} << 30) + 12345;
+  const index_t z = t.pair(x, 3);
+  EXPECT_EQ(t.unpair(z), (Point{x, 3}));
+  EXPECT_EQ(t.stride_log2(x), 61ull);
+}
+
+}  // namespace
+}  // namespace pfl::apf

@@ -1,0 +1,105 @@
+#include "apf/tstar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "numtheory/bits.hpp"
+
+namespace pfl::apf {
+namespace {
+
+TEST(TStarTest, GroupBoundariesFromEquation48) {
+  // kappa*(g) = ceil(g^2/2) gives group sizes 1, 2, 4, 32, 256, ...; so
+  // groups start at rows 1, 2, 4, 8, 40, 296, ...
+  const TStarApf t;
+  EXPECT_EQ(t.group_start(0), 1ull);
+  EXPECT_EQ(t.group_start(1), 2ull);
+  EXPECT_EQ(t.group_start(2), 4ull);
+  EXPECT_EQ(t.group_start(3), 8ull);
+  EXPECT_EQ(t.group_start(4), 40ull);
+  EXPECT_EQ(t.group_start(5), 296ull);
+  EXPECT_EQ(t.kappa_of(0), 0ull);
+  EXPECT_EQ(t.kappa_of(1), 1ull);
+  EXPECT_EQ(t.kappa_of(2), 2ull);
+  EXPECT_EQ(t.kappa_of(3), 5ull);
+  EXPECT_EQ(t.kappa_of(4), 8ull);
+  EXPECT_EQ(t.kappa_of(5), 13ull);
+}
+
+TEST(TStarTest, Proposition44StrideValue) {
+  // S_x = 2^{1 + g + kappa*(g)}; spot values from the Fig. 6 rows:
+  // x = 28, 29 are in group 3, so S = 2^{1+3+5} = 512.
+  const TStarApf t;
+  EXPECT_EQ(t.stride(28), 512ull);
+  EXPECT_EQ(t.stride(29), 512ull);
+  EXPECT_EQ(t.pair(28, 2) - t.pair(28, 1), 512ull);
+}
+
+TEST(TStarTest, SubquadraticStrideGrowth) {
+  // S_x ~ 8 x 4^{sqrt(2 lg x)}: check the ratio lg(S_x) - lg(x) tracks
+  // 2 sqrt(2 lg x) within an additive constant, and that for large x the
+  // stride is far below the quadratic 2x^2 of T^#.
+  const TStarApf t;
+  for (index_t x : {100ull, 10000ull, 1000000ull, 100000000ull,
+                    10000000000ull}) {
+    const double lgx = std::log2(static_cast<double>(x));
+    const double lgS = static_cast<double>(t.stride_log2(x));
+    const double predicted = 3.0 + lgx + 2.0 * std::sqrt(2.0 * lgx);
+    EXPECT_NEAR(lgS, predicted, 6.0) << "x=" << x;
+  }
+  // Subquadratic in practice: lg S < 1 + 2 lg x (T#'s exponent) for big x.
+  for (index_t x : {1000000ull, 100000000ull, 10000000000ull}) {
+    const double lgx = std::log2(static_cast<double>(x));
+    EXPECT_LT(static_cast<double>(t.stride_log2(x)), 1 + 2 * lgx) << x;
+  }
+}
+
+TEST(TStarTest, ApproxGroupFormulaIsClose) {
+  // The paper's simplified g = ceil(sqrt(2 lg x)) + 1 is "slightly
+  // inaccurate"; measure that it stays within 2 of the exact group index
+  // (it overshoots by up to 2 near group fronts at small x, 1 for large x).
+  // The error never exceeds 2, and 2 recurs indefinitely: at the tail of
+  // an odd group g, lg x ~ kappa*(g) = (g^2+1)/2, so sqrt(2 lg x) just
+  // exceeds g and the ceil pushes the estimate to g + 2. (The paper calls
+  // the simplification "slightly inaccurate"; this quantifies it.)
+  const TStarApf t;
+  for (index_t x = 8; x <= 20000000000ull; x = x * 3 / 2 + 1) {
+    const index_t exact = t.group_of(x);
+    const index_t approx = TStarApf::approx_group_of(x);
+    const index_t diff = exact > approx ? exact - approx : approx - exact;
+    EXPECT_LE(diff, 2ull) << "x=" << x << " exact=" << exact
+                          << " approx=" << approx;
+  }
+}
+
+TEST(TStarTest, PrefixBijectivity) {
+  // T* is a bijection on all of N, but values with many trailing zeros
+  // have preimage rows beyond 2^64 (group g starts near 2^{kappa*(g-1)}),
+  // so unpair must throw OverflowError exactly for those and round-trip
+  // everything else.
+  const TStarApf t;
+  const index_t representable_groups = t.tabulated_groups();
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 50000; ++z) {
+    const index_t g = nt::trailing_zeros(z);
+    if (g >= representable_groups) {
+      ASSERT_THROW(t.unpair(z), OverflowError) << "z=" << z;
+      continue;
+    }
+    const Point p = t.unpair(z);
+    ASSERT_EQ(t.pair(p.x, p.y), z) << "z=" << z;
+    ASSERT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(TStarTest, GridRoundTrip) {
+  const TStarApf t;
+  for (index_t x = 1; x <= 200; ++x)
+    for (index_t y = 1; y <= 50; ++y)
+      ASSERT_EQ(t.unpair(t.pair(x, y)), (Point{x, y}));
+}
+
+}  // namespace
+}  // namespace pfl::apf

@@ -1,0 +1,108 @@
+#include "core/aspect_ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/spread.hpp"
+
+namespace pfl {
+namespace {
+
+struct Ratio {
+  index_t a, b;
+};
+
+class AspectRatioPfTest : public ::testing::TestWithParam<Ratio> {};
+
+TEST_P(AspectRatioPfTest, PrefixBijectivity) {
+  const auto [a, b] = GetParam();
+  const AspectRatioPf pf(a, b);
+  // unpair is a left and right inverse on a long prefix of N: this proves
+  // the enumeration hits 1..K injectively and surjectively.
+  constexpr index_t kPrefix = 20000;
+  std::set<Point> seen;
+  for (index_t z = 1; z <= kPrefix; ++z) {
+    const Point p = pf.unpair(z);
+    ASSERT_EQ(pf.pair(p.x, p.y), z) << "z=" << z;
+    ASSERT_TRUE(seen.insert(p).second) << "duplicate preimage at z=" << z;
+  }
+}
+
+TEST_P(AspectRatioPfTest, GridRoundTrip) {
+  const auto [a, b] = GetParam();
+  const AspectRatioPf pf(a, b);
+  for (index_t x = 1; x <= 80; ++x)
+    for (index_t y = 1; y <= 80; ++y) {
+      const Point p = pf.unpair(pf.pair(x, y));
+      ASSERT_EQ(p, (Point{x, y})) << "(" << x << "," << y << ")";
+    }
+}
+
+TEST_P(AspectRatioPfTest, PerfectCompactnessOnFavoredRatio) {
+  const auto [a, b] = GetParam();
+  const AspectRatioPf pf(a, b);
+  // Eq. (3.2): every position of the ak x bk array lies within the first
+  // abk^2 addresses, i.e. the aspect-restricted spread equals n exactly.
+  for (index_t k = 1; k <= 40; ++k) {
+    const index_t n = a * b * k * k;
+    EXPECT_EQ(aspect_spread(pf, a, b, n), n) << "k=" << k;
+  }
+}
+
+TEST_P(AspectRatioPfTest, ShellBlocksAreContiguous) {
+  const auto [a, b] = GetParam();
+  const AspectRatioPf pf(a, b);
+  // Shell k occupies addresses ab(k-1)^2 + 1 .. abk^2; verify by walking
+  // the ak x bk array and collecting its address set.
+  for (index_t k = 1; k <= 10; ++k) {
+    std::set<index_t> addresses;
+    for (index_t x = 1; x <= a * k; ++x)
+      for (index_t y = 1; y <= b * k; ++y) addresses.insert(pf.pair(x, y));
+    ASSERT_EQ(addresses.size(), a * b * k * k);
+    EXPECT_EQ(*addresses.begin(), 1ull);
+    EXPECT_EQ(*addresses.rbegin(), a * b * k * k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, AspectRatioPfTest,
+                         ::testing::Values(Ratio{1, 1}, Ratio{1, 2}, Ratio{2, 1},
+                                           Ratio{2, 3}, Ratio{3, 2}, Ratio{1, 5},
+                                           Ratio{4, 4}, Ratio{7, 3}),
+                         [](const ::testing::TestParamInfo<Ratio>& info) {
+                           return std::to_string(info.param.a) + "x" +
+                                  std::to_string(info.param.b);
+                         });
+
+TEST(AspectRatioPfTest, ShellIndexFormula) {
+  const AspectRatioPf pf(2, 3);
+  EXPECT_EQ(pf.shell_of(1, 1), 1ull);
+  EXPECT_EQ(pf.shell_of(2, 3), 1ull);   // corner of the 2x3 array
+  EXPECT_EQ(pf.shell_of(3, 1), 2ull);   // first new row
+  EXPECT_EQ(pf.shell_of(1, 4), 2ull);   // first new column
+  EXPECT_EQ(pf.shell_of(4, 6), 2ull);
+  EXPECT_EQ(pf.shell_of(5, 1), 3ull);
+}
+
+TEST(AspectRatioPfTest, UnfavoredRatioIsNotCompact) {
+  // A_{1,1} on a 1 x n array: the position (1, n) lands on shell n, whose
+  // block starts at (n-1)^2 + 1. Quadratic blow-up, as Section 3.2 warns.
+  const AspectRatioPf pf(1, 1);
+  const index_t n = 1000;
+  EXPECT_GT(pf.pair(1, n), (n - 1) * (n - 1));
+}
+
+TEST(AspectRatioPfTest, InvalidConstruction) {
+  EXPECT_THROW(AspectRatioPf(0, 1), DomainError);
+  EXPECT_THROW(AspectRatioPf(1, 0), DomainError);
+}
+
+TEST(AspectRatioPfTest, DomainErrors) {
+  const AspectRatioPf pf(2, 3);
+  EXPECT_THROW(pf.pair(0, 1), DomainError);
+  EXPECT_THROW(pf.unpair(0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

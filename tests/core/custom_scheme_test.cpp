@@ -1,0 +1,134 @@
+// Theorem 3.1 says ANY shell partition + any within-shell order yields a
+// PF. The shipped schemes are all geometrically natural; this test feeds
+// the engine two deliberately odd schemes and checks bijectivity, which
+// exercises the theorem's full generality.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/shell_constructor.hpp"
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+
+namespace pfl {
+namespace {
+
+// "Bent diagonal" shells: shell c holds the diagonal x + y = c + 1, but
+// enumerated outward from the middle (middle element first, then
+// alternating below/above) -- a legal but unnatural Step 2b order.
+class BentDiagonalScheme final : public ShellScheme {
+ public:
+  index_t shell_of(index_t x, index_t y) const override {
+    return nt::checked_add(x, y) - 1;
+  }
+  index_t cumulative_before(index_t c) const override {
+    return nt::triangular(c - 1);
+  }
+  index_t shell_size(index_t c) const override { return c; }
+  index_t rank_in_shell(index_t c, index_t /*x*/, index_t y) const override {
+    // Enumerate y = mid, mid-1, mid+1, mid-2, mid+2, ...; when the short
+    // (below-mid) side runs out, the rest of the above side follows.
+    const index_t mid = (c + 1) / 2;
+    const index_t below = mid - 1;  // elements below the middle
+    if (y == mid) return 1;
+    if (y < mid) return 2 * (mid - y);  // the below side never runs out first
+    const index_t d = y - mid;
+    return d <= below ? 2 * d + 1 : d + below + 1;
+  }
+  Point position(index_t c, index_t r) const override {
+    // Invert by scanning (shells are tiny in tests; clarity over speed).
+    for (index_t y = 1; y <= c; ++y)
+      if (rank_in_shell(c, c + 1 - y, y) == r) return {c + 1 - y, y};
+    throw DomainError("bent: rank out of range");
+  }
+  std::string name() const override { return "bent-diagonal"; }
+};
+
+// "Chunked rows" shells: shell c holds the c-th chunk of 5 cells in
+// row-major order of a width-7 strip... no: shells must be finite subsets
+// of N x N covering everything. Use "staircase blocks": shell c is the
+// 2 x 3 block whose top-left corner walks the square-shell order of block
+// coordinates. Cover: every (x, y) lies in exactly one 2x3 block.
+class BlockScheme final : public ShellScheme {
+ public:
+  index_t shell_of(index_t x, index_t y) const override {
+    const index_t bx = (x - 1) / 2 + 1, by = (y - 1) / 3 + 1;
+    // Block coordinates enumerated by the square-shell closed form.
+    const index_t m = std::max(bx, by) - 1;
+    return m * m + m + by - bx + 1;
+  }
+  index_t cumulative_before(index_t c) const override {
+    return nt::checked_mul(c - 1, 6);
+  }
+  index_t shell_size(index_t /*c*/) const override { return 6; }
+  index_t rank_in_shell(index_t /*c*/, index_t x, index_t y) const override {
+    return ((x - 1) % 2) * 3 + ((y - 1) % 3) + 1;  // row-major in the block
+  }
+  Point position(index_t c, index_t r) const override {
+    if (r == 0 || r > 6) throw DomainError("block: rank out of range");
+    // Invert the square-shell block index.
+    const index_t m = nt::isqrt_ceil(c) - 1;
+    const index_t rr = c - m * m;
+    const index_t bx = rr <= m + 1 ? m + 1 : 2 * m + 2 - rr;
+    const index_t by = rr <= m + 1 ? rr : m + 1;
+    return {(bx - 1) * 2 + (r - 1) / 3 + 1, (by - 1) * 3 + (r - 1) % 3 + 1};
+  }
+  std::string name() const override { return "2x3-blocks"; }
+};
+
+template <class Scheme>
+void expect_is_pf(index_t grid, index_t prefix) {
+  const ShellPf pf(std::make_shared<Scheme>());
+  std::set<index_t> seen;
+  for (index_t x = 1; x <= grid; ++x)
+    for (index_t y = 1; y <= grid; ++y) {
+      const index_t z = pf.pair(x, y);
+      ASSERT_TRUE(seen.insert(z).second) << pf.name() << " collision";
+      ASSERT_EQ(pf.unpair(z), (Point{x, y})) << pf.name();
+    }
+  std::set<Point> points;
+  for (index_t z = 1; z <= prefix; ++z) {
+    const Point p = pf.unpair(z);
+    ASSERT_EQ(pf.pair(p.x, p.y), z) << pf.name() << " z=" << z;
+    ASSERT_TRUE(points.insert(p).second);
+  }
+}
+
+TEST(CustomSchemeTest, BentDiagonalIsAPf) {
+  // First sanity-check the scheme's own invariants (ranks are a
+  // permutation of 1..size on each shell).
+  const BentDiagonalScheme scheme;
+  for (index_t c = 1; c <= 30; ++c) {
+    std::set<index_t> ranks;
+    for (index_t y = 1; y <= c; ++y) {
+      const index_t r = scheme.rank_in_shell(c, c + 1 - y, y);
+      ASSERT_GE(r, 1ull);
+      ASSERT_LE(r, c);
+      ASSERT_TRUE(ranks.insert(r).second) << "c=" << c << " y=" << y;
+    }
+  }
+  expect_is_pf<BentDiagonalScheme>(40, 2000);
+}
+
+TEST(CustomSchemeTest, BlockSchemeIsAPf) { expect_is_pf<BlockScheme>(48, 3000); }
+
+TEST(CustomSchemeTest, BlockSchemeKeepsBlocksContiguous) {
+  // The whole point of block schemes: each 2x3 block occupies 6
+  // consecutive addresses (block-access locality).
+  const ShellPf pf(std::make_shared<BlockScheme>());
+  for (index_t bx = 1; bx <= 6; ++bx)
+    for (index_t by = 1; by <= 6; ++by) {
+      index_t lo = ~index_t{0}, hi = 0;
+      for (index_t dx = 0; dx < 2; ++dx)
+        for (index_t dy = 0; dy < 3; ++dy) {
+          const index_t z = pf.pair((bx - 1) * 2 + dx + 1, (by - 1) * 3 + dy + 1);
+          lo = std::min(lo, z);
+          hi = std::max(hi, z);
+        }
+      EXPECT_EQ(hi - lo, 5ull) << "block " << bx << "," << by;
+    }
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,118 @@
+#include "core/diagonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace pfl {
+namespace {
+
+// Fig. 2 of the paper, verbatim: rows x = 1..8, columns y = 1..8.
+constexpr std::array<std::array<index_t, 8>, 8> kFig2 = {{
+    {1, 3, 6, 10, 15, 21, 28, 36},
+    {2, 5, 9, 14, 20, 27, 35, 44},
+    {4, 8, 13, 19, 26, 34, 43, 53},
+    {7, 12, 18, 25, 33, 42, 52, 63},
+    {11, 17, 24, 32, 41, 51, 62, 74},
+    {16, 23, 31, 40, 50, 61, 73, 86},
+    {22, 30, 39, 49, 60, 72, 85, 99},
+    {29, 38, 48, 59, 71, 84, 98, 113},
+}};
+
+TEST(DiagonalPfTest, ReproducesFig2Exactly) {
+  const DiagonalPf d;
+  for (index_t x = 1; x <= 8; ++x)
+    for (index_t y = 1; y <= 8; ++y)
+      EXPECT_EQ(d.pair(x, y), kFig2[x - 1][y - 1]) << "(" << x << "," << y << ")";
+}
+
+TEST(DiagonalPfTest, Equation21ClosedForm) {
+  const DiagonalPf d;
+  // D(x, y) = C(x+y-1, 2) + y.
+  for (index_t x = 1; x <= 50; ++x)
+    for (index_t y = 1; y <= 50; ++y) {
+      const index_t s = x + y - 1;
+      EXPECT_EQ(d.pair(x, y), s * (s - 1) / 2 + y);
+    }
+}
+
+TEST(DiagonalPfTest, RoundTripPrefix) {
+  const DiagonalPf d;
+  for (index_t z = 1; z <= 100000; ++z) {
+    const Point p = d.unpair(z);
+    ASSERT_EQ(d.pair(p.x, p.y), z) << "z=" << z;
+  }
+}
+
+TEST(DiagonalPfTest, RoundTripGrid) {
+  const DiagonalPf d;
+  for (index_t x = 1; x <= 200; ++x)
+    for (index_t y = 1; y <= 200; ++y) {
+      const Point p = d.unpair(d.pair(x, y));
+      ASSERT_EQ(p, (Point{x, y}));
+    }
+}
+
+TEST(DiagonalPfTest, RoundTripNearOverflow) {
+  const DiagonalPf d;
+  // Values near the top of the 64-bit range must still invert exactly.
+  for (index_t z : {18446744070963499500ull, 18446744070963499499ull,
+                    9223372036854775807ull, 4611686018427387904ull}) {
+    const Point p = d.unpair(z);
+    EXPECT_EQ(d.pair(p.x, p.y), z) << "z=" << z;
+  }
+}
+
+TEST(DiagonalPfTest, ShellStructure) {
+  const DiagonalPf d;
+  // Along the shell x + y = c, values are consecutive and increase with y
+  // ("maps integers in an upward direction along the diagonal shells").
+  for (index_t c = 2; c <= 100; ++c) {
+    for (index_t y = 1; y < c; ++y) {
+      const index_t x = c - y;
+      if (y > 1) {
+        EXPECT_EQ(d.pair(x, y), d.pair(c - y + 1, y - 1) + 1);
+      }
+    }
+    // First entry of shell c follows the last entry of shell c - 1.
+    if (c > 2) {
+      EXPECT_EQ(d.pair(c - 1, 1), d.pair(1, c - 2) + 1);
+    }
+  }
+}
+
+TEST(DiagonalPfTest, SpreadClaims) {
+  const DiagonalPf d;
+  // Section 3.2: D(1,1) = 1; D(n,n) = 2n^2 - 2n + 1 (~2n^2);
+  // D(1, n) = (n^2 + n)/2.
+  EXPECT_EQ(d.pair(1, 1), 1ull);
+  for (index_t n : {2ull, 10ull, 1000ull, 100000ull}) {
+    EXPECT_EQ(d.pair(n, n), 2 * n * n - 2 * n + 1);
+    EXPECT_EQ(d.pair(1, n), (n * n + n) / 2);
+  }
+}
+
+TEST(DiagonalPfTest, DomainErrors) {
+  const DiagonalPf d;
+  EXPECT_THROW(d.pair(0, 1), DomainError);
+  EXPECT_THROW(d.pair(1, 0), DomainError);
+  EXPECT_THROW(d.unpair(0), DomainError);
+}
+
+TEST(DiagonalPfTest, OverflowIsDetected) {
+  const DiagonalPf d;
+  // Both coordinates near 2^32: shell ~2^33, D ~ 2^65: must throw.
+  EXPECT_THROW(d.pair(index_t{1} << 33, index_t{1} << 33), OverflowError);
+  // Extreme coordinates whose *sum* overflows must throw too, not wrap.
+  EXPECT_THROW(d.pair(~index_t{0}, ~index_t{0}), OverflowError);
+}
+
+TEST(DiagonalPfTest, Metadata) {
+  const DiagonalPf d;
+  EXPECT_EQ(d.name(), "diagonal");
+  EXPECT_TRUE(d.surjective());
+  EXPECT_TRUE(d.monotone_in_y());
+}
+
+}  // namespace
+}  // namespace pfl

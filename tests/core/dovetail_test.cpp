@@ -1,0 +1,126 @@
+#include "core/dovetail.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/aspect_ratio.hpp"
+#include "core/diagonal.hpp"
+#include "core/spread.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+std::vector<PfPtr> two_ratios() {
+  return {std::make_shared<AspectRatioPf>(1, 1),
+          std::make_shared<AspectRatioPf>(1, 4)};
+}
+
+TEST(DovetailTest, InjectiveOnGrid) {
+  const DovetailMapping dt(two_ratios());
+  std::set<index_t> seen;
+  for (index_t x = 1; x <= 120; ++x)
+    for (index_t y = 1; y <= 120; ++y)
+      ASSERT_TRUE(seen.insert(dt.pair(x, y)).second)
+          << "collision at (" << x << "," << y << ")";
+}
+
+TEST(DovetailTest, UnpairInvertsAttainedAddresses) {
+  const DovetailMapping dt(two_ratios());
+  for (index_t x = 1; x <= 60; ++x)
+    for (index_t y = 1; y <= 60; ++y) {
+      const index_t z = dt.pair(x, y);
+      ASSERT_EQ(dt.unpair(z), (Point{x, y}));
+    }
+}
+
+TEST(DovetailTest, UnattainedAddressesThrow) {
+  const DovetailMapping dt(two_ratios());
+  // Collect the attained prefix and probe the gaps.
+  std::set<index_t> attained;
+  for (index_t x = 1; x <= 400; ++x)
+    for (index_t y = 1; y <= 400; ++y) {
+      const index_t z = dt.pair(x, y);
+      if (z <= 5000) attained.insert(z);
+    }
+  index_t gaps = 0;
+  for (index_t z = 1; z <= 5000; ++z) {
+    if (attained.count(z)) {
+      EXPECT_NO_THROW(dt.unpair(z));
+    } else {
+      EXPECT_THROW(dt.unpair(z), DomainError) << z;
+      ++gaps;
+    }
+  }
+  // Dovetailing two PFs genuinely skips addresses.
+  EXPECT_GT(gaps, 0u);
+  EXPECT_FALSE(dt.surjective());
+}
+
+TEST(DovetailTest, SpreadBoundOfSection322) {
+  // S_A(n) <= m * min_i S_{A_i}(n) + (m - 1): component k's offers are
+  // m*A_k + (k-1), so the bound carries the congruence-class offset (the
+  // paper absorbs it into the constant). Measured with the
+  // aspect-restricted spread on each component's favored ratio, the
+  // dovetailed map keeps both ratios within factor m = 2 of perfect.
+  const DovetailMapping dt(two_ratios());
+  for (index_t k = 1; k <= 30; ++k) {
+    const index_t n_sq = k * k;         // k x k array
+    EXPECT_LE(aspect_spread(dt, 1, 1, n_sq), 2 * n_sq + 1) << "k=" << k;
+    const index_t n_wide = 4 * k * k;   // k x 4k array
+    EXPECT_LE(aspect_spread(dt, 1, 4, n_wide), 2 * n_wide + 1) << "k=" << k;
+  }
+}
+
+TEST(DovetailTest, GeneralSpreadBound) {
+  // The unrestricted (3.1) bound also holds: S_A(n) <= m * min_i S_{A_i}(n).
+  std::vector<PfPtr> pfs = {std::make_shared<DiagonalPf>(),
+                            std::make_shared<SquareShellPf>()};
+  const DovetailMapping dt(pfs);
+  for (index_t n : {10ull, 50ull, 200ull, 1000ull}) {
+    const index_t bound =
+        2 * std::min(spread(*pfs[0], n), spread(*pfs[1], n)) + 1;
+    EXPECT_LE(spread(dt, n), bound) << "n=" << n;
+  }
+}
+
+TEST(DovetailTest, SingleComponentIsTransparentlyScaled) {
+  // m = 1: A(x,y) = 1 * A_1(x,y) + 0, so the dovetail of one PF is that PF.
+  const DovetailMapping dt({std::make_shared<DiagonalPf>()});
+  const DiagonalPf d;
+  for (index_t x = 1; x <= 20; ++x)
+    for (index_t y = 1; y <= 20; ++y) EXPECT_EQ(dt.pair(x, y), d.pair(x, y));
+  for (index_t z = 1; z <= 500; ++z) EXPECT_EQ(dt.unpair(z), d.unpair(z));
+}
+
+TEST(DovetailTest, ThreeWayDovetail) {
+  const DovetailMapping dt({std::make_shared<AspectRatioPf>(1, 1),
+                            std::make_shared<AspectRatioPf>(1, 2),
+                            std::make_shared<AspectRatioPf>(2, 1)});
+  std::set<index_t> seen;
+  for (index_t x = 1; x <= 60; ++x)
+    for (index_t y = 1; y <= 60; ++y) {
+      const index_t z = dt.pair(x, y);
+      ASSERT_TRUE(seen.insert(z).second);
+      ASSERT_EQ(dt.unpair(z), (Point{x, y}));
+    }
+  for (index_t k = 1; k <= 20; ++k) {
+    EXPECT_LE(aspect_spread(dt, 1, 1, k * k), 3 * k * k + 2);
+    EXPECT_LE(aspect_spread(dt, 1, 2, 2 * k * k), 3 * 2 * k * k + 2);
+    EXPECT_LE(aspect_spread(dt, 2, 1, 2 * k * k), 3 * 2 * k * k + 2);
+  }
+}
+
+TEST(DovetailTest, ConstructionErrors) {
+  EXPECT_THROW(DovetailMapping({}), DomainError);
+  EXPECT_THROW(DovetailMapping({nullptr}), DomainError);
+  // Nested dovetails are rejected: components must be surjective.
+  auto inner = std::make_shared<DovetailMapping>(two_ratios());
+  EXPECT_THROW(DovetailMapping({inner}), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,77 @@
+#include "core/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/aspect_ratio.hpp"
+#include "core/diagonal.hpp"
+#include "core/dovetail.hpp"
+#include "core/registry.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(EnumerateTest, DiagonalWalksTheShells) {
+  // The first 10 positions of D are the first four diagonal shells read
+  // off Fig. 2.
+  const DiagonalPf d;
+  const auto prefix = enumeration_prefix(d, 10);
+  const std::vector<Point> expected = {{1, 1}, {2, 1}, {1, 2}, {3, 1}, {2, 2},
+                                       {1, 3}, {4, 1}, {3, 2}, {2, 3}, {1, 4}};
+  EXPECT_EQ(prefix, expected);
+}
+
+TEST(EnumerateTest, RangeVisitsInOrderWithAddresses) {
+  const SquareShellPf a;
+  index_t expected_z = 5;
+  enumerate_range(a, 5, 25, [&](index_t z, const Point& p) {
+    EXPECT_EQ(z, expected_z++);
+    EXPECT_EQ(a.pair(p.x, p.y), z);
+  });
+  EXPECT_EQ(expected_z, 26ull);
+}
+
+TEST(EnumerateTest, PrefixCoversExactlyTheShellBlocks) {
+  // For A_{a,b}, the first abk^2 positions are exactly the ak x bk array
+  // (eq. 3.2 in enumeration form).
+  const AspectRatioPf pf(2, 3);
+  const auto prefix = enumeration_prefix(pf, 2 * 3 * 4 * 4);
+  for (const Point& p : prefix) {
+    EXPECT_LE(p.x, 8ull);
+    EXPECT_LE(p.y, 12ull);
+  }
+  EXPECT_EQ(prefix.size(), 96u);
+}
+
+TEST(EnumerateTest, RejectsNonSurjectiveMappings) {
+  const DovetailMapping dovetail({std::make_shared<DiagonalPf>(),
+                                  std::make_shared<SquareShellPf>()});
+  EXPECT_THROW(enumerate_range(dovetail, 1, 10, [](index_t, const Point&) {}),
+               DomainError);
+  const DiagonalPf d;
+  EXPECT_THROW(enumerate_range(d, 0, 10, [](index_t, const Point&) {}),
+               DomainError);
+}
+
+TEST(EnumerateTest, EmptyAndSingleton) {
+  const DiagonalPf d;
+  EXPECT_TRUE(enumeration_prefix(d, 0).empty());
+  const auto one = enumeration_prefix(d, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (Point{1, 1}));
+}
+
+TEST(EnumerateTest, BenchRegistryNamesAreStable) {
+  // The bench harness and CLI reference these names; renaming one must be
+  // a conscious decision that updates this list.
+  for (const char* name :
+       {"diagonal", "diagonal-twin", "square-shell", "square-shell-twin",
+        "aspect-1x1", "aspect-1x2", "aspect-2x3", "hyperbolic", "szudzik"}) {
+    EXPECT_NO_THROW(make_core_pf(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,67 @@
+#include "core/hyperbolic_cached.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spread.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(CachedHyperbolicTest, PointwiseEqualToExactInsideCache) {
+  const CachedHyperbolicPf cached(5000);
+  const HyperbolicPf exact;
+  for (index_t x = 1; x <= 70; ++x)
+    for (index_t y = 1; y <= 5000 / x; ++y)
+      ASSERT_EQ(cached.pair(x, y), exact.pair(x, y)) << x << "," << y;
+}
+
+TEST(CachedHyperbolicTest, UnpairEqualToExactInsideCache) {
+  const CachedHyperbolicPf cached(3000);
+  const HyperbolicPf exact;
+  for (index_t z = 1; z <= cached.cached_value_limit(); z += 7)
+    ASSERT_EQ(cached.unpair(z), exact.unpair(z)) << z;
+}
+
+TEST(CachedHyperbolicTest, FallbackBeyondCacheIsSeamless) {
+  const CachedHyperbolicPf cached(256);
+  const HyperbolicPf exact;
+  // Straddle the boundary in both directions.
+  for (index_t x : {1ull, 5ull, 50ull, 1000ull})
+    for (index_t y : {1ull, 7ull, 300ull}) {
+      ASSERT_EQ(cached.pair(x, y), exact.pair(x, y)) << x << "," << y;
+    }
+  for (index_t z = cached.cached_value_limit() - 5;
+       z <= cached.cached_value_limit() + 50; ++z)
+    ASSERT_EQ(cached.unpair(z), exact.unpair(z)) << z;
+}
+
+TEST(CachedHyperbolicTest, RoundTripAcrossBoundary) {
+  const CachedHyperbolicPf cached(1000);
+  for (index_t z = 1; z <= 20000; z += 3)
+    ASSERT_EQ(cached.pair(cached.unpair(z).x, cached.unpair(z).y), z);
+}
+
+TEST(CachedHyperbolicTest, SpreadAgreesWithExact) {
+  const CachedHyperbolicPf cached(4096);
+  const HyperbolicPf exact;
+  for (index_t n : {16ull, 256ull, 2048ull})
+    EXPECT_EQ(spread(cached, n), spread(exact, n));
+}
+
+TEST(CachedHyperbolicTest, ConstructionLimits) {
+  EXPECT_THROW(CachedHyperbolicPf(0), DomainError);
+  EXPECT_THROW(CachedHyperbolicPf(index_t{1} << 29), OverflowError);
+  const CachedHyperbolicPf tiny(1);
+  EXPECT_EQ(tiny.pair(1, 1), 1ull);
+  EXPECT_EQ(tiny.unpair(1), (Point{1, 1}));
+  EXPECT_EQ(tiny.pair(2, 1), 2ull);  // immediately beyond the cache
+}
+
+TEST(CachedHyperbolicTest, DomainErrors) {
+  const CachedHyperbolicPf cached(100);
+  EXPECT_THROW(cached.pair(0, 1), DomainError);
+  EXPECT_THROW(cached.unpair(0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,105 @@
+#include "core/hyperbolic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "core/spread.hpp"
+#include "numtheory/divisor.hpp"
+#include "numtheory/factorization.hpp"
+
+namespace pfl {
+namespace {
+
+// Fig. 4 of the paper, verbatim: rows x = 1..8, columns y = 1..7.
+constexpr std::array<std::array<index_t, 7>, 8> kFig4 = {{
+    {1, 3, 5, 8, 10, 14, 16},
+    {2, 7, 13, 19, 26, 34, 40},
+    {4, 12, 22, 33, 44, 56, 69},
+    {6, 18, 32, 48, 64, 81, 99},
+    {9, 25, 43, 63, 86, 108, 130},
+    {11, 31, 55, 80, 107, 136, 165},
+    {15, 39, 68, 98, 129, 164, 200},
+    {17, 47, 79, 116, 154, 193, 235},
+}};
+
+TEST(HyperbolicPfTest, ReproducesFig4Exactly) {
+  const HyperbolicPf h;
+  for (index_t x = 1; x <= 8; ++x)
+    for (index_t y = 1; y <= 7; ++y)
+      EXPECT_EQ(h.pair(x, y), kFig4[x - 1][y - 1]) << "(" << x << "," << y << ")";
+}
+
+TEST(HyperbolicPfTest, RoundTripPrefix) {
+  const HyperbolicPf h;
+  for (index_t z = 1; z <= 20000; ++z) {
+    const Point p = h.unpair(z);
+    ASSERT_EQ(h.pair(p.x, p.y), z) << "z=" << z;
+  }
+}
+
+TEST(HyperbolicPfTest, RoundTripGrid) {
+  const HyperbolicPf h;
+  for (index_t x = 1; x <= 100; ++x)
+    for (index_t y = 1; y <= 100; ++y) {
+      const Point p = h.unpair(h.pair(x, y));
+      ASSERT_EQ(p, (Point{x, y}));
+    }
+}
+
+TEST(HyperbolicPfTest, RoundTripLargeShells) {
+  const HyperbolicPf h;
+  // Large coordinates exercise the Pollard-rho divisor enumeration and the
+  // O(sqrt) summatory on both directions.
+  for (Point p : {Point{1000003, 999983}, Point{1, 123456789}, Point{1 << 20, 1},
+                  Point{6700417, 641}}) {  // 641 * 6700417 = 2^32 + 1
+    EXPECT_EQ(h.unpair(h.pair(p.x, p.y)), p);
+  }
+}
+
+TEST(HyperbolicPfTest, ShellWalkIsReverseLexicographic) {
+  const HyperbolicPf h;
+  // Within shell xy = N, values are consecutive starting at D(N-1) + 1,
+  // assigned to factor pairs with x descending. Fig. 4's highlighted shell
+  // xy = 6: positions <6,1>, <3,2>, <2,3>, <1,6> receive 11, 12, 13, 14
+  // (D(5) = 10).
+  for (index_t n = 1; n <= 300; ++n) {
+    const index_t base = nt::divisor_summatory(n - 1);
+    const auto divs = nt::divisors(n);
+    for (std::size_t i = 0; i < divs.size(); ++i) {
+      const index_t x = divs[divs.size() - 1 - i];  // descending
+      const index_t y = n / x;
+      EXPECT_EQ(h.pair(x, y), base + i + 1) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(HyperbolicPfTest, SpreadIsThetaNLogN) {
+  const HyperbolicPf h;
+  // S_H(n) = max address over xy <= n; because H enumerates exactly the
+  // lattice points under the hyperbola shell by shell, S_H(n) == D(n), the
+  // lattice-point count itself -- the information-theoretic optimum.
+  for (index_t n : {16ull, 100ull, 1000ull, 4096ull}) {
+    EXPECT_EQ(spread(h, n), lattice_points_under_hyperbola(n)) << n;
+  }
+}
+
+TEST(HyperbolicPfTest, DomainErrors) {
+  const HyperbolicPf h;
+  EXPECT_THROW(h.pair(0, 1), DomainError);
+  EXPECT_THROW(h.pair(1, 0), DomainError);
+  EXPECT_THROW(h.unpair(0), DomainError);
+}
+
+TEST(HyperbolicPfTest, PrefixIsPermutation) {
+  const HyperbolicPf h;
+  // The first K addresses decode to K distinct positions, all with
+  // xy <= summatory bound; checks injectivity of unpair on a prefix.
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 5000; ++z)
+    ASSERT_TRUE(seen.insert(h.unpair(z)).second) << "z=" << z;
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,79 @@
+#include "core/shell_constructor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/aspect_ratio.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+// Mechanical proof that each closed-form PF is an instance of Procedure
+// PF-Constructor (Theorem 3.1): the generic engine over the matching shell
+// scheme agrees pointwise.
+void expect_pointwise_equal(const PairingFunction& lhs, const PairingFunction& rhs,
+                            index_t grid, index_t prefix) {
+  for (index_t x = 1; x <= grid; ++x)
+    for (index_t y = 1; y <= grid; ++y)
+      ASSERT_EQ(lhs.pair(x, y), rhs.pair(x, y)) << "(" << x << "," << y << ")";
+  for (index_t z = 1; z <= prefix; ++z)
+    ASSERT_EQ(lhs.unpair(z), rhs.unpair(z)) << "z=" << z;
+}
+
+TEST(ShellConstructorTest, DiagonalSchemeMatchesClosedForm) {
+  expect_pointwise_equal(ShellPf(diagonal_shells()), DiagonalPf(), 64, 20000);
+}
+
+TEST(ShellConstructorTest, SquareSchemeMatchesClosedForm) {
+  expect_pointwise_equal(ShellPf(square_shells()), SquareShellPf(), 64, 20000);
+}
+
+TEST(ShellConstructorTest, HyperbolicSchemeMatchesClosedForm) {
+  expect_pointwise_equal(ShellPf(hyperbolic_shells()), HyperbolicPf(), 48, 3000);
+}
+
+TEST(ShellConstructorTest, RectangularSchemeMatchesAspectRatioPf) {
+  for (auto [a, b] : {std::pair<index_t, index_t>{1, 1}, {1, 2}, {2, 3}, {5, 2}}) {
+    expect_pointwise_equal(ShellPf(rectangular_shells(a, b)), AspectRatioPf(a, b),
+                           48, 8000);
+  }
+}
+
+TEST(ShellConstructorTest, SchemeInvariants) {
+  // For every shipped scheme: sizes are consistent with cumulative counts,
+  // rank/position invert each other, and shell_of agrees with position.
+  for (const auto& scheme :
+       {diagonal_shells(), square_shells(), hyperbolic_shells(),
+        rectangular_shells(2, 3)}) {
+    for (index_t c = 1; c <= 40; ++c) {
+      ASSERT_EQ(scheme->cumulative_before(c + 1),
+                scheme->cumulative_before(c) + scheme->shell_size(c))
+          << scheme->name() << " c=" << c;
+      for (index_t r = 1; r <= scheme->shell_size(c); ++r) {
+        const Point p = scheme->position(c, r);
+        ASSERT_EQ(scheme->shell_of(p.x, p.y), c) << scheme->name();
+        ASSERT_EQ(scheme->rank_in_shell(c, p.x, p.y), r) << scheme->name();
+      }
+      EXPECT_THROW(scheme->position(c, 0), DomainError);
+      EXPECT_THROW(scheme->position(c, scheme->shell_size(c) + 1), DomainError);
+    }
+  }
+}
+
+TEST(ShellConstructorTest, GenericUnpairHandlesDeepShells) {
+  // Gallop + binary search must find shells far from the origin.
+  const ShellPf pf(diagonal_shells());
+  const DiagonalPf reference;
+  for (index_t z : {1ull, 2ull, 1000000ull, 123456789ull, 987654321123ull}) {
+    EXPECT_EQ(pf.unpair(z), reference.unpair(z)) << z;
+  }
+}
+
+TEST(ShellConstructorTest, NullSchemeRejected) {
+  EXPECT_THROW(ShellPf(nullptr), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,91 @@
+// Step 2b of Procedure PF-Constructor says the within-shell order is a
+// free choice. This suite exercises the reversal combinator and proves a
+// pleasing identity: for shell partitions symmetric under transposition
+// (x+y, max, xy), reversing the within-shell enumeration IS transposing
+// the PF -- the paper's "twins" are Step 2b choices in disguise.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/shell_constructor.hpp"
+#include "core/transpose.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(ShellOrderTest, ReversedSchemesAreStillPfs) {
+  for (const auto& scheme :
+       {reverse_within_shells(diagonal_shells()),
+        reverse_within_shells(square_shells()),
+        reverse_within_shells(hyperbolic_shells()),
+        reverse_within_shells(rectangular_shells(2, 3))}) {
+    const ShellPf pf(scheme);
+    std::set<index_t> seen;
+    for (index_t x = 1; x <= 40; ++x)
+      for (index_t y = 1; y <= 40; ++y) {
+        const index_t z = pf.pair(x, y);
+        ASSERT_TRUE(seen.insert(z).second) << pf.name();
+        ASSERT_EQ(pf.unpair(z), (Point{x, y})) << pf.name();
+      }
+    for (index_t z = 1; z <= 1500; ++z)
+      ASSERT_EQ(pf.pair(pf.unpair(z).x, pf.unpair(z).y), z) << pf.name();
+  }
+}
+
+TEST(ShellOrderTest, ReversalEqualsTranspositionOnSymmetricShells) {
+  const auto check = [](std::shared_ptr<const ShellScheme> scheme,
+                        index_t grid) {
+    const ShellPf reversed(reverse_within_shells(scheme));
+    const ShellPf forward(scheme);
+    const TransposedPf twin(std::make_shared<ShellPf>(scheme));
+    for (index_t x = 1; x <= grid; ++x)
+      for (index_t y = 1; y <= grid; ++y)
+        ASSERT_EQ(reversed.pair(x, y), twin.pair(x, y))
+            << scheme->name() << " (" << x << "," << y << ")";
+    // And transposing twice, or reversing twice, is the identity.
+    const ShellPf twice(reverse_within_shells(reverse_within_shells(scheme)));
+    for (index_t x = 1; x <= grid; ++x)
+      for (index_t y = 1; y <= grid; ++y)
+        ASSERT_EQ(twice.pair(x, y), forward.pair(x, y));
+  };
+  check(diagonal_shells(), 40);
+  check(square_shells(), 40);
+  check(hyperbolic_shells(), 24);
+}
+
+TEST(ShellOrderTest, ReversalIsNotTranspositionOnAsymmetricShells) {
+  // Rectangular 2x3 shells are NOT symmetric; the identity must fail.
+  const auto scheme = rectangular_shells(2, 3);
+  const ShellPf reversed(reverse_within_shells(scheme));
+  const TransposedPf twin(std::make_shared<ShellPf>(scheme));
+  bool differs = false;
+  for (index_t x = 1; x <= 12 && !differs; ++x)
+    for (index_t y = 1; y <= 12 && !differs; ++y)
+      differs = reversed.pair(x, y) != twin.pair(x, y);
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShellOrderTest, ReversalPreservesCompactness) {
+  // The order inside a shell cannot change WHICH addresses a shell spans,
+  // so shell-block containment (and hence every spread bound) survives.
+  const auto scheme = rectangular_shells(1, 2);
+  const ShellPf forward(scheme);
+  const ShellPf reversed(reverse_within_shells(scheme));
+  for (index_t k = 1; k <= 12; ++k) {
+    std::set<index_t> fwd, rev;
+    for (index_t x = 1; x <= k; ++x)
+      for (index_t y = 1; y <= 2 * k; ++y) {
+        fwd.insert(forward.pair(x, y));
+        rev.insert(reversed.pair(x, y));
+      }
+    ASSERT_EQ(fwd, rev) << "k=" << k;  // same address SET, different order
+  }
+}
+
+TEST(ShellOrderTest, NullSchemeRejected) {
+  EXPECT_THROW(reverse_within_shells(nullptr), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,40 @@
+// The spread analyzer parallelizes over worker pools; its results must be
+// bit-identical regardless of pool size (max-reduction is associative and
+// the scan is deterministic).
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/spread.hpp"
+#include "par/thread_pool.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(SpreadParallelTest, PoolSizeDoesNotChangeResults) {
+  par::ThreadPool single(1);
+  par::ThreadPool four(4);
+  par::ThreadPool many(13);
+  for (const auto& entry : core_pairing_functions()) {
+    if (entry.name == "hyperbolic") continue;  // cost; covered below at small n
+    for (index_t n : {17ull, 400ull, 5000ull}) {
+      const index_t s1 = spread(*entry.pf, n, &single);
+      ASSERT_EQ(spread(*entry.pf, n, &four), s1) << entry.name << " n=" << n;
+      ASSERT_EQ(spread(*entry.pf, n, &many), s1) << entry.name << " n=" << n;
+    }
+  }
+  const auto h = make_core_pf("hyperbolic");
+  ASSERT_EQ(spread(*h, 300, &single), spread(*h, 300, &many));
+}
+
+TEST(SpreadParallelTest, AspectSpreadAgreesAcrossPools) {
+  par::ThreadPool single(1);
+  par::ThreadPool eight(8);
+  for (const auto& entry : core_pairing_functions()) {
+    const index_t s1 = aspect_spread(*entry.pf, 2, 3, 2 * 3 * 20 * 20, &single);
+    ASSERT_EQ(aspect_spread(*entry.pf, 2, 3, 2 * 3 * 20 * 20, &eight), s1)
+        << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,108 @@
+#include "core/spread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/square_shell.hpp"
+#include "core/transpose.hpp"
+
+namespace pfl {
+namespace {
+
+// Brute-force spread over every lattice point xy <= n.
+index_t brute_spread(const PairingFunction& pf, index_t n) {
+  index_t best = 0;
+  for (index_t x = 1; x <= n; ++x)
+    for (index_t y = 1; y <= n / x; ++y) best = std::max(best, pf.pair(x, y));
+  return best;
+}
+
+TEST(SpreadTest, MatchesBruteForceOnDiagonal) {
+  const DiagonalPf d;
+  for (index_t n = 1; n <= 300; ++n)
+    ASSERT_EQ(spread(d, n), brute_spread(d, n)) << "n=" << n;
+}
+
+TEST(SpreadTest, MatchesBruteForceOnSquareShell) {
+  const SquareShellPf a;
+  for (index_t n = 1; n <= 300; ++n)
+    ASSERT_EQ(spread(a, n), brute_spread(a, n)) << "n=" << n;
+}
+
+TEST(SpreadTest, NonMonotonePathMatchesToo) {
+  // The twin adapter reports monotone_in_y() == false, forcing the full
+  // Theta(n log n) scan; results must agree with brute force.
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  for (index_t n = 1; n <= 200; ++n)
+    ASSERT_EQ(spread(*twin, n), brute_spread(*twin, n)) << "n=" << n;
+}
+
+TEST(SpreadTest, DiagonalSpreadClaims) {
+  const DiagonalPf d;
+  // Section 3.2: the 1 x n array dominates, S_D(n) = D(1, n) = (n^2+n)/2.
+  for (index_t n : {4ull, 16ull, 100ull, 1024ull, 10000ull}) {
+    EXPECT_EQ(spread(d, n), (n * n + n) / 2);
+  }
+}
+
+TEST(SpreadTest, HyperbolicEqualsLatticeCount) {
+  const HyperbolicPf h;
+  for (index_t n = 1; n <= 200; ++n)
+    ASSERT_EQ(spread(h, n), lattice_points_under_hyperbola(n));
+}
+
+TEST(SpreadTest, LatticeCountFig5) {
+  EXPECT_EQ(lattice_points_under_hyperbola(16), 50ull);
+  EXPECT_EQ(lattice_points_under_hyperbola(1), 1ull);
+  EXPECT_EQ(lattice_points_under_hyperbola(4), 8ull);
+}
+
+TEST(SpreadTest, LowerBoundArgument) {
+  // "No PF can beat Theta(n log n)": every mapping injective on the
+  // lattice points under xy = n must spread some array over at least the
+  // count of those points. Concretely: spread >= lattice count for every
+  // genuine PF we ship (values over a set of size S are >= S somewhere).
+  const DiagonalPf d;
+  const SquareShellPf a;
+  const HyperbolicPf h;
+  for (index_t n : {10ull, 100ull, 1000ull}) {
+    const index_t lower = lattice_points_under_hyperbola(n);
+    EXPECT_GE(spread(d, n), lower);
+    EXPECT_GE(spread(a, n), lower);
+    EXPECT_GE(spread(h, n), lower);  // and H attains it exactly
+  }
+}
+
+TEST(SpreadTest, SeriesComputesRatios) {
+  const HyperbolicPf h;
+  const auto rows = spread_series(h, {16, 64, 256});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].n, 16ull);
+  EXPECT_EQ(rows[0].spread, 50ull);
+  EXPECT_DOUBLE_EQ(rows[0].per_n, 50.0 / 16.0);
+  EXPECT_DOUBLE_EQ(rows[0].per_nlgn, 50.0 / (16.0 * 4.0));
+  // H's n log n ratio stays bounded (near 1/lg e * ln -> about 0.7-1.1).
+  for (const auto& row : rows) {
+    EXPECT_GT(row.per_nlgn, 0.4);
+    EXPECT_LT(row.per_nlgn, 1.5);
+  }
+}
+
+TEST(SpreadTest, AspectSpreadEdgeCases) {
+  const SquareShellPf a;
+  EXPECT_EQ(aspect_spread(a, 1, 1, 0), 0ull);   // nothing fits
+  EXPECT_EQ(aspect_spread(a, 2, 2, 3), 0ull);   // 2x2 needs n >= 4
+  EXPECT_EQ(aspect_spread(a, 1, 1, 1), 1ull);   // the 1x1 array
+  EXPECT_THROW(aspect_spread(a, 0, 1, 10), DomainError);
+}
+
+TEST(SpreadTest, ZeroNThrows) {
+  const DiagonalPf d;
+  EXPECT_THROW(spread(d, 0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,120 @@
+#include "core/square_shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "core/spread.hpp"
+
+namespace pfl {
+namespace {
+
+// Fig. 3 of the paper, verbatim: rows x = 1..8, columns y = 1..8.
+constexpr std::array<std::array<index_t, 8>, 8> kFig3 = {{
+    {1, 4, 9, 16, 25, 36, 49, 64},
+    {2, 3, 8, 15, 24, 35, 48, 63},
+    {5, 6, 7, 14, 23, 34, 47, 62},
+    {10, 11, 12, 13, 22, 33, 46, 61},
+    {17, 18, 19, 20, 21, 32, 45, 60},
+    {26, 27, 28, 29, 30, 31, 44, 59},
+    {37, 38, 39, 40, 41, 42, 43, 58},
+    {50, 51, 52, 53, 54, 55, 56, 57},
+}};
+
+TEST(SquareShellPfTest, ReproducesFig3Exactly) {
+  const SquareShellPf a;
+  for (index_t x = 1; x <= 8; ++x)
+    for (index_t y = 1; y <= 8; ++y)
+      EXPECT_EQ(a.pair(x, y), kFig3[x - 1][y - 1]) << "(" << x << "," << y << ")";
+}
+
+TEST(SquareShellPfTest, Equation33ClosedForm) {
+  const SquareShellPf a;
+  for (index_t x = 1; x <= 60; ++x)
+    for (index_t y = 1; y <= 60; ++y) {
+      const index_t m = std::max(x, y) - 1;
+      EXPECT_EQ(a.pair(x, y), m * m + m + y - x + 1);
+    }
+}
+
+TEST(SquareShellPfTest, RoundTripPrefix) {
+  const SquareShellPf a;
+  for (index_t z = 1; z <= 100000; ++z) {
+    const Point p = a.unpair(z);
+    ASSERT_EQ(a.pair(p.x, p.y), z) << "z=" << z;
+  }
+}
+
+TEST(SquareShellPfTest, RoundTripGrid) {
+  const SquareShellPf a;
+  for (index_t x = 1; x <= 200; ++x)
+    for (index_t y = 1; y <= 200; ++y) {
+      const Point p = a.unpair(a.pair(x, y));
+      ASSERT_EQ(p, (Point{x, y}));
+    }
+}
+
+TEST(SquareShellPfTest, RoundTripNearOverflow) {
+  const SquareShellPf a;
+  for (index_t z : {~index_t{0}, ~index_t{0} - 1, index_t{1} << 63,
+                    (index_t{1} << 63) + 12345}) {
+    const Point p = a.unpair(z);
+    EXPECT_EQ(a.pair(p.x, p.y), z) << "z=" << z;
+  }
+}
+
+TEST(SquareShellPfTest, CounterclockwiseShellWalk) {
+  const SquareShellPf a;
+  // Shell max(x,y) = c: first the column y = 1..c at x = c, then the row
+  // x = c-1 .. 1 at y = c, with consecutive values; shell c occupies the
+  // address block (c-1)^2 + 1 .. c^2 (Fig. 3 highlights max(x,y) = 5,
+  // i.e. addresses 17..25).
+  for (index_t c = 1; c <= 50; ++c) {
+    const index_t m = c - 1;
+    EXPECT_EQ(a.pair(c, 1), m * m + 1);          // shell entry point
+    EXPECT_EQ(a.pair(c, c), m * m + c);          // corner
+    EXPECT_EQ(a.pair(1, c), c * c);              // shell exit = (m+1)^2
+    for (index_t y = 2; y <= c; ++y)
+      EXPECT_EQ(a.pair(c, y), a.pair(c, y - 1) + 1);
+    for (index_t x = c - 1; x >= 1; --x)
+      EXPECT_EQ(a.pair(x, c), a.pair(x + 1, c) + 1);
+  }
+}
+
+TEST(SquareShellPfTest, PerfectCompactnessOnSquares) {
+  const SquareShellPf a;
+  // Eq. (3.2) with a = b = 1: every position of a k x k array gets an
+  // address <= k^2.
+  for (index_t k : {1ull, 2ull, 7ull, 32ull, 100ull}) {
+    EXPECT_EQ(aspect_spread(a, 1, 1, k * k), k * k);
+  }
+  // And mid-range n between squares still spreads to exactly k^2.
+  EXPECT_EQ(aspect_spread(a, 1, 1, 17), 16ull);  // k = 4
+}
+
+TEST(SquareShellPfTest, FullSpreadIsQuadraticOnWideArrays) {
+  const SquareShellPf a;
+  // The unrestricted spread (3.1) is dominated by the 1 x n array:
+  // A11(1, n) = (n-1)^2 + (n-1) + n - 1 + 1 = n^2 (cf. Fig. 3: A11(1,8)=64).
+  // This is why a PF perfectly compact on one ratio can still be terrible
+  // in the worst case -- the motivation for the hyperbolic PF.
+  for (index_t n : {10ull, 100ull, 1000ull}) {
+    EXPECT_EQ(spread(a, n), n * n);
+  }
+}
+
+TEST(SquareShellPfTest, DomainErrors) {
+  const SquareShellPf a;
+  EXPECT_THROW(a.pair(0, 5), DomainError);
+  EXPECT_THROW(a.pair(5, 0), DomainError);
+  EXPECT_THROW(a.unpair(0), DomainError);
+}
+
+TEST(SquareShellPfTest, OverflowIsDetected) {
+  const SquareShellPf a;
+  EXPECT_THROW(a.pair(index_t{1} << 33, 1), OverflowError);
+}
+
+}  // namespace
+}  // namespace pfl

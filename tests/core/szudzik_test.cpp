@@ -1,0 +1,93 @@
+#include "core/szudzik.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/spread.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(SzudzikTest, KnownValues) {
+  // 1-based adaptation of the classic table: shell m^2+1 .. (m+1)^2 with
+  // the column leg first, ascending.
+  const SzudzikPf s;
+  EXPECT_EQ(s.pair(1, 1), 1ull);
+  EXPECT_EQ(s.pair(2, 1), 2ull);  // column leg of shell 2
+  EXPECT_EQ(s.pair(2, 2), 3ull);
+  EXPECT_EQ(s.pair(1, 2), 4ull);  // row leg
+  EXPECT_EQ(s.pair(3, 1), 5ull);
+  EXPECT_EQ(s.pair(3, 3), 7ull);
+  EXPECT_EQ(s.pair(1, 3), 8ull);
+  EXPECT_EQ(s.pair(2, 3), 9ull);
+}
+
+TEST(SzudzikTest, PrefixBijectivity) {
+  const SzudzikPf s;
+  std::set<Point> seen;
+  for (index_t z = 1; z <= 50000; ++z) {
+    const Point p = s.unpair(z);
+    ASSERT_EQ(s.pair(p.x, p.y), z) << z;
+    ASSERT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(SzudzikTest, GridRoundTrip) {
+  const SzudzikPf s;
+  for (index_t x = 1; x <= 150; ++x)
+    for (index_t y = 1; y <= 150; ++y)
+      ASSERT_EQ(s.unpair(s.pair(x, y)), (Point{x, y}));
+}
+
+TEST(SzudzikTest, SameShellsAsSquareShellPf) {
+  // Szudzik and A11 are the same Step 1 partition with different Step 2b
+  // orders: each shell occupies the identical address block, so the two
+  // mappings agree as SETS on every square array.
+  const SzudzikPf s;
+  const SquareShellPf a;
+  for (index_t c = 1; c <= 40; ++c) {
+    std::set<index_t> sz, a11;
+    for (index_t k = 1; k <= c; ++k) {
+      sz.insert(s.pair(c, k));
+      sz.insert(s.pair(k, c));
+      a11.insert(a.pair(c, k));
+      a11.insert(a.pair(k, c));
+    }
+    ASSERT_EQ(sz, a11) << "shell " << c;
+  }
+}
+
+TEST(SzudzikTest, PerfectSquareCompactnessLikeA11) {
+  const SzudzikPf s;
+  for (index_t k : {1ull, 8ull, 64ull, 300ull})
+    EXPECT_EQ(aspect_spread(s, 1, 1, k * k), k * k);
+}
+
+TEST(SzudzikTest, DiffersFromA11Pointwise) {
+  const SzudzikPf s;
+  const SquareShellPf a;
+  bool differs = false;
+  for (index_t x = 1; x <= 5 && !differs; ++x)
+    for (index_t y = 1; y <= 5 && !differs; ++y)
+      differs = s.pair(x, y) != a.pair(x, y);
+  EXPECT_TRUE(differs);
+}
+
+TEST(SzudzikTest, NearOverflowRoundTrip) {
+  const SzudzikPf s;
+  for (index_t z : {~index_t{0}, (index_t{1} << 63) + 99}) {
+    const Point p = s.unpair(z);
+    EXPECT_EQ(s.pair(p.x, p.y), z);
+  }
+}
+
+TEST(SzudzikTest, DomainErrors) {
+  const SzudzikPf s;
+  EXPECT_THROW(s.pair(0, 1), DomainError);
+  EXPECT_THROW(s.unpair(0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

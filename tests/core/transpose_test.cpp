@@ -1,0 +1,71 @@
+#include "core/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/diagonal.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(TransposeTest, TwinSwapsArguments) {
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  const DiagonalPf d;
+  for (index_t x = 1; x <= 40; ++x)
+    for (index_t y = 1; y <= 40; ++y)
+      EXPECT_EQ(twin->pair(x, y), d.pair(y, x));
+}
+
+TEST(TransposeTest, TwinOfDiagonalIsCantorsOtherPolynomial) {
+  // The twin of eq. (2.1): C(x+y-1, 2) + x.
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  for (index_t x = 1; x <= 40; ++x)
+    for (index_t y = 1; y <= 40; ++y) {
+      const index_t s = x + y - 1;
+      EXPECT_EQ(twin->pair(x, y), s * (s - 1) / 2 + x);
+    }
+}
+
+TEST(TransposeTest, TwinRoundTrips) {
+  const auto twin = make_twin(std::make_shared<SquareShellPf>());
+  for (index_t z = 1; z <= 20000; ++z) {
+    const Point p = twin->unpair(z);
+    ASSERT_EQ(twin->pair(p.x, p.y), z);
+  }
+}
+
+TEST(TransposeTest, ClockwiseSquareWalk) {
+  // The twin of A11 proceeds clockwise along the square shells (noted
+  // after eq. 3.3): spot-check against Fig. 3 transposed.
+  const auto twin = make_twin(std::make_shared<SquareShellPf>());
+  EXPECT_EQ(twin->pair(1, 2), 2ull);  // = A11(2, 1)
+  EXPECT_EQ(twin->pair(2, 1), 4ull);  // = A11(1, 2)
+  EXPECT_EQ(twin->pair(1, 3), 5ull);  // = A11(3, 1)
+  EXPECT_EQ(twin->pair(3, 3), 7ull);  // = A11(3, 3)
+  EXPECT_EQ(twin->pair(8, 1), 64ull); // = A11(1, 8)
+}
+
+TEST(TransposeTest, DoubleTwinIsIdentity) {
+  const auto twice = make_twin(make_twin(std::make_shared<DiagonalPf>()));
+  const DiagonalPf d;
+  for (index_t x = 1; x <= 30; ++x)
+    for (index_t y = 1; y <= 30; ++y)
+      EXPECT_EQ(twice->pair(x, y), d.pair(x, y));
+  for (index_t z = 1; z <= 1000; ++z) EXPECT_EQ(twice->unpair(z), d.unpair(z));
+}
+
+TEST(TransposeTest, MetadataPropagates) {
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  EXPECT_EQ(twin->name(), "diagonal-twin");
+  EXPECT_TRUE(twin->surjective());
+  EXPECT_FALSE(twin->monotone_in_y());  // conservative
+}
+
+TEST(TransposeTest, NullInnerRejected) {
+  EXPECT_THROW(TransposedPf(nullptr), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

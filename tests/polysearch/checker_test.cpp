@@ -1,0 +1,101 @@
+#include "polysearch/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfl::polysearch {
+namespace {
+
+TEST(CheckerTest, CantorPolynomialsPass) {
+  EXPECT_EQ(check_pf_candidate(BivariatePolynomial::cantor_diagonal()),
+            Verdict::kPass);
+  EXPECT_EQ(check_pf_candidate(BivariatePolynomial::cantor_twin()),
+            Verdict::kPass);
+}
+
+TEST(CheckerTest, NonIntegralRejected) {
+  BivariatePolynomial p(1, 2);  // (x + y)/2
+  p.set_coefficient(1, 0, 1);
+  p.set_coefficient(0, 1, 1);
+  EXPECT_EQ(check_pf_candidate(p), Verdict::kNonIntegral);
+}
+
+TEST(CheckerTest, NonPositiveRejected) {
+  BivariatePolynomial p(2, 1);  // x^2 - 10
+  p.set_coefficient(2, 0, 1);
+  p.set_coefficient(0, 0, -10);
+  EXPECT_EQ(check_pf_candidate(p), Verdict::kNonPositive);
+}
+
+TEST(CheckerTest, SymmetricPolynomialCollides) {
+  // x + y collides immediately: P(1,2) = P(2,1).
+  BivariatePolynomial p(1, 1);
+  p.set_coefficient(1, 0, 1);
+  p.set_coefficient(0, 1, 1);
+  EXPECT_EQ(check_pf_candidate(p), Verdict::kCollision);
+}
+
+TEST(CheckerTest, LinearImpostorCaughtByStrips) {
+  // P = x + G(y-1) with G = the grid side: injective ON the square grid
+  // and covers 1..G there, but P(G+1, 1) == P(1, 2). Only the strip pass
+  // can catch it -- this is why the checker has one.
+  CheckConfig config;
+  config.grid = 40;
+  BivariatePolynomial p(1, 1);
+  p.set_coefficient(1, 0, 1);
+  p.set_coefficient(0, 1, 40);
+  p.set_coefficient(0, 0, -40);
+  EXPECT_EQ(check_pf_candidate(p, config), Verdict::kCollision);
+}
+
+TEST(CheckerTest, SuperquadraticWithPositiveCoefficientsGapsOut) {
+  // Section 2 item 4: all-positive super-quadratic polynomials cannot be
+  // PFs -- their lead terms outgrow the plane and leave range gaps. Use
+  // P = (x+y)^3 + x, which is globally INJECTIVE (within shell s = x+y the
+  // x term separates values; across shells the gap 3s^2+3s+1 exceeds any
+  // x < s), so the checker must refute it by coverage, not collision.
+  BivariatePolynomial p(3, 1);
+  p.set_coefficient(3, 0, 1);
+  p.set_coefficient(2, 1, 3);
+  p.set_coefficient(1, 2, 3);
+  p.set_coefficient(0, 3, 1);
+  p.set_coefficient(1, 0, 1);
+  EXPECT_EQ(check_pf_candidate(p), Verdict::kCoverageGap);
+}
+
+TEST(CheckerTest, SymmetricCubicFailsByCollision) {
+  // x^3 + 2y^3 - 2 hits 1 at (1,1) but collides (taxicab-style, e.g.
+  // 11^3 + 2*4^3 == 1^3 + 2*9^3); a different route to the same "no
+  // cubic PF" conclusion.
+  BivariatePolynomial p(3, 1);
+  p.set_coefficient(3, 0, 1);
+  p.set_coefficient(0, 3, 2);
+  p.set_coefficient(0, 0, -2);
+  EXPECT_EQ(check_pf_candidate(p), Verdict::kCollision);
+}
+
+TEST(CheckerTest, UnitDensityOfCantorIsOne) {
+  // Section 2 item 2: a PF has unit density -- the count of lattice
+  // points with D <= n is exactly n.
+  const auto d = BivariatePolynomial::cantor_diagonal();
+  for (index_t n : {10ull, 100ull, 5000ull}) {
+    EXPECT_DOUBLE_EQ(unit_density(d, n), 1.0) << n;
+  }
+}
+
+TEST(CheckerTest, UnitDensityOfSuperquadraticVanishes) {
+  BivariatePolynomial p(3, 1);  // x^3 + y^3
+  p.set_coefficient(3, 0, 1);
+  p.set_coefficient(0, 3, 1);
+  const double d1 = unit_density(p, 1000);
+  const double d2 = unit_density(p, 100000);
+  EXPECT_LT(d1, 0.2);
+  EXPECT_LT(d2, d1);  // density decays with n: the gaps grow
+}
+
+TEST(CheckerTest, VerdictNames) {
+  EXPECT_STREQ(verdict_name(Verdict::kPass), "pass");
+  EXPECT_STREQ(verdict_name(Verdict::kCollision), "collision");
+}
+
+}  // namespace
+}  // namespace pfl::polysearch

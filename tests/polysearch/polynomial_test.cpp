@@ -1,0 +1,81 @@
+#include "polysearch/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/diagonal.hpp"
+#include "core/transpose.hpp"
+
+namespace pfl::polysearch {
+namespace {
+
+TEST(BivariatePolynomialTest, CantorPolynomialMatchesDiagonalPf) {
+  const auto poly = BivariatePolynomial::cantor_diagonal();
+  const DiagonalPf d;
+  for (index_t x = 1; x <= 60; ++x)
+    for (index_t y = 1; y <= 60; ++y) {
+      const auto v = poly.eval_as_address(x, y);
+      ASSERT_TRUE(v.has_value()) << x << "," << y;
+      ASSERT_EQ(*v, d.pair(x, y)) << x << "," << y;
+    }
+}
+
+TEST(BivariatePolynomialTest, TwinMatchesTransposedDiagonal) {
+  const auto poly = BivariatePolynomial::cantor_twin();
+  const auto twin = make_twin(std::make_shared<DiagonalPf>());
+  for (index_t x = 1; x <= 40; ++x)
+    for (index_t y = 1; y <= 40; ++y)
+      ASSERT_EQ(*poly.eval_as_address(x, y), twin->pair(x, y));
+}
+
+TEST(BivariatePolynomialTest, NonIntegralValuesAreRejected) {
+  // P = (x + y)/2 is integral only when x + y is even.
+  BivariatePolynomial p(1, 2);
+  p.set_coefficient(1, 0, 1);
+  p.set_coefficient(0, 1, 1);
+  EXPECT_TRUE(p.eval_as_address(1, 1).has_value());
+  EXPECT_FALSE(p.eval_as_address(1, 2).has_value());
+}
+
+TEST(BivariatePolynomialTest, NonPositiveValuesAreRejected) {
+  BivariatePolynomial p(1, 1);
+  p.set_coefficient(1, 0, 1);
+  p.set_coefficient(0, 0, -3);  // P = x - 3
+  EXPECT_FALSE(p.eval_as_address(1, 1).has_value());  // -2
+  EXPECT_FALSE(p.eval_as_address(3, 1).has_value());  // 0 is not in N
+  EXPECT_EQ(*p.eval_as_address(4, 1), 1ull);
+}
+
+TEST(BivariatePolynomialTest, HasDegreeTerms) {
+  const auto d = BivariatePolynomial::cantor_diagonal();
+  EXPECT_TRUE(d.has_degree_terms(2));
+  EXPECT_TRUE(d.has_degree_terms(1));
+  EXPECT_TRUE(d.has_degree_terms(0));
+  BivariatePolynomial cubic(3, 1);
+  cubic.set_coefficient(2, 1, 5);
+  EXPECT_TRUE(cubic.has_degree_terms(3));
+  EXPECT_FALSE(cubic.has_degree_terms(2));
+}
+
+TEST(BivariatePolynomialTest, ToStringReadable) {
+  EXPECT_EQ(BivariatePolynomial::cantor_diagonal().to_string(),
+            "(x^2 + 2xy + y^2 - 3x - y + 2)/2");
+  BivariatePolynomial zero(2, 1);
+  EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(BivariatePolynomialTest, ConstructionErrors) {
+  EXPECT_THROW(BivariatePolynomial(5, 1), DomainError);
+  EXPECT_THROW(BivariatePolynomial(-1, 1), DomainError);
+  EXPECT_THROW(BivariatePolynomial(2, 0), DomainError);
+  BivariatePolynomial p(2, 1);
+  EXPECT_THROW(p.set_coefficient(2, 1, 1), DomainError);  // degree 3 term
+  EXPECT_THROW(p.set_coefficient(-1, 0, 1), DomainError);
+}
+
+TEST(BivariatePolynomialTest, CoordinateCapEnforced) {
+  const auto poly = BivariatePolynomial::cantor_diagonal();
+  EXPECT_THROW(poly.eval_scaled((index_t{1} << 20) + 1, 1), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::polysearch

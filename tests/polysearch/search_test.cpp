@@ -1,0 +1,58 @@
+#include "polysearch/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pfl::polysearch {
+namespace {
+
+TEST(QuadraticSearchTest, OnlyCantorAndTwinSurvive) {
+  // Section 2 item 1 (Fueter-Polya), computationally: within the
+  // coefficient box [-3, 3]^6 over denominator 2 -- which contains both
+  // Cantor polynomials -- the search leaves exactly D and its twin.
+  const SearchStats stats = search_quadratics(/*bound=*/3);
+  EXPECT_EQ(stats.candidates, 117649ull);  // 7^6
+  ASSERT_EQ(stats.survivors.size(), 2u);
+  const auto d = BivariatePolynomial::cantor_diagonal();
+  const auto t = BivariatePolynomial::cantor_twin();
+  EXPECT_TRUE((stats.survivors[0] == d && stats.survivors[1] == t) ||
+              (stats.survivors[0] == t && stats.survivors[1] == d));
+  // Every rejection is accounted for.
+  EXPECT_EQ(stats.candidates,
+            stats.survivors.size() + stats.non_integral + stats.non_positive +
+                stats.collisions + stats.coverage_gaps);
+}
+
+TEST(QuadraticSearchTest, IntegerCoefficientBoxHasNoSurvivors) {
+  // Over denominator 1 no quadratic in the box is a PF (Cantor's
+  // polynomials need half-integer coefficients).
+  const SearchStats stats = search_quadratics(/*bound=*/2, /*den=*/1);
+  EXPECT_TRUE(stats.survivors.empty());
+}
+
+TEST(SuperquadraticSearchTest, NoCubicSurvives) {
+  // Section 2 item 3 on the box [-1, 1]^10 over denominator 2: every
+  // candidate with a nonzero cubic part is refuted.
+  const SearchStats stats = search_superquadratics(3, /*bound=*/1);
+  EXPECT_TRUE(stats.survivors.empty())
+      << "unexpected survivor: " << stats.survivors.front().to_string();
+  EXPECT_GT(stats.candidates, 50000ull);
+}
+
+TEST(SuperquadraticSearchTest, NoQuarticSurvives) {
+  // Quartic part forced nonzero, remaining coefficients in [-1, 1];
+  // 3^15 - 3^10 candidates, all refuted (Section 2 item 3).
+  const SearchStats stats = search_superquadratics(4, /*bound=*/1);
+  EXPECT_TRUE(stats.survivors.empty());
+  EXPECT_GT(stats.candidates, 10000000ull);
+}
+
+TEST(SearchTest, ArgumentValidation) {
+  EXPECT_THROW(search_quadratics(0), DomainError);
+  EXPECT_THROW(search_superquadratics(2, 1), DomainError);
+  EXPECT_THROW(search_superquadratics(5, 1), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::polysearch

@@ -1,0 +1,28 @@
+#include "report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfl::report {
+namespace {
+
+TEST(CsvTest, PlainFields) {
+  EXPECT_EQ(to_csv({"a", "b"}, {{"1", "2"}, {"3", "4"}}),
+            "a,b\n1,2\n3,4\n");
+}
+
+TEST(CsvTest, QuotingRules) {
+  EXPECT_EQ(to_csv({"name"}, {{"has,comma"}}), "name\n\"has,comma\"\n");
+  EXPECT_EQ(to_csv({"name"}, {{"has\"quote"}}), "name\n\"has\"\"quote\"\n");
+  EXPECT_EQ(to_csv({"name"}, {{"two\nlines"}}), "name\n\"two\nlines\"\n");
+}
+
+TEST(CsvTest, EmptyRows) {
+  EXPECT_EQ(to_csv({"only", "header"}, {}), "only,header\n");
+}
+
+TEST(CsvTest, RaggedRowsSerializeAsGiven) {
+  EXPECT_EQ(to_csv({"a", "b", "c"}, {{"1"}}), "a,b,c\n1\n");
+}
+
+}  // namespace
+}  // namespace pfl::report

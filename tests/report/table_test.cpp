@@ -1,0 +1,43 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/diagonal.hpp"
+
+namespace pfl::report {
+namespace {
+
+TEST(RenderGridTest, SmallDiagonalSample) {
+  const DiagonalPf d;
+  const std::string grid = render_grid(d, 3, 3);
+  EXPECT_EQ(grid,
+            " 1   3   6\n"
+            " 2   5   9\n"
+            " 4   8  13\n");
+}
+
+TEST(RenderGridTest, HighlightMarksShellMembers) {
+  const DiagonalPf d;
+  const std::string grid =
+      render_grid(d, 3, 3, [](index_t x, index_t y) { return x + y == 3; });
+  // Shell x+y=3 holds addresses 2 and 3.
+  EXPECT_NE(grid.find("[3]"), std::string::npos);
+  EXPECT_NE(grid.find("[2]"), std::string::npos);
+  EXPECT_EQ(grid.find("[1]"), std::string::npos);
+}
+
+TEST(RenderTableTest, AlignsColumns) {
+  const std::string t = render_table({"n", "S(n)"}, {{"16", "50"}, {"256", "1234"}});
+  // Header first, separator second, rows afterwards; right-aligned.
+  EXPECT_NE(t.find("  n  S(n)"), std::string::npos);
+  EXPECT_NE(t.find(" 16    50"), std::string::npos);
+  EXPECT_NE(t.find("256  1234"), std::string::npos);
+}
+
+TEST(RenderTableTest, EmptyRowsStillRenderHeader) {
+  const std::string t = render_table({"a"}, {});
+  EXPECT_NE(t.find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfl::report

@@ -1,0 +1,53 @@
+#include "storage/bounded_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/square_shell.hpp"
+#include "storage/extendible_array.hpp"
+
+namespace pfl::storage {
+namespace {
+
+TEST(BoundedArrayTest, WriteReadAndReshapeWithoutMoves) {
+  BoundedArray<int> a(10, 10, 3, 3);
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 3; ++y) a.at(x, y) = static_cast<int>(x * 10 + y);
+  EXPECT_EQ(a.resize(8, 8), 0ull);
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 3; ++y)
+      EXPECT_EQ(a.at(x, y), static_cast<int>(x * 10 + y));  // addresses fixed
+  EXPECT_EQ(a.element_moves(), 0ull);
+}
+
+TEST(BoundedArrayTest, HardWallAtDeclaredMaxima) {
+  BoundedArray<int> a(4, 4, 4, 4);
+  EXPECT_THROW(a.append_row(), DomainError);
+  EXPECT_THROW(a.resize(4, 5), DomainError);
+  EXPECT_THROW(BoundedArray<int>(4, 4, 5, 1), DomainError);
+  EXPECT_THROW(BoundedArray<int>(0, 4), DomainError);
+}
+
+TEST(BoundedArrayTest, FootprintIsTheDeclaredEnvelope) {
+  // A 2 x 2 logical array inside a 1000 x 1000 declaration pays for the
+  // full million cells -- the waste the PF approach eliminates.
+  BoundedArray<int> bounded(1000, 1000, 2, 2);
+  EXPECT_EQ(bounded.address_high_water(), 1000000ull);
+  EXPECT_GE(bounded.bytes_reserved(), 1000000u * sizeof(int));
+
+  ExtendibleArray<int> pf_backed(std::make_shared<SquareShellPf>(), 2, 2);
+  pf_backed.at(2, 2) = 1;
+  EXPECT_LE(pf_backed.address_high_water(), 4ull);
+}
+
+TEST(BoundedArrayTest, LogicalBoundsEnforced) {
+  BoundedArray<int> a(10, 10, 2, 2);
+  EXPECT_THROW(a.at(3, 1), DomainError);  // inside maxima, outside bounds
+  EXPECT_THROW(a.at(0, 1), DomainError);
+  a.append_row();
+  EXPECT_NO_THROW(a.at(3, 1));
+}
+
+}  // namespace
+}  // namespace pfl::storage

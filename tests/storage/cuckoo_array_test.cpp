@@ -1,0 +1,106 @@
+#include "storage/cuckoo_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+
+namespace pfl::storage {
+namespace {
+
+TEST(CuckooArrayTest, PutGetEraseRoundTrip) {
+  CuckooArray<int> c;
+  c.put(1, 1, 11);
+  c.put(7, 3, 73);
+  c.put(1000000, 999999, 5);
+  ASSERT_NE(c.get(1, 1), nullptr);
+  EXPECT_EQ(*c.get(1, 1), 11);
+  EXPECT_EQ(*c.get(1000000, 999999), 5);
+  EXPECT_EQ(c.get(2, 2), nullptr);
+  EXPECT_TRUE(c.erase(7, 3));
+  EXPECT_EQ(c.get(7, 3), nullptr);
+  EXPECT_FALSE(c.erase(7, 3));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CuckooArrayTest, OverwriteKeepsSize) {
+  CuckooArray<int> c;
+  c.put(3, 4, 1);
+  c.put(3, 4, 2);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(*c.get(3, 4), 2);
+}
+
+TEST(CuckooArrayTest, HardWorstCaseProbeBound) {
+  // The [14] analogue: lookups are O(1) in the WORST case -- the bound is
+  // a compile-time constant, not a measured statistic.
+  static_assert(CuckooArray<int>::max_lookup_probes() == 8);
+}
+
+TEST(CuckooArrayTest, MemoryEnvelopeUnderTwoN) {
+  CuckooArray<int> c;
+  std::size_t n = 0;
+  for (index_t x = 1; x <= 400; ++x)
+    for (index_t y = 1; y <= 200; ++y) {
+      c.put(x, y, 1);
+      ++n;
+      if (n >= 64) {
+        ASSERT_LT(c.slot_count(), 2 * n) << n;
+      }
+    }
+  EXPECT_EQ(c.size(), n);
+}
+
+TEST(CuckooArrayTest, SurvivesHighLoadWithRehashes) {
+  // Dense sequential keys stress the eviction chains.
+  CuckooArray<index_t> c(/*seed=*/123);
+  for (index_t i = 1; i <= 200000; ++i) c.put(i, 1, i * 3);
+  for (index_t i = 1; i <= 200000; ++i) {
+    const index_t* v = c.get(i, 1);
+    ASSERT_NE(v, nullptr) << i;
+    ASSERT_EQ(*v, i * 3) << i;
+  }
+}
+
+TEST(CuckooArrayTest, MatchesReferenceMapUnderChurn) {
+  CuckooArray<int> c;
+  std::unordered_map<std::uint64_t, int> reference;
+  std::mt19937_64 rng(5);
+  const auto key = [](index_t x, index_t y) { return (x << 20) | y; };
+  for (int op = 0; op < 200000; ++op) {
+    const index_t x = 1 + rng() % 700, y = 1 + rng() % 700;
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(c.erase(x, y), reference.erase(key(x, y)) > 0);
+    } else {
+      const int v = static_cast<int>(rng() % 1000);
+      c.put(x, y, v);
+      reference[key(x, y)] = v;
+    }
+  }
+  EXPECT_EQ(c.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    const index_t x = k >> 20, y = k & ((1u << 20) - 1);
+    ASSERT_NE(c.get(x, y), nullptr);
+    ASSERT_EQ(*c.get(x, y), v);
+  }
+}
+
+TEST(CuckooArrayTest, DeterministicForFixedSeed) {
+  CuckooArray<int> a(42), b(42);
+  for (index_t i = 1; i <= 5000; ++i) {
+    a.put(i, i + 1, static_cast<int>(i));
+    b.put(i, i + 1, static_cast<int>(i));
+  }
+  EXPECT_EQ(a.slot_count(), b.slot_count());
+  EXPECT_EQ(a.rehashes(), b.rehashes());
+}
+
+TEST(CuckooArrayTest, ZeroCoordinatesRejected) {
+  CuckooArray<int> c;
+  EXPECT_THROW(c.put(0, 1, 1), DomainError);
+  EXPECT_THROW(c.get(1, 0), DomainError);
+  EXPECT_THROW(c.erase(0, 0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::storage

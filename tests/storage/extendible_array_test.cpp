@@ -1,0 +1,139 @@
+#include "storage/extendible_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/diagonal.hpp"
+#include "core/dovetail.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/registry.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl::storage {
+namespace {
+
+ExtendibleArray<int> make_array(index_t rows, index_t cols) {
+  return ExtendibleArray<int>(std::make_shared<SquareShellPf>(), rows, cols);
+}
+
+TEST(ExtendibleArrayTest, WriteReadBack) {
+  auto a = make_array(4, 6);
+  for (index_t x = 1; x <= 4; ++x)
+    for (index_t y = 1; y <= 6; ++y) a.at(x, y) = static_cast<int>(x * 100 + y);
+  for (index_t x = 1; x <= 4; ++x)
+    for (index_t y = 1; y <= 6; ++y)
+      EXPECT_EQ(a.at(x, y), static_cast<int>(x * 100 + y));
+  EXPECT_EQ(a.stored(), 24u);
+}
+
+TEST(ExtendibleArrayTest, GrowthMovesNothingAndPreservesContent) {
+  auto a = make_array(3, 3);
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 3; ++y) a.at(x, y) = static_cast<int>(x * 10 + y);
+  const index_t hw_before = a.address_high_water();
+
+  a.append_row();
+  a.append_col();
+  a.resize(50, 50);
+
+  EXPECT_EQ(a.element_moves(), 0ull);  // the Section 3 claim
+  EXPECT_EQ(a.reshape_work(), 0ull);   // growth touches nothing
+  EXPECT_EQ(a.address_high_water(), hw_before);
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 3; ++y)
+      EXPECT_EQ(a.at(x, y), static_cast<int>(x * 10 + y));
+}
+
+TEST(ExtendibleArrayTest, ShrinkErasesExactlyTheDroppedCells) {
+  auto a = make_array(5, 5);
+  for (index_t x = 1; x <= 5; ++x)
+    for (index_t y = 1; y <= 5; ++y) a.at(x, y) = 1;
+  a.resize(5, 3);  // drop 2 columns: 10 cells
+  EXPECT_EQ(a.reshape_work(), 10ull);
+  EXPECT_EQ(a.stored(), 15u);
+  a.remove_row();  // drop 1 row: 3 cells
+  EXPECT_EQ(a.reshape_work(), 13ull);
+  EXPECT_EQ(a.stored(), 12u);
+  EXPECT_EQ(a.element_moves(), 0ull);
+}
+
+TEST(ExtendibleArrayTest, ShrinkThenRegrowFindsCellsEmpty) {
+  auto a = make_array(3, 3);
+  a.at(3, 3) = 99;
+  a.resize(2, 2);
+  a.resize(3, 3);
+  EXPECT_FALSE(a.contains(3, 3));  // deletion is real, not masked
+  EXPECT_EQ(a.get(3, 3), nullptr);
+}
+
+TEST(ExtendibleArrayTest, BoundsAreEnforcedAfterReshape) {
+  auto a = make_array(3, 3);
+  a.resize(2, 5);
+  EXPECT_NO_THROW(a.at(2, 5));
+  EXPECT_THROW(a.at(3, 1), DomainError);
+  EXPECT_THROW(a.at(1, 6), DomainError);
+  EXPECT_THROW(a.at(0, 1), DomainError);
+}
+
+TEST(ExtendibleArrayTest, AddressHighWaterMatchesMappingSpreadShape) {
+  // Square-shell storage of a k x k array peaks at exactly k^2.
+  auto a = make_array(10, 10);
+  for (index_t x = 1; x <= 10; ++x)
+    for (index_t y = 1; y <= 10; ++y) a.at(x, y) = 1;
+  EXPECT_EQ(a.address_high_water(), 100ull);
+
+  // Diagonal storage of the same array peaks at D(10,10) = 2*100-20+1.
+  ExtendibleArray<int> d(std::make_shared<DiagonalPf>(), 10, 10);
+  for (index_t x = 1; x <= 10; ++x)
+    for (index_t y = 1; y <= 10; ++y) d.at(x, y) = 1;
+  EXPECT_EQ(d.address_high_water(), 181ull);
+}
+
+TEST(ExtendibleArrayTest, WorksWithEveryRegisteredPf) {
+  for (const auto& entry : core_pairing_functions()) {
+    ExtendibleArray<index_t> a(entry.pf, 8, 8);
+    for (index_t x = 1; x <= 8; ++x)
+      for (index_t y = 1; y <= 8; ++y) a.at(x, y) = x * 1000 + y;
+    a.resize(12, 5);  // mixed grow/shrink
+    for (index_t x = 1; x <= 8; ++x)
+      for (index_t y = 1; y <= 5; ++y)
+        ASSERT_EQ(a.at(x, y), x * 1000 + y) << entry.name;
+    EXPECT_EQ(a.element_moves(), 0ull) << entry.name;
+  }
+}
+
+TEST(ExtendibleArrayTest, WorksWithDovetailStorageMapping) {
+  // Injective non-surjective mappings are fine for storage.
+  auto dovetail = std::make_shared<DovetailMapping>(std::vector<PfPtr>{
+      std::make_shared<SquareShellPf>(), std::make_shared<DiagonalPf>()});
+  ExtendibleArray<int> a(dovetail, 6, 6);
+  for (index_t x = 1; x <= 6; ++x)
+    for (index_t y = 1; y <= 6; ++y) a.at(x, y) = static_cast<int>(x + y);
+  for (index_t x = 1; x <= 6; ++x)
+    for (index_t y = 1; y <= 6; ++y) ASSERT_EQ(a.at(x, y), static_cast<int>(x + y));
+}
+
+TEST(ExtendibleArrayTest, ForEachVisitsWrittenCellsRowMajor) {
+  auto a = make_array(3, 3);
+  a.at(1, 2) = 12;
+  a.at(3, 1) = 31;
+  std::vector<std::tuple<index_t, index_t, int>> seen;
+  a.for_each([&seen](index_t x, index_t y, int v) { seen.push_back({x, y, v}); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::tuple<index_t, index_t, int>{1, 2, 12}));
+  EXPECT_EQ(seen[1], (std::tuple<index_t, index_t, int>{3, 1, 31}));
+}
+
+TEST(ExtendibleArrayTest, NullMappingRejected) {
+  EXPECT_THROW(ExtendibleArray<int>(nullptr), DomainError);
+}
+
+TEST(ExtendibleArrayTest, RemoveFromEmptyThrows) {
+  auto a = make_array(0, 0);
+  EXPECT_THROW(a.remove_row(), DomainError);
+  EXPECT_THROW(a.remove_col(), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::storage

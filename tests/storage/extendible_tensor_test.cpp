@@ -1,0 +1,154 @@
+#include "storage/extendible_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+
+#include "core/diagonal.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl::storage {
+namespace {
+
+ExtendibleTensor<int> cube(std::vector<index_t> dims) {
+  return ExtendibleTensor<int>(std::make_shared<SquareShellPf>(), std::move(dims));
+}
+
+TEST(ExtendibleTensorTest, WriteReadBack3d) {
+  auto t = cube({3, 4, 5});
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 4; ++y)
+      for (index_t z = 1; z <= 5; ++z)
+        t.at({x, y, z}) = static_cast<int>(x * 100 + y * 10 + z);
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 4; ++y)
+      for (index_t z = 1; z <= 5; ++z)
+        ASSERT_EQ(t.at({x, y, z}), static_cast<int>(x * 100 + y * 10 + z));
+  EXPECT_EQ(t.stored(), 60u);
+}
+
+TEST(ExtendibleTensorTest, GrowthMovesNothing) {
+  auto t = cube({2, 2, 2});
+  for (index_t x = 1; x <= 2; ++x)
+    for (index_t y = 1; y <= 2; ++y)
+      for (index_t z = 1; z <= 2; ++z) t.at({x, y, z}) = 7;
+  const index_t hw = t.address_high_water();
+  t.grow(0);
+  t.grow(1);
+  t.resize({10, 10, 10});
+  EXPECT_EQ(t.element_moves(), 0ull);
+  EXPECT_EQ(t.reshape_work(), 0ull);
+  EXPECT_EQ(t.address_high_water(), hw);
+  EXPECT_EQ(t.at({2, 2, 2}), 7);
+}
+
+TEST(ExtendibleTensorTest, ShrinkErasesExactlyDroppedCells) {
+  auto t = cube({3, 3, 3});
+  for (index_t x = 1; x <= 3; ++x)
+    for (index_t y = 1; y <= 3; ++y)
+      for (index_t z = 1; z <= 3; ++z) t.at({x, y, z}) = 1;
+  t.resize({2, 3, 3});  // drop 1 x 3 x 3 = 9 cells
+  EXPECT_EQ(t.reshape_work(), 9ull);
+  EXPECT_EQ(t.stored(), 18u);
+  t.resize({2, 2, 2});  // drop 2*1*3 + 2*2*1 = 6 + 4 = 10 cells
+  EXPECT_EQ(t.reshape_work(), 19ull);
+  EXPECT_EQ(t.stored(), 8u);
+}
+
+TEST(ExtendibleTensorTest, MixedGrowShrinkInOneResize) {
+  auto t = cube({4, 4, 4});
+  for (index_t x = 1; x <= 4; ++x)
+    for (index_t y = 1; y <= 4; ++y)
+      for (index_t z = 1; z <= 4; ++z) t.at({x, y, z}) = static_cast<int>(x);
+  t.resize({2, 8, 4});  // shrink dim0, grow dim1
+  EXPECT_EQ(t.stored(), 32u);  // 2*4*4 survivors
+  for (index_t y = 1; y <= 4; ++y)
+    for (index_t z = 1; z <= 4; ++z) {
+      ASSERT_EQ(t.at({1, y, z}), 1);
+      ASSERT_EQ(t.at({2, y, z}), 2);
+    }
+  EXPECT_EQ(t.get({1, 5, 1}), nullptr);  // grown region is empty
+}
+
+TEST(ExtendibleTensorTest, ShrinkThenRegrowIsEmpty) {
+  auto t = cube({2, 2, 2});
+  t.at({2, 2, 2}) = 9;
+  t.shrink(2);
+  t.grow(2);
+  EXPECT_EQ(t.get({2, 2, 2}), nullptr);
+}
+
+TEST(ExtendibleTensorTest, RandomOpsMatchReferenceModel) {
+  // Property: the tensor behaves exactly like a map keyed by coordinates,
+  // restricted to the current bounds, under random writes and reshapes.
+  auto t = ExtendibleTensor<int>(std::make_shared<DiagonalPf>(), {4, 4, 4});
+  std::map<std::vector<index_t>, int> model;
+  std::vector<index_t> dims = {4, 4, 4};
+  std::mt19937_64 rng(2024);
+
+  for (int op = 0; op < 4000; ++op) {
+    const int kind = static_cast<int>(rng() % 4);
+    if (kind < 2) {  // write
+      std::vector<index_t> c(3);
+      bool in_bounds = true;
+      for (std::size_t i = 0; i < 3; ++i) {
+        if (dims[i] == 0) {
+          in_bounds = false;
+          break;
+        }
+        c[i] = 1 + rng() % dims[i];
+      }
+      if (!in_bounds) continue;
+      const int v = static_cast<int>(rng() % 100);
+      t.at(c) = v;
+      model[c] = v;
+    } else {  // reshape one dimension
+      const std::size_t d = rng() % 3;
+      index_t next = rng() % 7;  // 0..6
+      std::vector<index_t> nd = dims;
+      nd[d] = next;
+      t.resize(nd);
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->first[d] > next)
+          it = model.erase(it);
+        else
+          ++it;
+      }
+      dims = nd;
+    }
+  }
+  EXPECT_EQ(t.stored(), model.size());
+  for (const auto& [c, v] : model) {
+    const int* got = t.get(c);
+    ASSERT_NE(got, nullptr);
+    ASSERT_EQ(*got, v);
+  }
+}
+
+TEST(ExtendibleTensorTest, RankAndBoundsErrors) {
+  auto t = cube({2, 2});
+  EXPECT_THROW(t.at({1, 1, 1}), DomainError);
+  EXPECT_THROW(t.at({0, 1}), DomainError);
+  EXPECT_THROW(t.at({3, 1}), DomainError);
+  EXPECT_THROW(t.resize({1, 1, 1}), DomainError);  // rank immutable
+  EXPECT_THROW(ExtendibleTensor<int>(std::make_shared<SquareShellPf>(), {}),
+               DomainError);
+  auto empty = cube({0, 2});
+  EXPECT_THROW(empty.shrink(0), DomainError);
+}
+
+TEST(ExtendibleTensorTest, BalancedFoldShrinksAddressFootprint) {
+  auto left = ExtendibleTensor<int>(std::make_shared<DiagonalPf>(), {8, 8, 8, 8},
+                                    TuplePairing::Fold::kLeft);
+  auto balanced = ExtendibleTensor<int>(std::make_shared<DiagonalPf>(),
+                                        {8, 8, 8, 8},
+                                        TuplePairing::Fold::kBalanced);
+  left.at({8, 8, 8, 8}) = 1;
+  balanced.at({8, 8, 8, 8}) = 1;
+  EXPECT_LT(balanced.address_high_water() * 100, left.address_high_water());
+}
+
+}  // namespace
+}  // namespace pfl::storage

@@ -1,0 +1,96 @@
+#include "storage/hashed_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+
+namespace pfl::storage {
+namespace {
+
+TEST(HashedArrayTest, PutGetEraseRoundTrip) {
+  HashedArray<int> h;
+  h.put(1, 1, 11);
+  h.put(1, 2, 12);
+  h.put(1000000, 7, 99);
+  ASSERT_NE(h.get(1, 1), nullptr);
+  EXPECT_EQ(*h.get(1, 1), 11);
+  EXPECT_EQ(*h.get(1000000, 7), 99);
+  EXPECT_EQ(h.get(2, 1), nullptr);
+  EXPECT_TRUE(h.erase(1, 1));
+  EXPECT_EQ(h.get(1, 1), nullptr);
+  EXPECT_FALSE(h.erase(1, 1));
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(HashedArrayTest, OverwriteKeepsSize) {
+  HashedArray<int> h;
+  h.put(5, 5, 1);
+  h.put(5, 5, 2);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(*h.get(5, 5), 2);
+}
+
+TEST(HashedArrayTest, PaperEnvelopeUnderTwoN) {
+  // The Aside's claim: "fewer than 2n memory locations", regardless of
+  // the array's aspect ratio. Insert three wildly different shapes.
+  for (auto [rows, cols] : {std::pair<index_t, index_t>{1, 40000},
+                            {200, 200}, {40000, 1}}) {
+    HashedArray<int> h;
+    std::size_t n = 0;
+    for (index_t x = 1; x <= rows; ++x)
+      for (index_t y = 1; y <= cols; ++y) {
+        h.put(x, y, 1);
+        ++n;
+        if (n >= 32) {
+          ASSERT_LT(h.slot_count(), 2 * n) << n;
+        }
+      }
+    EXPECT_EQ(h.size(), n);
+  }
+}
+
+TEST(HashedArrayTest, ExpectedConstantProbes) {
+  // Expected O(1) access: mean probe length over many random accesses
+  // stays small; the measured max is reported by the bench, here we just
+  // sanity-bound it (linear probing at load <= 0.75).
+  HashedArray<int> h;
+  std::mt19937_64 rng(7);
+  for (index_t i = 1; i <= 100000; ++i)
+    h.put(1 + rng() % 100000, 1 + rng() % 100000, static_cast<int>(i));
+  EXPECT_LT(h.max_probe(), 200u);  // generous; typical is tens
+}
+
+TEST(HashedArrayTest, MatchesReferenceMapUnderChurn) {
+  HashedArray<int> h;
+  std::unordered_map<std::uint64_t, int> reference;
+  std::mt19937_64 rng(99);
+  const auto key = [](index_t x, index_t y) { return (x << 20) | y; };
+  for (int op = 0; op < 200000; ++op) {
+    const index_t x = 1 + rng() % 500, y = 1 + rng() % 500;
+    if (rng() % 3 == 0) {
+      const bool erased_ref = reference.erase(key(x, y)) > 0;
+      EXPECT_EQ(h.erase(x, y), erased_ref);
+    } else {
+      const int v = static_cast<int>(rng() % 1000);
+      h.put(x, y, v);
+      reference[key(x, y)] = v;
+    }
+  }
+  EXPECT_EQ(h.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    const index_t x = k >> 20, y = k & ((1u << 20) - 1);
+    ASSERT_NE(h.get(x, y), nullptr);
+    ASSERT_EQ(*h.get(x, y), v);
+  }
+}
+
+TEST(HashedArrayTest, ZeroCoordinatesRejected) {
+  HashedArray<int> h;
+  EXPECT_THROW(h.put(0, 1, 1), DomainError);
+  EXPECT_THROW(h.get(1, 0), DomainError);
+  EXPECT_THROW(h.erase(0, 0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::storage

@@ -1,0 +1,79 @@
+#include "storage/row_cursor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apf/registry.hpp"
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+
+namespace pfl::storage {
+namespace {
+
+TEST(RowCursorTest, AdditiveFastPathOnApfs) {
+  for (const auto& entry : apf::sampler_apfs()) {
+    if (entry.name == "T<1>" || entry.name == "T-exp") continue;
+    RowAddressCursor cursor(*entry.apf, 7);
+    EXPECT_TRUE(cursor.additive()) << entry.name;
+    for (index_t y = 1; y <= 64; ++y) {
+      ASSERT_EQ(cursor.column(), y);
+      ASSERT_EQ(cursor.address(), entry.apf->pair(7, y)) << entry.name;
+      cursor.advance();
+    }
+  }
+}
+
+TEST(RowCursorTest, EvaluationPathOnGeneralPfs) {
+  const DiagonalPf d;
+  RowAddressCursor cursor(d, 3);
+  EXPECT_FALSE(cursor.additive());
+  for (index_t y = 1; y <= 64; ++y) {
+    ASSERT_EQ(cursor.address(), d.pair(3, y));
+    cursor.advance();
+  }
+}
+
+TEST(RowCursorTest, AdvanceByMatchesRepeatedAdvance) {
+  const auto sharp = apf::make_apf("T#");
+  RowAddressCursor jump(*sharp, 12);
+  RowAddressCursor walk(*sharp, 12);
+  jump.advance_by(100);
+  for (int i = 0; i < 100; ++i) walk.advance();
+  EXPECT_EQ(jump.address(), walk.address());
+  EXPECT_EQ(jump.column(), walk.column());
+
+  const HyperbolicPf h;
+  RowAddressCursor hj(h, 4);
+  RowAddressCursor hw(h, 4);
+  hj.advance_by(25);
+  for (int i = 0; i < 25; ++i) hw.advance();
+  EXPECT_EQ(hj.address(), hw.address());
+}
+
+TEST(RowCursorTest, OverflowingApfRowFallsBackGracefully) {
+  // T<1> at row 70 has stride 2^70: row_stride() is nullopt, so the
+  // cursor must take the evaluation path (and pair() itself throws,
+  // keeping the overflow visible rather than wrapped).
+  const auto t1 = apf::make_apf("T<1>");
+  EXPECT_EQ(t1->row_stride(70), std::nullopt);
+  EXPECT_THROW(RowAddressCursor(*t1, 70), OverflowError);  // base overflows too
+  // A row whose base fits but whose walk eventually overflows:
+  RowAddressCursor cursor(*t1, 56);
+  EXPECT_TRUE(cursor.additive());
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) cursor.advance();
+      },
+      OverflowError);
+}
+
+TEST(RowCursorTest, AdvanceByZeroIsNoop) {
+  const DiagonalPf d;
+  RowAddressCursor cursor(d, 2);
+  const index_t before = cursor.address();
+  cursor.advance_by(0);
+  EXPECT_EQ(cursor.address(), before);
+  EXPECT_EQ(cursor.column(), 1ull);
+}
+
+}  // namespace
+}  // namespace pfl::storage

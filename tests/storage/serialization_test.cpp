@@ -1,0 +1,82 @@
+#include "storage/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/diagonal.hpp"
+#include "core/hyperbolic.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl::storage {
+namespace {
+
+TEST(SerializationTest, RoundTripSameMapping) {
+  ExtendibleArray<int> original(std::make_shared<DiagonalPf>(), 5, 7);
+  original.at(1, 1) = 11;
+  original.at(3, 6) = 36;
+  original.at(5, 7) = 57;
+  const std::string blob = save_array_to_string(original);
+  auto restored = load_array_from_string<int>(blob, std::make_shared<DiagonalPf>());
+  EXPECT_EQ(restored.rows(), 5ull);
+  EXPECT_EQ(restored.cols(), 7ull);
+  EXPECT_EQ(restored.stored(), 3u);
+  EXPECT_EQ(restored.at(1, 1), 11);
+  EXPECT_EQ(restored.at(3, 6), 36);
+  EXPECT_EQ(restored.at(5, 7), 57);
+  EXPECT_FALSE(restored.contains(2, 2));
+}
+
+TEST(SerializationTest, MigratesBetweenMappings) {
+  // The headline feature: a snapshot taken under the diagonal PF restores
+  // under the hyperbolic PF -- positions survive, addresses change.
+  ExtendibleArray<index_t> original(std::make_shared<DiagonalPf>(), 10, 10);
+  for (index_t x = 1; x <= 10; ++x)
+    for (index_t y = 1; y <= 10; ++y) original.at(x, y) = x * 100 + y;
+  const std::string blob = save_array_to_string(original);
+  auto migrated =
+      load_array_from_string<index_t>(blob, std::make_shared<HyperbolicPf>());
+  for (index_t x = 1; x <= 10; ++x)
+    for (index_t y = 1; y <= 10; ++y)
+      ASSERT_EQ(migrated.at(x, y), x * 100 + y);
+  // Different mapping -> different realized footprint.
+  EXPECT_NE(migrated.address_high_water(), original.address_high_water());
+}
+
+TEST(SerializationTest, EmptyArray) {
+  ExtendibleArray<int> empty(std::make_shared<SquareShellPf>(), 0, 0);
+  const std::string blob = save_array_to_string(empty);
+  auto restored = load_array_from_string<int>(blob, std::make_shared<SquareShellPf>());
+  EXPECT_EQ(restored.rows(), 0ull);
+  EXPECT_EQ(restored.stored(), 0u);
+}
+
+TEST(SerializationTest, RejectsGarbageAndTruncation) {
+  const auto pf = std::make_shared<DiagonalPf>();
+  EXPECT_THROW(load_array_from_string<int>("not-a-snapshot 1", pf), DomainError);
+  EXPECT_THROW(load_array_from_string<int>("", pf), DomainError);
+
+  ExtendibleArray<int> original(pf, 3, 3);
+  original.at(2, 2) = 5;
+  original.at(3, 3) = 6;
+  std::string blob = save_array_to_string(original);
+  // Chop the last cell line off.
+  blob.erase(blob.rfind('\n', blob.size() - 2) + 1);
+  EXPECT_THROW(load_array_from_string<int>(blob, pf), DomainError);
+
+  // Future version refused.
+  std::string versioned = save_array_to_string(original);
+  versioned.replace(versioned.find(" 1\n"), 3, " 9\n");
+  EXPECT_THROW(load_array_from_string<int>(versioned, pf), DomainError);
+}
+
+TEST(SerializationTest, CellsOutsideShapeRejected) {
+  // A corrupted snapshot pointing outside its own declared shape must be
+  // caught by the array's bounds check, not written silently.
+  const auto pf = std::make_shared<DiagonalPf>();
+  const std::string bad = std::string(kArrayMagic) + " 1\ndiagonal\n2 2 1\n3 1 9\n";
+  EXPECT_THROW(load_array_from_string<int>(bad, pf), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::storage

@@ -1,0 +1,93 @@
+#include "storage/sparse_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pfl::storage {
+namespace {
+
+TEST(SparseStoreTest, PutGetRoundTrip) {
+  SparseStore<int> store;
+  store.put(1, 10);
+  store.put(1000000, 20);
+  ASSERT_NE(store.get(1), nullptr);
+  EXPECT_EQ(*store.get(1), 10);
+  EXPECT_EQ(*store.get(1000000), 20);
+  EXPECT_EQ(store.get(2), nullptr);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(SparseStoreTest, OverwriteKeepsSize) {
+  SparseStore<int> store;
+  store.put(7, 1);
+  store.put(7, 2);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(*store.get(7), 2);
+}
+
+TEST(SparseStoreTest, HighWaterTracksLargestAddress) {
+  SparseStore<int> store;
+  EXPECT_EQ(store.high_water(), 0ull);
+  store.put(5, 0);
+  EXPECT_EQ(store.high_water(), 5ull);
+  store.put(123456, 0);
+  EXPECT_EQ(store.high_water(), 123456ull);
+  store.put(10, 0);
+  EXPECT_EQ(store.high_water(), 123456ull);  // monotone
+  store.erase(123456);
+  EXPECT_EQ(store.high_water(), 123456ull);  // records the historic spread
+}
+
+TEST(SparseStoreTest, EraseReleasesEmptyPages) {
+  SparseStore<int> store;
+  // Two addresses on the same page, one on another.
+  store.put(10, 1);
+  store.put(11, 2);
+  store.put(10000, 3);
+  EXPECT_EQ(store.page_count(), 2u);
+  EXPECT_TRUE(store.erase(10));
+  EXPECT_EQ(store.page_count(), 2u);  // page still has address 11
+  EXPECT_TRUE(store.erase(11));
+  EXPECT_EQ(store.page_count(), 1u);  // page released
+  EXPECT_FALSE(store.erase(11));      // double-erase is a no-op
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SparseStoreTest, AtOrDefaultCreatesOnce) {
+  SparseStore<std::string> store;
+  store.at_or_default(3) = "hello";
+  EXPECT_EQ(*store.get(3), "hello");
+  EXPECT_EQ(store.at_or_default(3), "hello");  // no reset
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SparseStoreTest, SparsityIsProportionalToContent) {
+  // A very spread-out mapping (quadratic addresses) must not reserve
+  // memory proportional to the address space.
+  SparseStore<int> store;
+  for (index_t i = 1; i <= 1000; ++i) store.put(i * i, 1);
+  EXPECT_EQ(store.size(), 1000u);
+  EXPECT_LE(store.page_count(), 1000u);
+  EXPECT_EQ(store.high_water(), 1000000ull);
+}
+
+TEST(SparseStoreTest, ZeroAddressRejected) {
+  SparseStore<int> store;
+  EXPECT_THROW(store.put(0, 1), DomainError);
+  EXPECT_THROW(store.get(0), DomainError);
+  EXPECT_THROW(store.erase(0), DomainError);
+}
+
+TEST(SparseStoreTest, ClearResetsEverything) {
+  SparseStore<int> store;
+  store.put(42, 1);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.high_water(), 0ull);
+  EXPECT_EQ(store.page_count(), 0u);
+  EXPECT_EQ(store.get(42), nullptr);
+}
+
+}  // namespace
+}  // namespace pfl::storage

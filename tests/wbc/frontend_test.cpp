@@ -1,0 +1,154 @@
+#include "wbc/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "apf/tsharp.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+FrontEnd make_frontend(AssignmentPolicy policy, index_t ban_threshold = 3) {
+  return FrontEnd(std::make_shared<apf::TSharpApf>(), policy, ban_threshold);
+}
+
+TEST(FrontEndTest, FirstFreeRecyclesRetiredRows) {
+  auto fe = make_frontend(AssignmentPolicy::kFirstFree);
+  EXPECT_EQ(fe.arrive(100, 1.0), 1ull);
+  EXPECT_EQ(fe.arrive(200, 1.0), 2ull);
+  EXPECT_EQ(fe.arrive(300, 1.0), 3ull);
+  fe.depart(200);
+  EXPECT_EQ(fe.arrive(400, 1.0), 2ull);  // smallest free row reused
+  EXPECT_EQ(fe.arrive(500, 1.0), 4ull);  // then a fresh one
+}
+
+TEST(FrontEndTest, SpeedOrderedInvariant) {
+  auto fe = make_frontend(AssignmentPolicy::kSpeedOrdered);
+  fe.arrive(1, 5.0);
+  fe.arrive(2, 9.0);   // faster: takes row 1, displacing volunteer 1
+  fe.arrive(3, 7.0);   // middle: row 2
+  EXPECT_EQ(fe.row_of(2), 1ull);
+  EXPECT_EQ(fe.row_of(3), 2ull);
+  EXPECT_EQ(fe.row_of(1), 3ull);
+  fe.depart(3);
+  EXPECT_EQ(fe.row_of(2), 1ull);
+  EXPECT_EQ(fe.row_of(1), 2ull);  // compacted upward
+  EXPECT_GT(fe.rebinds(), 0ull);
+}
+
+TEST(FrontEndTest, AccountabilityAcrossRowRecycling) {
+  auto fe = make_frontend(AssignmentPolicy::kFirstFree);
+  fe.arrive(100, 1.0);
+  const TaskAssignment a1 = fe.request_task(100);
+  fe.submit_result(100, a1.task, 1);
+  fe.depart(100);
+  // Volunteer 200 takes over row 1; both volunteers' tasks must attribute
+  // correctly even though they share the row.
+  fe.arrive(200, 1.0);
+  EXPECT_EQ(fe.row_of(200), 1ull);
+  const TaskAssignment a2 = fe.request_task(200);
+  EXPECT_EQ(fe.volunteer_of_task(a1.task), 100ull);
+  EXPECT_EQ(fe.volunteer_of_task(a2.task), 200ull);
+}
+
+TEST(FrontEndTest, DepartureRecyclesUnfinishedTasks) {
+  auto fe = make_frontend(AssignmentPolicy::kFirstFree);
+  fe.arrive(100, 1.0);
+  const TaskAssignment a = fe.request_task(100);
+  const TaskAssignment b = fe.request_task(100);
+  fe.submit_result(100, a.task, 1);
+  fe.depart(100);  // b is unfinished -> recycle queue
+  EXPECT_EQ(fe.recycle_queue_size(), 1ull);
+
+  fe.arrive(200, 1.0);
+  const TaskAssignment reissued = fe.request_task(200);
+  EXPECT_EQ(reissued.task, b.task);  // drained before fresh APF tasks
+  EXPECT_EQ(fe.recycle_queue_size(), 0ull);
+  // Accountability now names the new holder.
+  EXPECT_EQ(fe.volunteer_of_task(b.task), 200ull);
+  fe.submit_result(200, b.task, 7);
+  const AuditOutcome outcome = fe.audit(b.task, 7);
+  EXPECT_TRUE(outcome.correct);
+  EXPECT_EQ(outcome.volunteer, 200ull);
+}
+
+TEST(FrontEndTest, BanIsForcedDepartureAndPermanent) {
+  auto fe = make_frontend(AssignmentPolicy::kFirstFree, /*ban_threshold=*/2);
+  fe.arrive(666, 1.0);
+  fe.arrive(7, 1.0);
+  for (int i = 0; i < 2; ++i) {
+    const TaskAssignment a = fe.request_task(666);
+    fe.submit_result(666, a.task, 999);  // wrong
+    const AuditOutcome outcome = fe.audit(a.task, 1);
+    EXPECT_FALSE(outcome.correct);
+    EXPECT_EQ(outcome.volunteer, 666ull);
+  }
+  EXPECT_TRUE(fe.is_banned(666));
+  EXPECT_FALSE(fe.is_active(666));
+  EXPECT_THROW(fe.request_task(666), DomainError);
+  EXPECT_THROW(fe.arrive(666, 1.0), DomainError);  // no re-registration
+  // The honest volunteer is unaffected.
+  EXPECT_NO_THROW(fe.request_task(7));
+}
+
+TEST(FrontEndTest, BannedVolunteersUnfinishedWorkIsRecycled) {
+  auto fe = make_frontend(AssignmentPolicy::kFirstFree, /*ban_threshold=*/1);
+  fe.arrive(666, 1.0);
+  const TaskAssignment pending = fe.request_task(666);
+  const TaskAssignment audited = fe.request_task(666);
+  fe.submit_result(666, audited.task, 999);
+  fe.audit(audited.task, 1);  // bans and force-departs
+  EXPECT_TRUE(fe.is_banned(666));
+  EXPECT_EQ(fe.recycle_queue_size(), 1ull);
+  fe.arrive(7, 1.0);
+  EXPECT_EQ(fe.request_task(7).task, pending.task);
+}
+
+TEST(FrontEndTest, SpeedOrderRebindKeepsAccountability) {
+  auto fe = make_frontend(AssignmentPolicy::kSpeedOrdered);
+  fe.arrive(1, 5.0);
+  const TaskAssignment a = fe.request_task(1);  // issued on row 1
+  fe.submit_result(1, a.task, 42);
+  fe.arrive(2, 9.0);  // displaces volunteer 1 to row 2
+  EXPECT_EQ(fe.row_of(1), 2ull);
+  const TaskAssignment b = fe.request_task(2);  // row 1, new epoch
+  EXPECT_EQ(fe.volunteer_of_task(a.task), 1ull);
+  EXPECT_EQ(fe.volunteer_of_task(b.task), 2ull);
+}
+
+TEST(FrontEndTest, RebindOrphansAreRecycledOnDeparture) {
+  auto fe = make_frontend(AssignmentPolicy::kSpeedOrdered);
+  fe.arrive(1, 5.0);
+  const TaskAssignment held = fe.request_task(1);  // row 1, unfinished
+  fe.arrive(2, 9.0);                               // volunteer 1 -> row 2
+  fe.depart(1);  // the row-1 task must still be recycled
+  EXPECT_EQ(fe.recycle_queue_size(), 1ull);
+  const TaskAssignment reissued = fe.request_task(2);
+  EXPECT_EQ(reissued.task, held.task);
+  EXPECT_EQ(fe.volunteer_of_task(held.task), 2ull);
+}
+
+TEST(FrontEndTest, TaskStreamsNeverCollideAcrossVolunteers) {
+  auto fe = make_frontend(AssignmentPolicy::kSpeedOrdered);
+  std::set<TaskIndex> seen;
+  for (VolunteerId id = 1; id <= 10; ++id) fe.arrive(id, 1.0 + id);
+  for (int round = 0; round < 20; ++round)
+    for (VolunteerId id = 1; id <= 10; ++id)
+      ASSERT_TRUE(seen.insert(fe.request_task(id).task).second);
+}
+
+TEST(FrontEndTest, ErrorPaths) {
+  auto fe = make_frontend(AssignmentPolicy::kFirstFree);
+  EXPECT_THROW(fe.depart(1), DomainError);
+  EXPECT_THROW(fe.row_of(1), DomainError);
+  EXPECT_THROW(fe.request_task(1), DomainError);
+  fe.arrive(1, 1.0);
+  EXPECT_THROW(fe.arrive(1, 2.0), DomainError);  // double registration
+  const apf::TSharpApf t;
+  EXPECT_THROW(fe.volunteer_of_task(t.pair(1, 99)), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::wbc

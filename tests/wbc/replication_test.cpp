@@ -1,0 +1,220 @@
+#include "wbc/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/diagonal.hpp"
+#include "core/dovetail.hpp"
+#include "core/square_shell.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+ReplicatedServer make_server(index_t replication, index_t ban_threshold = 2) {
+  return ReplicatedServer(std::make_shared<DiagonalPf>(), replication,
+                          ban_threshold);
+}
+
+TEST(ReplicatedServerTest, ReplicasGoToDistinctVolunteers) {
+  auto server = make_server(3);
+  const auto v1 = server.register_volunteer();
+  const auto v2 = server.register_volunteer();
+  const auto v3 = server.register_volunteer();
+  const auto a1 = server.request_task(v1);
+  const auto a2 = server.request_task(v2);
+  const auto a3 = server.request_task(v3);
+  // All three replicas of abstract task 1, slots 1..3.
+  EXPECT_EQ(a1.abstract_task, 1ull);
+  EXPECT_EQ(a2.abstract_task, 1ull);
+  EXPECT_EQ(a3.abstract_task, 1ull);
+  const std::set<index_t> replicas = {a1.replica, a2.replica, a3.replica};
+  EXPECT_EQ(replicas, (std::set<index_t>{1, 2, 3}));
+  // The same volunteer asking twice gets a DIFFERENT abstract task.
+  const auto b1 = server.request_task(v1);
+  EXPECT_EQ(b1.abstract_task, 2ull);
+}
+
+TEST(ReplicatedServerTest, VirtualIndicesDecodeArithmetically) {
+  auto server = make_server(3);
+  const DiagonalPf d;
+  server.register_volunteer();
+  const auto a = server.request_task(1);
+  EXPECT_EQ(a.virtual_task, d.pair(a.abstract_task, a.replica));
+  const auto decoded = server.decode(a.virtual_task);
+  EXPECT_EQ(decoded.abstract_task, a.abstract_task);
+  EXPECT_EQ(decoded.replica, a.replica);
+}
+
+TEST(ReplicatedServerTest, UnanimousVoteDecides) {
+  auto server = make_server(3);
+  for (int i = 0; i < 3; ++i) server.register_volunteer();
+  for (VolunteerId v = 1; v <= 3; ++v) {
+    const auto a = server.request_task(v);
+    server.submit(v, a.virtual_task, 42);
+  }
+  const auto decisions = server.drain_decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].decided);
+  EXPECT_EQ(decisions[0].value, 42ull);
+  EXPECT_TRUE(decisions[0].dissenters.empty());
+  EXPECT_EQ(server.tasks_decided(), 1ull);
+}
+
+TEST(ReplicatedServerTest, MajorityOutvotesLiarAndStrikesIt) {
+  auto server = make_server(3, /*ban_threshold=*/2);
+  for (int i = 0; i < 3; ++i) server.register_volunteer();
+  const auto submit_round = [&server](Result v3_value) {
+    for (VolunteerId v = 1; v <= 3; ++v) {
+      const auto a = server.request_task(v);
+      server.submit(v, a.virtual_task, v == 3 ? v3_value : 7);
+    }
+  };
+  submit_round(99);
+  auto decisions = server.drain_decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].decided);
+  EXPECT_EQ(decisions[0].value, 7ull);
+  ASSERT_EQ(decisions[0].dissenters.size(), 1u);
+  EXPECT_EQ(decisions[0].dissenters[0], 3ull);
+  EXPECT_EQ(server.strikes(3), 1ull);
+  EXPECT_FALSE(server.is_banned(3));
+  submit_round(98);  // second strike -> ban
+  server.drain_decisions();
+  EXPECT_TRUE(server.is_banned(3));
+  EXPECT_THROW(server.request_task(3), DomainError);
+}
+
+TEST(ReplicatedServerTest, AllDistinctValuesForceRetry) {
+  auto server = make_server(3);
+  for (int i = 0; i < 3; ++i) server.register_volunteer();
+  for (VolunteerId v = 1; v <= 3; ++v) {
+    const auto a = server.request_task(v);
+    server.submit(v, a.virtual_task, 100 + v);  // three different values
+  }
+  EXPECT_TRUE(server.drain_decisions().empty());  // no majority
+  EXPECT_EQ(server.tasks_decided(), 0ull);
+  // The task reopened: the same volunteers can vote again.
+  for (VolunteerId v = 1; v <= 3; ++v) {
+    const auto a = server.request_task(v);
+    EXPECT_EQ(a.abstract_task, 1ull);
+    server.submit(v, a.virtual_task, 5);
+  }
+  const auto decisions = server.drain_decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].value, 5ull);
+}
+
+TEST(ReplicatedServerTest, BanReleasesUnreturnedSlots) {
+  auto server = make_server(3, /*ban_threshold=*/1);
+  for (int i = 0; i < 4; ++i) server.register_volunteer();
+
+  // Volunteer 3 grabs task 1's first slot and sits on it forever.
+  const auto held = server.request_task(3);
+  EXPECT_EQ(held.abstract_task, 1ull);
+  // Volunteers 1 and 2 fill and answer task 1's other slots: the task is
+  // now blocked on volunteer 3's unreturned replica.
+  for (VolunteerId v : {1ull, 2ull}) {
+    const auto a = server.request_task(v);
+    ASSERT_EQ(a.abstract_task, 1ull);
+    server.submit(v, a.virtual_task, 9);
+  }
+  EXPECT_EQ(server.tasks_decided(), 0ull);
+
+  // Volunteer 3 dissents on a fresh task and gets banned (threshold 1).
+  const auto lie = server.request_task(3);
+  ASSERT_EQ(lie.abstract_task, 2ull);
+  server.submit(3, lie.virtual_task, 666);
+  for (VolunteerId v : {1ull, 2ull}) {
+    const auto a = server.request_task(v);
+    ASSERT_EQ(a.abstract_task, 2ull);
+    server.submit(v, a.virtual_task, 9);
+  }
+  ASSERT_TRUE(server.is_banned(3));
+  EXPECT_EQ(server.tasks_decided(), 1ull);  // task 2 decided
+
+  // The ban reopened task 1's stuck slot; volunteer 4 can finish it.
+  const auto rescue = server.request_task(4);
+  EXPECT_EQ(rescue.abstract_task, 1ull);
+  EXPECT_EQ(rescue.replica, held.replica);
+  server.submit(4, rescue.virtual_task, 9);
+  const auto decisions = server.drain_decisions();
+  EXPECT_EQ(server.tasks_decided(), 2ull);
+  // Both decisions accepted the honest value.
+  for (const auto& d : decisions) EXPECT_EQ(d.value, 9ull);
+}
+
+TEST(ReplicatedServerTest, ReplicationOneAcceptsAnything) {
+  // r = 1 degenerates to the unaudited base scheme: every value "wins".
+  auto server = make_server(1);
+  server.register_volunteer();
+  const auto a = server.request_task(1);
+  server.submit(1, a.virtual_task, 666);
+  const auto decisions = server.drain_decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].decided);
+  EXPECT_EQ(decisions[0].value, 666ull);
+}
+
+TEST(ReplicatedServerTest, ErrorPaths) {
+  auto server = make_server(3);
+  EXPECT_THROW(server.request_task(1), DomainError);  // unknown
+  server.register_volunteer();
+  const auto a = server.request_task(1);
+  server.submit(1, a.virtual_task, 1);
+  EXPECT_THROW(server.submit(1, a.virtual_task, 1), DomainError);  // dup
+  const DiagonalPf d;
+  EXPECT_THROW(server.submit(1, d.pair(99, 1), 0), DomainError);  // not pending
+  EXPECT_THROW(ReplicatedServer(nullptr, 3), DomainError);
+  EXPECT_THROW(make_server(0), DomainError);
+  auto dovetail = std::make_shared<DovetailMapping>(std::vector<PfPtr>{
+      std::make_shared<DiagonalPf>(), std::make_shared<SquareShellPf>()});
+  EXPECT_THROW(ReplicatedServer(dovetail, 3), DomainError);  // not surjective
+}
+
+TEST(ReplicationExperimentTest, HonestMajorityBeatsColluders) {
+  ReplicationExperimentConfig config;
+  config.volunteers = 60;
+  config.abstract_tasks = 800;
+  config.replication = 3;
+  config.colluder_fraction = 0.10;
+  const auto report =
+      run_replication_experiment(std::make_shared<DiagonalPf>(), config);
+  EXPECT_EQ(report.decided, 800ull);
+  EXPECT_GT(report.bans, 0ull);  // colluders get struck out
+  // Some wrong acceptances can slip through before bans, but far fewer
+  // than the ~2.7% per-task collusion probability sustained forever.
+  EXPECT_LT(report.wrong_accepted, 40ull);
+  EXPECT_GE(report.overhead(), 3.0);  // r executions per decision, plus retries
+}
+
+TEST(ReplicationExperimentTest, HigherReplicationSuppressesWrongAccepts) {
+  ReplicationExperimentConfig config;
+  config.volunteers = 60;
+  config.abstract_tasks = 600;
+  config.colluder_fraction = 0.15;
+  config.seed = 11;
+  config.replication = 1;
+  const auto r1 =
+      run_replication_experiment(std::make_shared<DiagonalPf>(), config);
+  config.replication = 5;
+  const auto r5 =
+      run_replication_experiment(std::make_shared<DiagonalPf>(), config);
+  // r = 1 accepts every colluder value (~15% of tasks); r = 5 nearly none.
+  EXPECT_GT(r1.wrong_accepted, 30ull);
+  EXPECT_LT(r5.wrong_accepted, r1.wrong_accepted / 5);
+}
+
+TEST(ReplicationExperimentTest, Deterministic) {
+  const ReplicationExperimentConfig config;
+  const auto a = run_replication_experiment(std::make_shared<DiagonalPf>(), config);
+  const auto b = run_replication_experiment(std::make_shared<DiagonalPf>(), config);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.wrong_accepted, b.wrong_accepted);
+  EXPECT_EQ(a.tasks_computed, b.tasks_computed);
+  EXPECT_EQ(a.max_virtual_index, b.max_virtual_index);
+}
+
+}  // namespace
+}  // namespace pfl::wbc

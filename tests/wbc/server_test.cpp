@@ -1,0 +1,123 @@
+#include "wbc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "apf/tsharp.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+TaskServer make_server(index_t ban_threshold = 3) {
+  return TaskServer(std::make_shared<apf::TSharpApf>(), ban_threshold);
+}
+
+TEST(TaskServerTest, IssuesTheApfStream) {
+  auto server = make_server();
+  const apf::TSharpApf t;
+  const RowIndex r1 = server.open_row();
+  const RowIndex r2 = server.open_row();
+  EXPECT_EQ(r1, 1ull);
+  EXPECT_EQ(r2, 2ull);
+  for (index_t seq = 1; seq <= 10; ++seq) {
+    EXPECT_EQ(server.next_task(r1).task, t.pair(1, seq));
+    EXPECT_EQ(server.next_task(r2).task, t.pair(2, seq));
+  }
+  EXPECT_EQ(server.issued_to(r1), 10ull);
+}
+
+TEST(TaskServerTest, TasksAreGloballyDisjoint) {
+  auto server = make_server();
+  std::set<TaskIndex> seen;
+  std::vector<RowIndex> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back(server.open_row());
+  for (int round = 0; round < 50; ++round)
+    for (RowIndex r : rows)
+      ASSERT_TRUE(seen.insert(server.next_task(r).task).second);
+}
+
+TEST(TaskServerTest, TraceIsPureAccountability) {
+  auto server = make_server();
+  const RowIndex r = server.open_row();
+  server.open_row();
+  const TaskAssignment a = server.next_task(r);
+  const TaskAssignment traced = server.trace(a.task);
+  EXPECT_EQ(traced.row, r);
+  EXPECT_EQ(traced.sequence, a.sequence);
+  // Trace works for tasks never issued too -- it is just T^{-1}.
+  const apf::TSharpApf t;
+  EXPECT_EQ(server.trace(t.pair(77, 5)).row, 77ull);
+  EXPECT_EQ(server.trace(t.pair(77, 5)).sequence, 5ull);
+}
+
+TEST(TaskServerTest, SubmitAndAuditHappyPath) {
+  auto server = make_server();
+  const RowIndex r = server.open_row();
+  const TaskAssignment a = server.next_task(r);
+  server.submit_result(a.task, 123);
+  const AuditOutcome good = server.audit(a.task, 123);
+  EXPECT_TRUE(good.correct);
+  EXPECT_EQ(good.row, r);
+  EXPECT_FALSE(good.banned);
+  EXPECT_EQ(server.errors_of(r), 0ull);
+}
+
+TEST(TaskServerTest, RepeatOffendersGetBanned) {
+  auto server = make_server(/*ban_threshold=*/3);
+  const RowIndex bad = server.open_row();
+  for (int i = 0; i < 3; ++i) {
+    const TaskAssignment a = server.next_task(bad);
+    server.submit_result(a.task, 666);
+    const AuditOutcome outcome = server.audit(a.task, 123);
+    EXPECT_FALSE(outcome.correct);
+    EXPECT_EQ(outcome.error_count, static_cast<index_t>(i + 1));
+    EXPECT_EQ(outcome.banned, i == 2);
+  }
+  EXPECT_TRUE(server.is_banned(bad));
+  EXPECT_THROW(server.next_task(bad), DomainError);
+  EXPECT_EQ(server.total_bans(), 1ull);
+}
+
+TEST(TaskServerTest, OutstandingTracksUnreturnedWork) {
+  auto server = make_server();
+  const RowIndex r = server.open_row();
+  const TaskAssignment a1 = server.next_task(r);
+  const TaskAssignment a2 = server.next_task(r);
+  const TaskAssignment a3 = server.next_task(r);
+  server.submit_result(a2.task, 0);
+  const auto outstanding = server.outstanding_of(r);
+  ASSERT_EQ(outstanding.size(), 2u);
+  EXPECT_EQ(outstanding[0], a1.sequence);
+  EXPECT_EQ(outstanding[1], a3.sequence);
+}
+
+TEST(TaskServerTest, MemoryEnvelopeIsMaxTaskIndex) {
+  auto server = make_server();
+  const apf::TSharpApf t;
+  const RowIndex r1 = server.open_row();
+  const RowIndex r2 = server.open_row();
+  server.next_task(r1);
+  EXPECT_EQ(server.max_task_index(), t.pair(1, 1));
+  server.next_task(r2);
+  server.next_task(r2);
+  EXPECT_EQ(server.max_task_index(), t.pair(2, 2));
+}
+
+TEST(TaskServerTest, ErrorPaths) {
+  auto server = make_server();
+  const RowIndex r = server.open_row();
+  EXPECT_THROW(server.next_task(99), DomainError);        // row not open
+  const TaskAssignment a = server.next_task(r);
+  EXPECT_THROW(server.audit(a.task, 0), DomainError);      // nothing submitted
+  server.submit_result(a.task, 1);
+  EXPECT_THROW(server.submit_result(a.task, 1), DomainError);  // double submit
+  const apf::TSharpApf t;
+  EXPECT_THROW(server.submit_result(t.pair(1, 99), 0), DomainError);  // never issued
+  EXPECT_THROW(TaskServer(nullptr), DomainError);
+  EXPECT_THROW(TaskServer(std::make_shared<apf::TSharpApf>(), 0), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::wbc
