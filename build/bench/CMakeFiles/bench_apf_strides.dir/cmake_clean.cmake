@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apf_strides.dir/apf_strides.cpp.o"
+  "CMakeFiles/bench_apf_strides.dir/apf_strides.cpp.o.d"
+  "bench_apf_strides"
+  "bench_apf_strides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apf_strides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_apf_strides.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apf_subquadratic.dir/apf_subquadratic.cpp.o"
+  "CMakeFiles/bench_apf_subquadratic.dir/apf_subquadratic.cpp.o.d"
+  "bench_apf_subquadratic"
+  "bench_apf_subquadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apf_subquadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_apf_subquadratic.
+# This may be replaced when dependencies are built.

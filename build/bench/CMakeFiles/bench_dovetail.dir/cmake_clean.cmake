@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dovetail.dir/dovetail.cpp.o"
+  "CMakeFiles/bench_dovetail.dir/dovetail.cpp.o.d"
+  "bench_dovetail"
+  "bench_dovetail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dovetail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

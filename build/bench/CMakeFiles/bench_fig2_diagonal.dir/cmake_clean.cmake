@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_diagonal.dir/fig2_diagonal.cpp.o"
+  "CMakeFiles/bench_fig2_diagonal.dir/fig2_diagonal.cpp.o.d"
+  "bench_fig2_diagonal"
+  "bench_fig2_diagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_diagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hyperbolic.dir/fig4_hyperbolic.cpp.o"
+  "CMakeFiles/bench_fig4_hyperbolic.dir/fig4_hyperbolic.cpp.o.d"
+  "bench_fig4_hyperbolic"
+  "bench_fig4_hyperbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hyperbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hashing.dir/hashing.cpp.o"
+  "CMakeFiles/bench_hashing.dir/hashing.cpp.o.d"
+  "bench_hashing"
+  "bench_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hyperbolic_cached.dir/hyperbolic_cached.cpp.o"
+  "CMakeFiles/bench_hyperbolic_cached.dir/hyperbolic_cached.cpp.o.d"
+  "bench_hyperbolic_cached"
+  "bench_hyperbolic_cached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyperbolic_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

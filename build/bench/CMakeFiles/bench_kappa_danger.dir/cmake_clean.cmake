@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kappa_danger.dir/kappa_danger.cpp.o"
+  "CMakeFiles/bench_kappa_danger.dir/kappa_danger.cpp.o.d"
+  "bench_kappa_danger"
+  "bench_kappa_danger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kappa_danger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

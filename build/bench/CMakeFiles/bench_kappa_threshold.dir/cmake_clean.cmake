@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kappa_threshold.dir/kappa_threshold.cpp.o"
+  "CMakeFiles/bench_kappa_threshold.dir/kappa_threshold.cpp.o.d"
+  "bench_kappa_threshold"
+  "bench_kappa_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kappa_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

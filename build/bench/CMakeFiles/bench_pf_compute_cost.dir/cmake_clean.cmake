@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pf_compute_cost.dir/pf_compute_cost.cpp.o"
+  "CMakeFiles/bench_pf_compute_cost.dir/pf_compute_cost.cpp.o.d"
+  "bench_pf_compute_cost"
+  "bench_pf_compute_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pf_compute_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pf_compute_cost.
+# This may be replaced when dependencies are built.

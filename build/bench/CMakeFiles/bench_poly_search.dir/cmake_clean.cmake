@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poly_search.dir/poly_search.cpp.o"
+  "CMakeFiles/bench_poly_search.dir/poly_search.cpp.o.d"
+  "bench_poly_search"
+  "bench_poly_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poly_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reshape_cost.dir/reshape_cost.cpp.o"
+  "CMakeFiles/bench_reshape_cost.dir/reshape_cost.cpp.o.d"
+  "bench_reshape_cost"
+  "bench_reshape_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reshape_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spread_diagonal.dir/spread_diagonal.cpp.o"
+  "CMakeFiles/bench_spread_diagonal.dir/spread_diagonal.cpp.o.d"
+  "bench_spread_diagonal"
+  "bench_spread_diagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spread_diagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

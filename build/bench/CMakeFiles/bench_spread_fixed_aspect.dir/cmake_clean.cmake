@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spread_fixed_aspect.dir/spread_fixed_aspect.cpp.o"
+  "CMakeFiles/bench_spread_fixed_aspect.dir/spread_fixed_aspect.cpp.o.d"
+  "bench_spread_fixed_aspect"
+  "bench_spread_fixed_aspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spread_fixed_aspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spread_hyperbolic.dir/spread_hyperbolic.cpp.o"
+  "CMakeFiles/bench_spread_hyperbolic.dir/spread_hyperbolic.cpp.o.d"
+  "bench_spread_hyperbolic"
+  "bench_spread_hyperbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spread_hyperbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuple_fold.dir/tuple_fold.cpp.o"
+  "CMakeFiles/bench_tuple_fold.dir/tuple_fold.cpp.o.d"
+  "bench_tuple_fold"
+  "bench_tuple_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuple_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

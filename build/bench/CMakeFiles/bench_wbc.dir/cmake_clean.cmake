@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wbc.dir/wbc.cpp.o"
+  "CMakeFiles/bench_wbc.dir/wbc.cpp.o.d"
+  "bench_wbc"
+  "bench_wbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extendible_matrix.dir/extendible_matrix.cpp.o"
+  "CMakeFiles/extendible_matrix.dir/extendible_matrix.cpp.o.d"
+  "extendible_matrix"
+  "extendible_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extendible_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_tool.dir/pfl_tool.cpp.o"
+  "CMakeFiles/pfl_tool.dir/pfl_tool.cpp.o.d"
+  "pfl_tool"
+  "pfl_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spread_explorer.dir/spread_explorer.cpp.o"
+  "CMakeFiles/spread_explorer.dir/spread_explorer.cpp.o.d"
+  "spread_explorer"
+  "spread_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spread_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

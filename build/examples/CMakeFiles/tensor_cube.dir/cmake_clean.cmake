@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_cube.dir/tensor_cube.cpp.o"
+  "CMakeFiles/tensor_cube.dir/tensor_cube.cpp.o.d"
+  "tensor_cube"
+  "tensor_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

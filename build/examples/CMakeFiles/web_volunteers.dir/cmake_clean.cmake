@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_volunteers.dir/web_volunteers.cpp.o"
+  "CMakeFiles/web_volunteers.dir/web_volunteers.cpp.o.d"
+  "web_volunteers"
+  "web_volunteers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_volunteers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

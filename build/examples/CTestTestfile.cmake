@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_extendible_matrix "/root/repo/build/examples/extendible_matrix")
+set_tests_properties(example_extendible_matrix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_web_volunteers "/root/repo/build/examples/web_volunteers")
+set_tests_properties(example_web_volunteers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tensor_cube "/root/repo/build/examples/tensor_cube")
+set_tests_properties(example_tensor_cube PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spread_explorer "/root/repo/build/examples/spread_explorer" "hyperbolic" "4096")
+set_tests_properties(example_spread_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_list "/root/repo/build/examples/pfl_tool" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_table "/root/repo/build/examples/pfl_tool" "table" "diagonal" "5" "5")
+set_tests_properties(cli_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_pair "/root/repo/build/examples/pfl_tool" "pair" "diagonal" "3" "4")
+set_tests_properties(cli_pair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_unpair "/root/repo/build/examples/pfl_tool" "unpair" "square-shell" "1000")
+set_tests_properties(cli_unpair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_spread "/root/repo/build/examples/pfl_tool" "spread" "aspect-1x2" "8" "128" "2048")
+set_tests_properties(cli_spread PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_apf "/root/repo/build/examples/pfl_tool" "apf" "T*" "28" "5")
+set_tests_properties(cli_apf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_search "/root/repo/build/examples/pfl_tool" "search-quadratics" "2")
+set_tests_properties(cli_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_unknown_pf "/root/repo/build/examples/pfl_tool" "pair" "no-such-pf" "1" "1")
+set_tests_properties(cli_unknown_pf PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/examples/pfl_tool")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

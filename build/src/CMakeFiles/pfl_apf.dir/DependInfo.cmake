@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apf/additive_pf.cpp" "src/CMakeFiles/pfl_apf.dir/apf/additive_pf.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/additive_pf.cpp.o.d"
+  "/root/repo/src/apf/grouped_apf.cpp" "src/CMakeFiles/pfl_apf.dir/apf/grouped_apf.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/grouped_apf.cpp.o.d"
+  "/root/repo/src/apf/kappa.cpp" "src/CMakeFiles/pfl_apf.dir/apf/kappa.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/kappa.cpp.o.d"
+  "/root/repo/src/apf/registry.cpp" "src/CMakeFiles/pfl_apf.dir/apf/registry.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/registry.cpp.o.d"
+  "/root/repo/src/apf/tc.cpp" "src/CMakeFiles/pfl_apf.dir/apf/tc.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/tc.cpp.o.d"
+  "/root/repo/src/apf/tk.cpp" "src/CMakeFiles/pfl_apf.dir/apf/tk.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/tk.cpp.o.d"
+  "/root/repo/src/apf/tsharp.cpp" "src/CMakeFiles/pfl_apf.dir/apf/tsharp.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/tsharp.cpp.o.d"
+  "/root/repo/src/apf/tstar.cpp" "src/CMakeFiles/pfl_apf.dir/apf/tstar.cpp.o" "gcc" "src/CMakeFiles/pfl_apf.dir/apf/tstar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

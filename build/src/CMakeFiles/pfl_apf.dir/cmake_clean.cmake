@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_apf.dir/apf/additive_pf.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/additive_pf.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/grouped_apf.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/grouped_apf.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/kappa.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/kappa.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/registry.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/registry.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/tc.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/tc.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/tk.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/tk.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/tsharp.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/tsharp.cpp.o.d"
+  "CMakeFiles/pfl_apf.dir/apf/tstar.cpp.o"
+  "CMakeFiles/pfl_apf.dir/apf/tstar.cpp.o.d"
+  "libpfl_apf.a"
+  "libpfl_apf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_apf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

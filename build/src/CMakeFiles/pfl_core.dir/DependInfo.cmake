@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aspect_ratio.cpp" "src/CMakeFiles/pfl_core.dir/core/aspect_ratio.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/aspect_ratio.cpp.o.d"
+  "/root/repo/src/core/diagonal.cpp" "src/CMakeFiles/pfl_core.dir/core/diagonal.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/diagonal.cpp.o.d"
+  "/root/repo/src/core/dovetail.cpp" "src/CMakeFiles/pfl_core.dir/core/dovetail.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/dovetail.cpp.o.d"
+  "/root/repo/src/core/hyperbolic.cpp" "src/CMakeFiles/pfl_core.dir/core/hyperbolic.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/hyperbolic.cpp.o.d"
+  "/root/repo/src/core/hyperbolic_cached.cpp" "src/CMakeFiles/pfl_core.dir/core/hyperbolic_cached.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/hyperbolic_cached.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/pfl_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/shell_constructor.cpp" "src/CMakeFiles/pfl_core.dir/core/shell_constructor.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/shell_constructor.cpp.o.d"
+  "/root/repo/src/core/spread.cpp" "src/CMakeFiles/pfl_core.dir/core/spread.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/spread.cpp.o.d"
+  "/root/repo/src/core/square_shell.cpp" "src/CMakeFiles/pfl_core.dir/core/square_shell.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/square_shell.cpp.o.d"
+  "/root/repo/src/core/szudzik.cpp" "src/CMakeFiles/pfl_core.dir/core/szudzik.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/szudzik.cpp.o.d"
+  "/root/repo/src/core/traversal.cpp" "src/CMakeFiles/pfl_core.dir/core/traversal.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/traversal.cpp.o.d"
+  "/root/repo/src/core/tuple_pairing.cpp" "src/CMakeFiles/pfl_core.dir/core/tuple_pairing.cpp.o" "gcc" "src/CMakeFiles/pfl_core.dir/core/tuple_pairing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_core.dir/core/aspect_ratio.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/aspect_ratio.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/diagonal.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/diagonal.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/dovetail.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/dovetail.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/hyperbolic.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/hyperbolic.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/hyperbolic_cached.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/hyperbolic_cached.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/registry.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/shell_constructor.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/shell_constructor.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/spread.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/spread.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/square_shell.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/square_shell.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/szudzik.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/szudzik.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/traversal.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/traversal.cpp.o.d"
+  "CMakeFiles/pfl_core.dir/core/tuple_pairing.cpp.o"
+  "CMakeFiles/pfl_core.dir/core/tuple_pairing.cpp.o.d"
+  "libpfl_core.a"
+  "libpfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

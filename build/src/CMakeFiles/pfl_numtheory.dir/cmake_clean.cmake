@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_numtheory.dir/numtheory/divisor.cpp.o"
+  "CMakeFiles/pfl_numtheory.dir/numtheory/divisor.cpp.o.d"
+  "CMakeFiles/pfl_numtheory.dir/numtheory/factorization.cpp.o"
+  "CMakeFiles/pfl_numtheory.dir/numtheory/factorization.cpp.o.d"
+  "libpfl_numtheory.a"
+  "libpfl_numtheory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_numtheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_par.dir/par/thread_pool.cpp.o"
+  "CMakeFiles/pfl_par.dir/par/thread_pool.cpp.o.d"
+  "libpfl_par.a"
+  "libpfl_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfl_par.a"
+)

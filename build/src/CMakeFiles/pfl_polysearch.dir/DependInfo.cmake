@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polysearch/binomial_basis.cpp" "src/CMakeFiles/pfl_polysearch.dir/polysearch/binomial_basis.cpp.o" "gcc" "src/CMakeFiles/pfl_polysearch.dir/polysearch/binomial_basis.cpp.o.d"
+  "/root/repo/src/polysearch/checker.cpp" "src/CMakeFiles/pfl_polysearch.dir/polysearch/checker.cpp.o" "gcc" "src/CMakeFiles/pfl_polysearch.dir/polysearch/checker.cpp.o.d"
+  "/root/repo/src/polysearch/polynomial.cpp" "src/CMakeFiles/pfl_polysearch.dir/polysearch/polynomial.cpp.o" "gcc" "src/CMakeFiles/pfl_polysearch.dir/polysearch/polynomial.cpp.o.d"
+  "/root/repo/src/polysearch/search.cpp" "src/CMakeFiles/pfl_polysearch.dir/polysearch/search.cpp.o" "gcc" "src/CMakeFiles/pfl_polysearch.dir/polysearch/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_polysearch.dir/polysearch/binomial_basis.cpp.o"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/binomial_basis.cpp.o.d"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/checker.cpp.o"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/checker.cpp.o.d"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/polynomial.cpp.o"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/polynomial.cpp.o.d"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/search.cpp.o"
+  "CMakeFiles/pfl_polysearch.dir/polysearch/search.cpp.o.d"
+  "libpfl_polysearch.a"
+  "libpfl_polysearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_polysearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

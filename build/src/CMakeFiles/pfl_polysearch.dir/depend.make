@@ -1,0 +1,2 @@
+# Empty dependencies file for pfl_polysearch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/pfl_report.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/pfl_report.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/pfl_report.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/pfl_report.dir/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_report.dir/report/csv.cpp.o"
+  "CMakeFiles/pfl_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/pfl_report.dir/report/table.cpp.o"
+  "CMakeFiles/pfl_report.dir/report/table.cpp.o.d"
+  "libpfl_report.a"
+  "libpfl_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

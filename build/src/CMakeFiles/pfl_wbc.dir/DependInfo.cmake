@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wbc/frontend.cpp" "src/CMakeFiles/pfl_wbc.dir/wbc/frontend.cpp.o" "gcc" "src/CMakeFiles/pfl_wbc.dir/wbc/frontend.cpp.o.d"
+  "/root/repo/src/wbc/replication.cpp" "src/CMakeFiles/pfl_wbc.dir/wbc/replication.cpp.o" "gcc" "src/CMakeFiles/pfl_wbc.dir/wbc/replication.cpp.o.d"
+  "/root/repo/src/wbc/server.cpp" "src/CMakeFiles/pfl_wbc.dir/wbc/server.cpp.o" "gcc" "src/CMakeFiles/pfl_wbc.dir/wbc/server.cpp.o.d"
+  "/root/repo/src/wbc/simulation.cpp" "src/CMakeFiles/pfl_wbc.dir/wbc/simulation.cpp.o" "gcc" "src/CMakeFiles/pfl_wbc.dir/wbc/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_apf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl_wbc.dir/wbc/frontend.cpp.o"
+  "CMakeFiles/pfl_wbc.dir/wbc/frontend.cpp.o.d"
+  "CMakeFiles/pfl_wbc.dir/wbc/replication.cpp.o"
+  "CMakeFiles/pfl_wbc.dir/wbc/replication.cpp.o.d"
+  "CMakeFiles/pfl_wbc.dir/wbc/server.cpp.o"
+  "CMakeFiles/pfl_wbc.dir/wbc/server.cpp.o.d"
+  "CMakeFiles/pfl_wbc.dir/wbc/simulation.cpp.o"
+  "CMakeFiles/pfl_wbc.dir/wbc/simulation.cpp.o.d"
+  "libpfl_wbc.a"
+  "libpfl_wbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl_wbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apf/crossover_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/crossover_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/crossover_test.cpp.o.d"
+  "/root/repo/tests/apf/fig6_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/fig6_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/fig6_test.cpp.o.d"
+  "/root/repo/tests/apf/grouped_apf_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/grouped_apf_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/grouped_apf_test.cpp.o.d"
+  "/root/repo/tests/apf/random_kappa_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/random_kappa_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/random_kappa_test.cpp.o.d"
+  "/root/repo/tests/apf/tc_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/tc_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/tc_test.cpp.o.d"
+  "/root/repo/tests/apf/tk_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/tk_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/tk_test.cpp.o.d"
+  "/root/repo/tests/apf/tsharp_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/tsharp_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/tsharp_test.cpp.o.d"
+  "/root/repo/tests/apf/tstar_test.cpp" "tests/CMakeFiles/test_apf.dir/apf/tstar_test.cpp.o" "gcc" "tests/CMakeFiles/test_apf.dir/apf/tstar_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_apf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

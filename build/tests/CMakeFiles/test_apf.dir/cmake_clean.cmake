@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apf.dir/apf/crossover_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/crossover_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/fig6_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/fig6_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/grouped_apf_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/grouped_apf_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/random_kappa_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/random_kappa_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/tc_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/tc_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/tk_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/tk_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/tsharp_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/tsharp_test.cpp.o.d"
+  "CMakeFiles/test_apf.dir/apf/tstar_test.cpp.o"
+  "CMakeFiles/test_apf.dir/apf/tstar_test.cpp.o.d"
+  "test_apf"
+  "test_apf.pdb"
+  "test_apf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aspect_ratio_test.cpp" "tests/CMakeFiles/test_core.dir/core/aspect_ratio_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/aspect_ratio_test.cpp.o.d"
+  "/root/repo/tests/core/bijectivity_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/bijectivity_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bijectivity_property_test.cpp.o.d"
+  "/root/repo/tests/core/custom_scheme_test.cpp" "tests/CMakeFiles/test_core.dir/core/custom_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/custom_scheme_test.cpp.o.d"
+  "/root/repo/tests/core/diagonal_test.cpp" "tests/CMakeFiles/test_core.dir/core/diagonal_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/diagonal_test.cpp.o.d"
+  "/root/repo/tests/core/dovetail_test.cpp" "tests/CMakeFiles/test_core.dir/core/dovetail_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dovetail_test.cpp.o.d"
+  "/root/repo/tests/core/enumerate_test.cpp" "tests/CMakeFiles/test_core.dir/core/enumerate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/enumerate_test.cpp.o.d"
+  "/root/repo/tests/core/hyperbolic_cached_test.cpp" "tests/CMakeFiles/test_core.dir/core/hyperbolic_cached_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hyperbolic_cached_test.cpp.o.d"
+  "/root/repo/tests/core/hyperbolic_test.cpp" "tests/CMakeFiles/test_core.dir/core/hyperbolic_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hyperbolic_test.cpp.o.d"
+  "/root/repo/tests/core/shell_constructor_test.cpp" "tests/CMakeFiles/test_core.dir/core/shell_constructor_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/shell_constructor_test.cpp.o.d"
+  "/root/repo/tests/core/shell_order_test.cpp" "tests/CMakeFiles/test_core.dir/core/shell_order_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/shell_order_test.cpp.o.d"
+  "/root/repo/tests/core/spread_parallel_test.cpp" "tests/CMakeFiles/test_core.dir/core/spread_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spread_parallel_test.cpp.o.d"
+  "/root/repo/tests/core/spread_test.cpp" "tests/CMakeFiles/test_core.dir/core/spread_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spread_test.cpp.o.d"
+  "/root/repo/tests/core/square_shell_test.cpp" "tests/CMakeFiles/test_core.dir/core/square_shell_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/square_shell_test.cpp.o.d"
+  "/root/repo/tests/core/szudzik_test.cpp" "tests/CMakeFiles/test_core.dir/core/szudzik_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/szudzik_test.cpp.o.d"
+  "/root/repo/tests/core/transpose_test.cpp" "tests/CMakeFiles/test_core.dir/core/transpose_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/transpose_test.cpp.o.d"
+  "/root/repo/tests/core/traversal_test.cpp" "tests/CMakeFiles/test_core.dir/core/traversal_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/traversal_test.cpp.o.d"
+  "/root/repo/tests/core/tuple_pairing_test.cpp" "tests/CMakeFiles/test_core.dir/core/tuple_pairing_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tuple_pairing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_apf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numtheory.dir/numtheory/bits_test.cpp.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/bits_test.cpp.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/checked_test.cpp.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/checked_test.cpp.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/divisor_test.cpp.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/divisor_test.cpp.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/factorization_test.cpp.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/factorization_test.cpp.o.d"
+  "CMakeFiles/test_numtheory.dir/numtheory/lemma41_test.cpp.o"
+  "CMakeFiles/test_numtheory.dir/numtheory/lemma41_test.cpp.o.d"
+  "test_numtheory"
+  "test_numtheory.pdb"
+  "test_numtheory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numtheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

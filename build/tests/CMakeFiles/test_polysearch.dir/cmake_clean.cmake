@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polysearch.dir/polysearch/binomial_basis_test.cpp.o"
+  "CMakeFiles/test_polysearch.dir/polysearch/binomial_basis_test.cpp.o.d"
+  "CMakeFiles/test_polysearch.dir/polysearch/checker_test.cpp.o"
+  "CMakeFiles/test_polysearch.dir/polysearch/checker_test.cpp.o.d"
+  "CMakeFiles/test_polysearch.dir/polysearch/polynomial_test.cpp.o"
+  "CMakeFiles/test_polysearch.dir/polysearch/polynomial_test.cpp.o.d"
+  "CMakeFiles/test_polysearch.dir/polysearch/search_test.cpp.o"
+  "CMakeFiles/test_polysearch.dir/polysearch/search_test.cpp.o.d"
+  "test_polysearch"
+  "test_polysearch.pdb"
+  "test_polysearch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polysearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/array_fuzz_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/array_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/array_fuzz_test.cpp.o.d"
+  "/root/repo/tests/storage/bounded_array_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/bounded_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/bounded_array_test.cpp.o.d"
+  "/root/repo/tests/storage/cuckoo_array_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/cuckoo_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/cuckoo_array_test.cpp.o.d"
+  "/root/repo/tests/storage/extendible_array_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/extendible_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/extendible_array_test.cpp.o.d"
+  "/root/repo/tests/storage/extendible_tensor_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/extendible_tensor_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/extendible_tensor_test.cpp.o.d"
+  "/root/repo/tests/storage/hashed_array_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/hashed_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/hashed_array_test.cpp.o.d"
+  "/root/repo/tests/storage/naive_remap_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/naive_remap_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/naive_remap_test.cpp.o.d"
+  "/root/repo/tests/storage/row_cursor_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/row_cursor_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/row_cursor_test.cpp.o.d"
+  "/root/repo/tests/storage/serialization_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/serialization_test.cpp.o.d"
+  "/root/repo/tests/storage/sparse_store_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/sparse_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/sparse_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_apf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_numtheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfl_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/storage/array_fuzz_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/array_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/bounded_array_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/bounded_array_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/cuckoo_array_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/cuckoo_array_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/extendible_array_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/extendible_array_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/extendible_tensor_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/extendible_tensor_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/hashed_array_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/hashed_array_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/naive_remap_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/naive_remap_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/row_cursor_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/row_cursor_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/serialization_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/serialization_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/sparse_store_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/sparse_store_test.cpp.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

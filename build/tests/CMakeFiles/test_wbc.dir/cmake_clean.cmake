@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wbc.dir/wbc/frontend_test.cpp.o"
+  "CMakeFiles/test_wbc.dir/wbc/frontend_test.cpp.o.d"
+  "CMakeFiles/test_wbc.dir/wbc/replication_test.cpp.o"
+  "CMakeFiles/test_wbc.dir/wbc/replication_test.cpp.o.d"
+  "CMakeFiles/test_wbc.dir/wbc/server_test.cpp.o"
+  "CMakeFiles/test_wbc.dir/wbc/server_test.cpp.o.d"
+  "CMakeFiles/test_wbc.dir/wbc/simulation_test.cpp.o"
+  "CMakeFiles/test_wbc.dir/wbc/simulation_test.cpp.o.d"
+  "test_wbc"
+  "test_wbc.pdb"
+  "test_wbc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
