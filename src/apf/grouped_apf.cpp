@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/contract.hpp"
 #include "numtheory/bits.hpp"
 #include "numtheory/checked.hpp"
 
@@ -74,7 +75,9 @@ index_t GroupedApf::group_of(index_t x) const {
 index_t GroupedApf::base(index_t x) const {
   if (x == 0) throw DomainError("APF base: rows are 1-based");
   const Group grp = group_of_row(x);
-  const index_t i = x - grp.start + 1;
+  PFL_ENSURE(grp.start >= 1 && grp.start <= x,
+             "group lookup must bracket the row");
+  const index_t i = x - grp.start + 1;  // pfl-lint: allow(checked-arith) -- grp.start >= 1, so i <= x
   // B_x = 2^g * (2i - 1).
   const index_t odd = nt::checked_add(nt::checked_mul(2, i - 1), 1);
   if (grp.g >= 64) throw OverflowError("APF base: signature 2^g overflows");
@@ -86,7 +89,7 @@ index_t GroupedApf::stride(index_t x) const {
   if (lg >= 64)
     throw OverflowError("APF stride: 2^" + std::to_string(lg) +
                         " overflows 64 bits (see stride_log2)");
-  return index_t{1} << lg;
+  return index_t{1} << lg;  // pfl-lint: allow(checked-arith) -- lg < 64 guarded directly above
 }
 
 index_t GroupedApf::stride_log2(index_t x) const {
@@ -101,16 +104,19 @@ Point GroupedApf::unpair(index_t z) const {
   const index_t g = nt::trailing_zeros(z);
   const Group grp = group_by_index(g);  // throws if rows not representable
   const index_t odd = z >> g;
+  PFL_ENSURE(odd % 2 == 1, "value >> trailing_zeros must be odd");
   if (grp.kappa >= 63) {
     // Group so large that 2^{1+kappa} exceeds 64 bits: y is forced to 1.
-    const index_t i = (odd + 1) / 2;
+    // i = (odd + 1) / 2 computed as odd/2 + 1: odd + 1 itself wraps for
+    // odd == 2^64 - 1 (caught by pfl_lint's checked-arith rule).
+    const index_t i = nt::checked_add(odd / 2, 1);
     const index_t x = nt::checked_add(grp.start, i - 1);
     return {x, 1};
   }
-  const index_t modulus = index_t{1} << (grp.kappa + 1);
+  const index_t modulus = nt::checked_shl(index_t{1}, static_cast<unsigned>(grp.kappa) + 1);
   const index_t w = odd & (modulus - 1);  // = 2i - 1
-  const index_t i = (w + 1) / 2;
-  const index_t y = (odd - w) / modulus + 1;
+  const index_t i = nt::checked_add(w / 2, 1);  // = (w + 1) / 2, w odd
+  const index_t y = nt::checked_add((odd - w) / modulus, 1);
   const index_t x = nt::checked_add(grp.start, i - 1);
   return {x, y};
 }

@@ -28,6 +28,7 @@
 
 #include "apf/additive_pf.hpp"
 #include "apf/kappa.hpp"
+#include "numtheory/checked.hpp"
 
 namespace pfl::apf {
 
@@ -64,7 +65,7 @@ class GroupedApf : public AdditivePairingFunction {
   index_t group_start(index_t g) const;
 
   /// Number of tabulated groups (covers every representable row).
-  index_t tabulated_groups() const { return static_cast<index_t>(groups_.size()); }
+  index_t tabulated_groups() const { return nt::to_index(groups_.size()); }
 
  protected:
   struct Group {

@@ -54,7 +54,7 @@ Kappa kappa_geometric(index_t num, index_t den) {
             const u128 rounded = (n + d / 2) / d;
             if (rounded > ~std::uint64_t{0})
               throw OverflowError("kappa_geometric: kappa overflows");
-            return static_cast<index_t>(rounded);
+            return nt::to_index(rounded);
           }};
 }
 

@@ -14,7 +14,9 @@ TcApf::TcApf(index_t c)
 
 GroupedApf::Group TcApf::group_of_row(index_t x) const {
   const index_t g = (x - 1) >> (c_ - 1);
-  return {g, (g << (c_ - 1)) + 1, c_ - 1};
+  // g << (c_-1) <= x - 1 by construction of g, so start <= x: exact, and
+  // this closed form stays branch-free on the hot pair() path.
+  return {g, (g << (c_ - 1)) + 1, c_ - 1};  // pfl-lint: allow(checked-arith) -- start <= x, proven above
 }
 
 GroupedApf::Group TcApf::group_by_index(index_t g) const {

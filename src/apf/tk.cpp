@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "numtheory/checked.hpp"
+
 namespace pfl::apf {
 
 TkApf::TkApf(index_t k)
@@ -10,7 +12,7 @@ TkApf::TkApf(index_t k)
 index_t TkApf::approx_group_of(index_t x) const {
   if (x == 0) throw DomainError("T[k]: rows are 1-based");
   const double lg = std::log2(static_cast<double>(x));
-  return static_cast<index_t>(
+  return nt::to_index(
       std::ceil(std::pow(lg, 1.0 / static_cast<double>(k_))));
 }
 

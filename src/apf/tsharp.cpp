@@ -8,14 +8,14 @@ TSharpApf::TSharpApf() : GroupedApf(kappa_identity(), "T#", NoTabulation{}) {}
 
 GroupedApf::Group TSharpApf::group_of_row(index_t x) const {
   const index_t g = nt::ilog2(x);
-  return {g, index_t{1} << g, g};
+  return {g, index_t{1} << g, g};  // pfl-lint: allow(checked-arith) -- g = ilog2(x) < 64
 }
 
 GroupedApf::Group TSharpApf::group_by_index(index_t g) const {
   if (g >= 64)
     throw OverflowError("T#: group " + std::to_string(g) +
                         " starts beyond the 64-bit rows");
-  return {g, index_t{1} << g, g};
+  return {g, index_t{1} << g, g};  // pfl-lint: allow(checked-arith) -- g < 64 guarded directly above
 }
 
 }  // namespace pfl::apf

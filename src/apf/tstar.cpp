@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
 
 namespace pfl::apf {
 
@@ -11,7 +12,7 @@ TStarApf::TStarApf() : GroupedApf(kappa_half_square(), "T*") {}
 index_t TStarApf::approx_group_of(index_t x) {
   if (x == 0) throw DomainError("T*: rows are 1-based");
   const double lg = std::log2(static_cast<double>(x));
-  return static_cast<index_t>(std::ceil(std::sqrt(2.0 * lg))) + 1;
+  return nt::to_index(std::ceil(std::sqrt(2.0 * lg))) + 1;
 }
 
 }  // namespace pfl::apf

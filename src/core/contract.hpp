@@ -1,0 +1,73 @@
+// Runtime contract macros: PFL_EXPECT / PFL_ENSURE / PFL_ASSERT_UNREACHABLE.
+//
+// The library's documented policy (types.hpp, checked.hpp) is that every
+// user-reachable arithmetic step is exact or throws, and every public
+// coordinate is 1-based. These macros make the *rest* of the policy --
+// domain preconditions, shell invariants, postconditions of inverses --
+// machine-checked instead of comment-checked.
+//
+// Semantics:
+//   * In checked builds (PFL_CONTRACT_CHECKS defined non-zero, the default
+//     configured by CMake), a failed contract throws ContractViolation,
+//     which derives from pfl::Error so existing catch sites keep working.
+//   * In release builds (PFL_CONTRACT_CHECKS=0) the condition becomes an
+//     optimizer assumption: `if (!(cond)) __builtin_unreachable()`. The
+//     condition expression must therefore be side-effect free.
+//
+// PFL_EXPECT  -- precondition at a public entry point.
+// PFL_ENSURE  -- postcondition / invariant established by the function.
+// PFL_ASSERT_UNREACHABLE -- marks branches the surrounding logic excludes.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+#ifndef PFL_CONTRACT_CHECKS
+#define PFL_CONTRACT_CHECKS 1
+#endif
+
+namespace pfl {
+
+/// A contract (precondition, postcondition, or reachability assertion)
+/// was violated. Always a library bug or an API misuse that slipped past
+/// the documented domain checks; never expected in correct programs.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* msg, const char* file,
+                                       int line) {
+  throw ContractViolation(std::string(kind) + " violated: " + msg + " [" +
+                          cond + "] at " + file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace pfl
+
+#if PFL_CONTRACT_CHECKS
+
+#define PFL_CONTRACT_IMPL_(kind, cond, msg)                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::pfl::detail::contract_fail(kind, #cond, msg, __FILE__, __LINE__))
+
+#define PFL_EXPECT(cond, msg) PFL_CONTRACT_IMPL_("precondition", cond, msg)
+#define PFL_ENSURE(cond, msg) PFL_CONTRACT_IMPL_("postcondition", cond, msg)
+#define PFL_ASSERT_UNREACHABLE(msg)                                       \
+  ::pfl::detail::contract_fail("reachability", "unreachable", msg, __FILE__, \
+                               __LINE__)
+
+#else  // release: contracts compile to optimizer assumptions
+
+#define PFL_ASSUME_IMPL_(cond) \
+  ((cond) ? static_cast<void>(0) : __builtin_unreachable())
+
+#define PFL_EXPECT(cond, msg) PFL_ASSUME_IMPL_(cond)
+#define PFL_ENSURE(cond, msg) PFL_ASSUME_IMPL_(cond)
+#define PFL_ASSERT_UNREACHABLE(msg) __builtin_unreachable()
+
+#endif  // PFL_CONTRACT_CHECKS

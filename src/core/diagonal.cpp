@@ -1,5 +1,6 @@
 #include "core/diagonal.hpp"
 
+#include "core/contract.hpp"
 #include "numtheory/bits.hpp"
 #include "numtheory/checked.hpp"
 
@@ -21,8 +22,9 @@ Point DiagonalPf::unpair(index_t z) const {
   // r = isqrt(8(z-1)+1) the largest such t is (r-1)/2 -- no fixup needed.
   const u128 disc = u128(8) * (z - 1) + 1;
   const index_t t = (nt::isqrt_u128(disc) - 1) / 2;
-  const index_t y = z - nt::triangular(t);
-  const index_t x = (t + 2) - y;
+  const index_t y = nt::checked_sub(z, nt::triangular(t));
+  PFL_ENSURE(y >= 1 && y <= t + 1, "rank within the diagonal shell");
+  const index_t x = nt::checked_sub(nt::checked_add(t, 2), y);
   return {x, y};
 }
 

@@ -42,7 +42,7 @@ index_t DovetailMapping::pair(index_t x, index_t y) const {
 Point DovetailMapping::unpair(index_t z) const {
   require_value(z);
   const index_t m = components_.size();
-  const index_t k = z % m + 1;
+  const index_t k = nt::checked_add(z % m, 1);
   const index_t inner = z / m;  // (z - (k-1)) / m
   if (inner == 0) throw DomainError("DovetailMapping: address below image");
   const Point p = components_[k - 1]->unpair(inner);

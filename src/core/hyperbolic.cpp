@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/contract.hpp"
 #include "numtheory/checked.hpp"
 #include "numtheory/divisor.hpp"
 #include "numtheory/factorization.hpp"
@@ -15,7 +16,7 @@ index_t HyperbolicPf::pair(index_t x, index_t y) const {
   const auto divs = nt::divisors(n);  // ascending
   // Rank of x with x descending: the largest divisor has rank 1.
   const auto it = std::lower_bound(divs.begin(), divs.end(), x);
-  const auto ascending_index = static_cast<index_t>(it - divs.begin());
+  const auto ascending_index = nt::to_index(it - divs.begin());
   const index_t rank = divs.size() - ascending_index;
   return nt::checked_add(base, rank);
 }
@@ -25,6 +26,8 @@ Point HyperbolicPf::unpair(index_t z) const {
   const index_t n = nt::summatory_lower_bound(z);
   const index_t rank = z - nt::divisor_summatory(n - 1);  // 1-based, descending
   const auto divs = nt::divisors(n);
+  PFL_ENSURE(rank >= 1 && rank <= divs.size(),
+             "summatory bracketing yields a divisor rank of shell n");
   const index_t x = divs[divs.size() - rank];
   return {x, n / x};
 }

@@ -1,7 +1,9 @@
 #include "core/hyperbolic_cached.hpp"
 
 #include <algorithm>
+#include <iterator>
 
+#include "core/contract.hpp"
 #include "numtheory/checked.hpp"
 
 namespace pfl {
@@ -65,19 +67,22 @@ index_t CachedHyperbolicPf::pair(index_t x, index_t y) const {
   std::vector<index_t> divs;
   divisors_descending(n, divs);
   const auto it = std::find(divs.begin(), divs.end(), x);
-  const index_t rank = static_cast<index_t>(it - divs.begin()) + 1;
-  return cumulative_[static_cast<std::size_t>(n - 1)] + rank;
+  const index_t rank = nt::checked_add(nt::to_index(it - divs.begin()), 1);
+  return nt::checked_add(cumulative_[static_cast<std::size_t>(n - 1)], rank);
 }
 
 Point CachedHyperbolicPf::unpair(index_t z) const {
   require_value(z);
   if (z > cumulative_.back()) return exact_.unpair(z);
   // Smallest shell N with D(N) >= z.
-  const auto it = std::lower_bound(cumulative_.begin() + 1, cumulative_.end(), z);
-  const index_t n = static_cast<index_t>(it - cumulative_.begin());
+  const auto it =
+      std::lower_bound(std::next(cumulative_.begin()), cumulative_.end(), z);
+  const index_t n = nt::to_index(it - cumulative_.begin());
   const index_t rank = z - cumulative_[static_cast<std::size_t>(n - 1)];
   std::vector<index_t> divs;
   divisors_descending(n, divs);
+  PFL_ENSURE(rank >= 1 && rank <= divs.size(),
+             "cached prefix sums bracket z within shell n");
   const index_t x = divs[static_cast<std::size_t>(rank - 1)];
   return {x, n / x};
 }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/contract.hpp"
 #include "numtheory/bits.hpp"
 #include "numtheory/checked.hpp"
 #include "numtheory/divisor.hpp"
@@ -47,7 +48,7 @@ Point ShellPf::unpair(index_t z) const {
   // Largest c with cumulative_before(c) < z lies in [hi/2, hi).
   index_t lo = hi / 2 < 1 ? 1 : hi / 2;
   while (lo < hi) {
-    const index_t mid = lo + (hi - lo + 1) / 2;
+    const index_t mid = lo + (hi - lo + 1) / 2;  // pfl-lint: allow(checked-arith) -- overflow-safe midpoint, mid <= hi
     if (cumulative_saturating(mid) < z)
       lo = mid;
     else
@@ -55,6 +56,7 @@ Point ShellPf::unpair(index_t z) const {
   }
   const index_t c = lo;
   const index_t r = z - scheme_->cumulative_before(c);
+  PFL_ENSURE(r >= 1, "binary search leaves cumulative_before(c) < z");
   return scheme_->position(c, r);
 }
 
@@ -111,7 +113,7 @@ class HyperbolicShellScheme final : public ShellScheme {
   index_t rank_in_shell(index_t c, index_t x, index_t /*y*/) const override {
     const auto divs = nt::divisors(c);
     const auto it = std::lower_bound(divs.begin(), divs.end(), x);
-    return divs.size() - static_cast<index_t>(it - divs.begin());
+    return divs.size() - nt::to_index(it - divs.begin());
   }
   Point position(index_t c, index_t r) const override {
     const auto divs = nt::divisors(c);

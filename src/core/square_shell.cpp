@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/contract.hpp"
 #include "numtheory/bits.hpp"
 #include "numtheory/checked.hpp"
 
@@ -19,10 +20,13 @@ index_t SquareShellPf::pair(index_t x, index_t y) const {
 
 Point SquareShellPf::unpair(index_t z) const {
   require_value(z);
+  // m = isqrt_ceil(z) - 1 <= 2^32, so every expression below is far from
+  // the 64-bit edge; the hot path stays branch-free of overflow checks.
   const index_t m = nt::isqrt_ceil(z) - 1;
-  const index_t r = z - m * m;  // 1 <= r <= 2m + 1
-  if (r <= m + 1) return {m + 1, r};
-  return {2 * m + 2 - r, m + 1};
+  const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
+  PFL_ENSURE(r >= 1 && r <= 2 * m + 1, "rank within the square shell");
+  if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  return {2 * m + 2 - r, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
 }
 
 }  // namespace pfl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/contract.hpp"
 #include "numtheory/bits.hpp"
 #include "numtheory/checked.hpp"
 
@@ -17,10 +18,13 @@ index_t SzudzikPf::pair(index_t x, index_t y) const {
 
 Point SzudzikPf::unpair(index_t z) const {
   require_value(z);
+  // m = isqrt_ceil(z) - 1 <= 2^32 keeps all shell arithmetic far from the
+  // 64-bit edge (see the matching proof in square_shell.cpp).
   const index_t m = nt::isqrt_ceil(z) - 1;
-  const index_t r = z - m * m;  // 1 <= r <= 2m + 1
-  if (r <= m + 1) return {m + 1, r};
-  return {r - m - 1, m + 1};
+  const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
+  PFL_ENSURE(r >= 1 && r <= 2 * m + 1, "rank within the Szudzik shell");
+  if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  return {r - m - 1, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
 }
 
 }  // namespace pfl

@@ -3,6 +3,8 @@
 #include <set>
 #include <vector>
 
+#include "numtheory/checked.hpp"
+
 namespace pfl {
 
 RowProgression row_progression(const PairingFunction& pf, index_t x,
@@ -48,7 +50,7 @@ TraversalCost walk(const PairingFunction& pf,
     ++cost.cells;
   }
   cost.span = hi - lo;
-  cost.pages_touched = static_cast<index_t>(pages.size());
+  cost.pages_touched = nt::to_index(pages.size());
   return cost;
 }
 

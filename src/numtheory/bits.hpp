@@ -68,7 +68,8 @@ constexpr index_t isqrt(index_t n) {
 constexpr unsigned bit_width_u128(u128 v) {
   const auto hi = static_cast<std::uint64_t>(v >> 64);
   const auto lo = static_cast<std::uint64_t>(v);
-  return hi != 0 ? 64 + std::bit_width(hi) : std::bit_width(lo);
+  return static_cast<unsigned>(hi != 0 ? 64 + std::bit_width(hi)
+                                       : std::bit_width(lo));
 }
 
 /// Exact floor(sqrt(n)) for 128-bit n (the result always fits in 64 bits).

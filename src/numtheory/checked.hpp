@@ -7,11 +7,54 @@
 // OverflowError.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 
 #include "core/types.hpp"
 
 namespace pfl::nt {
+
+/// Checked conversion of any arithmetic value into index_t.
+///
+/// The lint rule `no-naked-cast` (tools/pfl_lint.py) forbids bare
+/// `static_cast<index_t>` in src/ because the cast silently wraps negative
+/// signed values and silently truncates out-of-range ones. This helper is
+/// the sanctioned route: it throws DomainError for negative inputs and
+/// OverflowError for values that do not fit in 64 bits. Floating inputs
+/// are truncated toward zero (like static_cast) after the range check --
+/// intended for the approximation helpers, never for exact address math.
+template <class T>
+constexpr index_t to_index(T v) {
+  static_assert(std::is_arithmetic_v<T> || std::is_same_v<T, u128> ||
+                    std::is_same_v<T, i128>,
+                "to_index: arithmetic types only");
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!(v >= T(0)))  // also rejects NaN
+      throw DomainError("to_index: negative or NaN floating value");
+    // 2^64 is exactly representable in double/float; values >= it overflow.
+    if (v >= std::ldexp(T(1), 64))
+      throw OverflowError("to_index: floating value exceeds 64 bits");
+    return static_cast<index_t>(v);
+  } else if constexpr (std::is_same_v<T, i128>) {
+    if (v < 0) throw DomainError("to_index: negative value");
+    if (v > i128(std::numeric_limits<std::uint64_t>::max()))
+      throw OverflowError("to_index: value exceeds 64 bits");
+    return static_cast<index_t>(v);
+  } else if constexpr (std::is_same_v<T, u128>) {
+    if (v > u128(std::numeric_limits<std::uint64_t>::max()))
+      throw OverflowError("to_index: value exceeds 64 bits");
+    return static_cast<index_t>(v);
+  } else if constexpr (std::is_signed_v<T>) {
+    if (v < 0) throw DomainError("to_index: negative value");
+    return static_cast<index_t>(v);
+  } else {
+    static_assert(sizeof(T) <= sizeof(index_t),
+                  "to_index: unsigned type wider than index_t");
+    return static_cast<index_t>(v);
+  }
+}
 
 /// a + b, throwing OverflowError if the exact sum exceeds 64 bits.
 constexpr index_t checked_add(index_t a, index_t b) {
@@ -57,7 +100,8 @@ constexpr index_t narrow(u128 v) {
 /// T appears throughout Section 2: D(x,y) = T(x+y-2) + y.
 constexpr index_t triangular(index_t n) {
   // One of n, n+1 is even; divide that one first so the product is exact.
-  const u128 t = (n % 2 == 0) ? u128(n / 2) * (n + 1) : u128((n + 1) / 2) * n;
+  // For odd n write (n+1)/2 as n/2 + 1 so n = 2^64 - 1 cannot wrap n + 1.
+  const u128 t = (n % 2 == 0) ? u128(n / 2) * (u128(n) + 1) : u128(n / 2 + 1) * n;
   return narrow(t);
 }
 

@@ -8,7 +8,7 @@ namespace pfl::nt {
 
 index_t mulmod(index_t a, index_t b, index_t m) {
   if (m == 0) throw DomainError("mulmod: modulus must be positive");
-  return static_cast<index_t>((u128(a) * b) % m);
+  return static_cast<index_t>((u128(a) * b) % m);  // pfl-lint: allow(no-naked-cast) -- x % m < m <= 2^64, hot modmul path
 }
 
 index_t powmod(index_t a, index_t e, index_t m) {
@@ -46,7 +46,7 @@ index_t pollard_brent(index_t n, index_t seed) {
   const index_t c = 1 + seed % (n - 1);
   // f(v) = v^2 + c (mod n), computed without 64-bit overflow.
   const auto advance = [n, c](index_t v) {
-    return static_cast<index_t>((u128(v) * v + c) % n);
+    return static_cast<index_t>((u128(v) * v + c) % n);  // pfl-lint: allow(no-naked-cast) -- x % n < n <= 2^64, hot rho step
   };
   index_t x = 2 + seed % (n - 3);
   index_t y = x, d = 1, saved = y;

@@ -11,9 +11,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return;  // idempotent: destructor after explicit shutdown
     stopping_ = true;
   }
   cv_.notify_all();

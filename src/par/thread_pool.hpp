@@ -27,6 +27,12 @@ class ThreadPool {
   /// Joins all workers; pending tasks are completed first.
   ~ThreadPool();
 
+  /// Drains the queue and joins all workers; later submit() calls throw.
+  /// Idempotent, so the destructor after an explicit shutdown is a no-op.
+  /// Safe to race against concurrent submitters: they either enqueue
+  /// before the stop flag (and their task runs) or observe the throw.
+  void shutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

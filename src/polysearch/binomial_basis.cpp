@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "numtheory/checked.hpp"
 #include "par/parallel_for.hpp"
 
 namespace pfl::polysearch {
@@ -23,9 +24,9 @@ constexpr std::int64_t kFactorial[5] = {1, 1, 2, 6, 24};
 
 /// C(x, i) exactly, i <= 4, without overflow for x <= 2^20.
 i128 binom_small(index_t x, int i) {
-  if (x < static_cast<index_t>(i)) return 0;
+  if (x < nt::to_index(i)) return 0;
   i128 prod = 1;
-  for (int k = 0; k < i; ++k) prod *= static_cast<i128>(x - static_cast<index_t>(k));
+  for (int k = 0; k < i; ++k) prod *= static_cast<i128>(x - nt::to_index(k));
   return prod / kFactorial[i];
 }
 
@@ -138,8 +139,8 @@ Verdict check_values(const BinomialPolynomial& poly, const CheckConfig& config) 
       verdict = Verdict::kNonPositive;
       return 0;
     }
-    if (v > i128(~std::uint64_t{0})) return static_cast<index_t>(~std::uint64_t{0});
-    return static_cast<index_t>(v);
+    if (v > i128(~std::uint64_t{0})) return ~std::uint64_t{0};
+    return nt::to_index(v);
   };
   Verdict verdict = Verdict::kPass;
   for (index_t x = 1; x <= config.grid; ++x)
@@ -175,7 +176,7 @@ Verdict quick_values(const BinomialPolynomial& poly) {
       const i128 v = poly.eval(x, y);
       if (v <= 0) return Verdict::kNonPositive;
       if (v > i128(~std::uint64_t{0})) return Verdict::kCoverageGap;
-      const auto value = static_cast<index_t>(v);
+      const auto value = nt::to_index(v);
       for (std::size_t k = 0; k < count; ++k)
         if (values[k] == value) return Verdict::kCollision;
       values[count++] = value;

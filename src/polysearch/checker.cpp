@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/contract.hpp"
+#include "numtheory/checked.hpp"
+
 namespace pfl::polysearch {
 
 const char* verdict_name(Verdict v) {
@@ -13,7 +16,7 @@ const char* verdict_name(Verdict v) {
     case Verdict::kCollision: return "collision";
     case Verdict::kCoverageGap: return "coverage-gap";
   }
-  return "?";
+  PFL_ASSERT_UNREACHABLE("Verdict enum is exhaustive");
 }
 
 namespace {
@@ -36,9 +39,9 @@ index_t eval_checked(const BivariatePolynomial& poly, index_t x, index_t y,
     // Too large to track in the collision set; treat as a fresh huge value
     // (collisions between such values are not detectable here, but any
     // poly reaching 2^64 on a 40x40 grid has failed coverage anyway).
-    return static_cast<index_t>(~std::uint64_t{0});
+    return ~std::uint64_t{0};
   }
-  return static_cast<index_t>(value);
+  return nt::to_index(value);
 }
 
 }  // namespace

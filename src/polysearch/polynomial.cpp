@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "numtheory/checked.hpp"
+
 namespace pfl::polysearch {
 
 BivariatePolynomial::BivariatePolynomial(int degree, std::int64_t denominator)
@@ -56,7 +58,7 @@ std::optional<index_t> BivariatePolynomial::eval_as_address(index_t x,
   if (scaled % den_ != 0) return std::nullopt;
   const i128 value = scaled / den_;
   if (value > i128(std::numeric_limits<index_t>::max())) return std::nullopt;
-  return static_cast<index_t>(value);
+  return nt::to_index(value);
 }
 
 std::string BivariatePolynomial::to_string() const {

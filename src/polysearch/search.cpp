@@ -3,6 +3,7 @@
 #include <array>
 #include <utility>
 
+#include "numtheory/checked.hpp"
 #include "par/parallel_for.hpp"
 
 namespace pfl::polysearch {
@@ -30,7 +31,7 @@ Verdict quick_check(const BivariatePolynomial& poly) {
       if (scaled % poly.denominator() != 0) return Verdict::kNonIntegral;
       const i128 v = scaled / poly.denominator();
       if (v > i128(~std::uint64_t{0})) return Verdict::kCoverageGap;
-      const auto value = static_cast<index_t>(v);
+      const auto value = nt::to_index(v);
       for (std::size_t k = 0; k < count; ++k)
         if (values[k] == value) return Verdict::kCollision;
       values[count++] = value;

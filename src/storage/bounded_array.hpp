@@ -12,7 +12,9 @@
 
 #include <vector>
 
+#include "core/contract.hpp"
 #include "core/types.hpp"
+#include "numtheory/checked.hpp"
 
 namespace pfl::storage {
 
@@ -23,7 +25,7 @@ class BoundedArray {
   BoundedArray(index_t max_rows, index_t max_cols, index_t rows = 0,
                index_t cols = 0)
       : max_rows_(max_rows), max_cols_(max_cols), rows_(rows), cols_(cols),
-        buffer_(static_cast<std::size_t>(max_rows * max_cols)) {
+        buffer_(static_cast<std::size_t>(nt::checked_mul(max_rows, max_cols))) {
     if (max_rows == 0 || max_cols == 0)
       throw DomainError("BoundedArray: maxima must be >= 1");
     check_shape(rows, cols);
@@ -59,7 +61,9 @@ class BoundedArray {
   index_t element_moves() const { return 0; }
 
   /// The whole point: the footprint is max_rows * max_cols, always.
-  index_t address_high_water() const { return max_rows_ * max_cols_; }
+  index_t address_high_water() const {
+    return nt::checked_mul(max_rows_, max_cols_);
+  }
   std::size_t bytes_reserved() const { return buffer_.capacity() * sizeof(T); }
 
  private:
@@ -75,7 +79,10 @@ class BoundedArray {
       throw DomainError("BoundedArray: position outside logical bounds");
   }
   std::size_t offset(index_t x, index_t y) const {
+    PFL_EXPECT(x >= 1 && x <= max_rows_ && y >= 1 && y <= max_cols_,
+               "offset inside the declared envelope");
     // Row-major within the MAXIMUM envelope, so reshapes never remap.
+    // Bounded by max_rows*max_cols, which the constructor proved fits.
     return static_cast<std::size_t>((x - 1) * max_cols_ + (y - 1));
   }
 

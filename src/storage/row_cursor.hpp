@@ -42,11 +42,10 @@ class RowAddressCursor {
   /// Moves forward by `count` columns (one multiply on the fast path).
   void advance_by(index_t count) {
     if (count == 0) return;
+    y_ = nt::checked_add(y_, count);
     if (stride_ != 0) {
-      y_ += count;
       address_ = nt::checked_add(address_, nt::checked_mul(stride_, count));
     } else {
-      y_ += count;
       address_ = pf_->pair(x_, y_);
     }
   }

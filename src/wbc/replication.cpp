@@ -54,7 +54,7 @@ ReplicatedServer::Assignment ReplicatedServer::request_task(VolunteerId v) {
     for (std::size_t j = 0; j < assignees.size(); ++j) {
       if (assignees[j] == 0) {
         task.assignees[j] = v;
-        const index_t replica = static_cast<index_t>(j) + 1;
+        const index_t replica = nt::to_index(j) + 1;
         const TaskIndex virt = replica_pf_->pair(task.id, replica);
         if (virt > max_virtual_) max_virtual_ = virt;
         ++issued_;

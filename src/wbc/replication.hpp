@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/pairing_function.hpp"
+#include "numtheory/checked.hpp"
 #include "wbc/types.hpp"
 
 namespace pfl::wbc {
@@ -75,7 +76,7 @@ class ReplicatedServer {
   index_t replication() const { return replication_; }
   index_t tasks_issued() const { return issued_; }
   index_t tasks_decided() const { return decided_; }
-  index_t total_bans() const { return static_cast<index_t>(banned_.size()); }
+  index_t total_bans() const { return nt::to_index(banned_.size()); }
 
  private:
   struct PendingTask {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "apf/registry.hpp"
+#include "numtheory/checked.hpp"
 #include "wbc/types.hpp"
 
 namespace pfl::wbc {
@@ -65,7 +66,7 @@ class TaskServer {
 
   index_t total_issued() const { return total_issued_; }
   index_t total_results() const { return total_results_; }
-  index_t total_bans() const { return static_cast<index_t>(banned_.size()); }
+  index_t total_bans() const { return nt::to_index(banned_.size()); }
 
   const apf::AdditivePairingFunction& allocation_function() const { return *apf_; }
 

@@ -1,0 +1,59 @@
+// The contract macros themselves: checked-build semantics (throwing
+// ContractViolation through the pfl::Error hierarchy with a diagnosable
+// message). Release semantics (optimizer assumptions) are compile-time
+// only and exercised by the PFL_CONTRACT_CHECKS=OFF CI/bench builds.
+#include "core/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfl {
+namespace {
+
+static_assert(PFL_CONTRACT_CHECKS,
+              "test suites build with contract checks enabled");
+
+TEST(ContractTest, SatisfiedContractsAreSilent) {
+  EXPECT_NO_THROW(PFL_EXPECT(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(PFL_ENSURE(true, "tautology"));
+}
+
+TEST(ContractTest, ViolatedPreconditionThrows) {
+  EXPECT_THROW(PFL_EXPECT(false, "callers must not do this"),
+               ContractViolation);
+}
+
+TEST(ContractTest, ViolatedPostconditionThrows) {
+  EXPECT_THROW(PFL_ENSURE(2 < 1, "result in range"), ContractViolation);
+}
+
+TEST(ContractTest, UnreachableThrows) {
+  EXPECT_THROW(PFL_ASSERT_UNREACHABLE("switch is exhaustive"),
+               ContractViolation);
+}
+
+TEST(ContractTest, ViolationDerivesFromError) {
+  // Existing catch (const pfl::Error&) sites must keep working.
+  EXPECT_THROW(PFL_EXPECT(false, "still a pfl::Error"), Error);
+}
+
+TEST(ContractTest, MessageCarriesKindConditionAndLocation) {
+  try {
+    PFL_ENSURE(0 == 1, "ranks are 1-based");
+    FAIL() << "contract did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("ranks are 1-based"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 == 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("contract_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(ContractTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  PFL_EXPECT([&] { return ++evaluations; }() == 1, "single evaluation");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace pfl

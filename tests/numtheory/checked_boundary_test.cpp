@@ -1,0 +1,180 @@
+// Boundary suite for the "never wrap silently" toolkit: every helper is
+// driven to the exact 64-bit edge, one past it, and (for to_index) across
+// every accepted source type. Companion to checked_test.cpp, which covers
+// the everyday cases; here the point is the cliff itself.
+#include "numtheory/checked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "apf/grouped_apf.hpp"
+#include "apf/kappa.hpp"
+#include "apf/tc.hpp"
+
+namespace pfl::nt {
+namespace {
+
+constexpr index_t kMax = std::numeric_limits<index_t>::max();
+
+TEST(CheckedAddBoundaryTest, EdgeOperands) {
+  EXPECT_EQ(checked_add(kMax, 0), kMax);
+  EXPECT_EQ(checked_add(0, kMax), kMax);
+  EXPECT_EQ(checked_add(index_t{1} << 63, (index_t{1} << 63) - 1), kMax);
+  EXPECT_THROW(checked_add(index_t{1} << 63, index_t{1} << 63), OverflowError);
+  EXPECT_THROW(checked_add(kMax, kMax), OverflowError);
+}
+
+TEST(CheckedMulBoundaryTest, EdgeOperands) {
+  // kMax = 3 * 5 * 17 * 257 * 641 * 65537 * 6700417: exact max products.
+  EXPECT_EQ(checked_mul(kMax / 3, 3), kMax);
+  EXPECT_EQ(checked_mul(kMax / 5, 5), kMax);
+  EXPECT_THROW(checked_mul(kMax / 3 + 1, 3), OverflowError);
+  EXPECT_EQ(checked_mul(kMax, 1), kMax);
+  EXPECT_THROW(checked_mul(kMax, 2), OverflowError);
+  EXPECT_THROW(checked_mul(index_t{1} << 32, index_t{1} << 32), OverflowError);
+}
+
+TEST(CheckedMulBoundaryTest, DifferenceOfSquaresSanity) {
+  // (2^32 + 1)(2^32 - 1) = 2^64 - 1 = kMax: the largest representable
+  // product of two non-trivial factors.
+  EXPECT_EQ(checked_mul((index_t{1} << 32) + 1, (index_t{1} << 32) - 1), kMax);
+}
+
+TEST(CheckedShlBoundaryTest, EdgeShifts) {
+  EXPECT_EQ(checked_shl((index_t{1} << 63) - 1, 1), kMax - 1);
+  EXPECT_EQ(checked_shl(kMax >> 63, 63), index_t{1} << 63);
+  EXPECT_THROW(checked_shl(1, 64), OverflowError);
+  EXPECT_THROW(checked_shl(kMax, 1), OverflowError);
+  EXPECT_THROW(checked_shl(1, std::numeric_limits<unsigned>::max()),
+               OverflowError);
+}
+
+TEST(NarrowBoundaryTest, ExactEdge) {
+  EXPECT_EQ(narrow(u128(kMax)), kMax);
+  EXPECT_THROW(narrow(u128(kMax) + 1), OverflowError);
+  EXPECT_EQ(narrow(mul_wide((index_t{1} << 32) + 1, (index_t{1} << 32) - 1)),
+            kMax);
+  EXPECT_THROW(narrow(mul_wide(index_t{1} << 32, index_t{1} << 32)),
+               OverflowError);
+}
+
+TEST(TriangularBoundaryTest, LargestExactArgument) {
+  // T(n) = n(n+1)/2 <= 2^64 - 1 iff n <= 6074000999.
+  constexpr index_t n = 6074000999ull;
+  // Reference value computed in 128 bits: n(n+1) itself exceeds 64.
+  EXPECT_EQ(triangular(n), narrow(u128(n) * (n + 1) / 2));
+  EXPECT_EQ(triangular(n), 18446744070963499500ull);
+  EXPECT_THROW(triangular(n + 1), OverflowError);
+}
+
+TEST(TriangularBoundaryTest, MaxArgumentThrowsInsteadOfWrapping) {
+  // Regression: for odd n the implementation used (n+1)/2, which wraps to
+  // 0 at n = 2^64 - 1 and silently returned T(kMax) = 0.
+  EXPECT_THROW(triangular(kMax), OverflowError);
+  EXPECT_THROW(triangular(kMax - 1), OverflowError);
+}
+
+TEST(Binom2BoundaryTest, LargestExactArgument) {
+  // C(n, 2) = T(n - 1): the edge sits one above triangular's.
+  constexpr index_t n = 6074001000ull;
+  EXPECT_EQ(binom2(n), 18446744070963499500ull);
+  EXPECT_THROW(binom2(n + 1), OverflowError);
+  EXPECT_THROW(binom2(kMax), OverflowError);
+}
+
+TEST(ToIndexTest, FloatingBranch) {
+  EXPECT_EQ(to_index(0.0), 0ull);
+  EXPECT_EQ(to_index(3.9), 3ull);  // truncates toward zero like static_cast
+  EXPECT_EQ(to_index(std::ldexp(1.0, 63)), index_t{1} << 63);
+  // 2^64 is the first double that does not fit.
+  EXPECT_THROW(to_index(std::ldexp(1.0, 64)), OverflowError);
+  EXPECT_EQ(to_index(std::nextafter(std::ldexp(1.0, 64), 0.0)),
+            0xFFFFFFFFFFFFF800ull);  // largest double below 2^64
+  EXPECT_THROW(to_index(-1.0), DomainError);
+  EXPECT_THROW(to_index(-0.5), DomainError);
+  EXPECT_THROW(to_index(std::numeric_limits<double>::quiet_NaN()), DomainError);
+  EXPECT_THROW(to_index(std::numeric_limits<double>::infinity()), OverflowError);
+}
+
+TEST(ToIndexTest, WideIntegerBranches) {
+  EXPECT_EQ(to_index(u128(kMax)), kMax);
+  EXPECT_THROW(to_index(u128(kMax) + 1), OverflowError);
+  EXPECT_EQ(to_index(i128(kMax)), kMax);
+  EXPECT_THROW(to_index(i128(kMax) + 1), OverflowError);
+  EXPECT_THROW(to_index(i128(-1)), DomainError);
+}
+
+TEST(ToIndexTest, NativeIntegerBranches) {
+  EXPECT_EQ(to_index(42), 42ull);
+  EXPECT_EQ(to_index(std::ptrdiff_t{7}), 7ull);  // iterator differences
+  EXPECT_THROW(to_index(-1), DomainError);
+  EXPECT_THROW(to_index(std::numeric_limits<std::int64_t>::min()), DomainError);
+  EXPECT_EQ(to_index(std::numeric_limits<std::int64_t>::max()),
+            0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(to_index(std::size_t{12}), 12ull);
+  EXPECT_EQ(to_index(std::uint32_t{0xFFFFFFFFu}), 0xFFFFFFFFull);
+}
+
+// -- Stride overflow at the group front of the cautionary kappa(g) = 2^g --
+//
+// Section 4.2.3: with kappa(g) = 2^g the stride S_x = 2^{1 + g + 2^g}
+// grows superquadratically. The first "dangerous" group is g = 6
+// (start row 1 + 1 + 2 + 4 + 16 + 256 + 65536 + ... ), where
+// 1 + g + kappa(g) = 1 + 6 + 64 = 71 > 63: the stride itself no longer
+// fits in 64 bits, so stride() must throw instead of wrapping.
+TEST(KappaExponentialBoundaryTest, StrideOverflowsAtFirstDangerousRow) {
+  const apf::GroupedApf t(apf::kappa_exponential());
+  // Group starts: start(g+1) = start(g) + 2^kappa(g).
+  // g: 0  1  2  3   4    5      6
+  // start: 1, 3, 7, 23, 279, 65815, 4295033111.
+  index_t start = 1;
+  for (index_t g = 0; g < 6; ++g)
+    start += index_t{1} << (index_t{1} << g);
+  EXPECT_EQ(start, 4295033111ull);
+  EXPECT_EQ(t.group_of(start), 6ull);
+
+  // Last row of group 5: stride exponent 1 + 5 + 32 = 38 still fits.
+  EXPECT_EQ(t.stride(start - 1), index_t{1} << 38);
+  EXPECT_EQ(t.stride_log2(start - 1), 38ull);
+
+  // First row of group 6: exponent 1 + 6 + 64 = 71 does not.
+  EXPECT_THROW(t.stride(start), OverflowError);
+  // base(x) = 2^g (2i - 1) with i = 1 still fits (2^6), and stride_log2
+  // reports the exponent without materializing the power.
+  EXPECT_EQ(t.base(start), index_t{1} << 6);
+  EXPECT_EQ(t.stride_log2(start), 71ull);
+  // pair() at that row must refuse for every y >= 2 (the address leaves
+  // 64 bits after a single stride step) but still work at y = 1.
+  EXPECT_EQ(t.pair(start, 1), index_t{1} << 6);
+  EXPECT_THROW(t.pair(start, 2), OverflowError);
+}
+
+// -- Regression: GroupedApf::unpair at z = 2^64 - 1 with kappa >= 63 --
+//
+// For TcApf(64) every row lives in group 0 with kappa = 63, so the odd
+// part of z IS z and i = (odd + 1) / 2. At odd = 2^64 - 1 the naive
+// (odd + 1) wraps to 0 and unpair used to throw a spurious OverflowError;
+// the fixed path computes i = odd / 2 + 1 and returns the exact preimage.
+TEST(GroupedApfBoundaryTest, UnpairAtMaxValueKappa64) {
+  const apf::TcApf t(64);
+  const Point p = t.unpair(kMax);
+  EXPECT_EQ(p.x, index_t{1} << 63);
+  EXPECT_EQ(p.y, 1ull);
+  EXPECT_EQ(t.pair(p.x, p.y), kMax);  // round-trips exactly
+}
+
+TEST(GroupedApfBoundaryTest, UnpairAtMaxValueTabulatedKappa63) {
+  // Same edge through the tabulated engine (no TcApf closed forms).
+  const apf::GroupedApf t(apf::kappa_constant(64));
+  const Point p = t.unpair(kMax);
+  EXPECT_EQ(p.x, index_t{1} << 63);
+  EXPECT_EQ(p.y, 1ull);
+  EXPECT_EQ(t.pair(p.x, p.y), kMax);
+}
+
+}  // namespace
+}  // namespace pfl::nt

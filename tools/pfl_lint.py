@@ -1,0 +1,442 @@
+#!/usr/bin/env python3
+"""pfl_lint -- repo-invariant checks the compiler cannot express.
+
+The library's documented policy (src/core/types.hpp, src/numtheory/
+checked.hpp) is that every user-reachable arithmetic step in an
+address-computing path is exact or throws, inverses never round through
+floating point, and every public coordinate is 1-based. This lint makes
+those invariants machine-checked on every commit (CTest test `pfl_lint`
+and the CI lint job).
+
+Rules
+-----
+checked-arith
+    Inside address-computing function bodies (pair, unpair, base, stride,
+    stride_log2, row_stride, group_of_row, group_by_index), raw `+`, `*`,
+    `<<` (and their compound forms) on 64-bit index values are forbidden.
+    Route them through pfl::nt::checked_add / checked_mul / checked_shl,
+    widen via mul_wide / u128 with a final nt::narrow, or justify an
+    escape (see below). Lines already routed through those helpers are
+    accepted as-is.
+
+no-float-unpair
+    No sqrt / pow / log / ceil / floor / round / double / float inside any
+    `unpair` body: inverses must use the exact integer nt::isqrt /
+    nt::isqrt_u128 only. (GraphStreamingCC's float-sqrt inversion bug is
+    the cautionary tale.)
+
+no-naked-cast
+    No bare `static_cast<index_t>` or C-style `(index_t)` casts anywhere
+    in src/ outside the checked-arithmetic core (numtheory/checked.hpp,
+    numtheory/bits.hpp). Use pfl::nt::to_index, which rejects negative
+    and out-of-range values, or justify an escape.
+
+one-based
+    Public-facing examples (examples/*.cpp, README.md) must not show
+    0-based coordinates: pair(0, ...), unpair(0), at(0, ...), Point{0, ...}.
+
+Escape hatch
+------------
+    // pfl-lint: allow(rule) -- justification
+    // pfl-lint: allow(rule1,rule2) -- justification
+
+on the offending line or the line directly above suppresses the named
+rule(s) there. A justification after the closing parenthesis is
+mandatory; an allow without one is itself a violation (allow-needs-reason).
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RULES = {
+    "checked-arith",
+    "no-float-unpair",
+    "no-naked-cast",
+    "one-based",
+}
+
+# Function names whose bodies compute addresses and therefore fall under
+# checked-arith.
+ADDRESS_FUNCS = {
+    "pair",
+    "unpair",
+    "base",
+    "stride",
+    "stride_log2",
+    "row_stride",
+    "group_of_row",
+    "group_by_index",
+}
+
+# Files that implement the checked-arithmetic core itself.
+CAST_EXEMPT = {"src/numtheory/checked.hpp", "src/numtheory/bits.hpp"}
+
+# A line containing one of these markers is considered routed through the
+# checked/widened arithmetic layer.
+ROUTED = re.compile(
+    r"nt::checked_|checked_add|checked_sub|checked_mul|checked_shl|"
+    r"mul_wide|narrow\(|to_index|u128|i128"
+    # Contract conditions are diagnostics over already-computed values,
+    # not address computation.
+    r"|PFL_EXPECT|PFL_ENSURE|PFL_ASSERT"
+)
+
+FLOAT_IN_UNPAIR = re.compile(
+    r"(?<![A-Za-z0-9_])(?:sqrt[fl]?|pow[fl]?|log2?|exp|ceil|floor|round)\s*\("
+    r"|\bdouble\b|\bfloat\b"
+)
+
+NAKED_STATIC_CAST = re.compile(r"static_cast<\s*(?:pfl::)?index_t\s*>")
+# `(index_t) expr` is a cast; `(index_t x)` / `(index_t)` followed by a
+# function qualifier is a parameter list.
+NAKED_C_CAST = re.compile(
+    r"\(\s*(?:pfl::)?index_t\s*\)\s*(?!const\b|noexcept\b|override\b)"
+    r"[A-Za-z0-9_(]")
+
+ZERO_COORD = re.compile(
+    r"\b(?:pair|unpair|at|get|contains)\s*\(\s*0\s*[,)]|Point\s*\{\s*0\b"
+)
+
+ALLOW_DIRECTIVE = re.compile(r"pfl-lint:\s*allow\(([^)]*)\)\s*(.*)")
+
+QUALIFIER = re.compile(r"^(?:\s|const\b|override\b|final\b|noexcept\b)+")
+
+KEYWORDS_BEFORE_UNARY = {
+    "return", "throw", "case", "else", "sizeof", "new", "delete", "co_return",
+}
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+    text: str
+
+
+@dataclass
+class FileText:
+    """A source file with comments/strings blanked and allows extracted."""
+
+    path: Path
+    rel: str
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)
+    # line number (0-based) -> set of allowed rules
+    allows: dict[int, set[str]] = field(default_factory=dict)
+    allow_errors: list[Violation] = field(default_factory=list)
+
+
+def strip_comments_and_strings(text: str, ft: FileText,
+                               parse_allows: bool = True) -> str:
+    """Blank comments, string and char literals (preserving layout), and
+    record pfl-lint allow directives found in comments."""
+    out = []
+    i, n = 0, len(text)
+    line = 0
+
+    def record_allow(comment: str, at_line: int) -> None:
+        if not parse_allows:
+            return
+        m = ALLOW_DIRECTIVE.search(comment)
+        if not m:
+            return
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        bad = rules - RULES
+        raw = ft.raw_lines[at_line] if at_line < len(ft.raw_lines) else comment
+        for r in bad:
+            ft.allow_errors.append(Violation(
+                ft.rel, at_line + 1, "allow-needs-reason",
+                f"unknown rule '{r}' in allow()", raw.strip()))
+        justification = m.group(2).strip().lstrip("-– ").strip()
+        if not justification:
+            ft.allow_errors.append(Violation(
+                ft.rel, at_line + 1, "allow-needs-reason",
+                "allow() must carry a justification after the closing paren",
+                raw.strip()))
+        ft.allows.setdefault(at_line, set()).update(rules & RULES)
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            out.append(c)
+            line += 1
+            i += 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            record_allow(text[i:j], line)
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            record_allow(chunk, line)
+            for ch in chunk:
+                out.append("\n" if ch == "\n" else " ")
+            line += chunk.count("\n")
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote and text[j] != "\n":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            # Blank the literal's interior, preserving layout and newlines
+            # (an unterminated quote -- markdown prose -- ends at the line).
+            for ch in text[i:j]:
+                out.append(ch if ch in ("\n", quote) else " ")
+            line += text.count("\n", i, j)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def load(path: Path, root: Path) -> FileText:
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text(encoding="utf-8")
+    ft = FileText(path=path, rel=rel)
+    ft.raw_lines = text.splitlines()
+    # allow() directives are a C++-comment construct; markdown may MENTION
+    # the syntax (the README documents it) without triggering the parser.
+    code = strip_comments_and_strings(text, ft,
+                                      parse_allows=path.suffix != ".md")
+    ft.code_lines = code.splitlines()
+    return ft
+
+
+def allowed(ft: FileText, line0: int, rule: str) -> bool:
+    """An allow on the flagged line or the line directly above applies."""
+    for ln in (line0, line0 - 1):
+        if ln >= 0 and rule in ft.allows.get(ln, set()):
+            return True
+    return False
+
+
+def find_address_function_bodies(ft: FileText) -> list[tuple[str, int, int]]:
+    """Return (name, start_line0, end_line0) of ADDRESS_FUNCS definitions.
+
+    A definition is NAME ( ...matched parens... ) [qualifiers] { -- a call
+    site never has `{` after its qualifier-stripped closing parenthesis.
+    """
+    code = "\n".join(ft.code_lines)
+    bodies = []
+    for m in re.finditer(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\(", code):
+        name = m.group(1)
+        if name not in ADDRESS_FUNCS:
+            continue
+        # Reject member-call sites: `.name(` or `->name(`.
+        before = code[:m.start(1)].rstrip()
+        if before.endswith(".") or before.endswith("->"):
+            continue
+        # Match the parameter list parens.
+        depth, j = 0, m.end() - 1
+        while j < len(code):
+            if code[j] == "(":
+                depth += 1
+            elif code[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        if j >= len(code):
+            continue
+        tail = code[j + 1:]
+        qm = QUALIFIER.match(tail)
+        k = j + 1 + (qm.end() if qm else 0)
+        if k >= len(code) or code[k] != "{":
+            continue
+        # Body extent by brace counting.
+        depth, b = 0, k
+        while b < len(code):
+            if code[b] == "{":
+                depth += 1
+            elif code[b] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            b += 1
+        start_line = code.count("\n", 0, k)
+        end_line = code.count("\n", 0, b)
+        bodies.append((name, start_line, end_line))
+    return bodies
+
+
+def prev_token(s: str, pos: int) -> str:
+    """The token immediately left of s[pos] ('' at line start)."""
+    i = pos - 1
+    while i >= 0 and s[i] in " \t":
+        i -= 1
+    if i < 0:
+        return ""
+    if s[i].isalnum() or s[i] == "_":
+        j = i
+        while j >= 0 and (s[j].isalnum() or s[j] == "_"):
+            j -= 1
+        return s[j + 1:i + 1]
+    return s[i]
+
+
+def next_char(s: str, pos: int) -> str:
+    i = pos
+    while i < len(s) and s[i] in " \t":
+        i += 1
+    return s[i] if i < len(s) else ""
+
+
+def binary_op_positions(code: str) -> list[tuple[int, str]]:
+    """Positions of raw binary +, *, << (incl. +=, *=, <<=) in one line."""
+    hits = []
+    i = 0
+    while i < len(code):
+        c = code[i]
+        if c == "+":
+            if i + 1 < len(code) and code[i + 1] == "+":  # ++
+                i += 2
+                continue
+            tok = prev_token(code, i)
+            if tok and tok not in KEYWORDS_BEFORE_UNARY and (
+                    tok[-1].isalnum() or tok[-1] in "_)]"):
+                hits.append((i, "+"))
+            i += 1
+        elif c == "*":
+            tok = prev_token(code, i)
+            nxt = next_char(code, i + 1)
+            if (tok and tok not in KEYWORDS_BEFORE_UNARY
+                    and (tok[-1].isalnum() or tok[-1] in "_)]")
+                    and (nxt.isalnum() or nxt in "_(")):
+                hits.append((i, "*"))
+            i += 1
+        elif code.startswith("<<", i):
+            # Not `<<<` (doesn't exist) and not part of a template `<`.
+            hits.append((i, "<<"))
+            i += 2
+        else:
+            i += 1
+    return hits
+
+
+def check_checked_arith(ft: FileText, out: list[Violation]) -> None:
+    for name, start, end in find_address_function_bodies(ft):
+        for ln in range(start, end + 1):
+            code = ft.code_lines[ln] if ln < len(ft.code_lines) else ""
+            if not code.strip():
+                continue
+            if ROUTED.search(code):
+                continue
+            raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+            has_string = '"' in raw
+            for pos, op in binary_op_positions(code):
+                if has_string and op in ("+", "<<"):
+                    continue  # error-message/stream building, not index math
+                if allowed(ft, ln, "checked-arith"):
+                    break
+                out.append(Violation(
+                    ft.rel, ln + 1, "checked-arith",
+                    f"raw `{op}` in {name}() -- route through pfl::nt::"
+                    "checked_* / mul_wide / u128+narrow", raw.strip()))
+                break  # one report per line is enough
+
+
+def check_no_float_unpair(ft: FileText, out: list[Violation]) -> None:
+    for name, start, end in find_address_function_bodies(ft):
+        if name != "unpair":
+            continue
+        for ln in range(start, end + 1):
+            code = ft.code_lines[ln] if ln < len(ft.code_lines) else ""
+            m = FLOAT_IN_UNPAIR.search(code)
+            if not m:
+                continue
+            if allowed(ft, ln, "no-float-unpair"):
+                continue
+            raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+            out.append(Violation(
+                ft.rel, ln + 1, "no-float-unpair",
+                "floating-point math in unpair() -- inverses use integer "
+                "nt::isqrt / nt::isqrt_u128 only", raw.strip()))
+
+
+def check_no_naked_cast(ft: FileText, out: list[Violation]) -> None:
+    if ft.rel in CAST_EXEMPT:
+        return
+    for ln, code in enumerate(ft.code_lines):
+        if not (NAKED_STATIC_CAST.search(code) or NAKED_C_CAST.search(code)):
+            continue
+        if allowed(ft, ln, "no-naked-cast"):
+            continue
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        out.append(Violation(
+            ft.rel, ln + 1, "no-naked-cast",
+            "bare cast to index_t -- use pfl::nt::to_index (checked)",
+            raw.strip()))
+
+
+def check_one_based(ft: FileText, out: list[Violation]) -> None:
+    for ln, code in enumerate(ft.code_lines):
+        if not ZERO_COORD.search(code):
+            continue
+        if allowed(ft, ln, "one-based"):
+            continue
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        out.append(Violation(
+            ft.rel, ln + 1, "one-based",
+            "0 used as a coordinate/value in a public example -- the "
+            "library domain is N = {1, 2, ...}", raw.strip()))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    if not (root / "src").is_dir():
+        print(f"pfl_lint: {root} does not look like the repo root "
+              "(no src/ directory)", file=sys.stderr)
+        return 2
+
+    violations: list[Violation] = []
+    src_files = sorted(
+        p for p in (root / "src").rglob("*") if p.suffix in (".hpp", ".cpp"))
+    for path in src_files:
+        ft = load(path, root)
+        violations.extend(ft.allow_errors)
+        check_checked_arith(ft, violations)
+        check_no_float_unpair(ft, violations)
+        check_no_naked_cast(ft, violations)
+
+    example_files = sorted((root / "examples").glob("*.cpp"))
+    readme = root / "README.md"
+    for path in example_files + ([readme] if readme.exists() else []):
+        ft = load(path, root)
+        violations.extend(ft.allow_errors)
+        check_one_based(ft, violations)
+
+    if violations:
+        for v in sorted(violations, key=lambda v: (v.path, v.line)):
+            print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+            print(f"    {v.text}")
+        by_rule: dict[str, int] = {}
+        for v in violations:
+            by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+        summary = ", ".join(f"{k}: {n}" for k, n in sorted(by_rule.items()))
+        print(f"\npfl_lint: {len(violations)} violation(s) ({summary}) "
+              f"across {len(src_files) + len(example_files) + 1} files")
+        return 1
+
+    print(f"pfl_lint: clean ({len(src_files)} src files, "
+          f"{len(example_files)} examples, README)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
