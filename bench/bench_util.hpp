@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace pfl::bench {
 
@@ -24,14 +27,48 @@ inline std::string fmt(double v) {
 
 inline std::string fmt_u(unsigned long long v) { return std::to_string(v); }
 
+/// Command-line arguments, possibly extended from the environment.
+/// `storage` owns the strings; `argv` points into it and stays valid for
+/// the lifetime of the object (keep it alive across Initialize/Run).
+struct BenchArgs {
+  std::vector<std::string> storage;
+  std::vector<char*> argv;
+};
+
+/// When PFL_BENCH_OUT=<path> is set and the caller did not pass an
+/// explicit --benchmark_out, appends --benchmark_out=<path> and
+/// --benchmark_out_format=json. This is how tools/bench_report.py
+/// collects machine-readable runs (see README "Benchmarks") without every
+/// invocation spelling the google-benchmark flags.
+inline BenchArgs args_with_env_out(int argc, char** argv) {
+  BenchArgs r;
+  bool has_out = false;
+  for (int i = 0; i < argc; ++i) {
+    r.storage.emplace_back(argv[i]);
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (const char* out = std::getenv("PFL_BENCH_OUT"); out && *out && !has_out) {
+    r.storage.push_back(std::string("--benchmark_out=") + out);
+    r.storage.emplace_back("--benchmark_out_format=json");
+  }
+  r.argv.reserve(r.storage.size());
+  for (auto& s : r.storage) r.argv.push_back(s.data());
+  return r;
+}
+
 }  // namespace pfl::bench
 
 /// Prints the paper-style report, then runs google-benchmark timings.
+/// Honors PFL_BENCH_OUT (JSON output path) via args_with_env_out.
 #define PFL_BENCH_MAIN(PRINT_REPORT)                      \
   int main(int argc, char** argv) {                       \
     PRINT_REPORT();                                       \
-    benchmark::Initialize(&argc, argv);                   \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    auto pfl_bench_args = pfl::bench::args_with_env_out(argc, argv); \
+    int pfl_bench_argc = static_cast<int>(pfl_bench_args.argv.size()); \
+    benchmark::Initialize(&pfl_bench_argc, pfl_bench_args.argv.data()); \
+    if (benchmark::ReportUnrecognizedArguments(pfl_bench_argc,          \
+                                               pfl_bench_args.argv.data())) \
+      return 1;                                           \
     benchmark::RunSpecifiedBenchmarks();                  \
     benchmark::Shutdown();                                \
     return 0;                                             \

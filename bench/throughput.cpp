@@ -1,0 +1,196 @@
+// Throughput layer baseline (PR 2): batch kernels vs the scalar virtual
+// API, and incremental shell enumerators vs repeated unpair.
+//
+// Benchmark names are a stable contract with tools/bench_report.py:
+//
+//   scalar_virtual_pair/<pf>    one virtual pair() call per element
+//   batch_pair/<pf>             PairingFunction::pair_batch (kernel loop)
+//   scalar_virtual_unpair/<pf>  one virtual unpair() call per element
+//   batch_unpair/<pf>           PairingFunction::unpair_batch
+//   enumerate_prefix/<pf>       stateful shell walk of addresses 1..K
+//   random_unpair/<pf>          uncached unpair at addresses sampled
+//                               uniformly from [1, K] (the fair per-element
+//                               baseline: the full 1..K sweep of the
+//                               hyperbolic PF is quadratic-ish in K)
+//
+// Every benchmark sets items processed, so per-element rates compare
+// directly across shapes; bench_report.py derives the speedup ratios from
+// them. Batch calls go through the virtual pair_batch overrides, i.e. the
+// sequential kernel path -- the measured win is devirtualization plus the
+// chunk-prescanned unchecked tier, not thread parallelism.
+#include <cstddef>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/registry.hpp"
+#include "core/shell_enumerator.hpp"
+
+namespace {
+
+using pfl::index_t;
+using pfl::PfPtr;
+using pfl::Point;
+
+constexpr std::size_t kBatch = 8192;
+constexpr index_t kPrefixK = 1000000;       // enumerate_prefix walk length
+constexpr std::size_t kUnpairSamples = 4096;  // random_unpair sample count
+
+struct Inputs {
+  std::vector<index_t> xs, ys, zs;
+};
+
+/// Random in-domain coordinates plus their (valid, in-image) addresses.
+Inputs make_inputs(const pfl::PairingFunction& pf, index_t coord_hi) {
+  std::mt19937_64 rng(0x5EED0000 + coord_hi);
+  std::uniform_int_distribution<index_t> dist(1, coord_hi);
+  Inputs in;
+  in.xs.resize(kBatch);
+  in.ys.resize(kBatch);
+  in.zs.resize(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    in.xs[i] = dist(rng);
+    in.ys[i] = dist(rng);
+    in.zs[i] = pf.pair(in.xs[i], in.ys[i]);
+  }
+  return in;
+}
+
+/// Per-mapping coordinate range: large enough to exercise real shells,
+/// small enough that every mapping stays cheap and in-domain. The aspect
+/// kernel's fast envelope ends at 2^15; the range straddles nothing --
+/// chunks prove themselves eligible -- except hyperbolic, whose cost is
+/// the divisor work, kept to shells xy <= 10^6.
+index_t coord_range(const std::string& name) {
+  if (name == "hyperbolic") return 1000;
+  if (name == "aspect-2x3") return 30000;
+  return 1000000;
+}
+
+void bm_scalar_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
+  std::vector<index_t> out(kBatch);
+  for (auto _ : st) {
+    for (std::size_t i = 0; i < kBatch; ++i) out[i] = pf->pair(in.xs[i], in.ys[i]);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
+}
+
+void bm_batch_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
+  std::vector<index_t> out(kBatch);
+  for (auto _ : st) {
+    pf->pair_batch(in.xs, in.ys, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
+}
+
+void bm_scalar_unpair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
+  std::vector<Point> out(kBatch);
+  for (auto _ : st) {
+    for (std::size_t i = 0; i < kBatch; ++i) out[i] = pf->unpair(in.zs[i]);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
+}
+
+void bm_batch_unpair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
+  std::vector<Point> out(kBatch);
+  for (auto _ : st) {
+    pf->unpair_batch(in.zs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
+}
+
+template <class Enumerator>
+void bm_enumerate_prefix(benchmark::State& st, Enumerator make) {
+  for (auto _ : st) {
+    auto e = make();
+    index_t acc = 0;
+    pfl::enumerate_prefix(e, kPrefixK,
+                          [&](index_t, Point p) { acc ^= p.x; });
+    benchmark::DoNotOptimize(acc);
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) *
+                       static_cast<int64_t>(kPrefixK));
+}
+
+void bm_random_unpair(benchmark::State& st, const PfPtr& pf) {
+  std::mt19937_64 rng(0xD15C0);
+  std::uniform_int_distribution<index_t> dist(1, kPrefixK);
+  std::vector<index_t> zs(kUnpairSamples);
+  for (auto& z : zs) z = dist(rng);
+  for (auto _ : st) {
+    index_t acc = 0;
+    for (const index_t z : zs) acc ^= pf->unpair(z).x;
+    benchmark::DoNotOptimize(acc);
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) *
+                       static_cast<int64_t>(kUnpairSamples));
+}
+
+const int registered = [] {
+  for (const char* name :
+       {"diagonal", "square-shell", "szudzik", "aspect-2x3", "hyperbolic"}) {
+    const PfPtr pf = pfl::make_core_pf(name);
+    const auto in = std::make_shared<Inputs>(make_inputs(*pf, coord_range(name)));
+    benchmark::RegisterBenchmark(
+        (std::string("scalar_virtual_pair/") + name).c_str(),
+        [pf, in](benchmark::State& st) { bm_scalar_pair(st, pf, *in); });
+    benchmark::RegisterBenchmark(
+        (std::string("batch_pair/") + name).c_str(),
+        [pf, in](benchmark::State& st) { bm_batch_pair(st, pf, *in); });
+    benchmark::RegisterBenchmark(
+        (std::string("scalar_virtual_unpair/") + name).c_str(),
+        [pf, in](benchmark::State& st) { bm_scalar_unpair(st, pf, *in); });
+    benchmark::RegisterBenchmark(
+        (std::string("batch_unpair/") + name).c_str(),
+        [pf, in](benchmark::State& st) { bm_batch_unpair(st, pf, *in); });
+  }
+  benchmark::RegisterBenchmark("enumerate_prefix/diagonal",
+                               [](benchmark::State& st) {
+                                 bm_enumerate_prefix(st, [] {
+                                   return pfl::DiagonalEnumerator{};
+                                 });
+                               });
+  benchmark::RegisterBenchmark("enumerate_prefix/square-shell",
+                               [](benchmark::State& st) {
+                                 bm_enumerate_prefix(st, [] {
+                                   return pfl::SquareShellEnumerator{};
+                                 });
+                               });
+  benchmark::RegisterBenchmark("enumerate_prefix/hyperbolic",
+                               [](benchmark::State& st) {
+                                 bm_enumerate_prefix(st, [] {
+                                   return pfl::HyperbolicEnumerator{};
+                                 });
+                               });
+  for (const char* name : {"diagonal", "square-shell", "hyperbolic"}) {
+    const PfPtr pf = pfl::make_core_pf(name);
+    benchmark::RegisterBenchmark(
+        (std::string("random_unpair/") + name).c_str(),
+        [pf](benchmark::State& st) { bm_random_unpair(st, pf); });
+  }
+  return 0;
+}();
+
+void print_report() {
+  pfl::bench::banner(
+      "throughput layer: batch kernels and incremental shell enumerators",
+      "devirtualized batch addressing and stateful shell walks beat "
+      "per-element virtual calls; one factorization per hyperbolic shell");
+  std::printf("batch size %zu, prefix K = %llu, %zu sampled unpair addresses\n\n",
+              kBatch, static_cast<unsigned long long>(kPrefixK),
+              kUnpairSamples);
+}
+
+}  // namespace
+
+PFL_BENCH_MAIN(print_report)

@@ -1,75 +1,33 @@
 #include "core/aspect_ratio.hpp"
 
-#include <algorithm>
-#include <string>
-
-#include "core/contract.hpp"
-#include "numtheory/bits.hpp"
-#include "numtheory/checked.hpp"
+#include "core/batch.hpp"
 
 namespace pfl {
 
-AspectRatioPf::AspectRatioPf(index_t a, index_t b) : a_(a), b_(b) {
-  if (a == 0 || b == 0)
-    throw DomainError("AspectRatioPf: aspect ratio components must be >= 1");
-}
+AspectRatioPf::AspectRatioPf(index_t a, index_t b) : kernel_(a, b) {}
 
-std::string AspectRatioPf::name() const {
-  return "aspect-" + std::to_string(a_) + "x" + std::to_string(b_);
-}
+std::string AspectRatioPf::name() const { return kernel_.name(); }
 
 index_t AspectRatioPf::shell_of(index_t x, index_t y) const {
-  require_coords(x, y);
-  return std::max(nt::ceil_div(x, a_), nt::ceil_div(y, b_));
+  return kernel_.shell_of(x, y);
 }
 
 index_t AspectRatioPf::pair(index_t x, index_t y) const {
-  const index_t k = shell_of(x, y);
-  const index_t j = k - 1;  // previous (contained) array is aj x bj
-  // Base: ab * j^2 positions precede this shell.
-  const index_t base = nt::checked_mul(nt::checked_mul(a_, b_), nt::checked_mul(j, j));
-  // base fits in 64 bits, so a*j and b*j do too (j = 0, or a*j <= ab*j^2).
-  const index_t aj = nt::checked_mul(a_, j);
-  const index_t bj = nt::checked_mul(b_, j);
-  index_t rank;  // 1-based within the shell
-  if (x > aj) {
-    // New-rows leg: a rows by bk columns, column-major.
-    rank = nt::checked_add(nt::checked_mul(y - 1, a_), x - aj);
-  } else {
-    // New-columns leg: aj rows by b columns, column-major, after the
-    // a * bk positions of the rows leg.
-    const index_t rows_leg = nt::checked_mul(a_, nt::checked_mul(b_, k));
-    rank = nt::checked_add(rows_leg,
-                           nt::checked_add(nt::checked_mul(y - bj - 1, aj), x));
-  }
-  return nt::checked_add(base, rank);
+  return kernel_.pair(x, y);
 }
 
-Point AspectRatioPf::unpair(index_t z) const {
-  require_value(z);
-  // Largest j with ab*j^2 <= z - 1, then k = j + 1.
-  const index_t ab = nt::checked_mul(a_, b_);
-  const index_t j = nt::isqrt((z - 1) / ab);
-  const index_t k = nt::checked_add(j, 1);
-  // 1-based rank within shell k.
-  index_t r = nt::checked_sub(z, nt::checked_mul(ab, nt::checked_mul(j, j)));
-  // rows_leg = ab*k can exceed 64 bits near the top of the address space
-  // even though z itself fits; compare in 128 bits so the branch cannot be
-  // decided by a wrapped value.
-  const u128 rows_leg = nt::mul_wide(ab, k);
-  const index_t aj = nt::checked_mul(a_, j);
-  if (u128(r) <= rows_leg) {
-    const index_t y = nt::checked_add((r - 1) / a_, 1);
-    const index_t x = nt::checked_add(aj, nt::checked_add((r - 1) % a_, 1));
-    return {x, y};
-  }
-  r = nt::checked_sub(r, nt::narrow(rows_leg));  // r > rows_leg, so it fits
-  const index_t leg_width = aj;  // rows in the columns leg (j >= 1 here)
-  PFL_ENSURE(leg_width >= 1, "columns leg exists only from shell 2 on");
-  const index_t y =
-      nt::checked_add(nt::checked_mul(b_, j), nt::checked_add((r - 1) / leg_width, 1));
-  const index_t x = nt::checked_add((r - 1) % leg_width, 1);
-  return {x, y};
+Point AspectRatioPf::unpair(index_t z) const { return kernel_.unpair(z); }
+
+// Sequential on purpose -- see the rationale in diagonal.cpp.
+void AspectRatioPf::pair_batch(std::span<const index_t> xs,
+                               std::span<const index_t> ys,
+                               std::span<index_t> out) const {
+  pfl::pair_batch(kernel_, xs, ys, out, {.parallel = false});
+}
+
+void AspectRatioPf::unpair_batch(std::span<const index_t> zs,
+                                 std::span<Point> out) const {
+  pfl::unpair_batch(kernel_, zs, out, {.parallel = false});
 }
 
 }  // namespace pfl

@@ -13,8 +13,11 @@
 // any systematic order works; A_{1,1} under this order is a valid PF that
 // is equally compact as -- but pointwise different from -- the closed-form
 // A11 of eq. (3.3), which walks the shell in the opposite direction.
+// The arithmetic lives in AspectRatioKernel (core/kernels.hpp); this
+// class is the runtime-polymorphic adapter.
 #pragma once
 
+#include "core/kernels.hpp"
 #include "core/pairing_function.hpp"
 
 namespace pfl {
@@ -26,17 +29,24 @@ class AspectRatioPf final : public PairingFunction {
 
   index_t pair(index_t x, index_t y) const override;
   Point unpair(index_t z) const override;
+
+  void pair_batch(std::span<const index_t> xs, std::span<const index_t> ys,
+                  std::span<index_t> out) const override;
+  void unpair_batch(std::span<const index_t> zs,
+                    std::span<Point> out) const override;
+
   std::string name() const override;
 
-  index_t a() const { return a_; }
-  index_t b() const { return b_; }
+  index_t a() const { return kernel_.a(); }
+  index_t b() const { return kernel_.b(); }
 
   /// The shell index k = max(ceil(x/a), ceil(y/b)) a position lives on.
   index_t shell_of(index_t x, index_t y) const;
 
+  const AspectRatioKernel& kernel() const { return kernel_; }
+
  private:
-  index_t a_;
-  index_t b_;
+  AspectRatioKernel kernel_;
 };
 
 }  // namespace pfl

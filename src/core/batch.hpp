@@ -1,0 +1,137 @@
+// Batched pair/unpair drivers over the non-virtual kernels.
+//
+// pair_batch / unpair_batch take any PairingLike kernel by const reference
+// and map whole spans with ZERO virtual dispatch: the kernel call inlines
+// into the loop body. Work is split into chunks (par::auto_grain by
+// default) dispatched over par::parallel_for; each chunk first runs an
+// OR-accumulator prescan -- acc |= (v - 1) over every chunk input, a loop
+// of pure ORs that vectorizes on any SIMD ISA (64-bit min/max does not
+// below AVX-512). A value of 0 wraps (v - 1) to all-ones, poisoning the
+// accumulator, so a clear top-bit mask proves every input lies in
+// [1, 2^k] exactly. If the kernel's *_fast_ok predicate accepts the
+// accumulator, the whole chunk is wrap-free and in-domain and runs the
+// kernel's unchecked straight-line tier -- no throwing branches, so the
+// compiler can vectorize. Chunks that fail the proof (or kernels with no
+// fast tier at all) fall back to the checked tier element by element,
+// with identical semantics to the scalar virtual API: the first
+// DomainError/OverflowError propagates to the caller.
+//
+// Outputs are written elementwise into caller-provided spans, so results
+// are deterministic and independent of the parallel schedule.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <span>
+
+#include "core/types.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pfl {
+
+/// Tuning knobs for the batch drivers. The defaults -- auto grain on the
+/// global pool -- are right for top-level calls; code already running
+/// inside a pool worker must pass `parallel = false` (nested parallel_for
+/// on the same pool can deadlock: the inner call blocks a worker on
+/// futures only other workers can run).
+struct BatchOptions {
+  std::uint64_t grain = 0;          ///< chunk size; 0 = par::auto_grain
+  par::ThreadPool* pool = nullptr;  ///< nullptr = ThreadPool::global()
+  bool parallel = true;             ///< false = run chunks on this thread
+};
+
+namespace batch_detail {
+
+template <class K>
+concept HasPairFastPath = requires(const K k, index_t v) {
+  { k.pair_fast_ok(v) } -> std::convertible_to<bool>;
+  { k.pair_unchecked(v, v) } -> std::convertible_to<index_t>;
+};
+
+template <class K>
+concept HasUnpairFastPath = requires(const K k, index_t v) {
+  { k.unpair_fast_ok(v) } -> std::convertible_to<bool>;
+  { k.unpair_unchecked(v) } -> std::convertible_to<Point>;
+};
+
+/// OR of (v - 1) over the span. 0 wraps to all-ones, so any out-of-domain
+/// zero poisons the accumulator; (acc >> k) == 0 proves all v in [1, 2^k].
+inline index_t or_acc_minus_one(std::span<const index_t> v) {
+  index_t acc = 0;
+  for (const index_t e : v) acc |= e - 1;  // pfl-lint: allow(checked-arith) -- wrap at e == 0 is the poison signal, by design
+  return acc;
+}
+
+/// Runs run_chunk(lo, hi) over [0, n) in grain-sized chunks, parallel or
+/// not per the options. Chunk boundaries are identical either way.
+template <class RunChunk>
+void dispatch_chunks(std::uint64_t n, const BatchOptions& opt,
+                     RunChunk&& run_chunk) {
+  if (n == 0) return;
+  par::ThreadPool* pool = opt.pool ? opt.pool : &par::ThreadPool::global();
+  const std::uint64_t grain =
+      opt.grain ? opt.grain : par::auto_grain(n, pool->size());
+  if (!opt.parallel || pool->size() <= 1 || n <= grain) {
+    run_chunk(std::uint64_t{0}, n);
+    return;
+  }
+  const std::uint64_t chunks = (n + grain - 1) / grain;  // pfl-lint: allow(checked-arith) -- n, grain are span sizes, far from 2^64
+  par::parallel_for(
+      0, chunks,
+      [&](std::uint64_t c) {
+        const std::uint64_t lo = c * grain;  // pfl-lint: allow(checked-arith) -- lo < n <= span size
+        run_chunk(lo, std::min(n, lo + grain));  // pfl-lint: allow(checked-arith) -- min() caps at n
+      },
+      /*grain=*/1, pool);
+}
+
+}  // namespace batch_detail
+
+/// out[i] = kernel.pair(xs[i], ys[i]) for every i, batched. Spans must
+/// have equal lengths; `out` may not alias the inputs.
+template <class K>
+void pair_batch(const K& kernel, std::span<const index_t> xs,
+                std::span<const index_t> ys, std::span<index_t> out,
+                const BatchOptions& opt = {}) {
+  if (xs.size() != ys.size() || xs.size() != out.size())
+    throw DomainError("pair_batch: span sizes differ");
+  batch_detail::dispatch_chunks(
+      xs.size(), opt, [&](std::uint64_t lo, std::uint64_t hi) {
+        const std::size_t len = static_cast<std::size_t>(hi - lo);
+        if constexpr (batch_detail::HasPairFastPath<K>) {
+          const index_t acc =
+              batch_detail::or_acc_minus_one(xs.subspan(lo, len)) |
+              batch_detail::or_acc_minus_one(ys.subspan(lo, len));
+          if (kernel.pair_fast_ok(acc)) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+              out[i] = kernel.pair_unchecked(xs[i], ys[i]);
+            return;
+          }
+        }
+        for (std::uint64_t i = lo; i < hi; ++i)
+          out[i] = kernel.pair(xs[i], ys[i]);
+      });
+}
+
+/// out[i] = kernel.unpair(zs[i]) for every i, batched.
+template <class K>
+void unpair_batch(const K& kernel, std::span<const index_t> zs,
+                  std::span<Point> out, const BatchOptions& opt = {}) {
+  if (zs.size() != out.size())
+    throw DomainError("unpair_batch: span sizes differ");
+  batch_detail::dispatch_chunks(
+      zs.size(), opt, [&](std::uint64_t lo, std::uint64_t hi) {
+        const std::size_t len = static_cast<std::size_t>(hi - lo);
+        if constexpr (batch_detail::HasUnpairFastPath<K>) {
+          const index_t acc = batch_detail::or_acc_minus_one(zs.subspan(lo, len));
+          if (kernel.unpair_fast_ok(acc)) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+              out[i] = kernel.unpair_unchecked(zs[i]);
+            return;
+          }
+        }
+        for (std::uint64_t i = lo; i < hi; ++i) out[i] = kernel.unpair(zs[i]);
+      });
+}
+
+}  // namespace pfl

@@ -1,31 +1,29 @@
 #include "core/diagonal.hpp"
 
-#include "core/contract.hpp"
-#include "numtheory/bits.hpp"
-#include "numtheory/checked.hpp"
+#include "core/batch.hpp"
 
 namespace pfl {
 
 index_t DiagonalPf::pair(index_t x, index_t y) const {
-  require_coords(x, y);
-  // (x+y-1)(x+y-2)/2 + y, checked. x + y can itself overflow for extreme
-  // coordinates, so the sum is checked first.
-  const index_t s = nt::checked_add(x, y);
-  return nt::checked_add(nt::binom2(s - 1), y);
+  return kernel_.pair(x, y);
 }
 
-Point DiagonalPf::unpair(index_t z) const {
-  require_value(z);
-  // Largest t with T(t) = t(t+1)/2 <= z - 1; then the shell is s = t + 2.
-  // t = floor((sqrt(8(z-1) + 1) - 1) / 2); 8(z-1)+1 needs 128 bits.
-  // T(t) <= z-1  <=>  (2t+1)^2 <= 8(z-1)+1, so with the exact integer sqrt
-  // r = isqrt(8(z-1)+1) the largest such t is (r-1)/2 -- no fixup needed.
-  const u128 disc = u128(8) * (z - 1) + 1;
-  const index_t t = (nt::isqrt_u128(disc) - 1) / 2;
-  const index_t y = nt::checked_sub(z, nt::triangular(t));
-  PFL_ENSURE(y >= 1 && y <= t + 1, "rank within the diagonal shell");
-  const index_t x = nt::checked_sub(nt::checked_add(t, 2), y);
-  return {x, y};
+Point DiagonalPf::unpair(index_t z) const { return kernel_.unpair(z); }
+
+// The batch overrides stay sequential (parallel = false): callers such as
+// the storage layer may already be inside a pool worker, and nesting
+// parallel_for on the global pool can deadlock. The win here is the
+// devirtualized, chunk-prescanned kernel loop; explicitly parallel batch
+// work goes through pfl::pair_batch directly.
+void DiagonalPf::pair_batch(std::span<const index_t> xs,
+                            std::span<const index_t> ys,
+                            std::span<index_t> out) const {
+  pfl::pair_batch(kernel_, xs, ys, out, {.parallel = false});
+}
+
+void DiagonalPf::unpair_batch(std::span<const index_t> zs,
+                              std::span<Point> out) const {
+  pfl::unpair_batch(kernel_, zs, out, {.parallel = false});
 }
 
 }  // namespace pfl

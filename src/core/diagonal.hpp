@@ -5,8 +5,13 @@
 // which enumerates N x N upward along the diagonal shells x + y = c
 // (Fig. 2). Its "twin" exchanges x and y; both are the only quadratic
 // polynomial PFs (Fueter-Polya [4]).
+//
+// The arithmetic lives in DiagonalKernel (core/kernels.hpp); this class
+// is the runtime-polymorphic adapter, and its batch overrides route
+// through the non-virtual batch layer.
 #pragma once
 
+#include "core/kernels.hpp"
 #include "core/pairing_function.hpp"
 
 namespace pfl {
@@ -22,11 +27,21 @@ class DiagonalPf final : public PairingFunction {
   /// then y = z - T(s-2) and x = s - y. O(1) arithmetic.
   Point unpair(index_t z) const override;
 
+  void pair_batch(std::span<const index_t> xs, std::span<const index_t> ys,
+                  std::span<index_t> out) const override;
+  void unpair_batch(std::span<const index_t> zs,
+                    std::span<Point> out) const override;
+
   std::string name() const override { return "diagonal"; }
 
   /// Largest shell index s = x + y whose full shell fits below 2^64; used
   /// by property tests to probe near-overflow behaviour.
-  static constexpr index_t kMaxShell = 6074000999ull;
+  static constexpr index_t kMaxShell = DiagonalKernel::kMaxShell;
+
+  const DiagonalKernel& kernel() const { return kernel_; }
+
+ private:
+  DiagonalKernel kernel_;
 };
 
 }  // namespace pfl

@@ -1,35 +1,27 @@
 #include "core/hyperbolic.hpp"
 
-#include <algorithm>
-
-#include "core/contract.hpp"
-#include "numtheory/checked.hpp"
-#include "numtheory/divisor.hpp"
-#include "numtheory/factorization.hpp"
+#include "core/batch.hpp"
 
 namespace pfl {
 
 index_t HyperbolicPf::pair(index_t x, index_t y) const {
-  require_coords(x, y);
-  const index_t n = nt::checked_mul(x, y);
-  const index_t base = nt::divisor_summatory(n - 1);
-  const auto divs = nt::divisors(n);  // ascending
-  // Rank of x with x descending: the largest divisor has rank 1.
-  const auto it = std::lower_bound(divs.begin(), divs.end(), x);
-  const auto ascending_index = nt::to_index(it - divs.begin());
-  const index_t rank = divs.size() - ascending_index;
-  return nt::checked_add(base, rank);
+  return kernel_.pair(x, y);
 }
 
-Point HyperbolicPf::unpair(index_t z) const {
-  require_value(z);
-  const index_t n = nt::summatory_lower_bound(z);
-  const index_t rank = z - nt::divisor_summatory(n - 1);  // 1-based, descending
-  const auto divs = nt::divisors(n);
-  PFL_ENSURE(rank >= 1 && rank <= divs.size(),
-             "summatory bracketing yields a divisor rank of shell n");
-  const index_t x = divs[divs.size() - rank];
-  return {x, n / x};
+Point HyperbolicPf::unpair(index_t z) const { return kernel_.unpair(z); }
+
+// Sequential on purpose -- see the rationale in diagonal.cpp. The kernel
+// has no unchecked tier (divisor work dominates), so the batch win here
+// is devirtualization only; dense walks should use HyperbolicEnumerator.
+void HyperbolicPf::pair_batch(std::span<const index_t> xs,
+                              std::span<const index_t> ys,
+                              std::span<index_t> out) const {
+  pfl::pair_batch(kernel_, xs, ys, out, {.parallel = false});
+}
+
+void HyperbolicPf::unpair_batch(std::span<const index_t> zs,
+                                std::span<Point> out) const {
+  pfl::unpair_batch(kernel_, zs, out, {.parallel = false});
 }
 
 }  // namespace pfl

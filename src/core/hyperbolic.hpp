@@ -12,8 +12,13 @@
 // "Reverse lexicographic" concretely (verified against Fig. 4): the
 // factorizations <x, N/x> of the shell N are listed with x *descending*,
 // so <N, 1> is first and <1, N> is last.
+// The arithmetic lives in HyperbolicKernel (core/kernels.hpp); this
+// class is the runtime-polymorphic adapter. For dense address walks use
+// HyperbolicEnumerator (core/shell_enumerator.hpp), which factors each
+// shell once instead of once per address.
 #pragma once
 
+#include "core/kernels.hpp"
 #include "core/pairing_function.hpp"
 
 namespace pfl {
@@ -23,14 +28,26 @@ class HyperbolicPf final : public PairingFunction {
   HyperbolicPf() = default;
 
   /// O(sqrt(xy)) arithmetic: divisor summatory by the hyperbola method
-  /// plus one factorization of xy for the in-shell rank.
+  /// plus ONE factorization of xy shared by the in-shell rank.
   index_t pair(index_t x, index_t y) const override;
 
   /// O(sqrt(z) log z): binary-search the shell N (smallest N with
-  /// D(N) >= z), then pick the (z - D(N-1))-th divisor of N, descending.
+  /// D(N) >= z) via nt::summatory_bracket -- which also yields D(N-1)
+  /// from the same search, so no second summatory pass -- then pick the
+  /// (z - D(N-1))-th divisor of N, descending.
   Point unpair(index_t z) const override;
 
+  void pair_batch(std::span<const index_t> xs, std::span<const index_t> ys,
+                  std::span<index_t> out) const override;
+  void unpair_batch(std::span<const index_t> zs,
+                    std::span<Point> out) const override;
+
   std::string name() const override { return "hyperbolic"; }
+
+  const HyperbolicKernel& kernel() const { return kernel_; }
+
+ private:
+  HyperbolicKernel kernel_;
 };
 
 }  // namespace pfl

@@ -1,0 +1,388 @@
+// Non-virtual pairing kernels: the throughput layer's straight-line core.
+//
+// Every closed-form mapping of Sections 2-3 exists here as a plain struct
+// whose pair/unpair are header-inlined -- no vtable, no indirect call --
+// so batch loops (core/batch.hpp) and shell enumerators
+// (core/shell_enumerator.hpp) see code the optimizer can flatten and
+// vectorize. The runtime-polymorphic classes (DiagonalPf, SquareShellPf,
+// ...) delegate to these kernels, so there is exactly ONE implementation
+// of each formula; the kernels satisfy the PairingLike concept and can be
+// used directly wherever static dispatch is wanted.
+//
+// Each kernel exposes two tiers:
+//
+//   * pair / unpair -- the checked tier, semantically identical to the
+//     virtual interface: 1-based domain validation (DomainError), exact
+//     64-bit arithmetic or OverflowError, contract postconditions.
+//   * pair_fast_ok / pair_unchecked (and the unpair_* pair) -- the
+//     documented contracts-off fast tier. The batch driver folds every
+//     chunk input v into a single OR-accumulator of (v - 1) -- a loop of
+//     pure ORs that vectorizes on any SIMD ISA, unlike 64-bit min/max.
+//     v == 0 wraps (v - 1) to all-ones, so zero coordinates poison the
+//     accumulator; a clear high-bit region proves every input sits in
+//     [1, 2^k]. pair_*_fast_ok(acc) inspects that accumulator and
+//     answers "can the whole chunk take the unchecked straight-line path
+//     with NO possibility of wrap, underflow, or a 0 coordinate?"; only
+//     then does the driver run *_unchecked, whose raw arithmetic carries
+//     a per-line overflow proof (and a pfl-lint allow escape citing it).
+//     The envelopes are deliberately conservative powers of two (a chunk
+//     that fails the proof just runs checked, never wrong). A kernel
+//     with no profitable fast tier (hyperbolic: cost is dominated by
+//     divisor work) omits those members and batch loops stay checked.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "core/types.hpp"
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+#include "numtheory/divisor.hpp"
+#include "numtheory/factorization.hpp"
+
+namespace pfl {
+namespace kernel_detail {
+
+inline void require_coords(index_t x, index_t y) {
+  if (x == 0 || y == 0)
+    throw DomainError("pairing kernel: coordinates are 1-based");
+}
+
+inline void require_value(index_t z) {
+  if (z == 0) throw DomainError("pairing kernel: values are 1-based");
+}
+
+/// Exact n(n+1)/2 for n where the product n*(n+1) may exceed 64 bits is
+/// NOT needed on fast paths -- callers prove their n keeps every product
+/// below 2^64 and use halve_product instead: a*b/2 for a*b that may reach
+/// up to 2^64-1 *after* halving, computed without the wide intermediate.
+/// Exactness: one of a, b is even; (a>>1)*b + (a&1)*(b>>1) divides the
+/// even factor first (if a is odd, b is even and the second term is b/2).
+constexpr index_t halve_product(index_t a, index_t b) {
+  return (a >> 1) * b + (a & 1) * (b >> 1);  // pfl-lint: allow(checked-arith) -- callers prove a*b/2 fits 64 bits; see comment above
+}
+
+}  // namespace kernel_detail
+
+/// The Cauchy-Cantor diagonal PF D(x,y) = (x+y-1)(x+y-2)/2 + y (eq. 2.1).
+struct DiagonalKernel {
+  std::string name() const { return "diagonal"; }
+
+  /// Largest shell index s = x + y whose full shell fits below 2^64; the
+  /// fast tier admits exactly the coordinates that stay within it.
+  static constexpr index_t kMaxShell = 6074000999ull;
+
+  /// Largest z whose inverse discriminant 8(z-1)+1 fits in 64 bits, so
+  /// the fast tier can use the 64-bit isqrt instead of the 128-bit one.
+  static constexpr index_t kMaxFastUnpair = 2305843009213693952ull;  // 2^61
+
+  index_t pair(index_t x, index_t y) const {
+    kernel_detail::require_coords(x, y);
+    const index_t s = nt::checked_add(x, y);
+    return nt::checked_add(nt::binom2(s - 1), y);
+  }
+
+  Point unpair(index_t z) const {
+    kernel_detail::require_value(z);
+    // Largest t with T(t) <= z - 1 via the exact 128-bit integer sqrt;
+    // see diagonal.hpp for the derivation.
+    const u128 disc = u128(8) * (z - 1) + 1;
+    const index_t t = (nt::isqrt_u128(disc) - 1) / 2;
+    const index_t y = nt::checked_sub(z, nt::triangular(t));
+    PFL_ENSURE(y >= 1 && y <= t + 1, "rank within the diagonal shell");
+    const index_t x = nt::checked_sub(nt::checked_add(t, 2), y);
+    return {x, y};
+  }
+
+  /// `coord_acc` is the chunk's OR of (x-1)|(y-1). High bits clear means
+  /// every coordinate is in [1, 2^31], so x + y <= 2^32 < kMaxShell and
+  /// the shell address fits 64 bits with room to spare.
+  bool pair_fast_ok(index_t coord_acc) const { return (coord_acc >> 31) == 0; }
+
+  index_t pair_unchecked(index_t x, index_t y) const {
+    const index_t a = x + y - 1;  // pfl-lint: allow(checked-arith) -- fast_ok proved x, y <= 2^31, so x + y <= 2^32
+    const index_t b = a - 1;
+    // a*b/2 <= T(2^32) < 2^63, and adding y <= 2^31 stays below 2^64.
+    return kernel_detail::halve_product(a, b) + y;  // pfl-lint: allow(checked-arith) -- total is the shell address, < 2^63 by fast_ok
+  }
+
+  /// `z_acc` is the chunk's OR of (z-1): clear top bits prove every
+  /// z is in [1, 2^61] = [1, kMaxFastUnpair].
+  bool unpair_fast_ok(index_t z_acc) const { return (z_acc >> 61) == 0; }
+
+  Point unpair_unchecked(index_t z) const {
+    const index_t disc = 8 * (z - 1) + 1;  // pfl-lint: allow(checked-arith) -- z <= 2^61 by fast_ok, so 8(z-1)+1 < 2^64
+    const index_t t = (nt::isqrt(disc) - 1) / 2;
+    // t < 2^31, so T(t) fits comfortably; T(t) <= z - 1 by choice of t.
+    const index_t y = z - kernel_detail::halve_product(t, t + 1);  // pfl-lint: allow(checked-arith) -- t < 2^31; T(t) <= z-1 by bracketing
+    const index_t x = t + 2 - y;  // pfl-lint: allow(checked-arith) -- 1 <= y <= t+1, so x in [1, t+1]
+    return {x, y};
+  }
+};
+
+/// The square-shell PF A11(x,y) = m^2 + m + y - x + 1, m = max(x,y) - 1
+/// (eq. 3.3), counterclockwise along the shells max(x, y) = c.
+struct SquareShellKernel {
+  std::string name() const { return "square-shell"; }
+
+  /// Fast-tier coordinate cap: max(x, y) <= 2^31 keeps (m+1)^2 <= 2^62
+  /// and every unchecked intermediate far below 2^64.
+  static constexpr index_t kMaxFastCoord = index_t{1} << 31;
+
+  index_t pair(index_t x, index_t y) const {
+    kernel_detail::require_coords(x, y);
+    const index_t m = std::max(x, y) - 1;
+    // 128-bit intermediate: m^2 + m + y + 1 can transiently exceed 64
+    // bits even when the final value fits (A11(2, 2^32) = 2^64 - 1).
+    const u128 v = u128(m) * m + m + y + 1;
+    return nt::narrow(v - x);  // x <= m + 1 <= v, cannot underflow
+  }
+
+  Point unpair(index_t z) const {
+    kernel_detail::require_value(z);
+    // m = isqrt_ceil(z) - 1 <= 2^32, so every expression below is far
+    // from the 64-bit edge.
+    const index_t m = nt::isqrt_ceil(z) - 1;
+    const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
+    PFL_ENSURE(r >= 1 && r <= 2 * m + 1, "rank within the square shell");
+    if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+    return {2 * m + 2 - r, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  }
+
+  /// `coord_acc` is the chunk's OR of (x-1)|(y-1): clear top bits prove
+  /// max(x, y) <= kMaxFastCoord.
+  bool pair_fast_ok(index_t coord_acc) const { return (coord_acc >> 31) == 0; }
+
+  index_t pair_unchecked(index_t x, index_t y) const {
+    const index_t m = std::max(x, y) - 1;
+    // m < 2^31, so m^2 + m + y + 1 <= (m+1)^2 + 1 <= 2^62 + 1, and
+    // x <= m + 1 keeps the subtraction nonnegative.
+    return m * m + m + y + 1 - x;  // pfl-lint: allow(checked-arith) -- max(x,y) <= 2^31 by fast_ok; value <= (m+1)^2 <= 2^62
+  }
+
+  /// The checked inverse is already wrap-free for every z >= 1; the only
+  /// disqualifier is z == 0, whose (z-1) turns the accumulator all-ones.
+  /// (A chunk whose ORs legitimately cover all 64 bits falls back to the
+  /// checked tier -- conservative, never wrong.)
+  bool unpair_fast_ok(index_t z_acc) const { return z_acc != ~index_t{0}; }
+
+  Point unpair_unchecked(index_t z) const {
+    const index_t m = nt::isqrt_ceil(z) - 1;
+    const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
+    if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+    return {2 * m + 2 - r, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  }
+};
+
+/// Szudzik's elegant PF over the same square shells as A11, with the
+/// opposite row-leg direction (see szudzik.hpp; extension, non-paper).
+struct SzudzikKernel {
+  std::string name() const { return "szudzik"; }
+
+  static constexpr index_t kMaxFastCoord = SquareShellKernel::kMaxFastCoord;
+
+  index_t pair(index_t x, index_t y) const {
+    kernel_detail::require_coords(x, y);
+    const index_t m = std::max(x, y) - 1;
+    const u128 base = u128(m) * m;
+    if (x == m + 1) return nt::narrow(base + y);  // column leg
+    return nt::narrow(base + m + 1 + x);          // row leg (x <= m)
+  }
+
+  Point unpair(index_t z) const {
+    kernel_detail::require_value(z);
+    const index_t m = nt::isqrt_ceil(z) - 1;
+    const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
+    PFL_ENSURE(r >= 1 && r <= 2 * m + 1, "rank within the Szudzik shell");
+    if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+    return {r - m - 1, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  }
+
+  /// Same OR-accumulator envelopes as SquareShellKernel.
+  bool pair_fast_ok(index_t coord_acc) const { return (coord_acc >> 31) == 0; }
+
+  index_t pair_unchecked(index_t x, index_t y) const {
+    const index_t m = std::max(x, y) - 1;
+    // Same envelope as SquareShellKernel::pair_unchecked.
+    if (x == m + 1) return m * m + y;  // pfl-lint: allow(checked-arith) -- max(x,y) <= 2^31 by fast_ok; value <= (m+1)^2 <= 2^62
+    return m * m + m + 1 + x;  // pfl-lint: allow(checked-arith) -- max(x,y) <= 2^31 by fast_ok; value <= (m+1)^2 <= 2^62
+  }
+
+  bool unpair_fast_ok(index_t z_acc) const { return z_acc != ~index_t{0}; }
+
+  Point unpair_unchecked(index_t z) const {
+    const index_t m = nt::isqrt_ceil(z) - 1;
+    const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
+    if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+    return {r - m - 1, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  }
+};
+
+/// The fixed-aspect-ratio PF A_{a,b} of Section 3.2.1, in the
+/// PF-Constructor within-shell order of aspect_ratio.hpp.
+class AspectRatioKernel {
+ public:
+  /// The fast tier is enabled only for a, b up to 2^15 (see fast_ok).
+  static constexpr index_t kMaxFastDim = index_t{1} << 15;
+
+  AspectRatioKernel(index_t a, index_t b) : a_(a), b_(b) {
+    if (a == 0 || b == 0)
+      throw DomainError("AspectRatioKernel: aspect ratio components must be >= 1");
+  }
+
+  std::string name() const {
+    return "aspect-" + std::to_string(a_) + "x" + std::to_string(b_);
+  }
+
+  index_t a() const { return a_; }
+  index_t b() const { return b_; }
+
+  /// The shell index k = max(ceil(x/a), ceil(y/b)) a position lives on.
+  index_t shell_of(index_t x, index_t y) const {
+    kernel_detail::require_coords(x, y);
+    return std::max(nt::ceil_div(x, a_), nt::ceil_div(y, b_));
+  }
+
+  index_t pair(index_t x, index_t y) const {
+    const index_t k = shell_of(x, y);
+    const index_t j = k - 1;  // previous (contained) array is aj x bj
+    // Base: ab * j^2 positions precede this shell.
+    const index_t base = nt::checked_mul(nt::checked_mul(a_, b_), nt::checked_mul(j, j));
+    // base fits in 64 bits, so a*j and b*j do too (j = 0, or a*j <= ab*j^2).
+    const index_t aj = nt::checked_mul(a_, j);
+    const index_t bj = nt::checked_mul(b_, j);
+    index_t rank;  // 1-based within the shell
+    if (x > aj) {
+      // New-rows leg: a rows by bk columns, column-major.
+      rank = nt::checked_add(nt::checked_mul(y - 1, a_), x - aj);
+    } else {
+      // New-columns leg: aj rows by b columns, column-major, after the
+      // a * bk positions of the rows leg.
+      const index_t rows_leg = nt::checked_mul(a_, nt::checked_mul(b_, k));
+      rank = nt::checked_add(rows_leg,
+                             nt::checked_add(nt::checked_mul(y - bj - 1, aj), x));
+    }
+    return nt::checked_add(base, rank);
+  }
+
+  Point unpair(index_t z) const {
+    kernel_detail::require_value(z);
+    // Largest j with ab*j^2 <= z - 1, then k = j + 1.
+    const index_t ab = nt::checked_mul(a_, b_);
+    const index_t j = nt::isqrt((z - 1) / ab);
+    const index_t k = nt::checked_add(j, 1);
+    // 1-based rank within shell k.
+    index_t r = nt::checked_sub(z, nt::checked_mul(ab, nt::checked_mul(j, j)));
+    // rows_leg = ab*k can exceed 64 bits near the top of the address space
+    // even though z itself fits; compare in 128 bits so the branch cannot
+    // be decided by a wrapped value.
+    const u128 rows_leg = nt::mul_wide(ab, k);
+    const index_t aj = nt::checked_mul(a_, j);
+    if (u128(r) <= rows_leg) {
+      const index_t y = nt::checked_add((r - 1) / a_, 1);
+      const index_t x = nt::checked_add(aj, nt::checked_add((r - 1) % a_, 1));
+      return {x, y};
+    }
+    r = nt::checked_sub(r, nt::narrow(rows_leg));  // r > rows_leg, so it fits
+    const index_t leg_width = aj;  // rows in the columns leg (j >= 1 here)
+    PFL_ENSURE(leg_width >= 1, "columns leg exists only from shell 2 on");
+    const index_t y =
+        nt::checked_add(nt::checked_mul(b_, j), nt::checked_add((r - 1) / leg_width, 1));
+    const index_t x = nt::checked_add((r - 1) % leg_width, 1);
+    return {x, y};
+  }
+
+  /// `coord_acc` is the chunk's OR of (x-1)|(y-1); a clear top 49 bits
+  /// prove x, y <= 2^15. With a, b, x, y all <= 2^15: k <= max(x, y)
+  /// <= 2^15, so base = ab*j^2 <= 2^30 * 2^30 = 2^60 and
+  /// rank <= ab(2k-1) < 2^46; every intermediate stays below 2^61.
+  bool pair_fast_ok(index_t coord_acc) const {
+    return a_ <= kMaxFastDim && b_ <= kMaxFastDim && (coord_acc >> 15) == 0;
+  }
+
+  index_t pair_unchecked(index_t x, index_t y) const {
+    // Envelope proof in pair_fast_ok; mirrors pair() step for step.
+    const index_t kx = x / a_ + (x % a_ != 0);  // pfl-lint: allow(checked-arith) -- ceil_div on inputs <= 2^15
+    const index_t ky = y / b_ + (y % b_ != 0);  // pfl-lint: allow(checked-arith) -- ceil_div on inputs <= 2^15
+    const index_t k = std::max(kx, ky);
+    const index_t j = k - 1;
+    const index_t base = a_ * b_ * j * j;  // pfl-lint: allow(checked-arith) -- <= 2^60 by fast_ok envelope
+    const index_t aj = a_ * j;  // pfl-lint: allow(checked-arith) -- <= 2^30
+    const index_t bj = b_ * j;  // pfl-lint: allow(checked-arith) -- <= 2^30
+    index_t rank;
+    if (x > aj) {
+      rank = (y - 1) * a_ + (x - aj);  // pfl-lint: allow(checked-arith) -- <= ab*k < 2^45
+    } else {
+      rank = a_ * b_ * k + (y - bj - 1) * aj + x;  // pfl-lint: allow(checked-arith) -- <= ab(2k-1) < 2^46
+    }
+    return base + rank;  // pfl-lint: allow(checked-arith) -- <= 2^60 + 2^46 < 2^61
+  }
+
+  /// `z_acc` is the chunk's OR of (z-1): clear top bits prove every
+  /// z <= 2^60, which keeps j <= sqrt(2^60 / ab), hence ab*k^2 ~ z and
+  /// every intermediate (rows_leg = ab*k included) below 2^61 -- the
+  /// 128-bit comparison of the checked tier is provably unnecessary here.
+  bool unpair_fast_ok(index_t z_acc) const {
+    return a_ <= kMaxFastDim && b_ <= kMaxFastDim && (z_acc >> 60) == 0;
+  }
+
+  Point unpair_unchecked(index_t z) const {
+    const index_t ab = a_ * b_;  // pfl-lint: allow(checked-arith) -- <= 2^30 by fast_ok
+    const index_t j = nt::isqrt((z - 1) / ab);
+    const index_t k = j + 1;  // pfl-lint: allow(checked-arith) -- j <= sqrt(2^60)
+    index_t r = z - ab * j * j;  // pfl-lint: allow(checked-arith) -- ab*j^2 <= z-1 by choice of j
+    const index_t rows_leg = ab * k;  // pfl-lint: allow(checked-arith) -- <= 2^61 by fast_ok envelope
+    const index_t aj = a_ * j;  // pfl-lint: allow(checked-arith) -- <= 2^45
+    if (r <= rows_leg) {
+      return {aj + (r - 1) % a_ + 1, (r - 1) / a_ + 1};  // pfl-lint: allow(checked-arith) -- all terms < 2^61
+    }
+    r -= rows_leg;
+    return {(r - 1) % aj + 1, b_ * j + (r - 1) / aj + 1};  // pfl-lint: allow(checked-arith) -- all terms < 2^61; aj >= 1 because r > rows_leg implies j >= 1
+  }
+
+ private:
+  index_t a_;
+  index_t b_;
+};
+
+/// The hyperbolic PF H of Section 3.2.3 (eq. 3.4). No unchecked tier:
+/// per-call cost is dominated by the divisor summatory / factorization,
+/// not by overflow checks -- the batch win here is devirtualization, and
+/// the *enumeration* win is the shell enumerator, which factors each
+/// shell once instead of once per address (core/shell_enumerator.hpp).
+struct HyperbolicKernel {
+  std::string name() const { return "hyperbolic"; }
+
+  /// O(sqrt(xy)) arithmetic: divisor summatory by the hyperbola method
+  /// plus ONE factorization of xy shared by the in-shell rank.
+  index_t pair(index_t x, index_t y) const {
+    kernel_detail::require_coords(x, y);
+    const index_t n = nt::checked_mul(x, y);
+    const index_t base = nt::divisor_summatory(n - 1);
+    const auto divs = nt::divisors_from(nt::factor(n));  // ascending
+    // Rank of x with x descending: the largest divisor has rank 1.
+    const auto it = std::lower_bound(divs.begin(), divs.end(), x);
+    const auto ascending_index = nt::to_index(it - divs.begin());
+    const index_t rank = divs.size() - ascending_index;
+    return nt::checked_add(base, rank);
+  }
+
+  /// O(sqrt(z) log z): bracket the shell N and read D(N-1) out of the
+  /// same binary search (nt::summatory_bracket), then one factorization
+  /// of N yields the rank-th divisor, descending.
+  Point unpair(index_t z) const {
+    kernel_detail::require_value(z);
+    const nt::SummatoryBracket bracket = nt::summatory_bracket(z);
+    const index_t n = bracket.shell;
+    const index_t rank = z - bracket.below;  // 1-based, descending
+    const auto divs = nt::divisors_from(nt::factor(n));
+    PFL_ENSURE(rank >= 1 && rank <= divs.size(),
+               "summatory bracketing yields a divisor rank of shell n");
+    const index_t x = divs[divs.size() - rank];
+    return {x, n / x};
+  }
+};
+
+}  // namespace pfl

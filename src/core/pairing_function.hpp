@@ -16,8 +16,10 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/types.hpp"
@@ -38,6 +40,29 @@ class PairingFunction {
   /// The unique position with pair(position) == z. Throws DomainError for
   /// z == 0 and, for non-surjective mappings, for z outside the image.
   virtual Point unpair(index_t z) const = 0;
+
+  /// Batched pair: out[i] = pair(xs[i], ys[i]) for equal-length spans.
+  /// The base implementation is the scalar loop (one virtual call per
+  /// element); kernel-backed mappings override it to route through the
+  /// non-virtual batch layer (core/batch.hpp), which inlines the formula
+  /// and proves chunks wrap-free so they run the unchecked fast tier.
+  /// Error semantics match the scalar API: the first out-of-domain or
+  /// overflowing element throws, and `out` is left partially written.
+  virtual void pair_batch(std::span<const index_t> xs,
+                          std::span<const index_t> ys,
+                          std::span<index_t> out) const {
+    if (xs.size() != ys.size() || xs.size() != out.size())
+      throw DomainError("pair_batch: span sizes differ");
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = pair(xs[i], ys[i]);
+  }
+
+  /// Batched unpair: out[i] = unpair(zs[i]). Same contract as pair_batch.
+  virtual void unpair_batch(std::span<const index_t> zs,
+                            std::span<Point> out) const {
+    if (zs.size() != out.size())
+      throw DomainError("unpair_batch: span sizes differ");
+    for (std::size_t i = 0; i < zs.size(); ++i) out[i] = unpair(zs[i]);
+  }
 
   /// Human-readable identifier, e.g. "diagonal" or "hyperbolic".
   virtual std::string name() const = 0;

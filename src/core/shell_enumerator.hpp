@@ -1,0 +1,292 @@
+// Incremental shell enumerators: O(1) amortized successor walks.
+//
+// enumerate_range/enumeration_prefix (core/enumerate.hpp) visit address
+// order by calling unpair(z) for every z -- for the closed-form PFs that
+// is a per-element isqrt, and for the hyperbolic PF a per-element
+// O(sqrt(z) log z) summatory search plus a factorization. The enumerators
+// here instead carry the shell-walk STATE between calls: next() advances
+// coordinates with a handful of increments, crossing into the next shell
+// only when the current one is exhausted. For the hyperbolic PF that
+// means ONE factorization per shell xy = N, shared by all delta(N)
+// addresses on it -- the per-element cost collapses to amortized O(1)
+// vector reads plus the once-per-shell divisor expansion.
+//
+// Each enumerator starts at address z = 1 and emits points in exactly
+// the address order of the matching kernel/PF: the k-th call to next()
+// returns unpair(k). enumerate_prefix / enumerate_rect are the two
+// driver shapes from the issue: a dense prefix [1, K], and a rectangle
+// filter that stops once all X*Y cells have appeared.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/types.hpp"
+#include "numtheory/checked.hpp"
+#include "numtheory/factorization.hpp"
+
+namespace pfl {
+
+/// Walks the diagonals x + y = s of the Cauchy-Cantor PF: down-left
+/// within a shell, then restart at the base of the next diagonal.
+class DiagonalEnumerator {
+ public:
+  using Kernel = DiagonalKernel;
+  explicit DiagonalEnumerator(const DiagonalKernel& = {}) {}
+
+  Point next() {
+    const Point p{x_, y_};
+    if (x_ == 1) {  // shell s = x + y exhausted; shell s + 1 starts at (s, 1)
+      x_ = y_;
+      ++x_;
+      y_ = 1;
+    } else {
+      --x_;
+      ++y_;
+    }
+    return p;
+  }
+
+ private:
+  index_t x_ = 1;
+  index_t y_ = 1;
+};
+
+/// Walks the square shells max(x, y) = m + 1 of A11: down the new column
+/// (m+1, 1..m+1), then left along the new row (m..1, m+1).
+class SquareShellEnumerator {
+ public:
+  using Kernel = SquareShellKernel;
+  explicit SquareShellEnumerator(const SquareShellKernel& = {}) {}
+
+  Point next() {
+    const Point p{x_, y_};
+    if (x_ > y_) {  // column leg: x fixed at m+1, y ascending
+      ++y_;
+    } else if (x_ == y_) {  // corner (m+1, m+1)
+      if (x_ == 1) {
+        x_ = 2;  // shell m = 0 has no row leg; next shell starts at (2, 1)
+      } else {
+        --x_;  // enter the row leg at (m, m+1)
+      }
+    } else {  // row leg: y fixed at m+1, x descending
+      if (x_ == 1) {
+        x_ = y_;  // shell exhausted; next shell starts at (m+2, 1)
+        ++x_;
+        y_ = 1;
+      } else {
+        --x_;
+      }
+    }
+    return p;
+  }
+
+ private:
+  index_t x_ = 1;
+  index_t y_ = 1;
+};
+
+/// Walks the same square shells in Szudzik order: down the new column,
+/// then along the new row left-to-right (1..m, m+1).
+class SzudzikEnumerator {
+ public:
+  using Kernel = SzudzikKernel;
+  explicit SzudzikEnumerator(const SzudzikKernel& = {}) {}
+
+  Point next() {
+    const Point p{x_, y_};
+    if (x_ > y_) {  // column leg: x fixed at m+1, y ascending
+      ++y_;
+    } else if (x_ == y_) {  // corner (m+1, m+1)
+      if (x_ == 1) {
+        x_ = 2;  // shell m = 0 has no row leg
+      } else {
+        x_ = 1;  // row leg runs ascending from (1, m+1)
+      }
+    } else {  // row leg: y fixed at m+1, x ascending up to m
+      ++x_;
+      if (x_ == y_) {  // stepped onto the corner: shell exhausted
+        ++x_;          // next shell starts at (m+2, 1)
+        y_ = 1;
+      }
+    }
+    return p;
+  }
+
+ private:
+  index_t x_ = 1;
+  index_t y_ = 1;
+};
+
+/// Walks the L-shaped shells of the fixed-aspect PF A_{a,b} in the
+/// PF-Constructor order of AspectRatioKernel::pair: first the new-rows
+/// leg (columns y = 1..bk, rows x = aj+1..ak, column-major), then the
+/// new-columns leg (columns y = bj+1..bk, rows x = 1..aj).
+class AspectRatioEnumerator {
+ public:
+  using Kernel = AspectRatioKernel;
+  explicit AspectRatioEnumerator(const AspectRatioKernel& kernel)
+      : a_(kernel.a()), b_(kernel.b()), ak_(kernel.a()), bk_(kernel.b()) {}
+
+  Point next() {
+    const Point p{x_, y_};
+    advance();
+    return p;
+  }
+
+ private:
+  void advance() {
+    if (leg_ == 1) {
+      if (x_ < ak_) {
+        ++x_;  // down the current new-rows column
+        return;
+      }
+      if (y_ < bk_) {  // next column of the rows leg
+        x_ = aj_;
+        ++x_;
+        ++y_;
+        return;
+      }
+      if (aj_ >= 1) {  // rows leg done; columns leg exists from shell 2 on
+        leg_ = 2;
+        x_ = 1;
+        y_ = bj_;
+        ++y_;
+        return;
+      }
+      next_shell();
+      return;
+    }
+    if (x_ < aj_) {
+      ++x_;  // down the current new-columns column
+      return;
+    }
+    if (y_ < bk_) {  // next column of the columns leg
+      x_ = 1;
+      ++y_;
+      return;
+    }
+    next_shell();
+  }
+
+  void next_shell() {
+    ++k_;
+    aj_ = ak_;
+    bj_ = bk_;
+    ak_ = nt::checked_mul(a_, k_);
+    bk_ = nt::checked_mul(b_, k_);
+    leg_ = 1;
+    x_ = aj_;
+    ++x_;
+    y_ = 1;
+  }
+
+  index_t a_;
+  index_t b_;
+  index_t k_ = 1;   // current shell
+  index_t aj_ = 0;  // a * (k-1): rows of the contained array
+  index_t bj_ = 0;  // b * (k-1): columns of the contained array
+  index_t ak_;      // a * k
+  index_t bk_;      // b * k
+  int leg_ = 1;
+  index_t x_ = 1;
+  index_t y_ = 1;
+};
+
+/// Walks the hyperbolic shells xy = N of H in rank order (x descending).
+/// THE payoff of stateful enumeration: shell N is factored exactly once
+/// (nt::factor + nt::divisors_from), and all delta(N) addresses on it are
+/// then emitted by walking the divisor list backwards -- amortized O(1)
+/// per address, versus a summatory binary search plus a factorization per
+/// address for repeated unpair(z).
+class HyperbolicEnumerator {
+ public:
+  using Kernel = HyperbolicKernel;
+  explicit HyperbolicEnumerator(const HyperbolicKernel& = {}) { load_shell(); }
+
+  Point next() {
+    const index_t x = divs_[idx_];
+    const Point p{x, n_ / x};
+    if (idx_ == 0) {  // smallest divisor emitted: shell exhausted
+      n_ = nt::checked_add(n_, 1);
+      load_shell();
+    } else {
+      --idx_;
+    }
+    return p;
+  }
+
+ private:
+  void load_shell() {
+    divs_ = nt::divisors_from(nt::factor(n_));  // one factorization per shell
+    idx_ = divs_.size() - 1;  // rank 1 is the largest divisor
+  }
+
+  index_t n_ = 1;
+  std::vector<index_t> divs_;
+  std::size_t idx_ = 0;
+};
+
+/// Maps each kernel type to its enumerator, so generic code (batch
+/// helpers, tests, benches) can spell `enumerator_for_t<K>{kernel}`.
+template <class K>
+struct EnumeratorFor;
+template <>
+struct EnumeratorFor<DiagonalKernel> {
+  using type = DiagonalEnumerator;
+};
+template <>
+struct EnumeratorFor<SquareShellKernel> {
+  using type = SquareShellEnumerator;
+};
+template <>
+struct EnumeratorFor<SzudzikKernel> {
+  using type = SzudzikEnumerator;
+};
+template <>
+struct EnumeratorFor<AspectRatioKernel> {
+  using type = AspectRatioEnumerator;
+};
+template <>
+struct EnumeratorFor<HyperbolicKernel> {
+  using type = HyperbolicEnumerator;
+};
+template <class K>
+using enumerator_for_t = typename EnumeratorFor<K>::type;
+
+/// Calls f(z, point) for z = 1..count in address order, advancing the
+/// enumerator statefully. The callback form streams without allocating.
+template <class Enumerator, class F>
+void enumerate_prefix(Enumerator e, index_t count, F&& f) {
+  for (index_t z = 1; z <= count; ++z) f(z, e.next());
+}
+
+/// The dense prefix [1, count] as a vector of points: out[z-1] = unpair(z).
+template <class Enumerator>
+std::vector<Point> enumerate_prefix(Enumerator e, index_t count) {
+  std::vector<Point> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (index_t z = 1; z <= count; ++z) out.push_back(e.next());
+  return out;
+}
+
+/// Calls f(z, point) in address order for exactly the rows*cols points of
+/// the rectangle [1, rows] x [1, cols], skipping addresses outside it and
+/// stopping as soon as the rectangle is covered. For compact-on-rectangles
+/// mappings (diagonal on squares, aspect on matching rectangles) the walk
+/// ends near z = rows*cols; in general it runs to the rectangle's spread.
+template <class Enumerator, class F>
+void enumerate_rect(Enumerator e, index_t rows, index_t cols, F&& f) {
+  const index_t total = nt::checked_mul(rows, cols);
+  index_t seen = 0;
+  for (index_t z = 1; seen < total; ++z) {
+    const Point p = e.next();
+    if (p.x <= rows && p.y <= cols) {
+      f(z, p);
+      ++seen;
+    }
+  }
+}
+
+}  // namespace pfl

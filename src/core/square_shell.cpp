@@ -1,32 +1,25 @@
 #include "core/square_shell.hpp"
 
-#include <algorithm>
-
-#include "core/contract.hpp"
-#include "numtheory/bits.hpp"
-#include "numtheory/checked.hpp"
+#include "core/batch.hpp"
 
 namespace pfl {
 
 index_t SquareShellPf::pair(index_t x, index_t y) const {
-  require_coords(x, y);
-  const index_t m = std::max(x, y) - 1;
-  // m^2 + m + y - x + 1 in 128-bit arithmetic: the intermediate
-  // m^2 + m + y + 1 can transiently exceed 64 bits even when the final
-  // value fits (e.g. A11(2, 2^32) = 2^64 - 1).
-  const u128 v = u128(m) * m + m + y + 1;
-  return nt::narrow(v - x);  // x <= m + 1 <= v, cannot underflow
+  return kernel_.pair(x, y);
 }
 
-Point SquareShellPf::unpair(index_t z) const {
-  require_value(z);
-  // m = isqrt_ceil(z) - 1 <= 2^32, so every expression below is far from
-  // the 64-bit edge; the hot path stays branch-free of overflow checks.
-  const index_t m = nt::isqrt_ceil(z) - 1;
-  const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
-  PFL_ENSURE(r >= 1 && r <= 2 * m + 1, "rank within the square shell");
-  if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
-  return {2 * m + 2 - r, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+Point SquareShellPf::unpair(index_t z) const { return kernel_.unpair(z); }
+
+// Sequential on purpose -- see the rationale in diagonal.cpp.
+void SquareShellPf::pair_batch(std::span<const index_t> xs,
+                               std::span<const index_t> ys,
+                               std::span<index_t> out) const {
+  pfl::pair_batch(kernel_, xs, ys, out, {.parallel = false});
+}
+
+void SquareShellPf::unpair_batch(std::span<const index_t> zs,
+                                 std::span<Point> out) const {
+  pfl::unpair_batch(kernel_, zs, out, {.parallel = false});
 }
 
 }  // namespace pfl

@@ -6,8 +6,11 @@
 // (Fig. 3). It is *perfectly compact* on square arrays: every position of
 // an n-position square array receives an address <= n, i.e. S(n) = n in
 // the sense of eq. (3.2).
+// The arithmetic lives in SquareShellKernel (core/kernels.hpp); this
+// class is the runtime-polymorphic adapter.
 #pragma once
 
+#include "core/kernels.hpp"
 #include "core/pairing_function.hpp"
 
 namespace pfl {
@@ -24,7 +27,17 @@ class SquareShellPf final : public PairingFunction {
   /// (x = 2m+2-r, y = m+1). O(1) arithmetic.
   Point unpair(index_t z) const override;
 
+  void pair_batch(std::span<const index_t> xs, std::span<const index_t> ys,
+                  std::span<index_t> out) const override;
+  void unpair_batch(std::span<const index_t> zs,
+                    std::span<Point> out) const override;
+
   std::string name() const override { return "square-shell"; }
+
+  const SquareShellKernel& kernel() const { return kernel_; }
+
+ private:
+  SquareShellKernel kernel_;
 };
 
 }  // namespace pfl

@@ -1,30 +1,25 @@
 #include "core/szudzik.hpp"
 
-#include <algorithm>
-
-#include "core/contract.hpp"
-#include "numtheory/bits.hpp"
-#include "numtheory/checked.hpp"
+#include "core/batch.hpp"
 
 namespace pfl {
 
 index_t SzudzikPf::pair(index_t x, index_t y) const {
-  require_coords(x, y);
-  const index_t m = std::max(x, y) - 1;
-  const u128 base = u128(m) * m;
-  if (x == m + 1) return nt::narrow(base + y);        // column leg
-  return nt::narrow(base + m + 1 + x);                 // row leg (x <= m)
+  return kernel_.pair(x, y);
 }
 
-Point SzudzikPf::unpair(index_t z) const {
-  require_value(z);
-  // m = isqrt_ceil(z) - 1 <= 2^32 keeps all shell arithmetic far from the
-  // 64-bit edge (see the matching proof in square_shell.cpp).
-  const index_t m = nt::isqrt_ceil(z) - 1;
-  const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
-  PFL_ENSURE(r >= 1 && r <= 2 * m + 1, "rank within the Szudzik shell");
-  if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
-  return {r - m - 1, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+Point SzudzikPf::unpair(index_t z) const { return kernel_.unpair(z); }
+
+// Sequential on purpose -- see the rationale in diagonal.cpp.
+void SzudzikPf::pair_batch(std::span<const index_t> xs,
+                           std::span<const index_t> ys,
+                           std::span<index_t> out) const {
+  pfl::pair_batch(kernel_, xs, ys, out, {.parallel = false});
+}
+
+void SzudzikPf::unpair_batch(std::span<const index_t> zs,
+                             std::span<Point> out) const {
+  pfl::unpair_batch(kernel_, zs, out, {.parallel = false});
 }
 
 }  // namespace pfl

@@ -11,8 +11,11 @@
 //     S(x, y) = m^2 + y            if x = m+1 (column leg),
 //             = m^2 + m + 1 + x    if y = m+1, x <= m (row leg),
 //     with m = max(x, y) - 1.
+// The arithmetic lives in SzudzikKernel (core/kernels.hpp); this class
+// is the runtime-polymorphic adapter.
 #pragma once
 
+#include "core/kernels.hpp"
 #include "core/pairing_function.hpp"
 
 namespace pfl {
@@ -23,7 +26,18 @@ class SzudzikPf final : public PairingFunction {
 
   index_t pair(index_t x, index_t y) const override;
   Point unpair(index_t z) const override;
+
+  void pair_batch(std::span<const index_t> xs, std::span<const index_t> ys,
+                  std::span<index_t> out) const override;
+  void unpair_batch(std::span<const index_t> zs,
+                    std::span<Point> out) const override;
+
   std::string name() const override { return "szudzik"; }
+
+  const SzudzikKernel& kernel() const { return kernel_; }
+
+ private:
+  SzudzikKernel kernel_;
 };
 
 }  // namespace pfl

@@ -23,6 +23,18 @@ class TransposedPf final : public PairingFunction {
     return {p.y, p.x};
   }
 
+  /// Swapping the input spans keeps the inner mapping's batch fast path.
+  void pair_batch(std::span<const index_t> xs, std::span<const index_t> ys,
+                  std::span<index_t> out) const override {
+    inner_->pair_batch(ys, xs, out);
+  }
+
+  void unpair_batch(std::span<const index_t> zs,
+                    std::span<Point> out) const override {
+    inner_->unpair_batch(zs, out);
+    for (Point& p : out) p = {p.y, p.x};
+  }
+
   std::string name() const override { return inner_->name() + "-twin"; }
   bool surjective() const override { return inner_->surjective(); }
 

@@ -23,18 +23,26 @@ index_t divisor_summatory(index_t n) {
   return narrow(total);
 }
 
-index_t summatory_lower_bound(index_t z) {
-  if (z == 0) throw DomainError("summatory_lower_bound: z must be positive");
+index_t summatory_lower_bound(index_t z) { return summatory_bracket(z).shell; }
+
+SummatoryBracket summatory_bracket(index_t z) {
+  if (z == 0) throw DomainError("summatory_bracket: z must be positive");
   // D(N) >= N, so the answer is at most z; D is nondecreasing.
-  index_t lo = 1, hi = z;
+  // Invariant: below == D(lo - 1) < z. Initially lo = 1 and D(0) = 0; the
+  // only way lo moves is past a probed mid with D(mid) < z, so the final
+  // below is exactly D(shell - 1) at no extra summatory cost.
+  index_t lo = 1, hi = z, below = 0;
   while (lo < hi) {
     const index_t mid = lo + (hi - lo) / 2;
-    if (divisor_summatory(mid) >= z)
+    const index_t d = divisor_summatory(mid);
+    if (d >= z) {
       hi = mid;
-    else
+    } else {
       lo = mid + 1;
+      below = d;
+    }
   }
-  return lo;
+  return {lo, below};
 }
 
 }  // namespace pfl::nt

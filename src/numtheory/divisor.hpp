@@ -31,4 +31,16 @@ index_t divisor_summatory(index_t n);
 /// xy = N. Binary search over the O(sqrt n) summatory, so O(sqrt(z) log z).
 index_t summatory_lower_bound(index_t z);
 
+/// The shell lookup together with the summatory value below it.
+struct SummatoryBracket {
+  index_t shell = 1;  ///< smallest N with D(N) >= z
+  index_t below = 0;  ///< D(shell - 1), i.e. addresses preceding the shell
+};
+
+/// summatory_lower_bound(z) plus D(shell-1), recovered from the binary
+/// search itself: the search's last `lo = mid + 1` step already evaluated
+/// D(mid) = D(shell-1), so callers (H^{-1}, the shell enumerator's seek)
+/// get the in-shell rank without paying a second O(sqrt n) summatory pass.
+SummatoryBracket summatory_bracket(index_t z);
+
 }  // namespace pfl::nt

@@ -132,10 +132,11 @@ std::vector<PrimePower> factor(index_t n) {
   return out;
 }
 
-std::vector<index_t> divisors(index_t n) {
-  const auto pps = factor(n);
+std::vector<index_t> divisors(index_t n) { return divisors_from(factor(n)); }
+
+std::vector<index_t> divisors_from(const std::vector<PrimePower>& factorization) {
   std::vector<index_t> divs{1};
-  for (const auto& pp : pps) {
+  for (const auto& pp : factorization) {
     const std::size_t existing = divs.size();
     index_t pe = 1;
     for (unsigned e = 1; e <= pp.exponent; ++e) {

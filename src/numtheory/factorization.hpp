@@ -42,6 +42,12 @@ std::vector<PrimePower> factor(index_t n);
 /// lexicographic" order (verified against Fig. 4).
 std::vector<index_t> divisors(index_t n);
 
+/// Divisors expanded from an already-computed factorization, increasing.
+/// The hyperbolic PF and its shell enumerator factor each shell exactly
+/// once and derive everything else (divisor list, delta(n), in-shell
+/// ranks) from this overload instead of re-running Pollard rho.
+std::vector<index_t> divisors_from(const std::vector<PrimePower>& factorization);
+
 /// The number-of-divisors function delta(n) of Section 3.2.3.
 index_t divisor_count(index_t n);
 

@@ -2,18 +2,124 @@
 //
 // Work is split into contiguous chunks claimed dynamically from an atomic
 // cursor, so irregular per-index cost (e.g. the divisor computations inside
-// hyperbolic-PF scans) balances automatically. Exceptions thrown by the body
-// propagate to the caller through the futures.
+// hyperbolic-PF scans) balances automatically.
+//
+// Completion and exception transport go through an explicit heap-owned
+// Completion block shared between the caller and every worker task, NOT
+// through std::future readiness. The calling frame owns the cursor and the
+// body, so the caller must provably outlive every worker's last touch of
+// them: each worker signals the Completion block strictly after its final
+// body call (including during exception unwinding), and the caller blocks
+// on that signal before returning or rethrowing. The first exception wins.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <future>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "par/thread_pool.hpp"
 
 namespace pfl::par {
+
+/// Destructive-interference granularity used to pad per-worker state.
+/// std::hardware_destructive_interference_size exists but is deliberately
+/// avoided: GCC warns that its value is ABI-fragile across -mtune targets,
+/// and 64 bytes is the line size on every platform this library targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A T padded out to its own cache line, so adjacent per-worker slots in a
+/// std::vector never false-share (small T -- counters, index_t partials --
+/// would otherwise land 8 per line and ping-pong under contention).
+template <class T>
+struct alignas(kCacheLineBytes) CachePadded {
+  T value;
+};
+
+/// Chunk size for splitting `total` items across `workers` workers.
+///
+/// Targets ~8 chunks per worker: enough slack for the dynamic cursor to
+/// rebalance irregular per-index cost (the hyperbolic PF's divisor work
+/// varies wildly), while keeping chunks large enough that the atomic
+/// fetch_add and the per-chunk fast-path prescan of the batch kernels
+/// amortize to noise. Clamped to [256, 2^20] except when `total` is too
+/// small to fill even one such chunk per worker.
+inline std::uint64_t auto_grain(std::uint64_t total, std::size_t workers) {
+  if (total == 0) return 1;
+  if (workers <= 1) return total;
+  const std::uint64_t per_worker = total / workers;
+  if (per_worker == 0) return 1;
+  const std::uint64_t target = std::max<std::uint64_t>(1, total / (workers * 8));
+  const std::uint64_t lo = std::min<std::uint64_t>(256, per_worker);
+  const std::uint64_t hi = std::uint64_t{1} << 20;
+  return std::clamp(target, lo, hi);
+}
+
+namespace detail {
+
+/// Shared rendezvous between a fork-join caller and its worker tasks.
+/// Heap-owned via shared_ptr so a straggling worker finishing its signal
+/// can never touch freed memory even after the caller has moved on.
+struct Completion {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t remaining;
+  std::exception_ptr first_error;
+
+  explicit Completion(std::size_t workers) : remaining(workers) {}
+
+  /// Worker side: called exactly once per task, after the task's last
+  /// access to the caller's frame. Records err (first one wins) and wakes
+  /// the caller when the last worker reports in.
+  void signal(std::exception_ptr err) {
+    std::lock_guard lock(m);
+    if (err && !first_error) first_error = std::move(err);
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  /// Caller side: blocks until every worker has signalled, then rethrows
+  /// the first recorded exception, if any.
+  void wait_and_rethrow() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [this] { return remaining == 0; });
+    if (first_error) {
+      std::exception_ptr err = std::move(first_error);
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+  /// Caller side, submit-loop failure path: `shortfall` tasks were never
+  /// enqueued and will never signal; stop waiting for them.
+  void forfeit(std::size_t shortfall) {
+    std::lock_guard lock(m);
+    remaining -= shortfall;
+    if (remaining == 0) cv.notify_all();
+  }
+};
+
+/// Enqueues `workers` copies of `task` (each must signal `done` exactly
+/// once), then blocks until all of them have signalled. If enqueueing
+/// fails partway, waits for the tasks already posted before rethrowing.
+template <class Task>
+void fork_join(ThreadPool& pool, std::size_t workers,
+               const std::shared_ptr<Completion>& done, const Task& task) {
+  std::size_t posted = 0;
+  try {
+    for (; posted < workers; ++posted) pool.post(task);
+  } catch (...) {
+    done->forfeit(workers - posted);
+    done->wait_and_rethrow();
+    throw;
+  }
+  done->wait_and_rethrow();
+}
+
+}  // namespace detail
 
 /// Calls body(i) for every i in [begin, end), in parallel.
 /// `grain` is the chunk size claimed per worker round-trip.
@@ -31,19 +137,25 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, Body&& body,
     return;
   }
   std::atomic<std::uint64_t> cursor{begin};
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool->submit([&cursor, end, grain, &body] {
+  auto done = std::make_shared<detail::Completion>(workers);
+  detail::fork_join(*pool, workers, done, [done, &cursor, end, grain, &body] {
+    std::exception_ptr err;
+    try {
       for (;;) {
         const std::uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
-        if (lo >= end) return;
+        if (lo >= end) break;
         const std::uint64_t hi = lo + grain < end ? lo + grain : end;
         for (std::uint64_t i = lo; i < hi; ++i) body(i);
       }
-    }));
-  }
-  for (auto& f : futures) f.get();  // rethrows the first body exception
+    } catch (...) {
+      // Park the cursor so sibling workers stop claiming chunks.
+      cursor.store(end, std::memory_order_relaxed);
+      err = std::current_exception();
+    }
+    // Last access to the caller's frame was above; only now may the
+    // caller be released.
+    done->signal(std::move(err));
+  });
 }
 
 /// Folds body(i) over [begin, end) with a per-worker accumulator and a
@@ -65,24 +177,35 @@ T parallel_reduce(std::uint64_t begin, std::uint64_t end, T identity, Body&& bod
     return acc;
   }
   std::atomic<std::uint64_t> cursor{begin};
-  std::vector<T> partials(workers, identity);
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool->submit([&cursor, end, grain, &body, &partials, w] {
-      T local = partials[w];
-      for (;;) {
-        const std::uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
-        if (lo >= end) break;
-        const std::uint64_t hi = lo + grain < end ? lo + grain : end;
-        for (std::uint64_t i = lo; i < hi; ++i) body(local, i);
-      }
-      partials[w] = std::move(local);
-    }));
-  }
-  for (auto& f : futures) f.get();
+  std::atomic<std::size_t> next_slot{0};
+  // Padded to cache-line size: with small T (index_t sums, hit counters)
+  // eight adjacent partials would share one line and the final
+  // partials[slot] = local stores from different workers would false-share.
+  std::vector<CachePadded<T>> partials(workers, CachePadded<T>{identity});
+  auto done = std::make_shared<detail::Completion>(workers);
+  detail::fork_join(*pool, workers, done,
+                    [done, &cursor, &next_slot, end, grain, &body, &partials] {
+                      std::exception_ptr err;
+                      try {
+                        const std::size_t slot =
+                            next_slot.fetch_add(1, std::memory_order_relaxed);
+                        T local = partials[slot].value;
+                        for (;;) {
+                          const std::uint64_t lo =
+                              cursor.fetch_add(grain, std::memory_order_relaxed);
+                          if (lo >= end) break;
+                          const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+                          for (std::uint64_t i = lo; i < hi; ++i) body(local, i);
+                        }
+                        partials[slot].value = std::move(local);
+                      } catch (...) {
+                        cursor.store(end, std::memory_order_relaxed);
+                        err = std::current_exception();
+                      }
+                      done->signal(std::move(err));
+                    });
   T acc = identity;
-  for (auto& p : partials) combine(acc, p);
+  for (auto& p : partials) combine(acc, p.value);
   return acc;
 }
 

@@ -52,6 +52,18 @@ class ThreadPool {
     return result;
   }
 
+  /// Enqueue a task with no completion handle. The task must not throw:
+  /// callers that need exceptions or completion use submit(), or manage
+  /// both through their own shared state (see par::parallel_for).
+  void post(std::function<void()> fn) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: post after shutdown");
+      queue_.emplace(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
   /// The process-wide default pool (lazily constructed, never destroyed
   /// before main exits).
   static ThreadPool& global();

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <utility>
+#include <vector>
 
 #include "core/pairing_function.hpp"
 #include "storage/sparse_store.hpp"
@@ -56,15 +57,14 @@ class ExtendibleArray {
   /// while `reshape_work()` accrues the erase count.
   index_t resize(index_t new_rows, index_t new_cols) {
     // Erase cells that fall outside the new bounds. Iterate only the
-    // dropped rectangle strips: O(#removed cells).
-    if (new_cols < cols_) {
-      for (index_t x = 1; x <= rows_; ++x)
-        for (index_t y = new_cols + 1; y <= cols_; ++y) drop(x, y);
-    }
+    // dropped rectangle strips -- O(#removed cells) -- addressing them
+    // through the mapping's batch API so a shrink pays one virtual
+    // dispatch (and one kernel fast-path prescan) per chunk instead of
+    // one virtual pair() per cell.
+    if (new_cols < cols_) drop_rect(1, rows_, new_cols + 1, cols_);
     if (new_rows < rows_) {
       const index_t kept_cols = new_cols < cols_ ? new_cols : cols_;
-      for (index_t x = new_rows + 1; x <= rows_; ++x)
-        for (index_t y = 1; y <= kept_cols; ++y) drop(x, y);
+      drop_rect(new_rows + 1, rows_, 1, kept_cols);
     }
     rows_ = new_rows;
     cols_ = new_cols;
@@ -112,8 +112,30 @@ class ExtendibleArray {
                         std::to_string(rows_) + " x " + std::to_string(cols_));
   }
 
-  void drop(index_t x, index_t y) {
-    if (store_.erase(pf_->pair(x, y))) ++reshape_work_;
+  /// Erases the rectangle [x0..x1] x [y0..y1] via batched addressing.
+  static constexpr std::size_t kDropChunk = 1024;
+  void drop_rect(index_t x0, index_t x1, index_t y0, index_t y1) {
+    std::vector<index_t> xs;
+    std::vector<index_t> ys;
+    std::vector<index_t> addrs;
+    xs.reserve(kDropChunk);
+    ys.reserve(kDropChunk);
+    addrs.resize(kDropChunk);
+    const auto flush = [&] {
+      pf_->pair_batch(xs, ys, std::span<index_t>(addrs).first(xs.size()));
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        if (store_.erase(addrs[i])) ++reshape_work_;
+      xs.clear();
+      ys.clear();
+    };
+    for (index_t x = x0; x <= x1; ++x) {
+      for (index_t y = y0; y <= y1; ++y) {
+        xs.push_back(x);
+        ys.push_back(y);
+        if (xs.size() == kDropChunk) flush();
+      }
+    }
+    if (!xs.empty()) flush();
   }
 
   PfPtr pf_;

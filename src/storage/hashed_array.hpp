@@ -114,7 +114,7 @@ class HashedArray {
     return static_cast<std::size_t>(mix(x, y) % slots_.size());
   }
 
-  std::size_t next(std::size_t i) const { return i + 1 < slots_.size() ? i + 1 : 0; }
+  std::size_t next(std::size_t i) const { return i + 1 < slots_.size() ? i + 1 : 0; }  // pfl-lint: allow(checked-arith) -- linear-probe slot step, i < slots_.size(); not PF address math
 
   /// Slot holding (x, y), or the empty slot where it would be inserted.
   std::size_t locate(index_t x, index_t y) const {

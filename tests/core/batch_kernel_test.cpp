@@ -1,0 +1,241 @@
+// Property suite for the batch layer: pfl::pair_batch / unpair_batch over
+// the non-virtual kernels, and the virtual pair_batch/unpair_batch
+// overrides, must match the scalar virtual API element for element --
+// including on chunks that straddle the fast/checked tier boundary and on
+// 2^64-boundary rows -- and must preserve the scalar error discipline.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/kernels.hpp"
+#include "core/registry.hpp"
+#include "par/thread_pool.hpp"
+
+namespace pfl {
+namespace {
+
+// The kernels are drop-in static-dispatch mappings.
+static_assert(PairingLike<DiagonalKernel>);
+static_assert(PairingLike<SquareShellKernel>);
+static_assert(PairingLike<SzudzikKernel>);
+static_assert(PairingLike<AspectRatioKernel>);
+static_assert(PairingLike<HyperbolicKernel>);
+
+std::vector<index_t> random_values(std::size_t n, index_t lo, index_t hi,
+                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<index_t> dist(lo, hi);
+  std::vector<index_t> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+class BatchVsScalarTest : public ::testing::TestWithParam<NamedPf> {};
+
+TEST_P(BatchVsScalarTest, PairBatchMatchesScalarOnRandomRectangles) {
+  const auto& pf = *GetParam().pf;
+  // Coordinates in [1, 512] are in-domain and cheap for every registered
+  // mapping, hyperbolic included.
+  const auto xs = random_values(4096, 1, 512, 0xB0B1);
+  const auto ys = random_values(4096, 1, 512, 0xB0B2);
+  std::vector<index_t> got(xs.size());
+  pf.pair_batch(xs, ys, got);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    ASSERT_EQ(got[i], pf.pair(xs[i], ys[i]))
+        << pf.name() << " at (" << xs[i] << "," << ys[i] << ")";
+}
+
+TEST_P(BatchVsScalarTest, UnpairBatchMatchesScalarOnRandomAddresses) {
+  const auto& pf = *GetParam().pf;
+  const auto zs = random_values(1024, 1, 20000, 0xB0B3);
+  std::vector<Point> got(zs.size());
+  pf.unpair_batch(zs, got);
+  for (std::size_t i = 0; i < zs.size(); ++i)
+    ASSERT_EQ(got[i], pf.unpair(zs[i])) << pf.name() << " z=" << zs[i];
+}
+
+TEST_P(BatchVsScalarTest, BatchDomainErrorsMatchScalar) {
+  const auto& pf = *GetParam().pf;
+  std::vector<index_t> xs = {1, 2, 0, 4};  // one zero coordinate mid-batch
+  std::vector<index_t> ys = {1, 2, 3, 4};
+  std::vector<index_t> out(xs.size());
+  EXPECT_THROW(pf.pair_batch(xs, ys, out), DomainError) << pf.name();
+  std::vector<index_t> zs = {1, 0, 3};
+  std::vector<Point> pts(zs.size());
+  EXPECT_THROW(pf.unpair_batch(zs, pts), DomainError) << pf.name();
+}
+
+TEST_P(BatchVsScalarTest, MismatchedSpansThrow) {
+  const auto& pf = *GetParam().pf;
+  std::vector<index_t> a(4, 1), b(3, 1), out(4);
+  std::vector<Point> pts(3);
+  EXPECT_THROW(pf.pair_batch(a, b, out), DomainError) << pf.name();
+  EXPECT_THROW(pf.unpair_batch(a, pts), DomainError) << pf.name();
+}
+
+std::string pf_test_name(const ::testing::TestParamInfo<NamedPf>& info) {
+  std::string s = info.param.name;
+  for (char& ch : s)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, BatchVsScalarTest,
+                         ::testing::ValuesIn(core_pairing_functions()),
+                         pf_test_name);
+
+// ---- Targeted kernel-tier tests: fast/checked boundary and 2^64 rows ----
+
+template <class K>
+void expect_pair_batch_matches(const K& kernel,
+                               const std::vector<index_t>& xs,
+                               const std::vector<index_t>& ys,
+                               const BatchOptions& opt = {}) {
+  std::vector<index_t> got(xs.size());
+  pair_batch(kernel, xs, ys, got, opt);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    ASSERT_EQ(got[i], kernel.pair(xs[i], ys[i]))
+        << kernel.name() << " at (" << xs[i] << "," << ys[i] << ")";
+}
+
+template <class K>
+void expect_unpair_batch_matches(const K& kernel,
+                                 const std::vector<index_t>& zs,
+                                 const BatchOptions& opt = {}) {
+  std::vector<Point> got(zs.size());
+  unpair_batch(kernel, zs, got, opt);
+  for (std::size_t i = 0; i < zs.size(); ++i)
+    ASSERT_EQ(got[i], kernel.unpair(zs[i])) << kernel.name() << " z=" << zs[i];
+}
+
+TEST(BatchKernelBoundaryTest, DiagonalAcrossFastShellLimit) {
+  const DiagonalKernel k;
+  // Chunks whose max shell straddles kMaxShell force the checked tier;
+  // values below it take the unchecked tier. Both must agree with scalar.
+  std::vector<index_t> xs, ys;
+  for (index_t d = 0; d < 32; ++d) {
+    xs.push_back(DiagonalKernel::kMaxShell / 2 + d);
+    ys.push_back(DiagonalKernel::kMaxShell / 2 - d - 1);  // on the max shell
+    xs.push_back(d + 1);
+    ys.push_back(2 * d + 1);  // deep inside the fast envelope
+  }
+  expect_pair_batch_matches(k, xs, ys);
+  // And one chunk beyond the envelope entirely (still representable).
+  std::vector<index_t> bx = {DiagonalKernel::kMaxShell - 1, 1};
+  std::vector<index_t> by = {1, DiagonalKernel::kMaxShell - 1};
+  expect_pair_batch_matches(k, bx, by);
+}
+
+TEST(BatchKernelBoundaryTest, DiagonalUnpairAcrossFastAddressLimit) {
+  const DiagonalKernel k;
+  std::vector<index_t> zs;
+  for (index_t d = 0; d < 64; ++d) {
+    zs.push_back(DiagonalKernel::kMaxFastUnpair - d);  // fast tier's edge
+    zs.push_back(DiagonalKernel::kMaxFastUnpair + d + 1);  // checked tier
+    zs.push_back(d + 1);
+  }
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(BatchKernelBoundaryTest, SquareShellTopRowOf64Bits) {
+  const SquareShellKernel k;
+  // A11(2, 2^32) = 2^64 - 1 is the last representable address; the fast
+  // envelope ends at max(x,y) = 2^32 - 1, so these rows run checked.
+  const index_t top = index_t{1} << 32;
+  std::vector<index_t> xs = {2, top, top - 1, 2};
+  std::vector<index_t> ys = {top, 1, top - 1, top - 1};
+  expect_pair_batch_matches(k, xs, ys);
+  ASSERT_EQ(k.pair(2, top), ~index_t{0});
+  // The shell's final corner A11(1, 2^32) = 2^64 is the first address that
+  // does NOT fit; scalar and batch agree on the overflow.
+  std::vector<index_t> ox = {2, 1}, oy = {top, top}, out(2);
+  EXPECT_THROW(k.pair(1, top), OverflowError);
+  EXPECT_THROW(pair_batch(k, ox, oy, out), OverflowError);
+  // Unpair straight back across the same boundary.
+  std::vector<index_t> zs = {~index_t{0}, ~index_t{0} - 1, 1, 2, 3};
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(BatchKernelBoundaryTest, SzudzikTopRowOf64Bits) {
+  const SzudzikKernel k;
+  const index_t top = index_t{1} << 32;
+  std::vector<index_t> xs = {1, top, top - 1, 5};
+  std::vector<index_t> ys = {top, 1, top - 1, top - 1};
+  expect_pair_batch_matches(k, xs, ys);
+  std::vector<index_t> zs = {~index_t{0}, 1, 12345678901234ull};
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(BatchKernelBoundaryTest, AspectRatioAcrossFastEnvelope) {
+  const AspectRatioKernel k(2, 3);
+  std::vector<index_t> xs, ys, zs;
+  std::mt19937_64 rng(0xA5B);
+  std::uniform_int_distribution<index_t> small(1, AspectRatioKernel::kMaxFastDim);
+  std::uniform_int_distribution<index_t> large(AspectRatioKernel::kMaxFastDim,
+                                               index_t{1} << 20);
+  for (int i = 0; i < 512; ++i) {
+    xs.push_back(small(rng));
+    ys.push_back(small(rng));
+    xs.push_back(large(rng));  // pushes the chunk out of the fast envelope
+    ys.push_back(large(rng));
+    zs.push_back(small(rng));
+    zs.push_back((index_t{1} << 60) + large(rng));  // beyond the fast z cap
+  }
+  expect_pair_batch_matches(k, xs, ys);
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(BatchKernelBoundaryTest, OverflowErrorPropagatesFromBatch) {
+  const DiagonalKernel k;
+  std::vector<index_t> xs = {1, ~index_t{0}};
+  std::vector<index_t> ys = {1, ~index_t{0}};  // x + y overflows
+  std::vector<index_t> out(2);
+  EXPECT_THROW(pair_batch(k, xs, ys, out), OverflowError);
+  const HyperbolicKernel h;
+  std::vector<index_t> hx = {2, index_t{1} << 33};
+  std::vector<index_t> hy = {3, index_t{1} << 33};  // x * y overflows
+  EXPECT_THROW(pair_batch(h, hx, hy, out), OverflowError);
+}
+
+// ---- Parallel dispatch: identical outputs on a real multi-worker pool ----
+
+TEST(BatchParallelTest, ParallelMatchesSequentialOutputs) {
+  par::ThreadPool pool(4);
+  const auto xs = random_values(50000, 1, index_t{1} << 31, 0xC0FE);
+  const auto ys = random_values(50000, 1, index_t{1} << 31, 0xC0FF);
+  const SquareShellKernel k;
+  std::vector<index_t> seq(xs.size()), par_out(xs.size());
+  pair_batch(k, xs, ys, seq, {.parallel = false});
+  pair_batch(k, xs, ys, par_out, {.grain = 1024, .pool = &pool});
+  ASSERT_EQ(seq, par_out);
+  std::vector<Point> useq(xs.size()), upar(xs.size());
+  unpair_batch(k, seq, useq, {.parallel = false});
+  unpair_batch(k, seq, upar, {.grain = 512, .pool = &pool});
+  ASSERT_EQ(useq, upar);
+}
+
+TEST(BatchParallelTest, ParallelErrorStillPropagates) {
+  par::ThreadPool pool(4);
+  const DiagonalKernel k;
+  std::vector<index_t> xs(10000, 3), ys(10000, 4), out(10000);
+  xs[7777] = 0;  // poison one element deep in the batch
+  EXPECT_THROW(pair_batch(k, xs, ys, out, {.grain = 256, .pool = &pool}),
+               DomainError);
+}
+
+TEST(BatchParallelTest, AutoGrainTargetsChunksPerWorker) {
+  EXPECT_EQ(par::auto_grain(0, 8), 1u);
+  EXPECT_EQ(par::auto_grain(1000, 1), 1000u);  // one worker: single chunk
+  EXPECT_EQ(par::auto_grain(100, 8), 12u);     // small totals: fine chunks
+  EXPECT_EQ(par::auto_grain(1 << 20, 4), 32768u);
+  // Clamped to 2^20 no matter how large the total.
+  EXPECT_EQ(par::auto_grain(index_t{1} << 40, 2), index_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace pfl

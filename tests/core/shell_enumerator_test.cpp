@@ -1,0 +1,126 @@
+// Property suite for the incremental shell enumerators: the k-th point
+// emitted by next() must equal unpair(k) of the matching registered
+// mapping, for every core PF; enumerate_rect must visit exactly the
+// rectangle, once per cell, in address order. Twins are covered by
+// checking the transposed stream against the registered twin mappings.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/aspect_ratio.hpp"
+#include "core/registry.hpp"
+#include "core/shell_enumerator.hpp"
+
+namespace pfl {
+namespace {
+
+template <class Enumerator>
+void expect_prefix_matches(Enumerator e, const PairingFunction& pf,
+                           index_t count) {
+  for (index_t z = 1; z <= count; ++z) {
+    const Point p = e.next();
+    ASSERT_EQ(p, pf.unpair(z)) << pf.name() << " z=" << z;
+  }
+}
+
+TEST(ShellEnumeratorTest, DiagonalMatchesUnpairPrefix) {
+  expect_prefix_matches(DiagonalEnumerator{}, *make_core_pf("diagonal"), 20000);
+}
+
+TEST(ShellEnumeratorTest, SquareShellMatchesUnpairPrefix) {
+  expect_prefix_matches(SquareShellEnumerator{}, *make_core_pf("square-shell"),
+                        20000);
+}
+
+TEST(ShellEnumeratorTest, SzudzikMatchesUnpairPrefix) {
+  expect_prefix_matches(SzudzikEnumerator{}, *make_core_pf("szudzik"), 20000);
+}
+
+TEST(ShellEnumeratorTest, AspectRatiosMatchUnpairPrefix) {
+  for (const auto& name : {"aspect-1x1", "aspect-1x2", "aspect-2x3"}) {
+    const PfPtr pf = make_core_pf(name);
+    const auto* aspect = dynamic_cast<const AspectRatioPf*>(pf.get());
+    ASSERT_NE(aspect, nullptr) << name;
+    expect_prefix_matches(AspectRatioEnumerator{aspect->kernel()}, *pf, 20000);
+  }
+}
+
+TEST(ShellEnumeratorTest, HyperbolicMatchesUnpairPrefix) {
+  // Each unpair(z) re-brackets the shell and re-factors N; the enumerator
+  // factors each shell once. They must agree address for address.
+  expect_prefix_matches(HyperbolicEnumerator{}, *make_core_pf("hyperbolic"),
+                        5000);
+}
+
+TEST(ShellEnumeratorTest, TwinsMatchTransposedStream) {
+  // The registered twins swap coordinates; the enumerators walk the
+  // untransposed order, so swapping their output must reproduce the twin.
+  for (const auto& name : {"diagonal-twin", "square-shell-twin"}) {
+    const PfPtr twin = make_core_pf(name);
+    DiagonalEnumerator de;
+    SquareShellEnumerator se;
+    for (index_t z = 1; z <= 5000; ++z) {
+      const Point p =
+          std::string(name) == "diagonal-twin" ? de.next() : se.next();
+      ASSERT_EQ((Point{p.y, p.x}), twin->unpair(z)) << name << " z=" << z;
+    }
+  }
+}
+
+TEST(ShellEnumeratorTest, EnumeratorForTraitConstructsFromKernel) {
+  const AspectRatioKernel k(2, 3);
+  enumerator_for_t<AspectRatioKernel> e{k};
+  ASSERT_EQ(e.next(), k.unpair(1));
+  ASSERT_EQ(e.next(), k.unpair(2));
+  enumerator_for_t<HyperbolicKernel> h{HyperbolicKernel{}};
+  ASSERT_EQ(h.next(), (Point{1, 1}));
+}
+
+TEST(ShellEnumeratorTest, PrefixVectorAndCallbackAgree) {
+  const auto vec = enumerate_prefix(SzudzikEnumerator{}, 1000);
+  ASSERT_EQ(vec.size(), 1000u);
+  index_t calls = 0;
+  enumerate_prefix(SzudzikEnumerator{}, 1000, [&](index_t z, Point p) {
+    ASSERT_EQ(p, vec[static_cast<std::size_t>(z - 1)]);
+    ++calls;
+  });
+  ASSERT_EQ(calls, 1000u);
+}
+
+TEST(ShellEnumeratorTest, RectCoversExactlyTheRectangleInAddressOrder) {
+  const PfPtr pf = make_core_pf("diagonal");
+  std::set<Point> seen;
+  index_t prev_z = 0;
+  enumerate_rect(DiagonalEnumerator{}, 40, 25, [&](index_t z, Point p) {
+    ASSERT_GT(z, prev_z);
+    prev_z = z;
+    ASSERT_EQ(pf->pair(p.x, p.y), z);
+    ASSERT_LE(p.x, 40u);
+    ASSERT_LE(p.y, 25u);
+    ASSERT_TRUE(seen.insert(p).second) << "duplicate (" << p.x << "," << p.y << ")";
+  });
+  ASSERT_EQ(seen.size(), 40u * 25u);
+}
+
+TEST(ShellEnumeratorTest, RectOnMatchedAspectIsCompact) {
+  // On an (ak x bk) rectangle the aspect PF is perfectly compact, so the
+  // rectangle walk must finish exactly at address ab*k^2.
+  const AspectRatioKernel k(2, 3);
+  index_t last_z = 0;
+  enumerate_rect(AspectRatioEnumerator{k}, 2 * 7, 3 * 7,
+                 [&](index_t z, Point) { last_z = z; });
+  ASSERT_EQ(last_z, 2u * 3u * 7u * 7u);
+}
+
+TEST(ShellEnumeratorTest, HyperbolicSharedFactorizationCrossesShells) {
+  // First addresses per Fig. 4: shells xy = 1, 2, 3, 4 with x descending.
+  HyperbolicEnumerator e;
+  const std::vector<Point> expected = {
+      {1, 1}, {2, 1}, {1, 2}, {3, 1}, {1, 3}, {4, 1}, {2, 2}, {1, 4}};
+  for (const Point& want : expected) ASSERT_EQ(e.next(), want);
+}
+
+}  // namespace
+}  // namespace pfl

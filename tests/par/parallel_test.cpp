@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -24,6 +26,31 @@ TEST(ThreadPoolTest, PropagatesExceptions) {
   ThreadPool pool(2);
   auto f = pool.submit([] { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PostExecutesWithoutFuture) {
+  // Shared state outlives the pool: the pool's destructor joins workers
+  // before counter/m/cv are destroyed.
+  std::atomic<int> counter{0};
+  std::mutex m;
+  std::condition_variable cv;
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i)
+    pool.post([&counter, &m, &cv] {
+      if (counter.fetch_add(1) + 1 == 100) {
+        std::lock_guard lock(m);
+        cv.notify_one();
+      }
+    });
+  std::unique_lock lock(m);
+  cv.wait(lock, [&counter] { return counter.load() == 100; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PostAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.post([] {}), std::runtime_error);
 }
 
 TEST(ThreadPoolTest, DrainsQueueOnDestruction) {

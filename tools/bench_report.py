@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON runs into the repo's bench baseline, and
+check a committed baseline for internal consistency.
+
+Collecting a baseline (see README "Benchmarks"):
+
+    cmake --preset bench && cmake --build --preset bench -j
+    PFL_BENCH_OUT=/tmp/throughput.json build-bench/bench/bench_throughput
+    python3 tools/bench_report.py --pr PR2 --out BENCH_PR2.json /tmp/throughput.json
+
+Checking (run in CI; deterministic, no timing assertions -- it validates
+the *committed* file's schema, recomputes the derived speedups from the
+committed raw numbers, and enforces the documented floors on them):
+
+    python3 tools/bench_report.py --check BENCH_PR2.json
+
+Schema "pfl-bench-baseline/1":
+
+    {
+      "schema": "pfl-bench-baseline/1",
+      "pr": "PR2",
+      "context": {...google-benchmark context of the first input...},
+      "benchmarks": {"<name>": {"real_time_ns": float,
+                                 "items_per_second": float}},
+      "derived": {"batch_pair_speedup": {"<pf>": float}, ...},
+      "floors": {"batch_pair_speedup": {"<pf>": float}, ...}
+    }
+
+Derived ratios are items_per_second quotients between the benchmark pairs
+named in DERIVED_PAIRS; floors are the acceptance criteria the baseline
+must demonstrate (they gate the committed artifact, not CI machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "pfl-bench-baseline/1"
+
+# derived group -> (numerator prefix, denominator prefix): for every pf
+# name present under both prefixes, derived[group][pf] = items/s ratio.
+DERIVED_PAIRS = {
+    "batch_pair_speedup": ("batch_pair", "scalar_virtual_pair"),
+    "batch_unpair_speedup": ("batch_unpair", "scalar_virtual_unpair"),
+    "enumerator_speedup": ("enumerate_prefix", "random_unpair"),
+}
+
+# Acceptance floors for the committed baseline (ISSUE.md, PR 2).
+FLOORS = {
+    "batch_pair_speedup": {"diagonal": 3.0, "square-shell": 3.0},
+    "enumerator_speedup": {"hyperbolic": 10.0},
+}
+
+REL_TOLERANCE = 1e-6  # derived values must match a recompute exactly-ish
+
+
+def load_runs(paths: list[Path]) -> tuple[dict, dict]:
+    """Benchmarks keyed by name, plus the context of the first input."""
+    benchmarks: dict[str, dict] = {}
+    context: dict = {}
+    for path in paths:
+        with path.open() as f:
+            run = json.load(f)
+        if not context:
+            context = run.get("context", {})
+        for bm in run.get("benchmarks", []):
+            if bm.get("run_type") == "aggregate":
+                continue
+            name = bm["name"]
+            entry = {"real_time_ns": float(bm["real_time"])}
+            if bm.get("time_unit", "ns") != "ns":
+                scale = {"us": 1e3, "ms": 1e6, "s": 1e9}[bm["time_unit"]]
+                entry["real_time_ns"] *= scale
+            if "items_per_second" in bm:
+                entry["items_per_second"] = float(bm["items_per_second"])
+            if name in benchmarks:
+                raise SystemExit(f"duplicate benchmark '{name}' across inputs")
+            benchmarks[name] = entry
+    return benchmarks, context
+
+
+def compute_derived(benchmarks: dict) -> dict:
+    derived: dict[str, dict[str, float]] = {}
+    for group, (num_prefix, den_prefix) in DERIVED_PAIRS.items():
+        ratios = {}
+        for name, entry in benchmarks.items():
+            prefix, _, pf = name.partition("/")
+            if prefix != num_prefix or not pf:
+                continue
+            den = benchmarks.get(f"{den_prefix}/{pf}")
+            if not den:
+                continue
+            if "items_per_second" not in entry or "items_per_second" not in den:
+                continue
+            ratios[pf] = entry["items_per_second"] / den["items_per_second"]
+        if ratios:
+            derived[group] = dict(sorted(ratios.items()))
+    return derived
+
+
+def merge(args: argparse.Namespace) -> int:
+    benchmarks, context = load_runs([Path(p) for p in args.inputs])
+    if not benchmarks:
+        raise SystemExit("no benchmarks found in the input files")
+    doc = {
+        "schema": SCHEMA,
+        "pr": args.pr,
+        "context": context,
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "derived": compute_derived(benchmarks),
+        "floors": FLOORS,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out} ({len(benchmarks)} benchmarks)")
+    for group, ratios in doc["derived"].items():
+        for pf, ratio in ratios.items():
+            print(f"  {group}/{pf}: {ratio:.2f}x")
+    return 0
+
+
+def check(args: argparse.Namespace) -> int:
+    path = Path(args.check)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"FAIL: {path} does not exist", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        errors.append("'benchmarks' must be a non-empty object")
+        benchmarks = {}
+    for name, entry in benchmarks.items():
+        if not isinstance(entry, dict) or "real_time_ns" not in entry:
+            errors.append(f"benchmark '{name}' lacks real_time_ns")
+
+    recomputed = compute_derived(benchmarks)
+    committed = doc.get("derived", {})
+    if committed != recomputed:
+        for group, ratios in recomputed.items():
+            for pf, want in ratios.items():
+                got = committed.get(group, {}).get(pf)
+                if got is None:
+                    errors.append(f"derived {group}/{pf} missing")
+                elif abs(got - want) > REL_TOLERANCE * max(abs(want), 1.0):
+                    errors.append(
+                        f"derived {group}/{pf} = {got}, recomputed {want}")
+        for group in committed:
+            if group not in recomputed:
+                errors.append(f"derived group '{group}' has no raw backing")
+
+    for group, floors in doc.get("floors", FLOORS).items():
+        for pf, floor in floors.items():
+            value = recomputed.get(group, {}).get(pf)
+            if value is None:
+                errors.append(f"floor {group}/{pf}: no measurement present")
+            elif value < floor:
+                errors.append(
+                    f"floor {group}/{pf}: {value:.2f}x below required {floor}x")
+
+    if errors:
+        print(f"FAIL: {path}", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {path} ({len(benchmarks)} benchmarks, "
+          f"{sum(len(v) for v in recomputed.values())} derived ratios)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="*",
+                        help="google-benchmark JSON files to merge")
+    parser.add_argument("--out", default="BENCH_PR2.json",
+                        help="merged baseline path (default: BENCH_PR2.json)")
+    parser.add_argument("--pr", default="PR2", help="baseline label")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate a committed baseline instead of merging")
+    args = parser.parse_args()
+    if args.check:
+        if args.inputs:
+            parser.error("--check takes no merge inputs")
+        return check(args)
+    if not args.inputs:
+        parser.error("nothing to do: pass input JSON files or --check FILE")
+    return merge(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Smoke-run every bench binary in a build tree for ~one iteration each.
+#
+#   tools/bench_smoke.sh [build-dir]     (default: build-bench)
+#
+# Used by the CI bench job: proves each benchmark registers, allocates its
+# inputs, and survives one measured iteration -- without asserting on
+# timings (CI machines are noisy; the committed baseline is checked
+# structurally by tools/bench_report.py --check instead).
+#
+# google-benchmark >= 1.8 accepts --benchmark_min_time=1x (exactly one
+# iteration); older releases only take seconds. Try the iteration form
+# first and fall back to a tiny time budget so both work.
+set -eu
+
+build_dir="${1:-build-bench}"
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "bench_smoke: $bench_dir does not exist (configure/build the bench preset first)" >&2
+  exit 2
+fi
+
+found=0
+failed=0
+for exe in "$bench_dir"/bench_*; do
+  [ -x "$exe" ] || continue
+  found=$((found + 1))
+  name=$(basename "$exe")
+  echo "== $name"
+  if "$exe" --benchmark_min_time=1x >/dev/null 2>&1; then
+    continue
+  fi
+  if "$exe" --benchmark_min_time=0.01 >/dev/null 2>&1; then
+    continue
+  fi
+  echo "bench_smoke: $name FAILED" >&2
+  failed=$((failed + 1))
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "bench_smoke: no bench_* executables under $bench_dir" >&2
+  exit 2
+fi
+if [ "$failed" -gt 0 ]; then
+  echo "bench_smoke: $failed of $found benchmarks failed" >&2
+  exit 1
+fi
+echo "bench_smoke: all $found benchmarks ran"

@@ -12,7 +12,9 @@ Rules
 -----
 checked-arith
     Inside address-computing function bodies (pair, unpair, base, stride,
-    stride_log2, row_stride, group_of_row, group_by_index), raw `+`, `*`,
+    stride_log2, row_stride, group_of_row, group_by_index, plus the
+    throughput layer's pair_batch, unpair_batch, pair_unchecked,
+    unpair_unchecked, and enumerator next), raw `+`, `*`,
     `<<` (and their compound forms) on 64-bit index values are forbidden.
     Route them through pfl::nt::checked_add / checked_mul / checked_shl,
     widen via mul_wide / u128 with a final nt::narrow, or justify an
@@ -62,7 +64,10 @@ RULES = {
 }
 
 # Function names whose bodies compute addresses and therefore fall under
-# checked-arith.
+# checked-arith. The PR-2 throughput layer adds the batch drivers, the
+# kernels' unchecked fast tier, and the shell enumerators' `next`: their
+# bodies are address math too, and any deliberately-unchecked line must
+# carry a pfl-lint allow() with the envelope proof that makes it safe.
 ADDRESS_FUNCS = {
     "pair",
     "unpair",
@@ -72,6 +77,11 @@ ADDRESS_FUNCS = {
     "row_stride",
     "group_of_row",
     "group_by_index",
+    "pair_batch",
+    "unpair_batch",
+    "pair_unchecked",
+    "unpair_unchecked",
+    "next",
 }
 
 # Files that implement the checked-arithmetic core itself.
