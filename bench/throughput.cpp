@@ -18,6 +18,7 @@
 // them. Batch calls go through the virtual pair_batch overrides, i.e. the
 // sequential kernel path -- the measured win is devirtualization plus the
 // chunk-prescanned unchecked tier, not thread parallelism.
+#include <algorithm>
 #include <cstddef>
 #include <random>
 #include <span>
@@ -27,6 +28,7 @@
 #include "bench_util.hpp"
 #include "core/registry.hpp"
 #include "core/shell_enumerator.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -69,6 +71,30 @@ index_t coord_range(const std::string& name) {
   return 1000000;
 }
 
+/// Attaches the batch layer's obs counters for the activity between two
+/// snapshots to the benchmark: how many chunks took the proven fast tier
+/// vs the checked fallback, the per-element fallback rate, and the mean
+/// chunk (grain) size the dispatcher actually used. All zeros when the
+/// obs layer is compiled out.
+void attach_batch_counters(benchmark::State& st, const pfl::obs::Snapshot& before,
+                           const pfl::obs::Snapshot& after) {
+  const auto delta = [&](const char* name) {
+    return static_cast<double>(after.counter_delta(before, name));
+  };
+  const double proven = delta("pfl_core_batch_elems_proven_total");
+  const double checked = delta("pfl_core_batch_elems_checked_total");
+  const double chunks_proven = delta("pfl_core_batch_chunks_proven_total");
+  const double chunks_checked = delta("pfl_core_batch_chunks_checked_total");
+  st.counters["chunks_proven"] = chunks_proven;
+  st.counters["chunks_checked"] = chunks_checked;
+  st.counters["fallback_rate"] =
+      proven + checked > 0 ? checked / (proven + checked) : 0.0;
+  st.counters["grain_mean"] =
+      chunks_proven + chunks_checked > 0
+          ? (proven + checked) / (chunks_proven + chunks_checked)
+          : 0.0;
+}
+
 void bm_scalar_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<index_t> out(kBatch);
   for (auto _ : st) {
@@ -81,11 +107,13 @@ void bm_scalar_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
 
 void bm_batch_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<index_t> out(kBatch);
+  const pfl::obs::Snapshot before = pfl::obs::snapshot();
   for (auto _ : st) {
     pf->pair_batch(in.xs, in.ys, out);
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  attach_batch_counters(st, before, pfl::obs::snapshot());
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
 }
 
@@ -101,11 +129,13 @@ void bm_scalar_unpair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
 
 void bm_batch_unpair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<Point> out(kBatch);
+  const pfl::obs::Snapshot before = pfl::obs::snapshot();
   for (auto _ : st) {
     pf->unpair_batch(in.zs, out);
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  attach_batch_counters(st, before, pfl::obs::snapshot());
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
 }
 

@@ -25,6 +25,7 @@
 #include <span>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "par/parallel_for.hpp"
 
 namespace pfl {
@@ -98,16 +99,21 @@ void pair_batch(const K& kernel, std::span<const index_t> xs,
   batch_detail::dispatch_chunks(
       xs.size(), opt, [&](std::uint64_t lo, std::uint64_t hi) {
         const std::size_t len = static_cast<std::size_t>(hi - lo);
+        PFL_OBS_HISTOGRAM("pfl_core_batch_chunk_elems").record(hi - lo);
         if constexpr (batch_detail::HasPairFastPath<K>) {
           const index_t acc =
               batch_detail::or_acc_minus_one(xs.subspan(lo, len)) |
               batch_detail::or_acc_minus_one(ys.subspan(lo, len));
           if (kernel.pair_fast_ok(acc)) {
+            PFL_OBS_COUNTER("pfl_core_batch_chunks_proven_total").add();
+            PFL_OBS_COUNTER("pfl_core_batch_elems_proven_total").add(hi - lo);
             for (std::uint64_t i = lo; i < hi; ++i)
               out[i] = kernel.pair_unchecked(xs[i], ys[i]);
             return;
           }
         }
+        PFL_OBS_COUNTER("pfl_core_batch_chunks_checked_total").add();
+        PFL_OBS_COUNTER("pfl_core_batch_elems_checked_total").add(hi - lo);
         for (std::uint64_t i = lo; i < hi; ++i)
           out[i] = kernel.pair(xs[i], ys[i]);
       });
@@ -122,14 +128,19 @@ void unpair_batch(const K& kernel, std::span<const index_t> zs,
   batch_detail::dispatch_chunks(
       zs.size(), opt, [&](std::uint64_t lo, std::uint64_t hi) {
         const std::size_t len = static_cast<std::size_t>(hi - lo);
+        PFL_OBS_HISTOGRAM("pfl_core_batch_chunk_elems").record(hi - lo);
         if constexpr (batch_detail::HasUnpairFastPath<K>) {
           const index_t acc = batch_detail::or_acc_minus_one(zs.subspan(lo, len));
           if (kernel.unpair_fast_ok(acc)) {
+            PFL_OBS_COUNTER("pfl_core_batch_chunks_proven_total").add();
+            PFL_OBS_COUNTER("pfl_core_batch_elems_proven_total").add(hi - lo);
             for (std::uint64_t i = lo; i < hi; ++i)
               out[i] = kernel.unpair_unchecked(zs[i]);
             return;
           }
         }
+        PFL_OBS_COUNTER("pfl_core_batch_chunks_checked_total").add();
+        PFL_OBS_COUNTER("pfl_core_batch_elems_checked_total").add(hi - lo);
         for (std::uint64_t i = lo; i < hi; ++i) out[i] = kernel.unpair(zs[i]);
       });
 }

@@ -25,6 +25,7 @@
 #include "core/types.hpp"
 #include "numtheory/checked.hpp"
 #include "numtheory/factorization.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfl {
 
@@ -38,6 +39,7 @@ class DiagonalEnumerator {
   Point next() {
     const Point p{x_, y_};
     if (x_ == 1) {  // shell s = x + y exhausted; shell s + 1 starts at (s, 1)
+      PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
       x_ = y_;
       ++x_;
       y_ = 1;
@@ -66,12 +68,14 @@ class SquareShellEnumerator {
       ++y_;
     } else if (x_ == y_) {  // corner (m+1, m+1)
       if (x_ == 1) {
+        PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
         x_ = 2;  // shell m = 0 has no row leg; next shell starts at (2, 1)
       } else {
         --x_;  // enter the row leg at (m, m+1)
       }
     } else {  // row leg: y fixed at m+1, x descending
       if (x_ == 1) {
+        PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
         x_ = y_;  // shell exhausted; next shell starts at (m+2, 1)
         ++x_;
         y_ = 1;
@@ -100,6 +104,7 @@ class SzudzikEnumerator {
       ++y_;
     } else if (x_ == y_) {  // corner (m+1, m+1)
       if (x_ == 1) {
+        PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
         x_ = 2;  // shell m = 0 has no row leg
       } else {
         x_ = 1;  // row leg runs ascending from (1, m+1)
@@ -107,6 +112,7 @@ class SzudzikEnumerator {
     } else {  // row leg: y fixed at m+1, x ascending up to m
       ++x_;
       if (x_ == y_) {  // stepped onto the corner: shell exhausted
+        PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
         ++x_;          // next shell starts at (m+2, 1)
         y_ = 1;
       }
@@ -171,6 +177,7 @@ class AspectRatioEnumerator {
   }
 
   void next_shell() {
+    PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
     ++k_;
     aj_ = ak_;
     bj_ = bk_;
@@ -219,6 +226,8 @@ class HyperbolicEnumerator {
 
  private:
   void load_shell() {
+    PFL_OBS_COUNTER("pfl_core_shells_walked_total").add();
+    PFL_OBS_COUNTER("pfl_core_shell_factorizations_total").add();
     divs_ = nt::divisors_from(nt::factor(n_));  // one factorization per shell
     idx_ = divs_.size() - 1;  // rank 1 is the largest divisor
   }

@@ -1,0 +1,149 @@
+// Metrics exporters: a point-in-time Snapshot of every registered
+// instrument, serialized as (a) a deterministic JSON document
+// ("pfl-metrics/1", sorted keys -- diff- and merge-friendly alongside
+// tools/bench_report.py baselines) and (b) Prometheus text exposition
+// format (cumulative `le` buckets for the log2 histograms).
+//
+// Snapshots are plain value types: tests diff two snapshots to assert on
+// exactly the activity between them, and both exporters take a Snapshot
+// so output is reproducible regardless of concurrent instrument traffic.
+// With PFL_OBS=OFF both exporters emit a valid empty document.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pfl::obs {
+
+struct GaugeValue {
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+
+  friend bool operator==(const GaugeValue&, const GaugeValue&) = default;
+};
+
+struct HistogramValue {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  /// Per-bucket counts, indexed as Histogram::bucket_of (0..64).
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  friend bool operator==(const HistogramValue&,
+                         const HistogramValue&) = default;
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  /// Counter value by name, 0 when the instrument is not present (so
+  /// deltas against an older snapshot that predates registration work).
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// counter(name) minus the counter in `earlier` -- activity between
+  /// the two snapshots.
+  std::uint64_t counter_delta(const Snapshot& earlier,
+                              const std::string& name) const {
+    return counter(name) - earlier.counter(name);
+  }
+};
+
+/// Reads every instrument in `reg` (default: the process registry).
+inline Snapshot snapshot(const MetricsRegistry& reg = registry()) {
+  Snapshot snap;
+  reg.for_each_counter([&](const std::string& name, const Counter& c) {
+    snap.counters.emplace(name, c.value());
+  });
+  reg.for_each_gauge([&](const std::string& name, const Gauge& g) {
+    snap.gauges.emplace(name, GaugeValue{g.value(), g.peak()});
+  });
+  reg.for_each_histogram([&](const std::string& name, const Histogram& h) {
+    HistogramValue v;
+    v.count = h.count();
+    v.sum = h.sum();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      v.buckets[i] = h.bucket_count(i);
+    snap.histograms.emplace(name, v);
+  });
+  return snap;
+}
+
+/// Deterministic JSON: sorted names, histogram buckets emitted sparsely
+/// as [lo, hi, count] triples for the non-empty buckets only.
+inline std::string to_json(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"pfl-metrics/1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"value\": "
+       << g.value << ", \"peak\": " << g.peak << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      os << (bfirst ? "" : ", ") << "[" << Histogram::bucket_lo(i) << ", "
+         << Histogram::bucket_hi(i) << ", " << h.buckets[i] << "]";
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+/// Prometheus text exposition format. Counters keep their `_total`
+/// names; gauges add a companion `<name>_peak`; histograms follow the
+/// convention: cumulative `_bucket{le="..."}` series up to the highest
+/// populated bucket plus `+Inf`, then `_sum` and `_count`.
+inline std::string to_prometheus(const Snapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    os << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+  }
+  for (const auto& [name, g] : snap.gauges) {
+    os << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+    os << "# TYPE " << name << "_peak gauge\n"
+       << name << "_peak " << g.peak << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      if (h.buckets[i] != 0) top = i;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= top; ++i) {
+      cumulative += h.buckets[i];
+      os << name << "_bucket{le=\"" << Histogram::bucket_hi(i) << "\"} "
+         << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << name << "_sum " << h.sum << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pfl::obs

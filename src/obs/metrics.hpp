@@ -1,0 +1,383 @@
+// pfl::obs -- process-wide metrics: named counters, gauges, and log-scale
+// histograms.
+//
+// Design goals, in order:
+//
+//   1. Hot-path cost is one relaxed atomic add. Counter::add lands on a
+//      per-thread shard (cache-line padded), so concurrent increments of
+//      the same instrument never contend on one line. Reads (value(),
+//      snapshots) sum the shards -- they are the cold path.
+//   2. Compiles to nothing when PFL_OBS=OFF. The CMake option defines
+//      PFL_OBS_ENABLED=0, which swaps every class below for an empty
+//      no-op stub with the same API; instrument call sites need no #if.
+//   3. Deterministic export. The registry keeps instruments in a sorted
+//      map, so JSON/Prometheus dumps (obs/export.hpp) are byte-stable for
+//      a given set of values -- golden-testable and diff-friendly.
+//
+// Instruments are process-wide and append-only: registration interns the
+// name and returns a stable reference that lives until process exit. Call
+// sites go through the PFL_OBS_COUNTER / PFL_OBS_GAUGE / PFL_OBS_HISTOGRAM
+// macros, which cache that reference in a function-local static so the
+// steady-state cost is a guard-variable load plus the relaxed add.
+// tools/pfl_lint.py enforces the macro discipline and the instrument
+// naming scheme `pfl_<layer>_<noun>_<unit>` (counters end in `_total`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+
+#ifndef PFL_OBS_ENABLED
+#define PFL_OBS_ENABLED 1
+#endif
+
+namespace pfl::obs {
+
+/// Compile-time switch mirror of the PFL_OBS CMake option; lets generic
+/// code skip setup work (clock reads, buffer allocation) when the layer
+/// is compiled out.
+inline constexpr bool kEnabled = PFL_OBS_ENABLED != 0;
+
+/// Cache-line size used to pad shards (see par::kCacheLineBytes for why
+/// std::hardware_destructive_interference_size is avoided).
+inline constexpr std::size_t kObsCacheLine = 64;
+
+#if PFL_OBS_ENABLED
+
+namespace detail {
+
+/// Per-thread shard index in [0, kShards): assigned round-robin at first
+/// use so threads spread across shards even when ids collide.
+inline constexpr std::size_t kShards = 16;
+
+inline std::size_t shard_index() {
+  static std::atomic<std::size_t> next_shard{0};
+  thread_local const std::size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+/// Monotonically increasing event count. add() is one relaxed fetch_add
+/// on a thread-local shard; value() sums shards (cold path, approximate
+/// only in the sense that concurrent adds may or may not be included).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Zeroes all shards. Only meaningful at quiescence (tests, demo setup).
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kObsCacheLine) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+/// A signed instantaneous level (queue depth, live volunteers) with a
+/// high-water mark. set/add/sub are relaxed atomics; the peak is
+/// maintained with a CAS-max loop, which only spins under simultaneous
+/// record-breaking updates.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    bump_peak(v);
+  }
+
+  void add(std::int64_t d = 1) noexcept {
+    bump_peak(v_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+
+  void sub(std::int64_t d = 1) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    v_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void bump_peak(std::int64_t candidate) noexcept {
+    std::int64_t cur = peak_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !peak_.compare_exchange_weak(cur, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Log-scale (base-2) histogram over [0, 2^64 - 1].
+///
+/// Bucket 0 holds exactly the value 0; bucket i (1 <= i <= 64) holds
+/// values v with bit_width(v) == i, i.e. the range [2^(i-1), 2^i - 1].
+/// The edges are therefore 1, 2, 4, ..., 2^63, and the top bucket closes
+/// at 2^64 - 1 -- every uint64 value lands in exactly one bucket.
+/// record() is three relaxed adds (bucket, sum, count) on a per-thread
+/// shard.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Inclusive lower edge of bucket i (0 for the zero bucket).
+  static constexpr std::uint64_t bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  /// Inclusive upper edge of bucket i.
+  static constexpr std::uint64_t bucket_hi(std::size_t i) noexcept {
+    return i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Shard& s = shards_[detail::shard_index()];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t c = 0;
+    for (const auto& s : shards_) c += s.count.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// Sum of recorded values (wraps modulo 2^64 by design: it is a
+  /// diagnostic aggregate, not an address).
+  std::uint64_t sum() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto& s : shards_) v += s.sum.load(std::memory_order_relaxed);
+    return v;
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    std::uint64_t c = 0;
+    for (const auto& s : shards_)
+      c += s.buckets[i].load(std::memory_order_relaxed);
+    return c;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.count.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kObsCacheLine) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+/// Name -> instrument interning table. Instruments are heap-allocated
+/// once and never freed before process exit, so references handed out
+/// stay valid forever; the mutex guards only registration and iteration,
+/// never the hot increment path.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name) {
+    return intern(counters_, name);
+  }
+  Gauge& gauge(std::string_view name) { return intern(gauges_, name); }
+  Histogram& histogram(std::string_view name) {
+    return intern(histograms_, name);
+  }
+
+  /// Calls f(name, instrument) for every registered instrument of the
+  /// given kind, in lexicographic name order.
+  template <class F>
+  void for_each_counter(F&& f) const {
+    std::lock_guard lock(m_);
+    for (const auto& [name, c] : counters_) f(name, *c);
+  }
+  template <class F>
+  void for_each_gauge(F&& f) const {
+    std::lock_guard lock(m_);
+    for (const auto& [name, g] : gauges_) f(name, *g);
+  }
+  template <class F>
+  void for_each_histogram(F&& f) const {
+    std::lock_guard lock(m_);
+    for (const auto& [name, h] : histograms_) f(name, *h);
+  }
+
+  /// Zeroes every instrument (names stay registered). Tests and demos
+  /// call this at quiescence to get deltas from a clean origin.
+  void reset_all() {
+    std::lock_guard lock(m_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+  }
+
+ private:
+  template <class T>
+  T& intern(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
+            std::string_view name) {
+    std::lock_guard lock(m_);
+    auto it = table.find(name);
+    if (it == table.end())
+      it = table.emplace(std::string(name), std::make_unique<T>()).first;
+    return *it->second;
+  }
+
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every PFL_OBS_* macro registers into.
+/// Constructed on first use, never destroyed (instrument references from
+/// static caches may be touched during late shutdown).
+inline MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+#else  // PFL_OBS_ENABLED == 0: same API, zero state, zero cost.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t = 1) noexcept {}
+  void sub(std::int64_t = 1) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  std::int64_t peak() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  static constexpr std::uint64_t bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static constexpr std::uint64_t bucket_hi(std::size_t i) noexcept {
+    return i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  }
+  void record(std::uint64_t) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  std::uint64_t sum() const noexcept { return 0; }
+  std::uint64_t bucket_count(std::size_t) const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view) { return c_; }
+  Gauge& gauge(std::string_view) { return g_; }
+  Histogram& histogram(std::string_view) { return h_; }
+  template <class F>
+  void for_each_counter(F&&) const {}
+  template <class F>
+  void for_each_gauge(F&&) const {}
+  template <class F>
+  void for_each_histogram(F&&) const {}
+  void reset_all() {}
+
+ private:
+  Counter c_;
+  Gauge g_;
+  Histogram h_;
+};
+
+inline MetricsRegistry& registry() {
+  static MetricsRegistry r;
+  return r;
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs
+
+// Instrument access macros. The only sanctioned way to name an
+// instrument (tools/pfl_lint.py rule `obs-instrument`): the name literal
+// stays in one place, the registry lookup runs once per call site, and
+// the PFL_OBS=OFF build swaps in the no-op stub without touching callers.
+#if PFL_OBS_ENABLED
+#define PFL_OBS_COUNTER(name)                                   \
+  ([]() -> ::pfl::obs::Counter& {                               \
+    static ::pfl::obs::Counter& pfl_obs_cached_instrument =     \
+        ::pfl::obs::registry().counter(name);                   \
+    return pfl_obs_cached_instrument;                           \
+  }())
+#define PFL_OBS_GAUGE(name)                                     \
+  ([]() -> ::pfl::obs::Gauge& {                                 \
+    static ::pfl::obs::Gauge& pfl_obs_cached_instrument =       \
+        ::pfl::obs::registry().gauge(name);                     \
+    return pfl_obs_cached_instrument;                           \
+  }())
+#define PFL_OBS_HISTOGRAM(name)                                 \
+  ([]() -> ::pfl::obs::Histogram& {                             \
+    static ::pfl::obs::Histogram& pfl_obs_cached_instrument =   \
+        ::pfl::obs::registry().histogram(name);                 \
+    return pfl_obs_cached_instrument;                           \
+  }())
+#else
+#define PFL_OBS_COUNTER(name)                         \
+  ([]() -> ::pfl::obs::Counter& {                     \
+    static ::pfl::obs::Counter pfl_obs_null_counter;  \
+    return pfl_obs_null_counter;                      \
+  }())
+#define PFL_OBS_GAUGE(name)                       \
+  ([]() -> ::pfl::obs::Gauge& {                   \
+    static ::pfl::obs::Gauge pfl_obs_null_gauge;  \
+    return pfl_obs_null_gauge;                    \
+  }())
+#define PFL_OBS_HISTOGRAM(name)                           \
+  ([]() -> ::pfl::obs::Histogram& {                       \
+    static ::pfl::obs::Histogram pfl_obs_null_histogram;  \
+    return pfl_obs_null_histogram;                        \
+  }())
+#endif

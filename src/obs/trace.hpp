@@ -1,0 +1,245 @@
+// pfl::obs tracing -- RAII spans into per-thread event buffers, exported
+// as Chrome trace_event JSON (load the file in about://tracing or
+// https://ui.perfetto.dev to see a WBC simulation or batch run on a
+// timeline).
+//
+// Concurrency model, chosen so ThreadSanitizer agrees with it:
+//
+//   * each thread owns exactly one EventBuffer; only the owning thread
+//     ever writes it. A slot is fully written before the buffer's head is
+//     advanced with a release store, so a reader that acquires the head
+//     sees only completed events -- no locks anywhere on the span path.
+//   * the buffer is bounded. When it fills, new events are dropped (and
+//     counted in pfl_obs_trace_dropped_total) rather than wrapping:
+//     wrapping would overwrite slots a concurrent exporter may be
+//     reading. Clearing is only safe at quiescence.
+//   * tracing is off until TraceCollector::enable(); a disarmed Span is
+//     one relaxed load and no clock reads.
+//
+// When PFL_OBS=OFF, Span and TraceCollector become empty no-ops and the
+// exporter writes a valid empty trace document.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pfl::obs {
+
+/// One completed span: [ts_ns, ts_ns + dur_ns) on thread `tid`. `name`
+/// must be a string literal (or otherwise outlive the collector).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+#if PFL_OBS_ENABLED
+
+namespace trace_detail {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Bounded single-writer event buffer (see file comment for the memory
+/// ordering that makes concurrent export race-free).
+class EventBuffer {
+ public:
+  explicit EventBuffer(std::uint32_t tid, std::size_t capacity)
+      : tid_(tid), slots_(capacity) {}
+
+  std::uint32_t tid() const { return tid_; }
+
+  /// Owner thread only.
+  void push(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h >= slots_.size()) {
+      PFL_OBS_COUNTER("pfl_obs_trace_dropped_total").add();
+      return;
+    }
+    slots_[h] = TraceEvent{name, ts_ns, dur_ns, tid_};
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Any thread: appends the stable prefix of recorded events to `out`.
+  void collect(std::vector<TraceEvent>& out) const {
+    const std::size_t n =
+        std::min(head_.load(std::memory_order_acquire), slots_.size());
+    out.insert(out.end(), slots_.begin(),
+               slots_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  /// Quiescence only (no concurrent push/collect).
+  void clear() { head_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::uint32_t tid_;
+  std::atomic<std::size_t> head_{0};
+  std::vector<TraceEvent> slots_;
+};
+
+}  // namespace trace_detail
+
+/// Owns every thread's event buffer and the global enabled flag.
+class TraceCollector {
+ public:
+  /// Events each thread can hold before dropping; sized for hundreds of
+  /// simulation steps or thousands of batch dispatches per thread.
+  static constexpr std::size_t kEventsPerThread = 1 << 14;
+
+  static TraceCollector& instance() {
+    static TraceCollector* c = new TraceCollector();
+    return *c;
+  }
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The calling thread's buffer (created and registered on first use;
+  /// kept alive by the collector after the thread exits so its events
+  /// still export).
+  trace_detail::EventBuffer& buffer_for_this_thread() {
+    thread_local trace_detail::EventBuffer* mine = nullptr;
+    if (mine == nullptr) {
+      auto fresh = std::make_shared<trace_detail::EventBuffer>(
+          next_tid_.fetch_add(1, std::memory_order_relaxed), kEventsPerThread);
+      mine = fresh.get();
+      std::lock_guard lock(m_);
+      buffers_.push_back(std::move(fresh));
+    }
+    return *mine;
+  }
+
+  /// All completed events, sorted by (ts, tid) for deterministic output.
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    {
+      std::lock_guard lock(m_);
+      for (const auto& b : buffers_) b->collect(out);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                return a.tid < b.tid;
+              });
+    return out;
+  }
+
+  /// Drops all recorded events. Quiescence only: no spans may be live.
+  void clear() {
+    std::lock_guard lock(m_);
+    for (const auto& b : buffers_) b->clear();
+  }
+
+  /// Chrome trace_event "JSON Object Format": {"traceEvents": [...]} of
+  /// complete ("ph":"X") events, timestamps in microseconds rebased to
+  /// the earliest event.
+  void write_chrome_trace(std::ostream& os) const {
+    const std::vector<TraceEvent> evs = events();
+    std::uint64_t t0 = 0;
+    if (!evs.empty()) t0 = evs.front().ts_ns;
+    // Chrome's ts/dur are microseconds; emit ns-exact values as
+    // "<us>.<3-digit frac>" so nothing rounds away.
+    const auto put_us = [&os](std::uint64_t ns) {
+      const std::uint64_t frac = ns % 1000;
+      os << ns / 1000 << '.' << static_cast<char>('0' + frac / 100)
+         << static_cast<char>('0' + (frac / 10) % 10)
+         << static_cast<char>('0' + frac % 10);
+    };
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":"
+          "\"pfl-trace/1\"},\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& e : evs) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << e.name
+         << "\",\"cat\":\"pfl\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+         << ",\"ts\":";
+      put_us(e.ts_ns - t0);
+      os << ",\"dur\":";
+      put_us(e.dur_ns);
+      os << "}";
+    }
+    os << "]}\n";
+  }
+
+ private:
+  TraceCollector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> next_tid_{1};
+  mutable std::mutex m_;
+  std::vector<std::shared_ptr<trace_detail::EventBuffer>> buffers_;
+};
+
+/// RAII scope timer: records one complete trace event from construction
+/// to destruction when tracing is enabled; a single relaxed load when not.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (TraceCollector::instance().enabled()) {
+      name_ = name;
+      start_ns_ = trace_detail::now_ns();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (name_ != nullptr && TraceCollector::instance().enabled()) {
+      const std::uint64_t end_ns = trace_detail::now_ns();
+      TraceCollector::instance().buffer_for_this_thread().push(
+          name_, start_ns_, end_ns - start_ns_);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+#else  // PFL_OBS_ENABLED == 0
+
+class TraceCollector {
+ public:
+  static constexpr std::size_t kEventsPerThread = 0;
+  static TraceCollector& instance() {
+    static TraceCollector c;
+    return c;
+  }
+  void enable() {}
+  void disable() {}
+  bool enabled() const { return false; }
+  std::vector<TraceEvent> events() const { return {}; }
+  void clear() {}
+  void write_chrome_trace(std::ostream& os) const {
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":"
+          "\"pfl-trace/1\"},\"traceEvents\":[]}\n";
+  }
+};
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {}
+};
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs

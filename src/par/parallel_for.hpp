@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 
 namespace pfl::par {
@@ -130,6 +131,8 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, Body&& body,
   if (pool == nullptr) pool = &ThreadPool::global();
   if (grain == 0) grain = 1;
   const std::uint64_t total = end - begin;
+  PFL_OBS_COUNTER("pfl_par_parallel_for_calls_total").add();
+  PFL_OBS_HISTOGRAM("pfl_par_parallel_for_grain_elems").record(grain);
   const std::size_t workers =
       static_cast<std::size_t>(std::min<std::uint64_t>(pool->size(), (total + grain - 1) / grain));
   if (workers <= 1) {
@@ -169,6 +172,8 @@ T parallel_reduce(std::uint64_t begin, std::uint64_t end, T identity, Body&& bod
   if (pool == nullptr) pool = &ThreadPool::global();
   if (grain == 0) grain = 1;
   const std::uint64_t total = end - begin;
+  PFL_OBS_COUNTER("pfl_par_parallel_reduce_calls_total").add();
+  PFL_OBS_HISTOGRAM("pfl_par_parallel_for_grain_elems").record(grain);
   const std::size_t workers =
       static_cast<std::size_t>(std::min<std::uint64_t>(pool->size(), (total + grain - 1) / grain));
   if (workers <= 1) {

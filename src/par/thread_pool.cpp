@@ -1,6 +1,9 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/trace.hpp"
 
 namespace pfl::par {
 
@@ -32,8 +35,22 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      PFL_OBS_GAUGE("pfl_par_pool_queue_depth")
+          .set(static_cast<std::int64_t>(queue_.size()));
     }
-    task();
+    if constexpr (obs::kEnabled) {
+      const obs::Span span("pool_task");
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      PFL_OBS_HISTOGRAM("pfl_par_pool_task_duration_ns")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()));
+    } else {
+      task();
+    }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -8,8 +8,10 @@
 // its threads (RAII), and shutdown is deterministic.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,10 +19,22 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace pfl::par {
 
 class ThreadPool {
  public:
+  /// Point-in-time pool statistics. Maintained unconditionally (not
+  /// gated on PFL_OBS): submit() and post() both count enqueues under
+  /// the queue mutex, so these numbers cannot drift from reality.
+  struct Stats {
+    std::uint64_t tasks_enqueued = 0;   ///< submit() + post() accepted
+    std::uint64_t tasks_executed = 0;   ///< tasks completed by workers
+    std::uint64_t peak_queue_depth = 0; ///< high-water mark of the queue
+    std::uint64_t queue_depth = 0;      ///< tasks currently waiting
+  };
+
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
 
@@ -38,6 +52,18 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Consistent snapshot of the enqueue/execute counters and queue depth
+  /// (taken under the queue mutex).
+  Stats stats() const {
+    std::lock_guard lock(mutex_);
+    Stats s;
+    s.tasks_enqueued = tasks_enqueued_;
+    s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+    s.peak_queue_depth = peak_queue_depth_;
+    s.queue_depth = queue_.size();
+    return s;
+  }
+
   /// Enqueue a task; the returned future observes its completion/exception.
   template <class F>
   std::future<void> submit(F&& fn) {
@@ -47,6 +73,7 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace([task]() { (*task)(); });
+      note_enqueued_locked();
     }
     cv_.notify_one();
     return result;
@@ -60,6 +87,7 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: post after shutdown");
       queue_.emplace(std::move(fn));
+      note_enqueued_locked();
     }
     cv_.notify_one();
   }
@@ -71,11 +99,24 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Shared bookkeeping for submit()/post(); caller holds mutex_.
+  void note_enqueued_locked() {
+    ++tasks_enqueued_;
+    const std::uint64_t depth = queue_.size();
+    if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
+    PFL_OBS_COUNTER("pfl_par_pool_tasks_enqueued_total").add();
+    PFL_OBS_GAUGE("pfl_par_pool_queue_depth")
+        .set(static_cast<std::int64_t>(depth));
+  }
+
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::uint64_t tasks_enqueued_ = 0;      ///< guarded by mutex_
+  std::uint64_t peak_queue_depth_ = 0;    ///< guarded by mutex_
+  std::atomic<std::uint64_t> tasks_executed_{0};
 };
 
 }  // namespace pfl::par

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfl::storage {
 
@@ -150,6 +151,7 @@ class CuckooArray {
       if (place_in(b1, std::move(current))) return true;
       if (place_in(b2, std::move(current))) return true;
       // Both full: evict a random victim from a random choice.
+      PFL_OBS_COUNTER("pfl_storage_cuckoo_kicks_total").add();
       const std::size_t b = (next_random() & 1) ? b1 : b2;
       const std::size_t victim =
           static_cast<std::size_t>(next_random() % kBucketSlots);
@@ -166,6 +168,7 @@ class CuckooArray {
       buckets_.assign(next_count, Bucket{});
       reseed();
       ++rehashes_;
+      PFL_OBS_COUNTER("pfl_storage_cuckoo_rehashes_total").add();
       bool ok = true;
       Entry spill;
       for (auto& bucket : old) {

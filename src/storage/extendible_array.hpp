@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/pairing_function.hpp"
+#include "obs/metrics.hpp"
 #include "storage/sparse_store.hpp"
 
 namespace pfl::storage {
@@ -61,6 +62,7 @@ class ExtendibleArray {
     // through the mapping's batch API so a shrink pays one virtual
     // dispatch (and one kernel fast-path prescan) per chunk instead of
     // one virtual pair() per cell.
+    PFL_OBS_COUNTER("pfl_storage_extendible_reshapes_total").add();
     if (new_cols < cols_) drop_rect(1, rows_, new_cols + 1, cols_);
     if (new_rows < rows_) {
       const index_t kept_cols = new_cols < cols_ ? new_cols : cols_;
@@ -123,8 +125,14 @@ class ExtendibleArray {
     addrs.resize(kDropChunk);
     const auto flush = [&] {
       pf_->pair_batch(xs, ys, std::span<index_t>(addrs).first(xs.size()));
+      std::uint64_t dropped = 0;
       for (std::size_t i = 0; i < xs.size(); ++i)
-        if (store_.erase(addrs[i])) ++reshape_work_;
+        if (store_.erase(addrs[i])) {
+          ++reshape_work_;
+          ++dropped;
+        }
+      PFL_OBS_COUNTER("pfl_storage_extendible_dropped_cells_total")
+          .add(dropped);
       xs.clear();
       ys.clear();
     };

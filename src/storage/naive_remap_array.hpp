@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfl::storage {
 
@@ -50,6 +51,9 @@ class NaiveRemapArray {
     rows_ = new_rows;
     cols_ = new_cols;
     total_moves_ += moves;
+    PFL_OBS_COUNTER("pfl_storage_naive_remap_reshapes_total").add();
+    PFL_OBS_COUNTER("pfl_storage_naive_remap_moves_total")
+        .add(static_cast<std::uint64_t>(moves));
     return moves;
   }
 

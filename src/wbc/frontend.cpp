@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace pfl::wbc {
 
 namespace {
@@ -80,6 +82,7 @@ RowIndex FrontEnd::arrive(VolunteerId id, double speed) {
     throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
                       " already active");
   active_.emplace(id, ActiveVolunteer{0, speed});
+  PFL_OBS_COUNTER("pfl_wbc_volunteer_arrivals_total").add();
   if (policy_ == AssignmentPolicy::kSpeedOrdered) {
     by_speed_.emplace(SpeedKey{speed, id}, id);
     reconcile_speed_order();
@@ -95,6 +98,7 @@ void FrontEnd::depart(VolunteerId id) {
     throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
                       " is not active");
   const RowIndex row = it->second.row;
+  PFL_OBS_COUNTER("pfl_wbc_volunteer_departures_total").add();
   // Recycle every task the volunteer left unfinished, across all epochs
   // they ever owned (rebinds may have moved them between rows)...
   const auto touched = rows_touched_.find(id);
@@ -136,6 +140,10 @@ TaskAssignment FrontEnd::request_task(VolunteerId id) {
   if (!recycle_.empty()) {
     const TaskIndex task = recycle_.back();
     recycle_.pop_back();
+    // Count each task's FIRST reissue only, so the counter equals the
+    // distinct-task count reported by reissued_tasks().
+    if (reissued_to_.find(task) == reissued_to_.end())
+      PFL_OBS_COUNTER("pfl_wbc_tasks_recycled_total").add();
     reissued_to_[task] = id;
     held_reissues_[id].insert(task);
     return server_.trace(task);
@@ -193,11 +201,14 @@ AuditOutcome FrontEnd::audit(TaskIndex task, Result truth) {
   AuditOutcome outcome = server_.audit(task, truth);  // row-level trace
   const VolunteerId who = volunteer_of_task(task);
   outcome.volunteer = who;
+  PFL_OBS_COUNTER("pfl_wbc_audits_total").add();
   if (!outcome.correct) {
+    PFL_OBS_COUNTER("pfl_wbc_audit_errors_total").add();
     const index_t errors = ++errors_[who];
     outcome.error_count = errors;
     if (errors >= ban_threshold_ && !is_banned(who)) {
       banned_.insert(who);
+      PFL_OBS_COUNTER("pfl_wbc_bans_total").add();
       if (active_.count(who)) depart(who);  // ban = forced departure
     }
   } else {

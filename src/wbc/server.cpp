@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace pfl::wbc {
 
 TaskServer::TaskServer(apf::ApfPtr apf, index_t ban_threshold)
@@ -39,6 +41,7 @@ TaskAssignment TaskServer::next_task(RowIndex row) {
   state.issued = seq;
   state.outstanding.insert(seq);
   ++total_issued_;
+  PFL_OBS_COUNTER("pfl_wbc_tasks_issued_total").add();
   if (task > max_task_) max_task_ = task;
   return {task, row, seq};
 }
@@ -58,6 +61,7 @@ void TaskServer::submit_result(TaskIndex task, Result value) {
   state.outstanding.erase(it);
   results_.emplace(task, value);
   ++total_results_;
+  PFL_OBS_COUNTER("pfl_wbc_results_submitted_total").add();
 }
 
 AuditOutcome TaskServer::audit(TaskIndex task, Result truth) {

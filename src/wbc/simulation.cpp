@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace pfl::wbc {
 
 namespace {
@@ -29,6 +31,7 @@ struct SimVolunteer {
 }  // namespace
 
 SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config) {
+  const obs::Span sim_span("wbc_simulation");
   std::mt19937_64 rng(config.seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   std::exponential_distribution<double> speed_dist(1.0 / config.mean_speed);
@@ -71,6 +74,7 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
   for (index_t i = 0; i < config.initial_volunteers; ++i) spawn();
 
   for (index_t step = 0; step < config.steps; ++step) {
+    const obs::Span step_span("wbc_step");
     // Arrivals.
     const int n_arrive = arrivals_dist(rng);
     for (int i = 0; i < n_arrive; ++i) spawn();

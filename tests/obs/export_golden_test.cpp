@@ -1,0 +1,124 @@
+// Golden-file tests for obs/export.hpp: the JSON and Prometheus
+// exporters must be byte-stable for a given set of instrument values.
+// Local MetricsRegistry instances keep the goldens independent of
+// whatever the rest of the process has registered globally.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace pfl::obs {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+// The registry owns a mutex, so it is populated in place rather than
+// returned by value.
+void populate(MetricsRegistry& reg) {
+  reg.counter("pfl_test_beta_total").add(7);
+  reg.counter("pfl_test_alpha_total").add(3);
+  reg.gauge("pfl_test_depth").set(5);
+  reg.gauge("pfl_test_depth").set(2);  // value 2, peak 5
+  Histogram& h = reg.histogram("pfl_test_latency_ns");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  h.record(3);
+  h.record(1000);
+}
+
+TEST(ExportGoldenTest, JsonIsByteStable) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"pfl-metrics/1\",\n"
+      "  \"counters\": {\n"
+      "    \"pfl_test_alpha_total\": 3,\n"
+      "    \"pfl_test_beta_total\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"pfl_test_depth\": {\"value\": 2, \"peak\": 5}\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"pfl_test_latency_ns\": {\"count\": 5, \"sum\": 1007, "
+      "\"buckets\": [[0, 0, 1], [1, 1, 1], [2, 3, 2], [512, 1023, 1]]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(to_json(snapshot(reg)), expected);
+}
+
+TEST(ExportGoldenTest, PrometheusIsByteStable) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string expected =
+      "# TYPE pfl_test_alpha_total counter\n"
+      "pfl_test_alpha_total 3\n"
+      "# TYPE pfl_test_beta_total counter\n"
+      "pfl_test_beta_total 7\n"
+      "# TYPE pfl_test_depth gauge\n"
+      "pfl_test_depth 2\n"
+      "# TYPE pfl_test_depth_peak gauge\n"
+      "pfl_test_depth_peak 5\n"
+      "# TYPE pfl_test_latency_ns histogram\n"
+      "pfl_test_latency_ns_bucket{le=\"0\"} 1\n"
+      "pfl_test_latency_ns_bucket{le=\"1\"} 2\n"
+      "pfl_test_latency_ns_bucket{le=\"3\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"7\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"15\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"31\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"63\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"127\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"255\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"511\"} 4\n"
+      "pfl_test_latency_ns_bucket{le=\"1023\"} 5\n"
+      "pfl_test_latency_ns_bucket{le=\"+Inf\"} 5\n"
+      "pfl_test_latency_ns_sum 1007\n"
+      "pfl_test_latency_ns_count 5\n";
+  EXPECT_EQ(to_prometheus(snapshot(reg)), expected);
+}
+
+TEST(ExportGoldenTest, EmptyRegistryStillEmitsValidDocuments) {
+  const MetricsRegistry reg;
+  EXPECT_EQ(to_json(snapshot(reg)),
+            "{\n  \"schema\": \"pfl-metrics/1\",\n  \"counters\": {},\n"
+            "  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+  EXPECT_EQ(to_prometheus(snapshot(reg)), "");
+}
+
+TEST(ExportGoldenTest, TopHistogramBucketRendersUint64Max) {
+  MetricsRegistry reg;
+  reg.histogram("pfl_test_wide_ns")
+      .record(std::numeric_limits<std::uint64_t>::max());
+  const std::string json = to_json(snapshot(reg));
+  EXPECT_NE(json.find("[9223372036854775808, 18446744073709551615, 1]"),
+            std::string::npos)
+      << json;
+}
+
+TEST(SnapshotTest, CounterDeltaSpansRegistration) {
+  MetricsRegistry reg;
+  const Snapshot before = snapshot(reg);  // instrument not yet registered
+  reg.counter("pfl_test_late_total").add(4);
+  const Snapshot after = snapshot(reg);
+  EXPECT_EQ(before.counter("pfl_test_late_total"), 0u);
+  EXPECT_EQ(after.counter_delta(before, "pfl_test_late_total"), 4u);
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(ExportOffTest, ExportersEmitValidEmptyDocuments) {
+  const Snapshot snap = snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_EQ(to_json(snap),
+            "{\n  \"schema\": \"pfl-metrics/1\",\n  \"counters\": {},\n"
+            "  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+  EXPECT_EQ(to_prometheus(snap), "");
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs

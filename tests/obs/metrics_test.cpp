@@ -1,0 +1,190 @@
+// Unit tests for obs/metrics.hpp: counter/gauge/histogram semantics,
+// the log2 bucket geometry, and registry interning. Everything here must
+// also compile (and the boundary tests pass) with PFL_OBS=OFF, where the
+// instruments are no-op stubs.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pfl::obs {
+namespace {
+
+constexpr std::uint64_t kMax64 = std::numeric_limits<std::uint64_t>::max();
+
+TEST(HistogramBuckets, ZeroHasItsOwnBucket) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(0), 0u);
+}
+
+TEST(HistogramBuckets, OneIsTheFirstPowerBucket) {
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Histogram::bucket_hi(1), 1u);
+}
+
+TEST(HistogramBuckets, PowerOfTwoEdges) {
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t pow = std::uint64_t{1} << k;
+    // 2^k opens bucket k+1; 2^k - 1 closes bucket k.
+    EXPECT_EQ(Histogram::bucket_of(pow), k + 1) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_of(pow - 1), k) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_lo(k + 1), pow) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_hi(k), pow - 1) << "k=" << k;
+  }
+}
+
+TEST(HistogramBuckets, TopBucketClosesAtUint64Max) {
+  EXPECT_EQ(Histogram::bucket_of(kMax64), 64u);
+  EXPECT_EQ(Histogram::bucket_lo(64), std::uint64_t{1} << 63);
+  EXPECT_EQ(Histogram::bucket_hi(64), kMax64);
+}
+
+TEST(HistogramBuckets, BucketsPartitionTheDomain) {
+  // Every bucket's hi + 1 is the next bucket's lo, and lo <= hi, so the
+  // 65 buckets tile [0, 2^64 - 1] with no gaps or overlaps.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_LE(Histogram::bucket_lo(i), Histogram::bucket_hi(i)) << i;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(i)), i) << i;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(i)), i) << i;
+    if (i + 1 < Histogram::kBuckets)
+      EXPECT_EQ(Histogram::bucket_hi(i) + 1, Histogram::bucket_lo(i + 1)) << i;
+  }
+}
+
+#if PFL_OBS_ENABLED
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddSubAndPeak) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.peak(), 5);
+  g.add(10);
+  EXPECT_EQ(g.value(), 15);
+  EXPECT_EQ(g.peak(), 15);
+  g.sub(12);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 15);  // peak survives the drop
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.peak(), 15);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+}
+
+TEST(HistogramTest, RecordPlacesValuesInTheRightBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1024);
+  h.record(kMax64);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 1u);   // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);   // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);   // 2, 3
+  EXPECT_EQ(h.bucket_count(11), 1u);  // 1024 = 2^10 -> bucket 11
+  EXPECT_EQ(h.bucket_count(64), 1u);  // 2^64 - 1
+  // Sum wraps modulo 2^64 by design.
+  EXPECT_EQ(h.sum(), std::uint64_t{0 + 1 + 2 + 3 + 1024} + kMax64);
+}
+
+TEST(RegistryTest, InterningReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("pfl_test_a_total");
+  Counter& b = reg.counter("pfl_test_a_total");
+  Counter& c = reg.counter("pfl_test_b_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.add(7);
+  EXPECT_EQ(reg.counter("pfl_test_a_total").value(), 7u);
+  // Kinds are independent namespaces.
+  Gauge& g = reg.gauge("pfl_test_a_total");
+  g.set(3);
+  EXPECT_EQ(reg.counter("pfl_test_a_total").value(), 7u);
+}
+
+TEST(RegistryTest, IterationIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("pfl_test_zulu_total");
+  reg.counter("pfl_test_alpha_total");
+  reg.counter("pfl_test_mike_total");
+  std::vector<std::string> names;
+  reg.for_each_counter(
+      [&](const std::string& name, const Counter&) { names.push_back(name); });
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "pfl_test_alpha_total");
+  EXPECT_EQ(names[1], "pfl_test_mike_total");
+  EXPECT_EQ(names[2], "pfl_test_zulu_total");
+}
+
+TEST(RegistryTest, ResetAllZeroesValuesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.counter("pfl_test_c_total").add(5);
+  reg.gauge("pfl_test_g").set(9);
+  reg.histogram("pfl_test_h_ns").record(100);
+  reg.reset_all();
+  EXPECT_EQ(reg.counter("pfl_test_c_total").value(), 0u);
+  EXPECT_EQ(reg.gauge("pfl_test_g").value(), 0);
+  EXPECT_EQ(reg.gauge("pfl_test_g").peak(), 0);
+  EXPECT_EQ(reg.histogram("pfl_test_h_ns").count(), 0u);
+  std::size_t n = 0;
+  reg.for_each_counter([&](const std::string&, const Counter&) { ++n; });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(MacroTest, MacroCachesOneInstrumentPerName) {
+  Counter& via_macro = PFL_OBS_COUNTER("pfl_test_macro_total");
+  Counter& via_registry = registry().counter("pfl_test_macro_total");
+  EXPECT_EQ(&via_macro, &via_registry);
+  const std::uint64_t before = via_macro.value();
+  PFL_OBS_COUNTER("pfl_test_macro_total").add(3);
+  EXPECT_EQ(via_registry.value(), before + 3);
+}
+
+#else  // PFL_OBS_ENABLED == 0: the stubs observe nothing, cost nothing.
+
+TEST(ObsOffTest, StubsObserveNothing) {
+  Counter c;
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  Gauge g;
+  g.set(5);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  Histogram h;
+  h.record(7);
+  EXPECT_EQ(h.count(), 0u);
+  PFL_OBS_COUNTER("pfl_test_macro_total").add();
+  std::size_t n = 0;
+  registry().for_each_counter([&](const std::string&, const Counter&) { ++n; });
+  EXPECT_EQ(n, 0u);
+}
+
+#endif  // PFL_OBS_ENABLED
+
+TEST(ObsConfigTest, KEnabledMirrorsTheBuildOption) {
+  EXPECT_EQ(kEnabled, PFL_OBS_ENABLED != 0);
+}
+
+}  // namespace
+}  // namespace pfl::obs

@@ -1,0 +1,107 @@
+// Tests for obs/trace.hpp: span capture, enable/disable gating, and the
+// Chrome trace_event JSON exporter. The collector is a process-wide
+// singleton, so each test starts from clear() and leaves tracing
+// disabled.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace pfl::obs {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().disable();
+    TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    TraceCollector::instance().disable();
+    TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  { const Span s("should_not_appear"); }
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, EnabledSpanRecordsOneCompleteEvent) {
+  TraceCollector::instance().enable();
+  { const Span s("unit_span"); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_span");
+  EXPECT_GT(events[0].tid, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansAreOrderedByStart) {
+  TraceCollector::instance().enable();
+  {
+    const Span outer("outer");
+    { const Span inner("inner"); }
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Events sort by start timestamp: outer starts first but closes last.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_GE(events[0].ts_ns + events[0].dur_ns,
+            events[1].ts_ns + events[1].dur_ns);
+}
+
+TEST_F(TraceTest, SpanOpenedBeforeDisableIsNotRecorded) {
+  TraceCollector::instance().enable();
+  {
+    const Span s("cut_short");
+    TraceCollector::instance().disable();
+  }
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, ClearDropsRecordedEvents) {
+  TraceCollector::instance().enable();
+  { const Span s("ephemeral"); }
+  TraceCollector::instance().disable();
+  TraceCollector::instance().clear();
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, ChromeTraceContainsTheEvents) {
+  TraceCollector::instance().enable();
+  { const Span s("exported_span"); }
+  TraceCollector::instance().disable();
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"exported_span\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"pfl-trace/1\""), std::string::npos);
+  // The earliest event is rebased to ts 0; the microsecond values carry
+  // exactly three fractional digits.
+  EXPECT_NE(doc.find("\"ts\":0."), std::string::npos);
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(TraceOffTest, CollectorIsAlwaysEmptyAndDisabled) {
+  TraceCollector::instance().enable();  // no-op
+  { const Span s("invisible"); }
+  EXPECT_FALSE(TraceCollector::instance().enabled());
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs

@@ -47,6 +47,40 @@ TEST(ThreadPoolTest, PostExecutesWithoutFuture) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, StatsCountSubmitAndPost) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 40; ++i)
+    futures.push_back(pool.submit([] {}));
+  std::atomic<int> posted{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < 10; ++i)
+    pool.post([&posted, &m, &cv] {
+      if (posted.fetch_add(1) + 1 == 10) {
+        std::lock_guard lock(m);
+        cv.notify_one();
+      }
+    });
+  for (auto& f : futures) f.get();
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&posted] { return posted.load() == 10; });
+  }
+  pool.shutdown();  // quiesce so executed == enqueued deterministically
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_enqueued, 50u);
+  EXPECT_EQ(stats.tasks_executed, 50u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+  EXPECT_LE(stats.peak_queue_depth, 50u);
+}
+
 TEST(ThreadPoolTest, PostAfterShutdownThrows) {
   ThreadPool pool(2);
   pool.shutdown();

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/square_shell.hpp"
+#include "obs/export.hpp"
 #include "storage/extendible_array.hpp"
 
 namespace pfl::storage {
@@ -51,6 +52,29 @@ TEST(NaiveRemapArrayTest, QuadraticWorkForLinearChanges) {
   // Naive: sum over k of n*k moves ~ n^3/2. PF-backed: zero moves.
   EXPECT_GE(naive.element_moves(), n * n * (n - 1) / 2 / 2);
   EXPECT_EQ(pf_backed.element_moves(), 0ull);
+}
+
+TEST(NaiveRemapArrayTest, CopyCountMatchesClosedFormAndObsCounter) {
+  // Appending a row to an r x c array copies all r*c survivors, so n
+  // appends starting from (1, c) cost c * (1 + 2 + ... + n) moves. The
+  // array's own element_moves() and the pfl_storage_naive_remap_moves
+  // counter must both land exactly on the closed form.
+  const index_t n = 20;
+  const index_t c = 7;
+  const obs::Snapshot before = obs::snapshot();
+  NaiveRemapArray<int> a(1, c);
+  for (index_t i = 0; i < n; ++i) a.append_row();
+  const index_t expected = c * n * (n + 1) / 2;
+  EXPECT_EQ(a.element_moves(), expected);
+  if constexpr (obs::kEnabled) {
+    const obs::Snapshot after = obs::snapshot();
+    EXPECT_EQ(
+        after.counter_delta(before, "pfl_storage_naive_remap_moves_total"),
+        static_cast<std::uint64_t>(expected));
+    EXPECT_EQ(
+        after.counter_delta(before, "pfl_storage_naive_remap_reshapes_total"),
+        static_cast<std::uint64_t>(n));
+  }
 }
 
 TEST(NaiveRemapArrayTest, RemoveEdgeCases) {

@@ -1,0 +1,101 @@
+// Cross-checks the obs instrumentation of the WBC layer against the
+// SimulationReport the simulator computes from its own bookkeeping: the
+// counters are maintained at the TaskServer/FrontEnd level, the report at
+// the simulation level, and both must agree exactly on every total.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "apf/tsharp.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "wbc/simulation.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+SimulationConfig churn_config() {
+  SimulationConfig config;
+  config.initial_volunteers = 30;
+  config.steps = 100;
+  config.arrival_rate = 0.3;
+  config.departure_prob = 0.03;
+  config.audit_rate = 0.5;
+  config.malicious_fraction = 0.10;
+  config.seed = 4242;
+  return config;
+}
+
+#if PFL_OBS_ENABLED
+
+TEST(SimMetricsTest, CountersMatchTheSimulationReportExactly) {
+  const obs::Snapshot before = obs::snapshot();
+  const auto report =
+      run_simulation(std::make_shared<apf::TSharpApf>(), churn_config());
+  const obs::Snapshot after = obs::snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter_delta(before, name);
+  };
+
+  // Exercise every code path the counters sit on.
+  ASSERT_GT(report.audits, 0ull);
+  ASSERT_GT(report.bad_results_caught, 0ull);
+  ASSERT_GT(report.bans, 0ull);
+  ASSERT_GT(report.departures, 0ull);
+  ASSERT_GT(report.recycled_tasks, 0ull);
+
+  EXPECT_EQ(delta("pfl_wbc_tasks_issued_total"), report.tasks_issued);
+  EXPECT_EQ(delta("pfl_wbc_results_submitted_total"), report.results_returned);
+  EXPECT_EQ(delta("pfl_wbc_audits_total"), report.audits);
+  EXPECT_EQ(delta("pfl_wbc_audit_errors_total"), report.bad_results_caught);
+  EXPECT_EQ(delta("pfl_wbc_bans_total"), report.bans);
+  EXPECT_EQ(delta("pfl_wbc_volunteer_arrivals_total"), report.arrivals);
+  EXPECT_EQ(delta("pfl_wbc_tasks_recycled_total"), report.recycled_tasks);
+  // The departures counter also sees ban-forced departures, which the
+  // report books under bans rather than departures.
+  EXPECT_GE(delta("pfl_wbc_volunteer_departures_total"), report.departures);
+  EXPECT_LE(delta("pfl_wbc_volunteer_departures_total"),
+            report.departures + report.bans);
+}
+
+TEST(SimMetricsTest, SimulationEmitsSpansForRunAndSteps) {
+  obs::TraceCollector& collector = obs::TraceCollector::instance();
+  collector.disable();
+  collector.clear();
+  collector.enable();
+  SimulationConfig config = churn_config();
+  config.initial_volunteers = 5;
+  config.steps = 12;
+  run_simulation(std::make_shared<apf::TSharpApf>(), config);
+  collector.disable();
+
+  std::size_t sim_spans = 0;
+  std::size_t step_spans = 0;
+  for (const obs::TraceEvent& e : collector.events()) {
+    if (std::string(e.name) == "wbc_simulation") ++sim_spans;
+    if (std::string(e.name) == "wbc_step") ++step_spans;
+  }
+  EXPECT_EQ(sim_spans, 1u);
+  EXPECT_EQ(step_spans, static_cast<std::size_t>(config.steps));
+
+  std::ostringstream os;
+  collector.write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"name\":\"wbc_step\""), std::string::npos);
+  collector.clear();
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(SimMetricsTest, SimulationRunsCleanWithObsCompiledOut) {
+  const auto report =
+      run_simulation(std::make_shared<apf::TSharpApf>(), churn_config());
+  EXPECT_GT(report.tasks_issued, 0ull);
+  EXPECT_TRUE(obs::snapshot().counters.empty());
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::wbc

@@ -21,7 +21,8 @@ Schema "pfl-bench-baseline/1":
       "pr": "PR2",
       "context": {...google-benchmark context of the first input...},
       "benchmarks": {"<name>": {"real_time_ns": float,
-                                 "items_per_second": float}},
+                                 "items_per_second": float,
+                                 "counters": {"fallback_rate": float, ...}}},
       "derived": {"batch_pair_speedup": {"<pf>": float}, ...},
       "floors": {"batch_pair_speedup": {"<pf>": float}, ...}
     }
@@ -35,10 +36,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 SCHEMA = "pfl-bench-baseline/1"
+
+# User counters the batch benchmarks attach from the obs layer (PR 3):
+# carried verbatim into the baseline so fallback behaviour and effective
+# grain sizes are reviewable alongside the timings.
+OBS_COUNTER_KEY = re.compile(r"^(?:fallback_|grain_|chunks_)")
 
 # derived group -> (numerator prefix, denominator prefix): for every pf
 # name present under both prefixes, derived[group][pf] = items/s ratio.
@@ -76,6 +83,11 @@ def load_runs(paths: list[Path]) -> tuple[dict, dict]:
                 entry["real_time_ns"] *= scale
             if "items_per_second" in bm:
                 entry["items_per_second"] = float(bm["items_per_second"])
+            counters = {k: float(v) for k, v in bm.items()
+                        if OBS_COUNTER_KEY.match(k)
+                        and isinstance(v, (int, float))}
+            if counters:
+                entry["counters"] = dict(sorted(counters.items()))
             if name in benchmarks:
                 raise SystemExit(f"duplicate benchmark '{name}' across inputs")
             benchmarks[name] = entry

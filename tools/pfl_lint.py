@@ -37,6 +37,15 @@ one-based
     Public-facing examples (examples/*.cpp, README.md) must not show
     0-based coordinates: pair(0, ...), unpair(0), at(0, ...), Point{0, ...}.
 
+obs-instrument
+    Instrumented code names metrics ONLY through the PFL_OBS_COUNTER /
+    PFL_OBS_GAUGE / PFL_OBS_HISTOGRAM macros (src/obs/metrics.hpp): direct
+    `.counter("...")`-style registration outside src/obs/ is flagged, and
+    every macro-registered name must follow the naming scheme
+    `pfl_<layer>_<noun>[_<unit>]` (lower-snake, >= 3 segments after the
+    pfl prefix counts as 2+ underscore groups), with counter names ending
+    in `_total`.
+
 Escape hatch
 ------------
     // pfl-lint: allow(rule) -- justification
@@ -61,6 +70,7 @@ RULES = {
     "no-float-unpair",
     "no-naked-cast",
     "one-based",
+    "obs-instrument",
 }
 
 # Function names whose bodies compute addresses and therefore fall under
@@ -112,6 +122,12 @@ NAKED_C_CAST = re.compile(
 ZERO_COORD = re.compile(
     r"\b(?:pair|unpair|at|get|contains)\s*\(\s*0\s*[,)]|Point\s*\{\s*0\b"
 )
+
+# Direct instrument registration (blanked strings keep their quotes, so
+# this matches on code_lines without tripping over comments).
+OBS_DIRECT_CALL = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\"")
+OBS_MACRO = re.compile(r"PFL_OBS_(COUNTER|GAUGE|HISTOGRAM)\s*\(\s*\"([^\"]*)\"")
+OBS_NAME = re.compile(r"^pfl(?:_[a-z0-9]+){2,}$")
 
 ALLOW_DIRECTIVE = re.compile(r"pfl-lint:\s*allow\(([^)]*)\)\s*(.*)")
 
@@ -404,6 +420,37 @@ def check_one_based(ft: FileText, out: list[Violation]) -> None:
             "library domain is N = {1, 2, ...}", raw.strip()))
 
 
+def check_obs_instrument(ft: FileText, out: list[Violation]) -> None:
+    in_obs_layer = ft.rel.startswith("src/obs/")
+    for ln, code in enumerate(ft.code_lines):
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        if not in_obs_layer and OBS_DIRECT_CALL.search(code):
+            if not allowed(ft, ln, "obs-instrument"):
+                out.append(Violation(
+                    ft.rel, ln + 1, "obs-instrument",
+                    "direct instrument registration -- use PFL_OBS_COUNTER/"
+                    "PFL_OBS_GAUGE/PFL_OBS_HISTOGRAM so names stay lintable "
+                    "and the OFF build stubs the call site", raw.strip()))
+                continue
+        if "PFL_OBS_" not in code:
+            continue
+        for m in OBS_MACRO.finditer(raw):
+            kind, name = m.group(1), m.group(2)
+            if allowed(ft, ln, "obs-instrument"):
+                break
+            if not OBS_NAME.match(name):
+                out.append(Violation(
+                    ft.rel, ln + 1, "obs-instrument",
+                    f"instrument name '{name}' violates the scheme "
+                    "pfl_<layer>_<noun>[_<unit>] (lower-snake, >= 3 "
+                    "segments)", raw.strip()))
+            elif kind == "COUNTER" and not name.endswith("_total"):
+                out.append(Violation(
+                    ft.rel, ln + 1, "obs-instrument",
+                    f"counter name '{name}' must end in _total",
+                    raw.strip()))
+
+
 def main(argv: list[str]) -> int:
     if len(argv) > 1 and argv[1] in ("-h", "--help"):
         print(__doc__)
@@ -423,6 +470,7 @@ def main(argv: list[str]) -> int:
         check_checked_arith(ft, violations)
         check_no_float_unpair(ft, violations)
         check_no_naked_cast(ft, violations)
+        check_obs_instrument(ft, violations)
 
     example_files = sorted((root / "examples").glob("*.cpp"))
     readme = root / "README.md"

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""trace_report -- validate and summarize pfl Chrome trace files.
+
+The obs layer (src/obs/trace.hpp) exports spans in the Chrome trace_event
+"JSON Object Format": {"traceEvents": [{"ph": "X", ...}, ...]}, loadable
+in about://tracing or https://ui.perfetto.dev. This tool checks that a
+file written by TraceCollector::write_chrome_trace is structurally valid
+(CI gates on it) and prints a per-span-name summary.
+
+Usage:
+    trace_report.py TRACE.json            validate + print summary table
+    trace_report.py --check TRACE.json    validate only, quiet on success
+
+Validation rules:
+  * top level is an object with a "traceEvents" list
+  * every event is a complete event: ph == "X", name a non-empty string,
+    ts/dur non-negative numbers, pid/tid integers
+  * the event list is sorted by ts (the exporter guarantees it)
+  * when "otherData"."schema" is present it must be "pfl-trace/1"
+
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"trace_report: INVALID: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def validate(doc: object) -> list[dict]:
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing or non-list "traceEvents"')
+    other = doc.get("otherData", {})
+    if isinstance(other, dict):
+        schema = other.get("schema")
+        if schema is not None and schema != "pfl-trace/1":
+            fail(f"unexpected schema {schema!r} (want 'pfl-trace/1')")
+    prev_ts = None
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        if ev.get("ph") != "X":
+            fail(f"{where}: ph is {ev.get('ph')!r}, want 'X' (complete)")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: name must be a non-empty string")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                fail(f"{where}: {key} must be a non-negative number, got {v!r}")
+        for key in ("pid", "tid"):
+            v = ev.get(key)
+            if not isinstance(v, int) or isinstance(v, bool):
+                fail(f"{where}: {key} must be an integer, got {v!r}")
+        ts = float(ev["ts"])
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"{where}: ts {ts} out of order (previous {prev_ts})")
+        prev_ts = ts
+    return events
+
+
+def summarize(events: list[dict]) -> None:
+    if not events:
+        print("trace_report: valid, 0 events")
+        return
+    by_name: dict[str, list[float]] = defaultdict(list)
+    tids = set()
+    for ev in events:
+        by_name[ev["name"]].append(float(ev["dur"]))
+        tids.add(ev["tid"])
+    span_us = max(float(e["ts"]) + float(e["dur"]) for e in events)
+    print(f"trace_report: valid, {len(events)} events, "
+          f"{len(by_name)} span names, {len(tids)} threads, "
+          f"{span_us / 1000.0:.3f} ms wall span")
+    header = f"{'span':<28} {'count':>8} {'total_ms':>10} " \
+             f"{'mean_us':>10} {'max_us':>10}"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = by_name[name]
+        total = sum(durs)
+        print(f"{name:<28} {len(durs):>8} {total / 1000.0:>10.3f} "
+              f"{total / len(durs):>10.3f} {max(durs):>10.3f}")
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    check_only = False
+    if args and args[0] == "--check":
+        check_only = True
+        args = args[1:]
+    if len(args) != 1 or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if args and args[0] in ("-h", "--help") else 2
+    path = Path(args[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as e:
+        print(f"trace_report: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"trace_report: INVALID: {path} is not JSON: {e}",
+              file=sys.stderr)
+        return 1
+    events = validate(doc)
+    if check_only:
+        print(f"trace_report: {path} OK ({len(events)} events)")
+    else:
+        summarize(events)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
