@@ -1,0 +1,89 @@
+// Chaos smoke driver: the fault-tolerance acceptance check, runnable.
+//
+// For every seed in a sweep, runs the WBC simulation with EVERY fault
+// injector enabled (stalls, duplicate submissions, never-issued indices,
+// post-ban zombies) and verifies the two invariants the runtime promises:
+//
+//   1. misattributions == 0 -- no audited-bad result is ever pinned on a
+//      volunteer who did not compute the stored value, no matter what
+//      chaos the clients throw at the server;
+//   2. crash equivalence -- checkpointing at step k, discarding the live
+//      front end, and restoring from the snapshot ends in EXACTLY the
+//      report of the run that never crashed.
+//
+// Exits nonzero on the first violation (CI runs this under ASan/UBSan).
+//
+//   $ ./build/examples/chaos_demo            # default sweep: seeds 1..6
+//   $ ./build/examples/chaos_demo 12         # wider sweep
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "apf/tsharp.hpp"
+#include "wbc/simulation.hpp"
+
+namespace {
+
+pfl::wbc::SimulationConfig chaos_config(std::uint64_t seed) {
+  pfl::wbc::SimulationConfig config;
+  config.initial_volunteers = 24;
+  config.steps = 60;
+  config.seed = seed;
+  config.lease.base_deadline_ticks = 4;  // short leases keep the sweep busy
+  config.lease.quarantine_after = 3;
+  config.faults.stall_prob = 0.08;
+  config.faults.stall_ticks = 12;
+  config.faults.duplicate_prob = 0.10;
+  config.faults.unknown_task_prob = 0.10;
+  config.faults.zombie_prob = 0.25;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfl;
+  using namespace pfl::wbc;
+
+  const std::uint64_t seeds =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
+  const auto apf = std::make_shared<apf::TSharpApf>();
+  int violations = 0;
+
+  std::printf("chaos sweep: %llu seeds, all fault injectors on\n\n",
+              static_cast<unsigned long long>(seeds));
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SimulationConfig config = chaos_config(seed);
+    const SimulationReport baseline = run_simulation(apf, config);
+
+    // Crash mid-run, restore from the checkpoint, run to completion.
+    config.faults.crash_at_step = config.steps / 2;
+    SimulationReport crashed = run_simulation(apf, config);
+
+    const bool attributed = baseline.misattributions == 0 &&
+                            crashed.misattributions == 0;
+    crashed.crashes = 0;  // the only field allowed to differ
+    const bool equivalent = crashed == baseline;
+    if (!attributed || !equivalent) ++violations;
+
+    std::printf(
+        "seed %2llu: results=%llu expired=%llu late=%llu rejected=%llu "
+        "quarantines=%llu bans=%llu | attribution %s, crash-equivalence %s\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(baseline.results_returned),
+        static_cast<unsigned long long>(baseline.leases_expired),
+        static_cast<unsigned long long>(baseline.late_results),
+        static_cast<unsigned long long>(baseline.rejected_submissions),
+        static_cast<unsigned long long>(baseline.quarantines),
+        static_cast<unsigned long long>(baseline.bans),
+        attributed ? "OK" : "VIOLATED", equivalent ? "OK" : "VIOLATED");
+  }
+
+  if (violations != 0) {
+    std::printf("\n%d seed(s) violated a fault-tolerance invariant\n",
+                violations);
+    return 1;
+  }
+  std::printf("\nall seeds: misattributions == 0 and crash-equivalent\n");
+  return 0;
+}

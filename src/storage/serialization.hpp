@@ -1,11 +1,17 @@
 // Persistence for PF-addressed extendible arrays.
 //
-// The serialized form is a small text header (magic, version, mapping
-// name, shape) followed by one `x y value` line per WRITTEN cell, in
-// row-major order. Addresses are deliberately NOT stored: on load the
-// cells are re-paired through the array's own mapping, so a snapshot taken
-// with one PF can be restored through a different PF -- a storage-map
-// migration, which the address-based layout of a naive dump would forbid.
+// Format v2 wraps the cell list in the shared checksummed snapshot
+// framing (storage/snapshot.hpp): a header with kind, version, payload
+// length and a CRC-64 trailer field, so truncation or a single flipped
+// bit anywhere is *rejected* on load instead of silently misloading.
+// The payload is the familiar text body -- mapping name, shape line, one
+// `x y value` line per WRITTEN cell in row-major order. Format v1 (bare
+// header, no integrity checking) is still loaded for old snapshots.
+//
+// Addresses are deliberately NOT stored: on load the cells are re-paired
+// through the array's own mapping, so a snapshot taken with one PF can be
+// restored through a different PF -- a storage-map migration, which the
+// address-based layout of a naive dump would forbid.
 //
 // Values must round-trip through operator<< / operator>> (numeric types
 // and std::string without spaces do; provide your own overloads
@@ -16,37 +22,26 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "storage/extendible_array.hpp"
+#include "storage/snapshot.hpp"
 
 namespace pfl::storage {
 
+/// v1 magic (legacy, still loadable); v2 snapshots use kSnapshotMagic.
 inline constexpr const char* kArrayMagic = "pfl-extendible-array";
-inline constexpr int kArrayFormatVersion = 1;
+inline constexpr const char* kArrayKind = "extendible-array";
+inline constexpr int kArrayFormatVersion = 2;
 
-/// Writes the array (shape + written cells) to `out`.
-template <class T>
-void save_array(std::ostream& out, const ExtendibleArray<T>& array) {
-  out << kArrayMagic << ' ' << kArrayFormatVersion << '\n';
-  out << array.mapping().name() << '\n';
-  out << array.rows() << ' ' << array.cols() << ' ' << array.stored() << '\n';
-  array.for_each([&out](index_t x, index_t y, const T& value) {
-    out << x << ' ' << y << ' ' << value << '\n';
-  });
-  if (!out) throw Error("save_array: stream write failed");
-}
+namespace detail {
 
-/// Restores a snapshot into a fresh array addressed by `pf` (which may
-/// differ from the mapping used at save time -- the cells migrate).
+/// Shared body parser for v1 and v2 payloads. `strict` (v2) demands the
+/// declared cell count matches the body exactly -- a lying count or
+/// trailing garbage is rejected; v1 keeps its historical leniency of
+/// ignoring bytes past the declared cells.
 template <class T>
-ExtendibleArray<T> load_array(std::istream& in, PfPtr pf) {
-  std::string magic;
-  int version = 0;
-  if (!(in >> magic >> version) || magic != kArrayMagic)
-    throw DomainError("load_array: not a pfl array snapshot");
-  if (version != kArrayFormatVersion)
-    throw DomainError("load_array: unsupported format version " +
-                      std::to_string(version));
+ExtendibleArray<T> parse_array_body(std::istream& in, PfPtr pf, bool strict) {
   std::string saved_mapping;
   in >> saved_mapping;
   index_t rows = 0, cols = 0;
@@ -63,7 +58,63 @@ ExtendibleArray<T> load_array(std::istream& in, PfPtr pf) {
                         std::to_string(i) + ")");
     array.at(x, y) = std::move(value);  // bounds-checked by the array
   }
+  if (strict) {
+    std::string trailing;
+    if (in >> trailing)
+      throw DomainError("load_array: snapshot declares " +
+                        std::to_string(cells) +
+                        " cells but carries more (lying cell count)");
+  }
   return array;
+}
+
+}  // namespace detail
+
+/// Writes the array (shape + written cells) to `out` in format v2:
+/// checksummed framing around the text body.
+template <class T>
+void save_array(std::ostream& out, const ExtendibleArray<T>& array) {
+  std::ostringstream payload;
+  payload << array.mapping().name() << '\n';
+  payload << array.rows() << ' ' << array.cols() << ' ' << array.stored()
+          << '\n';
+  array.for_each([&payload](index_t x, index_t y, const T& value) {
+    payload << x << ' ' << y << ' ' << value << '\n';
+  });
+  write_snapshot(out, kArrayKind, kArrayFormatVersion, payload.str());
+  if (!out) throw Error("save_array: stream write failed");
+}
+
+/// Restores a snapshot into a fresh array addressed by `pf` (which may
+/// differ from the mapping used at save time -- the cells migrate).
+/// Accepts checksummed v2 snapshots and legacy v1 ones; any damaged v2
+/// file (truncation, bit flip, lying cell count) throws DomainError
+/// before a single cell is applied to shared state.
+template <class T>
+ExtendibleArray<T> load_array(std::istream& in, PfPtr pf) {
+  std::string magic;
+  if (!(in >> magic))
+    throw DomainError("load_array: not a pfl array snapshot");
+  if (magic == kArrayMagic) {  // legacy v1: bare header, no checksum
+    int version = 0;
+    if (!(in >> version))
+      throw DomainError("load_array: not a pfl array snapshot");
+    if (version != 1)
+      throw DomainError("load_array: unsupported format version " +
+                        std::to_string(version));
+    return detail::parse_array_body<T>(in, std::move(pf), /*strict=*/false);
+  }
+  if (magic != kSnapshotMagic)
+    throw DomainError("load_array: not a pfl array snapshot");
+  Snapshot snap = detail::read_snapshot_after_magic(in);
+  if (snap.kind != kArrayKind)
+    throw DomainError("load_array: snapshot kind '" + snap.kind +
+                      "' is not an extendible array");
+  if (snap.version != kArrayFormatVersion)
+    throw DomainError("load_array: unsupported format version " +
+                      std::to_string(snap.version));
+  std::istringstream body(std::move(snap.payload));
+  return detail::parse_array_body<T>(body, std::move(pf), /*strict=*/true);
 }
 
 /// Round-trip helpers via strings (testing / small snapshots).

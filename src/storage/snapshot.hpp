@@ -1,0 +1,224 @@
+// Crash-consistent snapshot framing shared by every on-disk format in the
+// library (storage/serialization.hpp format v2, the WBC runtime's
+// checkpoint()/restore() -- see wbc/checkpoint.cpp).
+//
+// A framed snapshot is a single header line followed by the raw payload:
+//
+//     pfl-snapshot <kind> <version> <payload-bytes> <crc64-hex16>\n
+//     <payload bytes, exactly payload-bytes of them>
+//
+// The header carries everything needed to reject a damaged file BEFORE any
+// of it is applied: a truncated payload fails the length check, and a
+// single flipped bit anywhere -- header or payload -- fails either token
+// parsing or the CRC-64 check. Readers therefore either return the intact
+// payload or throw DomainError; a torn write can never be half-loaded.
+//
+// Inside a payload, `SectionWriter` / `SectionReader` provide named,
+// length-checked sections ("section <name> <bytes>\n<bytes>\n") so
+// multi-part states (the WBC front end nests a whole TaskServer snapshot)
+// are framed and ordered explicitly instead of relying on stream luck.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace pfl::storage {
+
+inline constexpr const char* kSnapshotMagic = "pfl-snapshot";
+
+/// ECMA-182 polynomial, MSB-first. The CRC does not need to match any
+/// external tool -- it only needs to disagree with itself after damage.
+inline constexpr std::uint64_t kCrc64Poly = 0x42F0E1EBA9EA3693ull;
+
+/// CRC-64 over `data`, continuing from `crc` (0 to start a fresh digest).
+inline std::uint64_t crc64(std::string_view data, std::uint64_t crc = 0) {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (std::size_t b = 0; b < t.size(); ++b) {
+      std::uint64_t r = static_cast<std::uint64_t>(b) << 56;
+      for (int i = 0; i < 8; ++i)
+        r = (r & (std::uint64_t{1} << 63)) ? (r << 1) ^ kCrc64Poly : r << 1;
+      t[b] = r;
+    }
+    return t;
+  }();
+  for (const char ch : data) {
+    const auto byte = static_cast<unsigned char>(ch);
+    crc = (crc << 8) ^ table[static_cast<unsigned char>(crc >> 56) ^ byte];
+  }
+  return crc;
+}
+
+namespace detail {
+
+/// Fixed-width lowercase hex so the header has one canonical spelling.
+inline std::string crc_hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+inline std::uint64_t parse_crc_hex16(const std::string& hex) {
+  if (hex.size() != 16)
+    throw DomainError("snapshot: malformed crc64 field");
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else throw DomainError("snapshot: malformed crc64 field");
+  }
+  return v;
+}
+
+/// Declared payload sizes above this are rejected as corruption rather
+/// than attempted (a flipped length byte must not trigger a huge alloc).
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 31;
+
+}  // namespace detail
+
+/// A verified snapshot: kind + version from the header, intact payload.
+struct Snapshot {
+  std::string kind;
+  int version = 0;
+  std::string payload;
+};
+
+/// Writes one framed snapshot. The payload may contain arbitrary bytes.
+inline void write_snapshot(std::ostream& out, std::string_view kind,
+                           int version, std::string_view payload) {
+  out << kSnapshotMagic << ' ' << kind << ' ' << version << ' '
+      << payload.size() << ' ' << detail::crc_hex16(crc64(payload)) << '\n';
+  out.write(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) throw Error("write_snapshot: stream write failed");
+}
+
+namespace detail {
+
+/// Header-then-payload read, assuming the magic token was already
+/// consumed (load_array peeks it to dispatch legacy formats).
+inline Snapshot read_snapshot_after_magic(std::istream& in) {
+  Snapshot snap;
+  std::string version_token, size_token, crc_token;
+  if (!(in >> snap.kind >> version_token >> size_token >> crc_token))
+    throw DomainError("snapshot: truncated header");
+  try {
+    std::size_t pos = 0;
+    snap.version = std::stoi(version_token, &pos);
+    if (pos != version_token.size()) throw std::invalid_argument("trail");
+    pos = 0;
+    const unsigned long long bytes = std::stoull(size_token, &pos);
+    if (pos != size_token.size()) throw std::invalid_argument("trail");
+    if (bytes > kMaxPayloadBytes)
+      throw DomainError("snapshot: implausible payload length " + size_token);
+    snap.payload.resize(static_cast<std::size_t>(bytes));
+  } catch (const DomainError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw DomainError("snapshot: malformed header numerals");
+  }
+  if (in.get() != '\n')
+    throw DomainError("snapshot: malformed header terminator");
+  in.read(snap.payload.data(),
+          static_cast<std::streamsize>(snap.payload.size()));
+  if (static_cast<std::size_t>(in.gcount()) != snap.payload.size())
+    throw DomainError("snapshot: truncated payload (declared " +
+                      std::to_string(snap.payload.size()) + " bytes, got " +
+                      std::to_string(in.gcount()) + ")");
+  const std::uint64_t expected = parse_crc_hex16(crc_token);
+  const std::uint64_t actual = crc64(snap.payload);
+  if (expected != actual)
+    throw DomainError("snapshot: crc64 mismatch (corrupt or torn write)");
+  return snap;
+}
+
+}  // namespace detail
+
+/// Reads and verifies one framed snapshot; throws DomainError on any
+/// damage (wrong magic, truncation, bit flips) without partial effects.
+inline Snapshot read_snapshot(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kSnapshotMagic)
+    throw DomainError("snapshot: missing pfl-snapshot magic");
+  return detail::read_snapshot_after_magic(in);
+}
+
+/// Convenience: read + check kind and version in one call.
+inline std::string read_snapshot_payload(std::istream& in,
+                                         std::string_view kind, int version) {
+  Snapshot snap = read_snapshot(in);
+  if (snap.kind != kind)
+    throw DomainError("snapshot: expected kind '" + std::string(kind) +
+                      "', found '" + snap.kind + "'");
+  if (snap.version != version)
+    throw DomainError("snapshot: unsupported " + snap.kind + " version " +
+                      std::to_string(snap.version));
+  return std::move(snap.payload);
+}
+
+/// Accumulates named, length-checked sections into a payload string.
+class SectionWriter {
+ public:
+  void add(std::string_view name, std::string_view body) {
+    out_ << "section " << name << ' ' << body.size() << '\n';
+    out_.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out_ << '\n';
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+/// Reads sections back in writer order; any deviation (missing section,
+/// wrong name, short body) is a DomainError.
+class SectionReader {
+ public:
+  explicit SectionReader(std::string payload) : in_(std::move(payload)) {}
+
+  /// Returns the body of the next section, which must be named `name`.
+  std::string expect(std::string_view name) {
+    std::string tag, found;
+    std::size_t bytes = 0;
+    if (!(in_ >> tag >> found >> bytes) || tag != "section")
+      throw DomainError("snapshot: missing section '" + std::string(name) +
+                        "'");
+    if (found != name)
+      throw DomainError("snapshot: expected section '" + std::string(name) +
+                        "', found '" + found + "'");
+    if (in_.get() != '\n')
+      throw DomainError("snapshot: malformed section header");
+    std::string body(bytes, '\0');
+    in_.read(body.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(in_.gcount()) != bytes)
+      throw DomainError("snapshot: truncated section '" + std::string(name) +
+                        "'");
+    if (in_.get() != '\n')
+      throw DomainError("snapshot: section '" + std::string(name) +
+                        "' length lies about its body");
+    return body;
+  }
+
+  /// True when every section has been consumed (trailing bytes are damage).
+  bool exhausted() {
+    return in_.peek() == std::istringstream::traits_type::eof();
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace pfl::storage

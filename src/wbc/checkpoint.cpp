@@ -1,0 +1,667 @@
+// Crash-consistent checkpoint/restore for the WBC runtime.
+//
+// Every stateful server in the subsystem -- TaskServer, FrontEnd,
+// ReplicatedServer -- serializes to ONE framed snapshot in the shared
+// storage/snapshot.hpp format: a header carrying kind, version, payload
+// length and a CRC-64 trailer, then named length-checked sections. The
+// reader verifies the whole frame before touching any state, so a torn
+// write (truncation, a flipped bit anywhere) throws DomainError and the
+// caller keeps whatever it had; a snapshot is never half-applied.
+//
+// Determinism contract: restore(checkpoint(S)) must reproduce S exactly
+// enough that continuing a simulation from the restored state yields the
+// SAME SimulationReport as never crashing (the crash-equivalence property
+// the fault-injection tests assert). Unordered containers are therefore
+// written in sorted key order, the recycle queue and open-order deque
+// keep their insertion order, volunteer speeds round-trip bit-exactly via
+// std::bit_cast, and the speed-ordered index is rebuilt from the active
+// set instead of being stored.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "storage/snapshot.hpp"
+#include "wbc/frontend.hpp"
+#include "wbc/replication.hpp"
+#include "wbc/server.hpp"
+
+namespace pfl::wbc {
+
+namespace {
+
+constexpr const char* kTaskServerKind = "wbc-task-server";
+constexpr const char* kFrontEndKind = "wbc-front-end";
+constexpr const char* kReplicatedKind = "wbc-replicated-server";
+constexpr int kCheckpointVersion = 1;
+
+using storage::SectionReader;
+using storage::SectionWriter;
+
+index_t read_index(std::istream& in, const char* what) {
+  index_t v = 0;
+  if (!(in >> v))
+    throw DomainError(std::string("wbc restore: truncated ") + what);
+  return v;
+}
+
+/// Sections are length-framed, so leftover tokens mean the writer and
+/// reader disagree about the format -- refuse rather than guess.
+void expect_done(std::istream& in, const char* section) {
+  std::string trailing;
+  if (in >> trailing)
+    throw DomainError(std::string("wbc restore: trailing data in section '") +
+                      section + "'");
+}
+
+template <class Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Wraps the obs bookkeeping every checkpoint writer shares: a count, the
+/// payload size, and (only when the obs layer is compiled in) a duration.
+class CheckpointTimer {
+ public:
+  CheckpointTimer() {
+    if constexpr (obs::kEnabled) t0_ = std::chrono::steady_clock::now();
+  }
+
+  void finish(std::size_t payload_bytes) const {
+    PFL_OBS_COUNTER("pfl_wbc_checkpoints_total").add();
+    PFL_OBS_HISTOGRAM("pfl_wbc_checkpoint_bytes").record(payload_bytes);
+    if constexpr (obs::kEnabled) {
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      PFL_OBS_HISTOGRAM("pfl_wbc_checkpoint_duration_ns")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                  .count()));
+    }
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskServer
+// ---------------------------------------------------------------------------
+
+void TaskServer::checkpoint(std::ostream& out) const {
+  const CheckpointTimer timer;
+  SectionWriter sections;
+  {
+    std::ostringstream body;
+    body << apf_->name() << '\n';
+    body << ban_threshold_ << ' ' << next_row_ << ' ' << max_task_ << ' '
+         << total_issued_ << ' ' << total_results_ << '\n';
+    sections.add("config", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << rows_.size() << '\n';
+    for (const RowIndex row : sorted_keys(rows_)) {
+      const RowState& state = rows_.at(row);
+      std::vector<index_t> outstanding(state.outstanding.begin(),
+                                       state.outstanding.end());
+      std::sort(outstanding.begin(), outstanding.end());
+      body << row << ' ' << state.issued << ' ' << state.errors << ' '
+           << outstanding.size();
+      for (const index_t seq : outstanding) body << ' ' << seq;
+      body << '\n';
+    }
+    sections.add("rows", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << results_.size() << '\n';
+    for (const TaskIndex task : sorted_keys(results_))
+      body << task << ' ' << results_.at(task) << '\n';
+    sections.add("results", body.str());
+  }
+  {
+    std::ostringstream body;
+    std::vector<RowIndex> rows(banned_.begin(), banned_.end());
+    std::sort(rows.begin(), rows.end());
+    body << rows.size() << '\n';
+    for (const RowIndex row : rows) body << row << '\n';
+    sections.add("banned", body.str());
+  }
+  const std::string payload = sections.str();
+  storage::write_snapshot(out, kTaskServerKind, kCheckpointVersion, payload);
+  timer.finish(payload.size());
+}
+
+TaskServer TaskServer::restore(std::istream& in, apf::ApfPtr apf) {
+  if (!apf) throw DomainError("TaskServer::restore: null allocation function");
+  SectionReader sections(
+      storage::read_snapshot_payload(in, kTaskServerKind, kCheckpointVersion));
+  std::istringstream config(sections.expect("config"));
+  std::string name;
+  config >> name;
+  if (name != apf->name())
+    throw DomainError("TaskServer::restore: snapshot was taken under APF '" +
+                      name + "', cannot restore under '" + apf->name() + "'");
+  TaskServer server(std::move(apf), read_index(config, "ban threshold"));
+  server.next_row_ = read_index(config, "next row");
+  server.max_task_ = read_index(config, "max task index");
+  server.total_issued_ = read_index(config, "total issued");
+  server.total_results_ = read_index(config, "total results");
+  expect_done(config, "config");
+
+  std::istringstream rows(sections.expect("rows"));
+  const index_t n_rows = read_index(rows, "row count");
+  for (index_t i = 0; i < n_rows; ++i) {
+    const RowIndex row = read_index(rows, "row index");
+    RowState state;
+    state.issued = read_index(rows, "row issued");
+    state.errors = read_index(rows, "row errors");
+    const index_t n_outstanding = read_index(rows, "outstanding count");
+    for (index_t j = 0; j < n_outstanding; ++j)
+      state.outstanding.insert(read_index(rows, "outstanding sequence"));
+    server.rows_.emplace(row, std::move(state));
+  }
+  expect_done(rows, "rows");
+
+  std::istringstream results(sections.expect("results"));
+  const index_t n_results = read_index(results, "result count");
+  for (index_t i = 0; i < n_results; ++i) {
+    const TaskIndex task = read_index(results, "result task");
+    server.results_.emplace(task, read_index(results, "result value"));
+  }
+  expect_done(results, "results");
+
+  std::istringstream banned(sections.expect("banned"));
+  const index_t n_banned = read_index(banned, "ban count");
+  for (index_t i = 0; i < n_banned; ++i)
+    server.banned_.insert(read_index(banned, "banned row"));
+  expect_done(banned, "banned");
+
+  if (!sections.exhausted())
+    throw DomainError("TaskServer::restore: unexpected trailing sections");
+  PFL_OBS_COUNTER("pfl_wbc_restores_total").add();
+  return server;
+}
+
+// ---------------------------------------------------------------------------
+// FrontEnd
+// ---------------------------------------------------------------------------
+
+void FrontEnd::checkpoint(std::ostream& out) const {
+  const CheckpointTimer timer;
+  SectionWriter sections;
+  {
+    std::ostringstream body;
+    body << apf_->name() << ' '
+         << (policy_ == AssignmentPolicy::kSpeedOrdered ? 1 : 0) << ' '
+         << ban_threshold_ << '\n';
+    sections.add("config", body.str());
+  }
+  {
+    // The inner TaskServer nests as a complete framed snapshot of its
+    // own -- its integrity is checked twice (inner CRC and outer CRC).
+    std::ostringstream body;
+    server_.checkpoint(body);
+    sections.add("server", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << active_.size() << '\n';
+    for (const VolunteerId id : sorted_keys(active_)) {
+      const ActiveVolunteer& v = active_.at(id);
+      body << id << ' ' << v.row << ' '
+           << std::bit_cast<std::uint64_t>(v.speed) << '\n';
+    }
+    sections.add("volunteers", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << epochs_.size() << '\n';
+    for (const RowIndex row : sorted_keys(epochs_)) {
+      const auto& list = epochs_.at(row);
+      body << row << ' ' << list.size();
+      for (const Epoch& e : list)
+        body << ' ' << e.volunteer << ' ' << e.first_seq << ' ' << e.last_seq;
+      body << '\n';
+    }
+    sections.add("epochs", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << free_rows_.size() << '\n';
+    for (const RowIndex row : free_rows_) body << row << '\n';
+    sections.add("free-rows", body.str());
+  }
+  {
+    // Order matters: the queue is drained back-to-front.
+    std::ostringstream body;
+    body << recycle_.size() << '\n';
+    for (const TaskIndex task : recycle_) body << task << '\n';
+    sections.add("recycle", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << reissued_to_.size() << '\n';
+    for (const TaskIndex task : sorted_keys(reissued_to_))
+      body << task << ' ' << reissued_to_.at(task) << '\n';
+    sections.add("reissued", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << held_reissues_.size() << '\n';
+    for (const VolunteerId id : sorted_keys(held_reissues_)) {
+      const auto& tasks = held_reissues_.at(id);
+      body << id << ' ' << tasks.size();
+      for (const TaskIndex task : tasks) body << ' ' << task;
+      body << '\n';
+    }
+    sections.add("held-reissues", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << rows_touched_.size() << '\n';
+    for (const VolunteerId id : sorted_keys(rows_touched_)) {
+      const auto& rows = rows_touched_.at(id);
+      body << id << ' ' << rows.size();
+      for (const RowIndex row : rows) body << ' ' << row;
+      body << '\n';
+    }
+    sections.add("rows-touched", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << errors_.size() << '\n';
+    for (const VolunteerId id : sorted_keys(errors_))
+      body << id << ' ' << errors_.at(id) << '\n';
+    sections.add("errors", body.str());
+  }
+  {
+    std::ostringstream body;
+    std::vector<VolunteerId> ids(banned_.begin(), banned_.end());
+    std::sort(ids.begin(), ids.end());
+    body << ids.size() << '\n';
+    for (const VolunteerId id : ids) body << id << '\n';
+    sections.add("banned", body.str());
+  }
+  {
+    std::ostringstream body;
+    leases_.encode(body);
+    sections.add("leases", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << expired_.size() << '\n';
+    for (const auto& [task, id] : expired_) body << task << ' ' << id << '\n';
+    sections.add("expired", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << superseded_.size() << '\n';
+    for (const auto& [task, id] : superseded_)
+      body << task << ' ' << id << '\n';
+    sections.add("superseded", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << rebinds_ << ' ' << leases_expired_ << ' ' << late_results_ << ' '
+         << expired_reissues_ << ' ' << rejected_submissions_ << ' '
+         << quarantines_ << '\n';
+    sections.add("counters", body.str());
+  }
+  const std::string payload = sections.str();
+  storage::write_snapshot(out, kFrontEndKind, kCheckpointVersion, payload);
+  timer.finish(payload.size());
+}
+
+FrontEnd FrontEnd::restore(std::istream& in, apf::ApfPtr apf) {
+  if (!apf) throw DomainError("FrontEnd::restore: null allocation function");
+  SectionReader sections(
+      storage::read_snapshot_payload(in, kFrontEndKind, kCheckpointVersion));
+  std::istringstream config(sections.expect("config"));
+  std::string name;
+  config >> name;
+  if (name != apf->name())
+    throw DomainError("FrontEnd::restore: snapshot was taken under APF '" +
+                      name + "', cannot restore under '" + apf->name() + "'");
+  const index_t policy_flag = read_index(config, "policy");
+  const index_t ban_threshold = read_index(config, "ban threshold");
+  expect_done(config, "config");
+  FrontEnd fe(apf,
+              policy_flag != 0 ? AssignmentPolicy::kSpeedOrdered
+                               : AssignmentPolicy::kFirstFree,
+              ban_threshold);
+
+  std::istringstream server_blob(sections.expect("server"));
+  fe.server_ = TaskServer::restore(server_blob, std::move(apf));
+
+  std::istringstream volunteers(sections.expect("volunteers"));
+  const index_t n_active = read_index(volunteers, "volunteer count");
+  for (index_t i = 0; i < n_active; ++i) {
+    const VolunteerId id = read_index(volunteers, "volunteer id");
+    ActiveVolunteer v;
+    v.row = read_index(volunteers, "volunteer row");
+    v.speed = std::bit_cast<double>(read_index(volunteers, "volunteer speed"));
+    fe.active_.emplace(id, v);
+    if (fe.policy_ == AssignmentPolicy::kSpeedOrdered)
+      fe.by_speed_.emplace(SpeedKey{v.speed, id}, id);
+  }
+  expect_done(volunteers, "volunteers");
+
+  std::istringstream epochs(sections.expect("epochs"));
+  const index_t n_epoch_rows = read_index(epochs, "epoch row count");
+  for (index_t i = 0; i < n_epoch_rows; ++i) {
+    const RowIndex row = read_index(epochs, "epoch row");
+    const index_t n = read_index(epochs, "epoch count");
+    auto& list = fe.epochs_[row];
+    for (index_t j = 0; j < n; ++j) {
+      Epoch e;
+      e.volunteer = read_index(epochs, "epoch volunteer");
+      e.first_seq = read_index(epochs, "epoch first sequence");
+      e.last_seq = read_index(epochs, "epoch last sequence");
+      list.push_back(e);
+    }
+  }
+  expect_done(epochs, "epochs");
+
+  std::istringstream free_rows(sections.expect("free-rows"));
+  const index_t n_free = read_index(free_rows, "free-row count");
+  for (index_t i = 0; i < n_free; ++i)
+    fe.free_rows_.insert(read_index(free_rows, "free row"));
+  expect_done(free_rows, "free-rows");
+
+  std::istringstream recycle(sections.expect("recycle"));
+  const index_t n_recycle = read_index(recycle, "recycle count");
+  for (index_t i = 0; i < n_recycle; ++i)
+    fe.recycle_.push_back(read_index(recycle, "recycled task"));
+  expect_done(recycle, "recycle");
+
+  std::istringstream reissued(sections.expect("reissued"));
+  const index_t n_reissued = read_index(reissued, "reissue count");
+  for (index_t i = 0; i < n_reissued; ++i) {
+    const TaskIndex task = read_index(reissued, "reissued task");
+    fe.reissued_to_.emplace(task, read_index(reissued, "reissue holder"));
+  }
+  expect_done(reissued, "reissued");
+
+  std::istringstream held(sections.expect("held-reissues"));
+  const index_t n_held = read_index(held, "held-reissue count");
+  for (index_t i = 0; i < n_held; ++i) {
+    const VolunteerId id = read_index(held, "held-reissue volunteer");
+    const index_t n = read_index(held, "held-reissue task count");
+    auto& tasks = fe.held_reissues_[id];
+    for (index_t j = 0; j < n; ++j)
+      tasks.insert(read_index(held, "held-reissue task"));
+  }
+  expect_done(held, "held-reissues");
+
+  std::istringstream touched(sections.expect("rows-touched"));
+  const index_t n_touched = read_index(touched, "rows-touched count");
+  for (index_t i = 0; i < n_touched; ++i) {
+    const VolunteerId id = read_index(touched, "rows-touched volunteer");
+    const index_t n = read_index(touched, "rows-touched row count");
+    auto& rows = fe.rows_touched_[id];
+    for (index_t j = 0; j < n; ++j)
+      rows.insert(read_index(touched, "touched row"));
+  }
+  expect_done(touched, "rows-touched");
+
+  std::istringstream errors(sections.expect("errors"));
+  const index_t n_errors = read_index(errors, "error count");
+  for (index_t i = 0; i < n_errors; ++i) {
+    const VolunteerId id = read_index(errors, "error volunteer");
+    fe.errors_.emplace(id, read_index(errors, "error tally"));
+  }
+  expect_done(errors, "errors");
+
+  std::istringstream banned(sections.expect("banned"));
+  const index_t n_banned = read_index(banned, "ban count");
+  for (index_t i = 0; i < n_banned; ++i)
+    fe.banned_.insert(read_index(banned, "banned volunteer"));
+  expect_done(banned, "banned");
+
+  std::istringstream leases(sections.expect("leases"));
+  fe.leases_ = LeaseTable::decode(leases);
+  expect_done(leases, "leases");
+
+  std::istringstream expired(sections.expect("expired"));
+  const index_t n_expired = read_index(expired, "expired count");
+  for (index_t i = 0; i < n_expired; ++i) {
+    const TaskIndex task = read_index(expired, "expired task");
+    fe.expired_.emplace(task, read_index(expired, "expired holder"));
+  }
+  expect_done(expired, "expired");
+
+  std::istringstream superseded(sections.expect("superseded"));
+  const index_t n_superseded = read_index(superseded, "superseded count");
+  for (index_t i = 0; i < n_superseded; ++i) {
+    const TaskIndex task = read_index(superseded, "superseded task");
+    fe.superseded_.emplace(task, read_index(superseded, "superseded holder"));
+  }
+  expect_done(superseded, "superseded");
+
+  std::istringstream counters(sections.expect("counters"));
+  fe.rebinds_ = read_index(counters, "rebind counter");
+  fe.leases_expired_ = read_index(counters, "lease-expiry counter");
+  fe.late_results_ = read_index(counters, "late-result counter");
+  fe.expired_reissues_ = read_index(counters, "expired-reissue counter");
+  fe.rejected_submissions_ = read_index(counters, "rejection counter");
+  fe.quarantines_ = read_index(counters, "quarantine counter");
+  expect_done(counters, "counters");
+
+  if (!sections.exhausted())
+    throw DomainError("FrontEnd::restore: unexpected trailing sections");
+  PFL_OBS_COUNTER("pfl_wbc_restores_total").add();
+  return fe;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedServer
+// ---------------------------------------------------------------------------
+
+void ReplicatedServer::checkpoint(std::ostream& out) const {
+  const CheckpointTimer timer;
+  SectionWriter sections;
+  {
+    std::ostringstream body;
+    body << replica_pf_->name() << '\n';
+    body << replication_ << ' ' << ban_threshold_ << ' ' << next_volunteer_
+         << ' ' << next_task_ << ' ' << max_virtual_ << ' ' << issued_ << ' '
+         << decided_ << '\n';
+    sections.add("config", body.str());
+  }
+  {
+    std::ostringstream body;
+    std::vector<VolunteerId> ids(known_.begin(), known_.end());
+    std::sort(ids.begin(), ids.end());
+    body << ids.size() << '\n';
+    for (const VolunteerId id : ids) body << id << '\n';
+    sections.add("known", body.str());
+  }
+  {
+    std::ostringstream body;
+    std::vector<VolunteerId> ids(banned_.begin(), banned_.end());
+    std::sort(ids.begin(), ids.end());
+    body << ids.size() << '\n';
+    for (const VolunteerId id : ids) body << id << '\n';
+    sections.add("banned", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << strikes_.size() << '\n';
+    for (const VolunteerId id : sorted_keys(strikes_))
+      body << id << ' ' << strikes_.at(id) << '\n';
+    sections.add("strikes", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << pending_.size() << '\n';
+    for (const index_t id : sorted_keys(pending_)) {
+      const PendingTask& task = pending_.at(id);
+      body << id << ' ' << task.returned;
+      for (std::size_t j = 0; j < task.assignees.size(); ++j) {
+        body << ' ' << task.assignees[j] << ' '
+             << (task.results[j].has_value() ? 1 : 0) << ' '
+             << (task.results[j].has_value() ? *task.results[j] : 0);
+      }
+      body << '\n';
+    }
+    sections.add("pending", body.str());
+  }
+  {
+    // Queue order decides future slot assignment -- keep it verbatim.
+    std::ostringstream body;
+    body << open_order_.size() << '\n';
+    for (const index_t id : open_order_) body << id << '\n';
+    sections.add("open-order", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << decisions_.size() << '\n';
+    for (const Decision& d : decisions_) {
+      body << d.abstract_task << ' ' << (d.decided ? 1 : 0) << ' ' << d.value
+           << ' ' << d.dissenters.size();
+      for (const VolunteerId id : d.dissenters) body << ' ' << id;
+      body << '\n';
+    }
+    sections.add("decisions", body.str());
+  }
+  {
+    std::ostringstream body;
+    leases_.encode(body);
+    sections.add("leases", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << superseded_virtual_.size() << '\n';
+    for (const auto& [virt, id] : superseded_virtual_)
+      body << virt << ' ' << id << '\n';
+    sections.add("superseded", body.str());
+  }
+  {
+    std::ostringstream body;
+    body << leases_expired_ << ' ' << rejected_submissions_ << '\n';
+    sections.add("counters", body.str());
+  }
+  const std::string payload = sections.str();
+  storage::write_snapshot(out, kReplicatedKind, kCheckpointVersion, payload);
+  timer.finish(payload.size());
+}
+
+ReplicatedServer ReplicatedServer::restore(std::istream& in, PfPtr replica_pf) {
+  if (!replica_pf)
+    throw DomainError("ReplicatedServer::restore: null pairing function");
+  SectionReader sections(
+      storage::read_snapshot_payload(in, kReplicatedKind, kCheckpointVersion));
+  std::istringstream config(sections.expect("config"));
+  std::string name;
+  config >> name;
+  if (name != replica_pf->name())
+    throw DomainError("ReplicatedServer::restore: snapshot was taken under '" +
+                      name + "', cannot restore under '" + replica_pf->name() +
+                      "'");
+  const index_t replication = read_index(config, "replication");
+  const index_t ban_threshold = read_index(config, "ban threshold");
+  ReplicatedServer server(std::move(replica_pf), replication, ban_threshold);
+  server.next_volunteer_ = read_index(config, "next volunteer");
+  server.next_task_ = read_index(config, "next task");
+  server.max_virtual_ = read_index(config, "max virtual index");
+  server.issued_ = read_index(config, "issued");
+  server.decided_ = read_index(config, "decided");
+  expect_done(config, "config");
+
+  std::istringstream known(sections.expect("known"));
+  const index_t n_known = read_index(known, "known count");
+  for (index_t i = 0; i < n_known; ++i)
+    server.known_.insert(read_index(known, "known volunteer"));
+  expect_done(known, "known");
+
+  std::istringstream banned(sections.expect("banned"));
+  const index_t n_banned = read_index(banned, "ban count");
+  for (index_t i = 0; i < n_banned; ++i)
+    server.banned_.insert(read_index(banned, "banned volunteer"));
+  expect_done(banned, "banned");
+
+  std::istringstream strikes(sections.expect("strikes"));
+  const index_t n_strikes = read_index(strikes, "strike count");
+  for (index_t i = 0; i < n_strikes; ++i) {
+    const VolunteerId id = read_index(strikes, "strike volunteer");
+    server.strikes_.emplace(id, read_index(strikes, "strike tally"));
+  }
+  expect_done(strikes, "strikes");
+
+  std::istringstream pending(sections.expect("pending"));
+  const index_t n_pending = read_index(pending, "pending count");
+  for (index_t i = 0; i < n_pending; ++i) {
+    PendingTask task;
+    task.id = read_index(pending, "pending id");
+    task.returned = read_index(pending, "pending returned");
+    task.assignees.assign(static_cast<std::size_t>(replication), 0);
+    task.results.assign(static_cast<std::size_t>(replication), std::nullopt);
+    for (std::size_t j = 0; j < task.assignees.size(); ++j) {
+      task.assignees[j] = read_index(pending, "pending assignee");
+      const index_t has_value = read_index(pending, "pending result flag");
+      const index_t value = read_index(pending, "pending result value");
+      if (has_value != 0) task.results[j] = value;
+    }
+    server.pending_.emplace(task.id, std::move(task));
+  }
+  expect_done(pending, "pending");
+
+  std::istringstream open_order(sections.expect("open-order"));
+  const index_t n_open = read_index(open_order, "open-order count");
+  for (index_t i = 0; i < n_open; ++i)
+    server.open_order_.push_back(read_index(open_order, "open task"));
+  expect_done(open_order, "open-order");
+
+  std::istringstream decisions(sections.expect("decisions"));
+  const index_t n_decisions = read_index(decisions, "decision count");
+  for (index_t i = 0; i < n_decisions; ++i) {
+    Decision d;
+    d.abstract_task = read_index(decisions, "decision task");
+    d.decided = read_index(decisions, "decision flag") != 0;
+    d.value = read_index(decisions, "decision value");
+    const index_t n_dissenters = read_index(decisions, "dissenter count");
+    for (index_t j = 0; j < n_dissenters; ++j)
+      d.dissenters.push_back(read_index(decisions, "dissenter"));
+    server.decisions_.push_back(std::move(d));
+  }
+  expect_done(decisions, "decisions");
+
+  std::istringstream leases(sections.expect("leases"));
+  server.leases_ = LeaseTable::decode(leases);
+  expect_done(leases, "leases");
+
+  std::istringstream superseded(sections.expect("superseded"));
+  const index_t n_superseded = read_index(superseded, "superseded count");
+  for (index_t i = 0; i < n_superseded; ++i) {
+    const TaskIndex virt = read_index(superseded, "superseded index");
+    server.superseded_virtual_.emplace(
+        virt, read_index(superseded, "superseded holder"));
+  }
+  expect_done(superseded, "superseded");
+
+  std::istringstream counters(sections.expect("counters"));
+  server.leases_expired_ = read_index(counters, "lease-expiry counter");
+  server.rejected_submissions_ = read_index(counters, "rejection counter");
+  expect_done(counters, "counters");
+
+  if (!sections.exhausted())
+    throw DomainError("ReplicatedServer::restore: unexpected trailing sections");
+  PFL_OBS_COUNTER("pfl_wbc_restores_total").add();
+  return server;
+}
+
+}  // namespace pfl::wbc

@@ -13,12 +13,15 @@ constexpr index_t kServerBansDisabled = std::numeric_limits<index_t>::max();
 }
 
 FrontEnd::FrontEnd(apf::ApfPtr apf, AssignmentPolicy policy,
-                   index_t ban_threshold)
+                   index_t ban_threshold, LeaseConfig lease_config)
     : apf_(apf), policy_(policy),
       server_(std::move(apf), kServerBansDisabled),
-      ban_threshold_(ban_threshold) {
+      ban_threshold_(ban_threshold), leases_(lease_config) {
   if (ban_threshold_ == 0)
     throw DomainError("FrontEnd: ban threshold must be >= 1");
+  if (lease_config.base_deadline_ticks == 0 ||
+      lease_config.max_deadline_ticks < lease_config.base_deadline_ticks)
+    throw DomainError("FrontEnd: lease deadlines must satisfy 1 <= base <= max");
 }
 
 RowIndex FrontEnd::row_of(VolunteerId id) const {
@@ -110,6 +113,10 @@ void FrontEnd::depart(VolunteerId id) {
         // A task already recycled and reissued to someone still holding it
         // is that volunteer's responsibility now -- don't recycle it twice.
         if (held_by_someone(task)) continue;
+        // A task whose lease already expired is ALREADY in the recycle
+        // queue (with an expiry record) -- recycling it again would issue
+        // it to two volunteers at once.
+        if (expired_.count(task) != 0) continue;
         recycle_.push_back(task);
       }
     }
@@ -118,9 +125,13 @@ void FrontEnd::depart(VolunteerId id) {
   // ...and any reissued tasks they were holding.
   const auto held = held_reissues_.find(id);
   if (held != held_reissues_.end()) {
-    for (TaskIndex task : held->second) recycle_.push_back(task);
+    for (TaskIndex task : held->second) {
+      if (expired_.count(task) != 0) continue;  // already recycled by expiry
+      recycle_.push_back(task);
+    }
     held_reissues_.erase(held);
   }
+  leases_.drop_volunteer(id);
   unbind(id);
   if (policy_ == AssignmentPolicy::kSpeedOrdered) {
     by_speed_.erase(SpeedKey{it->second.speed, id});
@@ -136,6 +147,9 @@ TaskAssignment FrontEnd::request_task(VolunteerId id) {
   if (is_banned(id))
     throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
                       " is banned");
+  if (is_quarantined(id))
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " is quarantined");
   const RowIndex row = row_of(id);
   if (!recycle_.empty()) {
     const TaskIndex task = recycle_.back();
@@ -144,17 +158,102 @@ TaskAssignment FrontEnd::request_task(VolunteerId id) {
     // distinct-task count reported by reissued_tasks().
     if (reissued_to_.find(task) == reissued_to_.end())
       PFL_OBS_COUNTER("pfl_wbc_tasks_recycled_total").add();
+    // If this task got here through a lease expiry, the old holder's
+    // claim ends now: their eventual late result is superseded -- unless
+    // the expired holder is the one re-draining it, which simply renews
+    // their custody under a fresh lease.
+    const auto ex = expired_.find(task);
+    if (ex != expired_.end()) {
+      if (ex->second != id) {
+        superseded_[task] = ex->second;
+        ++expired_reissues_;
+      }
+      expired_.erase(ex);
+    }
     reissued_to_[task] = id;
     held_reissues_[id].insert(task);
+    leases_.grant(task, id);
     return server_.trace(task);
   }
-  return server_.next_task(row);
+  const TaskAssignment assignment = server_.next_task(row);
+  leases_.grant(assignment.task, id);
+  return assignment;
 }
 
-void FrontEnd::submit_result(VolunteerId id, TaskIndex task, Result value) {
+SubmitStatus FrontEnd::submit_result(VolunteerId id, TaskIndex task,
+                                     Result value) {
+  const auto reject = [this](SubmitStatus status) {
+    ++rejected_submissions_;
+    PFL_OBS_COUNTER("pfl_wbc_rejected_submissions_total").add();
+    return status;
+  };
+  if (is_banned(id)) return reject(SubmitStatus::kBanned);
+  // Late result racing its own expiry: the lease expired, but the task is
+  // still waiting in the recycle queue -- accept it and pull the task
+  // back out, so nobody computes it twice.
+  const auto ex = expired_.find(task);
+  if (ex != expired_.end()) {
+    if (ex->second != id) return reject(SubmitStatus::kNotHolder);
+    const SubmitStatus status = server_.try_submit_result(task, value);
+    if (!submit_accepted(status)) return reject(status);
+    expired_.erase(ex);
+    const auto queued = std::find(recycle_.begin(), recycle_.end(), task);
+    if (queued != recycle_.end()) recycle_.erase(queued);
+    ++late_results_;
+    PFL_OBS_COUNTER("pfl_wbc_late_results_total").add();
+    return SubmitStatus::kAcceptedLate;
+  }
+  // The task moved on after this volunteer's lease expired: reject, and
+  // consume the record (a second attempt is a plain kNotHolder).
+  const auto sup = superseded_.find(task);
+  if (sup != superseded_.end() && sup->second == id) {
+    superseded_.erase(sup);
+    return reject(SubmitStatus::kSuperseded);
+  }
+  const auto re = reissued_to_.find(task);
+  if (re != reissued_to_.end()) {
+    if (re->second != id) return reject(SubmitStatus::kNotHolder);
+  } else {
+    // Fresh-stream task: it must decode to a sequence this volunteer's
+    // epochs actually cover, else the index was never issued to them.
+    TaskAssignment who;
+    try {
+      who = server_.trace(task);
+    } catch (const DomainError&) {
+      return reject(SubmitStatus::kNeverIssued);
+    }
+    if (who.sequence > server_.issued_to(who.row))
+      return reject(SubmitStatus::kNeverIssued);
+    if (epoch_owner_or_zero(who.row, who.sequence) != id)
+      return reject(SubmitStatus::kNotHolder);
+  }
+  const SubmitStatus status = server_.try_submit_result(task, value);
+  if (!submit_accepted(status)) return reject(status);
+  leases_.complete(task, id);
   const auto held = held_reissues_.find(id);
   if (held != held_reissues_.end()) held->second.erase(task);
-  server_.submit_result(task, value);
+  return SubmitStatus::kAccepted;
+}
+
+ExpirySweep FrontEnd::tick(index_t now) {
+  ExpirySweep sweep = leases_.advance(now);
+  for (const Lease& lease : sweep.expired) {
+    recycle_.push_back(lease.task);
+    expired_[lease.task] = lease.volunteer;
+    // The holder no longer owes this task; if it was a reissue they held,
+    // release it so a later departure cannot recycle it a second time.
+    const auto held = held_reissues_.find(lease.volunteer);
+    if (held != held_reissues_.end()) held->second.erase(lease.task);
+  }
+  leases_expired_ += nt::to_index(sweep.expired.size());
+  quarantines_ += nt::to_index(sweep.quarantined.size());
+  if (!sweep.expired.empty())
+    PFL_OBS_COUNTER("pfl_wbc_leases_expired_total")
+        .add(sweep.expired.size());
+  if (!sweep.quarantined.empty())
+    PFL_OBS_COUNTER("pfl_wbc_quarantines_total")
+        .add(sweep.quarantined.size());
+  return sweep;
 }
 
 VolunteerId FrontEnd::volunteer_of_task(TaskIndex task) const {

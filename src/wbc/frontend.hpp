@@ -22,12 +22,14 @@
 //                    workload's memory envelope small.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "wbc/lease.hpp"
 #include "wbc/server.hpp"
 #include "wbc/types.hpp"
 
@@ -38,7 +40,7 @@ enum class AssignmentPolicy { kFirstFree, kSpeedOrdered };
 class FrontEnd {
  public:
   FrontEnd(apf::ApfPtr apf, AssignmentPolicy policy,
-           index_t ban_threshold = 3);
+           index_t ban_threshold = 3, LeaseConfig lease_config = {});
 
   /// Volunteer `id` registers with the given speed (tasks per time unit in
   /// the simulator; only its *order* matters here). Returns the row bound.
@@ -53,10 +55,34 @@ class FrontEnd {
 
   /// Issues the next task for the volunteer: first drains the recycle
   /// queue (reissued tasks are recorded for accountability), then falls
-  /// through to the APF stream T(row, t).
+  /// through to the APF stream T(row, t). Every issued task is leased
+  /// until the volunteer's current deadline (see wbc/lease.hpp). Throws
+  /// DomainError for banned or quarantined volunteers -- callers check
+  /// is_banned() / is_quarantined() first.
   TaskAssignment request_task(VolunteerId id);
 
-  void submit_result(VolunteerId id, TaskIndex task, Result value);
+  /// Hands back a result. Data-plane faults -- duplicates, never-issued
+  /// indices, results racing their own lease expiry, post-ban
+  /// resubmission -- come back as a typed SubmitStatus; this never throws
+  /// for hostile input, only for API misuse (e.g. null streams elsewhere).
+  /// A result whose lease expired but whose task was not yet reissued is
+  /// accepted LATE (the task leaves the recycle queue again); once the
+  /// task moved on to a new holder the old holder gets kSuperseded and
+  /// attribution stays with whoever's value the server actually stored.
+  SubmitStatus submit_result(VolunteerId id, TaskIndex task, Result value);
+
+  /// Advances the lease clock to `now` and expires every overdue lease:
+  /// the task joins the recycle queue (with an expiry record so a late
+  /// result can still be resolved honestly) and the volunteer's backoff
+  /// grows -- repeat offenders get exponentially longer deadlines and
+  /// eventually a quarantine. Returns what the sweep found.
+  ExpirySweep tick(index_t now);
+
+  /// True while the volunteer is serving a quarantine (request_task
+  /// refuses them until the lease clock passes the release tick).
+  bool is_quarantined(VolunteerId id) const {
+    return leases_.is_quarantined(id);
+  }
 
   /// Audits a returned task; attribution resolves through reissue records
   /// and row epochs to the volunteer accountable for the submitted value.
@@ -78,6 +104,26 @@ class FrontEnd {
   index_t reissued_tasks() const { return reissued_to_.size(); }
 
   const TaskServer& server() const { return server_; }
+  const LeaseTable& leases() const { return leases_; }
+
+  /// Fault-tolerance counters (all survive checkpoint/restore).
+  index_t leases_expired() const { return leases_expired_; }
+  index_t late_results() const { return late_results_; }
+  index_t expired_reissues() const { return expired_reissues_; }
+  index_t rejected_submissions() const { return rejected_submissions_; }
+  index_t quarantines() const { return quarantines_; }
+
+  /// Crash-consistent snapshot of the ENTIRE runtime state -- the inner
+  /// TaskServer, epochs, free rows, recycle queue, reissue and expiry
+  /// records, leases, strikes, bans, counters -- in the checksummed
+  /// framing of storage/snapshot.hpp. See wbc/checkpoint.cpp.
+  void checkpoint(std::ostream& out) const;
+
+  /// Rebuilds a front end from checkpoint(). Policy, thresholds and the
+  /// lease config travel inside the snapshot; `apf` must be the mapping
+  /// the snapshot was taken under (checked by name). A truncated or
+  /// bit-flipped snapshot throws DomainError before any state exists.
+  static FrontEnd restore(std::istream& in, apf::ApfPtr apf);
 
  private:
   struct Epoch {
@@ -127,6 +173,20 @@ class FrontEnd {
   std::unordered_map<VolunteerId, index_t> errors_;
   std::unordered_set<VolunteerId> banned_;
   index_t rebinds_ = 0;
+
+  LeaseTable leases_;
+  /// task -> the holder whose lease expired; the task sits in recycle_
+  /// and a late result from that holder is still honoured.
+  std::map<TaskIndex, VolunteerId> expired_;
+  /// task -> the expired holder it was taken away from, recorded when
+  /// the task is reissued to someone NEW; their late result is rejected
+  /// as kSuperseded (exactly once -- the record is consumed).
+  std::map<TaskIndex, VolunteerId> superseded_;
+  index_t leases_expired_ = 0;
+  index_t late_results_ = 0;
+  index_t expired_reissues_ = 0;
+  index_t rejected_submissions_ = 0;
+  index_t quarantines_ = 0;
 };
 
 }  // namespace pfl::wbc

@@ -1,0 +1,217 @@
+// Task leases: the impolite-departure half of Section 4's dynamic
+// volunteer model.
+//
+// The FrontEnd's depart() handles the polite failure mode -- a volunteer
+// that says goodbye. A volunteer that silently stalls would hold its
+// tasks forever, so every issued task carries a LEASE: a deadline in
+// simulation ticks. A periodic tick(now) sweep expires overdue leases so
+// their tasks can be reissued, and the expiry records let late results be
+// resolved honestly (accepted if the task has not moved on, rejected as
+// superseded if it has -- attribution never lies either way).
+//
+// Per-volunteer exponential backoff keeps repeat offenders cheap: each
+// consecutive expiry doubles the volunteer's deadline (saturating at a
+// cap, never overflowing), an on-time completion resets it, and
+// `quarantine_after` consecutive expiries quarantines the volunteer --
+// no new tasks until `quarantine_ticks` have passed. Bookkeeping is
+// O(#outstanding leases + #volunteers with a non-default deadline),
+// in the spirit of the paper's O(#events) front-end accounting.
+#pragma once
+
+#include <istream>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "numtheory/checked.hpp"
+#include "wbc/types.hpp"
+
+namespace pfl::wbc {
+
+struct LeaseConfig {
+  index_t base_deadline_ticks = 16;  ///< first-offense lease length
+  index_t max_deadline_ticks = 1024; ///< backoff saturates here
+  index_t quarantine_after = 4;      ///< consecutive expiries -> quarantine
+  index_t quarantine_ticks = 64;     ///< how long a quarantine lasts
+};
+
+/// One live lease: `volunteer` owes a result for `task` by `deadline`
+/// (inclusive -- the lease expires when now > deadline).
+struct Lease {
+  TaskIndex task = 0;
+  VolunteerId volunteer = 0;
+  index_t deadline = 0;
+};
+
+/// What one tick sweep found, in deterministic (task-sorted) order.
+struct ExpirySweep {
+  std::vector<Lease> expired;
+  std::vector<VolunteerId> quarantined;
+};
+
+class LeaseTable {
+ public:
+  LeaseTable() = default;
+  explicit LeaseTable(LeaseConfig config) : config_(config) {}
+
+  const LeaseConfig& config() const { return config_; }
+  index_t now() const { return now_; }
+  index_t active_leases() const { return nt::to_index(leases_.size()); }
+
+  /// Current lease length for `v` (base, unless backoff has grown it).
+  index_t deadline_ticks(VolunteerId v) const {
+    const auto it = backoff_.find(v);
+    return it == backoff_.end() ? config_.base_deadline_ticks
+                                : it->second.deadline;
+  }
+
+  /// Leases `task` to `v` until now + deadline_ticks(v).
+  void grant(TaskIndex task, VolunteerId v) {
+    leases_[task] = {v, saturating_add(now_, deadline_ticks(v))};
+  }
+
+  /// Completes `task` if `v` holds a live lease on it; an on-time result
+  /// restores trust (backoff and the consecutive-expiry count reset).
+  /// Returns false -- and resets nothing -- when no such lease exists
+  /// (the lease already expired, or the task belongs to someone else).
+  bool complete(TaskIndex task, VolunteerId v) {
+    const auto it = leases_.find(task);
+    if (it == leases_.end() || it->second.first != v) return false;
+    leases_.erase(it);
+    const auto b = backoff_.find(v);
+    if (b != backoff_.end()) {
+      b->second.deadline = config_.base_deadline_ticks;
+      b->second.consecutive = 0;
+    }
+    return true;
+  }
+
+  void drop_task(TaskIndex task) { leases_.erase(task); }
+
+  /// Departures and bans void every lease the volunteer holds (their
+  /// tasks are recycled through the owner's own bookkeeping).
+  void drop_volunteer(VolunteerId v) {
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      it = it->second.first == v ? leases_.erase(it) : std::next(it);
+    }
+  }
+
+  bool is_quarantined(VolunteerId v) const {
+    const auto it = backoff_.find(v);
+    return it != backoff_.end() && it->second.quarantined_until > now_;
+  }
+
+  /// Advances the clock and expires every lease whose deadline has
+  /// passed (strictly: a lease with deadline d survives the sweep at
+  /// now == d and expires at the first sweep with now > d). The clock is
+  /// monotonic; a stale `now` sweeps at the current clock instead.
+  ExpirySweep advance(index_t now) {
+    if (now > now_) now_ = now;
+    ExpirySweep sweep;
+    // Quarantines end by clock, not by good behaviour: release first so
+    // a volunteer is eligible again the tick the sentence ends. Backoff
+    // stays grown -- trust is re-earned via on-time completions.
+    for (auto& [v, b] : backoff_) {
+      if (b.quarantined_until != 0 && b.quarantined_until <= now_) {
+        b.quarantined_until = 0;
+        b.consecutive = 0;
+      }
+    }
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      if (it->second.second >= now_) {
+        ++it;
+        continue;
+      }
+      const VolunteerId v = it->second.first;
+      sweep.expired.push_back({it->first, v, it->second.second});
+      it = leases_.erase(it);
+      Backoff& b = state(v);
+      b.deadline = saturating_double(b.deadline, config_.max_deadline_ticks);
+      if (++b.consecutive >= config_.quarantine_after &&
+          b.quarantined_until == 0) {
+        b.quarantined_until = saturating_add(now_, config_.quarantine_ticks);
+        b.consecutive = 0;
+        sweep.quarantined.push_back(v);
+      }
+    }
+    return sweep;
+  }
+
+  /// Deterministic text body for the checkpoint layer (std::map keys are
+  /// already sorted, so equal states encode byte-identically).
+  void encode(std::ostream& out) const {
+    out << config_.base_deadline_ticks << ' ' << config_.max_deadline_ticks
+        << ' ' << config_.quarantine_after << ' ' << config_.quarantine_ticks
+        << ' ' << now_ << '\n';
+    out << leases_.size() << '\n';
+    for (const auto& [task, lease] : leases_)
+      out << task << ' ' << lease.first << ' ' << lease.second << '\n';
+    out << backoff_.size() << '\n';
+    for (const auto& [v, b] : backoff_)
+      out << v << ' ' << b.deadline << ' ' << b.consecutive << ' '
+          << b.quarantined_until << '\n';
+  }
+
+  static LeaseTable decode(std::istream& in) {
+    LeaseTable table;
+    std::size_t leases = 0, volunteers = 0;
+    if (!(in >> table.config_.base_deadline_ticks >>
+          table.config_.max_deadline_ticks >> table.config_.quarantine_after >>
+          table.config_.quarantine_ticks >> table.now_ >> leases))
+      throw DomainError("LeaseTable: corrupt lease section");
+    for (std::size_t i = 0; i < leases; ++i) {
+      TaskIndex task = 0;
+      VolunteerId v = 0;
+      index_t deadline = 0;
+      if (!(in >> task >> v >> deadline))
+        throw DomainError("LeaseTable: truncated lease list");
+      table.leases_[task] = {v, deadline};
+    }
+    if (!(in >> volunteers))
+      throw DomainError("LeaseTable: corrupt backoff section");
+    for (std::size_t i = 0; i < volunteers; ++i) {
+      VolunteerId v = 0;
+      Backoff b;
+      if (!(in >> v >> b.deadline >> b.consecutive >> b.quarantined_until))
+        throw DomainError("LeaseTable: truncated backoff list");
+      table.backoff_[v] = b;
+    }
+    return table;
+  }
+
+ private:
+  struct Backoff {
+    index_t deadline = 0;          ///< current lease length for grants
+    index_t consecutive = 0;       ///< expiries since the last on-time result
+    index_t quarantined_until = 0; ///< 0 = not quarantined
+  };
+
+  Backoff& state(VolunteerId v) {
+    const auto it = backoff_.find(v);
+    if (it != backoff_.end()) return it->second;
+    return backoff_.emplace(v, Backoff{config_.base_deadline_ticks, 0, 0})
+        .first->second;
+  }
+
+  static index_t saturating_add(index_t a, index_t b) {
+    constexpr index_t kMax = std::numeric_limits<index_t>::max();
+    return a > kMax - b ? kMax : a + b;
+  }
+
+  static index_t saturating_double(index_t d, index_t cap) {
+    if (d >= cap || d > cap - d) return cap;
+    return d + d;
+  }
+
+  LeaseConfig config_{};
+  index_t now_ = 0;
+  /// task -> (volunteer, deadline); std::map for deterministic sweeps.
+  std::map<TaskIndex, std::pair<VolunteerId, index_t>> leases_;
+  std::map<VolunteerId, Backoff> backoff_;
+};
+
+}  // namespace pfl::wbc

@@ -5,12 +5,15 @@
 #include <random>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace pfl::wbc {
 
 ReplicatedServer::ReplicatedServer(PfPtr replica_pf, index_t replication,
-                                   index_t ban_threshold)
+                                   index_t ban_threshold,
+                                   LeaseConfig lease_config)
     : replica_pf_(std::move(replica_pf)), replication_(replication),
-      ban_threshold_(ban_threshold) {
+      ban_threshold_(ban_threshold), leases_(lease_config) {
   if (!replica_pf_) throw DomainError("ReplicatedServer: null pairing function");
   if (!replica_pf_->surjective())
     throw DomainError("ReplicatedServer: replica mapping must be a genuine PF");
@@ -43,6 +46,9 @@ ReplicatedServer::Assignment ReplicatedServer::request_task(VolunteerId v) {
   if (is_banned(v))
     throw DomainError("ReplicatedServer: volunteer " + std::to_string(v) +
                       " is banned");
+  if (is_quarantined(v))
+    throw DomainError("ReplicatedServer: volunteer " + std::to_string(v) +
+                      " is quarantined");
   // Oldest open task with a free slot this volunteer has not touched.
   for (index_t task_id : open_order_) {
     const auto it = pending_.find(task_id);
@@ -56,6 +62,12 @@ ReplicatedServer::Assignment ReplicatedServer::request_task(VolunteerId v) {
         task.assignees[j] = v;
         const index_t replica = nt::to_index(j) + 1;
         const TaskIndex virt = replica_pf_->pair(task.id, replica);
+        // Re-taking a slot one's own lease lost renews custody: the stale
+        // superseded record must not reject the new, legitimate vote.
+        const auto sup = superseded_virtual_.find(virt);
+        if (sup != superseded_virtual_.end() && sup->second == v)
+          superseded_virtual_.erase(sup);
+        leases_.grant(virt, v);
         if (virt > max_virtual_) max_virtual_ = virt;
         ++issued_;
         return {virt, task.id, replica};
@@ -66,6 +78,7 @@ ReplicatedServer::Assignment ReplicatedServer::request_task(VolunteerId v) {
   PendingTask& task = open_fresh_task();
   task.assignees[0] = v;
   const TaskIndex virt = replica_pf_->pair(task.id, 1);
+  leases_.grant(virt, v);
   if (virt > max_virtual_) max_virtual_ = virt;
   ++issued_;
   return {virt, task.id, 1};
@@ -76,25 +89,48 @@ ReplicatedServer::Assignment ReplicatedServer::decode(TaskIndex virtual_task) co
   return {virtual_task, p.x, p.y};
 }
 
-void ReplicatedServer::submit(VolunteerId v, TaskIndex virtual_task,
-                              Result value) {
-  const Assignment a = decode(virtual_task);
+SubmitStatus ReplicatedServer::submit(VolunteerId v, TaskIndex virtual_task,
+                                      Result value) {
+  if (!known_.count(v))
+    throw DomainError("ReplicatedServer: unknown volunteer " + std::to_string(v));
+  const auto reject = [this](SubmitStatus status) {
+    ++rejected_submissions_;
+    PFL_OBS_COUNTER("pfl_wbc_rejected_submissions_total").add();
+    return status;
+  };
+  if (is_banned(v)) return reject(SubmitStatus::kBanned);
+  Assignment a;
+  try {
+    a = decode(virtual_task);
+  } catch (const DomainError&) {
+    return reject(SubmitStatus::kNeverIssued);
+  }
+  if (a.replica == 0 || a.replica > replication_)
+    return reject(SubmitStatus::kNeverIssued);
+  // A vote whose slot expired and was given away resolves against the
+  // supersede record -- it must never reach a tally it no longer sits in.
+  const auto sup = superseded_virtual_.find(virtual_task);
+  if (sup != superseded_virtual_.end() && sup->second == v) {
+    superseded_virtual_.erase(sup);
+    return reject(SubmitStatus::kSuperseded);
+  }
   const auto it = pending_.find(a.abstract_task);
   if (it == pending_.end())
-    throw DomainError("ReplicatedServer: task " + std::to_string(virtual_task) +
-                      " is not pending");
+    return reject(a.abstract_task < next_task_ ? SubmitStatus::kSuperseded
+                                               : SubmitStatus::kNeverIssued);
   PendingTask& task = it->second;
-  if (a.replica == 0 || a.replica > replication_ ||
-      task.assignees[static_cast<std::size_t>(a.replica - 1)] != v)
-    throw DomainError("ReplicatedServer: replica not assigned to volunteer " +
-                      std::to_string(v));
-  auto& slot = task.results[static_cast<std::size_t>(a.replica - 1)];
-  if (slot.has_value())
-    throw DomainError("ReplicatedServer: duplicate result for task " +
-                      std::to_string(virtual_task));
+  const auto slot_index = static_cast<std::size_t>(a.replica - 1);
+  if (task.assignees[slot_index] != v)
+    return reject(task.assignees[slot_index] == 0 ? SubmitStatus::kNeverIssued
+                                                  : SubmitStatus::kNotHolder);
+  auto& slot = task.results[slot_index];
+  // Double-vote guard: one volunteer, one counted ballot per slot.
+  if (slot.has_value()) return reject(SubmitStatus::kDuplicate);
   slot = value;
   ++task.returned;
+  leases_.complete(virtual_task, v);
   if (task.returned == replication_) tally(task);
+  return SubmitStatus::kAccepted;
 }
 
 void ReplicatedServer::tally(PendingTask& task) {
@@ -123,10 +159,21 @@ void ReplicatedServer::tally(PendingTask& task) {
     }
     decisions_.push_back(std::move(decision));
     ++decided_;
+    // The decided task's virtual indices are spent: drop any lingering
+    // lease or supersede record keyed on them (late votes now resolve
+    // through the decided-task path).
+    for (index_t j = 1; j <= replication_; ++j) {
+      const TaskIndex virt = replica_pf_->pair(task.id, j);
+      leases_.drop_task(virt);
+      superseded_virtual_.erase(virt);
+    }
     pending_.erase(task.id);
     // A banned volunteer will never return their other outstanding
     // replicas; reopen those slots so the tasks can still complete.
-    for (VolunteerId culprit : newly_banned) release_unreturned_slots(culprit);
+    for (VolunteerId culprit : newly_banned) {
+      leases_.drop_volunteer(culprit);
+      release_unreturned_slots(culprit);
+    }
     return;
   }
   // Tie: nobody reaches a majority (possible only for even vote splits or
@@ -141,7 +188,15 @@ void ReplicatedServer::tally(PendingTask& task) {
 }
 
 void ReplicatedServer::release_unreturned_slots(VolunteerId v) {
-  for (auto& [id, task] : pending_) {
+  // Sorted task order: pending_ is unordered, and the order slots reopen
+  // in decides future assignments -- checkpoint/restore equivalence needs
+  // the same order on both sides of a crash.
+  std::vector<index_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, task] : pending_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (index_t id : ids) {
+    PendingTask& task = pending_.at(id);
     bool reopened = false;
     for (std::size_t j = 0; j < task.assignees.size(); ++j) {
       if (task.assignees[j] == v && !task.results[j].has_value()) {
@@ -151,6 +206,33 @@ void ReplicatedServer::release_unreturned_slots(VolunteerId v) {
     }
     if (reopened) open_order_.push_back(id);
   }
+}
+
+ExpirySweep ReplicatedServer::tick(index_t now) {
+  ExpirySweep sweep = leases_.advance(now);
+  for (const Lease& lease : sweep.expired) {
+    Assignment a;
+    try {
+      a = decode(lease.task);
+    } catch (const DomainError&) {
+      continue;  // defensive: a lease is only ever granted on valid indices
+    }
+    const auto it = pending_.find(a.abstract_task);
+    if (it == pending_.end()) continue;  // decided while the sweep ran
+    PendingTask& task = it->second;
+    const auto slot_index = static_cast<std::size_t>(a.replica - 1);
+    if (slot_index >= task.assignees.size() ||
+        task.assignees[slot_index] != lease.volunteer ||
+        task.results[slot_index].has_value())
+      continue;
+    task.assignees[slot_index] = 0;
+    open_order_.push_back(a.abstract_task);
+    superseded_virtual_[lease.task] = lease.volunteer;
+  }
+  leases_expired_ += nt::to_index(sweep.expired.size());
+  if (!sweep.expired.empty())
+    PFL_OBS_COUNTER("pfl_wbc_leases_expired_total").add(sweep.expired.size());
+  return sweep;
 }
 
 std::vector<ReplicatedServer::Decision> ReplicatedServer::drain_decisions() {

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +24,7 @@
 
 #include "core/pairing_function.hpp"
 #include "numtheory/checked.hpp"
+#include "wbc/lease.hpp"
 #include "wbc/types.hpp"
 
 namespace pfl::wbc {
@@ -32,7 +35,7 @@ class ReplicatedServer {
   /// indices; must be a genuine PF. `replication` r >= 1 is the number of
   /// distinct volunteers per abstract task (majority = floor(r/2) + 1).
   ReplicatedServer(PfPtr replica_pf, index_t replication,
-                   index_t ban_threshold = 2);
+                   index_t ban_threshold = 2, LeaseConfig lease_config = {});
 
   /// Registers a volunteer; ids are handed out 1, 2, 3, ...
   VolunteerId register_volunteer();
@@ -50,8 +53,24 @@ class ReplicatedServer {
 
   /// Volunteer returns a value for a virtual task index. When the last
   /// replica of the abstract task arrives, the vote is tallied
-  /// immediately (see drain_decisions()).
-  void submit(VolunteerId v, TaskIndex virtual_task, Result value);
+  /// immediately (see drain_decisions()). Data-plane faults come back as
+  /// a typed status instead of throwing: a second vote on the same slot
+  /// is kDuplicate (the double-vote guard -- one volunteer must never
+  /// count twice in a majority), a slot that expired and moved on is
+  /// kSuperseded, an index that decodes to nothing anyone was handed is
+  /// kNeverIssued. Only an UNKNOWN volunteer throws (API misuse).
+  SubmitStatus submit(VolunteerId v, TaskIndex virtual_task, Result value);
+
+  /// Advances the lease clock: replica slots whose volunteers overslept
+  /// are freed for reassignment (the abstract task reopens) and a record
+  /// keeps the late vote resolvable as kSuperseded -- it can never sneak
+  /// into a tally it no longer belongs to. Backoff and quarantine follow
+  /// wbc/lease.hpp.
+  ExpirySweep tick(index_t now);
+
+  bool is_quarantined(VolunteerId v) const {
+    return leases_.is_quarantined(v);
+  }
 
   /// Decode a virtual index -- pure arithmetic, no tables.
   Assignment decode(TaskIndex virtual_task) const;
@@ -77,6 +96,17 @@ class ReplicatedServer {
   index_t tasks_issued() const { return issued_; }
   index_t tasks_decided() const { return decided_; }
   index_t total_bans() const { return nt::to_index(banned_.size()); }
+  const LeaseTable& leases() const { return leases_; }
+  index_t leases_expired() const { return leases_expired_; }
+  index_t rejected_submissions() const { return rejected_submissions_; }
+
+  /// Crash-consistent snapshot (storage/snapshot.hpp framing): every
+  /// pending vote, open slot, strike, ban, lease and undrained decision.
+  void checkpoint(std::ostream& out) const;
+
+  /// Rebuilds a server from checkpoint(). `replica_pf` must be the
+  /// mapping the snapshot was taken under (checked by name).
+  static ReplicatedServer restore(std::istream& in, PfPtr replica_pf);
 
  private:
   struct PendingTask {
@@ -104,6 +134,13 @@ class ReplicatedServer {
   TaskIndex max_virtual_ = 0;
   index_t issued_ = 0;
   index_t decided_ = 0;
+
+  LeaseTable leases_;  ///< keyed by VIRTUAL task index
+  /// virtual index -> the volunteer whose slot expired; their late vote
+  /// resolves to kSuperseded instead of corrupting a reassigned slot.
+  std::map<TaskIndex, VolunteerId> superseded_virtual_;
+  index_t leases_expired_ = 0;
+  index_t rejected_submissions_ = 0;
 };
 
 /// Synthetic colluding-adversary experiment: a fraction of volunteers

@@ -52,16 +52,31 @@ TaskAssignment TaskServer::trace(TaskIndex task) const {
 }
 
 void TaskServer::submit_result(TaskIndex task, Result value) {
-  const TaskAssignment who = trace(task);
-  RowState& state = state_of(who.row);
+  const SubmitStatus status = try_submit_result(task, value);
+  if (!submit_accepted(status))
+    throw DomainError("TaskServer: task " + std::to_string(task) +
+                      " rejected (" + std::string(to_string(status)) + ")");
+}
+
+SubmitStatus TaskServer::try_submit_result(TaskIndex task, Result value) {
+  TaskAssignment who;
+  try {
+    who = trace(task);
+  } catch (const DomainError&) {
+    return SubmitStatus::kNeverIssued;  // index outside the mapping's range
+  }
+  const auto row_it = rows_.find(who.row);
+  if (row_it == rows_.end()) return SubmitStatus::kNeverIssued;
+  RowState& state = row_it->second;
   const auto it = state.outstanding.find(who.sequence);
   if (it == state.outstanding.end())
-    throw DomainError("TaskServer: task " + std::to_string(task) +
-                      " not outstanding for row " + std::to_string(who.row));
+    return results_.count(task) != 0 ? SubmitStatus::kDuplicate
+                                     : SubmitStatus::kNeverIssued;
   state.outstanding.erase(it);
   results_.emplace(task, value);
   ++total_results_;
   PFL_OBS_COUNTER("pfl_wbc_results_submitted_total").add();
+  return SubmitStatus::kAccepted;
 }
 
 AuditOutcome TaskServer::audit(TaskIndex task, Result truth) {

@@ -13,6 +13,7 @@
 // arrival/departure and index recycling on top of these rows.
 #pragma once
 
+#include <iosfwd>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -46,6 +47,11 @@ class TaskServer {
   /// Throws DomainError if the task was never issued or already returned.
   void submit_result(TaskIndex task, Result value);
 
+  /// Non-throwing twin of submit_result for data-plane callers (the
+  /// FrontEnd, fault-injected simulators): duplicates and never-issued
+  /// indices come back as typed rejections instead of exceptions.
+  SubmitStatus try_submit_result(TaskIndex task, Result value);
+
   /// Audits a returned task against the recomputed truth. Traces the row,
   /// tallies errors, bans at the threshold. Throws DomainError if no
   /// result was submitted for the task.
@@ -69,6 +75,17 @@ class TaskServer {
   index_t total_bans() const { return nt::to_index(banned_.size()); }
 
   const apf::AdditivePairingFunction& allocation_function() const { return *apf_; }
+
+  /// Crash-consistent snapshot: a checksummed, length-checked framed
+  /// blob (storage/snapshot.hpp) carrying every row, outstanding
+  /// sequence, stored result, strike count and ban. A truncated or
+  /// bit-flipped snapshot is rejected on restore, never half-loaded.
+  void checkpoint(std::ostream& out) const;
+
+  /// Rebuilds a server from checkpoint(). `apf` must be the same mapping
+  /// the snapshot was taken under (checked by name) -- task indices are
+  /// APF values, so restoring under a different mapping would lie.
+  static TaskServer restore(std::istream& in, apf::ApfPtr apf);
 
  private:
   struct RowState {

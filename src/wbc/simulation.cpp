@@ -1,8 +1,10 @@
 #include "wbc/simulation.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
 
@@ -25,6 +27,7 @@ struct SimVolunteer {
   VolunteerId id = 0;
   double speed = 1.0;
   double error_prob = 0.0;
+  index_t stalled_until = 0;       ///< fault injection: asleep before this step
   std::vector<TaskIndex> backlog;  ///< tasks requested, not yet submitted
 };
 
@@ -37,11 +40,15 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
   std::exponential_distribution<double> speed_dist(1.0 / config.mean_speed);
   std::poisson_distribution<int> arrivals_dist(config.arrival_rate);
 
-  FrontEnd frontend(std::move(apf), config.policy, config.ban_threshold);
+  // `apf` stays alive beside the front end: the crash injector rebuilds
+  // the front end from a snapshot and needs the mapping to restore under.
+  FrontEnd frontend(apf, config.policy, config.ban_threshold, config.lease);
   SimulationReport report;
+  const FaultPlan& faults = config.faults;
 
   std::unordered_map<VolunteerId, SimVolunteer> volunteers;
   std::unordered_map<TaskIndex, VolunteerId> computed_by;  // oracle
+  std::vector<std::pair<VolunteerId, TaskIndex>> zombies;  // post-ban echoes
   index_t unaudited_bad = 0;
   VolunteerId next_id = 1;
 
@@ -75,6 +82,20 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
 
   for (index_t step = 0; step < config.steps; ++step) {
     const obs::Span step_span("wbc_step");
+    // Fault: the server process dies here. Everything the front end knows
+    // survives only through the checkpoint; the restored instance must be
+    // indistinguishable from the one that never crashed. (The volunteers'
+    // own state -- backlogs, the audit oracle, the RNG -- is client-side
+    // and crashes are server-side, so the sim keeps those.)
+    if (faults.crash_at_step != 0 && step == faults.crash_at_step) {
+      std::ostringstream snapshot;
+      frontend.checkpoint(snapshot);
+      std::istringstream recovered(snapshot.str());
+      frontend = FrontEnd::restore(recovered, apf);
+      ++report.crashes;
+    }
+    // Lease sweep: reclaim tasks whose holders overslept their deadline.
+    frontend.tick(step);
     // Arrivals.
     const int n_arrive = arrivals_dist(rng);
     for (int i = 0; i < n_arrive; ++i) spawn();
@@ -90,13 +111,33 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
       if (vit == volunteers.end() || !frontend.is_active(id)) continue;
       SimVolunteer& v = vit->second;
 
-      // Submit everything held, possibly wrongly; audit a sample.
+      // Fault: silent stall -- the volunteer holds its backlog without
+      // departing, so only the lease sweep can reclaim the tasks. (Each
+      // injector draws from the RNG only when enabled, so a default
+      // FaultPlan replays the historical task streams bit-for-bit.)
+      if (faults.stall_prob > 0.0) {
+        if (v.stalled_until > step) continue;  // asleep
+        if (coin(rng) < faults.stall_prob) {
+          v.stalled_until = step + faults.stall_ticks;
+          continue;
+        }
+      }
+
+      // Submit everything held, possibly wrongly; audit a sample. Under
+      // faults a held task may have expired: only ACCEPTED results enter
+      // the oracle -- a rejected (superseded/duplicate) value must never
+      // be what an audit attributes.
       for (TaskIndex task : v.backlog) {
         const bool lie = coin(rng) < v.error_prob;
         const Result value = lie ? true_result(task) + 1 : true_result(task);
-        frontend.submit_result(id, task, value);
+        const SubmitStatus status = frontend.submit_result(id, task, value);
+        if (!submit_accepted(status)) continue;
         computed_by[task] = id;
         ++report.results_returned;
+        // Fault: immediately resubmit the accepted result (a flaky client
+        // retry). The double must bounce off the duplicate guard.
+        if (faults.duplicate_prob > 0.0 && coin(rng) < faults.duplicate_prob)
+          frontend.submit_result(id, task, value);
         if (coin(rng) < config.audit_rate) {
           const AuditOutcome outcome = frontend.audit(task, true_result(task));
           ++report.audits;
@@ -104,9 +145,11 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
             ++report.bad_results_caught;
             if (outcome.volunteer != computed_by.at(task))
               ++report.misattributions;
-            if (outcome.banned && !frontend.is_active(outcome.volunteer)) {
-              // Forced departure happened inside audit; reflect it here.
-              if (outcome.volunteer == id) break;  // stop this backlog
+            if (outcome.banned) {
+              zombies.emplace_back(outcome.volunteer, task);
+              if (!frontend.is_active(outcome.volunteer) &&
+                  outcome.volunteer == id)
+                break;  // forced departure mid-backlog: stop submitting
             }
           }
         } else if (lie) {
@@ -119,11 +162,32 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
         continue;
       }
 
-      // Request new work proportional to speed.
+      // Fault: submit a workload index nobody was ever handed -- it must
+      // come back kNeverIssued, not crash or misattribute.
+      if (faults.unknown_task_prob > 0.0 &&
+          coin(rng) < faults.unknown_task_prob) {
+        const TaskIndex bogus =
+            frontend.server().max_task_index() + 1 + rng() % 4096;
+        frontend.submit_result(id, bogus, true_result(bogus));
+      }
+
+      // Request new work proportional to speed (quarantined volunteers
+      // are refused new tasks until their sentence ends).
+      if (frontend.is_quarantined(id)) continue;
       std::poisson_distribution<int> work(v.speed);
       const int n_tasks = work(rng);
       for (int t = 0; t < n_tasks; ++t)
         v.backlog.push_back(frontend.request_task(id).task);
+    }
+
+    // Fault: a banned volunteer keeps resubmitting an old task -- the
+    // runtime must reject it without recording anything.
+    if (faults.zombie_prob > 0.0 && !zombies.empty() &&
+        coin(rng) < faults.zombie_prob) {
+      const auto& [zombie_id, zombie_task] =
+          zombies[static_cast<std::size_t>(rng() % zombies.size())];
+      frontend.submit_result(zombie_id, zombie_task,
+                             true_result(zombie_task) + 3);
     }
 
     // Voluntary departures (abandoning any backlog).
@@ -145,6 +209,13 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
     if (frontend.is_banned(id)) ++report.bans;
   report.rebinds = frontend.rebinds();
   report.recycled_tasks = frontend.reissued_tasks();
+  // Fault-tolerance tallies live in the front end so they survive a
+  // crash/restore cycle along with everything else.
+  report.leases_expired = frontend.leases_expired();
+  report.late_results = frontend.late_results();
+  report.expired_reissues = frontend.expired_reissues();
+  report.rejected_submissions = frontend.rejected_submissions();
+  report.quarantines = frontend.quarantines();
   report.bad_accept_rate =
       report.results_returned == 0
           ? 0.0

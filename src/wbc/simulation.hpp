@@ -25,6 +25,28 @@
 
 namespace pfl::wbc {
 
+/// Deterministic fault injection: every injector is driven by the one
+/// seeded RNG, so a (config, seed) pair replays the exact same chaos.
+/// All probabilities default to 0 -- a default FaultPlan is a no-op and
+/// the simulation behaves exactly as it did before faults existed.
+struct FaultPlan {
+  double stall_prob = 0.0;        ///< per-volunteer/step chance to stall
+  index_t stall_ticks = 24;       ///< how long a stalled volunteer sleeps
+  double duplicate_prob = 0.0;    ///< chance to resubmit an accepted result
+  double unknown_task_prob = 0.0; ///< chance to submit a never-issued index
+  double zombie_prob = 0.0;       ///< banned volunteer resubmission chance
+  /// Crash the server at the START of this step (0 = never): checkpoint,
+  /// throw the live FrontEnd away, restore from the snapshot, continue.
+  /// The final report must equal an uninterrupted run's (crash
+  /// equivalence -- asserted by the chaos tests).
+  index_t crash_at_step = 0;
+
+  bool any_faults() const {
+    return stall_prob > 0.0 || duplicate_prob > 0.0 ||
+           unknown_task_prob > 0.0 || zombie_prob > 0.0 || crash_at_step != 0;
+  }
+};
+
 struct SimulationConfig {
   index_t initial_volunteers = 64;
   index_t steps = 200;               ///< simulation time steps
@@ -37,6 +59,8 @@ struct SimulationConfig {
   index_t ban_threshold = 3;
   AssignmentPolicy policy = AssignmentPolicy::kFirstFree;
   std::uint64_t seed = 42;
+  LeaseConfig lease;                 ///< task-lease deadlines and backoff
+  FaultPlan faults;                  ///< defaults to no faults at all
 };
 
 struct SimulationReport {
@@ -52,6 +76,17 @@ struct SimulationReport {
   index_t rebinds = 0;              ///< speed-order maintenance cost
   index_t recycled_tasks = 0;       ///< orphans reissued by the front end
   double bad_accept_rate = 0.0;     ///< unaudited-bad / results
+  // Fault-tolerance tallies (all 0 when FaultPlan is default).
+  index_t leases_expired = 0;       ///< sweeps that reclaimed a task
+  index_t late_results = 0;         ///< accepted after expiry, pre-reissue
+  index_t expired_reissues = 0;     ///< expired tasks handed to a new holder
+  index_t rejected_submissions = 0; ///< typed rejections (see SubmitStatus)
+  index_t quarantines = 0;          ///< repeat-expiry timeouts imposed
+  index_t crashes = 0;              ///< checkpoint/restore cycles survived
+
+  /// Field-wise equality: the crash-equivalence tests compare a crashed
+  /// run's report (minus `crashes`) against an uninterrupted one's.
+  bool operator==(const SimulationReport&) const = default;
 };
 
 /// Runs the simulation with the given allocation function. Deterministic

@@ -38,4 +38,39 @@ struct AuditOutcome {
   bool banned = false;           ///< whether this audit triggered a ban
 };
 
+/// Typed outcome of handing a result back to the runtime. Data-plane
+/// faults (duplicates, unknown tasks, results arriving after their lease
+/// expired, post-ban resubmission) are REJECTED with a status instead of
+/// throwing: a hostile or merely slow volunteer must never be able to
+/// crash the server or corrupt attribution mid-simulation.
+enum class SubmitStatus {
+  kAccepted,      ///< stored; volunteer remains accountable for it
+  kAcceptedLate,  ///< lease had expired but the task was not yet reissued
+  kDuplicate,     ///< a result for this task was already stored
+  kNeverIssued,   ///< the index decodes to a task nobody was ever handed
+  kNotHolder,     ///< submitter is not the task's accountable holder
+  kSuperseded,    ///< submitter's lease expired and the task moved on
+  kBanned,        ///< submitter is banned; nothing is recorded
+};
+
+/// True for the statuses that stored the result.
+constexpr bool submit_accepted(SubmitStatus status) {
+  return status == SubmitStatus::kAccepted ||
+         status == SubmitStatus::kAcceptedLate;
+}
+
+/// Stable lowercase label (logs, the chaos demo's tallies).
+constexpr const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kAcceptedLate: return "accepted-late";
+    case SubmitStatus::kDuplicate: return "duplicate";
+    case SubmitStatus::kNeverIssued: return "never-issued";
+    case SubmitStatus::kNotHolder: return "not-holder";
+    case SubmitStatus::kSuperseded: return "superseded";
+    case SubmitStatus::kBanned: return "banned";
+  }
+  return "unknown";
+}
+
 }  // namespace pfl::wbc

@@ -60,14 +60,80 @@ TEST(SerializationTest, RejectsGarbageAndTruncation) {
   original.at(2, 2) = 5;
   original.at(3, 3) = 6;
   std::string blob = save_array_to_string(original);
-  // Chop the last cell line off.
+  // Chop the last cell line off -- the declared payload length no longer
+  // matches what arrives.
   blob.erase(blob.rfind('\n', blob.size() - 2) + 1);
   EXPECT_THROW(load_array_from_string<int>(blob, pf), DomainError);
 
-  // Future version refused.
+  // Future snapshot version refused (v2 header: "... extendible-array 2 ...").
   std::string versioned = save_array_to_string(original);
-  versioned.replace(versioned.find(" 1\n"), 3, " 9\n");
+  versioned.replace(versioned.find(" 2 "), 3, " 9 ");
   EXPECT_THROW(load_array_from_string<int>(versioned, pf), DomainError);
+}
+
+TEST(SerializationTest, EveryPrefixTruncationRejected) {
+  // A torn write can stop after ANY byte; no prefix may half-load.
+  const auto pf = std::make_shared<DiagonalPf>();
+  ExtendibleArray<int> original(pf, 3, 3);
+  original.at(1, 2) = 12;
+  original.at(2, 2) = 5;
+  original.at(3, 3) = 6;
+  const std::string blob = save_array_to_string(original);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW(load_array_from_string<int>(blob.substr(0, len), pf),
+                 DomainError)
+        << "prefix of " << len << " bytes loaded without error";
+  }
+  // The intact blob still loads (the loop above didn't test a lie).
+  EXPECT_EQ(load_array_from_string<int>(blob, pf).at(2, 2), 5);
+}
+
+TEST(SerializationTest, SingleBitFlipAnywhereRejected) {
+  // CRC-64 framing: flipping any one bit -- header or payload -- must be
+  // detected, never silently misloaded.
+  const auto pf = std::make_shared<DiagonalPf>();
+  ExtendibleArray<int> original(pf, 4, 4);
+  original.at(1, 1) = 7;
+  original.at(4, 4) = 44;
+  const std::string blob = save_array_to_string(original);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = blob;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1 << bit));
+      EXPECT_THROW(load_array_from_string<int>(damaged, pf), DomainError)
+          << "flip of bit " << bit << " in byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(SerializationTest, LyingCellCountRejected) {
+  const auto pf = std::make_shared<DiagonalPf>();
+  // Declares 1 cell, carries 2: the v2 parser must refuse trailing cells.
+  std::ostringstream more;
+  write_snapshot(more, kArrayKind, kArrayFormatVersion,
+                 "diagonal\n3 3 1\n2 2 5\n3 3 6\n");
+  EXPECT_THROW(load_array_from_string<int>(more.str(), pf), DomainError);
+  // Declares 5 cells, carries 1: truncated cell list.
+  std::ostringstream fewer;
+  write_snapshot(fewer, kArrayKind, kArrayFormatVersion,
+                 "diagonal\n3 3 5\n2 2 5\n");
+  EXPECT_THROW(load_array_from_string<int>(fewer.str(), pf), DomainError);
+  // Wrong snapshot kind refused even with a valid checksum.
+  std::ostringstream kind;
+  write_snapshot(kind, "wbc-task-server", kArrayFormatVersion, "diagonal\n");
+  EXPECT_THROW(load_array_from_string<int>(kind.str(), pf), DomainError);
+}
+
+TEST(SerializationTest, LegacyV1StillLoads) {
+  // Bare-header snapshots written before the checksummed framing existed
+  // keep loading (and keep their historical leniency about trailing bytes).
+  const auto pf = std::make_shared<DiagonalPf>();
+  const std::string v1 =
+      std::string(kArrayMagic) + " 1\ndiagonal\n3 3 2\n2 2 5\n3 3 6\n";
+  auto restored = load_array_from_string<int>(v1, pf);
+  EXPECT_EQ(restored.at(2, 2), 5);
+  EXPECT_EQ(restored.at(3, 3), 6);
+  EXPECT_EQ(restored.stored(), 2u);
 }
 
 TEST(SerializationTest, CellsOutsideShapeRejected) {

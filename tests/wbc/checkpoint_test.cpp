@@ -1,0 +1,243 @@
+// Crash-consistency tests for the WBC checkpoint/restore layer
+// (wbc/checkpoint.cpp): a restored runtime must be byte-for-byte
+// indistinguishable from the one that never crashed, and a damaged
+// snapshot must be rejected whole -- never half-applied.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "apf/tc.hpp"
+#include "apf/tsharp.hpp"
+#include "core/diagonal.hpp"
+#include "core/square_shell.hpp"
+#include "wbc/frontend.hpp"
+#include "wbc/replication.hpp"
+#include "wbc/server.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+std::string checkpoint_of(const TaskServer& s) {
+  std::ostringstream out;
+  s.checkpoint(out);
+  return out.str();
+}
+
+std::string checkpoint_of(const FrontEnd& fe) {
+  std::ostringstream out;
+  fe.checkpoint(out);
+  return out.str();
+}
+
+std::string checkpoint_of(const ReplicatedServer& rs) {
+  std::ostringstream out;
+  rs.checkpoint(out);
+  return out.str();
+}
+
+/// A front end with every kind of state the snapshot must carry: open and
+/// retired rows, outstanding + returned tasks, a recycle/reissue history,
+/// an expired lease, strikes and a ban.
+FrontEnd busy_frontend() {
+  FrontEnd fe(std::make_shared<apf::TSharpApf>(), AssignmentPolicy::kFirstFree,
+              2, LeaseConfig{.base_deadline_ticks = 4});
+  fe.arrive(1, 3.0);
+  fe.arrive(2, 1.0);
+  fe.arrive(3, 2.0);
+  const TaskIndex t1 = fe.request_task(1).task;
+  const TaskIndex t2a = fe.request_task(2).task;
+  const TaskIndex t2b = fe.request_task(2).task;
+  fe.request_task(3);
+  fe.submit_result(1, t1, 10);
+  fe.submit_result(2, t2a, 999);          // wrong: audited below
+  fe.submit_result(2, t2b, 999);          // wrong again
+  fe.depart(3);                           // its task joins the recycle queue
+  fe.request_task(1);                     // ...and is reissued to 1
+  fe.audit(t1, 10);
+  fe.audit(t2a, 20);                      // strike 1 for volunteer 2
+  fe.audit(t2b, 21);                      // strike 2: banned + forced depart
+  fe.tick(5);                             // expires every open lease
+  return fe;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips: checkpoint -> restore -> checkpoint is byte-identical, and
+// the restored instance behaves identically going forward.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, TaskServerRoundTrip) {
+  const auto apf = std::make_shared<apf::TSharpApf>();
+  TaskServer server(apf, 2);
+  const RowIndex r1 = server.open_row();
+  const RowIndex r2 = server.open_row();
+  const TaskIndex a = server.next_task(r1).task;
+  const TaskIndex b = server.next_task(r2).task;
+  server.next_task(r1);  // left outstanding
+  server.submit_result(a, 7);
+  server.submit_result(b, 8);
+  server.audit(a, 7);
+  server.audit(b, 0);  // strike against r2
+
+  const std::string snap = checkpoint_of(server);
+  std::istringstream in(snap);
+  TaskServer restored = TaskServer::restore(in, apf);
+  EXPECT_EQ(checkpoint_of(restored), snap);
+
+  EXPECT_EQ(restored.row_count(), server.row_count());
+  EXPECT_EQ(restored.total_issued(), server.total_issued());
+  EXPECT_EQ(restored.total_results(), server.total_results());
+  EXPECT_EQ(restored.max_task_index(), server.max_task_index());
+  EXPECT_EQ(restored.errors_of(r2), 1ull);
+  EXPECT_EQ(restored.outstanding_of(r1), server.outstanding_of(r1));
+  // The streams continue in lockstep.
+  EXPECT_EQ(restored.next_task(r1).task, server.next_task(r1).task);
+  EXPECT_EQ(restored.open_row(), server.open_row());
+}
+
+TEST(CheckpointTest, FrontEndRoundTrip) {
+  FrontEnd fe = busy_frontend();
+  const std::string snap = checkpoint_of(fe);
+  std::istringstream in(snap);
+  FrontEnd restored = FrontEnd::restore(in, std::make_shared<apf::TSharpApf>());
+  EXPECT_EQ(checkpoint_of(restored), snap);
+
+  EXPECT_EQ(restored.recycle_queue_size(), fe.recycle_queue_size());
+  EXPECT_EQ(restored.reissued_tasks(), fe.reissued_tasks());
+  EXPECT_EQ(restored.leases_expired(), fe.leases_expired());
+  EXPECT_EQ(restored.rejected_submissions(), fe.rejected_submissions());
+  EXPECT_EQ(restored.leases().now(), fe.leases().now());
+  // Both instances keep evolving identically.
+  EXPECT_EQ(restored.request_task(1).task, fe.request_task(1).task);
+  EXPECT_EQ(restored.arrive(9, 1.5), fe.arrive(9, 1.5));
+  EXPECT_EQ(checkpoint_of(restored), checkpoint_of(fe));
+}
+
+TEST(CheckpointTest, FrontEndSpeedOrderedRoundTrip) {
+  // kSpeedOrdered rebuilds its ranking from the snapshot; the rebind
+  // machinery must keep working after a restore.
+  FrontEnd fe(std::make_shared<apf::TSharpApf>(),
+              AssignmentPolicy::kSpeedOrdered);
+  fe.arrive(1, 5.0);
+  fe.arrive(2, 9.0);
+  fe.arrive(3, 7.0);
+  fe.request_task(2);
+  const std::string snap = checkpoint_of(fe);
+  std::istringstream in(snap);
+  FrontEnd restored = FrontEnd::restore(in, std::make_shared<apf::TSharpApf>());
+  EXPECT_EQ(checkpoint_of(restored), snap);
+  // A faster arrival displaces everyone in both instances alike.
+  EXPECT_EQ(restored.arrive(4, 11.0), fe.arrive(4, 11.0));
+  EXPECT_EQ(restored.row_of(2), fe.row_of(2));
+  EXPECT_EQ(restored.rebinds(), fe.rebinds());
+  EXPECT_EQ(checkpoint_of(restored), checkpoint_of(fe));
+}
+
+TEST(CheckpointTest, ReplicatedServerRoundTrip) {
+  const auto pf = std::make_shared<DiagonalPf>();
+  ReplicatedServer server(pf, 3, 2, LeaseConfig{.base_deadline_ticks = 8});
+  for (int i = 0; i < 4; ++i) server.register_volunteer();
+  const auto a1 = server.request_task(1);
+  const auto a2 = server.request_task(2);
+  const auto a3 = server.request_task(3);
+  server.submit(1, a1.virtual_task, 5);
+  server.submit(2, a2.virtual_task, 5);
+  // Third vote pending: the snapshot carries a half-voted task.
+  const std::string snap = checkpoint_of(server);
+  std::istringstream in(snap);
+  ReplicatedServer restored = ReplicatedServer::restore(in, pf);
+  EXPECT_EQ(checkpoint_of(restored), snap);
+
+  // The decisive vote lands identically on both instances.
+  EXPECT_EQ(restored.submit(3, a3.virtual_task, 5),
+            server.submit(3, a3.virtual_task, 5));
+  const auto d1 = server.drain_decisions();
+  const auto d2 = restored.drain_decisions();
+  ASSERT_EQ(d1.size(), 1u);
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2[0].abstract_task, d1[0].abstract_task);
+  EXPECT_TRUE(d2[0].decided);
+  EXPECT_EQ(d2[0].value, 5ull);
+  EXPECT_EQ(checkpoint_of(restored), checkpoint_of(server));
+}
+
+TEST(CheckpointTest, LeaseAndQuarantineStateSurvives) {
+  FrontEnd fe(std::make_shared<apf::TSharpApf>(), AssignmentPolicy::kFirstFree,
+              3,
+              LeaseConfig{.base_deadline_ticks = 1,
+                          .max_deadline_ticks = 8,
+                          .quarantine_after = 1,
+                          .quarantine_ticks = 50});
+  fe.arrive(1, 1.0);
+  const TaskIndex task = fe.request_task(1).task;
+  fe.tick(2);  // expiry + quarantine
+  ASSERT_TRUE(fe.is_quarantined(1));
+
+  std::istringstream in(checkpoint_of(fe));
+  FrontEnd restored = FrontEnd::restore(in, std::make_shared<apf::TSharpApf>());
+  EXPECT_TRUE(restored.is_quarantined(1));
+  EXPECT_EQ(restored.quarantines(), 1ull);
+  EXPECT_THROW(restored.request_task(1), DomainError);
+  // The expiry record survived too: a late result still resolves honestly.
+  EXPECT_EQ(restored.submit_result(1, task, 3), SubmitStatus::kAcceptedLate);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: damaged or mismatched snapshots never half-load.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, EveryTruncationRejected) {
+  const std::string snap = checkpoint_of(busy_frontend());
+  const auto apf = std::make_shared<apf::TSharpApf>();
+  // Step 7 keeps the loop fast without losing the interesting offsets
+  // (header boundary, section boundaries, mid-number cuts all get hit).
+  for (std::size_t len = 0; len < snap.size(); len += 7) {
+    std::istringstream in(snap.substr(0, len));
+    EXPECT_THROW(FrontEnd::restore(in, apf), DomainError)
+        << "prefix of " << len << " bytes restored without error";
+  }
+}
+
+TEST(CheckpointTest, SingleBitFlipRejected) {
+  const std::string snap = checkpoint_of(busy_frontend());
+  const auto apf = std::make_shared<apf::TSharpApf>();
+  for (std::size_t i = 0; i < snap.size(); i += 5) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string damaged = snap;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1 << bit));
+      std::istringstream in(damaged);
+      EXPECT_THROW(FrontEnd::restore(in, apf), DomainError)
+          << "flip of bit " << bit << " in byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(CheckpointTest, MappingMismatchRejected) {
+  // Task indices are APF values: restoring under a different mapping
+  // would silently reinterpret the whole workload.
+  std::istringstream fe_in(checkpoint_of(busy_frontend()));
+  EXPECT_THROW(FrontEnd::restore(fe_in, std::make_shared<apf::TcApf>(2)),
+               DomainError);
+
+  ReplicatedServer rs(std::make_shared<DiagonalPf>(), 3);
+  rs.register_volunteer();
+  rs.request_task(1);
+  std::istringstream rs_in(checkpoint_of(rs));
+  EXPECT_THROW(
+      ReplicatedServer::restore(rs_in, std::make_shared<SquareShellPf>()),
+      DomainError);
+}
+
+TEST(CheckpointTest, WrongSnapshotKindRejected) {
+  // A TaskServer snapshot is not a FrontEnd snapshot, even though both
+  // use the same framing.
+  const auto apf = std::make_shared<apf::TSharpApf>();
+  TaskServer server(apf, 2);
+  server.open_row();
+  std::istringstream in(checkpoint_of(server));
+  EXPECT_THROW(FrontEnd::restore(in, apf), DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::wbc

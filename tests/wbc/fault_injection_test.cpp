@@ -1,0 +1,147 @@
+// Chaos tests for the simulator's deterministic fault-injection harness:
+// every FaultPlan must preserve the accountability invariant
+// (misattributions == 0), and a run that crashes and restores from a
+// checkpoint must end in EXACTLY the report of the run that never crashed
+// (crash equivalence).
+#include "wbc/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apf/tsharp.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+SimulationConfig chaos_config(std::uint64_t seed) {
+  SimulationConfig config;
+  config.initial_volunteers = 24;
+  config.steps = 60;
+  config.seed = seed;
+  config.lease.base_deadline_ticks = 4;  // short leases: expiries happen
+  config.faults.stall_prob = 0.05;
+  config.faults.stall_ticks = 10;
+  config.faults.duplicate_prob = 0.05;
+  config.faults.unknown_task_prob = 0.05;
+  config.faults.zombie_prob = 0.25;
+  return config;
+}
+
+SimulationReport run(const SimulationConfig& config) {
+  return run_simulation(std::make_shared<apf::TSharpApf>(), config);
+}
+
+TEST(FaultInjectionTest, DefaultPlanIsANoOp) {
+  SimulationConfig config;
+  config.steps = 40;
+  EXPECT_FALSE(config.faults.any_faults());
+  const SimulationReport report = run(config);
+  EXPECT_EQ(report.leases_expired, 0ull);
+  EXPECT_EQ(report.late_results, 0ull);
+  EXPECT_EQ(report.expired_reissues, 0ull);
+  EXPECT_EQ(report.rejected_submissions, 0ull);
+  EXPECT_EQ(report.quarantines, 0ull);
+  EXPECT_EQ(report.crashes, 0ull);
+  EXPECT_EQ(report.misattributions, 0ull);
+}
+
+TEST(FaultInjectionTest, ChaosRunsAreDeterministic) {
+  const SimulationConfig config = chaos_config(11);
+  EXPECT_EQ(run(config), run(config));
+}
+
+TEST(FaultInjectionTest, NoMisattributionUnderFullChaosSeedSweep) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const SimulationReport report = run(chaos_config(seed));
+    EXPECT_EQ(report.misattributions, 0ull) << "seed " << seed;
+    EXPECT_GT(report.results_returned, 0ull) << "seed " << seed;
+  }
+}
+
+TEST(FaultInjectionTest, EachInjectorLeavesItsFingerprint) {
+  SimulationConfig config;
+  config.initial_volunteers = 24;
+  config.steps = 60;
+  config.lease.base_deadline_ticks = 4;
+
+  SimulationConfig stalls = config;
+  stalls.faults.stall_prob = 0.15;
+  stalls.faults.stall_ticks = 12;
+  const SimulationReport stall_report = run(stalls);
+  EXPECT_GT(stall_report.leases_expired, 0ull);
+  EXPECT_EQ(stall_report.misattributions, 0ull);
+
+  SimulationConfig duplicates = config;
+  duplicates.faults.duplicate_prob = 0.5;
+  const SimulationReport dup_report = run(duplicates);
+  EXPECT_GT(dup_report.rejected_submissions, 0ull);
+  EXPECT_EQ(dup_report.misattributions, 0ull);
+
+  SimulationConfig unknowns = config;
+  unknowns.faults.unknown_task_prob = 0.5;
+  const SimulationReport unknown_report = run(unknowns);
+  EXPECT_GT(unknown_report.rejected_submissions, 0ull);
+  EXPECT_EQ(unknown_report.misattributions, 0ull);
+
+  SimulationConfig zombies = config;
+  zombies.faults.zombie_prob = 0.5;
+  const SimulationReport zombie_report = run(zombies);
+  // Zombie submissions only fire once an audit banned someone.
+  if (zombie_report.bans > 0) {
+    EXPECT_GT(zombie_report.rejected_submissions, 0ull);
+  }
+  EXPECT_EQ(zombie_report.misattributions, 0ull);
+}
+
+TEST(FaultInjectionTest, QuarantinesTriggerUnderHeavyStalling) {
+  SimulationConfig config;
+  config.initial_volunteers = 16;
+  config.steps = 120;
+  config.seed = 3;
+  config.lease.base_deadline_ticks = 1;
+  config.lease.max_deadline_ticks = 2;
+  config.lease.quarantine_after = 2;
+  config.lease.quarantine_ticks = 8;
+  config.faults.stall_prob = 0.5;
+  config.faults.stall_ticks = 20;
+  const SimulationReport report = run(config);
+  EXPECT_GT(report.leases_expired, 0ull);
+  EXPECT_GT(report.quarantines, 0ull);
+  EXPECT_EQ(report.misattributions, 0ull);
+}
+
+// The acceptance property of the whole PR: checkpoint at step k, throw the
+// live front end away, restore, run to completion -- the final report must
+// be IDENTICAL to the uninterrupted run's.
+TEST(FaultInjectionTest, CrashEquivalenceCleanRun) {
+  SimulationConfig config;
+  config.initial_volunteers = 24;
+  config.steps = 60;
+  SimulationReport baseline = run(config);
+
+  config.faults.crash_at_step = 30;
+  SimulationReport crashed = run(config);
+  EXPECT_EQ(crashed.crashes, 1ull);
+  crashed.crashes = baseline.crashes = 0;
+  EXPECT_EQ(crashed, baseline);
+}
+
+TEST(FaultInjectionTest, CrashEquivalenceUnderChaos) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SimulationConfig config = chaos_config(seed);
+    SimulationReport baseline = run(config);
+    ASSERT_EQ(baseline.misattributions, 0ull);
+
+    for (index_t k : {1ull, 20ull, 45ull}) {
+      config.faults.crash_at_step = k;
+      SimulationReport crashed = run(config);
+      EXPECT_EQ(crashed.crashes, 1ull);
+      crashed.crashes = 0;
+      EXPECT_EQ(crashed, baseline) << "seed " << seed << " crash at " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfl::wbc

@@ -1,0 +1,243 @@
+#include "wbc/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "apf/tsharp.hpp"
+#include "wbc/frontend.hpp"
+
+namespace pfl::wbc {
+namespace {
+
+constexpr index_t kMax = std::numeric_limits<index_t>::max();
+
+FrontEnd make_frontend(LeaseConfig lease, index_t ban_threshold = 3) {
+  return FrontEnd(std::make_shared<apf::TSharpApf>(),
+                  AssignmentPolicy::kFirstFree, ban_threshold, lease);
+}
+
+// ---------------------------------------------------------------------------
+// LeaseTable unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(LeaseTableTest, ExpiresStrictlyAfterDeadline) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 16});
+  table.grant(100, 1);
+  // A lease with deadline d survives the sweep at now == d ...
+  EXPECT_TRUE(table.advance(16).expired.empty());
+  EXPECT_EQ(table.active_leases(), 1ull);
+  // ... and expires at the first sweep with now > d.
+  const ExpirySweep sweep = table.advance(17);
+  ASSERT_EQ(sweep.expired.size(), 1u);
+  EXPECT_EQ(sweep.expired[0].task, 100ull);
+  EXPECT_EQ(sweep.expired[0].volunteer, 1ull);
+  EXPECT_EQ(sweep.expired[0].deadline, 16ull);
+  EXPECT_EQ(table.active_leases(), 0ull);
+}
+
+TEST(LeaseTableTest, BackoffDoublesAndResetsOnCompletion) {
+  LeaseTable table(
+      LeaseConfig{.base_deadline_ticks = 4, .max_deadline_ticks = 1024});
+  EXPECT_EQ(table.deadline_ticks(1), 4ull);
+  table.grant(10, 1);
+  table.advance(5);  // deadline was 4 -> expired
+  EXPECT_EQ(table.deadline_ticks(1), 8ull);
+  table.grant(11, 1);  // due at 5 + 8 = 13
+  table.advance(14);
+  EXPECT_EQ(table.deadline_ticks(1), 16ull);
+  // An on-time completion restores trust.
+  table.grant(12, 1);
+  EXPECT_TRUE(table.complete(12, 1));
+  EXPECT_EQ(table.deadline_ticks(1), 4ull);
+}
+
+TEST(LeaseTableTest, BackoffSaturatesWithoutOverflow) {
+  // A base deadline over half the index range: one doubling must clamp to
+  // the cap instead of wrapping.
+  const index_t huge = kMax / 2 + 1;
+  LeaseTable table(
+      LeaseConfig{.base_deadline_ticks = huge, .max_deadline_ticks = kMax});
+  table.grant(1, 7);
+  const ExpirySweep sweep = table.advance(kMax);  // huge < kMax: expired
+  ASSERT_EQ(sweep.expired.size(), 1u);
+  EXPECT_EQ(table.deadline_ticks(7), kMax);
+  // Granting at a clock near the top saturates the deadline instead of
+  // wrapping past zero; the lease then never expires.
+  table.grant(2, 7);
+  EXPECT_TRUE(table.advance(kMax).expired.empty());
+  EXPECT_EQ(table.active_leases(), 1ull);
+}
+
+TEST(LeaseTableTest, QuarantineAfterConsecutiveExpiriesThenRelease) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 2,
+                               .max_deadline_ticks = 1024,
+                               .quarantine_after = 2,
+                               .quarantine_ticks = 10});
+  table.grant(1, 5);  // due at 2
+  EXPECT_TRUE(table.advance(3).quarantined.empty());
+  table.grant(2, 5);  // backoff grew to 4: due at 3 + 4 = 7
+  const ExpirySweep sweep = table.advance(8);
+  ASSERT_EQ(sweep.quarantined.size(), 1u);
+  EXPECT_EQ(sweep.quarantined[0], 5ull);
+  EXPECT_TRUE(table.is_quarantined(5));
+  table.advance(17);  // sentence ends at 8 + 10 = 18
+  EXPECT_TRUE(table.is_quarantined(5));
+  table.advance(18);
+  EXPECT_FALSE(table.is_quarantined(5));
+}
+
+TEST(LeaseTableTest, ClockIsMonotonic) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 16});
+  table.advance(10);
+  table.advance(5);  // stale sweep: clock must not rewind
+  EXPECT_EQ(table.now(), 10ull);
+}
+
+TEST(LeaseTableTest, CompleteRequiresTheHolder) {
+  LeaseTable table;
+  table.grant(42, 1);
+  EXPECT_FALSE(table.complete(42, 2));  // not the holder
+  EXPECT_FALSE(table.complete(43, 1));  // no such lease
+  EXPECT_TRUE(table.complete(42, 1));
+  EXPECT_FALSE(table.complete(42, 1));  // already gone
+}
+
+TEST(LeaseTableTest, DropVolunteerVoidsAllTheirLeases) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 2});
+  table.grant(1, 1);
+  table.grant(2, 2);
+  table.grant(3, 1);
+  table.drop_volunteer(1);
+  EXPECT_EQ(table.active_leases(), 1ull);
+  // The departed volunteer's leases can no longer expire against them.
+  const ExpirySweep sweep = table.advance(100);
+  ASSERT_EQ(sweep.expired.size(), 1u);
+  EXPECT_EQ(sweep.expired[0].volunteer, 2ull);
+}
+
+TEST(LeaseTableTest, EncodeDecodeRoundTrip) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 3,
+                               .max_deadline_ticks = 50,
+                               .quarantine_after = 2,
+                               .quarantine_ticks = 9});
+  table.grant(10, 1);
+  table.grant(20, 2);
+  table.advance(4);   // expires both, grows backoff
+  table.grant(30, 2);
+  std::ostringstream first;
+  table.encode(first);
+  std::istringstream in(first.str());
+  LeaseTable restored = LeaseTable::decode(in);
+  std::ostringstream second;
+  restored.encode(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_EQ(restored.now(), 4ull);
+  EXPECT_EQ(restored.deadline_ticks(1), 6ull);
+  // Truncated encodings are rejected, never half-decoded.
+  const std::string blob = first.str();
+  std::istringstream torn(blob.substr(0, blob.size() / 2));
+  EXPECT_THROW(LeaseTable::decode(torn), DomainError);
+}
+
+// ---------------------------------------------------------------------------
+// FrontEnd integration: expiry, reissue, late results, quarantine.
+// ---------------------------------------------------------------------------
+
+TEST(FrontEndLeaseTest, ExpiredTaskIsReissuedAndOldHolderSuperseded) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 2});
+  fe.arrive(1, 1.0);
+  const TaskIndex task = fe.request_task(1).task;
+  EXPECT_EQ(fe.tick(3).expired.size(), 1u);
+  EXPECT_EQ(fe.leases_expired(), 1ull);
+  EXPECT_EQ(fe.recycle_queue_size(), 1ull);
+
+  fe.arrive(2, 1.0);
+  EXPECT_EQ(fe.request_task(2).task, task);  // reissued from the queue
+  EXPECT_EQ(fe.expired_reissues(), 1ull);
+  // The original holder's late result is rejected; the new holder's is
+  // accepted and attribution follows the stored value.
+  EXPECT_EQ(fe.submit_result(1, task, 111), SubmitStatus::kSuperseded);
+  EXPECT_EQ(fe.submit_result(2, task, 222), SubmitStatus::kAccepted);
+  EXPECT_EQ(fe.audit(task, 222).volunteer, 2ull);
+  EXPECT_EQ(fe.rejected_submissions(), 1ull);
+}
+
+TEST(FrontEndLeaseTest, ResultRacingItsOwnExpiryIsAcceptedLate) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 2});
+  fe.arrive(1, 1.0);
+  const TaskIndex task = fe.request_task(1).task;
+  fe.tick(3);  // expired into the recycle queue, nobody has it yet
+  EXPECT_EQ(fe.submit_result(1, task, 7), SubmitStatus::kAcceptedLate);
+  EXPECT_EQ(fe.late_results(), 1ull);
+  // The late accept pulled the task back OUT of the recycle queue: the
+  // next request must get fresh work, not a completed task.
+  EXPECT_EQ(fe.recycle_queue_size(), 0ull);
+  fe.arrive(2, 1.0);
+  EXPECT_NE(fe.request_task(2).task, task);
+  // Attribution stays with the late-but-honoured holder.
+  EXPECT_EQ(fe.audit(task, 7).volunteer, 1ull);
+}
+
+TEST(FrontEndLeaseTest, SameVolunteerMayRetakeItsOwnExpiredTask) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 2});
+  fe.arrive(1, 1.0);
+  const TaskIndex task = fe.request_task(1).task;
+  fe.tick(3);
+  // Nobody else drained the queue: the original holder re-requests and
+  // gets its own task back -- no supersession, no misattribution.
+  EXPECT_EQ(fe.request_task(1).task, task);
+  EXPECT_EQ(fe.expired_reissues(), 0ull);
+  EXPECT_EQ(fe.submit_result(1, task, 9), SubmitStatus::kAccepted);
+  EXPECT_EQ(fe.audit(task, 9).volunteer, 1ull);
+}
+
+TEST(FrontEndLeaseTest, RepeatOffenderIsQuarantinedThenReleased) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 1,
+                                      .max_deadline_ticks = 8,
+                                      .quarantine_after = 1,
+                                      .quarantine_ticks = 5});
+  fe.arrive(1, 1.0);
+  fe.request_task(1);
+  const ExpirySweep sweep = fe.tick(2);
+  ASSERT_EQ(sweep.quarantined.size(), 1u);
+  EXPECT_TRUE(fe.is_quarantined(1));
+  EXPECT_EQ(fe.quarantines(), 1ull);
+  EXPECT_THROW(fe.request_task(1), DomainError);
+  fe.tick(7);  // sentence: 2 + 5 = 7
+  EXPECT_FALSE(fe.is_quarantined(1));
+  fe.request_task(1);  // eligible again
+}
+
+TEST(FrontEndLeaseTest, OnTimeResultKeepsLeaseQuiet) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 4});
+  fe.arrive(1, 1.0);
+  const TaskIndex task = fe.request_task(1).task;
+  EXPECT_EQ(fe.submit_result(1, task, 3), SubmitStatus::kAccepted);
+  EXPECT_TRUE(fe.tick(100).expired.empty());
+  EXPECT_EQ(fe.leases_expired(), 0ull);
+  EXPECT_EQ(fe.recycle_queue_size(), 0ull);
+}
+
+TEST(FrontEndLeaseTest, DepartureDropsLeasesWithoutExpiry) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 2});
+  fe.arrive(1, 1.0);
+  fe.request_task(1);
+  fe.depart(1);  // polite exit: task recycles via depart, not the sweep
+  EXPECT_EQ(fe.recycle_queue_size(), 1ull);
+  EXPECT_TRUE(fe.tick(50).expired.empty());
+  EXPECT_EQ(fe.leases_expired(), 0ull);
+}
+
+TEST(FrontEndLeaseTest, RejectsNonsenseLeaseConfig) {
+  EXPECT_THROW(make_frontend(LeaseConfig{.base_deadline_ticks = 0}),
+               DomainError);
+  EXPECT_THROW(make_frontend(LeaseConfig{.base_deadline_ticks = 100,
+                                         .max_deadline_ticks = 10}),
+               DomainError);
+}
+
+}  // namespace
+}  // namespace pfl::wbc

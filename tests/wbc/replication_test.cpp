@@ -159,18 +159,72 @@ TEST(ReplicatedServerTest, ReplicationOneAcceptsAnything) {
 
 TEST(ReplicatedServerTest, ErrorPaths) {
   auto server = make_server(3);
-  EXPECT_THROW(server.request_task(1), DomainError);  // unknown
+  EXPECT_THROW(server.request_task(1), DomainError);   // unknown volunteer
+  EXPECT_THROW(server.submit(1, 1, 0), DomainError);   // unknown volunteer
   server.register_volunteer();
   const auto a = server.request_task(1);
-  server.submit(1, a.virtual_task, 1);
-  EXPECT_THROW(server.submit(1, a.virtual_task, 1), DomainError);  // dup
+  EXPECT_EQ(server.submit(1, a.virtual_task, 1), SubmitStatus::kAccepted);
+  // Data-plane faults are typed rejections, never exceptions.
+  EXPECT_EQ(server.submit(1, a.virtual_task, 1), SubmitStatus::kDuplicate);
   const DiagonalPf d;
-  EXPECT_THROW(server.submit(1, d.pair(99, 1), 0), DomainError);  // not pending
+  EXPECT_EQ(server.submit(1, d.pair(99, 1), 0), SubmitStatus::kNeverIssued);
+  EXPECT_EQ(server.rejected_submissions(), 2ull);
   EXPECT_THROW(ReplicatedServer(nullptr, 3), DomainError);
   EXPECT_THROW(make_server(0), DomainError);
   auto dovetail = std::make_shared<DovetailMapping>(std::vector<PfPtr>{
       std::make_shared<DiagonalPf>(), std::make_shared<SquareShellPf>()});
   EXPECT_THROW(ReplicatedServer(dovetail, 3), DomainError);  // not surjective
+}
+
+TEST(ReplicatedServerTest, DoubleVoteCannotSwingMajority) {
+  // Regression: a dishonest volunteer retries its wrong ballot and pokes
+  // at other volunteers' slots; the guards must keep the tally at one
+  // counted ballot per slot so the honest majority still wins.
+  auto server = make_server(3, /*ban_threshold=*/2);
+  for (int i = 0; i < 3; ++i) server.register_volunteer();
+  const auto a1 = server.request_task(1);
+  const auto a2 = server.request_task(2);
+  const auto a3 = server.request_task(3);
+  EXPECT_EQ(server.submit(1, a1.virtual_task, 666), SubmitStatus::kAccepted);
+  EXPECT_EQ(server.submit(1, a1.virtual_task, 666), SubmitStatus::kDuplicate);
+  EXPECT_EQ(server.submit(1, a2.virtual_task, 666), SubmitStatus::kNotHolder);
+  EXPECT_EQ(server.submit(2, a2.virtual_task, 9), SubmitStatus::kAccepted);
+  EXPECT_EQ(server.submit(3, a3.virtual_task, 9), SubmitStatus::kAccepted);
+  const auto decisions = server.drain_decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].decided);
+  EXPECT_EQ(decisions[0].value, 9ull);
+  EXPECT_EQ(decisions[0].dissenters, std::vector<VolunteerId>{1});
+  EXPECT_EQ(server.rejected_submissions(), 2ull);
+}
+
+TEST(ReplicatedServerTest, ExpiredSlotReopensAndLateVoteIsSuperseded) {
+  LeaseConfig lease;
+  lease.base_deadline_ticks = 2;
+  ReplicatedServer server(std::make_shared<DiagonalPf>(), 3, 2, lease);
+  for (int i = 0; i < 4; ++i) server.register_volunteer();
+  const auto a1 = server.request_task(1);
+  const auto a2 = server.request_task(2);
+  const auto a3 = server.request_task(3);
+  EXPECT_EQ(server.submit(2, a2.virtual_task, 9), SubmitStatus::kAccepted);
+  EXPECT_EQ(server.submit(3, a3.virtual_task, 9), SubmitStatus::kAccepted);
+  // Volunteer 1 oversleeps: its slot expires and reopens.
+  const auto sweep = server.tick(5);
+  ASSERT_EQ(sweep.expired.size(), 1u);
+  EXPECT_EQ(sweep.expired[0].task, a1.virtual_task);
+  EXPECT_EQ(server.leases_expired(), 1ull);
+  // Volunteer 4 inherits the freed slot; the task can still complete.
+  const auto rescue = server.request_task(4);
+  EXPECT_EQ(rescue.abstract_task, a1.abstract_task);
+  EXPECT_EQ(rescue.replica, a1.replica);
+  // The late vote from the overslept volunteer must NOT land in the slot.
+  EXPECT_EQ(server.submit(1, a1.virtual_task, 666), SubmitStatus::kSuperseded);
+  EXPECT_EQ(server.submit(4, rescue.virtual_task, 9), SubmitStatus::kAccepted);
+  const auto decisions = server.drain_decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].decided);
+  EXPECT_EQ(decisions[0].value, 9ull);
+  EXPECT_TRUE(decisions[0].dissenters.empty());
 }
 
 TEST(ReplicationExperimentTest, HonestMajorityBeatsColluders) {

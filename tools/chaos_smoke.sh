@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Chaos smoke: run the fault-injection sweep against a built tree.
+#
+#   tools/chaos_smoke.sh [build-dir] [seeds]   (default: build 8)
+#
+# Used by the CI chaos job (under ASan/UBSan): runs the chaos_demo seed
+# sweep -- every fault injector on, plus a mid-run crash/restore cycle per
+# seed -- and the dedicated chaos test suites. The demo exits nonzero on
+# the first misattribution or crash-equivalence violation, so any failure
+# here is a real fault-tolerance bug, not a flaky timing assertion.
+set -eu
+
+build_dir="${1:-build}"
+seeds="${2:-8}"
+
+demo="$build_dir/examples/chaos_demo"
+if [ ! -x "$demo" ]; then
+  echo "chaos_smoke: $demo not built (configure with -DPFL_BUILD_EXAMPLES=ON)" >&2
+  exit 2
+fi
+
+echo "== chaos_demo: $seeds-seed sweep, all injectors + crash/restore"
+"$demo" "$seeds"
+
+echo
+echo "== chaos test suites (fault injection, leases, checkpoints)"
+ctest --test-dir "$build_dir" --output-on-failure \
+  -R 'FaultInjection|LeaseTable|FrontEndLease|Checkpoint'
