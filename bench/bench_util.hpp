@@ -4,11 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/httpd.hpp"
+#include "obs/sampler.hpp"
 
 namespace pfl::bench {
 
@@ -56,13 +62,52 @@ inline BenchArgs args_with_env_out(int argc, char** argv) {
   return r;
 }
 
+/// PFL_BENCH_SERVE=<port|1> attaches the live telemetry runtime (250ms
+/// sampler + loopback HTTP exposition server, obs/httpd.hpp) for the
+/// duration of the benchmark run. Two uses: watching a long run from
+/// outside with tools/obs_watch.py, and measuring that the idle runtime
+/// stays within timing noise (the BENCH_PR5.json baseline is collected
+/// this way). With PFL_OBS=OFF the attachment degrades to a printed
+/// warning -- the env var is honored but there is nothing to serve.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry() {
+    const char* serve = std::getenv("PFL_BENCH_SERVE");
+    if (!serve || !*serve || std::strcmp(serve, "0") == 0) return;
+    const unsigned long parsed = std::strtoul(serve, nullptr, 10);
+    const auto port =
+        parsed > 1 && parsed < 65536 ? static_cast<std::uint16_t>(parsed) : 0;
+    sampler_.start();
+    server_.emplace(obs::HttpServerConfig{port, &sampler_});
+    if (server_->start())
+      std::printf("telemetry: serving http://127.0.0.1:%u during the run\n",
+                  server_->port());
+    else
+      std::printf("telemetry: PFL_BENCH_SERVE set but the server did not "
+                  "start (PFL_OBS=OFF build?)\n");
+  }
+
+  ~ScopedTelemetry() {
+    if (server_) server_->stop();
+    sampler_.stop();
+  }
+
+ private:
+  obs::Sampler sampler_{
+      obs::SamplerConfig{std::chrono::milliseconds(250), 240}};
+  std::optional<obs::HttpServer> server_;
+};
+
 }  // namespace pfl::bench
 
 /// Prints the paper-style report, then runs google-benchmark timings.
-/// Honors PFL_BENCH_OUT (JSON output path) via args_with_env_out.
+/// Honors PFL_BENCH_OUT (JSON output path) via args_with_env_out and
+/// PFL_BENCH_SERVE (attach sampler + exposition server) via
+/// ScopedTelemetry.
 #define PFL_BENCH_MAIN(PRINT_REPORT)                      \
   int main(int argc, char** argv) {                       \
     PRINT_REPORT();                                       \
+    pfl::bench::ScopedTelemetry pfl_bench_telemetry;      \
     auto pfl_bench_args = pfl::bench::args_with_env_out(argc, argv); \
     int pfl_bench_argc = static_cast<int>(pfl_bench_args.argv.size()); \
     benchmark::Initialize(&pfl_bench_argc, pfl_bench_args.argv.data()); \

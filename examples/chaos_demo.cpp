@@ -15,11 +15,26 @@
 //
 //   $ ./build/examples/chaos_demo            # default sweep: seeds 1..6
 //   $ ./build/examples/chaos_demo 12         # wider sweep
+//
+// --serve attaches the live telemetry runtime (DESIGN.md "Telemetry
+// runtime") for the duration of the sweep, so a long run can be watched
+// from outside with tools/obs_watch.py:
+//
+//   $ ./build/examples/chaos_demo 500 --serve --port-file /tmp/chaos.port
+//   $ python3 tools/obs_watch.py --port $(cat /tmp/chaos.port)
+//
+// With PFL_OBS=OFF the flags are accepted and the server politely
+// declines, exactly like obs_demo.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "apf/tsharp.hpp"
+#include "obs/httpd.hpp"
+#include "obs/sampler.hpp"
 #include "wbc/simulation.hpp"
 
 namespace {
@@ -45,8 +60,42 @@ int main(int argc, char** argv) {
   using namespace pfl;
   using namespace pfl::wbc;
 
-  const std::uint64_t seeds =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
+  std::uint64_t seeds = 6;
+  bool serve = false;
+  std::uint16_t port = 0;
+  const char* port_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "chaos_demo: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      seeds = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+
+  obs::Sampler sampler(
+      obs::SamplerConfig{std::chrono::milliseconds(250), 240});
+  obs::HttpServer server(obs::HttpServerConfig{port, &sampler});
+  if (serve) {
+    sampler.start();
+    if (server.start())
+      std::printf("chaos_demo: serving http://127.0.0.1:%u\n", server.port());
+    else
+      std::printf("chaos_demo: --serve unavailable (PFL_OBS=OFF or bind "
+                  "failure); sweeping without the server\n");
+    std::fflush(stdout);
+    if (port_file != nullptr) {
+      std::ofstream pf(port_file);
+      pf << server.port() << "\n";
+    }
+  }
+
   const auto apf = std::make_shared<apf::TSharpApf>();
   int violations = 0;
 
@@ -77,6 +126,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(baseline.quarantines),
         static_cast<unsigned long long>(baseline.bans),
         attributed ? "OK" : "VIOLATED", equivalent ? "OK" : "VIOLATED");
+  }
+
+  if (serve) {
+    server.stop();
+    sampler.stop();
   }
 
   if (violations != 0) {

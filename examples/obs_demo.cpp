@@ -1,27 +1,54 @@
 // obs_demo -- the observability layer end to end.
 //
-// Runs a miniature version of every instrumented workload (batched
-// addressing, shell enumeration, extendible storage, a WBC simulation)
-// with tracing enabled, then:
+// Default mode runs a miniature version of every instrumented workload
+// (batched addressing, shell enumeration, extendible storage, a WBC
+// simulation) with tracing enabled, then:
 //
-//   * writes the Chrome trace to <out.json> (argv[1], default
+//   * writes the Chrome trace to <out.json> (positional arg, default
 //     obs_demo_trace.json) -- load it in about://tracing or Perfetto, or
 //     validate/summarize it with tools/trace_report.py;
 //   * dumps the metrics registry as Prometheus text and as the
 //     deterministic "pfl-metrics/1" JSON snapshot.
 //
+// --serve turns it into the live-telemetry demo: the time-series sampler
+// and the HTTP exposition server attach, and the workloads loop until
+// --duration-ms expires while you watch from outside:
+//
+//   obs_demo --serve --duration-ms 30000
+//   curl http://127.0.0.1:<port>/metrics        # prometheus text
+//   python3 tools/obs_watch.py --port <port>    # rates + percentiles
+//
+// Flags (all optional):
+//   --serve             attach sampler + HTTP server, loop workloads
+//   --port N            bind 127.0.0.1:N (default 0 = ephemeral)
+//   --port-file PATH    write the bound port to PATH (for scripts)
+//   --interval-ms N     sampler interval (default 250)
+//   --duration-ms N     how long to serve (default 8000; 0 = one pass)
+//   --wbc-steps N       WBC simulation length per pass (default 60)
+//   --dump-dir DIR      arm the flight recorder into DIR
+//
 // With PFL_OBS=OFF this still runs and exits 0: the trace file holds an
-// empty valid document and the metric sections are empty.
+// empty valid document, the metric sections are empty, and --serve
+// degrades to a warning (HttpServer::start() reports failure) -- which
+// is exactly what the CI telemetry-smoke job checks the OFF build for.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "apf/tsharp.hpp"
 #include "core/registry.hpp"
 #include "core/shell_enumerator.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/httpd.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "storage/extendible_array.hpp"
 #include "storage/naive_remap_array.hpp"
@@ -73,43 +100,150 @@ void storage_workload() {
   naive.resize(32, 32);
 }
 
-void wbc_workload() {
+void wbc_workload(index_t steps, std::uint64_t seed, bool quiet) {
   pfl::wbc::SimulationConfig config;
   config.initial_volunteers = 25;
-  config.steps = 60;
+  config.steps = steps;
   config.arrival_rate = 0.3;
   config.departure_prob = 0.02;
   config.audit_rate = 0.5;
   config.malicious_fraction = 0.1;
-  config.seed = 2002;
+  config.seed = seed;
   const auto report =
       pfl::wbc::run_simulation(std::make_shared<pfl::apf::TSharpApf>(), config);
-  std::printf("wbc: %llu tasks issued, %llu audits, %llu bans\n",
-              static_cast<unsigned long long>(report.tasks_issued),
-              static_cast<unsigned long long>(report.audits),
-              static_cast<unsigned long long>(report.bans));
+  if (!quiet)
+    std::printf("wbc: %llu tasks issued, %llu audits, %llu bans\n",
+                static_cast<unsigned long long>(report.tasks_issued),
+                static_cast<unsigned long long>(report.audits),
+                static_cast<unsigned long long>(report.bans));
+}
+
+struct Options {
+  bool serve = false;
+  std::uint16_t port = 0;
+  std::string port_file;
+  long interval_ms = 250;
+  long duration_ms = 8000;
+  index_t wbc_steps = 60;
+  std::string dump_dir;
+  std::string trace_path = "obs_demo_trace.json";
+};
+
+bool parse_options(int argc, char** argv, Options& opt) {
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "obs_demo: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--serve") == 0) {
+      opt.serve = true;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if ((value = need_value(i)) == nullptr) return false;
+      opt.port = static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--port-file") == 0) {
+      if ((value = need_value(i)) == nullptr) return false;
+      opt.port_file = value;
+    } else if (std::strcmp(arg, "--interval-ms") == 0) {
+      if ((value = need_value(i)) == nullptr) return false;
+      opt.interval_ms = std::strtol(value, nullptr, 10);
+    } else if (std::strcmp(arg, "--duration-ms") == 0) {
+      if ((value = need_value(i)) == nullptr) return false;
+      opt.duration_ms = std::strtol(value, nullptr, 10);
+    } else if (std::strcmp(arg, "--wbc-steps") == 0) {
+      if ((value = need_value(i)) == nullptr) return false;
+      opt.wbc_steps = static_cast<index_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--dump-dir") == 0) {
+      if ((value = need_value(i)) == nullptr) return false;
+      opt.dump_dir = value;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "obs_demo: unknown flag %s\n", arg);
+      return false;
+    } else {
+      opt.trace_path = arg;
+    }
+  }
+  return true;
+}
+
+void run_workloads_once(const Options& opt, std::uint64_t seed, bool quiet) {
+  batch_workload();
+  enumerator_workload();
+  storage_workload();
+  wbc_workload(opt.wbc_steps, seed, quiet);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* trace_path = argc > 1 ? argv[1] : "obs_demo_trace.json";
+  Options opt;
+  if (!parse_options(argc, argv, opt)) return 2;
 
   pfl::obs::TraceCollector::instance().enable();
-  batch_workload();
-  enumerator_workload();
-  storage_workload();
-  wbc_workload();
+
+  pfl::obs::Sampler sampler(pfl::obs::SamplerConfig{
+      std::chrono::milliseconds(opt.interval_ms > 0 ? opt.interval_ms : 250),
+      240});
+
+  if (!opt.dump_dir.empty()) {
+    pfl::obs::FlightRecorderConfig frc;
+    frc.directory = opt.dump_dir;
+    frc.sampler = &sampler;
+    pfl::obs::FlightRecorder::instance().configure(frc);
+    pfl::obs::FlightRecorder::instance().install();
+  }
+
+  pfl::obs::HttpServer server(
+      pfl::obs::HttpServerConfig{opt.port, &sampler});
+  if (opt.serve) {
+    sampler.start();
+    if (server.start()) {
+      std::printf("obs_demo: serving http://127.0.0.1:%u "
+                  "(/metrics /metrics.json /series.json /tracez /healthz)\n",
+                  server.port());
+    } else {
+      std::printf("obs_demo: --serve unavailable (PFL_OBS=OFF or bind "
+                  "failure); running workloads without the server\n");
+    }
+    std::fflush(stdout);
+    if (!opt.port_file.empty()) {
+      std::ofstream pf(opt.port_file);
+      pf << server.port() << "\n";
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opt.duration_ms);
+    std::uint64_t seed = 2002;
+    do {
+      run_workloads_once(opt, seed++, /*quiet=*/true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    } while (opt.duration_ms > 0 &&
+             std::chrono::steady_clock::now() < deadline);
+    server.stop();
+    sampler.stop();
+    std::printf("obs_demo: served %llu requests over %llu samples\n",
+                static_cast<unsigned long long>(
+                    pfl::obs::snapshot().counter(
+                        "pfl_obs_httpd_requests_total")),
+                static_cast<unsigned long long>(sampler.window().size()));
+  } else {
+    run_workloads_once(opt, 2002, /*quiet=*/false);
+  }
+
   pfl::obs::TraceCollector::instance().disable();
 
-  std::ofstream trace_out(trace_path);
+  std::ofstream trace_out(opt.trace_path);
   if (!trace_out) {
-    std::fprintf(stderr, "obs_demo: cannot open %s for writing\n", trace_path);
+    std::fprintf(stderr, "obs_demo: cannot open %s for writing\n",
+                 opt.trace_path.c_str());
     return 1;
   }
   pfl::obs::TraceCollector::instance().write_chrome_trace(trace_out);
   trace_out.close();
-  std::printf("trace written to %s (%zu events)\n", trace_path,
+  std::printf("trace written to %s (%zu events)\n", opt.trace_path.c_str(),
               pfl::obs::TraceCollector::instance().events().size());
 
   const pfl::obs::Snapshot snap = pfl::obs::snapshot();

@@ -19,6 +19,7 @@
 // PFL_ASSERT_UNREACHABLE -- marks branches the surrounding logic excludes.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "core/types.hpp"
@@ -37,11 +38,40 @@ class ContractViolation : public Error {
   explicit ContractViolation(const std::string& what) : Error(what) {}
 };
 
+/// Observer invoked on every contract failure BEFORE ContractViolation is
+/// thrown -- the hook the obs flight recorder (obs/flight_recorder.hpp)
+/// hangs its pre-unwind state dump on. The observer must not throw (the
+/// violation is already being reported; a second exception here would
+/// terminate) and must tolerate being called from any thread.
+using ContractFailureObserver = void (*)(const char* kind, const char* cond,
+                                         const char* msg, const char* file,
+                                         int line) noexcept;
+
+namespace detail {
+
+inline std::atomic<ContractFailureObserver>& contract_observer_slot() {
+  static std::atomic<ContractFailureObserver> slot{nullptr};
+  return slot;
+}
+
+}  // namespace detail
+
+/// Installs (or, with nullptr, removes) the process-wide contract-failure
+/// observer; returns the previous one so nested installers can chain or
+/// restore. Thread-safe.
+inline ContractFailureObserver set_contract_failure_observer(
+    ContractFailureObserver observer) {
+  return detail::contract_observer_slot().exchange(observer);
+}
+
 namespace detail {
 
 [[noreturn]] inline void contract_fail(const char* kind, const char* cond,
                                        const char* msg, const char* file,
                                        int line) {
+  if (const ContractFailureObserver observer =
+          contract_observer_slot().load(std::memory_order_acquire))
+    observer(kind, cond, msg, file, line);
   throw ContractViolation(std::string(kind) + " violated: " + msg + " [" +
                           cond + "] at " + file + ":" + std::to_string(line));
 }

@@ -1,0 +1,202 @@
+// Crash flight recorder: when the process is about to die -- a contract
+// violation or a fatal signal -- dump everything the obs layer knows
+// (metrics in both export formats, the trace buffers, the last sampler
+// window) to a configurable directory, so the metrics that explain the
+// crash do not die with it.
+//
+// Two triggers, both installed by install():
+//
+//   * contract failures, via the core/contract.hpp observer hook: the
+//     dump is written BEFORE ContractViolation is thrown, so even a
+//     caught-and-rethrown violation leaves evidence. The exception still
+//     propagates -- the recorder observes, it does not handle;
+//   * fatal signals (SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL): dump,
+//     restore the default handler, re-raise so the exit status and core
+//     dump behave exactly as without the recorder.
+//
+// Honesty note on the signal path: serializing JSON from a signal
+// handler is NOT async-signal-safe. This is the standard crash-handler
+// bargain -- the process is dying anyway, so a best-effort dump (which
+// in practice succeeds, because the obs read paths take no locks the
+// crashing thread could hold except the registry/trace mutexes) beats
+// certain data loss. The contract-failure path runs in normal context
+// and has no such caveat.
+//
+// Dump files are written with fixed names (overwriting the previous
+// dump) so the newest crash is always at a known location:
+//
+//   <dir>/<prefix>.reason.txt     what triggered the dump
+//   <dir>/<prefix>.metrics.json   export.hpp to_json (pfl-metrics/1)
+//   <dir>/<prefix>.metrics.prom   export.hpp to_prometheus
+//   <dir>/<prefix>.trace.json     Chrome trace (trace_report.py-valid)
+//   <dir>/<prefix>.series.json    sampler window (pfl-series/1)
+//
+// With PFL_OBS=OFF everything is a no-op: install() installs nothing
+// and dump() writes nothing and returns "".
+#pragma once
+
+#include <csignal>
+#include <string>
+
+#include "core/contract.hpp"
+#include "obs/export.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+#if PFL_OBS_ENABLED
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#endif
+
+namespace pfl::obs {
+
+struct FlightRecorderConfig {
+  /// Directory the dump files land in; must already exist.
+  std::string directory = ".";
+  /// Filename stem for the five dump files.
+  std::string prefix = "pfl-flight";
+  /// Optional sampler whose window becomes <prefix>.series.json. Not
+  /// owned; uninstall() (or configure() with a different sampler) before
+  /// destroying it.
+  Sampler* sampler = nullptr;
+  /// Also trap fatal signals (contract failures are always trapped).
+  bool trap_signals = true;
+};
+
+#if PFL_OBS_ENABLED
+
+/// Process-wide singleton -- signal dispositions and the contract
+/// observer are process-wide state, so pretending otherwise would only
+/// hide the last-install-wins semantics.
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance() {
+    static FlightRecorder* r = new FlightRecorder();
+    return *r;
+  }
+
+  /// Sets where and what to dump. Safe while installed.
+  void configure(FlightRecorderConfig config) {
+    std::lock_guard lock(m_);
+    config_ = std::move(config);
+  }
+
+  /// Arms the contract-failure observer and (per config) the fatal
+  /// signal handlers. Idempotent.
+  void install() {
+    std::lock_guard lock(m_);
+    if (installed_) return;
+    installed_ = true;
+    previous_observer_ = set_contract_failure_observer(&on_contract_fail);
+    if (config_.trap_signals)
+      for (const int sig : kFatalSignals) std::signal(sig, &on_fatal_signal);
+  }
+
+  /// Restores the previous contract observer and default signal
+  /// dispositions. Idempotent.
+  void uninstall() {
+    std::lock_guard lock(m_);
+    if (!installed_) return;
+    installed_ = false;
+    set_contract_failure_observer(previous_observer_);
+    previous_observer_ = nullptr;
+    if (config_.trap_signals)
+      for (const int sig : kFatalSignals) std::signal(sig, SIG_DFL);
+  }
+
+  bool installed() const {
+    std::lock_guard lock(m_);
+    return installed_;
+  }
+
+  /// Writes the full dump set now; returns "<dir>/<prefix>" (the common
+  /// stem of the files written). Callable manually -- e.g. an operator
+  /// endpoint or a test -- not just from the death paths.
+  std::string dump(const std::string& reason) {
+    std::lock_guard lock(m_);
+    return dump_locked(reason);
+  }
+
+ private:
+  FlightRecorder() = default;
+
+  static constexpr int kFatalSignals[] = {SIGABRT, SIGSEGV, SIGBUS,
+                                          SIGFPE, SIGILL};
+
+  static void on_contract_fail(const char* kind, const char* cond,
+                               const char* msg, const char* file,
+                               int line) noexcept {
+    try {
+      std::ostringstream reason;
+      reason << "contract " << kind << " [" << cond << "] " << msg << " at "
+             << file << ":" << line;
+      instance().dump(reason.str());
+    } catch (...) {
+      // The dump is best-effort; the violation itself must still throw.
+    }
+  }
+
+  static void on_fatal_signal(int sig) noexcept {
+    // Not async-signal-safe; see the file comment for the bargain. The
+    // mutex is only try_lock'd: if the crashing thread already holds it
+    // (a crash inside dump itself), skipping the dump and dying beats
+    // deadlocking a dying process.
+    std::signal(sig, SIG_DFL);
+    try {
+      FlightRecorder& r = instance();
+      std::unique_lock lock(r.m_, std::try_to_lock);
+      if (lock.owns_lock())
+        r.dump_locked("fatal signal " + std::to_string(sig));
+    } catch (...) {
+    }
+    std::raise(sig);
+  }
+
+  std::string dump_locked(const std::string& reason) {
+    PFL_OBS_COUNTER("pfl_obs_flight_dumps_total").add();
+    const std::string stem = config_.directory + "/" + config_.prefix;
+    const Snapshot snap = snapshot();
+    write_file(stem + ".reason.txt", reason + "\n");
+    write_file(stem + ".metrics.json", to_json(snap));
+    write_file(stem + ".metrics.prom", to_prometheus(snap));
+    {
+      std::ofstream out(stem + ".trace.json");
+      if (out) TraceCollector::instance().write_chrome_trace(out);
+    }
+    write_file(stem + ".series.json",
+               config_.sampler != nullptr
+                   ? config_.sampler->window_json()
+                   : series_json({}, 0));
+    return stem;
+  }
+
+  static void write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path);
+    if (out) out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  }
+
+  mutable std::mutex m_;
+  FlightRecorderConfig config_;
+  bool installed_ = false;
+  ContractFailureObserver previous_observer_ = nullptr;
+};
+
+#else  // PFL_OBS_ENABLED == 0
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance() {
+    static FlightRecorder r;
+    return r;
+  }
+  void configure(FlightRecorderConfig) {}
+  void install() {}
+  void uninstall() {}
+  bool installed() const { return false; }
+  std::string dump(const std::string&) { return ""; }
+};
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs

@@ -1,0 +1,216 @@
+// HTTP/1.1 exposition server implementation -- the single sanctioned
+// networking site in the library (pfl_lint rule `no-raw-socket`). See
+// obs/httpd.hpp for the endpoint list and the loopback-only threat
+// model.
+//
+// Shape: one listening socket bound to 127.0.0.1, one accept thread,
+// one request served per connection (Connection: close). The accept
+// loop polls with a short timeout so stop() never races a blocking
+// accept(2); per-connection receive is capped in both bytes (8 KiB) and
+// time (2 s) so a stuck client cannot wedge the exporter.
+#include "obs/httpd.hpp"
+
+#if PFL_OBS_ENABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace pfl::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kListenBacklog = 16;
+constexpr int kPollIntervalMs = 100;
+
+/// Serializes one complete response; Content-Length is mandatory because
+/// the body is precomputed and the connection closes after it. For HEAD
+/// the header block still advertises the full body length (per RFC 9110)
+/// but the body itself is withheld.
+std::string make_response(int status, const char* reason,
+                          const char* content_type, const std::string& body,
+                          bool head_only = false) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n";
+  if (!head_only) os << body;
+  return os.str();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerConfig config) : config_(config) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start() {
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) return true;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, kListenBacklog) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+  stop_requested_.store(false, std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  PFL_OBS_COUNTER("pfl_obs_httpd_starts_total").add();
+  return true;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_.load(std::memory_order_acquire) < 0) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  port_.store(0, std::memory_order_release);
+}
+
+void HttpServer::accept_loop() {
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout (re-check stop) or EINTR
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::handle_connection(int fd) const {
+  PFL_OBS_COUNTER("pfl_obs_httpd_requests_total").add();
+
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the header block or the size cap; the body (if
+  // a client sends one) is ignored.
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = request.find("\r\n");
+  std::string_view line(request);
+  if (line_end != std::string::npos) line = line.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    send_all(fd, make_response(400, "Bad Request", "text/plain; charset=utf-8",
+                               "malformed request line\n"));
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = path.find('?'); q != std::string_view::npos)
+    path = path.substr(0, q);
+
+  if (method != "GET" && method != "HEAD") {
+    send_all(fd, make_response(405, "Method Not Allowed",
+                               "text/plain; charset=utf-8",
+                               "only GET is served here\n"));
+    return;
+  }
+
+  std::string body;
+  const char* content_type = "application/json; charset=utf-8";
+  if (path == "/healthz") {
+    body = "ok\n";
+    content_type = "text/plain; charset=utf-8";
+  } else if (path == "/metrics") {
+    body = to_prometheus(snapshot());
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/metrics.json") {
+    body = to_json(snapshot());
+  } else if (path == "/series.json") {
+    body = config_.sampler != nullptr
+               ? config_.sampler->window_json()
+               : series_json({}, 0);
+  } else if (path == "/tracez") {
+    std::ostringstream os;
+    TraceCollector::instance().write_chrome_trace(os);
+    body = os.str();
+  } else if (path == "/") {
+    body =
+        "pfl telemetry endpoints:\n"
+        "  /metrics       prometheus text exposition\n"
+        "  /metrics.json  pfl-metrics/1 snapshot\n"
+        "  /series.json   pfl-series/1 sampler ring\n"
+        "  /tracez        chrome trace json (load in perfetto)\n"
+        "  /healthz       liveness\n";
+    content_type = "text/plain; charset=utf-8";
+  } else {
+    PFL_OBS_COUNTER("pfl_obs_httpd_not_found_total").add();
+    send_all(fd, make_response(404, "Not Found", "text/plain; charset=utf-8",
+                               "unknown endpoint; GET / lists them\n"));
+    return;
+  }
+  send_all(fd, make_response(200, "OK", content_type, body, method == "HEAD"));
+}
+
+}  // namespace pfl::obs
+
+#else  // PFL_OBS_ENABLED == 0
+
+// The OFF build keeps this translation unit (pfl_obs stays a normal
+// static library either way); the stub class lives in the header.
+namespace pfl::obs {
+void pfl_obs_httpd_compiled_out() {}
+}  // namespace pfl::obs
+
+#endif  // PFL_OBS_ENABLED

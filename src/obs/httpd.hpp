@@ -1,0 +1,98 @@
+// Live telemetry exposition over HTTP: a minimal, dependency-free
+// HTTP/1.1 server (POSIX sockets, one accept thread, one request per
+// connection) that makes the obs layer's state readable while the
+// process runs:
+//
+//   /metrics        Prometheus text exposition (export.hpp)
+//   /metrics.json   the deterministic "pfl-metrics/1" snapshot
+//   /series.json    the sampler ring as "pfl-series/1" (sampler.hpp)
+//   /tracez         recent spans as Chrome trace JSON (trace.hpp)
+//   /healthz        "ok" -- liveness only
+//   /               plain-text index of the above
+//
+// Threat model (see DESIGN.md "Telemetry runtime"): this is an
+// OPERATOR'S LOOPBACK PORT, not a production ingress. It binds
+// 127.0.0.1 only and will not bind anything else; there is no TLS, no
+// auth, no keep-alive, and request parsing stops at the method + path of
+// a size-capped header block. Responses are read-only views of process
+// state. Anything internet-facing must sit behind a real reverse proxy
+// that scrapes these endpoints.
+//
+// src/obs/httpd.cpp is the single sanctioned networking site in the
+// library (pfl_lint rule `no-raw-socket`); with PFL_OBS=OFF the class
+// compiles to a stub whose start() reports failure, so binaries carrying
+// --serve flags still build and link against the OFF library.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace pfl::obs {
+
+struct HttpServerConfig {
+  /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port
+  /// (read the outcome from HttpServer::port()).
+  std::uint16_t port = 0;
+  /// Optional sampler whose ring backs /series.json; without one the
+  /// endpoint serves a valid empty series. Not owned; must outlive the
+  /// server (stop() before destroying the sampler).
+  Sampler* sampler = nullptr;
+};
+
+#if PFL_OBS_ENABLED
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1 and spawns the accept thread. Returns false (with
+  /// no thread running) when the socket cannot be created or bound --
+  /// e.g. the requested port is taken. A second start() on a running
+  /// server is a no-op returning true.
+  bool start();
+
+  /// Stops the accept loop, joins the thread, closes the socket.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  bool running() const { return listen_fd_.load(std::memory_order_acquire) >= 0; }
+
+  /// The bound port (the kernel's pick when config.port was 0);
+  /// 0 when the server is not running.
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd) const;
+
+  HttpServerConfig config_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+#else  // PFL_OBS_ENABLED == 0: the server is compiled out; start() fails
+       // cleanly so --serve flags degrade to a warning instead of a
+       // missing symbol.
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig = {}) {}
+  bool start() { return false; }
+  void stop() {}
+  bool running() const { return false; }
+  std::uint16_t port() const { return 0; }
+};
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs

@@ -1,0 +1,300 @@
+// Time-series sampler: a background thread that snapshots a
+// MetricsRegistry at a fixed interval into a bounded in-memory ring, so
+// a long-running process (the WBC simulator, the exposition server's
+// host) has a recent history to serve as /series.json and to dump from
+// the flight recorder -- not just the latest cumulative totals.
+//
+// Storage model -- delta-encoded, drop-oldest:
+//
+//   * each ring slot stores only what CHANGED since the previous sample:
+//     counter increments, histogram bucket/count/sum increments, and the
+//     (cheap, absolute) gauge readings. An idle interval costs a few
+//     dozen bytes, not a full snapshot;
+//   * `base_` holds the absolute snapshot as of the sample immediately
+//     BEFORE the oldest retained slot. When the ring is full the oldest
+//     delta is folded into the base and dropped, so memory is bounded by
+//     capacity x (instruments that changed per interval) with a hard
+//     worst case of capacity x full-snapshot-size, regardless of how
+//     long the process runs;
+//   * window() replays base + deltas into absolute SamplePoints -- the
+//     reconstruction is exact (integer adds), not an approximation.
+//
+// Concurrency: instrument reads are the same relaxed-atomic snapshot
+// reads export.hpp does, safe against concurrent writers by
+// construction; ring/base/prev live behind one mutex shared by the
+// sampler thread, window(), and start/stop. start() and stop() are
+// idempotent and may be called from any thread; the destructor stops.
+// TSan covers this via tests/obs/sampler_test.cpp's Concurrent suite.
+//
+// With PFL_OBS=OFF the class keeps its API but samples nothing and
+// window() is empty; series_json still emits a valid empty document.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/stats.hpp"
+
+namespace pfl::obs {
+
+struct SamplerConfig {
+  /// Wall interval between samples. Sub-100ms intervals work but make
+  /// the ring window correspondingly short; the default keeps a
+  /// 240 x 250ms = one-minute window.
+  std::chrono::milliseconds interval{250};
+  /// Ring capacity in samples; the oldest sample is dropped (folded into
+  /// the base snapshot) when a new one would exceed it.
+  std::size_t capacity = 240;
+};
+
+/// One reconstructed sample: absolute instrument values at t_ms
+/// milliseconds after the sampler's epoch (its construction).
+struct SamplePoint {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ms = 0;
+  Snapshot snap;
+};
+
+/// Deterministic "pfl-series/1" JSON over a reconstructed window. Each
+/// sample carries absolute counters and gauges plus per-histogram count,
+/// sum, and the p50/p90/p99 estimates (stats.hpp) -- the consumer-side
+/// shape tools/obs_watch.py and the golden test pin.
+inline std::string series_json(const std::vector<SamplePoint>& window,
+                               std::uint64_t interval_ms) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"pfl-series/1\",\n  \"interval_ms\": "
+     << interval_ms << ",\n  \"samples\": [";
+  bool sfirst = true;
+  for (const SamplePoint& p : window) {
+    os << (sfirst ? "\n" : ",\n");
+    sfirst = false;
+    os << "    {\"seq\": " << p.seq << ", \"t_ms\": " << p.t_ms
+       << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : p.snap.counters) {
+      os << (first ? "" : ", ") << "\"" << name << "\": " << value;
+      first = false;
+    }
+    os << "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : p.snap.gauges) {
+      os << (first ? "" : ", ") << "\"" << name << "\": {\"value\": "
+         << g.value << ", \"peak\": " << g.peak << "}";
+      first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : p.snap.histograms) {
+      const QuantileSummary q = quantile_summary(h);
+      os << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
+         << h.count << ", \"sum\": " << h.sum << ", \"p50\": " << q.p50
+         << ", \"p90\": " << q.p90 << ", \"p99\": " << q.p99 << "}";
+      first = false;
+    }
+    os << "}}";
+  }
+  os << (sfirst ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+#if PFL_OBS_ENABLED
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config = {},
+                   MetricsRegistry& reg = registry())
+      : config_(config),
+        reg_(reg),
+        epoch_(std::chrono::steady_clock::now()) {
+    if (config_.capacity == 0) config_.capacity = 1;
+  }
+
+  ~Sampler() { stop(); }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  const SamplerConfig& config() const { return config_; }
+
+  /// Starts the background thread; a second start() is a no-op.
+  void start() {
+    std::lock_guard lock(m_);
+    if (thread_.joinable()) return;
+    stop_requested_ = false;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  /// Stops and joins the background thread; safe when never started,
+  /// safe to call twice, safe to restart afterwards.
+  void stop() {
+    std::thread to_join;
+    {
+      std::lock_guard lock(m_);
+      if (!thread_.joinable()) return;
+      stop_requested_ = true;
+      cv_.notify_all();
+      to_join = std::move(thread_);
+    }
+    to_join.join();
+  }
+
+  bool running() const {
+    std::lock_guard lock(m_);
+    return thread_.joinable();
+  }
+
+  /// Takes one sample synchronously on the calling thread -- the unit of
+  /// work the background loop repeats; public so tests and the flight
+  /// recorder can drive the ring deterministically without the thread.
+  void sample_once() {
+    const Snapshot now = snapshot(reg_);
+    const std::uint64_t t_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    std::lock_guard lock(m_);
+    push_locked(now, t_ms);
+  }
+
+  /// Absolute reconstruction of every retained sample, oldest first.
+  std::vector<SamplePoint> window() const {
+    std::lock_guard lock(m_);
+    std::vector<SamplePoint> out;
+    out.reserve(ring_.size());
+    Snapshot acc = base_;
+    for (const Delta& d : ring_) {
+      apply(acc, d);
+      SamplePoint p;
+      p.seq = d.seq;
+      p.t_ms = d.t_ms;
+      p.snap = acc;
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  /// The latest reconstructed sample's series_json-ready window.
+  std::string window_json() const {
+    return series_json(window(), static_cast<std::uint64_t>(
+                                     config_.interval.count()));
+  }
+
+ private:
+  /// What changed between two consecutive samples. Counters and
+  /// histograms are stored as increments over the previous sample (and
+  /// omitted entirely when untouched); gauges are absolute levels.
+  struct Delta {
+    std::uint64_t seq = 0;
+    std::uint64_t t_ms = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, GaugeValue>> gauges;
+    std::vector<std::pair<std::string, HistogramValue>> histograms;
+  };
+
+  static void apply(Snapshot& acc, const Delta& d) {
+    for (const auto& [name, inc] : d.counters) acc.counters[name] += inc;
+    for (const auto& [name, g] : d.gauges) acc.gauges[name] = g;
+    for (const auto& [name, h] : d.histograms) {
+      HistogramValue& dst = acc.histograms[name];
+      dst.count += h.count;
+      dst.sum += h.sum;
+      for (std::size_t i = 0; i < dst.buckets.size(); ++i)
+        dst.buckets[i] += h.buckets[i];
+    }
+  }
+
+  void push_locked(const Snapshot& now, std::uint64_t t_ms) {
+    Delta d;
+    d.seq = next_seq_++;
+    d.t_ms = t_ms;
+    for (const auto& [name, value] : now.counters) {
+      const std::uint64_t before = prev_.counter(name);
+      if (value != before) d.counters.emplace_back(name, value - before);
+    }
+    for (const auto& [name, g] : now.gauges) {
+      const auto it = prev_.gauges.find(name);
+      if (it == prev_.gauges.end() || !(it->second == g))
+        d.gauges.emplace_back(name, g);
+    }
+    for (const auto& [name, h] : now.histograms) {
+      const auto it = prev_.histograms.find(name);
+      if (it == prev_.histograms.end())
+        d.histograms.emplace_back(name, h);
+      else if (!(it->second == h))
+        d.histograms.emplace_back(name, histogram_delta(h, it->second));
+    }
+    if (ring_.size() == config_.capacity) {
+      apply(base_, ring_.front());
+      ring_.pop_front();
+    }
+    ring_.push_back(std::move(d));
+    prev_ = now;
+  }
+
+  void run() {
+    std::unique_lock lock(m_);
+    while (!stop_requested_) {
+      // Sample outside the lock: snapshot() walks the registry under its
+      // own mutex and must not nest inside ours while window() waits.
+      lock.unlock();
+      const Snapshot now = snapshot(reg_);
+      const std::uint64_t t_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - epoch_)
+              .count());
+      lock.lock();
+      if (stop_requested_) break;
+      push_locked(now, t_ms);
+      cv_.wait_for(lock, config_.interval, [this] { return stop_requested_; });
+    }
+  }
+
+  SamplerConfig config_;
+  MetricsRegistry& reg_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+
+  Snapshot base_;       ///< absolutes as of the dropped predecessor
+  Snapshot prev_;       ///< absolutes as of the newest sample
+  std::deque<Delta> ring_;
+  std::uint64_t next_seq_ = 1;
+};
+
+#else  // PFL_OBS_ENABLED == 0: same API, no thread, no storage.
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config = {},
+                   MetricsRegistry& = registry())
+      : config_(config) {}
+  const SamplerConfig& config() const { return config_; }
+  void start() {}
+  void stop() {}
+  bool running() const { return false; }
+  void sample_once() {}
+  std::vector<SamplePoint> window() const { return {}; }
+  std::string window_json() const {
+    return series_json({}, static_cast<std::uint64_t>(
+                               config_.interval.count()));
+  }
+
+ private:
+  SamplerConfig config_;
+};
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs

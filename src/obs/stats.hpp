@@ -1,0 +1,139 @@
+// Derived statistics over pfl::obs instruments: quantile estimation from
+// the 65-bucket log2 histograms, counter rates from snapshot deltas, and
+// the snapshot/histogram subtraction that turns two cumulative readings
+// into the activity between them.
+//
+// Quantile semantics (pinned by tests/obs/stats_test.cpp):
+//
+//   * the q-quantile is the order statistic of rank r = clamp(ceil(q *
+//     count), 1, count) -- the r-th smallest recorded value;
+//   * the histogram only knows which bucket [lo, hi] that observation
+//     fell in, so the estimate interpolates GEOMETRICALLY inside the
+//     bucket: the i-th of n in-bucket observations is placed at
+//     lo * (hi/lo)^((i-1)/(n-1)), the single observation of a bucket at
+//     lo. Log2 buckets make that a straight line in log2 space, which is
+//     the natural prior for latency-like data;
+//   * the anchors are exact: a quantile that selects the first
+//     observation of bucket i returns bucket_lo(i) -- exactly 2^(i-1),
+//     with no floating-point drift -- and one that selects the last
+//     returns bucket_hi(i). Estimates therefore always lie inside the
+//     selected bucket, and are monotone in q;
+//   * an empty histogram estimates 0 for every q.
+//
+// Everything here is pure arithmetic over exported values (Snapshot,
+// HistogramValue): no registry access, no atomics, usable on both live
+// snapshots and deserialized ones. With PFL_OBS=OFF the types still
+// exist (export.hpp defines them unconditionally), so this header needs
+// no stub tier.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace pfl::obs {
+
+/// Order-statistic quantile estimate over a log2 histogram; see the file
+/// comment for the exact interpolation contract. q is clamped to [0, 1].
+inline double estimate_quantile(const HistogramValue& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the selected order statistic, in [1, count].
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(h.count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t n = h.buckets[i];
+    if (n == 0 || cumulative + n < rank) {
+      cumulative += n;
+      continue;
+    }
+    // The rank-th observation is the k-th of n inside bucket i (1-based).
+    const std::uint64_t k = rank - cumulative;
+    if (i == 0) return 0.0;  // bucket 0 holds exactly the value 0
+    const double lo = static_cast<double>(Histogram::bucket_lo(i));
+    const double hi = static_cast<double>(Histogram::bucket_hi(i));
+    // Exact anchors first so the 2^(i-1) edge carries no pow() drift.
+    if (k == 1 || n == 1) return lo;
+    if (k == n) return hi;
+    const double frac =
+        static_cast<double>(k - 1) / static_cast<double>(n - 1);
+    return lo * std::pow(hi / lo, frac);
+  }
+  // Unreachable for a consistent HistogramValue (count == sum of
+  // buckets); tolerate inconsistent inputs by reporting the top edge.
+  return static_cast<double>(Histogram::bucket_hi(Histogram::kBuckets - 1));
+}
+
+/// The three operational quantiles every latency histogram gets asked for.
+struct QuantileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  friend bool operator==(const QuantileSummary&,
+                         const QuantileSummary&) = default;
+};
+
+inline QuantileSummary quantile_summary(const HistogramValue& h) {
+  return QuantileSummary{estimate_quantile(h, 0.50),
+                         estimate_quantile(h, 0.90),
+                         estimate_quantile(h, 0.99)};
+}
+
+/// Mean of recorded values (0 for an empty histogram). The sum wraps
+/// modulo 2^64 by design, so the mean is only meaningful while the true
+/// sum fits -- fine for the latency/size data the layer records.
+inline double histogram_mean(const HistogramValue& h) {
+  if (h.count == 0) return 0.0;
+  return static_cast<double>(h.sum) / static_cast<double>(h.count);
+}
+
+/// Counter rate in events/second between two snapshots taken dt_seconds
+/// apart (later minus earlier). Non-positive intervals rate as 0 rather
+/// than dividing by zero: the sampler can legitimately deliver two
+/// samples with the same millisecond timestamp.
+inline double counter_rate(const Snapshot& later, const Snapshot& earlier,
+                           const std::string& name, double dt_seconds) {
+  if (dt_seconds <= 0.0) return 0.0;
+  return static_cast<double>(later.counter_delta(earlier, name)) / dt_seconds;
+}
+
+/// Histogram activity between two cumulative readings: per-bucket,
+/// count, and sum differences. Fields that would go negative (an
+/// instrument reset between readings) clamp to 0 instead of wrapping.
+inline HistogramValue histogram_delta(const HistogramValue& later,
+                                      const HistogramValue& earlier) {
+  HistogramValue d;
+  d.count = later.count >= earlier.count ? later.count - earlier.count : 0;
+  d.sum = later.sum >= earlier.sum ? later.sum - earlier.sum : 0;
+  for (std::size_t i = 0; i < d.buckets.size(); ++i)
+    d.buckets[i] = later.buckets[i] >= earlier.buckets[i]
+                       ? later.buckets[i] - earlier.buckets[i]
+                       : 0;
+  return d;
+}
+
+/// Snapshot-wide delta: counters and histograms subtract (clamped at 0),
+/// gauges keep the later reading (levels are not cumulative). Instruments
+/// registered after `earlier` delta against zero.
+inline Snapshot snapshot_delta(const Snapshot& later,
+                               const Snapshot& earlier) {
+  Snapshot d;
+  for (const auto& [name, value] : later.counters)
+    d.counters.emplace(name, value - earlier.counter(name));
+  d.gauges = later.gauges;
+  for (const auto& [name, h] : later.histograms) {
+    const auto it = earlier.histograms.find(name);
+    d.histograms.emplace(
+        name, it == earlier.histograms.end() ? h
+                                             : histogram_delta(h, it->second));
+  }
+  return d;
+}
+
+}  // namespace pfl::obs

@@ -28,6 +28,7 @@
 #include <string_view>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfl::storage {
 
@@ -58,6 +59,15 @@ inline std::uint64_t crc64(std::string_view data, std::uint64_t crc = 0) {
 
 namespace detail {
 
+/// Every way a framed snapshot can be refused -- bad magic, malformed
+/// header, truncation, CRC mismatch -- funnels through here so the
+/// pfl_storage_snapshot_rejected_total counter can never drift out of
+/// sync with the throw sites.
+[[noreturn]] inline void reject_snapshot(const std::string& what) {
+  PFL_OBS_COUNTER("pfl_storage_snapshot_rejected_total").add();
+  throw DomainError(what);
+}
+
 /// Fixed-width lowercase hex so the header has one canonical spelling.
 inline std::string crc_hex16(std::uint64_t v) {
   static constexpr char kDigits[] = "0123456789abcdef";
@@ -71,13 +81,13 @@ inline std::string crc_hex16(std::uint64_t v) {
 
 inline std::uint64_t parse_crc_hex16(const std::string& hex) {
   if (hex.size() != 16)
-    throw DomainError("snapshot: malformed crc64 field");
+    reject_snapshot("snapshot: malformed crc64 field");
   std::uint64_t v = 0;
   for (const char c : hex) {
     v <<= 4;
     if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
     else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
-    else throw DomainError("snapshot: malformed crc64 field");
+    else reject_snapshot("snapshot: malformed crc64 field");
   }
   return v;
 }
@@ -103,6 +113,8 @@ inline void write_snapshot(std::ostream& out, std::string_view kind,
   out.write(payload.data(),
             static_cast<std::streamsize>(payload.size()));
   if (!out) throw Error("write_snapshot: stream write failed");
+  PFL_OBS_COUNTER("pfl_storage_snapshot_writes_total").add();
+  PFL_OBS_COUNTER("pfl_storage_snapshot_bytes_total").add(payload.size());
 }
 
 namespace detail {
@@ -113,7 +125,7 @@ inline Snapshot read_snapshot_after_magic(std::istream& in) {
   Snapshot snap;
   std::string version_token, size_token, crc_token;
   if (!(in >> snap.kind >> version_token >> size_token >> crc_token))
-    throw DomainError("snapshot: truncated header");
+    reject_snapshot("snapshot: truncated header");
   try {
     std::size_t pos = 0;
     snap.version = std::stoi(version_token, &pos);
@@ -122,25 +134,27 @@ inline Snapshot read_snapshot_after_magic(std::istream& in) {
     const unsigned long long bytes = std::stoull(size_token, &pos);
     if (pos != size_token.size()) throw std::invalid_argument("trail");
     if (bytes > kMaxPayloadBytes)
-      throw DomainError("snapshot: implausible payload length " + size_token);
+      reject_snapshot("snapshot: implausible payload length " + size_token);
     snap.payload.resize(static_cast<std::size_t>(bytes));
   } catch (const DomainError&) {
     throw;
   } catch (const std::exception&) {
-    throw DomainError("snapshot: malformed header numerals");
+    reject_snapshot("snapshot: malformed header numerals");
   }
   if (in.get() != '\n')
-    throw DomainError("snapshot: malformed header terminator");
+    reject_snapshot("snapshot: malformed header terminator");
   in.read(snap.payload.data(),
           static_cast<std::streamsize>(snap.payload.size()));
   if (static_cast<std::size_t>(in.gcount()) != snap.payload.size())
-    throw DomainError("snapshot: truncated payload (declared " +
-                      std::to_string(snap.payload.size()) + " bytes, got " +
-                      std::to_string(in.gcount()) + ")");
+    reject_snapshot("snapshot: truncated payload (declared " +
+                    std::to_string(snap.payload.size()) + " bytes, got " +
+                    std::to_string(in.gcount()) + ")");
   const std::uint64_t expected = parse_crc_hex16(crc_token);
   const std::uint64_t actual = crc64(snap.payload);
   if (expected != actual)
-    throw DomainError("snapshot: crc64 mismatch (corrupt or torn write)");
+    reject_snapshot("snapshot: crc64 mismatch (corrupt or torn write)");
+  PFL_OBS_COUNTER("pfl_storage_snapshot_reads_total").add();
+  PFL_OBS_COUNTER("pfl_storage_snapshot_bytes_total").add(snap.payload.size());
   return snap;
 }
 
@@ -151,7 +165,7 @@ inline Snapshot read_snapshot_after_magic(std::istream& in) {
 inline Snapshot read_snapshot(std::istream& in) {
   std::string magic;
   if (!(in >> magic) || magic != kSnapshotMagic)
-    throw DomainError("snapshot: missing pfl-snapshot magic");
+    detail::reject_snapshot("snapshot: missing pfl-snapshot magic");
   return detail::read_snapshot_after_magic(in);
 }
 

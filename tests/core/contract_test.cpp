@@ -55,5 +55,38 @@ TEST(ContractTest, ConditionEvaluatedExactlyOnce) {
   EXPECT_EQ(evaluations, 1);
 }
 
+// Observer state for the hook tests; file-scope because the observer is
+// a plain function pointer (no captures allowed).
+int g_observer_calls = 0;
+std::string g_observer_kind;
+std::string g_observer_cond;
+
+void counting_observer(const char* kind, const char* cond, const char*,
+                       const char*, int) noexcept {
+  ++g_observer_calls;
+  g_observer_kind = kind;
+  g_observer_cond = cond;
+}
+
+TEST(ContractTest, FailureObserverSeesViolationBeforeThrow) {
+  g_observer_calls = 0;
+  const ContractFailureObserver previous =
+      set_contract_failure_observer(&counting_observer);
+  EXPECT_THROW(PFL_EXPECT(2 < 1, "observed failure"), ContractViolation);
+  set_contract_failure_observer(previous);
+  EXPECT_EQ(g_observer_calls, 1);
+  EXPECT_EQ(g_observer_kind, "precondition");
+  EXPECT_EQ(g_observer_cond, "2 < 1");
+  // Removed observer is no longer called.
+  EXPECT_THROW(PFL_EXPECT(false, "unobserved"), ContractViolation);
+  EXPECT_EQ(g_observer_calls, 1);
+}
+
+TEST(ContractTest, ObserverInstallReturnsPrevious) {
+  const ContractFailureObserver original =
+      set_contract_failure_observer(&counting_observer);
+  EXPECT_EQ(set_contract_failure_observer(original), &counting_observer);
+}
+
 }  // namespace
 }  // namespace pfl

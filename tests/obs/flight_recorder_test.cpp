@@ -1,0 +1,132 @@
+// obs/flight_recorder.hpp: a forced contract violation must leave a
+// readable dump set behind (reason, both metric exports, trace, sampler
+// series) while the ContractViolation still propagates; manual dump()
+// must produce the same files; uninstall() must restore the previous
+// observer. Signal-path dumping is exercised end to end by
+// tools/telemetry_smoke.sh rather than in-process (a test that raises
+// SIGSEGV would take the gtest binary with it).
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/contract.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace pfl::obs {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pfl_flight_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    FlightRecorder::instance().uninstall();
+    std::filesystem::remove_all(dir_);
+  }
+
+  FlightRecorderConfig config(Sampler* sampler = nullptr) {
+    FlightRecorderConfig c;
+    c.directory = dir_.string();
+    c.sampler = sampler;
+    c.trap_signals = false;  // never rewire signals inside the test binary
+    return c;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FlightRecorderTest, ManualDumpWritesAllFiveFiles) {
+  Sampler sampler(SamplerConfig{std::chrono::milliseconds(1000), 8});
+  registry().counter("pfl_test_flight_probe_total").add(3);
+  sampler.sample_once();
+  FlightRecorder::instance().configure(config(&sampler));
+  const std::string stem = FlightRecorder::instance().dump("unit test");
+  ASSERT_FALSE(stem.empty());
+
+  EXPECT_EQ(slurp(stem + ".reason.txt"), "unit test\n");
+  EXPECT_NE(slurp(stem + ".metrics.json").find("\"pfl-metrics/1\""),
+            std::string::npos);
+  EXPECT_NE(slurp(stem + ".metrics.prom")
+                .find("pfl_test_flight_probe_total"),
+            std::string::npos);
+  EXPECT_NE(slurp(stem + ".trace.json").find("\"traceEvents\""),
+            std::string::npos);
+  const std::string series = slurp(stem + ".series.json");
+  EXPECT_NE(series.find("\"pfl-series/1\""), std::string::npos);
+  EXPECT_NE(series.find("pfl_test_flight_probe_total"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ContractViolationTriggersDumpAndStillThrows) {
+  FlightRecorder::instance().configure(config());
+  FlightRecorder::instance().install();
+  EXPECT_TRUE(FlightRecorder::instance().installed());
+
+  const auto boom = [] { PFL_EXPECT(1 == 2, "forced for the recorder"); };
+  EXPECT_THROW(boom(), ContractViolation);
+
+  const std::string reason = slurp(dir_ / "pfl-flight.reason.txt");
+  EXPECT_NE(reason.find("precondition"), std::string::npos);
+  EXPECT_NE(reason.find("forced for the recorder"), std::string::npos);
+  EXPECT_NE(reason.find("1 == 2"), std::string::npos);
+  EXPECT_NE(slurp(dir_ / "pfl-flight.metrics.json").find("\"pfl-metrics/1\""),
+            std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, InstallIsIdempotentAndUninstallRestores) {
+  FlightRecorder::instance().configure(config());
+  FlightRecorder::instance().install();
+  FlightRecorder::instance().install();
+  FlightRecorder::instance().uninstall();
+  FlightRecorder::instance().uninstall();
+  EXPECT_FALSE(FlightRecorder::instance().installed());
+  // After uninstall a violation must NOT write a fresh dump.
+  std::filesystem::remove(dir_ / "pfl-flight.reason.txt");
+  const auto boom = [] { PFL_EXPECT(false, "post-uninstall"); };
+  EXPECT_THROW(boom(), ContractViolation);
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "pfl-flight.reason.txt"));
+}
+
+TEST_F(FlightRecorderTest, DumpCountsItself) {
+  FlightRecorder::instance().configure(config());
+  const std::uint64_t before =
+      snapshot().counter("pfl_obs_flight_dumps_total");
+  FlightRecorder::instance().dump("counting");
+  EXPECT_EQ(snapshot().counter("pfl_obs_flight_dumps_total"), before + 1);
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(FlightRecorderTest, OffBuildIsInert) {
+  FlightRecorder::instance().configure({});
+  FlightRecorder::instance().install();
+  EXPECT_FALSE(FlightRecorder::instance().installed());
+  EXPECT_EQ(FlightRecorder::instance().dump("ignored"), "");
+  FlightRecorder::instance().uninstall();
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs

@@ -1,0 +1,195 @@
+// obs/httpd.{hpp,cpp}: bind/serve/stop lifecycle, all five endpoints,
+// and the error paths (404, 405, malformed request). The client side
+// here uses raw POSIX sockets deliberately -- tests are outside the
+// pfl_lint `no-raw-socket` scope, and a from-scratch client keeps the
+// test independent of the server's own code.
+#include "obs/httpd.hpp"
+
+#include <gtest/gtest.h>
+
+#if PFL_OBS_ENABLED
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace pfl::obs {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+/// Sends `raw` to 127.0.0.1:port and returns everything the server
+/// sends back until it closes the connection.
+std::string raw_request(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + off, raw.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return raw_request(port, "GET " + path +
+                               " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                               "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(HttpdTest, StartBindsEphemeralPortAndStops) {
+  HttpServer server(HttpServerConfig{});
+  EXPECT_EQ(server.port(), 0u);
+  ASSERT_TRUE(server.start());
+  EXPECT_GT(server.port(), 0u);
+  EXPECT_TRUE(server.start());  // second start is a no-op success
+  server.stop();
+  EXPECT_EQ(server.port(), 0u);
+  server.stop();  // idempotent
+  ASSERT_TRUE(server.start());  // restart works
+  EXPECT_GT(server.port(), 0u);
+  server.stop();
+}
+
+TEST(HttpdTest, ServesAllFiveEndpoints) {
+  Sampler sampler(SamplerConfig{std::chrono::milliseconds(1000), 8});
+  registry().counter("pfl_test_httpd_probe_total").add(5);
+  sampler.sample_once();
+  HttpServer server(HttpServerConfig{0, &sampler});
+  ASSERT_TRUE(server.start());
+  const std::uint16_t port = server.port();
+
+  EXPECT_EQ(body_of(http_get(port, "/healthz")), "ok\n");
+
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("pfl_test_httpd_probe_total 5"), std::string::npos);
+
+  const std::string metrics_json = http_get(port, "/metrics.json");
+  EXPECT_NE(metrics_json.find("\"pfl-metrics/1\""), std::string::npos);
+
+  const std::string series = http_get(port, "/series.json");
+  EXPECT_NE(series.find("\"pfl-series/1\""), std::string::npos);
+  EXPECT_NE(series.find("pfl_test_httpd_probe_total"), std::string::npos);
+
+  const std::string trace = http_get(port, "/tracez");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+
+  server.stop();
+}
+
+TEST(HttpdTest, SeriesWithoutSamplerIsEmptyButValid) {
+  HttpServer server(HttpServerConfig{});
+  ASSERT_TRUE(server.start());
+  const std::string series = http_get(server.port(), "/series.json");
+  EXPECT_NE(series.find("\"pfl-series/1\""), std::string::npos);
+  EXPECT_NE(series.find("\"samples\": []"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpdTest, ErrorPaths) {
+  HttpServer server(HttpServerConfig{});
+  ASSERT_TRUE(server.start());
+  const std::uint16_t port = server.port();
+
+  EXPECT_NE(http_get(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(raw_request(port, "POST /metrics HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(raw_request(port, "garbage\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_EQ(body_of(http_get(port, "/healthz?verbose=1")), "ok\n");
+  server.stop();
+}
+
+TEST(HttpdTest, HeadReturnsHeadersOnly) {
+  HttpServer server(HttpServerConfig{});
+  ASSERT_TRUE(server.start());
+  const std::string response = raw_request(
+      server.port(), "HEAD /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(body_of(response), "");
+  server.stop();
+}
+
+TEST(HttpdTest, TwoServersCoexist) {
+  HttpServer a(HttpServerConfig{}), b(HttpServerConfig{});
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_EQ(body_of(http_get(a.port(), "/healthz")), "ok\n");
+  EXPECT_EQ(body_of(http_get(b.port(), "/healthz")), "ok\n");
+  b.stop();
+  a.stop();
+}
+
+// Runs under the tsan preset (name filter): concurrent clients against
+// one server, plus a stop() racing in-flight requests.
+TEST(HttpdConcurrentTest, ParallelClientsAndStop) {
+  Sampler sampler(SamplerConfig{std::chrono::milliseconds(1000), 8});
+  sampler.sample_once();
+  HttpServer server(HttpServerConfig{0, &sampler});
+  ASSERT_TRUE(server.start());
+  const std::uint16_t port = server.port();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t)
+    clients.emplace_back([port] {
+      for (int i = 0; i < 8; ++i) {
+        const std::string r = http_get(port, i % 2 ? "/metrics" : "/healthz");
+        if (!r.empty())
+          EXPECT_NE(r.find("HTTP/1.1 200 OK"), std::string::npos);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  server.stop();
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(HttpdTest, OffBuildRefusesToStart) {
+  Sampler sampler;
+  HttpServer server(HttpServerConfig{0, &sampler});
+  EXPECT_FALSE(server.start());
+  EXPECT_EQ(server.port(), 0u);
+  server.stop();  // harmless
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs

@@ -1,0 +1,203 @@
+// Pins the quantile-estimation contract documented in obs/stats.hpp:
+// rank = clamp(ceil(q*count), 1, count), geometric interpolation inside
+// a log2 bucket, EXACT anchors at the bucket edges (the first in-bucket
+// observation estimates precisely bucket_lo = 2^(i-1), the last
+// precisely bucket_hi), zero for empty histograms, and monotonicity in
+// q. Also covers the snapshot-delta arithmetic the sampler and
+// obs_watch.py build rates from.
+#include "obs/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace pfl::obs {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+HistogramValue histogram_of(const MetricsRegistry& reg, const char* name) {
+  return snapshot(reg).histograms.at(name);
+}
+
+TEST(StatsTest, EmptyHistogramEstimatesZeroEverywhere) {
+  const HistogramValue h;
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(estimate_quantile(h, q), 0.0) << "q=" << q;
+  EXPECT_EQ(quantile_summary(h), (QuantileSummary{0.0, 0.0, 0.0}));
+  EXPECT_EQ(histogram_mean(h), 0.0);
+}
+
+TEST(StatsTest, SingleObservationAnchorsAtBucketLo) {
+  MetricsRegistry reg;
+  reg.histogram("pfl_test_h").record(1000);  // bucket [512, 1023]
+  const HistogramValue h = histogram_of(reg, "pfl_test_h");
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+    EXPECT_EQ(estimate_quantile(h, q), 512.0) << "q=" << q;
+}
+
+TEST(StatsTest, ZeroBucketIsExactlyZero) {
+  MetricsRegistry reg;
+  reg.histogram("pfl_test_h").record(0);
+  const HistogramValue h = histogram_of(reg, "pfl_test_h");
+  EXPECT_EQ(estimate_quantile(h, 0.5), 0.0);
+  EXPECT_EQ(estimate_quantile(h, 1.0), 0.0);
+}
+
+// Every power of two is the low edge of its bucket; a quantile that
+// selects it must return it exactly, with no pow() drift -- including
+// 2^63, where any rounding through a double-valued pow would show.
+TEST(StatsTest, PowerOfTwoEdgesAreExact) {
+  for (int k = 0; k < 64; ++k) {
+    MetricsRegistry reg;
+    const std::uint64_t v = std::uint64_t{1} << k;
+    reg.histogram("pfl_test_h").record(v);
+    const HistogramValue h = histogram_of(reg, "pfl_test_h");
+    EXPECT_EQ(estimate_quantile(h, 0.5), static_cast<double>(v)) << "k=" << k;
+  }
+}
+
+TEST(StatsTest, LastInBucketAnchorsAtBucketHi) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("pfl_test_h");
+  h.record(5);  // bucket [4, 7]
+  h.record(6);
+  const HistogramValue snap = histogram_of(reg, "pfl_test_h");
+  EXPECT_EQ(estimate_quantile(snap, 0.5), 4.0);  // rank 1 -> lo
+  EXPECT_EQ(estimate_quantile(snap, 1.0), 7.0);  // rank 2 == n -> hi
+}
+
+TEST(StatsTest, GeometricInterpolationInsideBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("pfl_test_h");
+  for (int i = 0; i < 3; ++i) h.record(300);  // bucket [256, 511]
+  const HistogramValue snap = histogram_of(reg, "pfl_test_h");
+  // rank 2 of 3: lo * (hi/lo)^(1/2) = sqrt(256 * 511).
+  EXPECT_NEAR(estimate_quantile(snap, 0.5), std::sqrt(256.0 * 511.0), 1e-9);
+  EXPECT_EQ(estimate_quantile(snap, 1.0 / 3.0), 256.0);
+  EXPECT_EQ(estimate_quantile(snap, 1.0), 511.0);
+}
+
+TEST(StatsTest, TopBucketHoldsUint64Max) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("pfl_test_h");
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  const HistogramValue snap = histogram_of(reg, "pfl_test_h");
+  // Bucket 64 is [2^63, 2^64-1]; the last observation anchors at hi.
+  EXPECT_EQ(estimate_quantile(snap, 0.5),
+            static_cast<double>(std::uint64_t{1} << 63));
+  EXPECT_EQ(estimate_quantile(snap, 1.0),
+            static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+}
+
+TEST(StatsTest, QuantilesAreMonotoneUnderRandomFills) {
+  std::mt19937_64 rng(20020613);  // fixed seed: failures must reproduce
+  for (int trial = 0; trial < 20; ++trial) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("pfl_test_h");
+    std::uniform_int_distribution<std::uint64_t> value(
+        0, std::numeric_limits<std::uint64_t>::max() >> (trial % 5) * 12);
+    const int n = 1 + static_cast<int>(rng() % 500);
+    for (int i = 0; i < n; ++i) h.record(value(rng));
+    const HistogramValue snap = histogram_of(reg, "pfl_test_h");
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      const double est = estimate_quantile(snap, q);
+      EXPECT_GE(est, prev) << "trial " << trial << " q=" << q;
+      prev = est;
+    }
+    const QuantileSummary s = quantile_summary(snap);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+  }
+}
+
+TEST(StatsTest, EstimateStaysInsideSelectedBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("pfl_test_h");
+  for (int i = 0; i < 7; ++i) h.record(100);   // bucket [64, 127]
+  for (int i = 0; i < 7; ++i) h.record(5000);  // bucket [4096, 8191]
+  const HistogramValue snap = histogram_of(reg, "pfl_test_h");
+  for (double q = 0.01; q <= 0.5; q += 0.03) {
+    const double est = estimate_quantile(snap, q);
+    EXPECT_GE(est, 64.0) << "q=" << q;
+    EXPECT_LE(est, 127.0) << "q=" << q;
+  }
+  for (double q = 0.51; q <= 1.0; q += 0.03) {
+    const double est = estimate_quantile(snap, q);
+    EXPECT_GE(est, 4096.0) << "q=" << q;
+    EXPECT_LE(est, 8191.0) << "q=" << q;
+  }
+}
+
+TEST(StatsTest, HistogramMean) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("pfl_test_h");
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_EQ(histogram_mean(histogram_of(reg, "pfl_test_h")), 30.0);
+}
+
+TEST(StatsTest, CounterRateFromSnapshotDelta) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("pfl_test_events_total");
+  c.add(100);
+  const Snapshot earlier = snapshot(reg);
+  c.add(50);
+  const Snapshot later = snapshot(reg);
+  EXPECT_DOUBLE_EQ(counter_rate(later, earlier, "pfl_test_events_total", 2.0),
+                   25.0);
+  EXPECT_EQ(counter_rate(later, earlier, "pfl_test_events_total", 0.0), 0.0);
+  EXPECT_EQ(counter_rate(later, earlier, "pfl_test_missing_total", 1.0), 0.0);
+}
+
+TEST(StatsTest, HistogramDeltaClampsResets) {
+  HistogramValue later, earlier;
+  later.count = 5;
+  later.sum = 100;
+  later.buckets[3] = 5;
+  earlier.count = 8;  // instrument reset between readings
+  earlier.sum = 40;
+  earlier.buckets[3] = 2;
+  const HistogramValue d = histogram_delta(later, earlier);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 60u);
+  EXPECT_EQ(d.buckets[3], 3u);
+}
+
+TEST(StatsTest, SnapshotDeltaKeepsGaugeLevels) {
+  MetricsRegistry reg;
+  reg.counter("pfl_test_events_total").add(10);
+  reg.gauge("pfl_test_depth").set(4);
+  const Snapshot earlier = snapshot(reg);
+  reg.counter("pfl_test_events_total").add(7);
+  reg.gauge("pfl_test_depth").set(2);
+  const Snapshot later = snapshot(reg);
+  const Snapshot d = snapshot_delta(later, earlier);
+  EXPECT_EQ(d.counter("pfl_test_events_total"), 7u);
+  EXPECT_EQ(d.gauges.at("pfl_test_depth").value, 2);
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+// The stats header is pure arithmetic over the always-present value
+// types, so it must stay usable in the OFF build.
+TEST(StatsTest, OffBuildStillComputes) {
+  HistogramValue h;
+  h.count = 1;
+  h.sum = 1000;
+  h.buckets[10] = 1;  // [512, 1023]
+  EXPECT_EQ(estimate_quantile(h, 0.5), 512.0);
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs

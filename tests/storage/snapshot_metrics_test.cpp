@@ -1,0 +1,87 @@
+// Instrumentation contract of storage/snapshot.hpp: every framed write
+// and verified read bumps the write/read/bytes counters, and EVERY
+// rejection path -- bad magic, malformed header, truncation, CRC
+// mismatch -- bumps pfl_storage_snapshot_rejected_total exactly once.
+// Counters are global and cumulative, so each check reads a delta
+// around the operation instead of an absolute value.
+#include "storage/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace pfl::storage {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+std::uint64_t counter(const char* name) {
+  return obs::snapshot().counter(name);
+}
+
+std::string framed(const std::string& payload) {
+  std::ostringstream out;
+  write_snapshot(out, "test-kind", 1, payload);
+  return out.str();
+}
+
+TEST(SnapshotMetricsTest, WriteCountsFramesAndBytes) {
+  const std::uint64_t writes = counter("pfl_storage_snapshot_writes_total");
+  const std::uint64_t bytes = counter("pfl_storage_snapshot_bytes_total");
+  framed("0123456789");
+  EXPECT_EQ(counter("pfl_storage_snapshot_writes_total"), writes + 1);
+  EXPECT_EQ(counter("pfl_storage_snapshot_bytes_total"), bytes + 10);
+}
+
+TEST(SnapshotMetricsTest, VerifiedReadCountsFramesAndBytes) {
+  const std::string blob = framed("payload!");
+  const std::uint64_t reads = counter("pfl_storage_snapshot_reads_total");
+  const std::uint64_t bytes = counter("pfl_storage_snapshot_bytes_total");
+  const std::uint64_t rejected =
+      counter("pfl_storage_snapshot_rejected_total");
+  std::istringstream in(blob);
+  EXPECT_EQ(read_snapshot(in).payload, "payload!");
+  EXPECT_EQ(counter("pfl_storage_snapshot_reads_total"), reads + 1);
+  EXPECT_EQ(counter("pfl_storage_snapshot_bytes_total"), bytes + 8);
+  EXPECT_EQ(counter("pfl_storage_snapshot_rejected_total"), rejected);
+}
+
+void expect_one_rejection(const std::string& blob) {
+  const std::uint64_t rejected =
+      counter("pfl_storage_snapshot_rejected_total");
+  const std::uint64_t reads = counter("pfl_storage_snapshot_reads_total");
+  std::istringstream in(blob);
+  EXPECT_THROW(read_snapshot(in), DomainError);
+  EXPECT_EQ(counter("pfl_storage_snapshot_rejected_total"), rejected + 1);
+  EXPECT_EQ(counter("pfl_storage_snapshot_reads_total"), reads);
+}
+
+TEST(SnapshotMetricsTest, EveryRejectionPathCounts) {
+  const std::string good = framed("payload!");
+  expect_one_rejection("not-a-snapshot at all");
+  expect_one_rejection("pfl-snapshot test-kind 1");  // truncated header
+  expect_one_rejection(good.substr(0, good.size() - 3));  // truncated payload
+  std::string flipped = good;
+  flipped[flipped.size() - 1] ^= 0x20;  // payload bit flip -> CRC mismatch
+  expect_one_rejection(flipped);
+  expect_one_rejection(
+      "pfl-snapshot test-kind 1 8 zzzzzzzzzzzzzzzz\npayload!");  // bad crc hex
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(SnapshotMetricsTest, OffBuildStillRoundTrips) {
+  std::ostringstream out;
+  write_snapshot(out, "test-kind", 1, "payload!");
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_snapshot(in).payload, "payload!");
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::storage

@@ -187,6 +187,81 @@ def check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pr_sort_key(doc: dict) -> tuple[int, str]:
+    label = str(doc.get("pr", ""))
+    m = re.search(r"(\d+)", label)
+    return (int(m.group(1)) if m else 0, label)
+
+
+def _human_rate(value: float) -> str:
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.2f}{unit}"
+    return f"{value:.0f}"
+
+
+def history(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.inputs]
+    if not paths:
+        paths = sorted(Path(".").glob("BENCH_PR*.json"))
+    if not paths:
+        print("FAIL: no BENCH_PR*.json baselines found", file=sys.stderr)
+        return 1
+    docs = []
+    for path in paths:
+        doc = json.loads(path.read_text())
+        if doc.get("schema") != SCHEMA:
+            print(f"FAIL: {path} is not a {SCHEMA} document", file=sys.stderr)
+            return 1
+        docs.append(doc)
+    docs.sort(key=_pr_sort_key)
+    labels = [str(d.get("pr", "?")) for d in docs]
+
+    names: list[str] = []
+    for doc in docs:
+        for name in doc.get("benchmarks", {}):
+            if name not in names:
+                names.append(name)
+
+    width = max(len(n) for n in names) + 2
+    col = 16
+    print("items/second by committed baseline (x: change vs previous PR "
+          "that measured it)")
+    print(f"{'benchmark':<{width}}" + "".join(f"{l:>{col}}" for l in labels))
+    for name in sorted(names):
+        cells, prev = [], None
+        for doc in docs:
+            entry = doc.get("benchmarks", {}).get(name)
+            rate = entry.get("items_per_second") if entry else None
+            if rate is None:
+                cells.append(f"{'-':>{col}}")
+                continue
+            cell = _human_rate(rate)
+            if prev:
+                cell += f" {rate / prev:.2f}x"
+            cells.append(f"{cell:>{col}}")
+            prev = rate
+        print(f"{name:<{width}}" + "".join(cells))
+
+    groups: list[tuple[str, str]] = []
+    for doc in docs:
+        for group, ratios in doc.get("derived", {}).items():
+            for pf in ratios:
+                if (group, pf) not in groups:
+                    groups.append((group, pf))
+    if groups:
+        print(f"\n{'derived ratio':<{width}}"
+              + "".join(f"{l:>{col}}" for l in labels))
+        for group, pf in sorted(groups):
+            cells = []
+            for doc in docs:
+                value = doc.get("derived", {}).get(group, {}).get(pf)
+                cells.append(f"{'-':>{col}}" if value is None
+                             else f"{value:.2f}x".rjust(col))
+            print(f"{group + '/' + pf:<{width}}" + "".join(cells))
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="*",
@@ -196,11 +271,16 @@ def main() -> int:
     parser.add_argument("--pr", default="PR2", help="baseline label")
     parser.add_argument("--check", metavar="FILE",
                         help="validate a committed baseline instead of merging")
+    parser.add_argument("--history", action="store_true",
+                        help="print a PR-over-PR table from committed "
+                             "baselines (defaults to ./BENCH_PR*.json)")
     args = parser.parse_args()
     if args.check:
         if args.inputs:
             parser.error("--check takes no merge inputs")
         return check(args)
+    if args.history:
+        return history(args)
     if not args.inputs:
         parser.error("nothing to do: pass input JSON files or --check FILE")
     return merge(args)

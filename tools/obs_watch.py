@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Poll a running pfl telemetry server and summarize what it exposes.
+
+Companion to the obs/httpd.cpp exposition server (start one with
+`obs_demo --serve` or `wbc_sim --serve`). Two modes:
+
+watch (default)
+    Poll /metrics.json twice, `--interval` seconds apart, and print
+    counter rates (per second, from the snapshot delta) plus histogram
+    percentiles (p50/p90/p99 computed here, from the log2 buckets, with
+    the same lo-anchored geometric interpolation as src/obs/stats.hpp).
+
+--check
+    One-shot CI probe: hit all five endpoints, validate the pinned
+    schemas ("pfl-metrics/1", "pfl-series/1", Chrome trace shape,
+    /healthz == "ok"), check percentile monotonicity on every series
+    sample, and exit non-zero with a reason on the first failure.
+    Used by tools/telemetry_smoke.sh and the CI telemetry-smoke job.
+
+Stdlib only (urllib + json); no dependencies, matching the repo rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+
+ENDPOINTS = ("/healthz", "/metrics", "/metrics.json", "/series.json", "/tracez")
+
+
+def fetch(base: str, path: str, timeout: float) -> bytes:
+    with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+        if resp.status != 200:
+            raise RuntimeError(f"GET {path}: HTTP {resp.status}")
+        return resp.read()
+
+
+# --- histogram percentiles (mirror of src/obs/stats.hpp) -----------------
+
+def bucket_bounds(i: int) -> tuple[int, int]:
+    """[lo, hi] of log2 bucket i; bucket 0 is exactly {0}."""
+    if i == 0:
+        return (0, 0)
+    return (1 << (i - 1), (1 << i) - 1 if i < 64 else (1 << 64) - 1)
+
+
+def estimate_quantile(buckets: list[tuple[int, int, int]], count: int,
+                      q: float) -> float:
+    """buckets is the sparse [lo, hi, n] form from pfl-metrics/1 JSON."""
+    if count == 0:
+        return 0.0
+    rank = max(1, min(count, math.ceil(q * count)))
+    cumulative = 0
+    for lo, hi, n in buckets:
+        if cumulative + n < rank:
+            cumulative += n
+            continue
+        k = rank - cumulative
+        if lo == 0:
+            return 0.0
+        if k == 1 or n == 1:
+            return float(lo)
+        if k == n:
+            return float(hi)
+        frac = (k - 1) / (n - 1)
+        return lo * (hi / lo) ** frac
+    lo, hi, _ = buckets[-1]
+    return float(hi)
+
+
+def percentiles(hist: dict) -> tuple[float, float, float]:
+    buckets = [tuple(b) for b in hist.get("buckets", [])]
+    count = hist.get("count", 0)
+    return tuple(estimate_quantile(buckets, count, q)
+                 for q in (0.50, 0.90, 0.99))
+
+
+# --- watch mode ----------------------------------------------------------
+
+def cmd_watch(base: str, interval: float, timeout: float) -> int:
+    first = json.loads(fetch(base, "/metrics.json", timeout))
+    t0 = time.monotonic()
+    time.sleep(interval)
+    second = json.loads(fetch(base, "/metrics.json", timeout))
+    dt = time.monotonic() - t0
+
+    print(f"# {base}  (delta over {dt:.2f}s)")
+    print(f"{'counter':<44} {'total':>12} {'rate/s':>10}")
+    for name, value in sorted(second.get("counters", {}).items()):
+        rate = (value - first.get("counters", {}).get(name, 0)) / dt
+        print(f"{name:<44} {value:>12} {rate:>10.1f}")
+    gauges = second.get("gauges", {})
+    if gauges:
+        print(f"\n{'gauge':<44} {'value':>12} {'peak':>10}")
+        for name, g in sorted(gauges.items()):
+            print(f"{name:<44} {g['value']:>12} {g['peak']:>10}")
+    hists = second.get("histograms", {})
+    if hists:
+        print(f"\n{'histogram':<44} {'count':>10} {'p50':>10} "
+              f"{'p90':>10} {'p99':>10}")
+        for name, h in sorted(hists.items()):
+            p50, p90, p99 = percentiles(h)
+            print(f"{name:<44} {h['count']:>10} {p50:>10.0f} "
+                  f"{p90:>10.0f} {p99:>10.0f}")
+    return 0
+
+
+# --- check mode ----------------------------------------------------------
+
+def check(base: str, timeout: float) -> list[str]:
+    errors: list[str] = []
+
+    def fail(msg: str) -> None:
+        errors.append(msg)
+
+    try:
+        health = fetch(base, "/healthz", timeout).decode()
+        if health.strip() != "ok":
+            fail(f"/healthz returned {health!r}, expected 'ok'")
+    except Exception as e:  # noqa: BLE001 - report, don't crash
+        fail(f"/healthz: {e}")
+
+    try:
+        prom = fetch(base, "/metrics", timeout).decode()
+        counter_lines = [l for l in prom.splitlines()
+                         if l and not l.startswith("#")]
+        if not any(l.split()[0].endswith("_total") for l in counter_lines):
+            fail("/metrics: no *_total counter samples in exposition")
+        for line in counter_lines:
+            parts = line.split()
+            if len(parts) != 2:
+                fail(f"/metrics: malformed sample line {line!r}")
+                break
+            float(parts[1])
+    except Exception as e:  # noqa: BLE001
+        fail(f"/metrics: {e}")
+
+    try:
+        metrics = json.loads(fetch(base, "/metrics.json", timeout))
+        if metrics.get("schema") != "pfl-metrics/1":
+            fail(f"/metrics.json schema {metrics.get('schema')!r}")
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                fail(f"/metrics.json missing {section!r}")
+    except Exception as e:  # noqa: BLE001
+        fail(f"/metrics.json: {e}")
+
+    try:
+        series = json.loads(fetch(base, "/series.json", timeout))
+        if series.get("schema") != "pfl-series/1":
+            fail(f"/series.json schema {series.get('schema')!r}")
+        samples = series.get("samples", [])
+        prev_seq, prev_t = 0, -1
+        for s in samples:
+            if s["seq"] <= prev_seq:
+                fail(f"/series.json: seq not increasing at {s['seq']}")
+                break
+            if s["t_ms"] < prev_t:
+                fail(f"/series.json: t_ms decreasing at seq {s['seq']}")
+                break
+            prev_seq, prev_t = s["seq"], s["t_ms"]
+            for name, h in s.get("histograms", {}).items():
+                if not h["p50"] <= h["p90"] <= h["p99"]:
+                    fail(f"/series.json: {name} percentiles not monotone "
+                         f"at seq {s['seq']}: {h['p50']}/{h['p90']}/{h['p99']}")
+    except Exception as e:  # noqa: BLE001
+        fail(f"/series.json: {e}")
+
+    try:
+        trace = json.loads(fetch(base, "/tracez", timeout))
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            fail("/tracez: no traceEvents array")
+        else:
+            for ev in events:
+                if not {"name", "ph", "ts", "pid", "tid"} <= ev.keys():
+                    fail(f"/tracez: event missing required keys: {ev}")
+                    break
+    except Exception as e:  # noqa: BLE001
+        fail(f"/tracez: {e}")
+
+    try:
+        req = urllib.request.Request(base + "/definitely-not-an-endpoint")
+        try:
+            urllib.request.urlopen(req, timeout=timeout)
+            fail("unknown endpoint did not return 404")
+        except urllib.error.HTTPError as e:
+            if e.code != 404:
+                fail(f"unknown endpoint returned {e.code}, expected 404")
+    except Exception as e:  # noqa: BLE001
+        fail(f"404 probe: {e}")
+
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between the two watch-mode polls")
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument("--check", action="store_true",
+                        help="validate all endpoints and exit 0/1 (CI mode)")
+    args = parser.parse_args()
+
+    base = f"http://{args.host}:{args.port}"
+    if args.check:
+        errors = check(base, args.timeout)
+        if errors:
+            for e in errors:
+                print(f"obs_watch: FAIL {e}", file=sys.stderr)
+            return 1
+        print(f"obs_watch: OK {base} ({', '.join(ENDPOINTS)})")
+        return 0
+    return cmd_watch(base, args.interval, args.timeout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

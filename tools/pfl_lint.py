@@ -46,6 +46,20 @@ obs-instrument
     pfl prefix counts as 2+ underscore groups), with counter names ending
     in `_total`.
 
+no-raw-socket
+    The telemetry HTTP server (src/obs/httpd.cpp) is the ONLY translation
+    unit in src/ allowed to speak to the network: socket(2)-family calls
+    (socket, bind, listen, accept, connect, recv*, send*, getsockname,
+    setsockopt, inet_pton, htons, ...) anywhere else are flagged. This
+    keeps the attack surface reviewable in one file and makes the
+    loopback-only threat model (DESIGN.md "Telemetry runtime")
+    enforceable. Including a socket API header (<sys/socket.h>,
+    <netinet/*>, <arpa/inet.h>, ...) is itself the violation; call names
+    are only checked in files that include one, so same-named project
+    members (WbcFrontend::bind, ThreadPool::shutdown, poll()) never
+    false-positive. Tests may open raw client sockets freely; the rule
+    scans src/ only.
+
 Escape hatch
 ------------
     // pfl-lint: allow(rule) -- justification
@@ -71,6 +85,7 @@ RULES = {
     "no-naked-cast",
     "one-based",
     "obs-instrument",
+    "no-raw-socket",
 }
 
 # Function names whose bodies compute addresses and therefore fall under
@@ -96,6 +111,30 @@ ADDRESS_FUNCS = {
 
 # Files that implement the checked-arithmetic core itself.
 CAST_EXEMPT = {"src/numtheory/checked.hpp", "src/numtheory/bits.hpp"}
+
+# The one translation unit allowed to make socket(2)-family calls.
+SOCKET_EXEMPT = {"src/obs/httpd.cpp"}
+
+# Headers that declare the socket API. Including one of these is itself
+# the violation: no call can compile without a declaration, so gating the
+# call check on the include kills false positives from same-named project
+# members (WbcFrontend::bind assigns a volunteer to a row, ThreadPool has
+# shutdown(), samplers poll()) without weakening the rule.
+NETWORK_HEADER = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/un\.h|netinet/[^>]+|"
+    r"arpa/inet\.h|netdb\.h)>")
+
+# Free-function call sites of the socket API. The single-char lookbehind
+# rejects member calls (`.bind(`), qualified names (`std::bind(`,
+# `->connect(`), and identifier suffixes (`my_accept(`). `shutdown` and
+# `poll` are deliberately absent: they are legitimate non-network names,
+# and neither can open a listening endpoint on its own.
+RAW_SOCKET_CALL = re.compile(
+    r"(?<![\w:.>])(?:socket|bind|listen|accept4?|connect|"
+    r"recv(?:from|msg)?|send(?:to|msg)?|getsockname|getpeername|"
+    r"setsockopt|getsockopt|inet_pton|inet_ntop|inet_addr|"
+    r"hton[sl]|ntoh[sl])\s*\("
+)
 
 # A line containing one of these markers is considered routed through the
 # checked/widened arithmetic layer.
@@ -451,6 +490,39 @@ def check_obs_instrument(ft: FileText, out: list[Violation]) -> None:
                     raw.strip()))
 
 
+def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:
+    if ft.rel in SOCKET_EXEMPT:
+        return
+    includes_network = False
+    for ln, code in enumerate(ft.code_lines):
+        if NETWORK_HEADER.search(code):
+            includes_network = True
+            if allowed(ft, ln, "no-raw-socket"):
+                continue
+            raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+            out.append(Violation(
+                ft.rel, ln + 1, "no-raw-socket",
+                "socket API header outside src/obs/httpd.cpp -- all "
+                "network I/O lives in the telemetry server so the "
+                "loopback-only threat model stays reviewable in one file",
+                raw.strip()))
+    if not includes_network:
+        return  # no declarations in scope: same-named members are fine
+    for ln, code in enumerate(ft.code_lines):
+        m = RAW_SOCKET_CALL.search(code)
+        if not m:
+            continue
+        if allowed(ft, ln, "no-raw-socket"):
+            continue
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        out.append(Violation(
+            ft.rel, ln + 1, "no-raw-socket",
+            f"socket-family call `{m.group(0).rstrip('( ')}` outside "
+            "src/obs/httpd.cpp -- all network I/O lives in the telemetry "
+            "server so the loopback-only threat model stays reviewable "
+            "in one file", raw.strip()))
+
+
 def main(argv: list[str]) -> int:
     if len(argv) > 1 and argv[1] in ("-h", "--help"):
         print(__doc__)
@@ -471,6 +543,7 @@ def main(argv: list[str]) -> int:
         check_no_float_unpair(ft, violations)
         check_no_naked_cast(ft, violations)
         check_obs_instrument(ft, violations)
+        check_no_raw_socket(ft, violations)
 
     example_files = sorted((root / "examples").glob("*.cpp"))
     readme = root / "README.md"

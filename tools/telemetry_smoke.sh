@@ -1,0 +1,115 @@
+#!/usr/bin/env sh
+# Telemetry smoke: drive the live telemetry runtime end to end against a
+# built tree.
+#
+#   tools/telemetry_smoke.sh [build-dir] [obs-off-build-dir]
+#
+# Used by the CI telemetry-smoke job. Three phases:
+#
+#   1. Crash forensics: obs_demo --serve --dump-dir, then SIGABRT. The
+#      flight recorder must leave all five pfl-flight.* artifacts, and
+#      the dumped trace must satisfy trace_report --check.
+#   2. Live serving: obs_demo --serve with a --port-file rendezvous;
+#      tools/obs_watch.py --check probes all five endpoints (/metrics,
+#      /metrics.json, /series.json, /tracez, /healthz) plus the 404
+#      path, /tracez is re-validated through trace_report --check, and
+#      the demo must then exit 0 on its own (clean server/sampler
+#      shutdown, trace written).
+#   3. (only when a second build dir is given) Zero-cost-off proof: the
+#      SAME command line against a -DPFL_OBS=OFF build must still link,
+#      print the "--serve unavailable" fallback, and exit 0.
+#
+# Any failure is a real telemetry bug: the endpoints are loopback-only
+# and the checks are structural, not timing-sensitive.
+set -eu
+
+build_dir="${1:-build}"
+off_build_dir="${2:-}"
+
+demo="$build_dir/examples/obs_demo"
+if [ ! -x "$demo" ]; then
+  echo "telemetry_smoke: $demo not built (configure with -DPFL_BUILD_EXAMPLES=ON)" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+demo_pid=""
+cleanup() {
+  [ -n "$demo_pid" ] && kill "$demo_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Poll the --port-file rendezvous: obs_demo writes it only after the
+# server is listening, so a non-empty file means the port is live.
+wait_port() {
+  _i=0
+  while [ ! -s "$1" ]; do
+    _i=$((_i + 1))
+    if [ "$_i" -gt 100 ]; then
+      echo "telemetry_smoke: $1 not written within 10s" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  cat "$1"
+}
+
+fetch() { # fetch URL BODY_OUT -- stdlib-only so the script needs no curl
+  python3 -c 'import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1], timeout=5) as r:
+    sys.stdout.buffer.write(r.read())' "$1" > "$2"
+}
+
+echo "== phase 1: flight recorder dumps on a fatal signal"
+mkdir -p "$work/dump"  # the recorder writes into an existing directory
+"$demo" --serve --duration-ms 60000 --dump-dir "$work/dump" \
+    --port-file "$work/port1" "$work/t1.json" > "$work/demo1.log" 2>&1 &
+demo_pid=$!
+wait_port "$work/port1" > /dev/null
+kill -ABRT "$demo_pid"
+wait "$demo_pid" 2>/dev/null || true  # SIGABRT exit is the expected path
+demo_pid=""
+for f in reason.txt metrics.json metrics.prom trace.json series.json; do
+  if [ ! -s "$work/dump/pfl-flight.$f" ]; then
+    echo "telemetry_smoke: flight recorder did not write pfl-flight.$f" >&2
+    ls -la "$work/dump" 2>/dev/null >&2 || true
+    exit 1
+  fi
+done
+grep -q "fatal signal" "$work/dump/pfl-flight.reason.txt"
+python3 tools/trace_report.py --check "$work/dump/pfl-flight.trace.json"
+echo "   all five pfl-flight.* artifacts present, reason + trace valid"
+
+echo
+echo "== phase 2: live endpoints while the demo serves"
+"$demo" --serve --duration-ms 20000 --port-file "$work/port2" \
+    "$work/t2.json" > "$work/demo2.log" 2>&1 &
+demo_pid=$!
+port="$(wait_port "$work/port2")"
+python3 tools/obs_watch.py --port "$port" --check
+fetch "http://127.0.0.1:$port/tracez" "$work/tracez.json"
+python3 tools/trace_report.py --check "$work/tracez.json"
+wait "$demo_pid"  # must exit 0 on its own: clean stop of server + sampler
+demo_pid=""
+python3 tools/trace_report.py --check "$work/t2.json"
+grep -q "served" "$work/demo2.log"
+echo "   endpoints checked, demo exited cleanly, final trace valid"
+
+if [ -n "$off_build_dir" ]; then
+  off_demo="$off_build_dir/examples/obs_demo"
+  if [ ! -x "$off_demo" ]; then
+    echo "telemetry_smoke: $off_demo not built" >&2
+    exit 2
+  fi
+  echo
+  echo "== phase 3: PFL_OBS=OFF build still accepts --serve (and declines)"
+  "$off_demo" --serve --duration-ms 0 --port-file "$work/port3" \
+      "$work/t3.json" > "$work/demo3.log" 2>&1
+  grep -q -- "--serve unavailable" "$work/demo3.log"
+  python3 tools/trace_report.py --check "$work/t3.json"
+  echo "   OFF build links, runs, and degrades to the no-server path"
+fi
+
+echo
+echo "telemetry_smoke: OK"
