@@ -1,0 +1,222 @@
+// Compile-time concurrency analysis: Clang thread-safety capability
+// annotations plus the annotated synchronization wrappers every
+// mutex-holding type in the library uses.
+//
+// The annotations drive Clang's Thread Safety Analysis (`-Wthread-safety
+// -Wthread-safety-beta`, CMake option PFL_THREAD_SAFETY / preset
+// `thread-safety`): declare which mutex guards which state
+// (PFL_GUARDED_BY) and which functions run with it held (PFL_REQUIRES),
+// and the compiler rejects -- at compile time, on every schedule at once
+// -- the races and lock-discipline violations that TSan can only catch
+// when a bad interleaving actually happens. Under GCC/MSVC every macro
+// expands to nothing and the wrappers compile to exactly the std
+// primitives they wrap, so the annotated tree costs nothing anywhere.
+//
+// Raw std::mutex is not analyzable: libstdc++ carries no capability
+// attributes, so the analysis would never observe an acquire and every
+// guarded access would (uselessly) warn. The wrappers below are therefore
+// the ONLY sanctioned synchronization primitives in src/ -- enforced by
+// tools/pfl_lint.py rule `no-naked-mutex` (this header is the single
+// exempt site, the way src/obs/httpd.cpp is for `no-raw-socket`).
+//
+// Style guide (DESIGN.md "Concurrency static analysis"):
+//
+//   * every mutex-protected member carries PFL_GUARDED_BY(m_);
+//   * helpers called with the lock held are annotated PFL_REQUIRES(m_)
+//     and named *_locked;
+//   * lock with the scoped guards (LockGuard, or UniqueLock when a
+//     condition variable is involved); manual Mutex::lock()/unlock()
+//     needs a pfl-lint allow() with a justification;
+//   * condition-variable predicates are written as explicit `while`
+//     loops in the annotated scope, never as predicate lambdas (a lambda
+//     is a separate function the analysis sees without the capability);
+//   * PFL_NO_THREAD_SAFETY_ANALYSIS is acceptable only where the
+//     analysis cannot model a correct pattern (none in the tree today);
+//     prefer a justified lint escape on a narrower construct.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+// Attribute spellings. Clang implements the analysis; GCC and MSVC
+// accept the code with the attributes compiled away.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PFL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PFL_THREAD_ANNOTATION
+#define PFL_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (a mutex, in this library).
+#define PFL_CAPABILITY(x) PFL_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII type whose constructor acquires and destructor releases.
+#define PFL_SCOPED_CAPABILITY PFL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define PFL_GUARDED_BY(x) PFL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the named capability.
+#define PFL_PT_GUARDED_BY(x) PFL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability already held.
+#define PFL_REQUIRES(...) \
+  PFL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability (and did not hold it before).
+#define PFL_ACQUIRE(...) \
+  PFL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability (held on entry).
+#define PFL_RELEASE(...) \
+  PFL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns the given value.
+#define PFL_TRY_ACQUIRE(...) \
+  PFL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held (deadlock
+/// guard for self-locking public APIs).
+#define PFL_EXCLUDES(...) PFL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a static acquisition order between two capabilities.
+#define PFL_ACQUIRED_BEFORE(...) \
+  PFL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PFL_ACQUIRED_AFTER(...) \
+  PFL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define PFL_RETURN_CAPABILITY(x) PFL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: function body is exempt from the analysis. Requires a
+/// justification comment at the use site (see the style guide above).
+#define PFL_NO_THREAD_SAFETY_ANALYSIS \
+  PFL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pfl::par {
+
+class ConditionVariable;
+
+/// std::mutex with capability attributes. Same size, same codegen: the
+/// wrapper methods are one forwarded call each, inlined away at -O1.
+class PFL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PFL_ACQUIRE() { m_.lock(); }
+  void unlock() PFL_RELEASE() { m_.unlock(); }
+
+  /// Try-acquire for paths that must never block (the flight recorder's
+  /// fatal-signal dump): holds the capability exactly when true.
+  bool try_lock() PFL_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class ConditionVariable;
+  friend class UniqueLock;
+  std::mutex m_;
+};
+
+/// Scoped lock -- the default way to hold a Mutex. Equivalent to
+/// std::lock_guard, but the analysis tracks the acquisition.
+class PFL_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) PFL_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() PFL_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Scoped lock that a ConditionVariable can wait on. Unlike
+/// std::unique_lock it exposes no manual lock()/unlock(): a wait
+/// releases and reacquires internally (the capability is held before and
+/// after, which is all the analysis needs), and code that wants a
+/// genuinely unlocked region ends the scope and opens a new one.
+class PFL_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) PFL_ACQUIRE(m) : lock_(m.m_) {}
+  ~UniqueLock() PFL_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class ConditionVariable;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over the annotated wrappers. Waits take a
+/// UniqueLock; predicates are written as explicit while-loops at the
+/// call site so the guarded reads stay inside the annotated scope.
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Monitor wrapper: a T only reachable with its mutex held. The lock
+/// discipline becomes a type-system fact -- there is no way to touch the
+/// value without the capability, so single-threaded components (the WBC
+/// FrontEnd, a LeaseTable) can be shared across pool workers without
+/// growing internal locks. Callbacks must not let references to the
+/// value escape the locked scope; return values, not references.
+template <class T>
+class Guarded {
+ public:
+  template <class... Args>
+  explicit Guarded(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  Guarded(const Guarded&) = delete;
+  Guarded& operator=(const Guarded&) = delete;
+
+  /// Runs f(value) with the mutex held; returns f's result.
+  template <class F>
+  decltype(auto) with_lock(F&& f) {
+    LockGuard lock(m_);
+    return std::forward<F>(f)(value_);
+  }
+
+  template <class F>
+  decltype(auto) with_lock(F&& f) const {
+    LockGuard lock(m_);
+    return std::forward<F>(f)(value_);
+  }
+
+ private:
+  mutable Mutex m_;
+  T value_ PFL_GUARDED_BY(m_);
+};
+
+}  // namespace pfl::par

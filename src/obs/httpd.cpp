@@ -69,6 +69,7 @@ HttpServer::HttpServer(HttpServerConfig config) : config_(config) {}
 HttpServer::~HttpServer() { stop(); }
 
 bool HttpServer::start() {
+  par::LockGuard lock(state_m_);
   if (listen_fd_.load(std::memory_order_acquire) >= 0) return true;
 
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -103,6 +104,7 @@ bool HttpServer::start() {
 }
 
 void HttpServer::stop() {
+  par::LockGuard lock(state_m_);
   if (listen_fd_.load(std::memory_order_acquire) < 0) return;
   stop_requested_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();

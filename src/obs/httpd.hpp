@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "core/thread_safety.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 
@@ -74,10 +75,18 @@ class HttpServer {
   void handle_connection(int fd) const;
 
   HttpServerConfig config_;
+  /// Serializes start()/stop() against each other: two concurrent
+  /// start() calls used to both pass the listen_fd_ check, double-bind,
+  /// and overwrite thread_ while joinable (UB). The atomics below stay
+  /// atomic so running()/port() remain lock-free reads, and so the
+  /// accept thread (which never takes state_m_) can poll
+  /// stop_requested_; join-under-lock cannot deadlock for the same
+  /// reason.
+  par::Mutex state_m_;
   std::atomic<int> listen_fd_{-1};
   std::atomic<std::uint16_t> port_{0};
   std::atomic<bool> stop_requested_{false};
-  std::thread thread_;
+  std::thread thread_ PFL_GUARDED_BY(state_m_);
 };
 
 #else  // PFL_OBS_ENABLED == 0: the server is compiled out; start() fails

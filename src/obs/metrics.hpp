@@ -29,10 +29,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "core/thread_safety.hpp"
 #include "core/types.hpp"
 
 #ifndef PFL_OBS_ENABLED
@@ -216,10 +216,15 @@ class Histogram {
 class MetricsRegistry {
  public:
   Counter& counter(std::string_view name) {
+    par::LockGuard lock(m_);
     return intern(counters_, name);
   }
-  Gauge& gauge(std::string_view name) { return intern(gauges_, name); }
+  Gauge& gauge(std::string_view name) {
+    par::LockGuard lock(m_);
+    return intern(gauges_, name);
+  }
   Histogram& histogram(std::string_view name) {
+    par::LockGuard lock(m_);
     return intern(histograms_, name);
   }
 
@@ -227,24 +232,24 @@ class MetricsRegistry {
   /// given kind, in lexicographic name order.
   template <class F>
   void for_each_counter(F&& f) const {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     for (const auto& [name, c] : counters_) f(name, *c);
   }
   template <class F>
   void for_each_gauge(F&& f) const {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     for (const auto& [name, g] : gauges_) f(name, *g);
   }
   template <class F>
   void for_each_histogram(F&& f) const {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     for (const auto& [name, h] : histograms_) f(name, *h);
   }
 
   /// Zeroes every instrument (names stay registered). Tests and demos
   /// call this at quiescence to get deltas from a clean origin.
   void reset_all() {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : histograms_) h->reset();
@@ -253,18 +258,23 @@ class MetricsRegistry {
  private:
   template <class T>
   T& intern(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
-            std::string_view name) {
-    std::lock_guard lock(m_);
+            std::string_view name) PFL_REQUIRES(m_) {
     auto it = table.find(name);
     if (it == table.end())
       it = table.emplace(std::string(name), std::make_unique<T>()).first;
     return *it->second;
   }
 
-  mutable std::mutex m_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// The mutex guards registration and iteration only; the instruments
+  /// themselves are internally atomic, so references handed out remain
+  /// freely usable without it.
+  mutable par::Mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PFL_GUARDED_BY(m_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PFL_GUARDED_BY(m_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      PFL_GUARDED_BY(m_);
 };
 
 /// The process-wide registry every PFL_OBS_* macro registers into.

@@ -31,16 +31,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "obs/export.hpp"
 #include "obs/stats.hpp"
 
@@ -127,7 +126,7 @@ class Sampler {
 
   /// Starts the background thread; a second start() is a no-op.
   void start() {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     if (thread_.joinable()) return;
     stop_requested_ = false;
     thread_ = std::thread([this] { run(); });
@@ -138,7 +137,7 @@ class Sampler {
   void stop() {
     std::thread to_join;
     {
-      std::lock_guard lock(m_);
+      par::LockGuard lock(m_);
       if (!thread_.joinable()) return;
       stop_requested_ = true;
       cv_.notify_all();
@@ -148,7 +147,7 @@ class Sampler {
   }
 
   bool running() const {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     return thread_.joinable();
   }
 
@@ -161,13 +160,13 @@ class Sampler {
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - epoch_)
             .count());
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     push_locked(now, t_ms);
   }
 
   /// Absolute reconstruction of every retained sample, oldest first.
   std::vector<SamplePoint> window() const {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     std::vector<SamplePoint> out;
     out.reserve(ring_.size());
     Snapshot acc = base_;
@@ -212,7 +211,8 @@ class Sampler {
     }
   }
 
-  void push_locked(const Snapshot& now, std::uint64_t t_ms) {
+  void push_locked(const Snapshot& now, std::uint64_t t_ms)
+      PFL_REQUIRES(m_) {
     Delta d;
     d.seq = next_seq_++;
     d.t_ms = t_ms;
@@ -241,20 +241,29 @@ class Sampler {
   }
 
   void run() {
-    std::unique_lock lock(m_);
-    while (!stop_requested_) {
+    for (;;) {
+      {
+        par::UniqueLock lock(m_);
+        if (stop_requested_) return;
+      }
       // Sample outside the lock: snapshot() walks the registry under its
       // own mutex and must not nest inside ours while window() waits.
-      lock.unlock();
       const Snapshot now = snapshot(reg_);
       const std::uint64_t t_ms = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::milliseconds>(
               std::chrono::steady_clock::now() - epoch_)
               .count());
-      lock.lock();
-      if (stop_requested_) break;
+      par::UniqueLock lock(m_);
+      if (stop_requested_) return;
       push_locked(now, t_ms);
-      cv_.wait_for(lock, config_.interval, [this] { return stop_requested_; });
+      // Interruptible sleep until the next tick. Written as an explicit
+      // loop (not a predicate lambda) so the thread-safety analysis sees
+      // stop_requested_ read with m_ held.
+      const auto deadline = std::chrono::steady_clock::now() + config_.interval;
+      while (!stop_requested_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      if (stop_requested_) return;
     }
   }
 
@@ -262,15 +271,15 @@ class Sampler {
   MetricsRegistry& reg_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool stop_requested_ = false;
+  mutable par::Mutex m_;
+  par::ConditionVariable cv_;
+  std::thread thread_ PFL_GUARDED_BY(m_);
+  bool stop_requested_ PFL_GUARDED_BY(m_) = false;
 
-  Snapshot base_;       ///< absolutes as of the dropped predecessor
-  Snapshot prev_;       ///< absolutes as of the newest sample
-  std::deque<Delta> ring_;
-  std::uint64_t next_seq_ = 1;
+  Snapshot base_ PFL_GUARDED_BY(m_);  ///< absolutes before the oldest slot
+  Snapshot prev_ PFL_GUARDED_BY(m_);  ///< absolutes as of the newest sample
+  std::deque<Delta> ring_ PFL_GUARDED_BY(m_);
+  std::uint64_t next_seq_ PFL_GUARDED_BY(m_) = 1;
 };
 
 #else  // PFL_OBS_ENABLED == 0: same API, no thread, no storage.

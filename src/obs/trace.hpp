@@ -25,10 +25,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "obs/metrics.hpp"
 
 namespace pfl::obs {
@@ -55,6 +55,15 @@ inline std::uint64_t now_ns() {
 
 /// Bounded single-writer event buffer (see file comment for the memory
 /// ordering that makes concurrent export race-free).
+///
+/// Deliberately CAPABILITY-FREE (no PFL_GUARDED_BY): the writer/reader
+/// handoff is lock-free by design -- `slots_[h]` is fully written before
+/// the release store of `head_`, and collect() reads only the prefix its
+/// acquire load of `head_` covers. There is no mutex whose capability
+/// could express that protocol, and inventing one would serialize the
+/// span hot path the whole design exists to keep lock-free. The
+/// invariant is enforced dynamically instead: the TSan preset runs
+/// tests/obs/obs_concurrency_test.cpp's export-while-writing races.
 class EventBuffer {
  public:
   explicit EventBuffer(std::uint32_t tid, std::size_t capacity)
@@ -117,7 +126,7 @@ class TraceCollector {
       auto fresh = std::make_shared<trace_detail::EventBuffer>(
           next_tid_.fetch_add(1, std::memory_order_relaxed), kEventsPerThread);
       mine = fresh.get();
-      std::lock_guard lock(m_);
+      par::LockGuard lock(m_);
       buffers_.push_back(std::move(fresh));
     }
     return *mine;
@@ -127,7 +136,7 @@ class TraceCollector {
   std::vector<TraceEvent> events() const {
     std::vector<TraceEvent> out;
     {
-      std::lock_guard lock(m_);
+      par::LockGuard lock(m_);
       for (const auto& b : buffers_) b->collect(out);
     }
     std::sort(out.begin(), out.end(),
@@ -140,7 +149,7 @@ class TraceCollector {
 
   /// Drops all recorded events. Quiescence only: no spans may be live.
   void clear() {
-    std::lock_guard lock(m_);
+    par::LockGuard lock(m_);
     for (const auto& b : buffers_) b->clear();
   }
 
@@ -181,8 +190,11 @@ class TraceCollector {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint32_t> next_tid_{1};
-  mutable std::mutex m_;
-  std::vector<std::shared_ptr<trace_detail::EventBuffer>> buffers_;
+  /// Guards the buffer LIST only; the buffers' contents follow the
+  /// lock-free single-writer protocol documented on EventBuffer.
+  mutable par::Mutex m_;
+  std::vector<std::shared_ptr<trace_detail::EventBuffer>> buffers_
+      PFL_GUARDED_BY(m_);
 };
 
 /// RAII scope timer: records one complete trace event from construction

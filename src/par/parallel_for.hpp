@@ -15,13 +15,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 
@@ -66,10 +65,10 @@ namespace detail {
 /// Heap-owned via shared_ptr so a straggling worker finishing its signal
 /// can never touch freed memory even after the caller has moved on.
 struct Completion {
-  std::mutex m;
-  std::condition_variable cv;
-  std::size_t remaining;
-  std::exception_ptr first_error;
+  Mutex m;
+  ConditionVariable cv;
+  std::size_t remaining PFL_GUARDED_BY(m);
+  std::exception_ptr first_error PFL_GUARDED_BY(m);
 
   explicit Completion(std::size_t workers) : remaining(workers) {}
 
@@ -77,7 +76,7 @@ struct Completion {
   /// access to the caller's frame. Records err (first one wins) and wakes
   /// the caller when the last worker reports in.
   void signal(std::exception_ptr err) {
-    std::lock_guard lock(m);
+    LockGuard lock(m);
     if (err && !first_error) first_error = std::move(err);
     if (--remaining == 0) cv.notify_all();
   }
@@ -85,19 +84,19 @@ struct Completion {
   /// Caller side: blocks until every worker has signalled, then rethrows
   /// the first recorded exception, if any.
   void wait_and_rethrow() {
-    std::unique_lock lock(m);
-    cv.wait(lock, [this] { return remaining == 0; });
-    if (first_error) {
-      std::exception_ptr err = std::move(first_error);
-      lock.unlock();
-      std::rethrow_exception(err);
+    std::exception_ptr err;
+    {
+      UniqueLock lock(m);
+      while (remaining != 0) cv.wait(lock);
+      err = std::move(first_error);
     }
+    if (err) std::rethrow_exception(err);
   }
 
   /// Caller side, submit-loop failure path: `shortfall` tasks were never
   /// enqueued and will never signal; stop waiting for them.
   void forfeit(std::size_t shortfall) {
-    std::lock_guard lock(m);
+    LockGuard lock(m);
     remaining -= shortfall;
     if (remaining == 0) cv.notify_all();
   }

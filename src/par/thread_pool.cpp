@@ -18,7 +18,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_) return;  // idempotent: destructor after explicit shutdown
     stopping_ = true;
   }
@@ -30,8 +30,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();

@@ -6,19 +6,25 @@
 // shared execution substrate. Design follows CP.* of the C++ Core
 // Guidelines: tasks communicate only through futures/atomics, the pool owns
 // its threads (RAII), and shutdown is deterministic.
+//
+// Concurrency contract (machine-checked under the `thread-safety` preset,
+// see core/thread_safety.hpp): the queue, the stop flag, and the enqueue
+// counters are guarded by mutex_; tasks_executed_ is a relaxed atomic so
+// workers never retake the lock just to bump it; workers_ is immutable
+// after construction (written only by the constructor, joined by
+// shutdown()), so size() reads it lock-free.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "obs/metrics.hpp"
 
 namespace pfl::par {
@@ -55,7 +61,7 @@ class ThreadPool {
   /// Consistent snapshot of the enqueue/execute counters and queue depth
   /// (taken under the queue mutex).
   Stats stats() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     Stats s;
     s.tasks_enqueued = tasks_enqueued_;
     s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
@@ -70,7 +76,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
     std::future<void> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace([task]() { (*task)(); });
       note_enqueued_locked();
@@ -84,7 +90,7 @@ class ThreadPool {
   /// both through their own shared state (see par::parallel_for).
   void post(std::function<void()> fn) {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: post after shutdown");
       queue_.emplace(std::move(fn));
       note_enqueued_locked();
@@ -100,7 +106,7 @@ class ThreadPool {
   void worker_loop();
 
   /// Shared bookkeeping for submit()/post(); caller holds mutex_.
-  void note_enqueued_locked() {
+  void note_enqueued_locked() PFL_REQUIRES(mutex_) {
     ++tasks_enqueued_;
     const std::uint64_t depth = queue_.size();
     if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
@@ -109,13 +115,15 @@ class ThreadPool {
         .set(static_cast<std::int64_t>(depth));
   }
 
+  /// Written only by the constructor, joined by shutdown(): immutable
+  /// while any other thread can observe the pool, hence unguarded.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::uint64_t tasks_enqueued_ = 0;      ///< guarded by mutex_
-  std::uint64_t peak_queue_depth_ = 0;    ///< guarded by mutex_
+  mutable Mutex mutex_;
+  ConditionVariable cv_;
+  std::queue<std::function<void()>> queue_ PFL_GUARDED_BY(mutex_);
+  bool stopping_ PFL_GUARDED_BY(mutex_) = false;
+  std::uint64_t tasks_enqueued_ PFL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t peak_queue_depth_ PFL_GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> tasks_executed_{0};
 };
 

@@ -20,6 +20,13 @@
 //                    APF's strides grow with the row index, keeping the
 //                    fast (task-hungry) volunteers on small rows keeps the
 //                    workload's memory envelope small.
+//
+// Thread-safety: NONE -- deliberately. FrontEnd models one
+// accountability server and holds no mutex; the thread-safety preset
+// (core/thread_safety.hpp) checks nothing here because there is nothing
+// to check. Callers that share one instance across threads wrap it in
+// par::Guarded<FrontEnd>, which makes the external-serialization
+// requirement a type-system fact (see tests/wbc/frontend_stress_test.cpp).
 #pragma once
 
 #include <iosfwd>

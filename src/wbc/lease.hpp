@@ -16,6 +16,11 @@
 // no new tasks until `quarantine_ticks` have passed. Bookkeeping is
 // O(#outstanding leases + #volunteers with a non-default deadline),
 // in the spirit of the paper's O(#events) front-end accounting.
+//
+// Thread-safety: NONE, like FrontEnd -- a LeaseTable belongs to exactly
+// one server loop. Share one across threads only behind
+// par::Guarded<LeaseTable> (core/thread_safety.hpp), never with an
+// ad-hoc external mutex.
 #pragma once
 
 #include <istream>

@@ -11,6 +11,11 @@
 //
 // The FrontEnd (frontend.hpp) layers volunteer identities, dynamic
 // arrival/departure and index recycling on top of these rows.
+//
+// Thread-safety: NONE -- the server (checkpoint/restore included) is
+// single-threaded state owned by one accountability loop. Cross-thread
+// sharing goes through par::Guarded<TaskServer>
+// (core/thread_safety.hpp), same policy as FrontEnd and LeaseTable.
 #pragma once
 
 #include <iosfwd>

@@ -171,8 +171,9 @@ TEST(HttpdConcurrentTest, ParallelClientsAndStop) {
     clients.emplace_back([port] {
       for (int i = 0; i < 8; ++i) {
         const std::string r = http_get(port, i % 2 ? "/metrics" : "/healthz");
-        if (!r.empty())
+        if (!r.empty()) {
           EXPECT_NE(r.find("HTTP/1.1 200 OK"), std::string::npos);
+        }
       }
     });
   for (std::thread& t : clients) t.join();

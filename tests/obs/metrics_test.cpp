@@ -52,8 +52,9 @@ TEST(HistogramBuckets, BucketsPartitionTheDomain) {
     EXPECT_LE(Histogram::bucket_lo(i), Histogram::bucket_hi(i)) << i;
     EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(i)), i) << i;
     EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(i)), i) << i;
-    if (i + 1 < Histogram::kBuckets)
+    if (i + 1 < Histogram::kBuckets) {
       EXPECT_EQ(Histogram::bucket_hi(i) + 1, Histogram::bucket_lo(i + 1)) << i;
+    }
   }
 }
 

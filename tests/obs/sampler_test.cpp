@@ -162,8 +162,9 @@ TEST(SamplerConcurrentTest, WritersAndReadersRaceCleanly) {
   threads.emplace_back([&sampler, &stop] {
     while (!stop.load(std::memory_order_relaxed)) {
       const std::vector<SamplePoint> w = sampler.window();
-      if (!w.empty())
+      if (!w.empty()) {
         ASSERT_LE(w.front().seq, w.back().seq);
+      }
     }
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(100));

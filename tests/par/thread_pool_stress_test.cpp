@@ -65,6 +65,63 @@ TEST(ThreadPoolStressTest, EnqueueRacingShutdownNeverDropsAccepted) {
   EXPECT_EQ(executed.load(), accepted.load());
 }
 
+TEST(ThreadPoolStressTest, StatsSnapshotRacesPostStorm) {
+  // Readers hammer stats()/size() while producers storm post(). Under the
+  // `tsan` preset this is the data-race canary for the Stats snapshot path
+  // (stats() takes the queue mutex; size() reads the immutable worker
+  // vector); in any build it checks snapshot monotonicity and the final
+  // enqueued == executed accounting.
+  constexpr int kProducers = 4;
+  constexpr int kReaders = 4;
+  constexpr int kTasksPerProducer = 2000;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<bool> monotonic{true};
+  ThreadPool pool(3);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&pool, &stop_readers, &monotonic] {
+      ThreadPool::Stats prev;
+      while (!stop_readers.load()) {
+        const ThreadPool::Stats s = pool.stats();
+        // Counters only grow, and a consistent snapshot never shows more
+        // work finished than was ever enqueued.
+        if (s.tasks_enqueued < prev.tasks_enqueued ||
+            s.tasks_executed < prev.tasks_executed ||
+            s.peak_queue_depth < prev.peak_queue_depth ||
+            s.tasks_executed > s.tasks_enqueued) {
+          monotonic.store(false);
+        }
+        if (pool.size() != 3) monotonic.store(false);
+        prev = s;
+      }
+    });
+  }
+  {
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    std::atomic<int> executed{0};
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&pool, &executed] {
+        for (int i = 0; i < kTasksPerProducer; ++i)
+          pool.post([&executed] { executed.fetch_add(1); });
+      });
+    }
+    for (auto& t : producers) t.join();
+    pool.shutdown();  // drains the queue, so `executed` is final below
+    EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+  }
+  stop_readers.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(monotonic.load());
+  const ThreadPool::Stats final_stats = pool.stats();
+  EXPECT_EQ(final_stats.tasks_enqueued,
+            static_cast<std::uint64_t>(kProducers) * kTasksPerProducer);
+  EXPECT_EQ(final_stats.tasks_executed, final_stats.tasks_enqueued);
+  EXPECT_EQ(final_stats.queue_depth, 0u);
+  EXPECT_GE(final_stats.peak_queue_depth, 1u);
+}
+
 TEST(ThreadPoolStressTest, ShutdownIsIdempotent) {
   ThreadPool pool(2);
   std::atomic<int> executed{0};

@@ -1,0 +1,26 @@
+// Lint-selftest fixture: a deliberate A -> B / B -> A acquisition cycle
+// that `lock-order` must report. Never compiled -- only fed to
+// tools/pfl_lint.py by tests/tools/lint_selftest.py.
+namespace fix {
+
+class TwoLocks {
+ public:
+  void ab() {
+    pfl::par::LockGuard hold_a(a_);
+    pfl::par::LockGuard hold_b(b_);
+    ++x_;
+  }
+
+  void ba() {
+    pfl::par::LockGuard hold_b(b_);
+    pfl::par::LockGuard hold_a(a_);
+    --x_;
+  }
+
+ private:
+  pfl::par::Mutex a_;
+  pfl::par::Mutex b_;
+  int x_ = 0;
+};
+
+}  // namespace fix

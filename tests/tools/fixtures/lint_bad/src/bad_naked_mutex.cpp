@@ -1,0 +1,26 @@
+// Lint-selftest fixture: deliberately violates `no-naked-mutex` in all
+// three ways (raw std::mutex member, std scoped guard, manual
+// lock()/unlock()). Never compiled -- only fed to tools/pfl_lint.py by
+// tests/tools/lint_selftest.py, which asserts each line below is caught.
+#include <mutex>
+
+class BadCache {
+ public:
+  void put(int v) {
+    m_.lock();
+    last_ = v;
+    m_.unlock();
+  }
+
+  // A std guard over the *annotated* Mutex: legal C++, but the scoped
+  // acquisition is invisible to -Wthread-safety, so it is still flagged.
+  int get() const {
+    std::lock_guard<pfl::par::Mutex> lock(pm_);
+    return last_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  mutable pfl::par::Mutex pm_;
+  int last_ = 0;
+};

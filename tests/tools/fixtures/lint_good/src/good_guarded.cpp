@@ -1,0 +1,43 @@
+// Lint-selftest fixture: the clean counterpart of the lint_bad tree --
+// annotated wrappers only, one consistent a_ -> b_ acquisition order.
+// pfl_lint must exit 0 on this root.
+namespace fix {
+
+class GoodCache {
+ public:
+  void put(int v) {
+    pfl::par::LockGuard lock(m_);
+    last_ = v;
+  }
+
+  int get() const {
+    pfl::par::LockGuard lock(m_);
+    return last_;
+  }
+
+ private:
+  mutable pfl::par::Mutex m_;
+  int last_ = 0;
+};
+
+class OrderedPair {
+ public:
+  void both() {
+    pfl::par::LockGuard hold_a(a_);
+    pfl::par::LockGuard hold_b(b_);
+    ++x_;
+  }
+
+  void also_both() {
+    pfl::par::LockGuard hold_a(a_);
+    pfl::par::LockGuard hold_b(b_);
+    --x_;
+  }
+
+ private:
+  pfl::par::Mutex a_;
+  pfl::par::Mutex b_;
+  int x_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,38 @@
+// Stub-parity fixture: an obs-style split header whose PFL_OBS=OFF
+// branch is deliberately out of sync. tests/tools/lint_selftest.py
+// asserts tools/pfl_stub_check.py reports each seeded divergence:
+//   * Widget::stop() missing from the stub;
+//   * Widget::id() loses constexpr in the stub;
+//   * Widget::poll() arity mismatch (1 real, 2 stub);
+//   * macro PFL_OBS_WIDGET_PING defined in the real branch only.
+// Never compiled.
+#pragma once
+
+#ifndef PFL_OBS_ENABLED
+#define PFL_OBS_ENABLED 1
+#endif
+
+#if PFL_OBS_ENABLED
+
+class Widget {
+ public:
+  static constexpr int kSlots = 4;
+  static constexpr int id() noexcept { return 7; }
+  void start();
+  void stop();
+  int poll(int budget) const;
+};
+
+#define PFL_OBS_WIDGET_PING() ::widget_ping()
+
+#else
+
+class Widget {
+ public:
+  static constexpr int kSlots = 0;
+  static int id() noexcept { return 0; }
+  void start();
+  int poll(int budget, int extra) const;
+};
+
+#endif

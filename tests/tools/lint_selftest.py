@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-tests for the repo's static-analysis tools.
+
+A lint pass that never fires is indistinguishable from one that works,
+so each rule added to tools/pfl_lint.py and tools/pfl_stub_check.py is
+exercised against a fixture tree seeded with exactly the violations it
+must catch (tests/tools/fixtures/), plus a clean fixture that must pass.
+Run as CTest test `pfl_lint_selftest` (LABELS lint) and in the CI
+static-analysis job.
+
+Exit status: 0 when every expectation holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+FIXTURES = HERE / "fixtures"
+PFL_LINT = REPO / "tools" / "pfl_lint.py"
+STUB_CHECK = REPO / "tools" / "pfl_stub_check.py"
+
+failures: list[str] = []
+
+
+def run(*args: str | Path) -> subprocess.CompletedProcess[str]:
+    return subprocess.run([sys.executable, *map(str, args)],
+                          capture_output=True, text=True)
+
+
+def expect(label: str, proc: subprocess.CompletedProcess[str],
+           exit_code: int, substrings: list[str] = [],
+           absent: list[str] = []) -> None:
+    text = proc.stdout + proc.stderr
+    ok = proc.returncode == exit_code
+    for s in substrings:
+        if s not in text:
+            failures.append(f"{label}: expected output to contain {s!r}")
+            ok = False
+    for s in absent:
+        if s in text:
+            failures.append(f"{label}: expected output NOT to contain {s!r}")
+            ok = False
+    if proc.returncode != exit_code:
+        failures.append(f"{label}: expected exit {exit_code}, "
+                        f"got {proc.returncode}")
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {label}")
+    if not ok:
+        print("    ---- output ----")
+        for line in text.splitlines():
+            print(f"    {line}")
+
+
+print("pfl_lint on the seeded-bad fixture tree:")
+bad = run(PFL_LINT, FIXTURES / "lint_bad")
+expect("no-naked-mutex catches the raw std::mutex member", bad, 1,
+       ["bad_naked_mutex.cpp", "[no-naked-mutex]",
+        "raw std synchronization primitive"])
+expect("no-naked-mutex catches the std scoped guard", bad, 1,
+       ["std scoped guard"])
+expect("no-naked-mutex catches manual .lock()/.unlock()", bad, 1,
+       ["manual .lock()", "manual .unlock()"])
+expect("lock-order reports the A->B/B->A cycle with both sites", bad, 1,
+       ["bad_lock_cycle.cpp", "[lock-order]", "lock-order cycle",
+        "TwoLocks::a_", "TwoLocks::b_"])
+
+print("pfl_lint on the clean fixture tree:")
+expect("clean wrappers and a consistent order pass",
+       run(PFL_LINT, FIXTURES / "lint_good"), 0, ["clean"],
+       absent=["no-naked-mutex", "lock-order cycle"])
+
+print("pfl_stub_check on the seeded-bad split header:")
+stub = run(STUB_CHECK, FIXTURES / "stub_bad" / "bad_stub.hpp")
+expect("missing stub method is reported", stub, 1,
+       ["[stub-parity]", "Widget::stop missing"])
+expect("lost constexpr is reported", stub, 1,
+       ["Widget::id is constexpr in the real branch but not in the stub"])
+expect("arity drift is reported", stub, 1,
+       ["Widget::poll arity mismatch"])
+expect("real-only macro is reported", stub, 1,
+       ["PFL_OBS_WIDGET_PING"])
+expect("matching members are not reported", stub, 1,
+       absent=["Widget::start", "kSlots"])
+
+print("both tools on the real repo:")
+expect("pfl_lint is clean on src/", run(PFL_LINT, REPO), 0, ["clean"])
+expect("pfl_stub_check is clean on src/obs/", run(STUB_CHECK, REPO), 0,
+       ["clean"])
+
+if failures:
+    print(f"\nlint_selftest: {len(failures)} expectation(s) failed")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("\nlint_selftest: all expectations hold")

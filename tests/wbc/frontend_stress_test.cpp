@@ -1,32 +1,33 @@
 // TSan-targeted stress for the WBC front end: volunteer arrival/departure
 // churn driven from the thread pool. FrontEnd itself is single-threaded
-// by design (one accountability server), so all access goes through one
-// mutex -- the point is to race the SURROUNDING machinery (pool workers,
-// future handoff, task recycling) under TSan while checking the front
-// end's "no lost tasks" ledger: every task a departing volunteer leaves
-// unfinished must be recycled and eventually reissued, attributed to the
-// volunteer who finally computed it.
+// by design (one accountability server), so all access goes through a
+// par::Guarded<FrontEnd> monitor -- the lock discipline is a type-system
+// fact, and the point is to race the SURROUNDING machinery (pool
+// workers, future handoff, task recycling) under TSan while checking the
+// front end's "no lost tasks" ledger: every task a departing volunteer
+// leaves unfinished must be recycled and eventually reissued, attributed
+// to the volunteer who finally computed it.
 #include "wbc/frontend.hpp"
 
 #include <gtest/gtest.h>
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "apf/tsharp.hpp"
+#include "core/thread_safety.hpp"
 #include "par/thread_pool.hpp"
 
 namespace pfl::wbc {
 namespace {
 
 TEST(FrontEndConcurrentStressTest, ArrivalDepartureChurnLosesNoTasks) {
-  FrontEnd fe(std::make_shared<apf::TSharpApf>(), AssignmentPolicy::kFirstFree);
-  std::mutex fe_mutex;  // FrontEnd is not thread-safe; serialize access
+  par::Guarded<FrontEnd> shared_fe(std::make_shared<apf::TSharpApf>(),
+                                   AssignmentPolicy::kFirstFree);
   std::set<TaskIndex> outstanding;  // issued but not yet submitted
-  std::set<TaskIndex> completed;
+  std::set<TaskIndex> completed;    // both only touched inside with_lock
 
   par::ThreadPool pool(4);
   std::vector<std::future<void>> rounds;
@@ -34,81 +35,86 @@ TEST(FrontEndConcurrentStressTest, ArrivalDepartureChurnLosesNoTasks) {
   constexpr int kRounds = 60;
   for (int r = 0; r < kRounds; ++r) {
     rounds.push_back(pool.submit([&, r] {
-      std::lock_guard lock(fe_mutex);
-      for (VolunteerId v = 1; v <= kVolunteers; ++v) {
-        // Deterministic churn: volunteer v is active only on rounds where
-        // (r + v) % 4 != 0; edges of that schedule are arrivals/departures.
-        const bool should_be_active = (static_cast<VolunteerId>(r) + v) % 4 != 0;
-        if (should_be_active && !fe.is_active(v)) {
-          fe.arrive(v, 1.0 + static_cast<double>(v));
-        } else if (!should_be_active && fe.is_active(v)) {
-          fe.depart(v);  // unfinished tasks join the recycle queue
-          continue;
+      shared_fe.with_lock([&](FrontEnd& fe) {
+        for (VolunteerId v = 1; v <= kVolunteers; ++v) {
+          // Deterministic churn: volunteer v is active only on rounds where
+          // (r + v) % 4 != 0; edges of that schedule are arrivals/departures.
+          const bool should_be_active =
+              (static_cast<VolunteerId>(r) + v) % 4 != 0;
+          if (should_be_active && !fe.is_active(v)) {
+            fe.arrive(v, 1.0 + static_cast<double>(v));
+          } else if (!should_be_active && fe.is_active(v)) {
+            fe.depart(v);  // unfinished tasks join the recycle queue
+            continue;
+          }
+          if (!fe.is_active(v)) continue;
+          const TaskAssignment a = fe.request_task(v);
+          ASSERT_TRUE(outstanding.insert(a.task).second ||
+                      completed.count(a.task) == 0)
+              << "task " << a.task << " issued while still outstanding";
+          // Volunteers finish every other task immediately; the rest are
+          // left dangling for the next departure to recycle.
+          if ((a.task + v) % 2 == 0) {
+            fe.submit_result(v, a.task, a.task * 2 + 1);
+            outstanding.erase(a.task);
+            completed.insert(a.task);
+          }
         }
-        if (!fe.is_active(v)) continue;
-        const TaskAssignment a = fe.request_task(v);
-        ASSERT_TRUE(outstanding.insert(a.task).second ||
-                    completed.count(a.task) == 0)
-            << "task " << a.task << " issued while still outstanding";
-        // Volunteers finish every other task immediately; the rest are
-        // left dangling for the next departure to recycle.
-        if ((a.task + v) % 2 == 0) {
-          fe.submit_result(v, a.task, a.task * 2 + 1);
-          outstanding.erase(a.task);
-          completed.insert(a.task);
-        }
-      }
+      });
     }));
   }
   for (auto& f : rounds) f.get();
 
   // Drain: one long-lived volunteer mops up the recycle queue.
-  std::lock_guard lock(fe_mutex);
-  const VolunteerId mop = kVolunteers + 1;
-  fe.arrive(mop, 100.0);
-  while (fe.recycle_queue_size() > 0) {
-    const TaskAssignment a = fe.request_task(mop);
-    fe.submit_result(mop, a.task, a.task * 2 + 1);
-    outstanding.erase(a.task);
-    completed.insert(a.task);
-    // Reissued tasks must attribute to the mop-up volunteer now.
-    EXPECT_EQ(fe.volunteer_of_task(a.task), mop);
-  }
-  // Every task still outstanding is held by a live, active volunteer;
-  // nothing fell between the recycle queue and the epoch ledger.
-  for (TaskIndex t : outstanding) {
-    const VolunteerId holder = fe.volunteer_of_task(t);
-    EXPECT_TRUE(fe.is_active(holder))
-        << "task " << t << " held by departed volunteer " << holder;
-  }
-  EXPECT_GT(fe.reissued_tasks(), 0ull);  // churn actually recycled work
+  shared_fe.with_lock([&](FrontEnd& fe) {
+    const VolunteerId mop = kVolunteers + 1;
+    fe.arrive(mop, 100.0);
+    while (fe.recycle_queue_size() > 0) {
+      const TaskAssignment a = fe.request_task(mop);
+      fe.submit_result(mop, a.task, a.task * 2 + 1);
+      outstanding.erase(a.task);
+      completed.insert(a.task);
+      // Reissued tasks must attribute to the mop-up volunteer now.
+      EXPECT_EQ(fe.volunteer_of_task(a.task), mop);
+    }
+    // Every task still outstanding is held by a live, active volunteer;
+    // nothing fell between the recycle queue and the epoch ledger.
+    for (TaskIndex t : outstanding) {
+      const VolunteerId holder = fe.volunteer_of_task(t);
+      EXPECT_TRUE(fe.is_active(holder))
+          << "task " << t << " held by departed volunteer " << holder;
+    }
+    EXPECT_GT(fe.reissued_tasks(), 0ull);  // churn actually recycled work
+  });
 }
 
 TEST(FrontEndConcurrentStressTest, ParallelAuditsAttributeCorrectly) {
   // Issue tasks single-threaded, then audit from many pool workers at
-  // once (audit is const-heavy but mutates strike counters -- all under
-  // the external mutex). Attribution must never cross volunteers.
-  FrontEnd fe(std::make_shared<apf::TSharpApf>(),
-              AssignmentPolicy::kSpeedOrdered);
-  std::mutex fe_mutex;
+  // once (audit is const-heavy but mutates strike counters -- all inside
+  // the monitor). Attribution must never cross volunteers.
+  par::Guarded<FrontEnd> shared_fe(std::make_shared<apf::TSharpApf>(),
+                                   AssignmentPolicy::kSpeedOrdered);
   std::vector<std::pair<VolunteerId, TaskIndex>> issued;
-  for (VolunteerId v = 1; v <= 6; ++v) fe.arrive(v, static_cast<double>(v));
-  for (int round = 0; round < 50; ++round) {
-    for (VolunteerId v = 1; v <= 6; ++v) {
-      const TaskAssignment a = fe.request_task(v);
-      fe.submit_result(v, a.task, a.task);  // everyone answers "truth"
-      issued.emplace_back(v, a.task);
+  shared_fe.with_lock([&](FrontEnd& fe) {
+    for (VolunteerId v = 1; v <= 6; ++v) fe.arrive(v, static_cast<double>(v));
+    for (int round = 0; round < 50; ++round) {
+      for (VolunteerId v = 1; v <= 6; ++v) {
+        const TaskAssignment a = fe.request_task(v);
+        fe.submit_result(v, a.task, a.task);  // everyone answers "truth"
+        issued.emplace_back(v, a.task);
+      }
     }
-  }
+  });
   par::ThreadPool pool(4);
   std::vector<std::future<void>> audits;
   for (const auto& [v, task] : issued) {
-    audits.push_back(pool.submit([&fe, &fe_mutex, v = v, task = task] {
-      std::lock_guard lock(fe_mutex);
-      const AuditOutcome out = fe.audit(task, task);
-      EXPECT_TRUE(out.correct);
-      EXPECT_EQ(out.volunteer, v);
-      EXPECT_FALSE(out.banned);
+    audits.push_back(pool.submit([&shared_fe, v = v, task = task] {
+      shared_fe.with_lock([&](FrontEnd& fe) {
+        const AuditOutcome out = fe.audit(task, task);
+        EXPECT_TRUE(out.correct);
+        EXPECT_EQ(out.volunteer, v);
+        EXPECT_FALSE(out.banned);
+      });
     }));
   }
   for (auto& f : audits) f.get();

@@ -46,6 +46,34 @@ obs-instrument
     pfl prefix counts as 2+ underscore groups), with counter names ending
     in `_total`.
 
+no-naked-mutex
+    src/ synchronizes ONLY through the annotated wrappers in
+    src/core/thread_safety.hpp (pfl::par::Mutex, ConditionVariable,
+    LockGuard, UniqueLock, Guarded<T>): raw std::mutex /
+    std::condition_variable declarations are invisible to Clang's
+    thread-safety analysis, and std::lock_guard / std::unique_lock /
+    std::scoped_lock over an annotated Mutex do not register the
+    acquisition (the lock happens inside unannotated std code), so both
+    are flagged. Manual .lock() / .unlock() / .try_lock() calls outside
+    the wrapper header are flagged too -- scoped guards or a justified
+    escape (the flight recorder's signal-path try_lock is the one in
+    tree). The wrapper header itself is the single exempt file, the way
+    src/obs/httpd.cpp is for no-raw-socket. Tests may use std primitives
+    freely; the rule scans src/ only.
+
+lock-order
+    Builds a global lock-acquisition graph from the textual nesting of
+    LockGuard/UniqueLock declarations (an edge A -> B whenever B is
+    acquired in a scope where A is still held, mutexes identified by
+    enclosing class) and fails on any cycle -- the compile-time half of
+    deadlock prevention (TSan's deadlock detector is the runtime half).
+    Recursive re-acquisition of the same mutex in one scope chain is
+    flagged directly. The analysis is per-translation-unit textual
+    nesting: it cannot see call-graph nesting (f() taking lock A then
+    calling g() which takes B), so keep public entry points
+    coarse-grained and helpers *_locked, per the style guide in
+    core/thread_safety.hpp.
+
 no-raw-socket
     The telemetry HTTP server (src/obs/httpd.cpp) is the ONLY translation
     unit in src/ allowed to speak to the network: socket(2)-family calls
@@ -86,6 +114,8 @@ RULES = {
     "one-based",
     "obs-instrument",
     "no-raw-socket",
+    "no-naked-mutex",
+    "lock-order",
 }
 
 # Function names whose bodies compute addresses and therefore fall under
@@ -114,6 +144,38 @@ CAST_EXEMPT = {"src/numtheory/checked.hpp", "src/numtheory/bits.hpp"}
 
 # The one translation unit allowed to make socket(2)-family calls.
 SOCKET_EXEMPT = {"src/obs/httpd.cpp"}
+
+# The one file allowed to touch std synchronization primitives: the
+# annotated wrappers themselves.
+MUTEX_EXEMPT = {"src/core/thread_safety.hpp"}
+
+# Raw std synchronization types the analysis cannot see.
+NAKED_MUTEX_TYPE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any)\b")
+
+# std scoped guards: even over an annotated Mutex, the acquisition
+# happens inside unannotated std code, so the analysis never records it.
+NAKED_STD_GUARD = re.compile(
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock)\b")
+
+# Manual lock-method calls; scoped guards are the sanctioned spelling.
+MANUAL_LOCK_CALL = re.compile(
+    r"(?:\.|->)\s*((?:try_)?lock|unlock)\s*\(")
+
+# A scoped-guard declaration: `LockGuard name(mutex_expr);` (optionally
+# namespace-qualified). Group 2 is the guarded mutex expression.
+GUARD_DECL = re.compile(
+    r"\b(?:pfl\s*::\s*)?(?:par\s*::\s*)?(LockGuard|UniqueLock)\s+"
+    r"[A-Za-z_]\w*\s*\(([^;{}()]*)\)")
+
+# `[return-type] Class::method(` at the start of a line -- names the
+# owning class of the mutexes an out-of-line .cpp member body acquires.
+METHOD_OWNER = re.compile(
+    r"^(?:[A-Za-z_][\w:<>,*&]*\s+)*([A-Za-z_]\w*)\s*::\s*~?[A-Za-z_]\w*\s*\(")
+
+CLASS_KEYWORD = re.compile(r"\b(class|struct)\s")
 
 # Headers that declare the socket API. Including one of these is itself
 # the violation: no call can compile without a declaration, so gating the
@@ -523,6 +585,169 @@ def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:
             "in one file", raw.strip()))
 
 
+def check_no_naked_mutex(ft: FileText, out: list[Violation]) -> None:
+    if ft.rel in MUTEX_EXEMPT:
+        return
+    for ln, code in enumerate(ft.code_lines):
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        if NAKED_MUTEX_TYPE.search(code):
+            if not allowed(ft, ln, "no-naked-mutex"):
+                out.append(Violation(
+                    ft.rel, ln + 1, "no-naked-mutex",
+                    "raw std synchronization primitive -- use the annotated "
+                    "pfl::par::Mutex / ConditionVariable "
+                    "(core/thread_safety.hpp) so -Wthread-safety sees it",
+                    raw.strip()))
+            continue
+        if NAKED_STD_GUARD.search(code):
+            if not allowed(ft, ln, "no-naked-mutex"):
+                out.append(Violation(
+                    ft.rel, ln + 1, "no-naked-mutex",
+                    "std scoped guard does not register the acquisition with "
+                    "the thread-safety analysis -- use par::LockGuard / "
+                    "par::UniqueLock", raw.strip()))
+            continue
+        m = MANUAL_LOCK_CALL.search(code)
+        if m and not allowed(ft, ln, "no-naked-mutex"):
+            out.append(Violation(
+                ft.rel, ln + 1, "no-naked-mutex",
+                f"manual .{m.group(1)}() -- hold mutexes through scoped "
+                "guards (par::LockGuard / par::UniqueLock) or justify an "
+                "escape", raw.strip()))
+
+
+def _class_name_from(code: str, upto: int) -> str | None:
+    """Name declared by the last real class/struct keyword before `upto`
+    (template parameters like `template <class T>` are skipped)."""
+    last = None
+    for m in CLASS_KEYWORD.finditer(code[:upto]):
+        if re.search(r"\benum\s+$", code[:m.start()]):
+            continue
+        if re.match(r"\s*[A-Za-z_]\w*\s*[>,=]", code[m.end():upto] or ">"):
+            continue  # `template <class T>` / `<class T, ...>`
+        last = m
+    if last is None:
+        return None
+    head = code[last.end():upto]
+    head = re.split(r"(?<!:):(?!:)", head)[0]  # cut the base-class clause
+    names = re.findall(r"[A-Za-z_]\w*", head)
+    names = [x for x in names if not x.startswith("PFL_") and x != "alignas"
+             and x != "final"]
+    return names[-1] if names else None
+
+
+def qualify_mutex(expr: str, class_stack: list[tuple[str, int]],
+                  owner: str | None, rel: str) -> str:
+    """A stable identity for a mutex expression: member names are
+    qualified by the enclosing class (header bodies) or the Class:: of
+    the member function (out-of-line .cpp bodies); anything else --
+    locals, through-pointer accesses -- falls back to file scope."""
+    expr = re.sub(r"\s+", "", expr)
+    if re.fullmatch(r"[A-Za-z_]\w*", expr):
+        if class_stack:
+            return f"{class_stack[-1][0]}::{expr}"
+        if owner:
+            return f"{owner}::{expr}"
+        return f"{rel}::{expr}"
+    m = re.search(r"(?:\.|->)([A-Za-z_]\w*)$", expr)
+    if m:
+        return f"{rel}::{m.group(1)}"
+    return f"{rel}::{expr}"
+
+
+def collect_lock_order(ft: FileText,
+                       edges: dict[tuple[str, str], tuple[str, int]],
+                       out: list[Violation]) -> None:
+    """Record A -> B for every guard B acquired while guard A is held
+    (textual scope nesting), flagging same-mutex re-acquisition directly."""
+    depth = 0
+    class_stack: list[tuple[str, int]] = []  # (name, depth inside body)
+    guard_stack: list[tuple[str, int]] = []  # (mutex id, depth at decl)
+    owner: str | None = None
+    pending_class: str | None = None
+    for ln, code in enumerate(ft.code_lines):
+        if not class_stack and not guard_stack:
+            om = METHOD_OWNER.match(code.lstrip())
+            if om:
+                owner = om.group(1)
+        decls = {m.start(): m for m in GUARD_DECL.finditer(code)}
+        for i, ch in enumerate(code):
+            if i in decls:
+                mutex = qualify_mutex(decls[i].group(2), class_stack, owner,
+                                      ft.rel)
+                if not allowed(ft, ln, "lock-order"):
+                    for held, _ in guard_stack:
+                        if held == mutex:
+                            raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) \
+                                else ""
+                            out.append(Violation(
+                                ft.rel, ln + 1, "lock-order",
+                                f"re-acquisition of {mutex} while already "
+                                "held in this scope chain (self-deadlock)",
+                                raw.strip()))
+                        else:
+                            edges.setdefault((held, mutex), (ft.rel, ln))
+                guard_stack.append((mutex, depth))
+            if ch == "{":
+                depth += 1
+                if pending_class is not None:
+                    class_stack.append((pending_class, depth))
+                    pending_class = None
+            elif ch == "}":
+                depth -= 1
+                while guard_stack and guard_stack[-1][1] > depth:
+                    guard_stack.pop()
+                while class_stack and class_stack[-1][1] > depth:
+                    class_stack.pop()
+        if "{" not in code and not code.strip().endswith(";"):
+            name = _class_name_from(code, len(code))
+            if name:
+                pending_class = name
+        elif "{" in code:
+            # `class Name {` on one line: the brace was walked before the
+            # name was known; push retroactively for the members below.
+            name = _class_name_from(code, code.rindex("{"))
+            if name and depth > 0 and (not class_stack
+                                       or class_stack[-1] != (name, depth)):
+                class_stack.append((name, depth))
+
+
+def check_lock_order_cycles(
+        edges: dict[tuple[str, str], tuple[str, int]],
+        out: list[Violation]) -> None:
+    graph: dict[str, set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+    color: dict[str, int] = {}
+    stack: list[str] = []
+    cycles: list[list[str]] = []
+
+    def dfs(u: str) -> None:
+        color[u] = 1
+        stack.append(u)
+        for v in sorted(graph.get(u, ())):
+            if color.get(v, 0) == 0:
+                dfs(v)
+            elif color.get(v) == 1:
+                cycles.append(stack[stack.index(v):] + [v])
+        stack.pop()
+        color[u] = 2
+
+    for u in sorted(graph):
+        if color.get(u, 0) == 0:
+            dfs(u)
+    for cyc in cycles:
+        sites = []
+        for a, b in zip(cyc, cyc[1:]):
+            rel, ln = edges[(a, b)]
+            sites.append(f"{rel}:{ln + 1} acquires {b} holding {a}")
+        rel0, ln0 = edges[(cyc[0], cyc[1])]
+        out.append(Violation(
+            rel0, ln0 + 1, "lock-order",
+            "lock-order cycle " + " -> ".join(cyc) + "; "
+            + "; ".join(sites), " -> ".join(cyc)))
+
+
 def main(argv: list[str]) -> int:
     if len(argv) > 1 and argv[1] in ("-h", "--help"):
         print(__doc__)
@@ -534,6 +759,7 @@ def main(argv: list[str]) -> int:
         return 2
 
     violations: list[Violation] = []
+    lock_edges: dict[tuple[str, str], tuple[str, int]] = {}
     src_files = sorted(
         p for p in (root / "src").rglob("*") if p.suffix in (".hpp", ".cpp"))
     for path in src_files:
@@ -544,6 +770,9 @@ def main(argv: list[str]) -> int:
         check_no_naked_cast(ft, violations)
         check_obs_instrument(ft, violations)
         check_no_raw_socket(ft, violations)
+        check_no_naked_mutex(ft, violations)
+        collect_lock_order(ft, lock_edges, violations)
+    check_lock_order_cycles(lock_edges, violations)
 
     example_files = sorted((root / "examples").glob("*.cpp"))
     readme = root / "README.md"

@@ -1,0 +1,443 @@
+#!/usr/bin/env python3
+"""pfl_stub_check -- PFL_OBS=OFF stub parity for the obs headers.
+
+Every header in src/obs/ that branches on PFL_OBS_ENABLED promises "same
+API, zero cost" in the OFF build: call sites compile against the stub
+branch without a single #if of their own. That promise decays silently --
+a method added to the real branch but not the stub only breaks the
+obs-off CI job for whoever happens to call it first. This tool makes the
+promise machine-checked: it parses both preprocessor branches of each
+header and verifies, declaration for declaration, that the stub's public
+surface matches the real one.
+
+Checked, per class that appears in a PFL_OBS_ENABLED-split header:
+
+  * every public member function of the real branch exists in the stub
+    with the same name and the same multiset of arities (and vice versa:
+    a stub cannot declare surface the real branch lacks);
+  * constexpr-ness is preserved (a constexpr accessor that silently
+    loses constexpr in the stub breaks OFF-build constant evaluation);
+  * public static data members (kBuckets, kEventsPerThread, ...) exist
+    on both sides with matching constexpr-ness. Initializer VALUES may
+    differ -- a stub legitimately sizes its ring to 0;
+  * PFL_OBS_* macro definitions come in matched real/stub pairs.
+
+Exempt by construction:
+
+  * destructors, `= delete`d members, and operator= (lifetime plumbing
+    the stub legitimately simplifies);
+  * declarations whose signature mentions a detail:: / trace_detail::
+    type: the stub compiles those types out entirely, so it cannot
+    mirror the declaration (TraceCollector::buffer_for_this_thread);
+  * members named in a `// pfl-stub-check: allow(name) -- justification`
+    comment anywhere in the file. The justification is mandatory.
+
+Usage:
+    pfl_stub_check.py ROOT          # checks ROOT/src/obs/*.hpp
+    pfl_stub_check.py FILE...       # checks the named headers (fixtures)
+
+Exit status: 0 when parity holds, 1 when violations were found, 2 on
+usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SPLIT_IF = re.compile(r"#\s*if\s+PFL_OBS_ENABLED\b")
+PP_IF = re.compile(r"#\s*if(?:def|ndef)?\b")
+PP_ELSE = re.compile(r"#\s*(?:else|elif)\b")
+PP_ENDIF = re.compile(r"#\s*endif\b")
+MACRO_DEF = re.compile(r"#\s*define\s+(PFL_OBS_\w+)")
+ALLOW = re.compile(r"pfl-stub-check:\s*allow\(([^)]*)\)\s*(.*)")
+CLASS_DECL = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+                        r"(?::[^;{]*)?\{")
+DETAIL_NS = re.compile(r"namespace\s+(\w*detail\w*)\s*\{")
+FREE_FN = re.compile(r"(?m)^inline\s+[\w:&<>\s*]+?\b([A-Za-z_]\w*)\s*\(")
+
+
+@dataclass
+class Member:
+    name: str
+    kind: str  # "fn" | "data"
+    arity: int  # parameter count; -1 for data members
+    constexpr: bool
+    decl: str
+
+
+@dataclass
+class Finding:
+    path: str
+    message: str
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comments and string/char literals, preserving layout."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote and text[j] != "\n":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("".join(ch if ch in ("\n", quote) else " "
+                               for ch in text[i:j]))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def split_branches(code: str) -> tuple[str, str, set[str], set[str]]:
+    """Classify each line as real / stub / common via the preprocessor
+    conditionals; return (real_doc, stub_doc, real_macros, stub_macros)
+    where each doc is common + that branch's lines, order preserved."""
+    real_lines: list[str] = []
+    stub_lines: list[str] = []
+    real_macros: set[str] = set()
+    stub_macros: set[str] = set()
+    # Each stack frame: "real" | "stub" | "other" (a conditional we do
+    # not interpret -- its contents inherit the surrounding branch).
+    stack: list[str] = []
+
+    def branch() -> str:
+        for frame in reversed(stack):
+            if frame in ("real", "stub"):
+                return frame
+        return "common"
+
+    for line in code.splitlines():
+        stripped = line.lstrip()
+        if SPLIT_IF.match(stripped):
+            stack.append("real")
+            continue
+        if PP_IF.match(stripped):
+            stack.append("other")
+            continue
+        if PP_ELSE.match(stripped):
+            if stack and stack[-1] == "real":
+                stack[-1] = "stub"
+            continue
+        if PP_ENDIF.match(stripped):
+            if stack:
+                stack.pop()
+            continue
+        b = branch()
+        md = MACRO_DEF.match(stripped)
+        if md:
+            if b == "real":
+                real_macros.add(md.group(1))
+            elif b == "stub":
+                stub_macros.add(md.group(1))
+            # A #define is not a declaration; keep it out of the docs so
+            # multi-line macro bodies never confuse the class parser.
+            continue
+        if stripped.startswith("\\") or line.rstrip().endswith("\\"):
+            continue  # macro continuation lines
+        if b in ("real", "common"):
+            real_lines.append(line)
+        if b in ("stub", "common"):
+            stub_lines.append(line)
+    return ("\n".join(real_lines), "\n".join(stub_lines),
+            real_macros, stub_macros)
+
+
+def matching_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def drop_detail_namespaces(doc: str) -> str:
+    """Remove `namespace *detail* { ... }` blocks: the stub compiles
+    them out wholesale, so nothing inside them is public surface."""
+    while True:
+        m = DETAIL_NS.search(doc)
+        if not m:
+            return doc
+        open_idx = doc.index("{", m.start())
+        close = matching_brace(doc, open_idx)
+        doc = doc[:m.start()] + doc[close + 1:]
+
+
+def parse_members(class_kind: str, body: str) -> list[Member]:
+    """Public member declarations of one class body (no outer braces)."""
+    members: list[Member] = []
+    access = "public" if class_kind == "struct" else "private"
+    buf: list[str] = []
+    i, n = 0, len(body)
+    while i < n:
+        c = body[i]
+        if c == "{":
+            decl = "".join(buf).strip()
+            if access == "public":
+                m = make_member(decl)
+                if m:
+                    members.append(m)
+            i = matching_brace(body, i) + 1
+            buf = []
+            continue
+        if c == ";":
+            decl = "".join(buf).strip()
+            if access == "public":
+                m = make_member(decl)
+                if m:
+                    members.append(m)
+            buf = []
+            i += 1
+            continue
+        buf.append(c)
+        flat = "".join(buf).strip()
+        if flat in ("public:", "private:", "protected:"):
+            access = flat[:-1]
+            buf = []
+        i += 1
+    return members
+
+
+def make_member(decl: str) -> Member | None:
+    decl = re.sub(r"\s+", " ", decl).strip()
+    if not decl:
+        return None
+    first = decl.split(" ", 1)[0]
+    if first in ("using", "friend", "typedef", "enum", "class", "struct",
+                 "template"):
+        # Template member functions still matter; peel the parameter list
+        # and fall through for those, skip the rest.
+        if first != "template":
+            return None
+        depth, j = 0, decl.index("template") + len("template")
+        while j < len(decl):
+            if decl[j] == "<":
+                depth += 1
+            elif decl[j] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        decl = decl[j + 1:].strip()
+        if not decl:
+            return None
+    if "= delete" in decl or decl.startswith("~") or "::~" in decl:
+        return None
+    if "operator" in decl:
+        return None
+    if re.search(r"\b(?:trace_)?detail\s*::", decl):
+        return None  # the stub compiles the detail types out
+    constexpr = bool(re.search(r"\bconstexpr\b", decl))
+    # Function: identifier immediately before the first top-level "(".
+    paren = decl.find("(")
+    if paren != -1:
+        head = decl[:paren].rstrip()
+        nm = re.search(r"([A-Za-z_]\w*)$", head)
+        if not nm:
+            return None
+        close = paren
+        depth = 0
+        for j in range(paren, len(decl)):
+            if decl[j] == "(":
+                depth += 1
+            elif decl[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = j
+                    break
+        params = decl[paren + 1:close].strip()
+        arity = 0
+        if params:
+            depth = 0
+            arity = 1
+            for ch in params:
+                if ch in "(<[":
+                    depth += 1
+                elif ch in ")>]":
+                    depth -= 1
+                elif ch == "," and depth == 0:
+                    arity += 1
+        return Member(nm.group(1), "fn", arity, constexpr, decl)
+    # Data member: last identifier before "=" (or end).
+    head = decl.split("=", 1)[0].rstrip()
+    nm = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?$", head)
+    if not nm or nm.group(1) in ("public", "private", "protected"):
+        return None
+    return Member(nm.group(1), "data", -1, constexpr, decl)
+
+
+def parse_classes(doc: str) -> dict[str, list[Member]]:
+    doc = drop_detail_namespaces(doc)
+    classes: dict[str, list[Member]] = {}
+    pos = 0
+    while True:
+        m = CLASS_DECL.search(doc, pos)
+        if not m:
+            return classes
+        open_idx = doc.index("{", m.start())
+        close = matching_brace(doc, open_idx)
+        body = doc[open_idx + 1:close]
+        classes.setdefault(m.group(2), []).extend(
+            parse_members(m.group(1), body))
+        # Skip the whole body: nested types are internals, not the
+        # public surface this tool compares.
+        pos = close + 1
+
+
+def signature_table(members: list[Member]) -> dict[str, dict[str, object]]:
+    table: dict[str, dict[str, object]] = {}
+    for m in members:
+        entry = table.setdefault(m.name, {
+            "kind": m.kind, "arities": [], "constexpr": False})
+        if m.kind == "fn":
+            entry["arities"].append(m.arity)
+        entry["constexpr"] = bool(entry["constexpr"]) or m.constexpr
+    for entry in table.values():
+        entry["arities"] = sorted(entry["arities"])
+    return table
+
+
+def collect_allows(raw_text: str, path: str,
+                   findings: list[Finding]) -> set[str]:
+    allowed: set[str] = set()
+    for m in ALLOW.finditer(raw_text):
+        names = {x.strip() for x in m.group(1).split(",") if x.strip()}
+        if not m.group(2).strip().lstrip("-– ").strip():
+            findings.append(Finding(
+                path, "pfl-stub-check allow() must carry a justification "
+                f"after the closing paren (allows: {', '.join(sorted(names))})"))
+        allowed |= names
+    return allowed
+
+
+def check_file(path: Path, rel: str, findings: list[Finding]) -> None:
+    raw = path.read_text(encoding="utf-8")
+    if not re.search(r"#\s*if\s+PFL_OBS_ENABLED\b", raw):
+        return  # branch-free header: nothing to compare
+    allowed = collect_allows(raw, rel, findings)
+    code = strip_comments_and_strings(raw)
+    real_doc, stub_doc, real_macros, stub_macros = split_branches(code)
+    for name in sorted(real_macros - stub_macros):
+        findings.append(Finding(
+            rel, f"macro {name} defined in the real branch only -- the "
+            "OFF build needs a stub definition"))
+    for name in sorted(stub_macros - real_macros):
+        findings.append(Finding(
+            rel, f"macro {name} defined in the stub branch only"))
+    real_classes = parse_classes(real_doc)
+    stub_classes = parse_classes(stub_doc)
+    for cls in sorted(set(real_classes) | set(stub_classes)):
+        if cls in allowed:
+            continue
+        if cls not in stub_classes:
+            findings.append(Finding(
+                rel, f"class {cls} has no stub-branch definition"))
+            continue
+        if cls not in real_classes:
+            findings.append(Finding(
+                rel, f"class {cls} exists only in the stub branch"))
+            continue
+        real = signature_table(real_classes[cls])
+        stub = signature_table(stub_classes[cls])
+        for name in sorted(set(real) | set(stub)):
+            if name in allowed or f"{cls}::{name}" in allowed:
+                continue
+            r, s = real.get(name), stub.get(name)
+            where = f"{cls}::{name}"
+            if r and not s:
+                findings.append(Finding(
+                    rel, f"{where} missing from the PFL_OBS=OFF stub"))
+                continue
+            if s and not r:
+                findings.append(Finding(
+                    rel, f"{where} declared only in the stub -- dead "
+                    "surface the real branch never had"))
+                continue
+            assert r is not None and s is not None
+            if r["arities"] != s["arities"]:
+                findings.append(Finding(
+                    rel, f"{where} arity mismatch: real declares "
+                    f"{r['arities']}, stub declares {s['arities']}"))
+            if r["constexpr"] and not s["constexpr"]:
+                findings.append(Finding(
+                    rel, f"{where} is constexpr in the real branch but "
+                    "not in the stub -- OFF builds lose constant "
+                    "evaluation"))
+            if s["constexpr"] and not r["constexpr"]:
+                findings.append(Finding(
+                    rel, f"{where} is constexpr only in the stub"))
+    # Free functions (inline, namespace scope): same existence check.
+    real_free = set(FREE_FN.findall(drop_detail_namespaces(real_doc)))
+    stub_free = set(FREE_FN.findall(drop_detail_namespaces(stub_doc)))
+    for name in sorted(real_free - stub_free):
+        if name not in allowed:
+            findings.append(Finding(
+                rel, f"free function {name}() missing from the "
+                "PFL_OBS=OFF stub branch"))
+    for name in sorted(stub_free - real_free):
+        if name not in allowed:
+            findings.append(Finding(
+                rel, f"free function {name}() declared only in the "
+                "stub branch"))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    args = argv[1:] or ["."]
+    targets: list[tuple[Path, str]] = []
+    if len(args) == 1 and Path(args[0]).is_dir():
+        root = Path(args[0]).resolve()
+        obs = root / "src" / "obs"
+        if not obs.is_dir():
+            print(f"pfl_stub_check: {root} has no src/obs/ directory",
+                  file=sys.stderr)
+            return 2
+        targets = [(p, p.relative_to(root).as_posix())
+                   for p in sorted(obs.glob("*.hpp"))]
+    else:
+        for a in args:
+            p = Path(a)
+            if not p.is_file():
+                print(f"pfl_stub_check: no such file: {a}", file=sys.stderr)
+                return 2
+            targets.append((p, a))
+
+    findings: list[Finding] = []
+    for path, rel in targets:
+        check_file(path, rel, findings)
+
+    if findings:
+        for f in findings:
+            print(f"{f.path}: [stub-parity] {f.message}")
+        print(f"\npfl_stub_check: {len(findings)} violation(s) across "
+              f"{len(targets)} header(s)")
+        return 1
+    print(f"pfl_stub_check: clean ({len(targets)} header(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
