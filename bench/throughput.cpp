@@ -72,8 +72,10 @@ index_t coord_range(const std::string& name) {
 }
 
 /// Attaches the batch layer's obs counters for the activity between two
-/// snapshots to the benchmark: how many chunks took the proven fast tier
-/// vs the checked fallback, the per-element fallback rate, and the mean
+/// snapshots to the benchmark: how many chunks took each tier (engine
+/// override, SIMD, proven unchecked, checked fallback), the per-element
+/// fallback rate -- checked elements over ALL elements, so a kernel
+/// served by the SIMD or engine tier reports 0, not 1 -- and the mean
 /// chunk (grain) size the dispatcher actually used. All zeros when the
 /// obs layer is compiled out.
 void attach_batch_counters(benchmark::State& st, const pfl::obs::Snapshot& before,
@@ -81,18 +83,23 @@ void attach_batch_counters(benchmark::State& st, const pfl::obs::Snapshot& befor
   const auto delta = [&](const char* name) {
     return static_cast<double>(after.counter_delta(before, name));
   };
+  const double engine = delta("pfl_core_batch_elems_engine_total");
+  const double simd = delta("pfl_core_batch_elems_simd_total");
   const double proven = delta("pfl_core_batch_elems_proven_total");
   const double checked = delta("pfl_core_batch_elems_checked_total");
+  const double chunks_engine = delta("pfl_core_batch_chunks_engine_total");
+  const double chunks_simd = delta("pfl_core_batch_chunks_simd_total");
   const double chunks_proven = delta("pfl_core_batch_chunks_proven_total");
   const double chunks_checked = delta("pfl_core_batch_chunks_checked_total");
+  st.counters["chunks_engine"] = chunks_engine;
+  st.counters["chunks_simd"] = chunks_simd;
   st.counters["chunks_proven"] = chunks_proven;
   st.counters["chunks_checked"] = chunks_checked;
-  st.counters["fallback_rate"] =
-      proven + checked > 0 ? checked / (proven + checked) : 0.0;
-  st.counters["grain_mean"] =
-      chunks_proven + chunks_checked > 0
-          ? (proven + checked) / (chunks_proven + chunks_checked)
-          : 0.0;
+  const double elems = engine + simd + proven + checked;
+  const double chunks =
+      chunks_engine + chunks_simd + chunks_proven + chunks_checked;
+  st.counters["fallback_rate"] = elems > 0 ? checked / elems : 0.0;
+  st.counters["grain_mean"] = chunks > 0 ? elems / chunks : 0.0;
 }
 
 void bm_scalar_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {

@@ -8,13 +8,20 @@
 // of pure ORs that vectorizes on any SIMD ISA (64-bit min/max does not
 // below AVX-512). A value of 0 wraps (v - 1) to all-ones, poisoning the
 // accumulator, so a clear top-bit mask proves every input lies in
-// [1, 2^k] exactly. If the kernel's *_fast_ok predicate accepts the
-// accumulator, the whole chunk is wrap-free and in-domain and runs the
-// kernel's unchecked straight-line tier -- no throwing branches, so the
-// compiler can vectorize. Chunks that fail the proof (or kernels with no
-// fast tier at all) fall back to the checked tier element by element,
-// with identical semantics to the scalar virtual API: the first
-// DomainError/OverflowError propagates to the caller.
+// [1, 2^k] exactly. Per-chunk tier order (first match wins):
+//
+//   1. *_batch_chunk override -- kernels with shared batch state
+//      (hyperbolic's nt::SummatoryEngine) take the whole chunk,
+//      semantics identical to the checked loop.
+//   2. unpair_simd -- if the accumulator proves the chunk inside the
+//      float-exact SIMD envelope (and a vector ISA is live), the
+//      vectorized inverse (core/simd.hpp) runs 2-8 lanes wide.
+//   3. *_unchecked -- if the kernel's *_fast_ok predicate accepts the
+//      accumulator, the whole chunk is wrap-free and in-domain and runs
+//      the unchecked straight-line tier.
+//   4. checked, element by element, with identical semantics to the
+//      scalar virtual API: the first DomainError/OverflowError
+//      propagates to the caller.
 //
 // Outputs are written elementwise into caller-provided spans, so results
 // are deterministic and independent of the parallel schedule.
@@ -54,6 +61,35 @@ concept HasUnpairFastPath = requires(const K k, index_t v) {
   { k.unpair_fast_ok(v) } -> std::convertible_to<bool>;
   { k.unpair_unchecked(v) } -> std::convertible_to<Point>;
 };
+
+/// Vectorized tier (core/simd.hpp): an envelope predicate over the same
+/// OR-accumulator plus a whole-span kernel. Tried before the unchecked
+/// tier; its envelope is strictly tighter, so a chunk that fails it may
+/// still prove the plain fast path.
+template <class K>
+concept HasUnpairSimdPath =
+    requires(const K k, index_t v, std::span<const index_t> zs,
+             std::span<Point> out) {
+      { k.unpair_simd_ok(v) } -> std::convertible_to<bool>;
+      k.unpair_simd(zs, out);
+    };
+
+/// Whole-chunk overrides for kernels whose batch win is shared state
+/// (hyperbolic's summatory engine). Take the chunk unconditionally --
+/// the kernel owns its own tiny-batch fallback -- with semantics
+/// identical to the element-wise checked loop.
+template <class K>
+concept HasPairChunkOverride =
+    requires(const K k, std::span<const index_t> xs,
+             std::span<const index_t> ys, std::span<index_t> out) {
+      k.pair_batch_chunk(xs, ys, out);
+    };
+
+template <class K>
+concept HasUnpairChunkOverride =
+    requires(const K k, std::span<const index_t> zs, std::span<Point> out) {
+      k.unpair_batch_chunk(zs, out);
+    };
 
 /// OR of (v - 1) over the span. 0 wraps to all-ones, so any out-of-domain
 /// zero poisons the accumulator; (acc >> k) == 0 proves all v in [1, 2^k].
@@ -100,6 +136,13 @@ void pair_batch(const K& kernel, std::span<const index_t> xs,
       xs.size(), opt, [&](std::uint64_t lo, std::uint64_t hi) {
         const std::size_t len = static_cast<std::size_t>(hi - lo);
         PFL_OBS_HISTOGRAM("pfl_core_batch_chunk_elems").record(hi - lo);
+        if constexpr (batch_detail::HasPairChunkOverride<K>) {
+          PFL_OBS_COUNTER("pfl_core_batch_chunks_engine_total").add();
+          PFL_OBS_COUNTER("pfl_core_batch_elems_engine_total").add(hi - lo);
+          kernel.pair_batch_chunk(xs.subspan(lo, len), ys.subspan(lo, len),
+                                  out.subspan(lo, len));
+          return;
+        }
         if constexpr (batch_detail::HasPairFastPath<K>) {
           const index_t acc =
               batch_detail::or_acc_minus_one(xs.subspan(lo, len)) |
@@ -129,14 +172,31 @@ void unpair_batch(const K& kernel, std::span<const index_t> zs,
       zs.size(), opt, [&](std::uint64_t lo, std::uint64_t hi) {
         const std::size_t len = static_cast<std::size_t>(hi - lo);
         PFL_OBS_HISTOGRAM("pfl_core_batch_chunk_elems").record(hi - lo);
-        if constexpr (batch_detail::HasUnpairFastPath<K>) {
+        if constexpr (batch_detail::HasUnpairChunkOverride<K>) {
+          PFL_OBS_COUNTER("pfl_core_batch_chunks_engine_total").add();
+          PFL_OBS_COUNTER("pfl_core_batch_elems_engine_total").add(hi - lo);
+          kernel.unpair_batch_chunk(zs.subspan(lo, len), out.subspan(lo, len));
+          return;
+        }
+        if constexpr (batch_detail::HasUnpairFastPath<K> ||
+                      batch_detail::HasUnpairSimdPath<K>) {
           const index_t acc = batch_detail::or_acc_minus_one(zs.subspan(lo, len));
-          if (kernel.unpair_fast_ok(acc)) {
-            PFL_OBS_COUNTER("pfl_core_batch_chunks_proven_total").add();
-            PFL_OBS_COUNTER("pfl_core_batch_elems_proven_total").add(hi - lo);
-            for (std::uint64_t i = lo; i < hi; ++i)
-              out[i] = kernel.unpair_unchecked(zs[i]);
-            return;
+          if constexpr (batch_detail::HasUnpairSimdPath<K>) {
+            if (kernel.unpair_simd_ok(acc)) {
+              PFL_OBS_COUNTER("pfl_core_batch_chunks_simd_total").add();
+              PFL_OBS_COUNTER("pfl_core_batch_elems_simd_total").add(hi - lo);
+              kernel.unpair_simd(zs.subspan(lo, len), out.subspan(lo, len));
+              return;
+            }
+          }
+          if constexpr (batch_detail::HasUnpairFastPath<K>) {
+            if (kernel.unpair_fast_ok(acc)) {
+              PFL_OBS_COUNTER("pfl_core_batch_chunks_proven_total").add();
+              PFL_OBS_COUNTER("pfl_core_batch_elems_proven_total").add(hi - lo);
+              for (std::uint64_t i = lo; i < hi; ++i)
+                out[i] = kernel.unpair_unchecked(zs[i]);
+              return;
+            }
           }
         }
         PFL_OBS_COUNTER("pfl_core_batch_chunks_checked_total").add();

@@ -29,18 +29,40 @@
 //     that fails the proof just runs checked, never wrong). A kernel
 //     with no profitable fast tier (hyperbolic: cost is dominated by
 //     divisor work) omits those members and batch loops stay checked.
+//
+// Two further batch tiers ride above those (both optional per kernel):
+//
+//   * unpair_simd_ok / unpair_simd -- the vectorized tier. A chunk whose
+//     OR-accumulator proves every z small enough that the batched
+//     float-seeded isqrt (core/simd.hpp) is exact runs the whole inverse
+//     through simd::isqrt_batch, 2-8 lanes per iteration. The envelope
+//     is strictly inside the unchecked one, so the surrounding address
+//     arithmetic inherits the unchecked tier's overflow proofs verbatim.
+//     unpair_simd_ok also answers false when no vector ISA is live
+//     (PFL_SIMD=OFF or an unsupported CPU), reverting chunks to the
+//     plain unchecked tier.
+//   * pair_batch_chunk / unpair_batch_chunk -- a whole-chunk override
+//     for kernels whose batch win is *shared state* rather than lane
+//     parallelism. Hyperbolic uses it to run every chunk through the
+//     nt::SummatoryEngine (sieved D(n) prefix + SPF tables, sorted
+//     monotone shell walk) instead of per-element binary searches.
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/contract.hpp"
+#include "core/simd.hpp"
 #include "core/types.hpp"
 #include "numtheory/bits.hpp"
 #include "numtheory/checked.hpp"
 #include "numtheory/divisor.hpp"
 #include "numtheory/factorization.hpp"
+#include "numtheory/summatory_engine.hpp"
 
 namespace pfl {
 namespace kernel_detail {
@@ -120,6 +142,37 @@ struct DiagonalKernel {
     const index_t x = t + 2 - y;  // pfl-lint: allow(checked-arith) -- 1 <= y <= t+1, so x in [1, t+1]
     return {x, y};
   }
+
+  /// Largest z admitted to the SIMD tier: z <= 2^49 keeps the inverse
+  /// discriminant 8(z-1)+1 < 2^52 = simd::kMaxExactInput, where the
+  /// float-seeded batched isqrt is provably exact.
+  static constexpr index_t kMaxSimdUnpair = index_t{1} << 49;
+
+  bool unpair_simd_ok(index_t z_acc) const {
+    return simd::accelerated() && (z_acc >> 49) == 0;
+  }
+
+  /// Same formula as unpair_unchecked, with the isqrt batched 4-8 lanes
+  /// wide; the tighter 2^49 envelope strictly implies every overflow
+  /// proof of the unchecked tier.
+  void unpair_simd(std::span<const index_t> zs, std::span<Point> out) const {
+    constexpr std::size_t kBlock = 256;
+    index_t disc[kBlock];
+    index_t root[kBlock];
+    std::size_t i = 0;
+    while (i < zs.size()) {
+      const std::size_t len = std::min(kBlock, zs.size() - i);
+      for (std::size_t j = 0; j < len; ++j)
+        disc[j] = 8 * (zs[i + j] - 1) + 1;  // pfl-lint: allow(checked-arith) -- z <= 2^49 by simd_ok, so 8(z-1)+1 < 2^52
+      simd::isqrt_batch_proven({disc, len}, {root, len});
+      for (std::size_t j = 0; j < len; ++j) {
+        const index_t t = (root[j] - 1) / 2;
+        const index_t y = zs[i + j] - kernel_detail::halve_product(t, t + 1);  // pfl-lint: allow(checked-arith) -- t < 2^26; T(t) <= z-1 by bracketing
+        out[i + j] = {t + 2 - y, y};  // pfl-lint: allow(checked-arith) -- 1 <= y <= t+1, so x in [1, t+1]
+      }
+      i += len;  // pfl-lint: allow(checked-arith) -- block cursor, bounded by the span size
+    }
+  }
 };
 
 /// The square-shell PF A11(x,y) = m^2 + m + y - x + 1, m = max(x,y) - 1
@@ -174,6 +227,38 @@ struct SquareShellKernel {
     if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
     return {2 * m + 2 - r, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
   }
+
+  /// SIMD tier envelope: z <= 2^52 keeps z - 1 inside the float-exact
+  /// range of simd::isqrt_batch (and m <= 2^26 keeps every product tiny).
+  bool unpair_simd_ok(index_t z_acc) const {
+    return simd::accelerated() && (z_acc >> 52) == 0;
+  }
+
+  /// Batched inverse using the identity isqrt_ceil(z) - 1 == isqrt(z - 1)
+  /// for z >= 1 (the largest m with m^2 < z is floor(sqrt(z - 1))), which
+  /// turns the shell search into one batched isqrt; the leg selection is
+  /// a branchless ternary the optimizer turns into masked moves.
+  void unpair_simd(std::span<const index_t> zs, std::span<Point> out) const {
+    constexpr std::size_t kBlock = 256;
+    index_t zm1[kBlock];
+    index_t mbuf[kBlock];
+    std::size_t i = 0;
+    while (i < zs.size()) {
+      const std::size_t len = std::min(kBlock, zs.size() - i);
+      for (std::size_t j = 0; j < len; ++j)
+        zm1[j] = zs[i + j] - 1;  // pfl-lint: allow(checked-arith) -- z >= 1: a zero would have poisoned the OR-accumulator
+      simd::isqrt_batch_proven({zm1, len}, {mbuf, len});
+      for (std::size_t j = 0; j < len; ++j) {
+        const index_t m = mbuf[j];
+        const index_t r = zs[i + j] - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^26
+        const bool column_leg = r <= m + 1;
+        const index_t x = column_leg ? m + 1 : 2 * m + 2 - r;  // pfl-lint: allow(checked-arith) -- m <= 2^26; r <= 2m+1 on the row leg
+        const index_t y = column_leg ? r : m + 1;  // pfl-lint: allow(checked-arith) -- m <= 2^26
+        out[i + j] = {x, y};
+      }
+      i += len;  // pfl-lint: allow(checked-arith) -- block cursor, bounded by the span size
+    }
+  }
 };
 
 /// Szudzik's elegant PF over the same square shells as A11, with the
@@ -217,6 +302,34 @@ struct SzudzikKernel {
     const index_t r = z - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^32
     if (r <= m + 1) return {m + 1, r};  // pfl-lint: allow(checked-arith) -- m <= 2^32
     return {r - m - 1, m + 1};  // pfl-lint: allow(checked-arith) -- m <= 2^32
+  }
+
+  /// Same SIMD envelope and shell-search identity as SquareShellKernel;
+  /// only the row-leg coordinates differ.
+  bool unpair_simd_ok(index_t z_acc) const {
+    return simd::accelerated() && (z_acc >> 52) == 0;
+  }
+
+  void unpair_simd(std::span<const index_t> zs, std::span<Point> out) const {
+    constexpr std::size_t kBlock = 256;
+    index_t zm1[kBlock];
+    index_t mbuf[kBlock];
+    std::size_t i = 0;
+    while (i < zs.size()) {
+      const std::size_t len = std::min(kBlock, zs.size() - i);
+      for (std::size_t j = 0; j < len; ++j)
+        zm1[j] = zs[i + j] - 1;  // pfl-lint: allow(checked-arith) -- z >= 1: a zero would have poisoned the OR-accumulator
+      simd::isqrt_batch_proven({zm1, len}, {mbuf, len});
+      for (std::size_t j = 0; j < len; ++j) {
+        const index_t m = mbuf[j];
+        const index_t r = zs[i + j] - m * m;  // pfl-lint: allow(checked-arith) -- m^2 < z by choice of m, and m <= 2^26
+        const bool column_leg = r <= m + 1;
+        const index_t x = column_leg ? m + 1 : r - m - 1;  // pfl-lint: allow(checked-arith) -- m <= 2^26; r > m+1 on the row leg
+        const index_t y = column_leg ? r : m + 1;  // pfl-lint: allow(checked-arith) -- m <= 2^26
+        out[i + j] = {x, y};
+      }
+      i += len;  // pfl-lint: allow(checked-arith) -- block cursor, bounded by the span size
+    }
   }
 };
 
@@ -342,18 +455,69 @@ class AspectRatioKernel {
     return {(r - 1) % aj + 1, b_ * j + (r - 1) / aj + 1};  // pfl-lint: allow(checked-arith) -- all terms < 2^61; aj >= 1 because r > rows_leg implies j >= 1
   }
 
+  /// SIMD tier: z <= 2^52 puts (z-1)/ab inside the float-exact isqrt
+  /// range AND strictly inside the 2^60 unchecked envelope, so the
+  /// unchecked tier's overflow proofs carry over unchanged.
+  bool unpair_simd_ok(index_t z_acc) const {
+    return simd::accelerated() && a_ <= kMaxFastDim && b_ <= kMaxFastDim &&
+           (z_acc >> 52) == 0;
+  }
+
+  /// The shell search j = isqrt((z-1)/ab) batched; the per-element
+  /// remainder math (division/modulo by the runtime legs) stays scalar.
+  void unpair_simd(std::span<const index_t> zs, std::span<Point> out) const {
+    constexpr std::size_t kBlock = 256;
+    index_t quot[kBlock];
+    index_t jbuf[kBlock];
+    const index_t ab = a_ * b_;  // pfl-lint: allow(checked-arith) -- <= 2^30 by simd_ok
+    std::size_t i = 0;
+    while (i < zs.size()) {
+      const std::size_t len = std::min(kBlock, zs.size() - i);
+      for (std::size_t j = 0; j < len; ++j)
+        quot[j] = (zs[i + j] - 1) / ab;  // pfl-lint: allow(checked-arith) -- z >= 1: a zero would have poisoned the OR-accumulator
+      simd::isqrt_batch_proven({quot, len}, {jbuf, len});
+      for (std::size_t e = 0; e < len; ++e) {
+        const index_t z = zs[i + e];  // pfl-lint: allow(checked-arith) -- i + e < span size
+        const index_t j = jbuf[e];
+        const index_t k = j + 1;  // pfl-lint: allow(checked-arith) -- j <= sqrt(2^52)
+        index_t r = z - ab * j * j;  // pfl-lint: allow(checked-arith) -- ab*j^2 <= z-1 by choice of j
+        const index_t rows_leg = ab * k;  // pfl-lint: allow(checked-arith) -- < 2^60 by the simd_ok envelope
+        const index_t aj = a_ * j;  // pfl-lint: allow(checked-arith) -- <= 2^41
+        if (r <= rows_leg) {
+          out[i + e] = {aj + (r - 1) % a_ + 1, (r - 1) / a_ + 1};  // pfl-lint: allow(checked-arith) -- all terms < 2^61
+        } else {
+          r -= rows_leg;
+          out[i + e] = {(r - 1) % aj + 1, b_ * j + (r - 1) / aj + 1};  // pfl-lint: allow(checked-arith) -- all terms < 2^61; aj >= 1 because r > rows_leg implies j >= 1
+        }
+      }
+      i += len;  // pfl-lint: allow(checked-arith) -- block cursor, bounded by the span size
+    }
+  }
+
  private:
   index_t a_;
   index_t b_;
 };
 
-/// The hyperbolic PF H of Section 3.2.3 (eq. 3.4). No unchecked tier:
-/// per-call cost is dominated by the divisor summatory / factorization,
-/// not by overflow checks -- the batch win here is devirtualization, and
-/// the *enumeration* win is the shell enumerator, which factors each
-/// shell once instead of once per address (core/shell_enumerator.hpp).
+/// The hyperbolic PF H of Section 3.2.3 (eq. 3.4). No unchecked tier,
+/// and deliberately so: per-call cost is dominated by the divisor
+/// summatory / factorization, not by overflow checks, so an envelope
+/// proof that merely removed the checked adds would buy nothing (the
+/// historical `fallback_rate: 1.0` on hyperbolic batches measured this
+/// no-fast-tier design, not a failed proof). The real batch tiers are
+/// the *_batch_chunk overrides below, which route every chunk through
+/// the nt::SummatoryEngine: pair reads D(n-1) from the sieved prefix
+/// table in O(1) and factors by SPF chain division; unpair sorts the
+/// chunk (with a sortedness fast path) and walks shells monotonically,
+/// so neighbors share brackets and divisor lists instead of each paying
+/// a fresh O(sqrt(z) log z) binary search. The *enumeration* win is
+/// still the shell enumerator (core/shell_enumerator.hpp).
 struct HyperbolicKernel {
   std::string name() const { return "hyperbolic"; }
+
+  /// Below this size the engine's sort/table bookkeeping costs more than
+  /// it saves; the chunk overrides run the per-element path instead.
+  static constexpr std::size_t kMinEngineBatch = 16;
 
   /// O(sqrt(xy)) arithmetic: divisor summatory by the hyperbola method
   /// plus ONE factorization of xy shared by the in-shell rank.
@@ -382,6 +546,89 @@ struct HyperbolicKernel {
                "summatory bracketing yields a divisor rank of shell n");
     const index_t x = divs[divs.size() - rank];
     return {x, n / x};
+  }
+
+  /// Engine-backed batched pair: identical semantics to an element-wise
+  /// pair() loop (same validation, same errors), but D(n-1) comes from
+  /// the engine's prefix table (O(1) for in-table shells) and the rank
+  /// factorization from its SPF table.
+  void pair_batch_chunk(std::span<const index_t> xs,
+                        std::span<const index_t> ys,
+                        std::span<index_t> out) const {
+    const std::size_t n = xs.size();
+    if (n < kMinEngineBatch) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = pair(xs[i], ys[i]);
+      return;
+    }
+    std::vector<index_t> prod(n);
+    index_t n_max = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      kernel_detail::require_coords(xs[i], ys[i]);
+      prod[i] = nt::checked_mul(xs[i], ys[i]);
+      n_max = std::max(n_max, prod[i]);
+    }
+    auto& engine = nt::SummatoryEngine::global();
+    engine.ensure_shells(n_max);
+    const nt::SummatoryEngine::View view = engine.view();
+    for (std::size_t i = 0; i < n; ++i) {
+      const index_t shell = prod[i];
+      const index_t base = view.summatory(shell - 1);  // pfl-lint: allow(checked-arith) -- shell = x*y >= 1 by require_coords
+      const auto divs = view.divisors(shell);
+      const auto it = std::lower_bound(divs.begin(), divs.end(), xs[i]);
+      const index_t rank =
+          divs.size() - nt::to_index(it - divs.begin());  // pfl-lint: allow(checked-arith) -- x divides shell, so the lower_bound lands on it: rank in [1, size]
+      out[i] = nt::checked_add(base, rank);
+    }
+  }
+
+  /// Engine-backed batched unpair: sorts the chunk (sortedness fast
+  /// path: already-ordered inputs skip the argsort) and advances a
+  /// monotone Walk cursor, so same-shell neighbors reuse the bracket AND
+  /// the divisor list, and in-table brackets are lower_bound lookups
+  /// instead of O(sqrt z log z) binary searches. Results are written to
+  /// each element's original slot; semantics match an unpair() loop.
+  void unpair_batch_chunk(std::span<const index_t> zs,
+                          std::span<Point> out) const {
+    const std::size_t n = zs.size();
+    if (n < kMinEngineBatch) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = unpair(zs[i]);
+      return;
+    }
+    index_t z_max = 0;
+    bool sorted = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      kernel_detail::require_value(zs[i]);
+      z_max = std::max(z_max, zs[i]);
+      sorted = sorted && (i == 0 || zs[i - 1] <= zs[i]);
+    }
+    auto& engine = nt::SummatoryEngine::global();
+    engine.ensure_summatory(z_max);
+    const nt::SummatoryEngine::View view = engine.view();
+    std::vector<std::size_t> order;
+    if (!sorted) {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return zs[a] < zs[b]; });
+    }
+    nt::SummatoryEngine::Walk walk(view);
+    index_t cur_shell = 0;
+    std::vector<index_t> divs;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t i = sorted ? r : order[r];
+      const index_t z = zs[i];
+      const nt::SummatoryBracket bracket = walk.advance(z);
+      if (bracket.shell != cur_shell) {
+        divs = view.divisors(bracket.shell);
+        walk.note_count(divs.size());
+        cur_shell = bracket.shell;
+      }
+      const index_t rank = z - bracket.below;  // pfl-lint: allow(checked-arith) -- below = D(shell-1) < z by the bracket invariant
+      PFL_ENSURE(rank >= 1 && rank <= divs.size(),
+                 "summatory bracketing yields a divisor rank of shell n");
+      const index_t x = divs[divs.size() - rank];
+      out[i] = {x, cur_shell / x};
+    }
   }
 };
 

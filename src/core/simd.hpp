@@ -1,0 +1,284 @@
+// Vectorized exact integer square roots: the one sanctioned float site
+// on the inverse path.
+//
+// Every closed-form unpair is isqrt-bound: the shell search is one
+// floor(sqrt()) and the rest is a handful of adds. nt::isqrt already
+// seeds from the hardware double sqrt and repairs the result with exact
+// integer comparisons, but it is scalar; this header supplies a *batched*
+// isqrt whose inner loop runs 2-8 lanes per iteration on AVX-512 / AVX2 /
+// NEON, with a portable scalar fallback that is bit-identical.
+//
+// Exactness proof (the contract every lane obeys):
+//
+//   Inputs are restricted per 512-element block to v <= 2^52 (the block
+//   prescan below ORs the inputs and falls back to nt::isqrt otherwise;
+//   the batch drivers' envelope prescan usually proves this for the whole
+//   chunk up front). For v <= 2^52:
+//     1. double(v) is exact (53-bit mantissa).
+//     2. sqrt rounds the true root s* = sqrt(v) <= 2^26 to the nearest
+//        double: |fl(s*) - s*| <= 2^26 * 2^-53 = 2^-27 < 1/2.
+//     3. Converting fl(s*) to an integer candidate c -- round-to-nearest
+//        (AVX2 path) or truncation (NEON path) -- therefore lands in
+//        {s-1, s, s+1} where s = floor(s*).
+//     4. One increment-if-(c+1)^2<=v followed by one decrement-if-c^2>v
+//        maps every candidate in {s-1, s, s+1} to exactly s:
+//        (s-1) -> s (inc fires: s^2 <= v; dec does not), s -> s (neither
+//        fires: (s+1)^2 > v >= s^2), (s+1) -> s (inc cannot fire; dec
+//        fires: (s+1)^2 > v). All squares are <= (2^26+1)^2 < 2^53, so
+//        the integer correction arithmetic itself cannot wrap.
+//
+//   The AVX-512 path sidesteps the sqrt pipe entirely (vsqrtpd zmm
+//   retires ~1 vector per 24-31 cycles; it dominates everything else in
+//   the loop). Instead:
+//     1'. y0 = vrsqrt14pd(d): architecturally |y0*sqrt(d) - 1| <= 2^-14.
+//     2'. One Newton-Raphson step fused toward sqrt:
+//         r = d*y0*(1.5 - 0.5*d*y0^2) = sqrt(d)*(1 - 1.5e^2 - 0.5e^3)
+//         for e = y0*sqrt(d)-1, so the relative error is in
+//         [-1.5*2^-28 - 2^-43, 0] plus three roundings (< 2^-50 rel):
+//         r is biased LOW by at most 2^-27.4 relative.
+//     3'. Absolute error: s* <= 2^26, so |r - s*| <= 2^26 * 2^-27.4 <
+//         0.39 < 1/2. The round-to-nearest convert therefore lands in
+//         {s, s+1} (never s-1: r > s* - 0.39 >= s - 0.39 > s - 1/2).
+//     4'. Single-sided repair: c -= (c*c > v), with c <= 2^26 + 1 and
+//         c^2 done as a 32x32->64 low-half multiply (c < 2^32).
+//         vrsqrt14pd(+0) = +inf makes the v = 0 lane NaN; a final
+//         zero-mask pins those lanes to floor(sqrt(0)) = 0.
+//   The AVX2/NEON paths keep the hardware sqrt + two-sided correction
+//   (vrsqrt14pd and 64-lane masking are AVX-512-only).
+//
+// Dispatch: the widest ISA the *running* CPU supports is chosen once via
+// __builtin_cpu_supports and cached in a function pointer, so a binary
+// built without -mavx2 still runs the AVX2/AVX-512 path on capable hosts
+// (the vector bodies carry target attributes). -DPFL_SIMD=OFF compiles
+// every vector body out and pins the dispatch to the scalar fallback; the
+// CI `simd-fallback` job proves the whole test suite passes that way.
+//
+// pfl_lint `no-float-unpair` scans this entire file (and every
+// unpair-family function body in the tree) for floating-point math; this
+// header is the ONLY file where an allow(no-float-unpair) escape is
+// honored, each one justified by the proof above.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/types.hpp"
+#include "numtheory/bits.hpp"
+
+#if !defined(PFL_SIMD_ENABLED)
+#define PFL_SIMD_ENABLED 1
+#endif
+
+#if PFL_SIMD_ENABLED && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PFL_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define PFL_SIMD_X86 0
+#endif
+
+#if PFL_SIMD_ENABLED && defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define PFL_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define PFL_SIMD_NEON 0
+#endif
+
+namespace pfl::simd {
+
+/// Largest input the float-seeded lanes accept: double(v) is exact and
+/// the seed is within +-1 of floor(sqrt(v)) (proof in the header comment).
+inline constexpr index_t kMaxExactInput = index_t{1} << 52;
+
+namespace simd_detail {
+
+/// One dispatch unit: exact floor(sqrt()) over a contiguous block.
+using IsqrtBlockFn = void (*)(const index_t*, index_t*, std::size_t);
+
+/// Portable fallback: the scalar exact isqrt, lane for lane.
+inline void isqrt_block_scalar(const index_t* v, index_t* out,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = nt::isqrt(v[i]);
+}
+
+/// Shared branchless correction step 4: candidate c in {s-1, s, s+1} with
+/// v <= 2^52 becomes exactly s = floor(sqrt(v)).
+inline void correct_candidates(const index_t* v, index_t* out,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    index_t c = out[i];
+    const index_t x = v[i];
+    c += (c + 1) * (c + 1) <= x;  // pfl-lint: allow(checked-arith) -- c <= 2^26 + 1 by the seed bound, squares < 2^53
+    c -= c * c > x;  // pfl-lint: allow(checked-arith) -- same bound; c >= 1 whenever the test can fire (c*c > x >= 0 forces c > 0)
+    out[i] = c;
+  }
+}
+
+#if PFL_SIMD_X86
+
+/// AVX2: 4 lanes. No native u64<->f64 converts below AVX-512, so both
+/// directions use the 2^52 exponent-bias trick, valid exactly because the
+/// block prescan guarantees v < 2^52 (and roots are < 2^27).
+__attribute__((target("avx2"))) inline void isqrt_block_avx2(
+    const index_t* v, index_t* out, std::size_t n) {
+  const __m256d magic = _mm256_set1_pd(0x1p52);  // pfl-lint: allow(no-float-unpair) -- exponent-bias constant for the exact u64<->f64 converts (proof steps 1-3)
+  const __m256i magic_bits = _mm256_castpd_si256(magic);  // pfl-lint: allow(no-float-unpair) -- bit pattern of the same constant
+  const __m256i one = _mm256_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    // u64 -> f64: OR in the 2^52 exponent, subtract 2^52. Exact for v < 2^52.
+    const __m256d d = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(x, magic_bits)), magic);  // pfl-lint: allow(no-float-unpair) -- exact integer-to-double conversion (proof step 1)
+    const __m256d r = _mm256_sqrt_pd(d);  // pfl-lint: allow(no-float-unpair) -- correctly-rounded seed within 2^-27 of the true root (proof step 2)
+    // f64 -> u64: adding 2^52 rounds to the nearest integer and parks it
+    // in the low mantissa bits; candidate lands in {s-1, s, s+1}.
+    const __m256i c0 = _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(r, magic)), magic_bits);  // pfl-lint: allow(no-float-unpair) -- round-to-nearest-integer extraction (proof step 3)
+    // Correction step 4, in-register. Roots are < 2^27, so mul_epu32 on
+    // the (zero-extended) low halves is the full 64-bit product, and all
+    // values stay < 2^53 -- signed 64-bit compares are safe.
+    const __m256i cp1 = _mm256_add_epi64(c0, one);
+    const __m256i inc =
+        _mm256_cmpgt_epi64(_mm256_mul_epu32(cp1, cp1), x);  // (c+1)^2 > v
+    // Where (c+1)^2 <= v the mask is 0: subtracting ~mask = -1 adds 1.
+    __m256i c = _mm256_sub_epi64(
+        c0, _mm256_andnot_si256(inc, _mm256_set1_epi64x(-1)));
+    const __m256i dec = _mm256_cmpgt_epi64(_mm256_mul_epu32(c, c), x);
+    c = _mm256_add_epi64(c, dec);  // mask is -1 exactly where c^2 > v
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), c);
+  }
+  for (; i < n; ++i) out[i] = nt::isqrt(v[i]);  // unrolled-tail remainder
+}
+
+/// AVX-512DQ: 8 lanes, native u64<->f64 converts, rsqrt seed + one
+/// Newton step instead of the slow vsqrtpd pipe, single-sided repair
+/// (proof steps 1'-4' in the header).
+__attribute__((target("avx512f,avx512dq"))) inline void isqrt_block_avx512(
+    const index_t* v, index_t* out, std::size_t n) {
+  const __m512d half = _mm512_set1_pd(0.5);  // pfl-lint: allow(no-float-unpair) -- Newton-step constant (proof step 2')
+  const __m512d three_halves = _mm512_set1_pd(1.5);  // pfl-lint: allow(no-float-unpair) -- Newton-step constant (proof step 2')
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(v + i));
+    const __m512d d = _mm512_cvtepu64_pd(x);  // pfl-lint: allow(no-float-unpair) -- exact for v <= 2^52 (proof step 1)
+    const __m512d y0 = _mm512_rsqrt14_pd(d);  // pfl-lint: allow(no-float-unpair) -- seed within 2^-14 relative (proof step 1')
+    const __m512d a = _mm512_mul_pd(d, y0);  // pfl-lint: allow(no-float-unpair) -- a ~= sqrt(d) (proof step 2')
+    const __m512d t = _mm512_fnmadd_pd(_mm512_mul_pd(a, y0), half, three_halves);  // pfl-lint: allow(no-float-unpair) -- 1.5 - d*y0^2/2 (proof step 2')
+    const __m512d r = _mm512_mul_pd(a, t);  // pfl-lint: allow(no-float-unpair) -- refined root, biased low, |r - s*| < 0.39 (proof steps 2'-3')
+    const __m512i c0 = _mm512_cvtpd_epu64(r);  // pfl-lint: allow(no-float-unpair) -- round-to-nearest candidate in {s, s+1} (proof step 3')
+    // Step 4': c^2 as a 32x32 low-half product (c < 2^32), decrement
+    // exactly where it overshoots, pin the NaN lanes from v = 0 to 0.
+    const __mmask8 dec =
+        _mm512_cmpgt_epu64_mask(_mm512_mul_epu32(c0, c0), x);
+    const __m512i c = _mm512_mask_sub_epi64(c0, dec, c0, _mm512_set1_epi64(1));
+    _mm512_storeu_si512(reinterpret_cast<void*>(out + i),
+                        _mm512_maskz_mov_epi64(_mm512_test_epi64_mask(x, x), c));
+  }
+  for (; i < n; ++i) out[i] = nt::isqrt(v[i]);
+}
+
+#endif  // PFL_SIMD_X86
+
+#if PFL_SIMD_NEON
+
+/// NEON (aarch64): 2 lanes of native f64 sqrt; the truncating convert
+/// seeds {s-1, s, s+1} and the shared scalar correction finishes (NEON
+/// has no 64-bit integer multiply, and sqrt dominates anyway).
+inline void isqrt_block_neon(const index_t* v, index_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = vld1q_u64(v + i);
+    const float64x2_t d = vcvtq_f64_u64(x);  // pfl-lint: allow(no-float-unpair) -- exact for v <= 2^52 (proof step 1)
+    const float64x2_t r = vsqrtq_f64(d);  // pfl-lint: allow(no-float-unpair) -- correctly-rounded seed (proof step 2)
+    vst1q_u64(out + i, vcvtq_u64_f64(r));  // pfl-lint: allow(no-float-unpair) -- truncated candidate in {s-1, s, s+1} (proof step 3)
+  }
+  if (i < n) out[i] = nt::isqrt(v[i]);
+  correct_candidates(v, out, i);
+}
+
+#endif  // PFL_SIMD_NEON
+
+/// Picks the widest lane width the running CPU supports, once.
+inline IsqrtBlockFn resolve_isqrt() {
+#if PFL_SIMD_X86
+  if (__builtin_cpu_supports("avx512dq")) return &isqrt_block_avx512;
+  if (__builtin_cpu_supports("avx2")) return &isqrt_block_avx2;
+#endif
+#if PFL_SIMD_NEON
+  return &isqrt_block_neon;
+#endif
+  return &isqrt_block_scalar;
+}
+
+inline IsqrtBlockFn active_isqrt() {
+  static const IsqrtBlockFn fn = resolve_isqrt();
+  return fn;
+}
+
+}  // namespace simd_detail
+
+/// True iff a vector (non-scalar) isqrt path is compiled in AND the
+/// running CPU supports it. Kernels consult this in their *_simd_ok
+/// predicates so that with PFL_SIMD=OFF (or on unsupported hosts) the
+/// batch drivers take exactly the PR-2 unchecked/checked tiers.
+inline bool accelerated() {
+#if PFL_SIMD_X86 || PFL_SIMD_NEON
+  return simd_detail::active_isqrt() != &simd_detail::isqrt_block_scalar;
+#else
+  return false;
+#endif
+}
+
+/// The dispatch decision, for diagnostics and tests.
+inline const char* active_isa() {
+#if PFL_SIMD_X86
+  if (simd_detail::active_isqrt() == &simd_detail::isqrt_block_avx512)
+    return "avx512";
+  if (simd_detail::active_isqrt() == &simd_detail::isqrt_block_avx2)
+    return "avx2";
+#endif
+#if PFL_SIMD_NEON
+  if (simd_detail::active_isqrt() == &simd_detail::isqrt_block_neon)
+    return "neon";
+#endif
+  return "scalar";
+}
+
+/// out[i] = floor(sqrt(v[i])) for every i, exactly, for ANY 64-bit input.
+/// Spans must have equal length; `out` may not alias `v`. Blocks whose
+/// OR-prescan proves v <= 2^52 take the vector path; blocks containing
+/// larger values fall back to nt::isqrt lane by lane (conservative, never
+/// wrong -- the same envelope discipline as the batch drivers).
+inline void isqrt_batch(std::span<const index_t> v, std::span<index_t> out) {
+  if (v.size() != out.size())
+    throw DomainError("isqrt_batch: span sizes differ");
+  constexpr std::size_t kBlock = 512;
+  const simd_detail::IsqrtBlockFn fn = simd_detail::active_isqrt();
+  std::size_t i = 0;
+  while (i < v.size()) {
+    const std::size_t len = std::min(kBlock, v.size() - i);
+    index_t acc = 0;
+    for (std::size_t j = 0; j < len; ++j) acc |= v[i + j];
+    if ((acc >> 52) == 0) {
+      fn(v.data() + i, out.data() + i, len);
+    } else {
+      simd_detail::isqrt_block_scalar(v.data() + i, out.data() + i, len);
+    }
+    i += len;
+  }
+}
+
+/// isqrt_batch without the per-block envelope re-proof: the CALLER must
+/// have proved v < 2^52 for every element (the batch drivers' chunk
+/// OR-accumulator does exactly this before the kernels' unpair_simd
+/// tier runs -- re-scanning here would pay the proof twice). Exactness
+/// is the same lane contract; only the defensive re-check is skipped.
+inline void isqrt_batch_proven(std::span<const index_t> v,
+                               std::span<index_t> out) {
+  if (v.size() != out.size())
+    throw DomainError("isqrt_batch_proven: span sizes differ");
+  simd_detail::active_isqrt()(v.data(), out.data(), v.size());
+}
+
+}  // namespace pfl::simd

@@ -1,0 +1,158 @@
+#include "numtheory/summatory_engine.hpp"
+
+#include <algorithm>
+
+#include "core/contract.hpp"
+#include "numtheory/bits.hpp"
+#include "numtheory/checked.hpp"
+#include "numtheory/factorization.hpp"
+#include "obs/metrics.hpp"
+
+namespace pfl::nt {
+
+index_t SummatoryEngine::View::summatory(index_t n) const {
+  if (t_ && n <= t_->limit) {
+    PFL_OBS_COUNTER("pfl_nt_summatory_table_hits_total").add();
+    return t_->summatory[static_cast<std::size_t>(n)];
+  }
+  PFL_OBS_COUNTER("pfl_nt_summatory_fallbacks_total").add();
+  return divisor_summatory(n);
+}
+
+SummatoryBracket SummatoryEngine::View::bracket(index_t z) const {
+  if (z == 0) throw DomainError("SummatoryEngine: z must be positive");
+  if (t_ && z <= t_->summatory.back()) {
+    PFL_OBS_COUNTER("pfl_nt_summatory_table_hits_total").add();
+    // Smallest shell with D(shell) >= z; summatory[] is nondecreasing.
+    const auto it = std::lower_bound(t_->summatory.begin() + 1,
+                                     t_->summatory.end(), z);
+    const index_t shell = nt::to_index(it - t_->summatory.begin());
+    return {shell, *(it - 1)};
+  }
+  PFL_OBS_COUNTER("pfl_nt_summatory_fallbacks_total").add();
+  return summatory_bracket(z);
+}
+
+std::vector<index_t> SummatoryEngine::View::divisors(index_t n) const {
+  if (n == 0) throw DomainError("SummatoryEngine: divisors of n >= 1");
+  if (!t_ || n > t_->limit) {
+    PFL_OBS_COUNTER("pfl_nt_summatory_fallbacks_total").add();
+    return divisors_from(factor(n));
+  }
+  PFL_OBS_COUNTER("pfl_nt_summatory_spf_factorizations_total").add();
+  // Factor by smallest-prime-factor chain division: O(log n) divisions.
+  std::vector<PrimePower> pp;
+  index_t m = n;
+  while (m > 1) {
+    const index_t p = t_->spf[static_cast<std::size_t>(m)];
+    unsigned e = 0;
+    do {
+      m /= p;
+      ++e;
+    } while (m % p == 0);
+    pp.push_back({p, e});
+  }
+  return divisors_from(pp);
+}
+
+SummatoryBracket SummatoryEngine::Walk::advance(index_t z) {
+  if (z == 0) throw DomainError("SummatoryEngine: z must be positive");
+  // Same shell as last time? below < z <= D(shell) pins the bracket.
+  if (have_ && z > cur_.below && cur_top_ != 0 && z <= cur_top_) {
+    PFL_OBS_COUNTER("pfl_nt_summatory_walk_reuses_total").add();
+    return cur_;
+  }
+  const auto* t = v_.t_.get();
+  if (t && z <= t->summatory.back()) {
+    // Resume the table scan at the previous shell: z is nondecreasing,
+    // so the answer can only lie at or past it.
+    const auto from = have_ && cur_.shell <= t->limit
+                          ? static_cast<std::size_t>(cur_.shell)
+                          : std::size_t{1};
+    const auto it = std::lower_bound(t->summatory.begin() + from,
+                                     t->summatory.end(), z);
+    const index_t shell = nt::to_index(it - t->summatory.begin());
+    cur_ = {shell, *(it - 1)};
+    cur_top_ = *it;
+    PFL_OBS_COUNTER("pfl_nt_summatory_table_hits_total").add();
+  } else {
+    cur_ = summatory_bracket(z);
+    cur_top_ = 0;  // unknown until note_count
+    PFL_OBS_COUNTER("pfl_nt_summatory_fallbacks_total").add();
+  }
+  have_ = true;
+  return cur_;
+}
+
+void SummatoryEngine::Walk::note_count(index_t divisor_count) {
+  if (have_ && cur_top_ == 0) cur_top_ = cur_.below + divisor_count;
+}
+
+SummatoryEngine::SummatoryEngine(Config cfg) : cfg_(cfg) {
+  if (cfg_.table_entry_cap > (index_t{1} << 31))
+    throw DomainError("SummatoryEngine: table_entry_cap exceeds 2^31");
+}
+
+SummatoryEngine& SummatoryEngine::global() {
+  static SummatoryEngine engine;
+  return engine;
+}
+
+SummatoryEngine::View SummatoryEngine::view() const {
+  par::LockGuard g(m_);
+  return View(tables_);
+}
+
+void SummatoryEngine::ensure_shells(index_t n_max) {
+  const index_t want = std::min(n_max, cfg_.table_entry_cap);
+  par::LockGuard g(m_);
+  if (tables_ && tables_->limit >= want) return;
+  grow_to_locked(want);
+}
+
+void SummatoryEngine::ensure_summatory(index_t z_max) {
+  if (z_max == 0) return;
+  {
+    par::LockGuard g(m_);
+    if (tables_ && (tables_->summatory.back() >= z_max ||
+                    tables_->limit >= cfg_.table_entry_cap))
+      return;
+  }
+  // Size the rebuild with one exact bracket (outside the lock: other
+  // readers keep their snapshots, a racing grower just also grows).
+  const index_t shell = summatory_bracket(z_max).shell;
+  ensure_shells(shell);
+}
+
+void SummatoryEngine::grow_to_locked(index_t limit) {
+  // Geometric growth so repeated small ensures amortize to O(1)/entry.
+  index_t target = std::max<index_t>(limit, index_t{1} << 12);
+  if (tables_) target = std::max(target, tables_->limit * 2);
+  target = std::min(target, cfg_.table_entry_cap);
+
+  auto t = std::make_shared<View::Tables>();
+  t->limit = target;
+  const auto n = static_cast<std::size_t>(target) + 1;
+  // Divisor sieve into the prefix slots, then prefix-sum in place:
+  // summatory[k] first holds delta(k), then D(k). O(target log target).
+  t->summatory.assign(n, 0);
+  for (index_t d = 1; d <= target; ++d)
+    for (index_t m = d; m <= target; m += d)
+      ++t->summatory[static_cast<std::size_t>(m)];
+  for (std::size_t i = 1; i < n; ++i) t->summatory[i] += t->summatory[i - 1];
+  // Smallest-prime-factor sieve: first prime to mark a cell wins.
+  t->spf.assign(n, 0);
+  for (index_t i = 2; i <= target; ++i) {
+    if (t->spf[static_cast<std::size_t>(i)] != 0) continue;
+    for (index_t m = i; m <= target; m += i) {
+      auto& cell = t->spf[static_cast<std::size_t>(m)];
+      if (cell == 0) cell = static_cast<std::uint32_t>(i);
+    }
+  }
+  tables_ = std::move(t);
+  PFL_OBS_COUNTER("pfl_nt_summatory_builds_total").add();
+  PFL_OBS_GAUGE("pfl_nt_summatory_table_limit")
+      .set(static_cast<std::int64_t>(target));
+}
+
+}  // namespace pfl::nt

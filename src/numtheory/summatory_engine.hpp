@@ -1,0 +1,137 @@
+// Batched divisor-summatory engine for the hyperbolic PF's hot paths.
+//
+// The per-element hyperbolic inverse pays a summatory_bracket binary
+// search -- O(log z) probes, each an O(sqrt n) hyperbola-method summatory
+// -- plus one factorization per element. A *batch* of values can do
+// enormously better: shells are shared (delta(n) values land on shell n,
+// so consecutive z mostly hit the same or nearby shells), and for shells
+// up to a few million a sieved prefix table answers every D(n) query in
+// O(1) and every factorization by smallest-prime-factor chain division in
+// O(log n).
+//
+// SummatoryEngine owns two grow-only tables behind a size cap:
+//
+//   * summatory[n] = D(n) for n in [0, limit]   (8 bytes/entry)
+//   * spf[n] = smallest prime factor of n       (4 bytes/entry)
+//
+// 12 bytes/entry; the default cap of 2^21 entries bounds the engine at
+// ~25 MiB. Tables grow geometrically (rebuild cost amortizes to O(1) per
+// entry), never shrink, and are shared snapshot-style: readers take a
+// View (a shared_ptr to an immutable table set) and proceed lock-free
+// while a concurrent grower installs a bigger snapshot. Queries past the
+// table limit fall back to the exact O(sqrt n) / Pollard-rho routines --
+// the engine is total, the table is purely an accelerator.
+//
+// The Walk cursor is the batch workhorse: advance() over a NONDECREASING
+// z-sequence resolves each bracket by resuming the previous shell -- a
+// same-shell repeat is O(1), an in-table step is one lower_bound over the
+// remaining table, and only out-of-table values pay the classic binary
+// search. core/kernels.hpp sorts each unpair chunk and walks it through
+// this cursor (HyperbolicKernel::unpair_batch_chunk).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/thread_safety.hpp"
+#include "core/types.hpp"
+#include "numtheory/divisor.hpp"
+
+namespace pfl::nt {
+
+class SummatoryEngine {
+ public:
+  struct Config {
+    /// Hard cap on table entries; 2^21 entries = ~25 MiB. Must be at
+    /// most 2^31 (spf entries are 32-bit).
+    index_t table_entry_cap = index_t{1} << 21;
+  };
+
+  /// An immutable snapshot of the engine's tables. Every query is total:
+  /// in-table arguments are answered from the tables, larger ones fall
+  /// back to the exact unsieved routines. Copies share the snapshot.
+  class View {
+   public:
+    View() = default;
+
+    /// Largest n the tables cover (0 when no tables are built).
+    index_t limit() const { return t_ ? t_->limit : 0; }
+
+    /// D(limit): the largest z whose bracket is answerable in-table.
+    index_t top() const { return t_ ? t_->summatory.back() : 0; }
+
+    /// Exact D(n) for any n: O(1) in-table, hyperbola method beyond.
+    index_t summatory(index_t n) const;
+
+    /// Exact bracket for any z >= 1: lower_bound over the prefix table
+    /// when z <= top(), nt::summatory_bracket beyond.
+    SummatoryBracket bracket(index_t z) const;
+
+    /// Sorted divisors of n >= 1: smallest-prime-factor chain division
+    /// in-table (O(log n) per factor), Pollard rho beyond.
+    std::vector<index_t> divisors(index_t n) const;
+
+   private:
+    friend class SummatoryEngine;
+    struct Tables {
+      index_t limit = 0;
+      std::vector<index_t> summatory;     ///< [0, limit], summatory[0] = 0
+      std::vector<std::uint32_t> spf;     ///< [0, limit], spf[0,1] unused
+    };
+    explicit View(std::shared_ptr<const Tables> t) : t_(std::move(t)) {}
+    std::shared_ptr<const Tables> t_;
+  };
+
+  /// Monotone bracket cursor over a nondecreasing z-sequence. Resolving
+  /// z_i resumes from z_{i-1}'s shell: a repeat of the same shell is
+  /// O(1), an in-table step is one lower_bound over the remaining table,
+  /// out-of-table values pay one summatory_bracket each (still amortized
+  /// by note_count: telling the cursor the last shell's divisor count
+  /// extends same-shell reuse past the table edge).
+  class Walk {
+   public:
+    explicit Walk(View v) : v_(std::move(v)) {}
+
+    /// Bracket of z. Behavior is unspecified if z decreases between
+    /// calls (the batch kernel sorts first); throws DomainError on z == 0.
+    SummatoryBracket advance(index_t z);
+
+    /// Records delta(shell) of the most recent bracket, enabling O(1)
+    /// same-shell reuse beyond the table (where D(shell) is otherwise
+    /// unknown). In-table advances already know it; calling is harmless.
+    void note_count(index_t divisor_count);
+
+   private:
+    View v_;
+    SummatoryBracket cur_{};
+    index_t cur_top_ = 0;  ///< D(cur_.shell) when known, 0 = unknown
+    bool have_ = false;
+  };
+
+  SummatoryEngine() = default;
+  explicit SummatoryEngine(Config cfg);
+
+  /// The process-wide engine used by HyperbolicKernel's batch tiers.
+  static SummatoryEngine& global();
+
+  /// Grow the tables (up to the cap) until they cover shell n_max.
+  void ensure_shells(index_t n_max);
+
+  /// Grow the tables (up to the cap) until bracket(z) for every z <=
+  /// z_max is answerable in-table. Costs one summatory_bracket on growth
+  /// (to size the rebuild); a no-op when already covered or at the cap.
+  void ensure_summatory(index_t z_max);
+
+  /// Current snapshot (possibly empty; all View queries still total).
+  View view() const;
+
+ private:
+  void grow_to_locked(index_t limit) PFL_REQUIRES(m_);
+
+  Config cfg_;
+  mutable par::Mutex m_;
+  std::shared_ptr<const View::Tables> tables_ PFL_GUARDED_BY(m_);
+};
+
+}  // namespace pfl::nt

@@ -5,6 +5,7 @@
 // 2^64-boundary rows -- and must preserve the scalar error discipline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <random>
 #include <span>
@@ -14,6 +15,7 @@
 #include "core/batch.hpp"
 #include "core/kernels.hpp"
 #include "core/registry.hpp"
+#include "core/simd.hpp"
 #include "par/thread_pool.hpp"
 
 namespace pfl {
@@ -226,6 +228,166 @@ TEST(BatchParallelTest, ParallelErrorStillPropagates) {
   xs[7777] = 0;  // poison one element deep in the batch
   EXPECT_THROW(pair_batch(k, xs, ys, out, {.grain = 256, .pool = &pool}),
                DomainError);
+}
+
+// ---- SIMD tier: bit-exact equality against the scalar checked kernel ----
+//
+// unpair_simd is called directly (not through the driver) on inputs the
+// caller proves in-envelope, exactly as the driver does after the
+// OR-accumulator prescan. In the -DPFL_SIMD=OFF build the same entry
+// point runs the scalar nt::isqrt block and must produce identical bits.
+
+template <class K>
+void expect_simd_matches_scalar(const K& kernel,
+                                const std::vector<index_t>& zs) {
+  std::vector<Point> got(zs.size());
+  kernel.unpair_simd(std::span<const index_t>(zs), std::span<Point>(got));
+  for (std::size_t i = 0; i < zs.size(); ++i)
+    ASSERT_EQ(got[i], kernel.unpair(zs[i]))
+        << kernel.name() << " z=" << zs[i] << " isa=" << simd::active_isa();
+}
+
+// In-envelope addresses mixing triangular/square boundaries (where the
+// isqrt candidate needs correction), every small z, and random bulk.
+std::vector<index_t> simd_adversarial_zs(index_t z_cap, std::uint64_t seed) {
+  std::vector<index_t> zs;
+  for (index_t z = 1; z <= 2048; ++z) zs.push_back(z);
+  for (unsigned bit = 1; bit < 64; ++bit) {
+    const index_t r = index_t{1} << bit;
+    for (index_t sq : {r * r, r * r + 1, r * r - 1, r * (r + 1) / 2}) {
+      if (sq >= 1 && sq <= z_cap) zs.push_back(sq);
+    }
+    if (r <= z_cap) zs.push_back(r);
+    if (r - 1 >= 1 && r - 1 <= z_cap) zs.push_back(r - 1);
+  }
+  zs.push_back(z_cap);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<index_t> dist(1, z_cap);
+  for (int i = 0; i < 4096; ++i) zs.push_back(dist(rng));
+  return zs;
+}
+
+TEST(SimdKernelTierTest, DiagonalSimdMatchesScalar) {
+  const DiagonalKernel k;
+  expect_simd_matches_scalar(
+      k, simd_adversarial_zs(DiagonalKernel::kMaxSimdUnpair, 0x51D1));
+}
+
+TEST(SimdKernelTierTest, SquareShellSimdMatchesScalar) {
+  const SquareShellKernel k;
+  expect_simd_matches_scalar(k,
+                             simd_adversarial_zs(simd::kMaxExactInput, 0x51D2));
+}
+
+TEST(SimdKernelTierTest, SzudzikSimdMatchesScalar) {
+  const SzudzikKernel k;
+  expect_simd_matches_scalar(k,
+                             simd_adversarial_zs(simd::kMaxExactInput, 0x51D3));
+}
+
+TEST(SimdKernelTierTest, AspectRatioSimdMatchesScalar) {
+  const AspectRatioKernel k(3, 5);
+  expect_simd_matches_scalar(k,
+                             simd_adversarial_zs(simd::kMaxExactInput, 0x51D4));
+  const AspectRatioKernel square(7, 7);
+  expect_simd_matches_scalar(
+      square, simd_adversarial_zs(simd::kMaxExactInput, 0x51D5));
+}
+
+TEST(SimdKernelTierTest, SimdEnvelopePredicatesRespectAccelerationAndRange) {
+  const DiagonalKernel d;
+  const SquareShellKernel s;
+  if (!simd::accelerated()) {
+    EXPECT_FALSE(d.unpair_simd_ok(1));
+    EXPECT_FALSE(s.unpair_simd_ok(1));
+    return;
+  }
+  EXPECT_TRUE(d.unpair_simd_ok(DiagonalKernel::kMaxSimdUnpair - 1));
+  EXPECT_FALSE(d.unpair_simd_ok(DiagonalKernel::kMaxSimdUnpair));
+  EXPECT_TRUE(s.unpair_simd_ok(simd::kMaxExactInput - 1));
+  EXPECT_FALSE(s.unpair_simd_ok(simd::kMaxExactInput));
+}
+
+// Driven end to end: batches straddling the SIMD envelope take mixed
+// tiers across chunks and must still match scalar everywhere.
+TEST(SimdKernelTierTest, DriverMixedTiersMatchScalar) {
+  const DiagonalKernel k;
+  std::vector<index_t> zs;
+  std::mt19937_64 rng(0x51D6);
+  std::uniform_int_distribution<index_t> inside(1, DiagonalKernel::kMaxSimdUnpair);
+  std::uniform_int_distribution<index_t> outside(
+      DiagonalKernel::kMaxSimdUnpair + 1, DiagonalKernel::kMaxFastUnpair);
+  for (int i = 0; i < 2000; ++i) {
+    zs.push_back(inside(rng));
+    if (i % 17 == 0) zs.push_back(outside(rng));
+  }
+  expect_unpair_batch_matches(k, zs, {.grain = 128});
+}
+
+// ---- Hyperbolic engine tier: chunk overrides through the driver ----
+
+TEST(HyperbolicEngineBatchTest, UnpairMatchesScalarSortedInput) {
+  const HyperbolicKernel k;
+  std::vector<index_t> zs;
+  for (index_t z = 1; z <= 3000; ++z) zs.push_back(z);
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(HyperbolicEngineBatchTest, UnpairMatchesScalarUnsortedWithDuplicates) {
+  const HyperbolicKernel k;
+  auto zs = random_values(4000, 1, 500000, 0x4B1D);
+  zs.insert(zs.end(), {7, 7, 7, 1, 1, 499999, 2, 499999});
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(HyperbolicEngineBatchTest, UnpairTinyBatchFallsBackPerElement) {
+  const HyperbolicKernel k;
+  // Below kMinEngineBatch the chunk override loops the scalar kernel.
+  std::vector<index_t> zs = {5, 1, 100, 99991, 12, 12};
+  ASSERT_LT(zs.size(), HyperbolicKernel::kMinEngineBatch);
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(HyperbolicEngineBatchTest, UnpairBeyondTableCapStillExact) {
+  const HyperbolicKernel k;
+  // Addresses far past any sieved table: the walk's out-of-table path.
+  auto zs = random_values(64, index_t{1} << 40, (index_t{1} << 40) + 100000,
+                          0x4B1E);
+  std::sort(zs.begin(), zs.end());
+  expect_unpair_batch_matches(k, zs);
+}
+
+TEST(HyperbolicEngineBatchTest, PairMatchesScalar) {
+  const HyperbolicKernel k;
+  const auto xs = random_values(3000, 1, 2000, 0x4B1F);
+  const auto ys = random_values(3000, 1, 2000, 0x4B20);
+  expect_pair_batch_matches(k, xs, ys);
+  // Tiny batch: per-element fallback inside the override.
+  expect_pair_batch_matches(k, {3, 1, 7}, {4, 1, 11});
+}
+
+TEST(HyperbolicEngineBatchTest, ErrorsPropagateThroughEngineTier) {
+  const HyperbolicKernel k;
+  std::vector<index_t> zs(64, 100);
+  zs[40] = 0;  // in-domain batch with one poisoned element
+  std::vector<Point> pts(zs.size());
+  EXPECT_THROW(unpair_batch(k, zs, pts), DomainError);
+  std::vector<index_t> xs(64, 3), ys(64, 5), out(64);
+  xs[10] = 0;
+  EXPECT_THROW(pair_batch(k, xs, ys, out), DomainError);
+  xs[10] = index_t{1} << 33;
+  ys[10] = index_t{1} << 33;
+  EXPECT_THROW(pair_batch(k, xs, ys, out), OverflowError);
+}
+
+TEST(HyperbolicEngineBatchTest, ParallelEngineMatchesSequential) {
+  par::ThreadPool pool(4);
+  const HyperbolicKernel k;
+  const auto zs = random_values(20000, 1, 1000000, 0x4B21);
+  std::vector<Point> seq(zs.size()), par_out(zs.size());
+  unpair_batch(k, zs, seq, {.parallel = false});
+  unpair_batch(k, zs, par_out, {.grain = 1024, .pool = &pool});
+  ASSERT_EQ(seq, par_out);
 }
 
 TEST(BatchParallelTest, AutoGrainTargetsChunksPerWorker) {

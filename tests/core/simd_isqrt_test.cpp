@@ -1,0 +1,162 @@
+// Adversarial exactness tests for the batched SIMD isqrt (core/simd.hpp).
+//
+// The vector paths seed from a double sqrt and correct with integer
+// comparisons; these tests hammer exactly the inputs where a float-seeded
+// sqrt goes wrong if the correction is absent or the envelope leaks:
+// perfect squares and their +-1 neighbors across every magnitude, all
+// 2^k edges, the 2^52 envelope boundary (where blocks switch between the
+// vector path and the scalar fallback), 2^64-1, and a randomized
+// differential sweep against nt::isqrt. All of it runs under the
+// asan-ubsan preset and in the simd-fallback (-DPFL_SIMD=OFF) build,
+// where the same API must produce identical results through nt::isqrt.
+
+#include "core/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numtheory/bits.hpp"
+
+namespace pfl {
+namespace {
+
+std::vector<index_t> batch_isqrt(const std::vector<index_t>& v) {
+  std::vector<index_t> out(v.size());
+  simd::isqrt_batch(std::span<const index_t>(v), std::span<index_t>(out));
+  return out;
+}
+
+void expect_all_match_scalar(const std::vector<index_t>& v,
+                             const char* label) {
+  const std::vector<index_t> got = batch_isqrt(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(got[i], nt::isqrt(v[i]))
+        << label << ": v = " << v[i] << " (index " << i << ", isa "
+        << simd::active_isa() << ")";
+  }
+}
+
+TEST(SimdIsqrtTest, ActiveIsaIsKnown) {
+  const std::string isa = simd::active_isa();
+  EXPECT_TRUE(isa == "avx512" || isa == "avx2" || isa == "neon" ||
+              isa == "scalar")
+      << isa;
+#if !PFL_SIMD_ENABLED
+  EXPECT_EQ(isa, "scalar");
+  EXPECT_FALSE(simd::accelerated());
+#endif
+  // accelerated() and active_isa() must agree.
+  EXPECT_EQ(simd::accelerated(), isa != "scalar");
+}
+
+TEST(SimdIsqrtTest, SizeMismatchThrows) {
+  std::vector<index_t> v(4, 1), out(3);
+  EXPECT_THROW(
+      simd::isqrt_batch(std::span<const index_t>(v), std::span<index_t>(out)),
+      DomainError);
+}
+
+TEST(SimdIsqrtTest, EmptyAndTinySpans) {
+  EXPECT_TRUE(batch_isqrt({}).empty());
+  EXPECT_EQ(batch_isqrt({0}), (std::vector<index_t>{0}));
+  EXPECT_EQ(batch_isqrt({1}), (std::vector<index_t>{1}));
+  EXPECT_EQ(batch_isqrt({2}), (std::vector<index_t>{1}));
+  EXPECT_EQ(batch_isqrt({3}), (std::vector<index_t>{1}));
+  EXPECT_EQ(batch_isqrt({4}), (std::vector<index_t>{2}));
+}
+
+// Perfect squares and +-1 neighbors at every root magnitude up to the
+// envelope edge (root 2^26), where a candidate off by one in either
+// direction must be repaired by the correction step.
+TEST(SimdIsqrtTest, PerfectSquaresAndNeighbors) {
+  std::vector<index_t> v;
+  for (unsigned bit = 0; bit <= 26; ++bit) {
+    const index_t base = index_t{1} << bit;
+    for (index_t r : {base - 1, base, base + 1, base + (base >> 1)}) {
+      if (r == 0) continue;
+      const index_t sq = r * r;
+      if (sq >= 1) v.push_back(sq - 1);
+      v.push_back(sq);
+      v.push_back(sq + 1);
+    }
+  }
+  expect_all_match_scalar(v, "perfect-square neighborhood");
+}
+
+// Every power of two 2^k for k in [0, 63], each with +-1 neighbors --
+// crossing the 2^52 envelope means blocks mix vector and scalar paths.
+TEST(SimdIsqrtTest, PowerOfTwoEdgesAllK) {
+  std::vector<index_t> v;
+  for (unsigned k = 0; k < 64; ++k) {
+    const index_t p = index_t{1} << k;
+    v.push_back(p - 1);
+    v.push_back(p);
+    v.push_back(p + 1);
+  }
+  v.push_back(~index_t{0});  // 2^64 - 1: root is 2^32 - 1
+  expect_all_match_scalar(v, "2^k edge");
+}
+
+TEST(SimdIsqrtTest, MaxU64) {
+  EXPECT_EQ(batch_isqrt({~index_t{0}}),
+            (std::vector<index_t>{4294967295ull}));
+}
+
+// The envelope boundary: values straddling 2^52. A block that contains
+// even one above-envelope value must take the scalar path for the whole
+// block and still be exact for every element.
+TEST(SimdIsqrtTest, EnvelopeBoundaryBlocks) {
+  const index_t edge = simd::kMaxExactInput;
+  std::vector<index_t> v;
+  for (index_t d = 0; d < 600; ++d) v.push_back(edge - 300 + d);
+  expect_all_match_scalar(v, "2^52 envelope straddle");
+
+  // A single poison value in an otherwise in-envelope block.
+  std::vector<index_t> mixed(700, edge - 1);
+  mixed[137] = edge + 12345;
+  expect_all_match_scalar(mixed, "poisoned block");
+}
+
+// Block-tail coverage: every length in [1, 70] exercises the unrolled
+// vector loop plus 0..lanes-1 scalar tail elements.
+TEST(SimdIsqrtTest, AllSmallLengths) {
+  std::mt19937_64 rng(0x5eed5eedULL);
+  for (std::size_t len = 1; len <= 70; ++len) {
+    std::vector<index_t> v(len);
+    for (auto& e : v) e = rng() & (simd::kMaxExactInput - 1);
+    expect_all_match_scalar(v, "small length");
+  }
+}
+
+// Randomized differential sweep vs nt::isqrt across all magnitudes
+// (uniform bit-length, so small and huge values are equally likely).
+TEST(SimdIsqrtTest, RandomizedDifferentialSweep) {
+  std::mt19937_64 rng(20260809ULL);
+  constexpr std::size_t kN = 200000;
+  std::vector<index_t> v(kN);
+  for (auto& e : v) {
+    const unsigned bits = static_cast<unsigned>(rng() % 64) + 1;
+    e = rng() >> (64 - bits);
+  }
+  const std::vector<index_t> got = batch_isqrt(v);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(got[i], nt::isqrt(v[i]))
+        << "v = " << v[i] << " (isa " << simd::active_isa() << ")";
+  }
+}
+
+// Exhaustive near zero: the first 4096 integers cover every small-root
+// plateau boundary (r^2 .. (r+1)^2 - 1 for r < 64).
+TEST(SimdIsqrtTest, ExhaustiveSmallValues) {
+  std::vector<index_t> v(4096);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<index_t>(i);
+  expect_all_match_scalar(v, "exhaustive small");
+}
+
+}  // namespace
+}  // namespace pfl

@@ -1,0 +1,173 @@
+// Tests for nt::SummatoryEngine (src/numtheory/summatory_engine.*):
+// sieved D(n) prefix tables, SPF-chain divisor enumeration, monotone
+// shell walks, and the geometric-growth / cap behavior -- all verified
+// against the exact routines in numtheory/divisor.hpp and
+// numtheory/factorization.hpp.
+
+#include "numtheory/summatory_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "numtheory/divisor.hpp"
+#include "numtheory/factorization.hpp"
+
+namespace pfl::nt {
+namespace {
+
+TEST(SummatoryEngineTest, ConfigValidation) {
+  SummatoryEngine::Config bad;
+  bad.table_entry_cap = index_t{1} << 32;
+  EXPECT_THROW(SummatoryEngine{bad}, DomainError);
+}
+
+TEST(SummatoryEngineTest, EmptyViewFallsBackExactly) {
+  SummatoryEngine eng;
+  const auto view = eng.view();  // no ensure_* yet: no tables
+  EXPECT_EQ(view.limit(), 0u);
+  for (index_t n = 0; n <= 64; ++n)
+    EXPECT_EQ(view.summatory(n), divisor_summatory(n)) << n;
+  for (index_t z : {index_t{1}, index_t{2}, index_t{100}, index_t{99991}}) {
+    const auto got = view.bracket(z);
+    const auto want = summatory_bracket(z);
+    EXPECT_EQ(got.shell, want.shell) << z;
+    EXPECT_EQ(got.below, want.below) << z;
+  }
+  EXPECT_EQ(view.divisors(12), divisors_from(factor(12)));
+}
+
+TEST(SummatoryEngineTest, SummatoryMatchesExactInsideTable) {
+  SummatoryEngine eng;
+  eng.ensure_shells(5000);
+  const auto view = eng.view();
+  ASSERT_GE(view.limit(), 5000u);
+  for (index_t n = 0; n <= view.limit(); ++n)
+    ASSERT_EQ(view.summatory(n), divisor_summatory(n)) << n;
+  // Past the table: exact fallback.
+  EXPECT_EQ(view.summatory(view.limit() + 1),
+            divisor_summatory(view.limit() + 1));
+}
+
+TEST(SummatoryEngineTest, BracketMatchesExactEverywhere) {
+  SummatoryEngine eng;
+  eng.ensure_shells(2000);
+  const auto view = eng.view();
+  const index_t top = view.top();
+  EXPECT_EQ(top, divisor_summatory(view.limit()));
+  // Every z in the table range, plus out-of-table probes.
+  for (index_t z = 1; z <= top; ++z) {
+    const auto got = view.bracket(z);
+    const auto want = summatory_bracket(z);
+    ASSERT_EQ(got.shell, want.shell) << z;
+    ASSERT_EQ(got.below, want.below) << z;
+  }
+  for (index_t z : {top + 1, top + 12345}) {
+    const auto got = view.bracket(z);
+    const auto want = summatory_bracket(z);
+    EXPECT_EQ(got.shell, want.shell) << z;
+    EXPECT_EQ(got.below, want.below) << z;
+  }
+  EXPECT_THROW(view.bracket(0), DomainError);
+}
+
+TEST(SummatoryEngineTest, DivisorsMatchFactorizationPath) {
+  SummatoryEngine eng;
+  eng.ensure_shells(3000);
+  const auto view = eng.view();
+  for (index_t n = 1; n <= 3000; ++n) {
+    const auto got = view.divisors(n);
+    const auto want = divisors_from(factor(n));
+    ASSERT_EQ(got, want) << n;  // both ascending
+  }
+  // Out of table: factorization fallback.
+  EXPECT_EQ(view.divisors(view.limit() + 7),
+            divisors_from(factor(view.limit() + 7)));
+  EXPECT_THROW(view.divisors(0), DomainError);
+}
+
+TEST(SummatoryEngineTest, GeometricGrowthAndCap) {
+  SummatoryEngine::Config cfg;
+  cfg.table_entry_cap = 10000;
+  SummatoryEngine eng(cfg);
+  eng.ensure_shells(10);
+  const index_t first = eng.view().limit();
+  EXPECT_GE(first, 10u);  // min floor is 2^12, capped at 10000
+  eng.ensure_shells(first + 1);
+  const index_t second = eng.view().limit();
+  EXPECT_GT(second, first);
+  // Never exceeds the cap, and requests beyond it still answer exactly.
+  eng.ensure_shells(index_t{1} << 40);
+  const auto view = eng.view();
+  EXPECT_LE(view.limit(), 10000u);
+  EXPECT_EQ(view.summatory(20000), divisor_summatory(20000));
+}
+
+TEST(SummatoryEngineTest, EnsureSummatoryCoversZ) {
+  SummatoryEngine eng;
+  eng.ensure_summatory(0);  // no-op
+  eng.ensure_summatory(100000);
+  const auto view = eng.view();
+  ASSERT_GE(view.top(), 100000u);
+  const auto b = view.bracket(100000);
+  const auto want = summatory_bracket(100000);
+  EXPECT_EQ(b.shell, want.shell);
+  EXPECT_EQ(b.below, want.below);
+}
+
+TEST(SummatoryEngineTest, WalkMatchesBracketOnMonotoneStream) {
+  SummatoryEngine eng;
+  eng.ensure_summatory(5000);
+  const auto view = eng.view();
+  SummatoryEngine::Walk walk(view);
+  for (index_t z = 1; z <= 5000; ++z) {
+    const auto got = walk.advance(z);
+    const auto want = summatory_bracket(z);
+    ASSERT_EQ(got.shell, want.shell) << z;
+    ASSERT_EQ(got.below, want.below) << z;
+  }
+  EXPECT_THROW(walk.advance(0), DomainError);
+}
+
+TEST(SummatoryEngineTest, WalkPastTableUsesNoteCount) {
+  SummatoryEngine::Config cfg;
+  cfg.table_entry_cap = 4096;  // force out-of-table traffic
+  SummatoryEngine eng(cfg);
+  eng.ensure_shells(4096);
+  const auto view = eng.view();
+  SummatoryEngine::Walk walk(view);
+  const index_t start = view.top() - 5;
+  for (index_t z = start; z <= start + 4000; ++z) {
+    const auto got = walk.advance(z);
+    const auto want = summatory_bracket(z);
+    ASSERT_EQ(got.shell, want.shell) << z;
+    ASSERT_EQ(got.below, want.below) << z;
+    // Feed the divisor count back so same-shell queries short-circuit.
+    walk.note_count(divisor_count(got.shell));
+  }
+}
+
+TEST(SummatoryEngineTest, WalkWithDuplicatesAndShellJumps) {
+  SummatoryEngine eng;
+  eng.ensure_summatory(100000);
+  const auto view = eng.view();
+  SummatoryEngine::Walk walk(view);
+  // Nondecreasing with long runs of duplicates and big jumps.
+  const std::vector<index_t> zs = {1,    1,    1,     2,     6,     6,
+                                   7,    100,  100,   101,   5000,  5000,
+                                   5001, 90000, 90000, 90001, 99999, 100000};
+  for (const index_t z : zs) {
+    const auto got = walk.advance(z);
+    const auto want = summatory_bracket(z);
+    ASSERT_EQ(got.shell, want.shell) << z;
+    ASSERT_EQ(got.below, want.below) << z;
+  }
+}
+
+TEST(SummatoryEngineTest, GlobalEngineIsSingleton) {
+  EXPECT_EQ(&SummatoryEngine::global(), &SummatoryEngine::global());
+}
+
+}  // namespace
+}  // namespace pfl::nt

@@ -1,0 +1,29 @@
+// Seeded violations for the no-float-unpair rule: float math on inverse
+// paths outside the sanctioned src/core/simd.hpp, both bare and hiding
+// behind an allow() escape that must NOT be honored here.
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+struct Point {
+  std::uint64_t x, y;
+};
+
+struct BadFloatKernel {
+  // Bare float seed in a scalar inverse: the classic Rosenberg trap.
+  Point unpair(std::uint64_t z) const {
+    const double root = std::sqrt(static_cast<double>(8 * z + 1));
+    const std::uint64_t t = static_cast<std::uint64_t>((root - 1.0) / 2.0);
+    return {z - t * (t + 1) / 2, t};
+  }
+
+  // The allow() escape is honored ONLY inside src/core/simd.hpp; using it
+  // in any other file must still be reported.
+  void unpair_simd(std::span<const std::uint64_t> zs,
+                   std::span<Point> out) const {
+    for (std::size_t i = 0; i < zs.size(); ++i) {
+      const double seed = std::sqrt(static_cast<double>(zs[i]));  // pfl-lint: allow(no-float-unpair) -- smuggled escape, must not be honored
+      out[i] = {static_cast<std::uint64_t>(seed), zs[i]};
+    }
+  }
+};

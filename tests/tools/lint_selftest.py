@@ -67,11 +67,16 @@ expect("no-naked-mutex catches manual .lock()/.unlock()", bad, 1,
 expect("lock-order reports the A->B/B->A cycle with both sites", bad, 1,
        ["bad_lock_cycle.cpp", "[lock-order]", "lock-order cycle",
         "TwoLocks::a_", "TwoLocks::b_"])
+expect("no-float-unpair catches the bare float inverse", bad, 1,
+       ["bad_simd_unpair.cpp", "[no-float-unpair]",
+        "floating-point math on an unpair path"])
+expect("no-float-unpair refuses the allow() escape outside simd.hpp", bad, 1,
+       ["allow(no-float-unpair) is honored only in src/core/simd.hpp"])
 
 print("pfl_lint on the clean fixture tree:")
 expect("clean wrappers and a consistent order pass",
        run(PFL_LINT, FIXTURES / "lint_good"), 0, ["clean"],
-       absent=["no-naked-mutex", "lock-order cycle"])
+       absent=["no-naked-mutex", "lock-order cycle", "no-float-unpair"])
 
 print("pfl_stub_check on the seeded-bad split header:")
 stub = run(STUB_CHECK, FIXTURES / "stub_bad" / "bad_stub.hpp")

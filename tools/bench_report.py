@@ -53,15 +53,26 @@ DERIVED_PAIRS = {
     "batch_pair_speedup": ("batch_pair", "scalar_virtual_pair"),
     "batch_unpair_speedup": ("batch_unpair", "scalar_virtual_unpair"),
     "enumerator_speedup": ("enumerate_prefix", "random_unpair"),
+    # PR 7: inverse throughput relative to the forward map -- the SIMD
+    # unpair tier's "within 2x of pair" acceptance bar as a ratio >= 0.5.
+    "unpair_vs_pair": ("batch_unpair", "batch_pair"),
 }
 
-# Acceptance floors for the committed baseline (ISSUE.md, PR 2).
+# Acceptance floors for the committed baseline (ISSUE.md, PR 2 + PR 7).
 FLOORS = {
     "batch_pair_speedup": {"diagonal": 3.0, "square-shell": 3.0},
     "enumerator_speedup": {"hyperbolic": 10.0},
+    "unpair_vs_pair": {"diagonal": 0.5, "square-shell": 0.5, "szudzik": 0.5},
+}
+
+# Absolute items/second floors on raw benchmarks (no ratio): the PR 7
+# hyperbolic bar is 20x the PR 5 committed rate of 25888.6/s.
+ABS_FLOORS = {
+    "batch_unpair/hyperbolic": 517772.0,
 }
 
 REL_TOLERANCE = 1e-6  # derived values must match a recompute exactly-ish
+STAGNANT_TOLERANCE = 0.05  # < 5% gain over the running best = stagnant
 
 
 def load_runs(paths: list[Path]) -> tuple[dict, dict]:
@@ -124,6 +135,7 @@ def merge(args: argparse.Namespace) -> int:
         "benchmarks": dict(sorted(benchmarks.items())),
         "derived": compute_derived(benchmarks),
         "floors": FLOORS,
+        "abs_floors": ABS_FLOORS,
     }
     out = Path(args.out)
     out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
@@ -155,18 +167,24 @@ def check(args: argparse.Namespace) -> int:
 
     recomputed = compute_derived(benchmarks)
     committed = doc.get("derived", {})
-    if committed != recomputed:
-        for group, ratios in recomputed.items():
-            for pf, want in ratios.items():
-                got = committed.get(group, {}).get(pf)
-                if got is None:
-                    errors.append(f"derived {group}/{pf} missing")
-                elif abs(got - want) > REL_TOLERANCE * max(abs(want), 1.0):
-                    errors.append(
-                        f"derived {group}/{pf} = {got}, recomputed {want}")
-        for group in committed:
-            if group not in recomputed:
-                errors.append(f"derived group '{group}' has no raw backing")
+    # Compare only the groups the committed doc carries: older baselines
+    # predate newer DERIVED_PAIRS entries and must stay checkable. Within
+    # a committed group, the recompute must agree ratio for ratio.
+    for group, ratios in committed.items():
+        want_ratios = recomputed.get(group)
+        if want_ratios is None:
+            errors.append(f"derived group '{group}' has no raw backing")
+            continue
+        for pf, got in ratios.items():
+            want = want_ratios.get(pf)
+            if want is None:
+                errors.append(f"derived {group}/{pf} has no raw backing")
+            elif abs(got - want) > REL_TOLERANCE * max(abs(want), 1.0):
+                errors.append(
+                    f"derived {group}/{pf} = {got}, recomputed {want}")
+        for pf in want_ratios:
+            if pf not in ratios:
+                errors.append(f"derived {group}/{pf} missing")
 
     for group, floors in doc.get("floors", FLOORS).items():
         for pf, floor in floors.items():
@@ -176,6 +194,15 @@ def check(args: argparse.Namespace) -> int:
             elif value < floor:
                 errors.append(
                     f"floor {group}/{pf}: {value:.2f}x below required {floor}x")
+
+    for name, floor in doc.get("abs_floors", {}).items():
+        entry = benchmarks.get(name)
+        rate = entry.get("items_per_second") if isinstance(entry, dict) else None
+        if rate is None:
+            errors.append(f"abs floor {name}: no measurement present")
+        elif rate < floor:
+            errors.append(f"abs floor {name}: {rate:.1f} items/s below "
+                          f"required {floor}")
 
     if errors:
         print(f"FAIL: {path}", file=sys.stderr)
@@ -198,6 +225,25 @@ def _human_rate(value: float) -> str:
         if value >= scale:
             return f"{value / scale:.2f}{unit}"
     return f"{value:.0f}"
+
+
+def _stagnation(series: list[tuple[str, float]]) -> str:
+    """Label of the PR where the current no-improvement plateau began.
+
+    Walking the measured (pr, rate) series, a rate more than 5% above the
+    running best restarts the plateau; anything else (flat, noise, or a
+    regression) extends it. A plateau that does not start at the newest
+    measurement is stagnation.
+    """
+    if len(series) < 2:
+        return ""
+    start_label, best = series[0]
+    for label, rate in series[1:]:
+        if rate > best * (1.0 + STAGNANT_TOLERANCE):
+            start_label, best = label, rate
+    if start_label != series[-1][0]:
+        return f"stagnant since {start_label}"
+    return ""
 
 
 def history(args: argparse.Namespace) -> int:
@@ -228,9 +274,10 @@ def history(args: argparse.Namespace) -> int:
     print("items/second by committed baseline (x: change vs previous PR "
           "that measured it)")
     print(f"{'benchmark':<{width}}" + "".join(f"{l:>{col}}" for l in labels))
+    all_series: dict[str, list[tuple[str, float]]] = {}
     for name in sorted(names):
-        cells, prev = [], None
-        for doc in docs:
+        cells, prev, series = [], None, []
+        for label, doc in zip(labels, docs):
             entry = doc.get("benchmarks", {}).get(name)
             rate = entry.get("items_per_second") if entry else None
             if rate is None:
@@ -241,7 +288,42 @@ def history(args: argparse.Namespace) -> int:
                 cell += f" {rate / prev:.2f}x"
             cells.append(f"{cell:>{col}}")
             prev = rate
-        print(f"{name:<{width}}" + "".join(cells))
+            series.append((label, rate))
+        all_series[name] = series
+        stag = _stagnation(series)
+        print(f"{name:<{width}}" + "".join(cells)
+              + (f"  {stag}" if stag else ""))
+
+    if args.require_improvement:
+        pattern = re.compile(args.require_improvement)
+        problems: list[str] = []
+        matched = 0
+        for name in sorted(names):
+            if not pattern.search(name):
+                continue
+            matched += 1
+            series = all_series[name]
+            if len(series) < 2:
+                problems.append(
+                    f"{name}: fewer than two baselines measure it")
+                continue
+            (prev_label, prev_rate), (last_label, last_rate) = series[-2:]
+            if last_rate < prev_rate * (1.0 + STAGNANT_TOLERANCE):
+                problems.append(
+                    f"{name}: {last_label} at {_human_rate(last_rate)}/s is "
+                    f"not >5% over {prev_label} at {_human_rate(prev_rate)}/s")
+        if matched == 0:
+            problems.append(
+                f"no benchmark matches {args.require_improvement!r}")
+        if problems:
+            print("\nFAIL: --require-improvement "
+                  f"{args.require_improvement!r}:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print(f"\nOK: all {matched} benchmark(s) matching "
+              f"{args.require_improvement!r} improved >5% in the newest "
+              "baseline")
 
     groups: list[tuple[str, str]] = []
     for doc in docs:
@@ -273,13 +355,19 @@ def main() -> int:
                         help="validate a committed baseline instead of merging")
     parser.add_argument("--history", action="store_true",
                         help="print a PR-over-PR table from committed "
-                             "baselines (defaults to ./BENCH_PR*.json)")
+                             "baselines (defaults to ./BENCH_PR*.json); "
+                             "rows flag 'stagnant since PRn' when no "
+                             "baseline since PRn improved >5%%")
+    parser.add_argument("--require-improvement", metavar="PATTERN",
+                        help="with --history: exit non-zero unless every "
+                             "benchmark matching the regex improved >5%% "
+                             "in the newest baseline vs the previous one")
     args = parser.parse_args()
     if args.check:
         if args.inputs:
             parser.error("--check takes no merge inputs")
         return check(args)
-    if args.history:
+    if args.history or args.require_improvement:
         return history(args)
     if not args.inputs:
         parser.error("nothing to do: pass input JSON files or --check FILE")

@@ -22,10 +22,18 @@ checked-arith
     accepted as-is.
 
 no-float-unpair
-    No sqrt / pow / log / ceil / floor / round / double / float inside any
-    `unpair` body: inverses must use the exact integer nt::isqrt /
-    nt::isqrt_u128 only. (GraphStreamingCC's float-sqrt inversion bug is
-    the cautionary tale.)
+    No sqrt / pow / log / ceil / floor / round / double / float -- nor any
+    vector-float intrinsic (_mm*_pd, NEON f64, hex-float literals) --
+    inside any unpair-family body (unpair, unpair_unchecked, unpair_simd,
+    unpair_batch, unpair_batch_chunk): inverses must use the exact integer
+    nt::isqrt / nt::isqrt_u128 / simd::isqrt_batch only.
+    (GraphStreamingCC's float-sqrt inversion bug is the cautionary tale.)
+    The ONE sanctioned float site is src/core/simd.hpp, whose batched
+    isqrt carries a documented exactness proof: that whole file is
+    scanned line by line, every float token must carry an individually
+    justified allow(no-float-unpair), and the allow is honored ONLY
+    there -- an allow in any other file is itself reported, so the
+    escape cannot leak out of the proof-carrying header.
 
 no-naked-cast
     No bare `static_cast<index_t>` or C-style `(index_t)` casts anywhere
@@ -136,8 +144,25 @@ ADDRESS_FUNCS = {
     "unpair_batch",
     "pair_unchecked",
     "unpair_unchecked",
+    "unpair_simd",
+    "pair_batch_chunk",
+    "unpair_batch_chunk",
     "next",
 }
+
+# The unpair-family bodies scanned for floating-point math, everywhere.
+UNPAIR_FLOAT_FUNCS = {
+    "unpair",
+    "unpair_unchecked",
+    "unpair_simd",
+    "unpair_batch",
+    "unpair_batch_chunk",
+}
+
+# The ONE file where allow(no-float-unpair) is honored: the batched
+# exact-isqrt header, whose every float operation carries the documented
+# exactness proof. The whole file is scanned, not just unpair bodies.
+FLOAT_EXEMPT = {"src/core/simd.hpp"}
 
 # Files that implement the checked-arithmetic core itself.
 CAST_EXEMPT = {"src/numtheory/checked.hpp", "src/numtheory/bits.hpp"}
@@ -211,6 +236,15 @@ ROUTED = re.compile(
 FLOAT_IN_UNPAIR = re.compile(
     r"(?<![A-Za-z0-9_])(?:sqrt[fl]?|pow[fl]?|log2?|exp|ceil|floor|round)\s*\("
     r"|\bdouble\b|\bfloat\b"
+    # Vector-float forms: x86 double-lane intrinsics (..._pd, castpd_*,
+    # cvtpd_*), double vector types, NEON f64 intrinsics/types, and
+    # hex-float literals (0x1p52 and friends).
+    r"|\b_mm\d*_[a-z0-9_]*_pd\b"
+    r"|\b_mm\d*_(?:castpd|cvtpd)_[a-z0-9_]+\b"
+    r"|\b__m\d+d\b"
+    r"|\bv[a-z0-9_]*f64[a-z0-9_]*\b"
+    r"|\bfloat64x\d+(?:x\d+)?_t\b"
+    r"|0[xX][0-9a-fA-F.]+[pP][+-]?\d+"
 )
 
 NAKED_STATIC_CAST = re.compile(r"static_cast<\s*(?:pfl::)?index_t\s*>")
@@ -476,21 +510,35 @@ def check_checked_arith(ft: FileText, out: list[Violation]) -> None:
 
 
 def check_no_float_unpair(ft: FileText, out: list[Violation]) -> None:
+    # Lines under scrutiny: every unpair-family body -- plus EVERY line of
+    # the sanctioned SIMD header, where floats are legal only under a
+    # per-line justified allow (the exactness-proof discipline).
+    scan: set[int] = set()
     for name, start, end in find_address_function_bodies(ft):
-        if name != "unpair":
+        if name in UNPAIR_FLOAT_FUNCS:
+            scan.update(range(start, end + 1))
+    if ft.rel in FLOAT_EXEMPT:
+        scan.update(range(len(ft.code_lines)))
+    for ln in sorted(scan):
+        code = ft.code_lines[ln] if ln < len(ft.code_lines) else ""
+        if not FLOAT_IN_UNPAIR.search(code):
             continue
-        for ln in range(start, end + 1):
-            code = ft.code_lines[ln] if ln < len(ft.code_lines) else ""
-            m = FLOAT_IN_UNPAIR.search(code)
-            if not m:
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        if allowed(ft, ln, "no-float-unpair"):
+            if ft.rel in FLOAT_EXEMPT:
                 continue
-            if allowed(ft, ln, "no-float-unpair"):
-                continue
-            raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
             out.append(Violation(
                 ft.rel, ln + 1, "no-float-unpair",
-                "floating-point math in unpair() -- inverses use integer "
-                "nt::isqrt / nt::isqrt_u128 only", raw.strip()))
+                "allow(no-float-unpair) is honored only in "
+                "src/core/simd.hpp (the proof-carrying batched isqrt) -- "
+                "inverses elsewhere use integer nt::isqrt / nt::isqrt_u128 "
+                "/ simd::isqrt_batch only", raw.strip()))
+            continue
+        out.append(Violation(
+            ft.rel, ln + 1, "no-float-unpair",
+            "floating-point math on an unpair path -- inverses use integer "
+            "nt::isqrt / nt::isqrt_u128 / simd::isqrt_batch only",
+            raw.strip()))
 
 
 def check_no_naked_cast(ft: FileText, out: list[Violation]) -> None:
