@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/httpd.hpp"
+#include "obs/prof/counters.hpp"
 #include "obs/sampler.hpp"
 
 namespace pfl::bench {
@@ -96,6 +97,44 @@ class ScopedTelemetry {
   obs::Sampler sampler_{
       obs::SamplerConfig{std::chrono::milliseconds(250), 240}};
   std::optional<obs::HttpServer> server_;
+};
+
+/// Wraps a benchmark's timing loop with a hardware counter session
+/// (obs/prof/counters.hpp) and attaches the per-case cost counters the
+/// committed baselines carry:
+///
+///   ipc              instructions per cycle over the whole loop
+///   cycles_per_item  scaled cycles / items processed
+///   llc_miss_rate    cache_misses / cache_refs in [0, 1]
+///
+/// On degraded tiers (PMU-less VM, perf denied, PFL_OBS=OFF, or
+/// PFL_PROF_FORCE_DEGRADED=1) those numbers would be vacuous zeros, so
+/// a `counters_unavailable` marker is attached instead --
+/// tools/bench_report.py treats the marker as an accepted excuse on
+/// restricted runners and floor-checks the real numbers elsewhere.
+///
+/// Usage:
+///   BenchCounters counters;               // before the timing loop
+///   for (auto _ : st) { ... }
+///   counters.attach(st, items_processed); // after the loop
+class BenchCounters {
+ public:
+  BenchCounters() { session_.start(); }
+
+  void attach(benchmark::State& st, std::uint64_t items) const {
+    const obs::prof::CounterReading r = session_.read();
+    if (!r.hardware() || r.cycles == 0 || items == 0) {
+      st.counters["counters_unavailable"] = 1.0;
+      return;
+    }
+    st.counters["ipc"] = r.ipc();
+    st.counters["cycles_per_item"] =
+        static_cast<double>(r.cycles) / static_cast<double>(items);
+    st.counters["llc_miss_rate"] = r.llc_miss_rate();
+  }
+
+ private:
+  obs::prof::CounterSession session_;
 };
 
 }  // namespace pfl::bench

@@ -18,6 +18,11 @@
 // them. Batch calls go through the virtual pair_batch overrides, i.e. the
 // sequential kernel path -- the measured win is devirtualization plus the
 // chunk-prescanned unchecked tier, not thread parallelism.
+//
+// Every case additionally carries the hardware cost counters (ipc,
+// cycles_per_item, llc_miss_rate) from a BenchCounters session, or a
+// counters_unavailable marker on perf-restricted runners -- see
+// bench_util.hpp and the PR8 baseline columns in bench_report.py.
 #include <algorithm>
 #include <cstddef>
 #include <random>
@@ -104,50 +109,59 @@ void attach_batch_counters(benchmark::State& st, const pfl::obs::Snapshot& befor
 
 void bm_scalar_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<index_t> out(kBatch);
+  const pfl::bench::BenchCounters counters;
   for (auto _ : st) {
     for (std::size_t i = 0; i < kBatch; ++i) out[i] = pf->pair(in.xs[i], in.ys[i]);
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  counters.attach(st, st.iterations() * kBatch);
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
 }
 
 void bm_batch_pair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<index_t> out(kBatch);
   const pfl::obs::Snapshot before = pfl::obs::snapshot();
+  const pfl::bench::BenchCounters counters;
   for (auto _ : st) {
     pf->pair_batch(in.xs, in.ys, out);
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  counters.attach(st, st.iterations() * kBatch);
   attach_batch_counters(st, before, pfl::obs::snapshot());
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
 }
 
 void bm_scalar_unpair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<Point> out(kBatch);
+  const pfl::bench::BenchCounters counters;
   for (auto _ : st) {
     for (std::size_t i = 0; i < kBatch; ++i) out[i] = pf->unpair(in.zs[i]);
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  counters.attach(st, st.iterations() * kBatch);
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
 }
 
 void bm_batch_unpair(benchmark::State& st, const PfPtr& pf, const Inputs& in) {
   std::vector<Point> out(kBatch);
   const pfl::obs::Snapshot before = pfl::obs::snapshot();
+  const pfl::bench::BenchCounters counters;
   for (auto _ : st) {
     pf->unpair_batch(in.zs, out);
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  counters.attach(st, st.iterations() * kBatch);
   attach_batch_counters(st, before, pfl::obs::snapshot());
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) * kBatch);
 }
 
 template <class Enumerator>
 void bm_enumerate_prefix(benchmark::State& st, Enumerator make) {
+  const pfl::bench::BenchCounters counters;
   for (auto _ : st) {
     auto e = make();
     index_t acc = 0;
@@ -155,6 +169,7 @@ void bm_enumerate_prefix(benchmark::State& st, Enumerator make) {
                           [&](index_t, Point p) { acc ^= p.x; });
     benchmark::DoNotOptimize(acc);
   }
+  counters.attach(st, st.iterations() * static_cast<std::uint64_t>(kPrefixK));
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) *
                        static_cast<int64_t>(kPrefixK));
 }
@@ -164,11 +179,13 @@ void bm_random_unpair(benchmark::State& st, const PfPtr& pf) {
   std::uniform_int_distribution<index_t> dist(1, kPrefixK);
   std::vector<index_t> zs(kUnpairSamples);
   for (auto& z : zs) z = dist(rng);
+  const pfl::bench::BenchCounters counters;
   for (auto _ : st) {
     index_t acc = 0;
     for (const index_t z : zs) acc ^= pf->unpair(z).x;
     benchmark::DoNotOptimize(acc);
   }
+  counters.attach(st, st.iterations() * kUnpairSamples);
   st.SetItemsProcessed(static_cast<int64_t>(st.iterations()) *
                        static_cast<int64_t>(kUnpairSamples));
 }

@@ -26,6 +26,9 @@
 //   --duration-ms N     how long to serve (default 8000; 0 = one pass)
 //   --wbc-steps N       WBC simulation length per pass (default 60)
 //   --dump-dir DIR      arm the flight recorder into DIR
+//   --profile           start the sampling profiler (collapsed stacks on
+//                       /profilez with --serve) and enable per-span
+//                       counter attribution (cycles/IPC in the trace)
 //
 // With PFL_OBS=OFF this still runs and exits 0: the trace file holds an
 // empty valid document, the metric sections are empty, and --serve
@@ -48,6 +51,8 @@
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/httpd.hpp"
+#include "obs/prof/profiler.hpp"
+#include "obs/prof/span_counted.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "storage/extendible_array.hpp"
@@ -127,6 +132,7 @@ struct Options {
   index_t wbc_steps = 60;
   std::string dump_dir;
   std::string trace_path = "obs_demo_trace.json";
+  bool profile = false;
 };
 
 bool parse_options(int argc, char** argv, Options& opt) {
@@ -160,6 +166,8 @@ bool parse_options(int argc, char** argv, Options& opt) {
     } else if (std::strcmp(arg, "--dump-dir") == 0) {
       if ((value = need_value(i)) == nullptr) return false;
       opt.dump_dir = value;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opt.profile = true;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "obs_demo: unknown flag %s\n", arg);
       return false;
@@ -185,6 +193,17 @@ int main(int argc, char** argv) {
 
   pfl::obs::TraceCollector::instance().enable();
 
+  if (opt.profile) {
+    pfl::obs::prof::SpanCounting::enable();
+    if (pfl::obs::prof::Profiler::instance().start()) {
+      std::printf("obs_demo: sampling profiler armed "
+                  "(collapsed stacks on /profilez)\n");
+    } else {
+      std::printf("obs_demo: --profile unavailable (PFL_OBS=OFF or timer "
+                  "failure); running without the profiler\n");
+    }
+  }
+
   pfl::obs::Sampler sampler(pfl::obs::SamplerConfig{
       std::chrono::milliseconds(opt.interval_ms > 0 ? opt.interval_ms : 250),
       240});
@@ -203,7 +222,8 @@ int main(int argc, char** argv) {
     sampler.start();
     if (server.start()) {
       std::printf("obs_demo: serving http://127.0.0.1:%u "
-                  "(/metrics /metrics.json /series.json /tracez /healthz)\n",
+                  "(/metrics /metrics.json /series.json /tracez /profilez "
+                  "/healthz)\n",
                   server.port());
     } else {
       std::printf("obs_demo: --serve unavailable (PFL_OBS=OFF or bind "
@@ -231,6 +251,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sampler.window().size()));
   } else {
     run_workloads_once(opt, 2002, /*quiet=*/false);
+  }
+
+  if (opt.profile) {
+    pfl::obs::prof::Profiler::instance().stop();
+    std::printf("profiler: %llu samples captured, %llu dropped\n",
+                static_cast<unsigned long long>(
+                    pfl::obs::prof::Profiler::instance().sample_count()),
+                static_cast<unsigned long long>(
+                    pfl::obs::prof::Profiler::instance().dropped_count()));
   }
 
   pfl::obs::TraceCollector::instance().disable();

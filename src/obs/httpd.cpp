@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "obs/export.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace pfl::obs {
@@ -187,6 +188,11 @@ void HttpServer::handle_connection(int fd) const {
     std::ostringstream os;
     TraceCollector::instance().write_chrome_trace(os);
     body = os.str();
+  } else if (path == "/profilez") {
+    // Collapsed-stack text from the sampling profiler (empty until
+    // Profiler::start()); pipe into flamegraph.pl or speedscope.
+    body = prof::Profiler::instance().collapsed();
+    content_type = "text/plain; charset=utf-8";
   } else if (path == "/") {
     body =
         "pfl telemetry endpoints:\n"
@@ -194,6 +200,7 @@ void HttpServer::handle_connection(int fd) const {
         "  /metrics.json  pfl-metrics/1 snapshot\n"
         "  /series.json   pfl-series/1 sampler ring\n"
         "  /tracez        chrome trace json (load in perfetto)\n"
+        "  /profilez      collapsed stacks (flamegraph.pl input)\n"
         "  /healthz       liveness\n";
     content_type = "text/plain; charset=utf-8";
   } else {

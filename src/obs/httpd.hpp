@@ -7,6 +7,8 @@
 //   /metrics.json   the deterministic "pfl-metrics/1" snapshot
 //   /series.json    the sampler ring as "pfl-series/1" (sampler.hpp)
 //   /tracez         recent spans as Chrome trace JSON (trace.hpp)
+//   /profilez       collapsed stacks from the sampling profiler
+//                   (obs/prof/profiler.hpp) -- flamegraph.pl input
 //   /healthz        "ok" -- liveness only
 //   /               plain-text index of the above
 //

@@ -1,0 +1,205 @@
+// CounterSession implementation -- the sanctioned perf_event_open site
+// (pfl_lint rule `no-raw-perf` confines the syscall to src/obs/prof/).
+//
+// Probe order, worst errno wins nothing -- the first tier that opens is
+// the tier:
+//
+//   1. five-event hardware group (cycles leader + instructions, cache
+//      refs, cache misses, branch misses as siblings). All-or-nothing:
+//      if any sibling fails, the whole group closes and we fall through
+//      (a partial group would silently report zero for the missing
+//      event, which reads as "no misses" -- worse than degrading).
+//   2. one software task-clock event: distinguishes "perf works, PMU
+//      absent" (ENOENT in PMU-less VMs) from "perf denied".
+//   3. CLOCK_THREAD_CPUTIME_ID only.
+//
+// The group is opened disabled and kicked off with one grouped
+// RESET+ENABLE ioctl so all five events cover the same interval; reads
+// use PERF_FORMAT_GROUP for one coherent snapshot.
+#include "obs/prof/counters.hpp"
+
+#if PFL_OBS_ENABLED
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace pfl::obs::prof {
+
+namespace {
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  return ::syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// PERF_FORMAT_GROUP read layout for a group of up to kGroupSize events.
+struct GroupReadBuf {
+  std::uint64_t nr = 0;
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  std::uint64_t values[5] = {0, 0, 0, 0, 0};
+};
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config,
+                          bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // User space only: perf_event_paranoid=2 (the common container
+  // default) refuses kernel-space counting outright.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // The leader starts disabled so the grouped RESET+ENABLE in start()
+  // opens the measurement window for all five events at once; siblings
+  // follow their leader's state.
+  if (leader) attr.disabled = 1;
+  return attr;
+}
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000u +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// The five hardware events, leader first. Order defines the
+/// GroupReadBuf::values layout read() decodes.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kHardwareGroup[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+}  // namespace
+
+CounterSession::CounterSession(CounterOptions opts) {
+  PFL_OBS_COUNTER("pfl_obs_prof_counter_sessions_total").add();
+  cpu_base_ns_ = thread_cpu_ns();
+
+  if (opts.force_degraded || force_degraded_requested()) {
+    tier_ = CounterTier::kCpuClockOnly;
+    error_message_ = "degradation forced (PFL_PROF_FORCE_DEGRADED)";
+    PFL_OBS_COUNTER("pfl_obs_prof_counter_degraded_total").add();
+    return;
+  }
+
+  // Tier 1: the full hardware group, all-or-nothing.
+  bool group_ok = true;
+  for (std::size_t i = 0; i < kGroupSize; ++i) {
+    perf_event_attr attr =
+        make_attr(kHardwareGroup[i].type, kHardwareGroup[i].config, i == 0);
+    const long fd = sys_perf_event_open(&attr, 0, -1, fds_[0], 0);
+    if (fd < 0) {
+      error_code_ = errno;
+      group_ok = false;
+      break;
+    }
+    fds_[i] = static_cast<int>(fd);
+  }
+  if (group_ok) {
+    tier_ = CounterTier::kHardware;
+    start();
+    return;
+  }
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  // Tier 2: software task clock -- proves the syscall is permitted even
+  // though the PMU is not there.
+  perf_event_attr sw =
+      make_attr(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, true);
+  const long sw_fd = sys_perf_event_open(&sw, 0, -1, -1, 0);
+  if (sw_fd >= 0) {
+    fds_[0] = static_cast<int>(sw_fd);
+    tier_ = CounterTier::kSoftware;
+    error_message_ = "PMU unavailable; hardware events refused";
+    PFL_OBS_COUNTER("pfl_obs_prof_counter_degraded_total").add();
+    start();
+    return;
+  }
+
+  // Tier 3: the syscall itself is off the table.
+  tier_ = CounterTier::kCpuClockOnly;
+  error_message_ = "perf_event_open denied";
+  PFL_OBS_COUNTER("pfl_obs_prof_counter_degraded_total").add();
+}
+
+CounterSession::~CounterSession() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void CounterSession::start() {
+  cpu_base_ns_ = thread_cpu_ns();
+  if (fds_[0] < 0) return;
+  ::ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterReading CounterSession::read() const {
+  CounterReading r;
+  r.tier = tier_;
+  r.cpu_time_ns = thread_cpu_ns() - cpu_base_ns_;
+  if (fds_[0] < 0) return r;
+
+  GroupReadBuf buf;
+  const ssize_t n = ::read(fds_[0], &buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return r;
+  r.time_enabled_ns = buf.time_enabled;
+  r.time_running_ns = buf.time_running;
+  if (tier_ != CounterTier::kHardware || buf.nr < kGroupSize) return r;
+
+  const auto scaled = [&buf](std::size_t i) {
+    return scale_multiplexed(buf.values[i], buf.time_enabled,
+                             buf.time_running);
+  };
+  r.cycles = scaled(0);
+  r.instructions = scaled(1);
+  r.cache_refs = scaled(2);
+  r.cache_misses = scaled(3);
+  r.branch_misses = scaled(4);
+  return r;
+}
+
+bool CounterSession::force_degraded_requested() {
+  static const bool forced = [] {
+    const char* v = std::getenv("PFL_PROF_FORCE_DEGRADED");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return forced;
+}
+
+}  // namespace pfl::obs::prof
+
+#else  // PFL_OBS_ENABLED == 0
+
+// The OFF build keeps this translation unit (pfl_obs stays a normal
+// static library either way); the stub class lives in the header.
+namespace pfl::obs::prof {
+void pfl_obs_prof_counters_compiled_out() {}
+}  // namespace pfl::obs::prof
+
+#endif  // PFL_OBS_ENABLED

@@ -1,0 +1,206 @@
+// pfl::obs::prof -- hardware performance counter sessions.
+//
+// A CounterSession owns one per-thread perf_event group (cycles,
+// instructions, cache references, cache misses, branch misses) opened
+// with a single capability probe and read as one coherent snapshot.
+// Where the probe fails the session DEGRADES instead of erroring, in
+// three tiers:
+//
+//   kHardware      the full five-event group is live; readings carry
+//                  multiplexing-scaled counts plus the raw
+//                  enabled/running times so the scaling is auditable;
+//   kSoftware      perf_event_open works but the PMU does not (VMs and
+//                  containers without a virtualized PMU: ENOENT); a
+//                  software task-clock event keeps the perf read path
+//                  exercised, counts are zero;
+//   kCpuClockOnly  perf_event_open itself is denied (seccomp EPERM,
+//                  perf_event_paranoid, ENOSYS); only
+//                  CLOCK_THREAD_CPUTIME_ID is read.
+//
+// Every tier still produces a valid CounterReading -- cpu_time_ns is
+// always populated -- so callers (bench loops, counted spans) never
+// branch on availability; they just get zero hardware counts. The tier
+// and the probe errno are exposed as a typed status (`tier()`,
+// `error_code()`, `error_message()`) so tests and reports can tell
+// "restricted runner" from "regression".
+//
+// Sessions count the CALLING THREAD only (perf pid=0, cpu=-1) and are
+// not thread-safe: create one per thread, read it from that thread.
+//
+// perf_event_open(2) and the __NR_perf_event_open syscall are confined
+// to src/obs/prof/ by pfl_lint rule `no-raw-perf`, the way raw sockets
+// are confined to obs/httpd.cpp.
+//
+// When PFL_OBS=OFF the session compiles to a stub whose tier is
+// kDisabled and whose readings are all-zero.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace pfl::obs::prof {
+
+/// Availability tier of a CounterSession, ordered best to worst. The
+/// session never fails to construct; it lands on the best tier the
+/// kernel allows.
+enum class CounterTier : std::uint8_t {
+  kHardware,      ///< full PMU group live
+  kSoftware,      ///< perf works, PMU absent (software task clock only)
+  kCpuClockOnly,  ///< perf denied; CLOCK_THREAD_CPUTIME_ID only
+  kDisabled,      ///< PFL_OBS=OFF stub
+};
+
+inline const char* to_string(CounterTier tier) {
+  switch (tier) {
+    case CounterTier::kHardware:
+      return "hardware";
+    case CounterTier::kSoftware:
+      return "software";
+    case CounterTier::kCpuClockOnly:
+      return "cpu-clock-only";
+    case CounterTier::kDisabled:
+      return "disabled";
+  }
+  return "unknown";
+}
+
+struct CounterOptions {
+  /// Skip the perf probe entirely and land on kCpuClockOnly. Used by
+  /// tests and the CI profiling-smoke job to prove the degraded path on
+  /// machines where perf would otherwise work. Defaults to the
+  /// PFL_PROF_FORCE_DEGRADED environment switch.
+  bool force_degraded = false;
+};
+
+/// Multiplexing correction: when the kernel time-shares more events than
+/// the PMU has counters, a group runs for only part of its enabled time
+/// and the observed count must be extrapolated by enabled/running. Done
+/// in 128-bit so counts near 2^64 cannot overflow mid-scale. running ==
+/// 0 (group never scheduled) yields the raw value unscaled -- callers
+/// see time_running_ns == 0 and know the numbers are vacuous.
+inline std::uint64_t scale_multiplexed(std::uint64_t value,
+                                       std::uint64_t enabled,
+                                       std::uint64_t running) {
+  if (running == 0 || running >= enabled) return value;
+  return static_cast<std::uint64_t>(u128(value) * enabled / running);
+}
+
+/// One coherent snapshot of a session's group. Hardware counts are
+/// already multiplexing-scaled (see scale_multiplexed); the raw
+/// enabled/running times are kept so the scaling factor is auditable.
+/// cpu_time_ns is populated in every tier.
+struct CounterReading {
+  CounterTier tier = CounterTier::kDisabled;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+  std::uint64_t cpu_time_ns = 0;
+
+  bool hardware() const { return tier == CounterTier::kHardware; }
+
+  /// Instructions per cycle; 0 when cycles are unavailable.
+  double ipc() const {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+
+  /// cache_misses / cache_refs in [0, 1]; 0 when refs are unavailable.
+  double llc_miss_rate() const {
+    if (cache_refs == 0) return 0.0;
+    return static_cast<double>(cache_misses) / static_cast<double>(cache_refs);
+  }
+
+  /// Field-wise saturating difference against an earlier snapshot of
+  /// the SAME session (counters are monotone within a session; the
+  /// saturation only guards caller mistakes).
+  CounterReading since(const CounterReading& earlier) const {
+    const auto sub = [](std::uint64_t a, std::uint64_t b) {
+      return a >= b ? a - b : std::uint64_t{0};
+    };
+    CounterReading d;
+    d.tier = tier;
+    d.cycles = sub(cycles, earlier.cycles);
+    d.instructions = sub(instructions, earlier.instructions);
+    d.cache_refs = sub(cache_refs, earlier.cache_refs);
+    d.cache_misses = sub(cache_misses, earlier.cache_misses);
+    d.branch_misses = sub(branch_misses, earlier.branch_misses);
+    d.time_enabled_ns = sub(time_enabled_ns, earlier.time_enabled_ns);
+    d.time_running_ns = sub(time_running_ns, earlier.time_running_ns);
+    d.cpu_time_ns = sub(cpu_time_ns, earlier.cpu_time_ns);
+    return d;
+  }
+};
+
+#if PFL_OBS_ENABLED
+
+/// A per-thread grouped counter session. Construction probes the kernel
+/// and starts counting on the best available tier; read() returns the
+/// counts accumulated since construction (or the last start()).
+class CounterSession {
+ public:
+  explicit CounterSession(CounterOptions opts = {});
+  ~CounterSession();
+
+  CounterSession(const CounterSession&) = delete;
+  CounterSession& operator=(const CounterSession&) = delete;
+
+  CounterTier tier() const { return tier_; }
+
+  /// errno of the probe step that forced degradation; 0 on kHardware
+  /// (and 0 when degradation was forced rather than imposed).
+  int error_code() const { return error_code_; }
+
+  /// Static one-line description of why the session degraded; "" on
+  /// kHardware.
+  const char* error_message() const { return error_message_; }
+
+  /// Zeroes the group and restarts counting; the next read() measures
+  /// from here.
+  void start();
+
+  /// One coherent group read. Calling-thread only, like everything else
+  /// on this class.
+  CounterReading read() const;
+
+  /// True when the PFL_PROF_FORCE_DEGRADED environment variable demands
+  /// the degraded path (any value except empty or "0").
+  static bool force_degraded_requested();
+
+ private:
+  /// Group layout: leader first. Unused slots stay -1.
+  static constexpr std::size_t kGroupSize = 5;
+
+  CounterTier tier_ = CounterTier::kCpuClockOnly;
+  int error_code_ = 0;
+  const char* error_message_ = "";
+  std::uint64_t cpu_base_ns_ = 0;
+  int fds_[kGroupSize] = {-1, -1, -1, -1, -1};
+};
+
+#else  // PFL_OBS_ENABLED == 0: the probe is compiled out; readings are
+       // all-zero and the tier reports kDisabled so callers can tell
+       // "compiled out" from "denied at runtime".
+
+class CounterSession {
+ public:
+  explicit CounterSession(CounterOptions = {}) {}
+
+  CounterSession(const CounterSession&) = delete;
+  CounterSession& operator=(const CounterSession&) = delete;
+
+  CounterTier tier() const { return CounterTier::kDisabled; }
+  int error_code() const { return 0; }
+  const char* error_message() const { return "observability compiled out"; }
+  void start() {}
+  CounterReading read() const { return CounterReading{}; }
+  static bool force_degraded_requested() { return false; }
+};
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs::prof

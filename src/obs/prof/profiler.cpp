@@ -1,0 +1,303 @@
+// Sampling profiler implementation -- the sanctioned
+// setitimer(ITIMER_PROF)/SIGPROF site (pfl_lint rule `no-raw-perf`).
+//
+// Split of labor:
+//
+//   signal path (on_sigprof): read one thread_local pointer, capture a
+//   raw backtrace into the owning thread's bounded ring, restore errno.
+//   Nothing else -- no locks, no allocation, no instrument macros
+//   (their first call takes the registry lock), no symbolization.
+//
+//   normal path (collapsed()): resolve pcs with dladdr, demangle,
+//   strip the handler/trampoline prefix off each capture, aggregate
+//   into collapsed-stack lines.
+//
+// backtrace(3) lazily initializes libgcc's unwinder on first call --
+// with malloc, under a lock -- so start() primes it once before the
+// timer is armed; every in-handler call after that is reentrant. This
+// is the same bargain every crash-handler-style user of backtrace
+// makes, and the flight recorder (obs/flight_recorder.hpp) already
+// made it for fatal signals.
+#include "obs/prof/profiler.hpp"
+
+#if PFL_OBS_ENABLED
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <ucontext.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace pfl::obs::prof {
+
+namespace {
+
+/// The owning thread's ring. Written on the normal path by
+/// register_this_thread(), so by the time a signal can observe it the
+/// TLS slot is materialized -- the handler's read never allocates.
+thread_local prof_detail::SampleRing* t_ring = nullptr;
+
+/// Signals on threads that never registered land here (atomic add is
+/// all the handler may do for them).
+std::atomic<std::uint64_t> g_unregistered_drops{0};
+
+/// Armed flag read by the handler: a SIGPROF delivered between stop()
+/// disarming the timer and restoring the old disposition is ignored.
+std::atomic<bool> g_armed{false};
+
+/// Previous SIGPROF disposition, restored by stop().
+struct sigaction g_old_action;
+
+void* interrupted_pc(void* ucontext) {
+  if (ucontext == nullptr) return nullptr;
+  auto* uc = static_cast<ucontext_t*>(ucontext);
+#if defined(__x86_64__)
+  return reinterpret_cast<void*>(uc->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__aarch64__)
+  return reinterpret_cast<void*>(uc->uc_mcontext.pc);
+#else
+  static_cast<void>(uc);
+  return nullptr;
+#endif
+}
+
+void on_sigprof(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
+  const int saved_errno = errno;
+  if (g_armed.load(std::memory_order_relaxed)) {
+    prof_detail::SampleRing* ring = t_ring;
+    if (ring != nullptr) {
+      void* frames[prof_detail::kMaxFrames];
+      const int n = ::backtrace(
+          frames, static_cast<int>(prof_detail::kMaxFrames));
+      ring->push(interrupted_pc(ucontext), frames,
+                 n > 0 ? static_cast<std::uint32_t>(n) : 0u);
+    } else {
+      g_unregistered_drops.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+/// The kernel's signal-return trampoline as backtrace reports it:
+/// frames above it belong to the handler, frames below it are the
+/// interrupted thread's real stack.
+bool is_trampoline(const std::string& symbol) {
+  return symbol == "__restore_rt" || symbol == "__kernel_rt_sigreturn";
+}
+
+/// Human name for one pc: demangled symbol when dladdr finds one, else
+/// the containing object's basename in brackets, else a hex literal.
+/// ';' is the collapsed-format separator, so it is scrubbed from names.
+std::string symbolize(const void* pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  std::string name;
+  if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name.assign(demangled);
+    } else {
+      name.assign(info.dli_sname);
+    }
+    std::free(demangled);
+  } else if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    name = std::string("[") +
+           (base != nullptr ? base + 1 : info.dli_fname) + "]";
+  } else {
+    std::ostringstream os;
+    os << pc;
+    name = os.str();
+  }
+  for (char& c : name) {
+    if (c == ';' || c == '\n') c = ':';
+  }
+  return name;
+}
+
+const std::string& cached_symbol(const void* pc,
+                                 std::map<const void*, std::string>& cache) {
+  auto it = cache.find(pc);
+  if (it == cache.end()) it = cache.emplace(pc, symbolize(pc)).first;
+  return it->second;
+}
+
+/// Parent frames hold RETURN addresses -- one past the call -- so they
+/// are resolved one byte back to land inside the calling function. The
+/// innermost real frame and the ucontext pc are exact and resolved
+/// as-is.
+const void* call_site(void* return_address) {
+  return reinterpret_cast<const void*>(
+      reinterpret_cast<std::uintptr_t>(return_address) - 1);
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+bool Profiler::start(ProfilerConfig config) {
+  // start()/stop() are intended for one controlling thread (main);
+  // worker threads only ever call register_this_thread().
+  if (running()) return true;
+  config_ = config;
+  if (config_.hz == 0) config_.hz = ProfilerConfig{}.hz;
+  if (config_.ring_capacity == 0)
+    config_.ring_capacity = ProfilerConfig{}.ring_capacity;
+
+  // Prime the unwinder's lazy (allocating, locking) first call while we
+  // are still on the normal path.
+  void* prime[2];
+  ::backtrace(prime, 2);
+
+  register_this_thread();
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &on_sigprof;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  if (::sigaction(SIGPROF, &sa, &g_old_action) != 0) return false;
+  g_armed.store(true, std::memory_order_release);
+
+  itimerval iv{};
+  iv.it_interval.tv_sec = 0;
+  iv.it_interval.tv_usec = static_cast<suseconds_t>(1000000u / config_.hz);
+  if (iv.it_interval.tv_usec == 0) iv.it_interval.tv_usec = 1;
+  iv.it_value = iv.it_interval;
+  if (::setitimer(ITIMER_PROF, &iv, nullptr) != 0) {
+    g_armed.store(false, std::memory_order_release);
+    ::sigaction(SIGPROF, &g_old_action, nullptr);
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  PFL_OBS_COUNTER("pfl_obs_prof_starts_total").add();
+  return true;
+}
+
+void Profiler::stop() {
+  if (!running()) return;
+  itimerval off{};
+  ::setitimer(ITIMER_PROF, &off, nullptr);
+  g_armed.store(false, std::memory_order_release);
+  ::sigaction(SIGPROF, &g_old_action, nullptr);
+  running_.store(false, std::memory_order_release);
+
+  // Tallies accumulate in plain atomics on the signal path; they are
+  // flushed into instruments here, where locks are allowed.
+  const std::uint64_t samples = sample_count();
+  const std::uint64_t dropped = dropped_count();
+  if (samples > flushed_samples_) {
+    PFL_OBS_COUNTER("pfl_obs_prof_samples_total")
+        .add(samples - flushed_samples_);
+    flushed_samples_ = samples;
+  }
+  if (dropped > flushed_dropped_) {
+    PFL_OBS_COUNTER("pfl_obs_prof_samples_dropped_total")
+        .add(dropped - flushed_dropped_);
+    flushed_dropped_ = dropped;
+  }
+}
+
+void Profiler::register_this_thread() {
+  if (t_ring != nullptr) return;
+  auto fresh =
+      std::make_shared<prof_detail::SampleRing>(config_.ring_capacity);
+  {
+    par::LockGuard lock(m_);
+    rings_.push_back(fresh);
+  }
+  t_ring = fresh.get();
+}
+
+std::uint64_t Profiler::sample_count() const {
+  std::uint64_t total = 0;
+  par::LockGuard lock(m_);
+  for (const auto& r : rings_) total += r->size();
+  return total;
+}
+
+std::uint64_t Profiler::dropped_count() const {
+  std::uint64_t total =
+      g_unregistered_drops.load(std::memory_order_relaxed);
+  par::LockGuard lock(m_);
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+std::string Profiler::collapsed() const {
+  std::vector<prof_detail::RawSample> samples;
+  {
+    par::LockGuard lock(m_);
+    for (const auto& r : rings_) r->collect(samples);
+  }
+  if (samples.empty()) return {};
+
+  std::map<const void*, std::string> symcache;
+  std::map<std::string, std::uint64_t> stacks;
+  for (const prof_detail::RawSample& s : samples) {
+    // Frames above the signal trampoline are the handler's own; the
+    // interrupted thread's stack starts right after it.
+    std::size_t begin = s.depth;
+    for (std::uint32_t i = 0; i < s.depth; ++i) {
+      if (is_trampoline(cached_symbol(s.frames[i], symcache))) {
+        begin = i + 1;
+        break;
+      }
+    }
+    std::string line;
+    if (begin < s.depth) {
+      // Root-first. The frame at `begin` is the exact interrupted pc
+      // (the unwinder recovers it from the signal frame); its callers
+      // hold return addresses and resolve one byte back.
+      for (std::size_t i = s.depth; i-- > begin;) {
+        const void* pc = i == begin ? s.frames[i] : call_site(s.frames[i]);
+        line += cached_symbol(pc, symcache);
+        if (i != begin) line += ';';
+      }
+    } else if (s.interrupted_pc != nullptr) {
+      // Unwinding did not cross the signal frame (no trampoline found):
+      // fall back to the one exact pc the ucontext gave us.
+      line = cached_symbol(s.interrupted_pc, symcache);
+    } else {
+      line = "[unknown]";
+    }
+    ++stacks[line];
+  }
+
+  std::ostringstream os;
+  for (const auto& [stack, count] : stacks) os << stack << ' ' << count << '\n';
+  return os.str();
+}
+
+void Profiler::clear() {
+  par::LockGuard lock(m_);
+  for (const auto& r : rings_) r->clear();
+  g_unregistered_drops.store(0, std::memory_order_relaxed);
+  flushed_samples_ = 0;
+  flushed_dropped_ = 0;
+}
+
+}  // namespace pfl::obs::prof
+
+#else  // PFL_OBS_ENABLED == 0
+
+// The OFF build keeps this translation unit (pfl_obs stays a normal
+// static library either way); the stub class lives in the header.
+namespace pfl::obs::prof {
+void pfl_obs_prof_profiler_compiled_out() {}
+}  // namespace pfl::obs::prof
+
+#endif  // PFL_OBS_ENABLED

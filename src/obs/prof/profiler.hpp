@@ -1,0 +1,204 @@
+// pfl::obs::prof -- sampling CPU profiler.
+//
+// A process-wide SIGPROF timer (setitimer(ITIMER_PROF), confined to
+// src/obs/prof/ by pfl_lint rule `no-raw-perf`) fires against whichever
+// thread is burning CPU; the handler captures a raw frame stack into
+// that thread's bounded sample ring. Everything expensive --
+// symbolization (dladdr + demangling), aggregation, formatting -- runs
+// OFFLINE in collapsed(), which renders the classic collapsed-stack
+// text ("frame;frame;leaf count" lines) consumed by flamegraph.pl,
+// speedscope, and the /profilez endpoint on obs/httpd.cpp.
+//
+// Signal-safety contract (DESIGN.md "Continuous profiling"):
+//
+//   * the handler touches only: one thread_local ring pointer (touched
+//     on the normal path at registration, so its TLS slot exists), the
+//     ring's slots and atomics, errno (saved/restored), and
+//     backtrace(3) -- whose lazy libgcc initialization is triggered
+//     once from start() BEFORE the timer is armed;
+//   * the rings follow trace.hpp's bounded single-writer protocol: a
+//     slot is fully written before the release store of head_, readers
+//     take the acquire prefix, full rings drop (and count) rather than
+//     wrap;
+//   * threads that never called register_this_thread() (or start())
+//     drop their samples into an atomic counter -- no allocation, no
+//     locks, no metrics macros (instrument registration takes a lock)
+//     anywhere on the signal path.
+//
+// When PFL_OBS=OFF the profiler compiles to a stub whose start()
+// reports failure and whose collapsed() output is empty.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_safety.hpp"
+#include "obs/metrics.hpp"
+
+namespace pfl::obs::prof {
+
+struct ProfilerConfig {
+  /// Target samples per CPU-second. A prime default avoids phase-locking
+  /// with millisecond-periodic workloads.
+  std::uint32_t hz = 97;
+  /// Samples each registered thread can hold before dropping.
+  std::size_t ring_capacity = 4096;
+};
+
+#if PFL_OBS_ENABLED
+
+namespace prof_detail {
+
+/// Deepest stack recorded per sample; deeper frames are truncated.
+inline constexpr std::size_t kMaxFrames = 32;
+
+/// One raw (unsymbolized) sample. interrupted_pc comes from the signal
+/// ucontext and is exact; frames[] is the backtrace(3) capture, which
+/// still contains the handler/trampoline prefix -- the offline pass
+/// strips it (see profiler.cpp).
+struct RawSample {
+  void* interrupted_pc = nullptr;
+  std::uint32_t depth = 0;
+  void* frames[kMaxFrames];
+};
+
+/// Bounded single-writer sample ring; the writer is the owning thread's
+/// SIGPROF handler. Same memory-ordering protocol as trace.hpp's
+/// EventBuffer and capability-free for the same documented reason: the
+/// writer/reader handoff is lock-free by design and a mutex would have
+/// to be taken inside a signal handler, which is exactly the bug class
+/// this layer exists to avoid.
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity) : slots_(capacity) {}
+
+  /// Async-signal-safe; owning thread's signal context only. `capture`
+  /// is given the interrupted pc and a pre-filled backtrace because
+  /// calling backtrace() here keeps the signal-path surface in one
+  /// place (profiler.cpp's handler).
+  void push(void* interrupted_pc, void* const* frames,
+            std::uint32_t depth) noexcept {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    RawSample& s = slots_[h];
+    s.interrupted_pc = interrupted_pc;
+    if (depth > kMaxFrames) depth = kMaxFrames;
+    s.depth = depth;
+    for (std::uint32_t i = 0; i < depth; ++i) s.frames[i] = frames[i];
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Any thread: appends the stable prefix of recorded samples to `out`.
+  void collect(std::vector<RawSample>& out) const {
+    const std::size_t n =
+        std::min(head_.load(std::memory_order_acquire), slots_.size());
+    for (std::size_t i = 0; i < n; ++i) out.push_back(slots_[i]);
+  }
+
+  std::uint64_t size() const {
+    return std::min<std::uint64_t>(head_.load(std::memory_order_acquire),
+                                   slots_.size());
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Quiescence only (no concurrent push/collect).
+  void clear() {
+    head_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::vector<RawSample> slots_;
+};
+
+}  // namespace prof_detail
+
+/// The process-wide sampling profiler. One instance; start()/stop()
+/// arm and disarm the SIGPROF timer, collapsed() renders everything
+/// captured so far (live -- no need to stop first).
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Installs the SIGPROF handler, registers the calling thread, primes
+  /// backtrace(3), arms ITIMER_PROF. Returns false when the timer or
+  /// handler cannot be installed. A second start() on a running
+  /// profiler is a no-op returning true.
+  bool start(ProfilerConfig config = {});
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// Captured samples stay available to collapsed(). Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Gives the calling thread a sample ring. Threads that skip this
+  /// drop their samples (counted, never unsafe). The ring survives
+  /// thread exit so its samples still export. Safe before start().
+  void register_this_thread();
+
+  /// Samples captured across all rings (acquire-stable prefix).
+  std::uint64_t sample_count() const;
+
+  /// Samples lost to full rings plus signals on unregistered threads.
+  std::uint64_t dropped_count() const;
+
+  /// Collapsed-stack text: one "frame;frame;leaf count" line per
+  /// distinct stack, root first, symbolized via dladdr (demangled),
+  /// lines sorted for deterministic output. Empty string when nothing
+  /// was captured.
+  std::string collapsed() const;
+
+  /// Drops all captured samples. Quiescence only: call with the
+  /// profiler stopped.
+  void clear();
+
+ private:
+  Profiler() = default;
+
+  std::atomic<bool> running_{false};
+  ProfilerConfig config_;
+  /// Portions of the tallies already exported to instruments by stop()
+  /// (the signal path may not touch the metrics macros, so flushing is
+  /// deferred to the normal path).
+  std::uint64_t flushed_samples_ = 0;
+  std::uint64_t flushed_dropped_ = 0;
+  /// Guards the ring LIST only; ring contents follow the lock-free
+  /// single-writer protocol documented on SampleRing.
+  mutable par::Mutex m_;
+  std::vector<std::shared_ptr<prof_detail::SampleRing>> rings_
+      PFL_GUARDED_BY(m_);
+};
+
+#else  // PFL_OBS_ENABLED == 0
+
+class Profiler {
+ public:
+  static Profiler& instance() {
+    static Profiler p;
+    return p;
+  }
+  bool start(ProfilerConfig = {}) { return false; }
+  void stop() {}
+  bool running() const { return false; }
+  void register_this_thread() {}
+  std::uint64_t sample_count() const { return 0; }
+  std::uint64_t dropped_count() const { return 0; }
+  std::string collapsed() const { return {}; }
+  void clear() {}
+};
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs::prof

@@ -1,0 +1,126 @@
+// Per-span counter attribution: a CountedSpan is a trace.hpp Span that
+// additionally snapshots the calling thread's CounterSession at entry
+// and exit, so the recorded TraceEvent carries cycles, instructions,
+// and LLC misses for exactly that region. /tracez and trace_report.py
+// then show IPC and miss-rate per span, not just wall time.
+//
+// Opt-in at two levels:
+//
+//   * call sites use PFL_OBS_SPAN_COUNTED("name") instead of Span --
+//     only regions worth two grouped counter reads (a syscall each)
+//     should pay for them;
+//   * counting is OFF until SpanCounting::enable(); a disarmed
+//     CountedSpan behaves exactly like a plain Span (one relaxed load
+//     extra), so instrumented code ships enabled-free.
+//
+// Each thread lazily opens one CounterSession on its first counted
+// span; on degraded tiers (no PMU, perf denied -- see counters.hpp)
+// the deltas are zero and the span records plain timing, so counted
+// spans are safe to leave in place on any runner.
+//
+// When PFL_OBS=OFF everything here is a no-op with the same API.
+#pragma once
+
+#include "obs/prof/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace pfl::obs::prof {
+
+#if PFL_OBS_ENABLED
+
+/// Process-wide switch for span counter attribution. Off by default;
+/// obs_demo --profile and tests turn it on.
+class SpanCounting {
+ public:
+  static void enable() { flag().store(true, std::memory_order_relaxed); }
+  static void disable() { flag().store(false, std::memory_order_relaxed); }
+  static bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<bool>& flag() {
+    static std::atomic<bool> f{false};
+    return f;
+  }
+};
+
+namespace span_detail {
+
+/// The calling thread's counter session, opened on first use and kept
+/// for the thread's lifetime (fds close at thread exit).
+inline CounterSession& thread_session() {
+  thread_local CounterSession session;
+  return session;
+}
+
+}  // namespace span_detail
+
+/// RAII scope timer with counter attribution; see file comment. Same
+/// disarmed-cost contract as Span: tracing disabled means one relaxed
+/// load and no clock or counter reads.
+class CountedSpan {
+ public:
+  explicit CountedSpan(const char* name) noexcept {
+    if (!TraceCollector::instance().enabled()) return;
+    name_ = name;
+    start_ns_ = trace_detail::now_ns();
+    if (SpanCounting::enabled()) {
+      session_ = &span_detail::thread_session();
+      begin_ = session_->read();
+    }
+  }
+
+  CountedSpan(const CountedSpan&) = delete;
+  CountedSpan& operator=(const CountedSpan&) = delete;
+
+  ~CountedSpan() {
+    if (name_ == nullptr || !TraceCollector::instance().enabled()) return;
+    const std::uint64_t end_ns = trace_detail::now_ns();
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+    if (session_ != nullptr) {
+      const CounterReading delta = session_->read().since(begin_);
+      cycles = delta.cycles;
+      instructions = delta.instructions;
+      llc_misses = delta.cache_misses;
+    }
+    TraceCollector::instance().buffer_for_this_thread().push(
+        name_, start_ns_, end_ns - start_ns_, cycles, instructions,
+        llc_misses);
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  CounterSession* session_ = nullptr;
+  CounterReading begin_;
+};
+
+#else  // PFL_OBS_ENABLED == 0
+
+class SpanCounting {
+ public:
+  static void enable() {}
+  static void disable() {}
+  static bool enabled() { return false; }
+};
+
+class CountedSpan {
+ public:
+  explicit CountedSpan(const char*) noexcept {}
+  CountedSpan(const CountedSpan&) = delete;
+  CountedSpan& operator=(const CountedSpan&) = delete;
+  ~CountedSpan() {}
+};
+
+#endif  // PFL_OBS_ENABLED
+
+/// Declares a scoped counted span; the variable name is line-unique so
+/// nested counted spans do not shadow each other under -Wshadow.
+#define PFL_OBS_PROF_CAT2(a, b) a##b
+#define PFL_OBS_PROF_CAT(a, b) PFL_OBS_PROF_CAT2(a, b)
+#define PFL_OBS_SPAN_COUNTED(name)             \
+  const ::pfl::obs::prof::CountedSpan PFL_OBS_PROF_CAT( \
+      pfl_obs_counted_span_, __LINE__)(name)
+
+}  // namespace pfl::obs::prof

@@ -35,11 +35,19 @@ namespace pfl::obs {
 
 /// One completed span: [ts_ns, ts_ns + dur_ns) on thread `tid`. `name`
 /// must be a string literal (or otherwise outlive the collector).
+///
+/// The counter fields are zero for plain Spans and carry the
+/// multiplexing-scaled deltas of the thread's counter session for
+/// counted spans (obs/prof/span_counted.hpp); the exporter emits them
+/// as Chrome trace "args" only when nonzero.
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
 };
 
 #if PFL_OBS_ENABLED
@@ -71,14 +79,18 @@ class EventBuffer {
 
   std::uint32_t tid() const { return tid_; }
 
-  /// Owner thread only.
-  void push(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  /// Owner thread only. The trailing counter deltas default to zero
+  /// (plain spans); counted spans pass their session's deltas.
+  void push(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+            std::uint64_t cycles = 0, std::uint64_t instructions = 0,
+            std::uint64_t llc_misses = 0) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (h >= slots_.size()) {
       PFL_OBS_COUNTER("pfl_obs_trace_dropped_total").add();
       return;
     }
-    slots_[h] = TraceEvent{name, ts_ns, dur_ns, tid_};
+    slots_[h] =
+        TraceEvent{name, ts_ns, dur_ns, tid_, cycles, instructions, llc_misses};
     head_.store(h + 1, std::memory_order_release);
   }
 
@@ -180,6 +192,22 @@ class TraceCollector {
       put_us(e.ts_ns - t0);
       os << ",\"dur\":";
       put_us(e.dur_ns);
+      if (e.cycles != 0 || e.instructions != 0 || e.llc_misses != 0) {
+        // Counted span (obs/prof/span_counted.hpp): attach the counter
+        // deltas, plus IPC precomputed to 3 decimals (integer math --
+        // the exporter stays float-free).
+        os << ",\"args\":{\"cycles\":" << e.cycles
+           << ",\"instructions\":" << e.instructions
+           << ",\"llc_misses\":" << e.llc_misses;
+        if (e.cycles != 0) {
+          const std::uint64_t milli = e.instructions * 1000 / e.cycles;
+          os << ",\"ipc\":" << milli / 1000 << '.'
+             << static_cast<char>('0' + (milli / 100) % 10)
+             << static_cast<char>('0' + (milli / 10) % 10)
+             << static_cast<char>('0' + milli % 10);
+        }
+        os << "}";
+      }
       os << "}";
     }
     os << "]}\n";

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/prof/span_counted.hpp"
 #include "obs/trace.hpp"
 
 namespace pfl::wbc {
@@ -34,7 +35,10 @@ struct SimVolunteer {
 }  // namespace
 
 SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config) {
-  const obs::Span sim_span("wbc_simulation");
+  // Counted spans: when SpanCounting is enabled (obs_demo --profile),
+  // /tracez carries cycles/IPC/LLC-miss deltas for the whole run and
+  // for each step; otherwise these behave exactly like plain Spans.
+  PFL_OBS_SPAN_COUNTED("wbc_simulation");
   std::mt19937_64 rng(config.seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   std::exponential_distribution<double> speed_dist(1.0 / config.mean_speed);
@@ -81,7 +85,7 @@ SimulationReport run_simulation(apf::ApfPtr apf, const SimulationConfig& config)
   for (index_t i = 0; i < config.initial_volunteers; ++i) spawn();
 
   for (index_t step = 0; step < config.steps; ++step) {
-    const obs::Span step_span("wbc_step");
+    PFL_OBS_SPAN_COUNTED("wbc_step");
     // Fault: the server process dies here. Everything the front end knows
     // survives only through the checkpoint; the restored instance must be
     // indistinguishable from the one that never crashed. (The volunteers'

@@ -1,0 +1,180 @@
+// obs/prof/counters.{hpp,cpp}: the capability-probe/degradation
+// contract (a session never fails to construct; it lands on a typed
+// tier with an auditable reason), the multiplexing scaling math, and
+// the CounterReading algebra. Hardware-tier numeric assertions are
+// gated on actually having a PMU, so the suite passes identically on
+// bare metal, PMU-less VMs, and perf-denied sandboxes.
+#include "obs/prof/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <ctime>
+
+namespace pfl::obs::prof {
+namespace {
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Burns at least `ms` of this thread's CPU time.
+void burn_cpu_ms(std::uint64_t ms) {
+  const std::uint64_t until = thread_cpu_ns() + ms * 1000000ull;
+  volatile std::uint64_t acc = 1;
+  while (thread_cpu_ns() < until)
+    for (int i = 0; i < 4096; ++i)
+      acc = acc * 2862933555777941757ull + 3037000493ull;
+}
+
+TEST(CounterTier, ToStringCoversEveryTier) {
+  EXPECT_STREQ(to_string(CounterTier::kHardware), "hardware");
+  EXPECT_STREQ(to_string(CounterTier::kSoftware), "software");
+  EXPECT_STREQ(to_string(CounterTier::kCpuClockOnly), "cpu-clock-only");
+  EXPECT_STREQ(to_string(CounterTier::kDisabled), "disabled");
+}
+
+TEST(ScaleMultiplexed, IdentityWhenGroupRanTheWholeTime) {
+  EXPECT_EQ(scale_multiplexed(1000, 500, 500), 1000u);
+  // running > enabled (clock skew in the kernel's bookkeeping) must not
+  // scale the count down.
+  EXPECT_EQ(scale_multiplexed(1000, 500, 600), 1000u);
+}
+
+TEST(ScaleMultiplexed, ExtrapolatesByEnabledOverRunning) {
+  // Group scheduled for a quarter of its enabled time: 4x the count.
+  EXPECT_EQ(scale_multiplexed(100, 1000, 250), 400u);
+  EXPECT_EQ(scale_multiplexed(7, 3, 2), 10u);  // truncating division
+}
+
+TEST(ScaleMultiplexed, NeverScheduledReturnsRawValue) {
+  // running == 0 means the numbers are vacuous; the caller sees
+  // time_running_ns == 0 and must not trust them, but the function
+  // must not divide by zero or invent a count.
+  EXPECT_EQ(scale_multiplexed(123, 1000, 0), 123u);
+}
+
+TEST(ScaleMultiplexed, WideMathSurvivesCountsNearTheTop) {
+  // value * enabled overflows 64 bits by far; the u128 path must not.
+  const std::uint64_t value = 1ull << 62;
+  EXPECT_EQ(scale_multiplexed(value, 2000, 1000), 1ull << 63);
+}
+
+TEST(CounterReading, DerivedRatesGuardAgainstZeroDenominators) {
+  CounterReading r;
+  EXPECT_EQ(r.ipc(), 0.0);
+  EXPECT_EQ(r.llc_miss_rate(), 0.0);
+  r.cycles = 1000;
+  r.instructions = 2500;
+  r.cache_refs = 200;
+  r.cache_misses = 50;
+  EXPECT_DOUBLE_EQ(r.ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(r.llc_miss_rate(), 0.25);
+}
+
+TEST(CounterReading, SinceIsFieldWiseAndSaturating) {
+  CounterReading now, earlier;
+  now.tier = CounterTier::kHardware;
+  now.cycles = 1000;
+  earlier.cycles = 400;
+  now.cpu_time_ns = 50;
+  earlier.cpu_time_ns = 80;  // caller mistake: must clamp, not wrap
+  const CounterReading d = now.since(earlier);
+  EXPECT_EQ(d.tier, CounterTier::kHardware);
+  EXPECT_EQ(d.cycles, 600u);
+  EXPECT_EQ(d.cpu_time_ns, 0u);
+}
+
+#if PFL_OBS_ENABLED
+
+TEST(CounterSession, ProbeLandsOnACoherentTier) {
+  const CounterSession s;
+  const CounterTier tier = s.tier();
+  EXPECT_NE(tier, CounterTier::kDisabled);
+  if (tier == CounterTier::kHardware) {
+    EXPECT_EQ(s.error_code(), 0);
+    EXPECT_STREQ(s.error_message(), "");
+  } else {
+    // Degradation always carries a reason; the errno is the probe's
+    // (EPERM/ENOSYS for denied, ENOENT for a missing PMU, ...).
+    EXPECT_STRNE(s.error_message(), "");
+  }
+}
+
+TEST(CounterSession, EveryTierPopulatesCpuTime) {
+  CounterSession s;
+  s.start();
+  burn_cpu_ms(5);
+  const CounterReading r = s.read();
+  EXPECT_EQ(r.tier, s.tier());
+  EXPECT_GT(r.cpu_time_ns, 1000000u);  // >= 1ms of the 5ms burned
+}
+
+TEST(CounterSession, HardwareTierCountsTheBurnLoop) {
+  CounterSession s;
+  if (s.tier() != CounterTier::kHardware)
+    GTEST_SKIP() << "no PMU on this runner: " << s.error_message();
+  s.start();
+  burn_cpu_ms(5);
+  const CounterReading r = s.read();
+  EXPECT_TRUE(r.hardware());
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GT(r.time_enabled_ns, 0u);
+  EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST(CounterSession, ForcedDegradationIsCpuClockOnly) {
+  const CounterSession s(CounterOptions{/*force_degraded=*/true});
+  EXPECT_EQ(s.tier(), CounterTier::kCpuClockOnly);
+  // Forced, not imposed: no errno to report, but still a reason.
+  EXPECT_EQ(s.error_code(), 0);
+  EXPECT_NE(std::string(s.error_message()).find("forced"),
+            std::string::npos);
+}
+
+TEST(CounterSession, DegradedReadingsAreZeroCountsPlusCpuTime) {
+  // The EPERM/ENOSYS acceptance shape: a denied session still runs the
+  // workload and still times it; only the hardware counts are zero.
+  CounterSession s(CounterOptions{/*force_degraded=*/true});
+  s.start();
+  burn_cpu_ms(5);
+  const CounterReading r = s.read();
+  EXPECT_FALSE(r.hardware());
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.instructions, 0u);
+  EXPECT_EQ(r.ipc(), 0.0);
+  EXPECT_GT(r.cpu_time_ns, 1000000u);
+}
+
+TEST(CounterSession, StartRebasesTheMeasurement) {
+  CounterSession s;
+  s.start();
+  burn_cpu_ms(20);
+  const CounterReading before = s.read();
+  s.start();  // re-zero
+  const CounterReading after = s.read();
+  EXPECT_GT(before.cpu_time_ns, 15000000u);
+  EXPECT_LT(after.cpu_time_ns, before.cpu_time_ns);
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(CounterSessionStub, DisabledTierAndAllZeroReadings) {
+  const CounterSession s;
+  EXPECT_EQ(s.tier(), CounterTier::kDisabled);
+  EXPECT_EQ(s.error_code(), 0);
+  EXPECT_STRNE(s.error_message(), "");
+  const CounterReading r = s.read();
+  EXPECT_EQ(r.tier, CounterTier::kDisabled);
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.cpu_time_ns, 0u);
+  EXPECT_FALSE(CounterSession::force_degraded_requested());
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs::prof

@@ -1,0 +1,170 @@
+// obs/prof/profiler.{hpp,cpp}: the SIGPROF sampling profiler. The
+// centerpiece is the collapsed-stack golden test: profile a pure spin
+// workload and require >= 80% of the samples to land in the spin
+// function -- the end-to-end proof that timer delivery, the
+// async-signal-safe ring capture, and the offline dladdr symbolization
+// compose into correct attribution. Needs -rdynamic on this binary
+// (tests/CMakeLists.txt) so dladdr can see the spin symbol.
+#include "obs/prof/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+// The known-hot function. extern "C" keeps the symbol name exact (no
+// mangling) so the collapsed-stack match below cannot drift with
+// compiler name-mangling; noinline keeps it a real frame.
+extern "C" __attribute__((noinline)) std::uint64_t
+pfl_prof_test_spin(std::uint64_t iters) {
+  volatile std::uint64_t acc = 1;
+  for (std::uint64_t i = 0; i < iters; ++i)
+    acc = acc * 2862933555777941757ull + 3037000493ull;
+  return acc;
+}
+
+namespace pfl::obs::prof {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+/// Collapsed text -> (stack, count) pairs, validating the grammar.
+std::vector<std::pair<std::string, std::uint64_t>> parse_collapsed(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t sep = line.rfind(' ');
+    EXPECT_NE(sep, std::string::npos) << "no count in line: " << line;
+    if (sep == std::string::npos) continue;
+    out.emplace_back(line.substr(0, sep),
+                     std::stoull(line.substr(sep + 1)));
+  }
+  return out;
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().stop();
+    Profiler::instance().clear();
+  }
+  void TearDown() override {
+    Profiler::instance().stop();
+    Profiler::instance().clear();
+  }
+};
+
+TEST_F(ProfilerTest, StartStopLifecycleIsIdempotent) {
+  Profiler& p = Profiler::instance();
+  EXPECT_FALSE(p.running());
+  ASSERT_TRUE(p.start());
+  EXPECT_TRUE(p.running());
+  EXPECT_TRUE(p.start());  // second start: no-op success
+  p.stop();
+  EXPECT_FALSE(p.running());
+  p.stop();  // idempotent
+  EXPECT_FALSE(p.running());
+}
+
+TEST_F(ProfilerTest, ClearDropsCapturedSamples) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(ProfilerConfig{997, 4096}));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t sink = 0;
+  while (p.sample_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    sink += pfl_prof_test_spin(1000000);
+  p.stop();
+  ASSERT_GT(p.sample_count(), 0u) << "SIGPROF never fired (sink=" << sink
+                                  << ")";
+  p.clear();
+  EXPECT_EQ(p.sample_count(), 0u);
+  EXPECT_TRUE(p.collapsed().empty());
+}
+
+// The committed golden acceptance test (ISSUE PR8): >= 80% of the
+// samples of a spin workload attribute to the spin function.
+TEST_F(ProfilerTest, CollapsedStacksAttributeSpinWorkloadToSpinFunction) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(ProfilerConfig{997, 8192}));
+  // Spin until enough samples accumulated for a stable ratio. The
+  // kernel clamps ITIMER_PROF to its tick (~160Hz effective here), so
+  // 50 samples is roughly a third of a CPU-second; the deadline only
+  // guards pathologically starved runners.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t sink = 0;
+  while (p.sample_count() < 50 &&
+         std::chrono::steady_clock::now() < deadline)
+    sink += pfl_prof_test_spin(2000000);
+  p.stop();
+  ASSERT_GE(p.sample_count(), 20u)
+      << "too few samples to judge attribution (sink=" << sink << ")";
+
+  const std::string collapsed = p.collapsed();
+  const auto records = parse_collapsed(collapsed);
+  ASSERT_FALSE(records.empty());
+  std::uint64_t total = 0, in_spin = 0;
+  for (const auto& [stack, count] : records) {
+    total += count;
+    if (stack.find("pfl_prof_test_spin") != std::string::npos)
+      in_spin += count;
+  }
+  EXPECT_EQ(total, p.sample_count());
+  EXPECT_GE(static_cast<double>(in_spin),
+            0.8 * static_cast<double>(total))
+      << "spin got " << in_spin << "/" << total
+      << " samples; collapsed output:\n"
+      << collapsed;
+}
+
+TEST_F(ProfilerTest, CollapsedLinesFollowTheFlamegraphGrammar) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(ProfilerConfig{997, 4096}));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t sink = 0;
+  while (p.sample_count() < 5 &&
+         std::chrono::steady_clock::now() < deadline)
+    sink += pfl_prof_test_spin(1000000);
+  p.stop();
+  ASSERT_GT(p.sample_count(), 0u) << "sink=" << sink;
+  for (const auto& [stack, count] : parse_collapsed(p.collapsed())) {
+    EXPECT_GE(count, 1u);
+    EXPECT_FALSE(stack.empty());
+    // Frames are ';'-joined and never empty (the symbolizer scrubs
+    // separator characters out of symbol names).
+    for (std::size_t pos = stack.find(';'); pos != std::string::npos;
+         pos = stack.find(';', pos + 1)) {
+      EXPECT_NE(pos, 0u);
+      EXPECT_NE(stack[pos + 1], ';') << "empty frame in: " << stack;
+    }
+  }
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(ProfilerStub, StartFailsAndSurfacesAreEmpty) {
+  Profiler& p = Profiler::instance();
+  EXPECT_FALSE(p.start());
+  EXPECT_FALSE(p.running());
+  p.register_this_thread();  // must be callable
+  EXPECT_EQ(p.sample_count(), 0u);
+  EXPECT_EQ(p.dropped_count(), 0u);
+  EXPECT_TRUE(p.collapsed().empty());
+  p.stop();
+  p.clear();
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs::prof

@@ -1,0 +1,24 @@
+// Lint-selftest fixture: deliberately violates `no-raw-perf` in all
+// three ways (perf ABI header include, the raw syscall by number, the
+// SIGPROF timer arm). Never compiled -- only fed to tools/pfl_lint.py by
+// tests/tools/lint_selftest.py, which asserts each line below is caught.
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+
+#include <unistd.h>
+
+int open_cycle_counter() {
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = PERF_COUNT_HW_CPU_CYCLES;
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+void arm_profiling_timer() {
+  itimerval iv{};
+  iv.it_interval.tv_usec = 10000;
+  iv.it_value = iv.it_interval;
+  setitimer(ITIMER_PROF, &iv, nullptr);
+}

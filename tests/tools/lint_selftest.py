@@ -72,11 +72,18 @@ expect("no-float-unpair catches the bare float inverse", bad, 1,
         "floating-point math on an unpair path"])
 expect("no-float-unpair refuses the allow() escape outside simd.hpp", bad, 1,
        ["allow(no-float-unpair) is honored only in src/core/simd.hpp"])
+expect("no-raw-perf catches the perf ABI header include", bad, 1,
+       ["bad_raw_perf.cpp", "[no-raw-perf]", "linux/perf_event.h"])
+expect("no-raw-perf catches the raw syscall by number", bad, 1,
+       ["__NR_perf_event_open"])
+expect("no-raw-perf catches the SIGPROF timer arm", bad, 1,
+       ["setitimer"])
 
 print("pfl_lint on the clean fixture tree:")
 expect("clean wrappers and a consistent order pass",
        run(PFL_LINT, FIXTURES / "lint_good"), 0, ["clean"],
-       absent=["no-naked-mutex", "lock-order cycle", "no-float-unpair"])
+       absent=["no-naked-mutex", "lock-order cycle", "no-float-unpair",
+               "no-raw-perf"])
 
 print("pfl_stub_check on the seeded-bad split header:")
 stub = run(STUB_CHECK, FIXTURES / "stub_bad" / "bad_stub.hpp")

@@ -42,10 +42,31 @@ from pathlib import Path
 
 SCHEMA = "pfl-bench-baseline/1"
 
-# User counters the batch benchmarks attach from the obs layer (PR 3):
-# carried verbatim into the baseline so fallback behaviour and effective
-# grain sizes are reviewable alongside the timings.
-OBS_COUNTER_KEY = re.compile(r"^(?:fallback_|grain_|chunks_)")
+# User counters the batch benchmarks attach from the obs layer (PR 3),
+# plus the hardware cost counters from the PR 8 profiling subsystem
+# (bench_util.hpp BenchCounters): carried verbatim into the baseline so
+# fallback behaviour, effective grain sizes, and per-item machine cost
+# are reviewable alongside the timings.
+OBS_COUNTER_KEY = re.compile(
+    r"^(?:fallback_|grain_|chunks_"
+    r"|ipc$|cycles_per_item$|llc_miss_rate$|counters_unavailable$)")
+
+# The PR 8 hardware counters: every batch_pair/* and batch_unpair/* case
+# in a PR >= 8 baseline must either carry the real numbers or the
+# explicit counters_unavailable marker (PMU-less VM, perf denied) -- a
+# case carrying neither means the bench harness was not wired up.
+HW_COUNTER_PR = 8
+HW_COUNTER_PREFIXES = ("batch_pair/", "batch_unpair/")
+HW_COUNTER_REQUIRED = ("ipc", "cycles_per_item")
+
+# Plausibility bounds on committed hardware counters, enforced wherever
+# the numbers are present (any PR, any benchmark): an IPC of 0 or 40
+# or a miss rate of 3.0 is a collection bug, not a slow machine.
+HW_COUNTER_BOUNDS = {
+    "ipc": (0.0, 16.0),            # exclusive low: 0 means a dead counter
+    "cycles_per_item": (0.0, None),
+    "llc_miss_rate": (-1e-12, 1.0 + 1e-12),  # inclusive [0, 1]
+}
 
 # derived group -> (numerator prefix, denominator prefix): for every pf
 # name present under both prefixes, derived[group][pf] = items/s ratio.
@@ -146,6 +167,46 @@ def merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pr_number(label: str) -> int:
+    m = re.search(r"(\d+)", str(label))
+    return int(m.group(1)) if m else 0
+
+
+def hw_counter_errors(doc: dict) -> list[str]:
+    """PR 8 hardware-counter rules on a baseline document.
+
+    Presence: from PR 8 on, every batch_pair/* and batch_unpair/* case
+    must carry ipc + cycles_per_item or the counters_unavailable marker.
+    Plausibility: wherever the numbers appear (any PR), they must fall in
+    HW_COUNTER_BOUNDS.
+    """
+    errors: list[str] = []
+    benchmarks = doc.get("benchmarks", {})
+    if not isinstance(benchmarks, dict):
+        return errors
+    require = _pr_number(doc.get("pr", "")) >= HW_COUNTER_PR
+    for name, entry in sorted(benchmarks.items()):
+        counters = entry.get("counters", {}) if isinstance(entry, dict) else {}
+        for key, (lo, hi) in HW_COUNTER_BOUNDS.items():
+            value = counters.get(key)
+            if value is None:
+                continue
+            if value <= lo or (hi is not None and value > hi):
+                errors.append(
+                    f"counter {name}/{key} = {value} is implausible "
+                    f"(bounds: > {lo}" + (f", <= {hi}" if hi else "") + ")")
+        if not require or not name.startswith(HW_COUNTER_PREFIXES):
+            continue
+        if "counters_unavailable" in counters:
+            continue
+        missing = [k for k in HW_COUNTER_REQUIRED if k not in counters]
+        if missing:
+            errors.append(
+                f"{name}: PR>={HW_COUNTER_PR} baseline lacks "
+                f"{'/'.join(missing)} and has no counters_unavailable marker")
+    return errors
+
+
 def check(args: argparse.Namespace) -> int:
     path = Path(args.check)
     try:
@@ -204,6 +265,8 @@ def check(args: argparse.Namespace) -> int:
             errors.append(f"abs floor {name}: {rate:.1f} items/s below "
                           f"required {floor}")
 
+    errors.extend(hw_counter_errors(doc))
+
     if errors:
         print(f"FAIL: {path}", file=sys.stderr)
         for e in errors:
@@ -216,8 +279,7 @@ def check(args: argparse.Namespace) -> int:
 
 def _pr_sort_key(doc: dict) -> tuple[int, str]:
     label = str(doc.get("pr", ""))
-    m = re.search(r"(\d+)", label)
-    return (int(m.group(1)) if m else 0, label)
+    return (_pr_number(label), label)
 
 
 def _human_rate(value: float) -> str:
@@ -341,6 +403,44 @@ def history(args: argparse.Namespace) -> int:
                 cells.append(f"{'-':>{col}}" if value is None
                              else f"{value:.2f}x".rjust(col))
             print(f"{group + '/' + pf:<{width}}" + "".join(cells))
+
+    # Hardware cost counters (PR 8): per-benchmark machine cost from the
+    # newest baseline that measured it. Baselines collected on restricted
+    # runners carry only the counters_unavailable marker and are skipped;
+    # any numbers that do appear are bound-checked like --check does.
+    hw_errors: list[str] = []
+    for label, doc in zip(labels, docs):
+        for e in hw_counter_errors(doc):
+            hw_errors.append(f"{label}: {e}")
+    rows: list[tuple[str, str, float, float, float | None]] = []
+    for name in sorted(names):
+        for label, doc in reversed(list(zip(labels, docs))):
+            counters = doc.get("benchmarks", {}).get(name, {}).get(
+                "counters", {})
+            if "ipc" in counters and "cycles_per_item" in counters:
+                rows.append((name, label, counters["ipc"],
+                             counters["cycles_per_item"],
+                             counters.get("llc_miss_rate")))
+                break
+    if rows:
+        print(f"\n{'hardware counters':<{width}}{'newest':>8}{'ipc':>8}"
+              f"{'cyc/item':>10}{'llc miss':>10}")
+        for name, label, ipc, cpi, miss in rows:
+            miss_cell = f"{miss * 100:.1f}%" if miss is not None else "-"
+            print(f"{name:<{width}}{label:>8}{ipc:>8.2f}{cpi:>10.1f}"
+                  f"{miss_cell:>10}")
+    else:
+        unavailable = sum(
+            1 for doc in docs for entry in doc.get("benchmarks", {}).values()
+            if "counters_unavailable" in entry.get("counters", {}))
+        if unavailable:
+            print(f"\nhardware counters: unavailable in all baselines "
+                  f"({unavailable} cases marked counters_unavailable)")
+    if hw_errors:
+        print("\nFAIL: hardware counter bounds:", file=sys.stderr)
+        for e in hw_errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
     return 0
 
 

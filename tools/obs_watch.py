@@ -9,13 +9,17 @@ watch (default)
     counter rates (per second, from the snapshot delta) plus histogram
     percentiles (p50/p90/p99 computed here, from the log2 buckets, with
     the same lo-anchored geometric interpolation as src/obs/stats.hpp).
+    When the sampling profiler is armed (obs_demo --serve --profile),
+    /profilez is polled too and the top `--top` hot functions are
+    printed -- self samples by leaf frame of the collapsed stacks.
 
 --check
-    One-shot CI probe: hit all five endpoints, validate the pinned
+    One-shot CI probe: hit all six endpoints, validate the pinned
     schemas ("pfl-metrics/1", "pfl-series/1", Chrome trace shape,
-    /healthz == "ok"), check percentile monotonicity on every series
-    sample, and exit non-zero with a reason on the first failure.
-    Used by tools/telemetry_smoke.sh and the CI telemetry-smoke job.
+    /healthz == "ok", /profilez collapsed-stack grammar), check
+    percentile monotonicity on every series sample, and exit non-zero
+    with a reason on the first failure. Used by tools/telemetry_smoke.sh
+    and the CI telemetry-smoke job.
 
 Stdlib only (urllib + json); no dependencies, matching the repo rule.
 """
@@ -30,7 +34,8 @@ import time
 import urllib.error
 import urllib.request
 
-ENDPOINTS = ("/healthz", "/metrics", "/metrics.json", "/series.json", "/tracez")
+ENDPOINTS = ("/healthz", "/metrics", "/metrics.json", "/series.json",
+             "/tracez", "/profilez")
 
 
 def fetch(base: str, path: str, timeout: float) -> bytes:
@@ -80,9 +85,56 @@ def percentiles(hist: dict) -> tuple[float, float, float]:
                  for q in (0.50, 0.90, 0.99))
 
 
+# --- collapsed stacks (/profilez) ----------------------------------------
+
+def parse_collapsed(text: str) -> list[tuple[str, int]]:
+    """(stack, count) pairs from collapsed-stack text.
+
+    The grammar is one `frame;frame;...;leaf count` record per line
+    (flamegraph.pl input); raises ValueError on the first malformed line.
+    An empty body is valid: the profiler is not armed or has no samples.
+    """
+    records: list[tuple[str, int]] = []
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError(f"line {ln}: no 'stack count' split: {line!r}")
+        if not count.isdigit() or int(count) < 1:
+            raise ValueError(f"line {ln}: bad sample count {count!r}")
+        if any(not frame for frame in stack.split(";")):
+            raise ValueError(f"line {ln}: empty frame in stack {stack!r}")
+        records.append((stack, int(count)))
+    return records
+
+
+def hot_functions(records: list[tuple[str, int]],
+                  top: int) -> list[tuple[str, int]]:
+    """Top `top` functions by self samples (leaf frame of each stack)."""
+    self_samples: dict[str, int] = {}
+    for stack, count in records:
+        leaf = stack.rsplit(";", 1)[-1]
+        self_samples[leaf] = self_samples.get(leaf, 0) + count
+    ranked = sorted(self_samples.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]
+
+
+def print_hot_functions(text: str, top: int) -> None:
+    records = parse_collapsed(text)
+    total = sum(count for _, count in records)
+    if total == 0:
+        print("\nprofiler: no samples (not armed, or no CPU burned yet)")
+        return
+    print(f"\n{'hot function (self samples)':<44} {'samples':>10} "
+          f"{'share':>8}")
+    for name, count in hot_functions(records, top):
+        print(f"{name:<44} {count:>10} {count / total:>7.1%}")
+
+
 # --- watch mode ----------------------------------------------------------
 
-def cmd_watch(base: str, interval: float, timeout: float) -> int:
+def cmd_watch(base: str, interval: float, timeout: float, top: int) -> int:
     first = json.loads(fetch(base, "/metrics.json", timeout))
     t0 = time.monotonic()
     time.sleep(interval)
@@ -107,6 +159,10 @@ def cmd_watch(base: str, interval: float, timeout: float) -> int:
             p50, p90, p99 = percentiles(h)
             print(f"{name:<44} {h['count']:>10} {p50:>10.0f} "
                   f"{p90:>10.0f} {p99:>10.0f}")
+    try:
+        print_hot_functions(fetch(base, "/profilez", timeout).decode(), top)
+    except urllib.error.HTTPError:
+        pass  # server predates /profilez: the rest of the watch stands
     return 0
 
 
@@ -185,6 +241,14 @@ def check(base: str, timeout: float) -> list[str]:
         fail(f"/tracez: {e}")
 
     try:
+        collapsed = fetch(base, "/profilez", timeout).decode()
+        parse_collapsed(collapsed)  # grammar only; empty body is valid
+    except ValueError as e:
+        fail(f"/profilez: {e}")
+    except Exception as e:  # noqa: BLE001
+        fail(f"/profilez: {e}")
+
+    try:
         req = urllib.request.Request(base + "/definitely-not-an-endpoint")
         try:
             urllib.request.urlopen(req, timeout=timeout)
@@ -205,6 +269,8 @@ def main() -> int:
     parser.add_argument("--interval", type=float, default=1.0,
                         help="seconds between the two watch-mode polls")
     parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument("--top", type=int, default=10,
+                        help="watch mode: hot functions shown from /profilez")
     parser.add_argument("--check", action="store_true",
                         help="validate all endpoints and exit 0/1 (CI mode)")
     args = parser.parse_args()
@@ -218,7 +284,7 @@ def main() -> int:
             return 1
         print(f"obs_watch: OK {base} ({', '.join(ENDPOINTS)})")
         return 0
-    return cmd_watch(base, args.interval, args.timeout)
+    return cmd_watch(base, args.interval, args.timeout, args.top)
 
 
 if __name__ == "__main__":

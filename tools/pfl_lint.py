@@ -96,6 +96,19 @@ no-raw-socket
     false-positive. Tests may open raw client sockets freely; the rule
     scans src/ only.
 
+no-raw-perf
+    The profiling subsystem (src/obs/prof/) is the ONLY place in src/
+    allowed to program the kernel's profiling interfaces: including
+    <linux/perf_event.h>, opening counters via perf_event_open (spelled
+    directly or as syscall(__NR_perf_event_open, ...)), and arming the
+    SIGPROF sampling timer with setitimer(ITIMER_PROF, ...) anywhere
+    else are flagged. Counter sessions and the signal-safety contract
+    (DESIGN.md "Continuous profiling") stay reviewable in one directory,
+    the way no-raw-socket pins network I/O to src/obs/httpd.cpp. The
+    tokens are distinctive enough that no include-gating is needed;
+    tests and tools may probe the syscall freely; the rule scans src/
+    only.
+
 Escape hatch
 ------------
     // pfl-lint: allow(rule) -- justification
@@ -122,6 +135,7 @@ RULES = {
     "one-based",
     "obs-instrument",
     "no-raw-socket",
+    "no-raw-perf",
     "no-naked-mutex",
     "lock-order",
 }
@@ -169,6 +183,24 @@ CAST_EXEMPT = {"src/numtheory/checked.hpp", "src/numtheory/bits.hpp"}
 
 # The one translation unit allowed to make socket(2)-family calls.
 SOCKET_EXEMPT = {"src/obs/httpd.cpp"}
+
+# The one directory allowed to program the kernel profiling interfaces
+# (perf_event_open counter groups, the SIGPROF sampling timer).
+PERF_EXEMPT_DIR = "src/obs/prof/"
+
+# Including the perf ABI header is itself the violation outside the
+# exempt directory, mirroring NETWORK_HEADER for no-raw-socket.
+PERF_HEADER = re.compile(r"#\s*include\s*<linux/perf_event\.h>")
+
+# The profiling-interface tokens themselves. perf_event_open has no libc
+# wrapper, so both the direct spelling and the syscall number constant
+# are caught by the optional __NR_ prefix; ITIMER_PROF arms the SIGPROF
+# sampler. These names are distinctive enough that no include-gating is
+# needed (nothing in the codebase can collide with them).
+RAW_PERF_USE = re.compile(
+    r"\b(?:__NR_)?perf_event_open\b"
+    r"|\bsetitimer\s*\(\s*ITIMER_PROF\b"
+    r"|\bPERF_EVENT_IOC_\w+")
 
 # The one file allowed to touch std synchronization primitives: the
 # annotated wrappers themselves.
@@ -633,6 +665,25 @@ def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:
             "in one file", raw.strip()))
 
 
+def check_no_raw_perf(ft: FileText, out: list[Violation]) -> None:
+    if ft.rel.startswith(PERF_EXEMPT_DIR):
+        return
+    for ln, code in enumerate(ft.code_lines):
+        m = PERF_HEADER.search(code) or RAW_PERF_USE.search(code)
+        if not m:
+            continue
+        if allowed(ft, ln, "no-raw-perf"):
+            continue
+        raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
+        out.append(Violation(
+            ft.rel, ln + 1, "no-raw-perf",
+            f"profiling kernel interface `{m.group(0).rstrip('( ').strip()}` "
+            "outside src/obs/prof/ -- counter sessions and the SIGPROF "
+            "sampler are confined there so the capability-probe and "
+            "signal-safety contracts (DESIGN.md \"Continuous profiling\") "
+            "stay reviewable in one place", raw.strip()))
+
+
 def check_no_naked_mutex(ft: FileText, out: list[Violation]) -> None:
     if ft.rel in MUTEX_EXEMPT:
         return
@@ -818,6 +869,7 @@ def main(argv: list[str]) -> int:
         check_no_naked_cast(ft, violations)
         check_obs_instrument(ft, violations)
         check_no_raw_socket(ft, violations)
+        check_no_raw_perf(ft, violations)
         check_no_naked_mutex(ft, violations)
         collect_lock_order(ft, lock_edges, violations)
     check_lock_order_cycles(lock_edges, violations)

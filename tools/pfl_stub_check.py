@@ -415,8 +415,10 @@ def main(argv: list[str]) -> int:
             print(f"pfl_stub_check: {root} has no src/obs/ directory",
                   file=sys.stderr)
             return 2
+        # rglob: the obs layer nests subsystems (obs/prof/) whose headers
+        # carry the same real/stub split discipline.
         targets = [(p, p.relative_to(root).as_posix())
-                   for p in sorted(obs.glob("*.hpp"))]
+                   for p in sorted(obs.rglob("*.hpp"))]
     else:
         for a in args:
             p = Path(a)

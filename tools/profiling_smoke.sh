@@ -1,0 +1,113 @@
+#!/usr/bin/env sh
+# Profiling smoke: drive the continuous-profiling subsystem end to end
+# against a built tree, on ANY runner -- including perf-restricted CI
+# containers, which is the point.
+#
+#   tools/profiling_smoke.sh [build-dir] [obs-off-build-dir]
+#
+# Used by the CI profiling-smoke job. Three phases:
+#
+#   1. Degradation proof: bench_throughput with PFL_PROF_FORCE_DEGRADED=1
+#      must still run every case and must mark every case
+#      counters_unavailable in its JSON -- a restricted runner degrades,
+#      it never errors and never emits vacuous zeros as real numbers.
+#   2. Live profiled serving: obs_demo --serve --profile; obs_watch
+#      --check validates all six endpoints including the /profilez
+#      collapsed-stack grammar, and the demo's own exit report must show
+#      the sampler actually captured samples.
+#   3. (only when a second build dir is given) PFL_OBS=OFF proof: the
+#      SAME --profile command line against the OFF build must link,
+#      print the "--profile unavailable" fallback, and exit 0.
+#
+# Checks are structural, not timing-sensitive; sample COUNTS are only
+# required to be nonzero, never compared.
+set -eu
+
+build_dir="${1:-build-bench}"
+off_build_dir="${2:-}"
+
+bench="$build_dir/bench/bench_throughput"
+demo="$build_dir/examples/obs_demo"
+for exe in "$bench" "$demo"; do
+  if [ ! -x "$exe" ]; then
+    echo "profiling_smoke: $exe not built (bench preset with -DPFL_BUILD_EXAMPLES=ON)" >&2
+    exit 2
+  fi
+done
+
+work="$(mktemp -d)"
+demo_pid=""
+cleanup() {
+  [ -n "$demo_pid" ] && kill "$demo_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+wait_port() {
+  _i=0
+  while [ ! -s "$1" ]; do
+    _i=$((_i + 1))
+    if [ "$_i" -gt 100 ]; then
+      echo "profiling_smoke: $1 not written within 10s" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  cat "$1"
+}
+
+echo "== phase 1: forced-degraded counters still run and mark themselves"
+PFL_PROF_FORCE_DEGRADED=1 PFL_BENCH_OUT="$work/degraded.json" \
+    "$bench" --benchmark_min_time=1x > /dev/null 2>&1 \
+  || PFL_PROF_FORCE_DEGRADED=1 PFL_BENCH_OUT="$work/degraded.json" \
+    "$bench" --benchmark_min_time=0.01 > /dev/null 2>&1
+python3 - "$work/degraded.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cases = [b for b in doc.get("benchmarks", [])
+         if b.get("run_type") != "aggregate"]
+assert cases, "bench_throughput produced no benchmark cases"
+bad = [b["name"] for b in cases if "counters_unavailable" not in b]
+assert not bad, f"cases missing the counters_unavailable marker: {bad}"
+real = [b["name"] for b in cases if "ipc" in b or "cycles_per_item" in b]
+assert not real, f"forced-degraded run emitted real counters: {real}"
+print(f"   {len(cases)} cases ran degraded, all marked counters_unavailable")
+EOF
+
+echo
+echo "== phase 2: live /profilez while the profiled demo serves"
+"$demo" --serve --profile --duration-ms 8000 --wbc-steps 400 \
+    --port-file "$work/port" "$work/trace.json" > "$work/demo.log" 2>&1 &
+demo_pid=$!
+port="$(wait_port "$work/port")"
+python3 tools/obs_watch.py --port "$port" --check
+wait "$demo_pid"  # must exit 0 on its own
+demo_pid=""
+grep -q "sampling profiler armed" "$work/demo.log"
+python3 - "$work/demo.log" <<'EOF'
+import re, sys
+log = open(sys.argv[1]).read()
+m = re.search(r"profiler: (\d+) samples captured, (\d+) dropped", log)
+assert m, f"no profiler exit report in the demo log:\n{log}"
+assert int(m.group(1)) > 0, "profiler armed but captured zero samples"
+print(f"   {m.group(1)} samples captured, {m.group(2)} dropped")
+EOF
+python3 tools/trace_report.py --check "$work/trace.json"
+
+if [ -n "$off_build_dir" ]; then
+  off_demo="$off_build_dir/examples/obs_demo"
+  if [ ! -x "$off_demo" ]; then
+    echo "profiling_smoke: $off_demo not built" >&2
+    exit 2
+  fi
+  echo
+  echo "== phase 3: PFL_OBS=OFF build still accepts --profile (and declines)"
+  "$off_demo" --profile --duration-ms 0 "$work/t_off.json" \
+      > "$work/demo_off.log" 2>&1
+  grep -q -- "--profile unavailable" "$work/demo_off.log"
+  python3 tools/trace_report.py --check "$work/t_off.json"
+  echo "   OFF build links, runs, and degrades to the no-profiler path"
+fi
+
+echo
+echo "profiling_smoke: OK"

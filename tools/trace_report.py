@@ -17,6 +17,11 @@ Validation rules:
     ts/dur non-negative numbers, pid/tid integers
   * the event list is sorted by ts (the exporter guarantees it)
   * when "otherData"."schema" is present it must be "pfl-trace/1"
+  * counted spans (PFL_OBS_SPAN_COUNTED with counters available) carry
+    an "args" object: cycles/instructions/llc_misses non-negative
+    integers, ipc a non-negative number consistent with
+    instructions/cycles; the summary then adds per-span cycle and IPC
+    columns
 
 Exit status: 0 valid, 1 invalid, 2 usage/IO error.
 """
@@ -67,7 +72,33 @@ def validate(doc: object) -> list[dict]:
         if prev_ts is not None and ts < prev_ts:
             fail(f"{where}: ts {ts} out of order (previous {prev_ts})")
         prev_ts = ts
+        if "args" in ev:
+            validate_counter_args(where, ev["args"])
     return events
+
+
+def validate_counter_args(where: str, args: object) -> None:
+    """Per-span hardware counter attribution (trace.hpp counted spans)."""
+    if not isinstance(args, dict):
+        fail(f"{where}: args is not an object")
+    for key in ("cycles", "instructions", "llc_misses"):
+        v = args.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}: args.{key} must be a non-negative integer, "
+                 f"got {v!r}")
+    ipc = args.get("ipc")
+    if ipc is not None:
+        if not isinstance(ipc, (int, float)) or isinstance(ipc, bool) \
+                or ipc < 0:
+            fail(f"{where}: args.ipc must be a non-negative number, "
+                 f"got {ipc!r}")
+        cycles, instructions = args["cycles"], args["instructions"]
+        if cycles == 0:
+            fail(f"{where}: args.ipc present with zero cycles")
+        # The exporter truncates to milli-units: recompute within one.
+        elif abs(instructions / cycles - ipc) > 0.0015:
+            fail(f"{where}: args.ipc {ipc} inconsistent with "
+                 f"{instructions} instructions / {cycles} cycles")
 
 
 def summarize(events: list[dict]) -> None:
@@ -75,23 +106,37 @@ def summarize(events: list[dict]) -> None:
         print("trace_report: valid, 0 events")
         return
     by_name: dict[str, list[float]] = defaultdict(list)
+    cycles_by_name: dict[str, int] = defaultdict(int)
+    instructions_by_name: dict[str, int] = defaultdict(int)
     tids = set()
     for ev in events:
         by_name[ev["name"]].append(float(ev["dur"]))
         tids.add(ev["tid"])
+        args = ev.get("args", {})
+        cycles_by_name[ev["name"]] += args.get("cycles", 0)
+        instructions_by_name[ev["name"]] += args.get("instructions", 0)
     span_us = max(float(e["ts"]) + float(e["dur"]) for e in events)
+    counted = any(cycles_by_name.values())
     print(f"trace_report: valid, {len(events)} events, "
           f"{len(by_name)} span names, {len(tids)} threads, "
           f"{span_us / 1000.0:.3f} ms wall span")
     header = f"{'span':<28} {'count':>8} {'total_ms':>10} " \
              f"{'mean_us':>10} {'max_us':>10}"
+    if counted:
+        header += f" {'Mcycles':>10} {'ipc':>6}"
     print(header)
     print("-" * len(header))
     for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
         durs = by_name[name]
         total = sum(durs)
-        print(f"{name:<28} {len(durs):>8} {total / 1000.0:>10.3f} "
-              f"{total / len(durs):>10.3f} {max(durs):>10.3f}")
+        row = f"{name:<28} {len(durs):>8} {total / 1000.0:>10.3f} " \
+              f"{total / len(durs):>10.3f} {max(durs):>10.3f}"
+        if counted:
+            cyc = cycles_by_name[name]
+            row += f" {cyc / 1e6:>10.2f}" if cyc else f" {'-':>10}"
+            row += (f" {instructions_by_name[name] / cyc:>6.2f}"
+                    if cyc else f" {'-':>6}")
+        print(row)
 
 
 def main(argv: list[str]) -> int:
