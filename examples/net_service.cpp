@@ -1,0 +1,321 @@
+// The networked WBC task service, end to end (see DESIGN.md "Networked
+// task service"): a poll()-based server fronting wbc::FrontEnd over the
+// CRC-64-framed wire protocol, a multi-threaded volunteer load driver,
+// and the socket-level chaos proxy that proves attribution survives a
+// hostile wire. Three modes:
+//
+//   $ net_service serve [--port N] [--port-file F] [--obs-port-file F]
+//                       [--duration-ms N]
+//       Run a service (plus the loopback telemetry httpd when the obs
+//       layer is compiled in) until the duration elapses.
+//
+//   $ net_service drive --port P [--volunteers N] [--threads N]
+//                       [--tasks N]
+//       Hammer a running service with simulated volunteers; print the
+//       load report. Exit 0 iff every credited exchange succeeded.
+//
+//   $ net_service chaos [--tasks N] [--seed S] [--obs-port-file F]
+//                       [--linger-ms N]
+//       Self-contained acceptance run: in-process service, chaos proxy
+//       injecting >= 5% wire faults, volunteer threads recording every
+//       (volunteer, task) credit. Exit 0 iff the workload completes
+//       with ZERO misattributions and exactly-once storage. With
+//       --obs-port-file, the port file is written only AFTER the
+//       verdict is in, then the telemetry server lingers so a script
+//       can assert the pfl_net_* counters (tools/net_chaos_smoke.sh).
+//
+// No arguments runs a small chaos acceptance pass (the ctest smoke).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apf/tsharp.hpp"
+#include "numtheory/checked.hpp"
+#include "net/chaos_proxy.hpp"
+#include "net/client.hpp"
+#include "net/task_service.hpp"
+#include "net/wire.hpp"
+#include "obs/httpd.hpp"
+
+namespace {
+
+using namespace pfl;
+
+struct Options {
+  std::string mode = "chaos";
+  int port = 0;
+  const char* port_file = nullptr;
+  const char* obs_port_file = nullptr;
+  int duration_ms = 60000;
+  int linger_ms = 0;
+  std::size_t volunteers = 64;
+  std::size_t threads = 4;
+  std::uint64_t tasks = 500;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: net_service [serve|drive|chaos] [--port N] "
+               "[--port-file F] [--obs-port-file F] [--duration-ms N] "
+               "[--linger-ms N] [--volunteers N] [--threads N] "
+               "[--tasks N] [--seed S]\n");
+  return 2;
+}
+
+bool write_port_file(const char* path, std::uint16_t port) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  return true;
+}
+
+void print_service_stats(const net::TaskServiceStats& s) {
+  std::printf("server: accepted=%llu shed=%llu evicted=%llu rx=%llu "
+              "rejected=%llu crc=%llu\n",
+              static_cast<unsigned long long>(s.connections_accepted),
+              static_cast<unsigned long long>(s.connections_shed),
+              static_cast<unsigned long long>(s.connections_evicted),
+              static_cast<unsigned long long>(s.frames_received),
+              static_cast<unsigned long long>(s.frames_rejected),
+              static_cast<unsigned long long>(s.crc_rejects));
+}
+
+int run_serve(const Options& opt) {
+  net::TaskServiceConfig config;
+  config.port = static_cast<std::uint16_t>(opt.port);
+  net::TaskService service(std::make_shared<apf::TSharpApf>(),
+                           wbc::AssignmentPolicy::kFirstFree, config);
+  if (!service.start()) {
+    std::fprintf(stderr, "net_service: could not bind 127.0.0.1:%d\n",
+                 opt.port);
+    return 1;
+  }
+  std::printf("task service on 127.0.0.1:%u\n",
+              static_cast<unsigned>(service.port()));
+  if (opt.port_file && !write_port_file(opt.port_file, service.port())) {
+    std::fprintf(stderr, "net_service: cannot write %s\n", opt.port_file);
+    return 1;
+  }
+
+  obs::HttpServer telemetry;  // ephemeral port; stub under PFL_OBS=OFF
+  if (opt.obs_port_file) {
+    if (!telemetry.start()) {
+      std::fprintf(stderr,
+                   "net_service: telemetry server unavailable "
+                   "(PFL_OBS=OFF build?)\n");
+      return 1;
+    }
+    std::printf("telemetry on 127.0.0.1:%u\n",
+                static_cast<unsigned>(telemetry.port()));
+    if (!write_port_file(opt.obs_port_file, telemetry.port())) return 1;
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  service.stop();
+  telemetry.stop();
+  print_service_stats(service.stats());
+  return 0;
+}
+
+int run_drive(const Options& opt) {
+  if (opt.port <= 0) {
+    std::fprintf(stderr, "net_service drive: --port is required\n");
+    return 2;
+  }
+  net::LoadConfig load;
+  load.port = static_cast<std::uint16_t>(opt.port);
+  load.volunteers = opt.volunteers;
+  load.threads = opt.threads;
+  load.tasks_target = opt.tasks;
+  load.seed = opt.seed;
+  const net::LoadReport report = net::run_load(load);
+  std::printf("credited=%llu requests=%llu retries=%llu reconnects=%llu "
+              "rejections=%llu failed=%llu\n",
+              static_cast<unsigned long long>(report.credited),
+              static_cast<unsigned long long>(report.requests),
+              static_cast<unsigned long long>(report.retries),
+              static_cast<unsigned long long>(report.reconnects),
+              static_cast<unsigned long long>(report.typed_rejections),
+              static_cast<unsigned long long>(report.failed_calls));
+  std::printf("%.0f requests/s, p50 %.3f ms, p99 %.3f ms over %.2f s\n",
+              report.requests_per_second, report.p50_ms, report.p99_ms,
+              report.elapsed_s);
+  return report.failed_calls == 0 && report.credited >= opt.tasks ? 0 : 1;
+}
+
+int run_chaos(const Options& opt) {
+  std::printf("== chaos acceptance: %llu tasks through a faulted wire ==\n",
+              static_cast<unsigned long long>(opt.tasks));
+
+  net::TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  config.io_deadline_ms = 500;
+  wbc::LeaseConfig leases;
+  leases.base_deadline_ticks = 50;  // 500 ms: orphaned leases recycle fast
+  net::TaskService service(std::make_shared<apf::TSharpApf>(),
+                           wbc::AssignmentPolicy::kFirstFree, config, leases);
+  if (!service.start()) return 1;
+
+  obs::HttpServer telemetry;
+  if (opt.obs_port_file && !telemetry.start()) {
+    std::fprintf(stderr, "net_service: telemetry server unavailable\n");
+    return 1;
+  }
+
+  // The fault plan from tests/net/chaos_test.cpp: ~12% of chunks take a
+  // hit (>= the 5% acceptance bar), every kind of hit represented.
+  net::WireFaultPlan plan;
+  plan.seed = opt.seed;
+  plan.corrupt_prob = 0.05;
+  plan.drop_prob = 0.02;
+  plan.delay_prob = 0.03;
+  plan.truncate_prob = 0.01;
+  plan.disconnect_prob = 0.01;
+  plan.delay_ms = 5;
+  net::ChaosProxy proxy(service.port(), plan);
+  if (!proxy.start()) return 1;
+
+  // Volunteer threads record exactly which identity earned which task;
+  // the audit below replays that log against the server's inverse map.
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kSessionsPerThread = 4;
+  net::RetryPolicy retry;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 20;
+  std::atomic<std::uint64_t> credited{0};
+  std::mutex log_m;
+  std::vector<std::pair<wbc::VolunteerId, wbc::TaskIndex>> completions;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      net::NetClient client;
+      std::vector<std::unique_ptr<net::VolunteerSession>> sessions;
+      for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+        net::RetryPolicy seeded = retry;
+        seeded.seed = opt.seed + 100 * t + s;
+        sessions.push_back(std::make_unique<net::VolunteerSession>(
+            client, proxy.port(), 1000 * (t + 1) + s, 1000, seeded, 500));
+        if (!sessions.back()->join()) return;
+      }
+      std::size_t turn = 0;
+      while (credited.load(std::memory_order_relaxed) < opt.tasks) {
+        net::VolunteerSession& session = *sessions[turn++ % sessions.size()];
+        wbc::TaskAssignment task;
+        std::uint64_t lease_ms = 0;
+        if (!session.fetch_task(task, lease_ms)) continue;
+        // kSuperseded (someone else already finished a re-leased orphan)
+        // returns false: that task is simply not ours to log.
+        if (!session.submit(task.task, net::task_checksum(task.task)))
+          continue;
+        credited.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(log_m);
+        completions.emplace_back(session.id(), task.task);
+      }
+      for (auto& session : sessions) session->leave();
+    });
+  for (std::thread& th : pool) th.join();
+
+  proxy.stop();
+  service.stop();
+  const net::ChaosProxyStats chaos = proxy.stats();
+  std::printf("proxy: forwarded=%llu faults=%llu (corrupt=%llu drop=%llu "
+              "delay=%llu truncate=%llu disconnect=%llu)\n",
+              static_cast<unsigned long long>(chaos.chunks_forwarded),
+              static_cast<unsigned long long>(chaos.faults()),
+              static_cast<unsigned long long>(chaos.chunks_corrupted),
+              static_cast<unsigned long long>(chaos.chunks_dropped),
+              static_cast<unsigned long long>(chaos.chunks_delayed),
+              static_cast<unsigned long long>(chaos.chunks_truncated),
+              static_cast<unsigned long long>(chaos.disconnects));
+  print_service_stats(service.stats());
+
+  // The acceptance claims. (1) The workload completed despite the
+  // faults; (2) exactly-once storage: one stored result per distinct
+  // credited task; (3) ZERO misattributions: the server's inverse map
+  // names the volunteer that actually computed every task, and every
+  // stored value audits clean.
+  wbc::FrontEnd& fe = service.frontend();
+  std::uint64_t misattributions = 0;
+  std::set<wbc::TaskIndex> distinct;
+  for (const auto& [volunteer, task] : completions) {
+    distinct.insert(task);
+    const wbc::AuditOutcome outcome = fe.audit(task, net::task_checksum(task));
+    if (!outcome.correct || outcome.volunteer != volunteer ||
+        fe.volunteer_of_task(task) != volunteer)
+      ++misattributions;
+  }
+  const bool complete = credited.load() >= opt.tasks;
+  const bool exactly_once =
+      fe.server().total_results() == nt::to_index(distinct.size());
+  std::printf("credited=%llu distinct=%llu stored=%llu "
+              "misattributions=%llu\n",
+              static_cast<unsigned long long>(credited.load()),
+              static_cast<unsigned long long>(distinct.size()),
+              static_cast<unsigned long long>(fe.server().total_results()),
+              static_cast<unsigned long long>(misattributions));
+
+  const bool ok = complete && exactly_once && misattributions == 0;
+  std::printf("%s\n", ok ? "CHAOS ACCEPTANCE: OK"
+                         : "CHAOS ACCEPTANCE: FAILED");
+
+  // Signal the verdict-complete counters to the smoke script, then
+  // linger so it can probe the telemetry endpoints. The flush matters:
+  // the script may SIGTERM us mid-linger, and it greps this output.
+  std::fflush(stdout);
+  if (opt.obs_port_file) {
+    if (!write_port_file(opt.obs_port_file, telemetry.port())) return 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.linger_ms));
+  }
+  telemetry.stop();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') opt.mode = argv[i++];
+  for (; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v;
+    if (std::strcmp(arg, "--port") == 0 && (v = next()))
+      opt.port = std::atoi(v);
+    else if (std::strcmp(arg, "--port-file") == 0 && (v = next()))
+      opt.port_file = v;
+    else if (std::strcmp(arg, "--obs-port-file") == 0 && (v = next()))
+      opt.obs_port_file = v;
+    else if (std::strcmp(arg, "--duration-ms") == 0 && (v = next()))
+      opt.duration_ms = std::atoi(v);
+    else if (std::strcmp(arg, "--linger-ms") == 0 && (v = next()))
+      opt.linger_ms = std::atoi(v);
+    else if (std::strcmp(arg, "--volunteers") == 0 && (v = next()))
+      opt.volunteers = static_cast<std::size_t>(std::atoll(v));
+    else if (std::strcmp(arg, "--threads") == 0 && (v = next()))
+      opt.threads = static_cast<std::size_t>(std::atoll(v));
+    else if (std::strcmp(arg, "--tasks") == 0 && (v = next()))
+      opt.tasks = static_cast<std::uint64_t>(std::atoll(v));
+    else if (std::strcmp(arg, "--seed") == 0 && (v = next()))
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    else
+      return usage();
+  }
+  if (opt.mode == "serve") return run_serve(opt);
+  if (opt.mode == "drive") return run_drive(opt);
+  if (opt.mode == "chaos") return run_chaos(opt);
+  return usage();
+}

@@ -1,0 +1,291 @@
+// Chaos proxy relay loop. See net/chaos_proxy.hpp for the fault model.
+#include "net/chaos_proxy.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace pfl::net {
+
+namespace {
+
+constexpr int kPollMs = 5;
+constexpr std::size_t kChunkBytes = 4096;
+
+/// One chunk waiting to be forwarded (FIFO per direction; a delayed
+/// chunk holds everything behind it, preserving byte order).
+struct Pending {
+  std::string bytes;
+  std::size_t off = 0;
+  std::int64_t release_ms = 0;
+};
+
+/// One relayed connection: a = downstream (client), b = upstream
+/// (service), with a queue per direction.
+struct Relay {
+  int a = -1;
+  int b = -1;
+  std::deque<Pending> a2b;
+  std::deque<Pending> b2a;
+  bool dead = false;
+  bool kill_when_flushed = false;  ///< truncation: forward, then cut
+};
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  // Relay I/O is multiplexed; only the connect above blocks (loopback,
+  // effectively instant).
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(std::uint16_t upstream_port, WireFaultPlan plan)
+    : upstream_port_(upstream_port), plan_(plan) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+bool ChaosProxy::start() {
+  par::LockGuard lock(state_m_);
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) return true;
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(0);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void ChaosProxy::stop() {
+  par::LockGuard lock(state_m_);
+  if (listen_fd_.load(std::memory_order_acquire) < 0) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  port_.store(0, std::memory_order_release);
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  ChaosProxyStats s;
+  s.chunks_forwarded = chunks_forwarded_.load(std::memory_order_relaxed);
+  s.chunks_delayed = chunks_delayed_.load(std::memory_order_relaxed);
+  s.chunks_dropped = chunks_dropped_.load(std::memory_order_relaxed);
+  s.chunks_corrupted = chunks_corrupted_.load(std::memory_order_relaxed);
+  s.chunks_truncated = chunks_truncated_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ChaosProxy::run_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto epoch = Clock::now();
+  const auto now_ms = [&epoch] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 epoch)
+        .count();
+  };
+  std::mt19937_64 rng(plan_.seed);
+  std::uniform_real_distribution<double> roll(0.0, 1.0);
+
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  std::vector<Relay> relays;
+  std::vector<pollfd> pfds;
+
+  /// Applies the fault plan to one freshly read chunk headed for `out`.
+  /// Returns false when the relay must die (disconnect / after-truncate).
+  const auto inject = [&](Relay& r, std::deque<Pending>& out,
+                          std::string chunk, std::int64_t now) -> bool {
+    if (roll(rng) < plan_.disconnect_prob) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      r.dead = true;
+      return false;
+    }
+    if (roll(rng) < plan_.truncate_prob && chunk.size() > 1) {
+      chunks_truncated_.fetch_add(1, std::memory_order_relaxed);
+      chunk.resize(chunk.size() / 2);
+      out.push_back({std::move(chunk), 0, now});
+      r.kill_when_flushed = true;
+      return false;
+    }
+    if (roll(rng) < plan_.drop_prob) {
+      chunks_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::int64_t release = now;
+    if (roll(rng) < plan_.corrupt_prob) {
+      chunks_corrupted_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t pos = static_cast<std::size_t>(rng() % chunk.size());
+      const auto mask = static_cast<unsigned char>(1u << (rng() % 8));
+      chunk[pos] = static_cast<char>(
+          static_cast<unsigned char>(chunk[pos]) ^ mask);
+    }
+    if (roll(rng) < plan_.delay_prob) {
+      chunks_delayed_.fetch_add(1, std::memory_order_relaxed);
+      release = now + plan_.delay_ms;
+    }
+    chunks_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    out.push_back({std::move(chunk), 0, release});
+    return true;
+  };
+
+  /// Reads everything available from `src` into `out`, fault-injected.
+  /// Returns false on EOF/error (relay dies).
+  const auto pump_in = [&](Relay& r, int src, std::deque<Pending>& out,
+                           std::int64_t now) -> bool {
+    char buf[kChunkBytes];
+    for (;;) {
+      const ssize_t n = ::recv(src, buf, sizeof(buf), 0);
+      if (n > 0) {
+        if (!inject(r, out, std::string(buf, static_cast<std::size_t>(n)),
+                    now))
+          return false;
+        if (r.kill_when_flushed) return true;  // stop reading; cut pending
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;  // EOF or hard error
+    }
+  };
+
+  /// Flushes due chunks from `q` into `dst`.
+  const auto pump_out = [&](std::deque<Pending>& q, int dst,
+                            std::int64_t now) {
+    while (!q.empty() && q.front().release_ms <= now) {
+      Pending& p = q.front();
+      const ssize_t n = ::send(dst, p.bytes.data() + p.off,
+                               p.bytes.size() - p.off, MSG_NOSIGNAL);
+      if (n <= 0) break;  // EAGAIN or peer gone; retry / die next sweep
+      p.off += static_cast<std::size_t>(n);
+      if (p.off == p.bytes.size()) q.pop_front();
+    }
+  };
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({listen_fd, POLLIN, 0});
+    const std::int64_t build_now = now_ms();
+    for (const Relay& r : relays) {
+      short a_ev = r.kill_when_flushed ? 0 : POLLIN;
+      short b_ev = r.kill_when_flushed ? 0 : POLLIN;
+      if (!r.b2a.empty() && r.b2a.front().release_ms <= build_now)
+        a_ev = static_cast<short>(a_ev | POLLOUT);
+      if (!r.a2b.empty() && r.a2b.front().release_ms <= build_now)
+        b_ev = static_cast<short>(b_ev | POLLOUT);
+      pfds.push_back({r.a, a_ev, 0});
+      pfds.push_back({r.b, b_ev, 0});
+    }
+    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), kPollMs) < 0)
+      continue;
+    const std::int64_t now = now_ms();
+    const std::size_t polled = relays.size();
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int a = ::accept4(listen_fd, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (a < 0) break;
+        const int b = connect_loopback(upstream_port_);
+        if (b < 0) {
+          ::close(a);
+          continue;
+        }
+        Relay r;
+        r.a = a;
+        r.b = b;
+        relays.push_back(std::move(r));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Relay& r = relays[i];
+      if (r.dead) continue;
+      const short a_re = pfds[1 + 2 * i].revents;
+      const short b_re = pfds[2 + 2 * i].revents;
+      if (((a_re | b_re) & (POLLERR | POLLNVAL)) != 0) {
+        r.dead = true;
+        continue;
+      }
+      if (!r.kill_when_flushed) {
+        if ((a_re & (POLLIN | POLLHUP)) != 0 &&
+            !pump_in(r, r.a, r.a2b, now)) {
+          r.dead = true;
+          continue;
+        }
+        if (!r.kill_when_flushed && (b_re & (POLLIN | POLLHUP)) != 0 &&
+            !pump_in(r, r.b, r.b2a, now)) {
+          r.dead = true;
+          continue;
+        }
+      }
+      pump_out(r.a2b, r.b, now);
+      pump_out(r.b2a, r.a, now);
+      if (r.kill_when_flushed && r.a2b.empty() && r.b2a.empty())
+        r.dead = true;
+    }
+
+    for (std::size_t i = 0; i < relays.size();) {
+      if (relays[i].dead) {
+        ::close(relays[i].a);
+        ::close(relays[i].b);
+        relays[i] = std::move(relays.back());
+        relays.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  for (Relay& r : relays) {
+    ::close(r.a);
+    ::close(r.b);
+  }
+}
+
+}  // namespace pfl::net

@@ -1,0 +1,103 @@
+// Socket-level chaos: a loopback TCP proxy that sits between the load
+// driver and the task service and injects seeded faults into the byte
+// stream -- delay, drop, single-byte corruption, truncation, and
+// mid-frame disconnect. This is the network sibling of the in-process
+// FaultPlan in wbc/simulation.hpp: where that layer breaks VOLUNTEERS,
+// this one breaks the WIRE, and the equivalence tests prove the protocol
+// (CRC framing + deadlines + lease-backed idempotent retry) absorbs it
+// with attribution intact.
+//
+// Faults are rolled per forwarded CHUNK (one recv's worth) from a seeded
+// PRNG, so a given plan replays identically:
+//   * delay:      the chunk is held for delay_ms before forwarding
+//                 (reorders nothing -- the queue stays FIFO -- but
+//                 stretches exchanges across client/server deadlines);
+//   * drop:       the chunk vanishes; the receiver sees a hole and the
+//                 next chunk fails CRC or the caller times out;
+//   * corrupt:    one byte at a seeded offset is XOR-flipped -- MUST be
+//                 caught by the frame CRC, never accepted;
+//   * truncate:   half the chunk is forwarded, then BOTH directions are
+//                 closed (a mid-frame cut);
+//   * disconnect: both directions closed immediately.
+//
+// Lives in src/net/, the lint-sanctioned networking layer
+// (`no-raw-socket`). Loopback only, like everything else here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/thread_safety.hpp"
+
+namespace pfl::net {
+
+/// Per-chunk fault probabilities (each in [0, 1], rolled independently
+/// in the order disconnect, truncate, drop, corrupt, delay -- the first
+/// hit wins). All zero = a faithful transparent proxy.
+struct WireFaultPlan {
+  std::uint64_t seed = 1;
+  double disconnect_prob = 0.0;
+  double truncate_prob = 0.0;
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double delay_prob = 0.0;
+  int delay_ms = 20;
+};
+
+/// What the proxy did, for asserting injection actually happened.
+struct ChaosProxyStats {
+  std::uint64_t chunks_forwarded = 0;
+  std::uint64_t chunks_delayed = 0;
+  std::uint64_t chunks_dropped = 0;
+  std::uint64_t chunks_corrupted = 0;
+  std::uint64_t chunks_truncated = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t faults() const {
+    return chunks_delayed + chunks_dropped + chunks_corrupted +
+           chunks_truncated + disconnects;
+  }
+};
+
+class ChaosProxy {
+ public:
+  /// Proxies 127.0.0.1:<port()> -> 127.0.0.1:<upstream_port>.
+  ChaosProxy(std::uint16_t upstream_port, WireFaultPlan plan);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds an ephemeral loopback port and spawns the relay thread.
+  bool start();
+  /// Closes every relayed connection and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const {
+    return listen_fd_.load(std::memory_order_acquire) >= 0;
+  }
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  ChaosProxyStats stats() const;
+
+ private:
+  void run_loop();
+
+  std::uint16_t upstream_port_;
+  WireFaultPlan plan_;
+
+  par::Mutex state_m_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_ PFL_GUARDED_BY(state_m_);
+
+  std::atomic<std::uint64_t> chunks_forwarded_{0};
+  std::atomic<std::uint64_t> chunks_delayed_{0};
+  std::atomic<std::uint64_t> chunks_dropped_{0};
+  std::atomic<std::uint64_t> chunks_corrupted_{0};
+  std::atomic<std::uint64_t> chunks_truncated_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+};
+
+}  // namespace pfl::net

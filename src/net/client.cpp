@@ -1,0 +1,357 @@
+// Framed RPC client, retrying volunteer session, and the multi-threaded
+// load driver. See net/client.hpp for the retry discipline.
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "numtheory/checked.hpp"
+
+namespace pfl::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return left > 60000 ? 60000 : static_cast<int>(left);
+}
+
+}  // namespace
+
+NetClient::~NetClient() { disconnect(); }
+
+void NetClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_ = FrameReader{};
+}
+
+bool NetClient::connect_to(std::uint16_t port, int io_deadline_ms) {
+  disconnect();
+  io_deadline_ms_ = io_deadline_ms;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::poll(&pfd, 1, io_deadline_ms_) != 1 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool NetClient::call(const std::string& request, Frame& response) {
+  if (fd_ < 0) return false;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(io_deadline_ms_);
+  const auto fail = [this] {
+    disconnect();
+    return false;
+  };
+
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd_, request.data() + off, request.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int left = remaining_ms(deadline);
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (left <= 0 || ::poll(&pfd, 1, left) != 1) return fail();
+      continue;
+    }
+    return fail();
+  }
+
+  for (;;) {
+    const DecodeStatus status = reader_.take(response);
+    if (status == DecodeStatus::kFrame) return true;
+    // A damaged response (CRC or framing) is a transport failure: the
+    // stream has no trustworthy frame boundary left.
+    if (status != DecodeStatus::kNeedMore) return fail();
+    const int left = remaining_ms(deadline);
+    pollfd pfd{fd_, POLLIN, 0};
+    if (left <= 0 || ::poll(&pfd, 1, left) != 1) return fail();
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return fail();
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+VolunteerSession::VolunteerSession(NetClient& client, std::uint16_t port,
+                                   wbc::VolunteerId id,
+                                   std::uint64_t speed_milli,
+                                   RetryPolicy policy, int io_deadline_ms)
+    : port_(port), id_(id), speed_milli_(speed_milli), policy_(policy),
+      io_deadline_ms_(io_deadline_ms), client_(client),
+      rng_(policy.seed ^ id) {}
+
+void VolunteerSession::backoff_sleep(std::size_t attempt,
+                                     std::uint64_t floor_ms) {
+  const std::size_t shift = attempt < 8 ? attempt : 8;
+  std::uint64_t base = policy_.base_backoff_ms << shift;
+  if (base > policy_.max_backoff_ms) base = policy_.max_backoff_ms;
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  auto ms = static_cast<std::uint64_t>(static_cast<double>(base) *
+                                       jitter(rng_));
+  // Honor the server's retry_after hint, but never let a (possibly
+  // hostile) hint park us for more than a second.
+  const std::uint64_t hint = floor_ms > 1000 ? 1000 : floor_ms;
+  if (ms < hint) ms = hint;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool VolunteerSession::call_with_retry(const std::string& request,
+                                       MsgType expect, Frame& response,
+                                       bool auto_rejoin) {
+  ++stats_.requests;
+  for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (!client_.connected()) {
+      if (!client_.connect_to(port_, io_deadline_ms_)) {
+        backoff_sleep(attempt, 0);
+        continue;
+      }
+      ++stats_.reconnects;
+    }
+    Frame resp;
+    if (!client_.call(request, resp)) {
+      backoff_sleep(attempt, 0);
+      continue;
+    }
+    if (resp.type == MsgType::kReject) {
+      ++stats_.typed_rejections;
+      const auto code = static_cast<RejectCode>(resp.word(0));
+      if (code == RejectCode::kOverloaded || code == RejectCode::kDraining ||
+          code == RejectCode::kQuarantined) {
+        backoff_sleep(attempt, resp.word(1));
+        continue;
+      }
+      if (code == RejectCode::kUnknownVolunteer && auto_rejoin) {
+        // Server lost us (restart, or our join never landed): register
+        // again, then retry the original request.
+        ++stats_.rejoins;
+        Frame joined;
+        if (!call_with_retry(encode_join(id_, speed_milli_), MsgType::kJoined,
+                             joined, false))
+          return false;
+        continue;
+      }
+      return false;  // kBanned / kBadRequest: permanent
+    }
+    if (resp.type != expect) {
+      // Well-framed but out-of-protocol: drop the stream and retry.
+      client_.disconnect();
+      backoff_sleep(attempt, 0);
+      continue;
+    }
+    response = resp;
+    return true;
+  }
+  return false;
+}
+
+bool VolunteerSession::join() {
+  Frame resp;
+  return call_with_retry(encode_join(id_, speed_milli_), MsgType::kJoined,
+                         resp, false);
+}
+
+bool VolunteerSession::fetch_task(wbc::TaskAssignment& task,
+                                  std::uint64_t& lease_ms) {
+  Frame resp;
+  if (!call_with_retry(encode_get_task(id_), MsgType::kTask, resp, true))
+    return false;
+  task.task = resp.word(0);
+  task.row = resp.word(1);
+  task.sequence = resp.word(2);
+  lease_ms = resp.word(3);
+  return true;
+}
+
+bool VolunteerSession::submit(wbc::TaskIndex task, wbc::Result value,
+                              wbc::SubmitStatus* status) {
+  Frame resp;
+  if (!call_with_retry(encode_submit(id_, task, value, stats_.retries),
+                       MsgType::kSubmitAck, resp, true))
+    return false;
+  const auto verdict = static_cast<wbc::SubmitStatus>(resp.word(0));
+  if (status != nullptr) *status = verdict;
+  // kDuplicate is the idempotent-retry outcome: our earlier attempt was
+  // stored and only the ack got lost. Credit exactly once.
+  return submit_accepted(verdict) || verdict == wbc::SubmitStatus::kDuplicate;
+}
+
+bool VolunteerSession::heartbeat(index_t& renewed) {
+  Frame resp;
+  if (!call_with_retry(encode_heartbeat(id_), MsgType::kHeartbeatAck, resp,
+                       true))
+    return false;
+  renewed = resp.word(0);
+  return true;
+}
+
+void VolunteerSession::leave() {
+  Frame resp;
+  call_with_retry(encode_leave(id_), MsgType::kLeft, resp, false);
+}
+
+namespace {
+
+/// Per-thread slice of the load run, merged after join.
+struct WorkerTally {
+  std::uint64_t credited = 0;
+  std::uint64_t failed_calls = 0;
+  std::vector<std::uint64_t> latencies_ns;
+  SessionStats sessions{};  // summed over the thread's sessions
+};
+
+void accumulate(SessionStats& into, const SessionStats& s) {
+  into.requests += s.requests;
+  into.retries += s.retries;
+  into.reconnects += s.reconnects;
+  into.typed_rejections += s.typed_rejections;
+  into.rejoins += s.rejoins;
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadConfig& config) {
+  const std::size_t threads =
+      config.threads == 0 ? 1 : std::min(config.threads, config.volunteers);
+  std::atomic<index_t> credited{0};
+  std::vector<WorkerTally> tallies(threads);
+  const auto t0 = Clock::now();
+
+  const auto worker = [&](std::size_t t) {
+    WorkerTally& tally = tallies[t];
+    NetClient client;  // all of this thread's volunteers share one socket
+    std::vector<std::unique_ptr<VolunteerSession>> sessions;
+    for (std::size_t v = t; v < config.volunteers; v += threads) {
+      const wbc::VolunteerId id = nt::to_index(v + 1);
+      RetryPolicy policy = config.retry;
+      policy.seed = config.seed * 0x100000001B3ull + id;
+      auto session = std::make_unique<VolunteerSession>(
+          client, config.port, id, 500 + (id * 37) % 1500, policy,
+          config.io_deadline_ms);
+      if (session->join()) sessions.push_back(std::move(session));
+    }
+    const auto timed = [&](const auto& fn) {
+      const auto start = Clock::now();
+      const bool ok = fn();
+      tally.latencies_ns.push_back(nt::to_index(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count()));
+      if (!ok) ++tally.failed_calls;
+      return ok;
+    };
+    std::uint64_t fetched = 0;
+    std::size_t consecutive_failures = 0;
+    while (!sessions.empty() && consecutive_failures < 64 &&
+           credited.load(std::memory_order_relaxed) < config.tasks_target) {
+      for (auto& session : sessions) {
+        if (credited.load(std::memory_order_relaxed) >= config.tasks_target)
+          break;
+        wbc::TaskAssignment task;
+        std::uint64_t lease_ms = 0;
+        if (!timed([&] { return session->fetch_task(task, lease_ms); })) {
+          ++consecutive_failures;
+          continue;
+        }
+        const wbc::Result value = task_checksum(task.task);
+        if (timed([&] { return session->submit(task.task, value); })) {
+          consecutive_failures = 0;
+          ++tally.credited;
+          credited.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++consecutive_failures;
+        }
+        if (config.heartbeat_every != 0 &&
+            ++fetched % config.heartbeat_every == 0) {
+          index_t renewed = 0;
+          timed([&] { return session->heartbeat(renewed); });
+        }
+      }
+    }
+    for (auto& session : sessions) {
+      session->leave();
+      accumulate(tally.sessions, session->stats());
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& th : pool) th.join();
+
+  LoadReport report;
+  std::vector<std::uint64_t> latencies;
+  for (const WorkerTally& tally : tallies) {
+    report.credited += tally.credited;
+    report.failed_calls += tally.failed_calls;
+    report.requests += tally.sessions.requests;
+    report.retries += tally.sessions.retries;
+    report.reconnects += tally.sessions.reconnects;
+    report.typed_rejections += tally.sessions.typed_rejections;
+    latencies.insert(latencies.end(), tally.latencies_ns.begin(),
+                     tally.latencies_ns.end());
+  }
+  report.elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                t0)
+          .count();
+  if (report.elapsed_s > 0.0)
+    report.requests_per_second =
+        static_cast<double>(report.requests) / report.elapsed_s;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double q) {
+      std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(latencies.size() - 1));
+      return static_cast<double>(latencies[i]) / 1e6;
+    };
+    report.p50_ms = at(0.50);
+    report.p99_ms = at(0.99);
+  }
+  return report;
+}
+
+}  // namespace pfl::net

@@ -1,0 +1,171 @@
+// Client side of the networked WBC task service: a blocking framed RPC
+// client, a per-volunteer session with jittered-exponential-backoff
+// retry, and a multi-threaded load driver that simulates thousands of
+// concurrent volunteers.
+//
+// Retry discipline (the client half of the robustness contract in
+// net/task_service.hpp):
+//   * Any transport or framing failure -- connect refused, deadline,
+//     short read, CRC mismatch ON THE RESPONSE -- closes the connection;
+//     the session reconnects and retries after a jittered exponential
+//     backoff (seeded PRNG, so chaos runs are reproducible).
+//   * Typed kReject responses are obeyed, not fought: kOverloaded /
+//     kDraining / kQuarantined back off for at least the server's
+//     retry_after_ms hint; kUnknownVolunteer triggers a re-join (the
+//     server restarted or we never made it through join); kBanned and
+//     kBadRequest are permanent failures.
+//   * A retried submit-result is IDEMPOTENT end to end: if the first
+//     attempt landed but its ack was lost, the retry draws kDuplicate
+//     from the lease/duplicate semantics (PR4) and the session treats
+//     that as success -- the result was stored exactly once, attribution
+//     unchanged.
+//
+// Volunteer identity travels in every frame, so it is NOT bound to a
+// connection: many volunteers can multiplex one socket (how the load
+// driver reaches "thousands of volunteers" without thousands of fds),
+// and a volunteer that loses its socket mid-exchange just reconnects.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "wbc/types.hpp"
+
+namespace pfl::net {
+
+/// Jittered exponential backoff between retries: attempt k sleeps
+/// uniform(0.5, 1.5) * min(base << k, max) milliseconds, never less than
+/// the server's retry_after_ms hint when one was given.
+struct RetryPolicy {
+  std::uint64_t base_backoff_ms = 2;
+  std::uint64_t max_backoff_ms = 200;
+  std::size_t max_attempts = 64;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// One blocking framed connection to a service on 127.0.0.1. call() is
+/// strictly request/response; any failure (including a response that
+/// fails CRC verification client-side) closes the socket and returns
+/// false -- recovery is the session's job.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  bool connect_to(std::uint16_t port, int io_deadline_ms);
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request frame and blocks (bounded by the connect-time
+  /// deadline) for one verified response frame.
+  bool call(const std::string& request, Frame& response);
+
+ private:
+  int fd_ = -1;
+  int io_deadline_ms_ = 2000;
+  FrameReader reader_;
+};
+
+/// Cumulative per-session event counts (all monotone).
+struct SessionStats {
+  std::uint64_t requests = 0;         ///< RPCs attempted (first tries)
+  std::uint64_t retries = 0;          ///< extra attempts after failures
+  std::uint64_t reconnects = 0;       ///< sockets re-established
+  std::uint64_t typed_rejections = 0; ///< kReject frames received
+  std::uint64_t rejoins = 0;          ///< kUnknownVolunteer recoveries
+};
+
+/// One volunteer's view of the service. The NetClient is BORROWED, not
+/// owned: many sessions on one thread can multiplex a single socket
+/// (volunteer identity travels in every frame), which is how the load
+/// driver reaches thousands of volunteers without thousands of fds.
+/// Sessions sharing a client must live on the client's thread.
+class VolunteerSession {
+ public:
+  VolunteerSession(NetClient& client, std::uint16_t port,
+                   wbc::VolunteerId id, std::uint64_t speed_milli,
+                   RetryPolicy policy = {}, int io_deadline_ms = 2000);
+
+  wbc::VolunteerId id() const { return id_; }
+  const SessionStats& stats() const { return stats_; }
+
+  /// Registers (or re-registers -- idempotent) with the service.
+  /// Returns false only when retries are exhausted or the volunteer is
+  /// banned.
+  bool join();
+
+  /// Fetches the next task; fills `task` and the advertised lease
+  /// length. False on exhausted retries / permanent rejection.
+  bool fetch_task(wbc::TaskAssignment& task, std::uint64_t& lease_ms);
+
+  /// Submits a result, retrying idempotently. On success `status` (if
+  /// given) is the server's verdict -- kDuplicate after a lost ack still
+  /// returns true. False means the result was definitively not credited
+  /// to us (kNotHolder / kSuperseded / kBanned) or retries ran out.
+  bool submit(wbc::TaskIndex task, wbc::Result value,
+              wbc::SubmitStatus* status = nullptr);
+
+  /// Renews every lease this volunteer holds; `renewed` gets the count.
+  bool heartbeat(index_t& renewed);
+
+  /// Polite departure (best-effort; no retries beyond the policy).
+  void leave();
+
+  /// Abruptly drops the socket WITHOUT telling the server -- the
+  /// disconnect-equivalence tests use this to die mid-exchange.
+  void drop_connection() { client_.disconnect(); }
+
+ private:
+  /// One RPC with the full retry discipline. `expect` is the success
+  /// response type; anything else well-formed is a protocol error.
+  bool call_with_retry(const std::string& request, MsgType expect,
+                       Frame& response, bool auto_rejoin);
+  void backoff_sleep(std::size_t attempt, std::uint64_t floor_ms);
+
+  std::uint16_t port_;
+  wbc::VolunteerId id_;
+  std::uint64_t speed_milli_;
+  RetryPolicy policy_;
+  int io_deadline_ms_;
+  NetClient& client_;
+  std::mt19937_64 rng_;
+  SessionStats stats_;
+};
+
+/// Load-driver knobs: `volunteers` identities are multiplexed over
+/// `threads` worker threads (one socket each), hammering the service
+/// with join / get-task / submit / heartbeat until `tasks_target`
+/// results have been credited.
+struct LoadConfig {
+  std::uint16_t port = 0;
+  std::size_t volunteers = 64;
+  std::size_t threads = 4;
+  index_t tasks_target = 1000;
+  std::uint64_t heartbeat_every = 16;  ///< tasks between heartbeats
+  std::uint64_t seed = 1;
+  int io_deadline_ms = 2000;
+  RetryPolicy retry{};
+};
+
+struct LoadReport {
+  index_t credited = 0;            ///< accepted + accepted-late + duplicate
+  std::uint64_t requests = 0;      ///< all RPCs (first tries)
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t typed_rejections = 0;
+  std::uint64_t failed_calls = 0;  ///< RPCs abandoned after max_attempts
+  double elapsed_s = 0.0;
+  double requests_per_second = 0.0;
+  double p50_ms = 0.0;  ///< per-RPC latency percentiles (first tries
+  double p99_ms = 0.0;  ///< and retries both included)
+};
+
+LoadReport run_load(const LoadConfig& config);
+
+}  // namespace pfl::net

@@ -1,0 +1,425 @@
+// TaskService event loop -- see net/task_service.hpp for the robustness
+// contract this implements, and net/wire.hpp for the frame format.
+//
+// Everything socket-shaped lives in this translation unit and its
+// siblings under src/net/, the sanctioned networking layer for the
+// pfl_lint `no-raw-socket` rule.
+#include "net/task_service.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "numtheory/checked.hpp"
+#include "obs/metrics.hpp"
+
+namespace pfl::net {
+
+namespace {
+
+constexpr int kListenBacklog = 64;
+constexpr std::size_t kRecvChunk = 4096;
+/// Backpressure cap: once a connection has this much unflushed response
+/// data we stop decoding its requests until it drains.
+constexpr std::size_t kMaxPendingOutBytes = 1 << 16;
+/// Fairness cap: at most this many frames handled per connection per
+/// sweep, so one chatty client cannot starve the rest of the poll set.
+constexpr std::size_t kMaxFramesPerSweep = 64;
+
+/// One live client connection. `busy_since_ms` stamps the moment the
+/// connection entered a state where it owes us (a partial frame) or we
+/// owe it (unflushed output); it resets to 0 whenever both directions
+/// are clean. The eviction sweep enforces a WHOLE-EXCHANGE deadline
+/// against that stamp -- drip-feeding one byte per second (slow-loris)
+/// keeps making "progress" but still dies at io_deadline_ms.
+struct Conn {
+  int fd = -1;
+  FrameReader reader;
+  std::string out;
+  std::size_t out_off = 0;
+  std::int64_t busy_since_ms = 0;
+  bool closed = false;
+
+  std::size_t pending_out() const { return out.size() - out_off; }
+};
+
+/// Best-effort one-shot send for shed/drain rejections on a freshly
+/// accepted socket (whose send buffer is empty, so a ~40-byte frame
+/// cannot short-write in practice; if it somehow does, the close still
+/// tells the client something went wrong and it retries).
+void send_and_close(int fd, const std::string& bytes) {
+  (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ::close(fd);
+}
+
+}  // namespace
+
+TaskService::TaskService(apf::ApfPtr apf, wbc::AssignmentPolicy policy,
+                         TaskServiceConfig config,
+                         wbc::LeaseConfig lease_config)
+    : TaskService(
+          wbc::FrontEnd(std::move(apf), policy, config.ban_threshold,
+                        lease_config),
+          config) {}
+
+TaskService::TaskService(wbc::FrontEnd frontend, TaskServiceConfig config)
+    : config_(config), frontend_(std::move(frontend)) {
+  if (config_.max_connections == 0)
+    throw DomainError("TaskService: max_connections must be >= 1");
+  if (config_.io_deadline_ms <= 0 || config_.tick_interval_ms <= 0 ||
+      config_.drain_deadline_ms < 0)
+    throw DomainError("TaskService: deadlines must be positive");
+}
+
+TaskService::~TaskService() { stop(); }
+
+bool TaskService::start() {
+  par::LockGuard lock(state_m_);
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) return true;
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, kListenBacklog) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+  stop_requested_.store(false, std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  PFL_OBS_COUNTER("pfl_net_service_starts_total").add();
+  return true;
+}
+
+void TaskService::stop() {
+  par::LockGuard lock(state_m_);
+  if (listen_fd_.load(std::memory_order_acquire) < 0) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  port_.store(0, std::memory_order_release);
+}
+
+TaskServiceStats TaskService::stats() const {
+  TaskServiceStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.connections_evicted = connections_evicted_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  s.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
+  s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  s.drain_rejects = drain_rejects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+const wbc::FrontEnd& TaskService::frontend() const {
+  if (running())
+    throw DomainError(
+        "TaskService: frontend() requires a stopped service (the loop "
+        "thread owns it while running)");
+  return frontend_;
+}
+
+wbc::FrontEnd& TaskService::frontend() {
+  if (running())
+    throw DomainError(
+        "TaskService: frontend() requires a stopped service (the loop "
+        "thread owns it while running)");
+  return frontend_;
+}
+
+void TaskService::checkpoint(std::ostream& out) const {
+  frontend().checkpoint(out);
+}
+
+void TaskService::run_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto epoch = Clock::now();
+  const auto now_ms = [&epoch] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 epoch)
+        .count();
+  };
+  // Lease lengths travel on the wire in milliseconds: ticks * tick_ms.
+  const std::uint64_t tick_ms = nt::to_index(config_.tick_interval_ms);
+
+  /// Turns one verified request frame into one response frame. All
+  /// rejections are typed; DomainErrors from API misuse (a client
+  /// driving the protocol out of order) degrade to kBadRequest instead
+  /// of taking the loop down.
+  const auto handle = [&](const Frame& req) -> std::string {
+    PFL_OBS_COUNTER("pfl_net_requests_total").add();
+    const auto reject = [&](RejectCode code, std::uint64_t retry_ms) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      PFL_OBS_COUNTER("pfl_net_requests_rejected_total").add();
+      return encode_reject(code, retry_ms);
+    };
+    const wbc::VolunteerId v = req.word(0);
+    try {
+      switch (req.type) {
+        case MsgType::kJoin: {
+          if (frontend_.is_banned(v)) return reject(RejectCode::kBanned, 0);
+          if (frontend_.is_active(v))  // reconnect: re-join is idempotent
+            return encode_frame(MsgType::kJoined, {frontend_.row_of(v)});
+          const double speed =
+              static_cast<double>(req.word(1)) / 1000.0;
+          return encode_frame(MsgType::kJoined, {frontend_.arrive(v, speed)});
+        }
+        case MsgType::kLeave: {
+          if (frontend_.is_active(v)) frontend_.depart(v);
+          return encode_frame(MsgType::kLeft, {});
+        }
+        case MsgType::kGetTask: {
+          if (frontend_.is_banned(v)) return reject(RejectCode::kBanned, 0);
+          if (!frontend_.is_active(v))
+            return reject(RejectCode::kUnknownVolunteer, 0);
+          if (frontend_.is_quarantined(v))
+            return reject(RejectCode::kQuarantined,
+                          frontend_.leases().config().quarantine_ticks *
+                              tick_ms);
+          const wbc::TaskAssignment t = frontend_.request_task(v);
+          return encode_frame(
+              MsgType::kTask,
+              {t.task, t.row, t.sequence,
+               frontend_.leases().deadline_ticks(v) * tick_ms});
+        }
+        case MsgType::kSubmitResult: {
+          if (!frontend_.is_active(v))
+            return reject(RejectCode::kUnknownVolunteer, 0);
+          const wbc::SubmitStatus status =
+              frontend_.submit_result(v, req.word(1), req.word(2));
+          return encode_frame(MsgType::kSubmitAck,
+                              {static_cast<std::uint64_t>(status)});
+        }
+        case MsgType::kHeartbeat: {
+          if (!frontend_.is_active(v))
+            return reject(RejectCode::kUnknownVolunteer, 0);
+          return encode_frame(MsgType::kHeartbeatAck,
+                              {frontend_.heartbeat(v)});
+        }
+        default:
+          // Response-typed frames from a client are well-framed nonsense.
+          return reject(RejectCode::kBadRequest, 0);
+      }
+    } catch (const Error&) {
+      return reject(RejectCode::kBadRequest, 0);
+    }
+  };
+
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  std::vector<Conn> conns;
+  std::vector<pollfd> pfds;
+  index_t last_tick = 0;
+  bool draining = false;
+  std::int64_t drain_started = 0;
+
+  for (;;) {
+    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_started = now_ms();
+      PFL_OBS_COUNTER("pfl_net_drains_total").add();
+    }
+    if (draining) {
+      bool in_flight = false;
+      for (const Conn& c : conns)
+        if (!c.closed && (c.reader.buffered() > 0 || c.pending_out() > 0))
+          in_flight = true;
+      if (!in_flight ||
+          now_ms() - drain_started >= config_.drain_deadline_ms)
+        break;
+    }
+
+    // Lease clock: wall time quantized to tick_interval_ms.
+    const index_t tick = nt::to_index(now_ms()) / tick_ms;
+    if (tick > last_tick) {
+      frontend_.tick(tick);
+      last_tick = tick;
+    }
+
+    pfds.clear();
+    pfds.push_back({listen_fd, POLLIN, 0});
+    for (const Conn& c : conns) {
+      short events = POLLIN;
+      if (c.pending_out() > 0) events = static_cast<short>(events | POLLOUT);
+      pfds.push_back({c.fd, events, 0});
+    }
+    const int poll_ms =
+        config_.tick_interval_ms < 50 ? config_.tick_interval_ms : 50;
+    const int ready =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), poll_ms);
+    if (ready < 0) continue;  // EINTR
+    const std::int64_t now = now_ms();
+    // Connections accepted below were not in this poll set; they are
+    // served starting next sweep, so only iterate the polled prefix.
+    const std::size_t polled = conns.size();
+
+    // Accepts: shed over the cap (typed kOverloaded) and during drain
+    // (typed kDraining) -- a refused client always learns why.
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int conn_fd = ::accept4(listen_fd, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (conn_fd < 0) break;
+        if (draining) {
+          drain_rejects_.fetch_add(1, std::memory_order_relaxed);
+          requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+          PFL_OBS_COUNTER("pfl_net_requests_rejected_total").add();
+          send_and_close(conn_fd,
+                         encode_reject(RejectCode::kDraining,
+                                       nt::to_index(config_.drain_deadline_ms)));
+          continue;
+        }
+        if (conns.size() >= config_.max_connections) {
+          connections_shed_.fetch_add(1, std::memory_order_relaxed);
+          requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+          PFL_OBS_COUNTER("pfl_net_conns_shed_total").add();
+          PFL_OBS_COUNTER("pfl_net_requests_rejected_total").add();
+          send_and_close(
+              conn_fd,
+              encode_reject(RejectCode::kOverloaded, config_.retry_after_ms));
+          continue;
+        }
+        Conn c;
+        c.fd = conn_fd;
+        conns.push_back(std::move(c));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        PFL_OBS_COUNTER("pfl_net_conns_accepted_total").add();
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = conns[i];
+      const short revents = pfds[i + 1].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        c.closed = true;
+        continue;
+      }
+
+      if ((revents & (POLLIN | POLLHUP)) != 0) {
+        char buf[kRecvChunk];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            c.reader.feed(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) c.closed = true;  // peer finished; flush then close
+          break;  // EAGAIN, error, or orderly shutdown
+        }
+      }
+
+      // Decode and serve -- bounded per sweep, paused under backpressure.
+      Frame frame;
+      std::size_t served = 0;
+      while (served < kMaxFramesPerSweep &&
+             c.pending_out() < kMaxPendingOutBytes) {
+        const DecodeStatus status = c.reader.take(frame);
+        if (status == DecodeStatus::kNeedMore) break;
+        if (status != DecodeStatus::kFrame) {
+          // Hostile/corrupt frame: count, type, close. No resync exists
+          // after a framing error, so the connection is done; the client
+          // reconnects and retries idempotently.
+          frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+          PFL_OBS_COUNTER("pfl_net_frames_rejected_total").add();
+          if (status == DecodeStatus::kBadCrc) {
+            crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+            PFL_OBS_COUNTER("pfl_net_crc_rejects_total").add();
+          }
+          c.closed = true;
+          break;
+        }
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        PFL_OBS_COUNTER("pfl_net_frames_rx_total").add();
+        const auto t0 = Clock::now();
+        c.out += handle(frame);
+        PFL_OBS_HISTOGRAM("pfl_net_request_service_ns")
+            .record(nt::to_index(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count()));
+        PFL_OBS_COUNTER("pfl_net_frames_tx_total").add();
+        ++served;
+      }
+
+      // Flush whatever we can without blocking.
+      while (c.pending_out() > 0) {
+        const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                                 c.pending_out(), MSG_NOSIGNAL);
+        if (n <= 0) break;
+        c.out_off += static_cast<std::size_t>(n);
+      }
+      if (c.out_off == c.out.size() && c.out_off > 0) {
+        c.out.clear();
+        c.out_off = 0;
+      }
+
+      // Whole-exchange deadline: a connection that owes us the rest of a
+      // frame, or will not drain its responses, gets io_deadline_ms from
+      // the moment it entered that state -- NOT from its last byte, so a
+      // byte-per-second drip (slow-loris) is evicted on schedule. A quiet
+      // volunteer with clean buffers keeps its connection; volunteer
+      // liveness is the lease layer's business.
+      const bool busy = c.reader.buffered() > 0 || c.pending_out() > 0;
+      if (!busy) {
+        c.busy_since_ms = 0;
+      } else if (c.busy_since_ms == 0) {
+        c.busy_since_ms = now;
+      } else if (!c.closed &&
+                 now - c.busy_since_ms >= config_.io_deadline_ms) {
+        connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+        PFL_OBS_COUNTER("pfl_net_conns_evicted_total").add();
+        c.closed = true;
+      }
+    }
+
+    // Reap closed connections.
+    for (std::size_t i = 0; i < conns.size();) {
+      if (conns[i].closed) {
+        ::close(conns[i].fd);
+        conns[i] = std::move(conns.back());
+        conns.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    PFL_OBS_GAUGE("pfl_net_open_connections")
+        .set(static_cast<std::int64_t>(conns.size()));
+  }
+
+  for (Conn& c : conns) ::close(c.fd);
+  PFL_OBS_GAUGE("pfl_net_open_connections").set(0);
+}
+
+}  // namespace pfl::net

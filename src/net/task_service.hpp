@@ -1,0 +1,164 @@
+// Networked WBC task service: the poll()-based server loop that fronts a
+// wbc::FrontEnd over the framed wire protocol of net/wire.hpp.
+//
+// Architecture (generalized from obs/httpd.cpp, following the
+// serving-loop-over-a-CPU-bound-core shape ROADMAP cites): one listening
+// socket bound to 127.0.0.1 ONLY, one event-loop thread, non-blocking
+// connections multiplexed with poll(2). The FrontEnd -- deliberately
+// thread-unsafe, see wbc/frontend.hpp -- is owned by the loop thread
+// while the service runs; callers touch it only before start() or after
+// stop() returns (checkpoint/restore/inspection).
+//
+// Robustness contract:
+//   * Deadlines: a connection that stalls mid-frame (slow-loris) or
+//     stops draining its responses is EVICTED after `io_deadline_ms`
+//     without progress (pfl_net_conns_evicted_total). An idle connection
+//     with no partial frame and nothing to flush is fine -- liveness of
+//     the volunteer behind it is the lease layer's job, not TCP's.
+//   * Bounded queues, typed shedding: at most `max_connections` live
+//     connections; an accept over the cap is answered with a kReject
+//     kOverloaded frame carrying retry_after_ms, then closed -- never a
+//     silent drop (pfl_net_conns_shed_total). Per-connection output is
+//     capped too: a client that piles up requests faster than it reads
+//     answers stops being decoded until it drains (backpressure, not
+//     unbounded growth).
+//   * Hostile frames: any framing failure (bad magic/version/flags,
+//     oversize, CRC mismatch, lying length) poisons the connection --
+//     counted by type under pfl_net_frames_rejected_total and
+//     pfl_net_crc_rejects_total, then closed. After a framing error
+//     there is no trustworthy frame boundary left, so the client
+//     reconnects and retries; lease + duplicate semantics (PR4) make the
+//     retried submit idempotent.
+//   * Graceful drain: stop() flips the service into draining -- new
+//     connections get a typed kDraining reject, buffered requests finish,
+//     responses flush (bounded by drain_deadline_ms) -- then the loop
+//     exits and the quiesced FrontEnd can be checkpointed via
+//     wbc/checkpoint.cpp.
+//
+// Threat model: loopback only, like the telemetry httpd (DESIGN.md). The
+// CRC-64 frame digest is an INTEGRITY check against a hostile/unreliable
+// wire, not authentication; anything internet-facing needs a real
+// transport in front.
+//
+// src/net/ is a sanctioned networking layer for pfl_lint `no-raw-socket`
+// (the only one besides src/obs/httpd.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <thread>
+
+#include "core/thread_safety.hpp"
+#include "core/types.hpp"
+#include "wbc/frontend.hpp"
+
+namespace pfl::net {
+
+struct TaskServiceConfig {
+  /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port
+  /// (read the outcome from TaskService::port()).
+  std::uint16_t port = 0;
+  /// Live-connection cap; accepts beyond it are shed with a typed
+  /// kOverloaded reject carrying `retry_after_ms`.
+  std::size_t max_connections = 256;
+  /// Advertised back-off hint inside kOverloaded rejections.
+  std::uint64_t retry_after_ms = 100;
+  /// A connection with a partial frame or unflushed output that makes no
+  /// progress for this long is evicted.
+  int io_deadline_ms = 2000;
+  /// Wall-clock milliseconds per lease tick: the FrontEnd's lease clock
+  /// advances by 1 every `tick_interval_ms` of real time.
+  int tick_interval_ms = 50;
+  /// stop() lets in-flight requests finish and responses flush for at
+  /// most this long before closing everything.
+  int drain_deadline_ms = 2000;
+  /// Audit errors before a volunteer is banned (FrontEnd ban policy);
+  /// only used by the APF-constructing overload.
+  index_t ban_threshold = 3;
+};
+
+/// Monotonic event counts mirrored outside pfl::obs so tests (and OFF
+/// builds) can assert on them directly.
+struct TaskServiceStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_shed = 0;     ///< typed kOverloaded at accept
+  std::uint64_t connections_evicted = 0;  ///< deadline expiry (slow-loris)
+  std::uint64_t frames_received = 0;      ///< verified request frames
+  std::uint64_t frames_rejected = 0;      ///< all framing failures
+  std::uint64_t crc_rejects = 0;          ///< subset: CRC mismatches
+  std::uint64_t requests_rejected = 0;    ///< typed kReject responses sent
+  std::uint64_t drain_rejects = 0;        ///< subset: kDraining at accept
+};
+
+class TaskService {
+ public:
+  /// The service owns its FrontEnd. Build it fresh from an APF + config,
+  /// or adopt one restored from a checkpoint (wbc::FrontEnd::restore).
+  TaskService(apf::ApfPtr apf, wbc::AssignmentPolicy policy,
+              TaskServiceConfig config = {},
+              wbc::LeaseConfig lease_config = {});
+  TaskService(wbc::FrontEnd frontend, TaskServiceConfig config = {});
+  ~TaskService();
+
+  TaskService(const TaskService&) = delete;
+  TaskService& operator=(const TaskService&) = delete;
+
+  /// Binds 127.0.0.1 and spawns the event-loop thread. Returns false
+  /// (with no thread running) when the socket cannot be created or
+  /// bound. A second start() on a running server is a no-op returning
+  /// true.
+  bool start();
+
+  /// Graceful drain, then join: stop accepting, finish buffered
+  /// requests, flush responses (bounded by drain_deadline_ms), close
+  /// every connection, exit the loop. Idempotent; the destructor calls
+  /// it. After stop() returns the FrontEnd is quiescent.
+  void stop();
+
+  bool running() const {
+    return listen_fd_.load(std::memory_order_acquire) >= 0;
+  }
+
+  /// The bound port (the kernel's pick when config.port was 0);
+  /// 0 when the server is not running.
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  TaskServiceStats stats() const;
+
+  /// The quiesced FrontEnd, for inspection / audits / checkpointing.
+  /// Only callable while the service is stopped (throws Error
+  /// otherwise -- the loop thread owns the FrontEnd while running).
+  const wbc::FrontEnd& frontend() const;
+  wbc::FrontEnd& frontend();
+
+  /// Checkpoints the quiesced FrontEnd (stop() first; throws while
+  /// running). The snapshot is wbc/checkpoint.cpp's checksummed framing.
+  void checkpoint(std::ostream& out) const;
+
+ private:
+  void run_loop();
+
+  TaskServiceConfig config_;
+  wbc::FrontEnd frontend_;
+
+  /// Serializes start()/stop() (same discipline as obs::HttpServer: the
+  /// atomics stay atomic so running()/port() are lock-free and the loop
+  /// thread, which never takes state_m_, can poll stop_requested_).
+  par::Mutex state_m_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_ PFL_GUARDED_BY(state_m_);
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
+  std::atomic<std::uint64_t> connections_evicted_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+  std::atomic<std::uint64_t> crc_rejects_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> drain_rejects_{0};
+};
+
+}  // namespace pfl::net

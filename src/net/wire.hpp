@@ -1,0 +1,317 @@
+// Binary wire protocol for the networked WBC task service (DESIGN.md
+// "Networked task service").
+//
+// Every message travels as one FRAME: a fixed 20-byte header followed by
+// a payload of little-endian u64 words. The header carries everything a
+// receiver needs to refuse a damaged or hostile frame BEFORE acting on
+// any of it -- magic, version, a flags word that must be zero, a length
+// that is capped, and a CRC-64 (the same ECMA-182 polynomial as the
+// snapshot layer, storage/snapshot.hpp) over the whole frame:
+//
+//     offset  size  field
+//     0       4     magic "PFLW" (0x57 0x4C 0x46 0x50 on the wire, LE)
+//     4       1     version (kWireVersion)
+//     5       1     message type (MsgType)
+//     6       2     flags, must be 0 (reserved; nonzero is rejected)
+//     8       4     payload length in bytes, <= kMaxPayloadBytes
+//     12      8     crc64 over header (with this field zeroed) + payload
+//     20      N     payload: little-endian u64 words
+//
+// Receivers validate in this order: magic -> version -> flags -> length
+// cap -> (wait for the full payload) -> CRC -> per-type word count. A
+// frame failing any step is REJECTED, the failure is typed
+// (DecodeStatus), and the connection that carried it is poisoned --
+// after a framing error there is no reliable way to find the next frame
+// boundary, so both sides treat the stream as dead and the client
+// retries over a fresh connection. A single flipped bit anywhere in a
+// frame fails either a header check or the CRC; the chaos tests sweep
+// every byte position to prove it.
+//
+// This header is pure byte manipulation -- no sockets -- so it is usable
+// from any layer; the socket-speaking code lives in src/net/*.cpp, the
+// lint-sanctioned network layer (pfl_lint `no-raw-socket`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/snapshot.hpp"
+#include "wbc/types.hpp"
+
+namespace pfl::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x57464C50u;  // "PLFW" LE bytes
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Requests and responses are a handful of u64 words; anything bigger is
+/// hostile or corrupt. The cap also bounds per-connection buffer growth.
+inline constexpr std::size_t kMaxPayloadBytes = 256;
+inline constexpr std::size_t kMaxFrameBytes = kHeaderBytes + kMaxPayloadBytes;
+
+/// Message types. Requests (client -> server) and responses (server ->
+/// client) share one numbering; responses start at 64.
+enum class MsgType : std::uint8_t {
+  kJoin = 1,          ///< [volunteer, speed_milli] register / re-register
+  kLeave = 2,         ///< [volunteer] polite departure
+  kGetTask = 3,       ///< [volunteer]
+  kSubmitResult = 4,  ///< [volunteer, task, result, attempt]
+  kHeartbeat = 5,     ///< [volunteer] renew every lease the volunteer holds
+
+  kJoined = 64,       ///< [row]
+  kLeft = 65,         ///< []
+  kTask = 66,         ///< [task, row, sequence, lease_ms]
+  kSubmitAck = 67,    ///< [status (SubmitStatus)]
+  kHeartbeatAck = 68, ///< [renewed_leases]
+  kReject = 69,       ///< [code (RejectCode), retry_after_ms]
+};
+
+/// Typed rejection codes carried by kReject frames. Overload shedding and
+/// drain are explicit wire events -- the server never silently drops a
+/// request it read; a client seeing kOverloaded/kDraining backs off for
+/// `retry_after_ms` (plus its own jitter) and retries.
+enum class RejectCode : std::uint8_t {
+  kOverloaded = 1,       ///< connection/request budget exhausted; shed
+  kDraining = 2,         ///< graceful shutdown in progress
+  kQuarantined = 3,      ///< volunteer is serving a lease quarantine
+  kBanned = 4,           ///< volunteer banned by the audit layer
+  kUnknownVolunteer = 5, ///< operate-before-join (or server restarted)
+  kBadRequest = 6,       ///< well-framed but semantically invalid
+};
+
+constexpr const char* to_string(RejectCode code) {
+  switch (code) {
+    case RejectCode::kOverloaded: return "overloaded";
+    case RejectCode::kDraining: return "draining";
+    case RejectCode::kQuarantined: return "quarantined";
+    case RejectCode::kBanned: return "banned";
+    case RejectCode::kUnknownVolunteer: return "unknown-volunteer";
+    case RejectCode::kBadRequest: return "bad-request";
+  }
+  return "unknown";
+}
+
+/// One decoded frame: the type plus its payload words.
+struct Frame {
+  MsgType type = MsgType::kReject;
+  std::vector<std::uint64_t> words;
+
+  std::uint64_t word(std::size_t i) const {
+    return i < words.size() ? words[i] : 0;
+  }
+};
+
+/// Expected payload word count per type; ~0 for unknown types.
+inline constexpr std::size_t kUnknownType = ~std::size_t{0};
+
+constexpr std::size_t expected_words(MsgType type) {
+  switch (type) {
+    case MsgType::kJoin: return 2;
+    case MsgType::kLeave: return 1;
+    case MsgType::kGetTask: return 1;
+    case MsgType::kSubmitResult: return 4;
+    case MsgType::kHeartbeat: return 1;
+    case MsgType::kJoined: return 1;
+    case MsgType::kLeft: return 0;
+    case MsgType::kTask: return 4;
+    case MsgType::kSubmitAck: return 1;
+    case MsgType::kHeartbeatAck: return 1;
+    case MsgType::kReject: return 2;
+  }
+  return kUnknownType;
+}
+
+namespace detail {
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+inline std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+}  // namespace detail
+
+/// Serializes one frame. The CRC is computed over the header with the CRC
+/// field zeroed, continued over the payload, then patched in -- so the
+/// digest covers type, flags and length as well as the body.
+inline std::string encode_frame(MsgType type,
+                                const std::vector<std::uint64_t>& words) {
+  std::string out;
+  out.reserve(kHeaderBytes + 8 * words.size());
+  detail::put_u32(out, kWireMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');  // flags lo
+  out.push_back('\0');  // flags hi
+  detail::put_u32(out, static_cast<std::uint32_t>(8 * words.size()));
+  detail::put_u64(out, 0);  // crc placeholder
+  for (const std::uint64_t w : words) detail::put_u64(out, w);
+  const std::uint64_t crc = storage::crc64(out);
+  std::string patched;
+  detail::put_u64(patched, crc);
+  out.replace(12, 8, patched);
+  return out;
+}
+
+inline std::string encode_frame(const Frame& frame) {
+  return encode_frame(frame.type, frame.words);
+}
+
+/// Everything a receiver can conclude from the bytes seen so far.
+enum class DecodeStatus {
+  kNeedMore,    ///< no complete frame yet; feed more bytes
+  kFrame,       ///< a verified frame was produced
+  kBadMagic,    ///< stream is not speaking this protocol
+  kBadVersion,  ///< version skew; refuse rather than guess
+  kBadFlags,    ///< reserved bits set
+  kOversize,    ///< declared payload exceeds kMaxPayloadBytes
+  kBadCrc,      ///< header or payload corrupted in flight
+  kBadLength,   ///< CRC-valid but the word count lies for the type
+};
+
+constexpr const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadFlags: return "bad-flags";
+    case DecodeStatus::kOversize: return "oversize";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kBadLength: return "bad-length";
+  }
+  return "unknown";
+}
+
+/// Incremental frame parser: feed() whatever bytes arrived, then call
+/// take() until it stops returning kFrame. Any status other than
+/// kNeedMore/kFrame poisons the reader permanently -- after a framing
+/// error the stream has no trustworthy resynchronization point, so the
+/// owning connection must be closed (the caller counts and types the
+/// rejection; see task_service.cpp).
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  void feed(std::string_view data) { buf_.append(data); }
+
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Parses the next frame out of the buffer. Returns kFrame and fills
+  /// `frame` on success; kNeedMore when the buffer holds only a frame
+  /// prefix; a rejection status (and poisons the reader) on any damage.
+  DecodeStatus take(Frame& frame) {
+    if (poisoned_) return poison_status_;
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kHeaderBytes) {
+      compact();
+      return DecodeStatus::kNeedMore;
+    }
+    const char* h = buf_.data() + pos_;
+    if (detail::get_u32(h) != kWireMagic) return poison(DecodeStatus::kBadMagic);
+    if (static_cast<unsigned char>(h[4]) != kWireVersion)
+      return poison(DecodeStatus::kBadVersion);
+    if (h[6] != '\0' || h[7] != '\0') return poison(DecodeStatus::kBadFlags);
+    const std::uint32_t payload_len = detail::get_u32(h + 8);
+    if (payload_len > kMaxPayloadBytes || payload_len % 8 != 0)
+      return poison(DecodeStatus::kOversize);
+    if (avail < kHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
+
+    const std::uint64_t wire_crc = detail::get_u64(h + 12);
+    std::uint64_t crc = storage::crc64(std::string_view(h, 12));
+    crc = storage::crc64(std::string_view("\0\0\0\0\0\0\0\0", 8), crc);
+    crc = storage::crc64(
+        std::string_view(h + kHeaderBytes, payload_len), crc);
+    if (crc != wire_crc) return poison(DecodeStatus::kBadCrc);
+
+    const auto type = static_cast<MsgType>(static_cast<unsigned char>(h[5]));
+    const std::size_t want = expected_words(type);
+    if (want == kUnknownType || want != payload_len / 8)
+      return poison(DecodeStatus::kBadLength);
+
+    frame.type = type;
+    frame.words.clear();
+    for (std::size_t i = 0; i < want; ++i)
+      frame.words.push_back(detail::get_u64(h + kHeaderBytes + 8 * i));
+    pos_ += kHeaderBytes + payload_len;
+    compact();
+    return DecodeStatus::kFrame;
+  }
+
+ private:
+  DecodeStatus poison(DecodeStatus status) {
+    poisoned_ = true;
+    poison_status_ = status;
+    return status;
+  }
+
+  /// Drops consumed bytes once they dominate the buffer, keeping the
+  /// parser O(bytes) overall without repeated front-erases.
+  void compact() {
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  DecodeStatus poison_status_ = DecodeStatus::kNeedMore;
+};
+
+// --- request/response conveniences --------------------------------------
+
+inline std::string encode_join(wbc::VolunteerId v, std::uint64_t speed_milli) {
+  return encode_frame(MsgType::kJoin, {v, speed_milli});
+}
+inline std::string encode_leave(wbc::VolunteerId v) {
+  return encode_frame(MsgType::kLeave, {v});
+}
+inline std::string encode_get_task(wbc::VolunteerId v) {
+  return encode_frame(MsgType::kGetTask, {v});
+}
+inline std::string encode_submit(wbc::VolunteerId v, wbc::TaskIndex task,
+                                 wbc::Result value, std::uint64_t attempt) {
+  return encode_frame(MsgType::kSubmitResult, {v, task, value, attempt});
+}
+inline std::string encode_heartbeat(wbc::VolunteerId v) {
+  return encode_frame(MsgType::kHeartbeat, {v});
+}
+inline std::string encode_reject(RejectCode code,
+                                 std::uint64_t retry_after_ms) {
+  return encode_frame(MsgType::kReject,
+                      {static_cast<std::uint64_t>(code), retry_after_ms});
+}
+
+/// The deterministic volunteer computation the demo workload and the
+/// chaos tests share: result = CRC-64 of the task index's wire bytes.
+/// The server audits against the same function, so any accepted result
+/// that fails an audit is a protocol-level attribution bug, not noise.
+inline wbc::Result task_checksum(wbc::TaskIndex task) {
+  std::string bytes;
+  detail::put_u64(bytes, task);
+  return storage::crc64(bytes);
+}
+
+}  // namespace pfl::net

@@ -6,8 +6,11 @@
 // Shape: one listening socket bound to 127.0.0.1, one accept thread,
 // one request served per connection (Connection: close). The accept
 // loop polls with a short timeout so stop() never races a blocking
-// accept(2); per-connection receive is capped in both bytes (8 KiB) and
-// time (2 s) so a stuck client cannot wedge the exporter.
+// accept(2); per-connection receive is capped in both bytes
+// (max_request_bytes, typed 431 past it) and WALL-CLOCK time
+// (request_deadline_ms for the whole request, typed 408 past it) so
+// neither a stuck nor a drip-feeding (slow-loris) client can wedge the
+// exporter.
 #include "obs/httpd.hpp"
 
 #if PFL_OBS_ENABLED
@@ -16,10 +19,10 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -33,7 +36,6 @@ namespace pfl::obs {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 8192;
 constexpr int kListenBacklog = 16;
 constexpr int kPollIntervalMs = 100;
 
@@ -130,18 +132,37 @@ void HttpServer::accept_loop() {
 void HttpServer::handle_connection(int fd) const {
   PFL_OBS_COUNTER("pfl_obs_httpd_requests_total").add();
 
-  timeval timeout{};
-  timeout.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-
-  // Read until the end of the header block or the size cap; the body (if
-  // a client sends one) is ignored.
+  // Read until the end of the header block, bounded by a WHOLE-REQUEST
+  // wall-clock deadline (poll with the remaining budget before every
+  // recv) and a byte cap. Both limits answer with a typed status before
+  // closing -- never a silent drop. The body (if a client sends one) is
+  // ignored.
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_deadline_ms);
   std::string request;
   char buf[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() >= config_.max_request_bytes) {
+      PFL_OBS_COUNTER("pfl_obs_httpd_oversize_total").add();
+      send_all(fd, make_response(431, "Request Header Fields Too Large",
+                                 "text/plain; charset=utf-8",
+                                 "header block exceeds the size cap\n"));
+      return;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    pollfd pfd{fd, POLLIN, 0};
+    if (left <= 0 || ::poll(&pfd, 1, static_cast<int>(left)) != 1) {
+      PFL_OBS_COUNTER("pfl_obs_httpd_slow_evictions_total").add();
+      send_all(fd, make_response(408, "Request Timeout",
+                                 "text/plain; charset=utf-8",
+                                 "request deadline exceeded\n"));
+      return;
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // client went away; fall through to the parser
     request.append(buf, static_cast<std::size_t>(n));
   }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <thread>
 
@@ -44,6 +45,15 @@ struct HttpServerConfig {
   /// endpoint serves a valid empty series. Not owned; must outlive the
   /// server (stop() before destroying the sampler).
   Sampler* sampler = nullptr;
+  /// Whole-request wall-clock budget: a client that has not delivered a
+  /// complete header block this many milliseconds after connecting gets
+  /// 408 and is dropped. This bounds a slow-loris drip by TOTAL time --
+  /// the per-recv timeout it replaces reset on every byte, so one byte
+  /// every other second could hold the accept thread for hours.
+  int request_deadline_ms = 2000;
+  /// Header-block size cap; a request still unterminated at the cap gets
+  /// a typed 431 instead of a silent truncation.
+  std::size_t max_request_bytes = 8192;
 };
 
 #if PFL_OBS_ENABLED

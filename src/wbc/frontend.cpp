@@ -235,6 +235,16 @@ SubmitStatus FrontEnd::submit_result(VolunteerId id, TaskIndex task,
   return SubmitStatus::kAccepted;
 }
 
+index_t FrontEnd::heartbeat(VolunteerId id) {
+  if (active_.count(id) == 0)
+    throw DomainError("FrontEnd: volunteer " + std::to_string(id) +
+                      " is not active");
+  const index_t renewed = leases_.renew_all(id);
+  if (renewed != 0)
+    PFL_OBS_COUNTER("pfl_wbc_lease_renewals_total").add(renewed);
+  return renewed;
+}
+
 ExpirySweep FrontEnd::tick(index_t now) {
   ExpirySweep sweep = leases_.advance(now);
   for (const Lease& lease : sweep.expired) {

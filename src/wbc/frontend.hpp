@@ -91,6 +91,13 @@ class FrontEnd {
     return leases_.is_quarantined(id);
   }
 
+  /// Heartbeat-lease-renewal: an active volunteer proves liveness and
+  /// every lease it holds is re-granted from the current clock, exactly
+  /// as if the tasks had just been issued. Returns the number of leases
+  /// renewed (0 is fine -- an idle volunteer still heartbeats). Throws
+  /// DomainError for volunteers that are not active.
+  index_t heartbeat(VolunteerId id);
+
   /// Audits a returned task; attribution resolves through reissue records
   /// and row epochs to the volunteer accountable for the submitted value.
   AuditOutcome audit(TaskIndex task, Result truth);

@@ -97,6 +97,22 @@ class LeaseTable {
 
   void drop_task(TaskIndex task) { leases_.erase(task); }
 
+  /// Heartbeat support: re-grants every lease `v` currently holds from
+  /// the present clock (deadline = now + deadline_ticks(v)), as if each
+  /// task had just been issued. Returns how many leases were renewed.
+  /// Backoff state is untouched -- a heartbeat proves liveness, not
+  /// progress, so trust is still only re-earned by completions.
+  index_t renew_all(VolunteerId v) {
+    index_t renewed = 0;
+    const index_t deadline = saturating_add(now_, deadline_ticks(v));
+    for (auto& [task, lease] : leases_) {
+      if (lease.first != v) continue;
+      lease.second = deadline;
+      ++renewed;
+    }
+    return renewed;
+  }
+
   /// Departures and bans void every lease the volunteer holds (their
   /// tasks are recycled through the owner's own bookkeeping).
   void drop_volunteer(VolunteerId v) {

@@ -1,0 +1,358 @@
+// The proof layer for the networked task service: runs the SAME
+// deterministic workload over a clean wire and over a hostile one (the
+// seeded ChaosProxy injecting delay, drop, corruption, truncation and
+// mid-frame disconnects) and asserts crash/disconnect EQUIVALENCE --
+// the faulted run completes the identical task set, every stored value
+// audits clean (misattributions == 0), no result is stored twice, and
+// no corrupted frame was ever accepted (a corrupt submit that slipped
+// through would store a wrong value and fail its audit).
+#include "net/chaos_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "apf/tsharp.hpp"
+#include "net/client.hpp"
+#include "numtheory/checked.hpp"
+#include "net/task_service.hpp"
+#include "net/wire.hpp"
+
+namespace pfl::net {
+namespace {
+
+TaskServiceConfig service_config() {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  config.io_deadline_ms = 500;
+  return config;
+}
+
+/// Leases comfortably longer than one retried exchange (so healthy work
+/// never expires) but short enough that a task orphaned by a lost
+/// response recycles quickly instead of stalling the equivalence runs.
+wbc::LeaseConfig long_leases() {
+  wbc::LeaseConfig lease;
+  lease.base_deadline_ticks = 50;  // 500 ms at a 10 ms tick
+  return lease;
+}
+
+TaskService make_service() {
+  return TaskService(std::make_shared<apf::TSharpApf>(),
+                     wbc::AssignmentPolicy::kFirstFree, service_config(),
+                     long_leases());
+}
+
+RetryPolicy fast_retry() {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 20;
+  return policy;
+}
+
+/// True when every element of `required` is in `done`.
+bool covers(const std::set<wbc::TaskIndex>& done,
+            const std::set<wbc::TaskIndex>& required) {
+  for (const wbc::TaskIndex task : required)
+    if (done.count(task) == 0) return false;
+  return true;
+}
+
+/// Drives one volunteer until `target` distinct tasks are credited --
+/// and, when `require` is given, until every task in it is completed.
+/// Returns the set of completed task indices. `port` may be the
+/// service's own port or a chaos proxy in front of it.
+///
+/// The `require` loop is what makes the equivalence claim honest: under
+/// faults a get-task RESPONSE can be lost after the server issued (and
+/// leased) the task, so at a pure credit-count cutoff the orphan might
+/// still sit in the recycle queue while the client worked further down
+/// the stream. Driving until the reference set is covered proves every
+/// lost task was re-leased and finished, not quietly abandoned.
+std::set<wbc::TaskIndex> complete_workload(
+    std::uint16_t port, wbc::VolunteerId id, std::size_t target,
+    SessionStats* stats_out = nullptr,
+    const std::set<wbc::TaskIndex>* require = nullptr) {
+  NetClient client;
+  VolunteerSession session(client, port, id, 1000, fast_retry(),
+                           /*io_deadline_ms=*/250);
+  EXPECT_TRUE(session.join());
+  std::set<wbc::TaskIndex> done;
+  // Generous attempt budget: chaos makes individual RPCs fail, but the
+  // retry discipline must converge well before this runs out.
+  for (int guard = 0;
+       (done.size() < target ||
+        (require != nullptr && !covers(done, *require))) &&
+       guard < 10000;
+       ++guard) {
+    wbc::TaskAssignment task;
+    std::uint64_t lease_ms = 0;
+    if (!session.fetch_task(task, lease_ms)) continue;
+    if (session.submit(task.task, task_checksum(task.task)))
+      done.insert(task.task);
+  }
+  EXPECT_GE(done.size(), target);
+  session.leave();
+  if (stats_out != nullptr) *stats_out = session.stats();
+  return done;
+}
+
+/// Audits every task in `done` against the deterministic workload:
+/// returns the number of misattributed or wrong-valued results.
+std::size_t misattributions(wbc::FrontEnd& fe,
+                            const std::set<wbc::TaskIndex>& done,
+                            wbc::VolunteerId id) {
+  std::size_t bad = 0;
+  for (const wbc::TaskIndex task : done) {
+    if (fe.volunteer_of_task(task) != id) ++bad;
+    const wbc::AuditOutcome outcome = fe.audit(task, task_checksum(task));
+    if (!outcome.correct || outcome.volunteer != id) ++bad;
+  }
+  return bad;
+}
+
+TEST(ChaosEquivalenceTest, TransparentProxyChangesNothing) {
+  auto direct = make_service();
+  ASSERT_TRUE(direct.start());
+  const std::set<wbc::TaskIndex> clean =
+      complete_workload(direct.port(), 7, 100);
+  direct.stop();
+
+  auto proxied = make_service();
+  ASSERT_TRUE(proxied.start());
+  ChaosProxy proxy(proxied.port(), WireFaultPlan{});  // all-zero plan
+  ASSERT_TRUE(proxy.start());
+  const std::set<wbc::TaskIndex> via_proxy =
+      complete_workload(proxy.port(), 7, 100);
+  proxy.stop();
+  proxied.stop();
+
+  EXPECT_EQ(via_proxy, clean);
+  EXPECT_GT(proxy.stats().chunks_forwarded, 0ull);
+  EXPECT_EQ(proxy.stats().faults(), 0ull);
+  EXPECT_EQ(proxied.stats().frames_rejected, 0ull);
+  EXPECT_EQ(misattributions(proxied.frontend(), via_proxy, 7), 0u);
+}
+
+TEST(ChaosEquivalenceTest, FaultedRunCompletesTheSameWorkload) {
+  constexpr std::size_t kTasks = 150;
+  constexpr wbc::VolunteerId kVolunteer = 7;
+
+  // Reference: the same workload over an undamaged wire.
+  auto reference = make_service();
+  ASSERT_TRUE(reference.start());
+  const std::set<wbc::TaskIndex> clean =
+      complete_workload(reference.port(), kVolunteer, kTasks);
+  reference.stop();
+  ASSERT_EQ(clean.size(), kTasks);
+
+  // Faulted: every chunk rolls against a ~12% combined fault rate
+  // (comfortably past the 5% floor the acceptance bar sets).
+  WireFaultPlan plan;
+  plan.seed = 0xC0FFEE;
+  plan.corrupt_prob = 0.05;
+  plan.drop_prob = 0.02;
+  plan.delay_prob = 0.03;
+  plan.truncate_prob = 0.01;
+  plan.disconnect_prob = 0.01;
+  plan.delay_ms = 5;
+
+  auto faulted = make_service();
+  ASSERT_TRUE(faulted.start());
+  ChaosProxy proxy(faulted.port(), plan);
+  ASSERT_TRUE(proxy.start());
+  SessionStats session_stats;
+  const std::set<wbc::TaskIndex> survived = complete_workload(
+      proxy.port(), kVolunteer, kTasks, &session_stats, &clean);
+  proxy.stop();
+  faulted.stop();
+
+  // Equivalence: every task of the reference workload completed despite
+  // the hostile wire -- every lost task was re-leased and finished.
+  EXPECT_TRUE(covers(survived, clean));
+  // Faults can push the run past the reference prefix (a lost get-task
+  // response leaves its orphan leased while the client works on), but
+  // boundedly: the overshoot is re-leased work, not runaway drift.
+  EXPECT_LE(survived.size(), 2 * kTasks);
+  wbc::FrontEnd& fe = faulted.frontend();
+  EXPECT_EQ(misattributions(fe, survived, kVolunteer), 0u);
+  // Exactly one stored result per completed task: lost acks were
+  // re-submitted and absorbed as kDuplicate, never double-credited.
+  EXPECT_EQ(fe.server().total_results(), nt::to_index(survived.size()));
+  EXPECT_EQ(fe.leases().active_leases(), 0ull);
+
+  // The chaos actually happened, and the protocol visibly absorbed it.
+  const ChaosProxyStats chaos = proxy.stats();
+  EXPECT_GT(chaos.faults(), 0ull);
+  EXPECT_GT(chaos.chunks_corrupted, 0ull);
+  const TaskServiceStats stats = faulted.stats();
+  // Corruption lands on both directions; across hundreds of chunks some
+  // must have hit client->server frames and died at the server's CRC,
+  // and the client must have visibly retried through the rest.
+  EXPECT_GT(stats.frames_rejected + session_stats.retries, 0ull);
+  EXPECT_GT(session_stats.retries + session_stats.reconnects, 0ull);
+}
+
+TEST(ChaosDisconnectTest, MidExchangeDisconnectRetriesIdempotently) {
+  auto service = make_service();
+  ASSERT_TRUE(service.start());
+  NetClient client;
+  VolunteerSession session(client, service.port(), 3, 1000, fast_retry());
+  ASSERT_TRUE(session.join());
+
+  wbc::TaskAssignment task;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(session.fetch_task(task, lease_ms));
+
+  // The socket dies between fetch and submit; the session reconnects
+  // transparently and the result lands exactly once.
+  session.drop_connection();
+  wbc::SubmitStatus status = wbc::SubmitStatus::kNeverIssued;
+  ASSERT_TRUE(session.submit(task.task, task_checksum(task.task), &status));
+  EXPECT_TRUE(submit_accepted(status));
+  EXPECT_GE(session.stats().reconnects, 2ull);
+
+  // A retransmit of the same submit (the lost-ack shape) is absorbed as
+  // kDuplicate -- success for the client, a no-op for the server.
+  session.drop_connection();
+  ASSERT_TRUE(session.submit(task.task, task_checksum(task.task), &status));
+  EXPECT_EQ(status, wbc::SubmitStatus::kDuplicate);
+
+  service.stop();
+  EXPECT_EQ(service.frontend().server().total_results(), 1ull);
+  EXPECT_EQ(service.frontend().volunteer_of_task(task.task), 3ull);
+}
+
+TEST(ChaosDisconnectTest, LostClientsLeaseIsReissuedToAnotherVolunteer) {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  wbc::LeaseConfig lease;
+  lease.base_deadline_ticks = 10;  // 100 ms leases: expiry is quick
+  TaskService service(std::make_shared<apf::TSharpApf>(),
+                      wbc::AssignmentPolicy::kFirstFree, config, lease);
+  ASSERT_TRUE(service.start());
+
+  NetClient dying_client;
+  VolunteerSession dying(dying_client, service.port(), 1, 1000, fast_retry());
+  ASSERT_TRUE(dying.join());
+  wbc::TaskAssignment orphaned;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(dying.fetch_task(orphaned, lease_ms));
+  EXPECT_EQ(lease_ms, 100ull);
+  dying.drop_connection();  // vanishes without leave(); the lease must die
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // The recycle queue is drained first, so the orphaned task is the very
+  // next assignment another volunteer receives.
+  NetClient rescuer_client;
+  VolunteerSession rescuer(rescuer_client, service.port(), 2, 1000,
+                           fast_retry());
+  ASSERT_TRUE(rescuer.join());
+  wbc::TaskAssignment rescued;
+  ASSERT_TRUE(rescuer.fetch_task(rescued, lease_ms));
+  EXPECT_EQ(rescued.task, orphaned.task);
+  ASSERT_TRUE(rescuer.submit(rescued.task, task_checksum(rescued.task)));
+
+  // The dead volunteer's late result is refused; attribution stays with
+  // the volunteer whose value the server stored.
+  wbc::SubmitStatus late = wbc::SubmitStatus::kAccepted;
+  EXPECT_FALSE(dying.submit(orphaned.task, task_checksum(orphaned.task),
+                            &late));
+  EXPECT_EQ(late, wbc::SubmitStatus::kSuperseded);
+
+  service.stop();
+  EXPECT_EQ(service.frontend().server().total_results(), 1ull);
+  EXPECT_EQ(service.frontend().volunteer_of_task(orphaned.task), 2ull);
+  EXPECT_GE(service.frontend().leases_expired(), 1ull);
+}
+
+TEST(ChaosDisconnectTest, ServerRestartFromCheckpointMatchesUninterrupted) {
+  constexpr std::size_t kTasks = 60;
+  constexpr wbc::VolunteerId kVolunteer = 11;
+
+  // Reference: one uninterrupted run.
+  auto uninterrupted = make_service();
+  ASSERT_TRUE(uninterrupted.start());
+  const std::set<wbc::TaskIndex> clean =
+      complete_workload(uninterrupted.port(), kVolunteer, kTasks);
+  uninterrupted.stop();
+
+  // Interrupted: half the workload, a checkpointed shutdown, a restart
+  // from the snapshot, then the rest.
+  auto before = make_service();
+  ASSERT_TRUE(before.start());
+  std::set<wbc::TaskIndex> done =
+      complete_workload(before.port(), kVolunteer, kTasks / 2);
+  before.stop();
+  std::stringstream snapshot;
+  before.checkpoint(snapshot);
+
+  TaskService after(
+      wbc::FrontEnd::restore(snapshot, std::make_shared<apf::TSharpApf>()),
+      service_config());
+  ASSERT_TRUE(after.start());
+  {
+    NetClient client;
+    VolunteerSession session(client, after.port(), kVolunteer, 1000,
+                             fast_retry());
+    // The first fetch re-registers through the kUnknownVolunteer path
+    // (the half-run departed politely); rows and sequence numbers come
+    // out of the snapshot, so the task stream resumes exactly where the
+    // interrupted run left it.
+    for (int guard = 0; done.size() < kTasks && guard < 1000; ++guard) {
+      wbc::TaskAssignment task;
+      std::uint64_t lease_ms = 0;
+      if (!session.fetch_task(task, lease_ms)) continue;
+      if (session.submit(task.task, task_checksum(task.task)))
+        done.insert(task.task);
+    }
+    session.leave();
+  }
+  after.stop();
+
+  // End state equals the run that never died.
+  EXPECT_EQ(done, clean);
+  EXPECT_EQ(misattributions(after.frontend(), done, kVolunteer), 0u);
+  EXPECT_EQ(after.frontend().server().total_results(), nt::to_index(kTasks));
+}
+
+TEST(ChaosDisconnectTest, ServerStateLossTriggersRejoinNotConfusion) {
+  auto first_life = make_service();
+  ASSERT_TRUE(first_life.start());
+  {
+    NetClient client;
+    VolunteerSession session(client, first_life.port(), 21, 1000,
+                             fast_retry());
+    ASSERT_TRUE(session.join());
+    wbc::TaskAssignment task;
+    std::uint64_t lease_ms = 0;
+    ASSERT_TRUE(session.fetch_task(task, lease_ms));
+    ASSERT_TRUE(session.submit(task.task, task_checksum(task.task)));
+  }
+  first_life.stop();
+
+  // The replacement server never heard of volunteer 21: its first fetch
+  // draws a typed kUnknownVolunteer, and the session recovers by
+  // re-joining -- no crash, no misattribution, no manual intervention.
+  auto second_life = make_service();
+  ASSERT_TRUE(second_life.start());
+  NetClient client;
+  VolunteerSession session(client, second_life.port(), 21, 1000,
+                           fast_retry());
+  wbc::TaskAssignment task;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(session.fetch_task(task, lease_ms));
+  ASSERT_TRUE(session.submit(task.task, task_checksum(task.task)));
+  EXPECT_GE(session.stats().rejoins, 1ull);
+  second_life.stop();
+  EXPECT_EQ(second_life.frontend().volunteer_of_task(task.task), 21ull);
+}
+
+}  // namespace
+}  // namespace pfl::net

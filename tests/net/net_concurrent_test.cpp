@@ -1,0 +1,136 @@
+// Multi-threaded client load against one TaskService -- the suite name
+// carries "Concurrent" so the tsan preset (CMakePresets.json test
+// filter) picks it up. The load driver multiplexes many volunteer
+// identities over a few sockets, exactly as the CLI harness does.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apf/tsharp.hpp"
+#include "numtheory/checked.hpp"
+#include "net/client.hpp"
+#include "net/task_service.hpp"
+#include "net/wire.hpp"
+
+namespace pfl::net {
+namespace {
+
+TaskService make_service(TaskServiceConfig config = {}) {
+  return TaskService(std::make_shared<apf::TSharpApf>(),
+                     wbc::AssignmentPolicy::kFirstFree, config);
+}
+
+TEST(NetConcurrentTest, LoadDriverCompletesWorkloadAcrossThreads) {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+
+  LoadConfig load;
+  load.port = service.port();
+  load.volunteers = 24;
+  load.threads = 4;
+  load.tasks_target = 200;
+  load.heartbeat_every = 8;
+  const LoadReport report = run_load(load);
+
+  EXPECT_GE(report.credited, 200ull);
+  EXPECT_EQ(report.failed_calls, 0ull);
+  // Every credit is one fetch + one submit, plus joins and heartbeats.
+  EXPECT_GE(report.requests, 2 * report.credited);
+  EXPECT_GT(report.requests_per_second, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+
+  service.stop();
+  const wbc::FrontEnd& fe = service.frontend();
+  EXPECT_GE(fe.server().total_results(), 200ull);
+  // Everyone left politely, so no lease survives the run.
+  EXPECT_EQ(fe.leases().active_leases(), 0ull);
+  const TaskServiceStats stats = service.stats();
+  EXPECT_GE(stats.connections_accepted, 4ull);  // one socket per thread
+  EXPECT_GE(stats.frames_received, report.requests);
+  EXPECT_EQ(stats.frames_rejected, 0ull);  // a clean wire stays clean
+}
+
+TEST(NetConcurrentTest, ManyVolunteersPerSocketKeepAttributionStraight) {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+  const std::uint16_t port = service.port();
+
+  // Two threads, eight volunteer identities multiplexed on each socket;
+  // every thread records exactly which volunteer completed which task.
+  constexpr std::size_t kThreads = 2;
+  constexpr std::size_t kSessionsPerThread = 8;
+  constexpr int kTasksPerSession = 8;
+  std::vector<std::vector<std::pair<wbc::VolunteerId, wbc::TaskIndex>>>
+      completed(kThreads);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t] {
+      NetClient client;
+      for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+        const wbc::VolunteerId id = 100 * (t + 1) + s;
+        VolunteerSession session(client, port, id, 1000 + 10 * s);
+        ASSERT_TRUE(session.join());
+        for (int k = 0; k < kTasksPerSession; ++k) {
+          wbc::TaskAssignment task;
+          std::uint64_t lease_ms = 0;
+          ASSERT_TRUE(session.fetch_task(task, lease_ms));
+          ASSERT_TRUE(session.submit(task.task, task_checksum(task.task)));
+          completed[t].emplace_back(id, task.task);
+        }
+      }
+    });
+  for (std::thread& th : pool) th.join();
+  service.stop();
+
+  // Attribution survives the multiplexing: every completion is credited
+  // to the identity that earned it, and every stored value audits clean.
+  wbc::FrontEnd& fe = service.frontend();
+  std::size_t checked = 0;
+  for (const auto& thread_log : completed)
+    for (const auto& [volunteer, task] : thread_log) {
+      EXPECT_EQ(fe.volunteer_of_task(task), volunteer);
+      const wbc::AuditOutcome outcome = fe.audit(task, task_checksum(task));
+      EXPECT_TRUE(outcome.correct);
+      EXPECT_EQ(outcome.volunteer, volunteer);
+      ++checked;
+    }
+  EXPECT_EQ(checked, kThreads * kSessionsPerThread * kTasksPerSession);
+  EXPECT_EQ(fe.server().total_results(), nt::to_index(checked));
+}
+
+TEST(NetConcurrentTest, StopRacesActiveLoadAndDrainsCleanly) {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  config.drain_deadline_ms = 500;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+
+  LoadConfig load;
+  load.port = service.port();
+  load.volunteers = 8;
+  load.threads = 2;
+  load.tasks_target = 1000000;  // unreachable: the stop ends the run
+  load.io_deadline_ms = 200;
+  load.retry.base_backoff_ms = 1;
+  load.retry.max_backoff_ms = 5;
+  load.retry.max_attempts = 3;  // give up fast once the server is gone
+
+  std::thread driver([&load] { (void)run_load(load); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  service.stop();  // drains in-flight exchanges, then exits the loop
+  driver.join();
+  EXPECT_FALSE(service.running());
+  EXPECT_GT(service.stats().frames_received, 0ull);
+}
+
+}  // namespace
+}  // namespace pfl::net

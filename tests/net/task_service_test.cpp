@@ -1,0 +1,344 @@
+// net/task_service.{hpp,cpp}: server lifecycle, the full volunteer
+// protocol over real loopback sockets, typed overload shedding, typed
+// drain, slow-loris eviction, and hostile-frame rejection. The raw
+// POSIX client below is deliberate: tests sit outside the pfl_lint
+// `no-raw-socket` scope, and a hand-rolled socket is the only way to
+// send PARTIAL and CORRUPT frames that NetClient refuses to produce.
+#include "net/task_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "apf/tsharp.hpp"
+#include "net/client.hpp"
+#include "net/wire.hpp"
+
+namespace pfl::net {
+namespace {
+
+TaskService make_service(TaskServiceConfig config = {},
+                         wbc::LeaseConfig lease = {}) {
+  return TaskService(std::make_shared<apf::TSharpApf>(),
+                     wbc::AssignmentPolicy::kFirstFree, config, lease);
+}
+
+/// Blocking loopback connect for the raw-byte tests; -1 on failure.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the peer closes; returns everything received.
+std::string raw_drain(int fd) {
+  std::string all;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    all.append(buf, static_cast<std::size_t>(n));
+  }
+  return all;
+}
+
+TEST(TaskServiceTest, StartStopRestartLifecycle) {
+  auto service = make_service();
+  EXPECT_FALSE(service.running());
+  EXPECT_EQ(service.port(), 0u);
+  ASSERT_TRUE(service.start());
+  EXPECT_TRUE(service.running());
+  EXPECT_GT(service.port(), 0u);
+  EXPECT_TRUE(service.start());  // second start is a no-op success
+  service.stop();
+  EXPECT_FALSE(service.running());
+  EXPECT_EQ(service.port(), 0u);
+  service.stop();  // idempotent
+  ASSERT_TRUE(service.start());  // restart works; state carries over
+  service.stop();
+}
+
+TEST(TaskServiceTest, FrontendIsFencedWhileRunning) {
+  auto service = make_service();
+  service.frontend();  // fine before start
+  ASSERT_TRUE(service.start());
+  EXPECT_THROW(service.frontend(), DomainError);
+  std::ostringstream sink;
+  EXPECT_THROW(service.checkpoint(sink), DomainError);
+  service.stop();
+  service.frontend();  // and after stop
+}
+
+TEST(TaskServiceTest, RejectsNonsenseConfig) {
+  TaskServiceConfig no_conns;
+  no_conns.max_connections = 0;
+  EXPECT_THROW(make_service(no_conns), DomainError);
+  TaskServiceConfig no_deadline;
+  no_deadline.io_deadline_ms = 0;
+  EXPECT_THROW(make_service(no_deadline), DomainError);
+}
+
+TEST(TaskServiceTest, FullVolunteerLifecycleOverTheWire) {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+
+  NetClient client;
+  VolunteerSession session(client, service.port(), 42, 1000);
+  ASSERT_TRUE(session.join());
+
+  wbc::TaskAssignment task;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(session.fetch_task(task, lease_ms));
+  EXPECT_EQ(task.row, 1ull);
+  EXPECT_EQ(task.sequence, 1ull);
+  EXPECT_GT(lease_ms, 0ull);
+
+  wbc::SubmitStatus status = wbc::SubmitStatus::kNeverIssued;
+  ASSERT_TRUE(session.submit(task.task, task_checksum(task.task), &status));
+  EXPECT_EQ(status, wbc::SubmitStatus::kAccepted);
+
+  // Heartbeat with nothing held is a healthy no-op ...
+  index_t renewed = 99;
+  ASSERT_TRUE(session.heartbeat(renewed));
+  EXPECT_EQ(renewed, 0ull);
+  // ... and renews exactly what the volunteer holds.
+  wbc::TaskAssignment second;
+  ASSERT_TRUE(session.fetch_task(second, lease_ms));
+  ASSERT_TRUE(session.heartbeat(renewed));
+  EXPECT_EQ(renewed, 1ull);
+
+  session.leave();
+  service.stop();
+
+  const wbc::FrontEnd& fe = service.frontend();
+  EXPECT_FALSE(fe.is_active(42));
+  EXPECT_EQ(fe.volunteer_of_task(task.task), 42ull);
+  EXPECT_EQ(fe.server().total_results(), 1ull);
+  EXPECT_EQ(fe.recycle_queue_size(), 1ull);  // the unfinished second task
+  EXPECT_EQ(fe.leases().active_leases(), 0ull);
+}
+
+TEST(TaskServiceTest, RejoinIsIdempotent) {
+  auto service = make_service();
+  ASSERT_TRUE(service.start());
+  NetClient client;
+  VolunteerSession session(client, service.port(), 7, 1000);
+  ASSERT_TRUE(session.join());
+  ASSERT_TRUE(session.join());  // same identity, same row, no error
+  service.stop();
+  EXPECT_TRUE(service.frontend().is_active(7));
+  EXPECT_EQ(service.frontend().row_of(7), 1ull);
+}
+
+TEST(TaskServiceTest, UnknownVolunteerGetsTypedRejectAndSessionRejoins) {
+  auto service = make_service();
+  ASSERT_TRUE(service.start());
+  NetClient client;
+  VolunteerSession session(client, service.port(), 9, 1000);
+  // fetch WITHOUT join: the server answers kUnknownVolunteer and the
+  // session recovers by registering, then retrying the fetch.
+  wbc::TaskAssignment task;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(session.fetch_task(task, lease_ms));
+  EXPECT_GE(session.stats().rejoins, 1ull);
+  EXPECT_GE(session.stats().typed_rejections, 1ull);
+  service.stop();
+  EXPECT_TRUE(service.frontend().is_active(9));
+}
+
+TEST(TaskServiceTest, BannedVolunteerIsRejectedPermanently) {
+  // Ban volunteer 5 through the audit layer before the service starts.
+  wbc::FrontEnd fe(std::make_shared<apf::TSharpApf>(),
+                   wbc::AssignmentPolicy::kFirstFree, /*ban_threshold=*/1);
+  fe.arrive(5, 1.0);
+  const wbc::TaskAssignment poisoned = fe.request_task(5);
+  fe.submit_result(5, poisoned.task, 0xBAD);
+  fe.audit(poisoned.task, task_checksum(poisoned.task));
+  ASSERT_TRUE(fe.is_banned(5));
+
+  TaskService service(std::move(fe), TaskServiceConfig{});
+  ASSERT_TRUE(service.start());
+  NetClient client;
+  RetryPolicy one_shot;
+  one_shot.max_attempts = 3;
+  VolunteerSession session(client, service.port(), 5, 1000, one_shot);
+  EXPECT_FALSE(session.join());  // kBanned is permanent, not retried
+  EXPECT_GE(session.stats().typed_rejections, 1ull);
+  EXPECT_LT(session.stats().retries, 2ull);
+  service.stop();
+}
+
+TEST(TaskServiceTest, OverloadIsShedWithTypedReject) {
+  TaskServiceConfig config;
+  config.max_connections = 1;
+  config.retry_after_ms = 321;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+
+  // First connection occupies the whole budget ...
+  NetClient first;
+  VolunteerSession occupant(first, service.port(), 1, 1000);
+  ASSERT_TRUE(occupant.join());
+
+  // ... so the second is accepted only to be told kOverloaded + hint.
+  NetClient second;
+  ASSERT_TRUE(second.connect_to(service.port(), 2000));
+  Frame response;
+  ASSERT_TRUE(second.call(encode_get_task(2), response));
+  ASSERT_EQ(response.type, MsgType::kReject);
+  EXPECT_EQ(static_cast<RejectCode>(response.word(0)),
+            RejectCode::kOverloaded);
+  EXPECT_EQ(response.word(1), 321ull);
+
+  service.stop();
+  EXPECT_GE(service.stats().connections_shed, 1ull);
+  EXPECT_GE(service.stats().requests_rejected, 1ull);
+}
+
+TEST(TaskServiceTest, SlowLorisConnectionIsEvicted) {
+  TaskServiceConfig config;
+  config.io_deadline_ms = 150;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+
+  const int fd = raw_connect(service.port());
+  ASSERT_GE(fd, 0);
+  // Half a frame, then silence: the whole-exchange deadline evicts us.
+  const std::string frame = encode_get_task(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  raw_send(fd, frame.substr(0, 10));
+  raw_drain(fd);  // blocks until the server closes the connection
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ::close(fd);
+
+  EXPECT_GE(elapsed.count(), 100);
+  service.stop();
+  EXPECT_GE(service.stats().connections_evicted, 1ull);
+  EXPECT_EQ(service.stats().frames_received, 0ull);
+}
+
+TEST(TaskServiceTest, CorruptFrameIsCountedAndConnectionPoisoned) {
+  auto service = make_service();
+  ASSERT_TRUE(service.start());
+
+  const int fd = raw_connect(service.port());
+  ASSERT_GE(fd, 0);
+  std::string bad = encode_get_task(1);
+  bad[24] = static_cast<char>(bad[24] + 1);  // payload byte: CRC mismatch
+  raw_send(fd, bad);
+  raw_drain(fd);  // the server closes without answering
+  ::close(fd);
+
+  // A fresh, well-behaved connection is unaffected by the dead one.
+  NetClient client;
+  VolunteerSession session(client, service.port(), 3, 1000);
+  EXPECT_TRUE(session.join());
+
+  service.stop();
+  EXPECT_GE(service.stats().frames_rejected, 1ull);
+  EXPECT_GE(service.stats().crc_rejects, 1ull);
+  EXPECT_EQ(service.frontend().server().total_results(), 0ull);
+}
+
+TEST(TaskServiceTest, GarbageBytesAreRejectedNotServed) {
+  auto service = make_service();
+  ASSERT_TRUE(service.start());
+  const int fd = raw_connect(service.port());
+  ASSERT_GE(fd, 0);
+  raw_send(fd, "GET /metrics HTTP/1.1\r\n\r\n");  // wrong protocol entirely
+  raw_drain(fd);
+  ::close(fd);
+  service.stop();
+  EXPECT_GE(service.stats().frames_rejected, 1ull);
+  EXPECT_EQ(service.stats().frames_received, 0ull);
+}
+
+TEST(TaskServiceTest, DrainRejectsNewConnectionsThenStops) {
+  TaskServiceConfig config;
+  config.drain_deadline_ms = 800;
+  config.io_deadline_ms = 5000;  // eviction must not beat the drain here
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+  const std::uint16_t port = service.port();
+
+  // An in-flight exchange (half a frame) keeps the drain window open.
+  const int straggler = raw_connect(port);
+  ASSERT_GE(straggler, 0);
+  raw_send(straggler, encode_get_task(1).substr(0, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::thread stopper([&service] { service.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Connections arriving mid-drain get a typed kDraining, never silence.
+  NetClient late;
+  if (late.connect_to(port, 1000)) {
+    Frame response;
+    if (late.call(encode_get_task(2), response)) {
+      EXPECT_EQ(response.type, MsgType::kReject);
+      EXPECT_EQ(static_cast<RejectCode>(response.word(0)),
+                RejectCode::kDraining);
+    }
+  }
+  stopper.join();
+  ::close(straggler);
+  EXPECT_FALSE(service.running());
+  EXPECT_GE(service.stats().drain_rejects, 1ull);
+}
+
+TEST(TaskServiceTest, CheckpointAfterStopRestoresAttribution) {
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+  NetClient client;
+  VolunteerSession session(client, service.port(), 11, 1000);
+  ASSERT_TRUE(session.join());
+  wbc::TaskAssignment task;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(session.fetch_task(task, lease_ms));
+  ASSERT_TRUE(session.submit(task.task, task_checksum(task.task)));
+  service.stop();
+
+  std::stringstream snapshot;
+  service.checkpoint(snapshot);
+  wbc::FrontEnd restored =
+      wbc::FrontEnd::restore(snapshot, std::make_shared<apf::TSharpApf>());
+  EXPECT_TRUE(restored.is_active(11));
+  EXPECT_EQ(restored.volunteer_of_task(task.task), 11ull);
+  EXPECT_TRUE(restored.audit(task.task, task_checksum(task.task)).correct);
+}
+
+}  // namespace
+}  // namespace pfl::net

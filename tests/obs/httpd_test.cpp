@@ -158,6 +158,53 @@ TEST(HttpdTest, TwoServersCoexist) {
   a.stop();
 }
 
+// Slow-client (slow-loris) regression: a connection that never finishes
+// its header block is answered with a typed 408 when the WHOLE-REQUEST
+// deadline lapses -- it cannot hold the accept thread indefinitely by
+// dripping bytes.
+TEST(HttpdTest, SlowClientEvictedWith408AtDeadline) {
+  HttpServerConfig config;
+  config.request_deadline_ms = 200;
+  HttpServer server(config);
+  ASSERT_TRUE(server.start());
+  const std::uint64_t before =
+      registry().counter("pfl_obs_httpd_slow_evictions_total").value();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // No "\r\n\r\n" terminator: the client then blocks in recv until the
+  // server gives up on it.
+  const std::string response =
+      raw_request(server.port(), "GET /healthz HTTP/1.1\r\n");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos);
+  EXPECT_NE(response.find("request deadline exceeded"), std::string::npos);
+  EXPECT_GE(elapsed.count(), 150);  // the deadline, not a per-recv timer
+  EXPECT_GT(registry().counter("pfl_obs_httpd_slow_evictions_total").value(),
+            before);
+  server.stop();
+}
+
+// Size-cap regression: a header block that blows past max_request_bytes
+// without terminating gets a typed 431, not a silent truncation.
+TEST(HttpdTest, OversizeHeaderBlockGets431) {
+  HttpServerConfig config;
+  config.max_request_bytes = 256;
+  HttpServer server(config);
+  ASSERT_TRUE(server.start());
+  const std::uint64_t before =
+      registry().counter("pfl_obs_httpd_oversize_total").value();
+
+  const std::string response = raw_request(
+      server.port(), "GET /" + std::string(1024, 'A') + " HTTP/1.1\r\n");
+
+  EXPECT_NE(response.find("HTTP/1.1 431"), std::string::npos);
+  EXPECT_GT(registry().counter("pfl_obs_httpd_oversize_total").value(),
+            before);
+  server.stop();
+}
+
 // Runs under the tsan preset (name filter): concurrent clients against
 // one server, plus a stop() racing in-flight requests.
 TEST(HttpdConcurrentTest, ParallelClientsAndStop) {

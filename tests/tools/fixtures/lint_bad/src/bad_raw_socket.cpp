@@ -1,0 +1,24 @@
+// Lint-selftest fixture: deliberately violates `no-raw-socket` both
+// ways -- socket API header includes, and socket(2)-family calls made
+// with a network header in scope -- from a file OUTSIDE the sanctioned
+// networking layer (src/net/, src/obs/httpd.cpp). Never compiled; only
+// fed to tools/pfl_lint.py by tests/tools/lint_selftest.py, which
+// asserts each line below is caught.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+int open_backdoor_listener() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(4444);
+  addr.sin_addr.s_addr = htonl(0);  // INADDR_ANY: not even loopback-only
+  bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  listen(fd, 8);
+  return accept(fd, nullptr, nullptr);
+}
+
+void exfiltrate(int fd, const char* data, unsigned long n) {
+  send(fd, data, n, 0);
+}

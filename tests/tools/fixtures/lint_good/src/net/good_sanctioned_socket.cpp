@@ -1,0 +1,17 @@
+// Lint-selftest fixture: the same socket API usage that bad_raw_socket.cpp
+// is flagged for, but placed under src/net/ -- the sanctioned networking
+// layer -- where `no-raw-socket` must stay silent. Never compiled.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+int open_loopback_listener() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(0);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  listen(fd, 8);
+  return fd;
+}

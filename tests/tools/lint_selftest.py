@@ -78,12 +78,18 @@ expect("no-raw-perf catches the raw syscall by number", bad, 1,
        ["__NR_perf_event_open"])
 expect("no-raw-perf catches the SIGPROF timer arm", bad, 1,
        ["setitimer"])
+expect("no-raw-socket catches the socket API header include", bad, 1,
+       ["bad_raw_socket.cpp", "[no-raw-socket]", "socket API header"])
+expect("no-raw-socket catches socket-family calls under the header", bad, 1,
+       ["socket-family call `socket`", "socket-family call `bind`",
+        "socket-family call `accept`", "socket-family call `send`"])
 
 print("pfl_lint on the clean fixture tree:")
-expect("clean wrappers and a consistent order pass",
+expect("clean wrappers, a consistent order, and sanctioned src/net/ "
+       "sockets pass",
        run(PFL_LINT, FIXTURES / "lint_good"), 0, ["clean"],
        absent=["no-naked-mutex", "lock-order cycle", "no-float-unpair",
-               "no-raw-perf"])
+               "no-raw-perf", "no-raw-socket"])
 
 print("pfl_stub_check on the seeded-bad split header:")
 stub = run(STUB_CHECK, FIXTURES / "stub_bad" / "bad_stub.hpp")

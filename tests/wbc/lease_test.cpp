@@ -231,6 +231,67 @@ TEST(FrontEndLeaseTest, DepartureDropsLeasesWithoutExpiry) {
   EXPECT_EQ(fe.leases_expired(), 0ull);
 }
 
+TEST(LeaseTableTest, RenewAllExtendsOnlyTheVolunteersLeases) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 16});
+  table.grant(100, 1);
+  table.grant(200, 1);
+  table.grant(300, 2);
+  table.advance(10);
+  // Volunteer 1 heartbeats: both of its leases are re-granted from the
+  // current clock (10 + 16 = 26); volunteer 2's lease keeps deadline 16.
+  EXPECT_EQ(table.renew_all(1), 2ull);
+  const ExpirySweep sweep = table.advance(20);
+  ASSERT_EQ(sweep.expired.size(), 1u);
+  EXPECT_EQ(sweep.expired[0].task, 300ull);
+  EXPECT_EQ(sweep.expired[0].volunteer, 2ull);
+  EXPECT_TRUE(table.advance(26).expired.empty());  // renewed: survive == 26
+  EXPECT_EQ(table.advance(27).expired.size(), 2u);
+}
+
+TEST(LeaseTableTest, RenewAllWithNothingHeldIsZero) {
+  LeaseTable table(LeaseConfig{.base_deadline_ticks = 16});
+  EXPECT_EQ(table.renew_all(7), 0ull);
+  table.grant(100, 1);
+  EXPECT_EQ(table.renew_all(7), 0ull);  // someone else's lease is not ours
+  EXPECT_EQ(table.active_leases(), 1ull);
+}
+
+TEST(FrontEndLeaseTest, HeartbeatRenewsEveryHeldLease) {
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 4});
+  fe.arrive(1, 1.0);
+  fe.request_task(1);
+  fe.request_task(1);
+  fe.tick(3);  // one tick short of expiry
+  EXPECT_EQ(fe.heartbeat(1), 2ull);
+  // Without the heartbeat both leases would die at tick 5; renewed from
+  // tick 3 they now survive to 3 + 4 = 7.
+  EXPECT_TRUE(fe.tick(7).expired.empty());
+  EXPECT_EQ(fe.tick(8).expired.size(), 2u);
+}
+
+TEST(FrontEndLeaseTest, HeartbeatIsLivenessNotProgress) {
+  // Renewal must NOT reset the expiry backoff: a volunteer that keeps
+  // heartbeating while never finishing anything still escalates.
+  auto fe = make_frontend(LeaseConfig{.base_deadline_ticks = 2});
+  fe.arrive(1, 1.0);
+  fe.request_task(1);
+  fe.tick(3);  // expire once: backoff doubles to 4
+  EXPECT_EQ(fe.leases_expired(), 1ull);
+  fe.request_task(1);  // recycled task, new lease at deadline 3 + 4 = 7
+  EXPECT_EQ(fe.heartbeat(1), 1ull);  // re-grant from tick 3: still 7
+  EXPECT_TRUE(fe.tick(7).expired.empty());
+  EXPECT_EQ(fe.tick(8).expired.size(), 1u);
+}
+
+TEST(FrontEndLeaseTest, HeartbeatRequiresActiveVolunteer) {
+  auto fe = make_frontend(LeaseConfig{});
+  EXPECT_THROW(fe.heartbeat(9), DomainError);
+  fe.arrive(9, 1.0);
+  EXPECT_EQ(fe.heartbeat(9), 0ull);  // idle volunteers may heartbeat
+  fe.depart(9);
+  EXPECT_THROW(fe.heartbeat(9), DomainError);
+}
+
 TEST(FrontEndLeaseTest, RejectsNonsenseLeaseConfig) {
   EXPECT_THROW(make_frontend(LeaseConfig{.base_deadline_ticks = 0}),
                DomainError);

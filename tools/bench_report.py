@@ -48,8 +48,9 @@ SCHEMA = "pfl-bench-baseline/1"
 # fallback behaviour, effective grain sizes, and per-item machine cost
 # are reviewable alongside the timings.
 OBS_COUNTER_KEY = re.compile(
-    r"^(?:fallback_|grain_|chunks_"
-    r"|ipc$|cycles_per_item$|llc_miss_rate$|counters_unavailable$)")
+    r"^(?:fallback_|grain_|chunks_|p50_|p99_"
+    r"|ipc$|cycles_per_item$|llc_miss_rate$|counters_unavailable$"
+    r"|failed_calls$)")
 
 # The PR 8 hardware counters: every batch_pair/* and batch_unpair/* case
 # in a PR >= 8 baseline must either carry the real numbers or the
@@ -90,6 +91,9 @@ FLOORS = {
 # hyperbolic bar is 20x the PR 5 committed rate of 25888.6/s.
 ABS_FLOORS = {
     "batch_unpair/hyperbolic": 517772.0,
+    # PR 9 networked task service: the committed debug-build rate is
+    # ~92k requests/s over loopback; 10k/s is the regression tripwire.
+    "net_load/requests/real_time": 10000.0,
 }
 
 REL_TOLERANCE = 1e-6  # derived values must match a recompute exactly-ish

@@ -1,0 +1,103 @@
+#!/usr/bin/env sh
+# Net chaos smoke: drive the networked task service end to end against a
+# built tree, with the wire actively sabotaged.
+#
+#   tools/net_chaos_smoke.sh [build-dir]
+#
+# Used by the CI net-chaos-smoke job. Three phases:
+#
+#   1. Chaos acceptance: `net_service chaos` runs an in-process service
+#      behind the seeded chaos proxy (~12% of forwarded chunks take a
+#      corrupt/drop/delay/truncate/disconnect hit) and exits 0 only if
+#      the full workload completes with exactly-once storage and ZERO
+#      misattributions. The binary writes the telemetry --obs-port-file
+#      only AFTER the verdict, so the port file doubles as the
+#      completion rendezvous.
+#   2. Counter proof: tools/obs_watch.py --check --require asserts the
+#      pfl_net_* instruments actually fired -- frames received AND
+#      frames rejected (the chaos plan guarantees hostile frames, so a
+#      zero reject counter means the injection silently stopped
+#      working), plus the request service-time histogram.
+#   3. Clean serve/drive split: a standalone `net_service serve`
+#      process, a separate `net_service drive` load (which must credit
+#      its full target with zero failed RPCs), and a second obs_watch
+#      probe on the serve process's counters.
+#
+# Structural, not timing-sensitive: every wait is a file rendezvous or a
+# process exit, and the chaos run is seeded.
+set -eu
+
+build_dir="${1:-build}"
+
+svc="$build_dir/examples/net_service"
+if [ ! -x "$svc" ]; then
+  echo "net_chaos_smoke: $svc not built (configure with -DPFL_BUILD_EXAMPLES=ON)" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+svc_pid=""
+cleanup() {
+  [ -n "$svc_pid" ] && kill "$svc_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+wait_port() {
+  _i=0
+  while [ ! -s "$1" ]; do
+    _i=$((_i + 1))
+    if [ "$_i" -gt 300 ]; then
+      echo "net_chaos_smoke: $1 not written within 30s" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  cat "$1"
+}
+
+echo "== phase 1+2: chaos acceptance run, then pfl_net_* counter proof"
+"$svc" chaos --tasks 200 --obs-port-file "$work/obs_port" \
+    --linger-ms 15000 > "$work/chaos.log" 2>&1 &
+svc_pid=$!
+obs_port="$(wait_port "$work/obs_port")"
+# The port file exists => the verdict is in and the counters are final.
+python3 tools/obs_watch.py --port "$obs_port" --check \
+    --require 'pfl_net_frames_rx_total' \
+    --require 'pfl_net_frames_rejected_total' \
+    --require 'pfl_net_crc_rejects_total' \
+    --require 'pfl_net_conns_accepted_total' \
+    --require 'pfl_net_request_service_ns'
+kill "$svc_pid" 2>/dev/null || true  # cut the linger short
+wait "$svc_pid" 2>/dev/null && status=0 || status=$?
+svc_pid=""
+# 0 = lingered to natural exit; 143 = our SIGTERM after the verdict line.
+grep -q "CHAOS ACCEPTANCE: OK" "$work/chaos.log" || {
+  echo "net_chaos_smoke: chaos acceptance failed" >&2
+  cat "$work/chaos.log" >&2
+  exit 1
+}
+echo "   workload survived the faulted wire; counters prove injection"
+
+echo
+echo "== phase 3: separate serve and drive processes on a clean wire"
+"$svc" serve --port-file "$work/port" --obs-port-file "$work/obs_port3" \
+    --duration-ms 60000 > "$work/serve.log" 2>&1 &
+svc_pid=$!
+port="$(wait_port "$work/port")"
+"$svc" drive --port "$port" --tasks 500 > "$work/drive.log" 2>&1 || {
+  echo "net_chaos_smoke: drive failed" >&2
+  cat "$work/drive.log" >&2
+  exit 1
+}
+grep -q "failed=0" "$work/drive.log"
+python3 tools/obs_watch.py --port "$(cat "$work/obs_port3")" --check \
+    --require 'pfl_net_frames_rx_total' \
+    --require 'pfl_net_conns_accepted_total'
+kill "$svc_pid" 2>/dev/null || true
+wait "$svc_pid" 2>/dev/null || true
+svc_pid=""
+echo "   drive credited its target with zero failed RPCs"
+
+echo
+echo "net_chaos_smoke: OK"

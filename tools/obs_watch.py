@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import sys
 import time
 import urllib.error
@@ -168,7 +169,8 @@ def cmd_watch(base: str, interval: float, timeout: float, top: int) -> int:
 
 # --- check mode ----------------------------------------------------------
 
-def check(base: str, timeout: float) -> list[str]:
+def check(base: str, timeout: float,
+          require: list[str] | None = None) -> list[str]:
     errors: list[str] = []
 
     def fail(msg: str) -> None:
@@ -203,6 +205,23 @@ def check(base: str, timeout: float) -> list[str]:
         for section in ("counters", "gauges", "histograms"):
             if section not in metrics:
                 fail(f"/metrics.json missing {section!r}")
+        # --require NAME_REGEX: the named instrument must exist AND show
+        # activity (a counter that merely registered proves nothing).
+        for pattern in require or []:
+            rx = re.compile(pattern)
+            active = False
+            for name, c in metrics.get("counters", {}).items():
+                if rx.search(name) and (c if isinstance(c, (int, float))
+                                        else c.get("value", 0)) > 0:
+                    active = True
+            for name, h in metrics.get("histograms", {}).items():
+                if rx.search(name) and h.get("count", 0) > 0:
+                    active = True
+            for name in metrics.get("gauges", {}):
+                if rx.search(name):
+                    active = True  # a gauge at 0 is a legitimate level
+            if not active:
+                fail(f"--require {pattern!r}: no active instrument matches")
     except Exception as e:  # noqa: BLE001
         fail(f"/metrics.json: {e}")
 
@@ -273,11 +292,16 @@ def main() -> int:
                         help="watch mode: hot functions shown from /profilez")
     parser.add_argument("--check", action="store_true",
                         help="validate all endpoints and exit 0/1 (CI mode)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME_REGEX",
+                        help="check mode: fail unless an instrument matching"
+                             " the regex exists and shows activity"
+                             " (repeatable)")
     args = parser.parse_args()
 
     base = f"http://{args.host}:{args.port}"
     if args.check:
-        errors = check(base, args.timeout)
+        errors = check(base, args.timeout, args.require)
         if errors:
             for e in errors:
                 print(f"obs_watch: FAIL {e}", file=sys.stderr)

@@ -83,12 +83,13 @@ lock-order
     core/thread_safety.hpp.
 
 no-raw-socket
-    The telemetry HTTP server (src/obs/httpd.cpp) is the ONLY translation
-    unit in src/ allowed to speak to the network: socket(2)-family calls
-    (socket, bind, listen, accept, connect, recv*, send*, getsockname,
-    setsockopt, inet_pton, htons, ...) anywhere else are flagged. This
-    keeps the attack surface reviewable in one file and makes the
-    loopback-only threat model (DESIGN.md "Telemetry runtime")
+    The telemetry HTTP server (src/obs/httpd.cpp) and the networked task
+    service layer (src/net/) are the ONLY code in src/ allowed to speak
+    to the network: socket(2)-family calls (socket, bind, listen,
+    accept, connect, recv*, send*, getsockname, setsockopt, inet_pton,
+    htons, ...) anywhere else are flagged. This keeps the attack surface
+    reviewable in two places and makes the loopback-only threat model
+    (DESIGN.md "Telemetry runtime" / "Networked task service")
     enforceable. Including a socket API header (<sys/socket.h>,
     <netinet/*>, <arpa/inet.h>, ...) is itself the violation; call names
     are only checked in files that include one, so same-named project
@@ -104,7 +105,7 @@ no-raw-perf
     SIGPROF sampling timer with setitimer(ITIMER_PROF, ...) anywhere
     else are flagged. Counter sessions and the signal-safety contract
     (DESIGN.md "Continuous profiling") stay reviewable in one directory,
-    the way no-raw-socket pins network I/O to src/obs/httpd.cpp. The
+    the way no-raw-socket pins network I/O to its sanctioned layer. The
     tokens are distinctive enough that no include-gating is needed;
     tests and tools may probe the syscall freely; the rule scans src/
     only.
@@ -181,8 +182,11 @@ FLOAT_EXEMPT = {"src/core/simd.hpp"}
 # Files that implement the checked-arithmetic core itself.
 CAST_EXEMPT = {"src/numtheory/checked.hpp", "src/numtheory/bits.hpp"}
 
-# The one translation unit allowed to make socket(2)-family calls.
+# The sanctioned networking sites: the telemetry HTTP server and the
+# networked WBC task service layer. Everything under src/net/ may speak
+# to the network; everywhere else a socket header or call is a violation.
 SOCKET_EXEMPT = {"src/obs/httpd.cpp"}
+SOCKET_EXEMPT_DIR = "src/net/"
 
 # The one directory allowed to program the kernel profiling interfaces
 # (perf_event_open counter groups, the SIGPROF sampling timer).
@@ -633,7 +637,7 @@ def check_obs_instrument(ft: FileText, out: list[Violation]) -> None:
 
 
 def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:
-    if ft.rel in SOCKET_EXEMPT:
+    if ft.rel in SOCKET_EXEMPT or ft.rel.startswith(SOCKET_EXEMPT_DIR):
         return
     includes_network = False
     for ln, code in enumerate(ft.code_lines):
@@ -644,9 +648,10 @@ def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:
             raw = ft.raw_lines[ln] if ln < len(ft.raw_lines) else ""
             out.append(Violation(
                 ft.rel, ln + 1, "no-raw-socket",
-                "socket API header outside src/obs/httpd.cpp -- all "
-                "network I/O lives in the telemetry server so the "
-                "loopback-only threat model stays reviewable in one file",
+                "socket API header outside the sanctioned networking "
+                "layer (src/net/ and src/obs/httpd.cpp) -- all network "
+                "I/O lives there so the loopback-only threat model stays "
+                "reviewable in one place",
                 raw.strip()))
     if not includes_network:
         return  # no declarations in scope: same-named members are fine
@@ -660,9 +665,10 @@ def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:
         out.append(Violation(
             ft.rel, ln + 1, "no-raw-socket",
             f"socket-family call `{m.group(0).rstrip('( ')}` outside "
-            "src/obs/httpd.cpp -- all network I/O lives in the telemetry "
-            "server so the loopback-only threat model stays reviewable "
-            "in one file", raw.strip()))
+            "the sanctioned networking layer (src/net/ and "
+            "src/obs/httpd.cpp) -- all network I/O lives there so the "
+            "loopback-only threat model stays reviewable in one place",
+            raw.strip()))
 
 
 def check_no_raw_perf(ft: FileText, out: list[Violation]) -> None:
