@@ -3,9 +3,11 @@
 // CRC-64-framed protocol, measured over real loopback sockets. The
 // report contrasts a clean wire with the chaos proxy's ~12% fault
 // plan -- same workload completes, attribution intact, throughput pays
-// for the retries. The timed cases feed BENCH_PR9.json: requests/s as
-// items_per_second plus p50_ms/p99_ms RPC latency counters, floored by
-// tools/bench_report.py --check.
+// for the retries. The timed cases feed BENCH_PR9.json and, with
+// distributed tracing armed (TraceCollector enabled, every RPC minting
+// and propagating span ids -- the PR 10 configuration), BENCH_PR10.json:
+// requests/s as items_per_second plus p50_ms/p99_ms RPC latency
+// counters, floored by tools/bench_report.py --check.
 #include <cstdint>
 #include <memory>
 
@@ -15,6 +17,7 @@
 #include "net/client.hpp"
 #include "net/task_service.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -89,7 +92,13 @@ void print_report() {
 
 // requests/s of the full volunteer loop (join / get-task / submit /
 // heartbeat) multiplexed over 4 sockets -- the committed baseline case.
+// Tracing is ARMED: every RPC mints span ids, propagates them on the
+// wire, and records client + server spans, so the committed floor
+// prices the observability tax in.
 void BM_NetLoad(benchmark::State& state) {
+  auto& tracer = obs::TraceCollector::instance();
+  tracer.set_id_seed(0x10AD);
+  tracer.enable();
   auto service = make_service();
   if (!service.start()) {
     state.SkipWithError("could not bind 127.0.0.1");
@@ -100,8 +109,15 @@ void BM_NetLoad(benchmark::State& state) {
   for (auto _ : state) {
     last = net::run_load(make_load(service.port(), 256));
     requests += last.requests;
+    // Keep span recording live (not saturated-and-dropping) across
+    // iterations; the load is quiescent here, so clearing is safe.
+    state.PauseTiming();
+    tracer.clear();
+    state.ResumeTiming();
   }
   service.stop();
+  tracer.disable();
+  tracer.clear();
   state.SetItemsProcessed(static_cast<int64_t>(requests));
   state.counters["p50_ms"] = last.p50_ms;
   state.counters["p99_ms"] = last.p99_ms;
@@ -113,7 +129,12 @@ BENCHMARK(BM_NetLoad)->Name("net_load/requests")->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // Single-connection RPC floor: one heartbeat round trip, no contention.
+// Tracing armed here too -- this is the per-RPC cost of minting ids and
+// carrying the two context words.
 void BM_NetHeartbeat(benchmark::State& state) {
+  auto& tracer = obs::TraceCollector::instance();
+  tracer.set_id_seed(0xBEA7);
+  tracer.enable();
   auto service = make_service();
   if (!service.start()) {
     state.SkipWithError("could not bind 127.0.0.1");
@@ -127,9 +148,22 @@ void BM_NetHeartbeat(benchmark::State& state) {
     return;
   }
   index_t renewed = 0;
-  for (auto _ : state) benchmark::DoNotOptimize(session.heartbeat(renewed));
+  std::int64_t since_clear = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.heartbeat(renewed));
+    // Each round trip records ~3 spans; drain the buffers well before
+    // the per-thread capacity (1 << 14) so recording stays live.
+    if (++since_clear == 4096) {
+      since_clear = 0;
+      state.PauseTiming();
+      tracer.clear();
+      state.ResumeTiming();
+    }
+  }
   session.leave();
   service.stop();
+  tracer.disable();
+  tracer.clear();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_NetHeartbeat)->Name("net_rpc/heartbeat")->UseRealTime();

@@ -5,14 +5,24 @@
 // hostile wire. Three modes:
 //
 //   $ net_service serve [--port N] [--port-file F] [--obs-port-file F]
-//                       [--duration-ms N]
+//                       [--duration-ms N] [--trace-out F] [--trace-seed S]
 //       Run a service (plus the loopback telemetry httpd when the obs
-//       layer is compiled in) until the duration elapses.
+//       layer is compiled in) until the duration elapses or SIGTERM
+//       arrives (graceful: drain, then write the trace dump).
 //
 //   $ net_service drive --port P [--volunteers N] [--threads N]
-//                       [--tasks N]
+//                       [--tasks N] [--chaos] [--trace-out F]
+//                       [--trace-seed S]
 //       Hammer a running service with simulated volunteers; print the
 //       load report. Exit 0 iff every credited exchange succeeded.
+//       --chaos routes the load through an in-process chaos proxy (the
+//       standard ~12% fault plan), so a serve/drive pair exercises
+//       retries across two processes.
+//
+// --trace-out arms the span collector and writes a Chrome trace JSON
+// dump at exit; --trace-seed pins the span-id seed (default: derived
+// from --seed and the PID, so the two halves of a serve/drive pair
+// never collide and trace_report.py --stitch can merge their dumps).
 //
 //   $ net_service chaos [--tasks N] [--seed S] [--obs-port-file F]
 //                       [--linger-ms N]
@@ -25,11 +35,15 @@
 //       can assert the pfl_net_* counters (tools/net_chaos_smoke.sh).
 //
 // No arguments runs a small chaos acceptance pass (the ctest smoke).
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -45,6 +59,7 @@
 #include "net/task_service.hpp"
 #include "net/wire.hpp"
 #include "obs/httpd.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -55,6 +70,9 @@ struct Options {
   int port = 0;
   const char* port_file = nullptr;
   const char* obs_port_file = nullptr;
+  const char* trace_out = nullptr;
+  std::uint64_t trace_seed = 0;  ///< 0: derive from --seed and the PID
+  bool chaos_wire = false;       ///< drive: route through a chaos proxy
   int duration_ms = 60000;
   int linger_ms = 0;
   std::size_t volunteers = 64;
@@ -68,8 +86,40 @@ int usage() {
                "usage: net_service [serve|drive|chaos] [--port N] "
                "[--port-file F] [--obs-port-file F] [--duration-ms N] "
                "[--linger-ms N] [--volunteers N] [--threads N] "
-               "[--tasks N] [--seed S]\n");
+               "[--tasks N] [--seed S] [--chaos] [--trace-out F] "
+               "[--trace-seed S]\n");
   return 2;
+}
+
+/// serve's SIGTERM latch: flip a flag, let the main loop drain and dump
+/// its trace instead of dying mid-write.
+std::atomic<bool> g_sigterm{false};
+void on_sigterm(int) { g_sigterm.store(true, std::memory_order_relaxed); }
+
+/// Arms span collection when --trace-out was given. Each process gets
+/// its own id seed (default mixes the PID in) so span ids from the
+/// serve and drive halves of a stitched dump can never collide.
+void arm_tracing(const Options& opt) {
+  if (opt.trace_out == nullptr) return;
+  const std::uint64_t seed =
+      opt.trace_seed != 0
+          ? opt.trace_seed
+          : (opt.seed * 0x9E3779B97F4A7C15ull) ^
+                static_cast<std::uint64_t>(::getpid());
+  obs::TraceCollector::instance().set_id_seed(seed);
+  obs::TraceCollector::instance().enable();
+}
+
+void dump_trace(const Options& opt) {
+  if (opt.trace_out == nullptr) return;
+  obs::TraceCollector::instance().disable();
+  std::ofstream out(opt.trace_out);
+  if (!out) {
+    std::fprintf(stderr, "net_service: cannot write %s\n", opt.trace_out);
+    return;
+  }
+  obs::TraceCollector::instance().write_chrome_trace(out);
+  std::printf("trace dump: %s\n", opt.trace_out);
 }
 
 bool write_port_file(const char* path, std::uint16_t port) {
@@ -92,6 +142,8 @@ void print_service_stats(const net::TaskServiceStats& s) {
 }
 
 int run_serve(const Options& opt) {
+  arm_tracing(opt);
+  std::signal(SIGTERM, on_sigterm);
   net::TaskServiceConfig config;
   config.port = static_cast<std::uint16_t>(opt.port);
   net::TaskService service(std::make_shared<apf::TSharpApf>(),
@@ -121,10 +173,17 @@ int run_serve(const Options& opt) {
     if (!write_port_file(opt.obs_port_file, telemetry.port())) return 1;
   }
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  // Sleep in slices so SIGTERM stops the service promptly AND
+  // gracefully: drain, dump the trace, report stats.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt.duration_ms);
+  while (!g_sigterm.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   service.stop();
   telemetry.stop();
   print_service_stats(service.stats());
+  dump_trace(opt);
   return 0;
 }
 
@@ -133,13 +192,46 @@ int run_drive(const Options& opt) {
     std::fprintf(stderr, "net_service drive: --port is required\n");
     return 2;
   }
+  arm_tracing(opt);
+  // --chaos: interpose the standard ~12% fault plan between this
+  // process's volunteers and the remote service, so every retry chain
+  // the stitched traces must prove out actually happens.
+  std::unique_ptr<net::ChaosProxy> proxy;
+  if (opt.chaos_wire) {
+    net::WireFaultPlan plan;
+    plan.seed = opt.seed;
+    plan.corrupt_prob = 0.05;
+    plan.drop_prob = 0.02;
+    plan.delay_prob = 0.03;
+    plan.truncate_prob = 0.01;
+    plan.disconnect_prob = 0.01;
+    plan.delay_ms = 5;
+    proxy = std::make_unique<net::ChaosProxy>(
+        static_cast<std::uint16_t>(opt.port), plan);
+    if (!proxy->start()) {
+      std::fprintf(stderr, "net_service drive: chaos proxy failed\n");
+      return 1;
+    }
+  }
   net::LoadConfig load;
-  load.port = static_cast<std::uint16_t>(opt.port);
+  load.port = proxy ? proxy->port() : static_cast<std::uint16_t>(opt.port);
   load.volunteers = opt.volunteers;
   load.threads = opt.threads;
   load.tasks_target = opt.tasks;
   load.seed = opt.seed;
+  if (opt.chaos_wire) {
+    load.io_deadline_ms = 500;  // faulted wire: fail fast, retry
+    load.retry.base_backoff_ms = 1;
+    load.retry.max_backoff_ms = 20;
+  }
   const net::LoadReport report = net::run_load(load);
+  if (proxy) {
+    proxy->stop();
+    const net::ChaosProxyStats chaos = proxy->stats();
+    std::printf("proxy: forwarded=%llu faults=%llu\n",
+                static_cast<unsigned long long>(chaos.chunks_forwarded),
+                static_cast<unsigned long long>(chaos.faults()));
+  }
   std::printf("credited=%llu requests=%llu retries=%llu reconnects=%llu "
               "rejections=%llu failed=%llu\n",
               static_cast<unsigned long long>(report.credited),
@@ -151,12 +243,14 @@ int run_drive(const Options& opt) {
   std::printf("%.0f requests/s, p50 %.3f ms, p99 %.3f ms over %.2f s\n",
               report.requests_per_second, report.p50_ms, report.p99_ms,
               report.elapsed_s);
+  dump_trace(opt);
   return report.failed_calls == 0 && report.credited >= opt.tasks ? 0 : 1;
 }
 
 int run_chaos(const Options& opt) {
   std::printf("== chaos acceptance: %llu tasks through a faulted wire ==\n",
               static_cast<unsigned long long>(opt.tasks));
+  arm_tracing(opt);
 
   net::TaskServiceConfig config;
   config.tick_interval_ms = 10;
@@ -268,6 +362,7 @@ int run_chaos(const Options& opt) {
   const bool ok = complete && exactly_once && misattributions == 0;
   std::printf("%s\n", ok ? "CHAOS ACCEPTANCE: OK"
                          : "CHAOS ACCEPTANCE: FAILED");
+  dump_trace(opt);
 
   // Signal the verdict-complete counters to the smoke script, then
   // linger so it can probe the telemetry endpoints. The flush matters:
@@ -311,6 +406,12 @@ int main(int argc, char** argv) {
       opt.tasks = static_cast<std::uint64_t>(std::atoll(v));
     else if (std::strcmp(arg, "--seed") == 0 && (v = next()))
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    else if (std::strcmp(arg, "--trace-out") == 0 && (v = next()))
+      opt.trace_out = v;
+    else if (std::strcmp(arg, "--trace-seed") == 0 && (v = next()))
+      opt.trace_seed = static_cast<std::uint64_t>(std::atoll(v));
+    else if (std::strcmp(arg, "--chaos") == 0)
+      opt.chaos_wire = true;
     else
       return usage();
   }

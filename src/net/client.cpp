@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "numtheory/checked.hpp"
+#include "obs/trace.hpp"
 
 namespace pfl::net {
 
@@ -138,10 +139,14 @@ void VolunteerSession::backoff_sleep(std::size_t attempt,
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
-bool VolunteerSession::call_with_retry(const std::string& request,
-                                       MsgType expect, Frame& response,
-                                       bool auto_rejoin) {
+bool VolunteerSession::call_with_retry(MsgType type,
+                                       const std::vector<std::uint64_t>& words,
+                                       const char* span_name, MsgType expect,
+                                       Frame& response, bool auto_rejoin) {
   ++stats_.requests;
+  // The root span outlives every attempt, so all frames of a retry
+  // chain (and any rejoin it triggers) share this span's trace_id.
+  obs::Span rpc_span(span_name);
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) ++stats_.retries;
     if (!client_.connected()) {
@@ -151,53 +156,68 @@ bool VolunteerSession::call_with_retry(const std::string& request,
       }
       ++stats_.reconnects;
     }
-    Frame resp;
-    if (!client_.call(request, resp)) {
-      backoff_sleep(attempt, 0);
+    // Each attempt gets its own child span whose context rides the
+    // wire; the span must close before any backoff sleep or rejoin so
+    // it measures the attempt, not the recovery.
+    bool done = false;
+    bool success = false;
+    bool rejoin = false;
+    std::uint64_t backoff_floor_ms = 0;
+    {
+      const obs::Span attempt_span("net.rpc.attempt");
+      const obs::SpanContext ctx = attempt_span.context();
+      const std::string request =
+          encode_frame(type, words, TraceContext{ctx.trace_id, ctx.span_id});
+      Frame resp;
+      if (!client_.call(request, resp)) {
+        // Transport failure: fall through to backoff + reconnect.
+      } else if (resp.type == MsgType::kReject) {
+        ++stats_.typed_rejections;
+        const auto code = static_cast<RejectCode>(resp.word(0));
+        if (code == RejectCode::kOverloaded || code == RejectCode::kDraining ||
+            code == RejectCode::kQuarantined) {
+          backoff_floor_ms = resp.word(1);
+        } else if (code == RejectCode::kUnknownVolunteer && auto_rejoin) {
+          rejoin = true;
+        } else {
+          done = true;  // kBanned / kBadRequest: permanent
+        }
+      } else if (resp.type != expect) {
+        // Well-framed but out-of-protocol: drop the stream and retry.
+        client_.disconnect();
+      } else {
+        response = resp;
+        done = true;
+        success = true;
+      }
+    }
+    if (done) return success;
+    if (rejoin) {
+      // Server lost us (restart, or our join never landed): register
+      // again, then retry the original request.
+      ++stats_.rejoins;
+      Frame joined;
+      if (!call_with_retry(MsgType::kJoin, {id_, speed_milli_},
+                           "net.rpc.join", MsgType::kJoined, joined, false))
+        return false;
       continue;
     }
-    if (resp.type == MsgType::kReject) {
-      ++stats_.typed_rejections;
-      const auto code = static_cast<RejectCode>(resp.word(0));
-      if (code == RejectCode::kOverloaded || code == RejectCode::kDraining ||
-          code == RejectCode::kQuarantined) {
-        backoff_sleep(attempt, resp.word(1));
-        continue;
-      }
-      if (code == RejectCode::kUnknownVolunteer && auto_rejoin) {
-        // Server lost us (restart, or our join never landed): register
-        // again, then retry the original request.
-        ++stats_.rejoins;
-        Frame joined;
-        if (!call_with_retry(encode_join(id_, speed_milli_), MsgType::kJoined,
-                             joined, false))
-          return false;
-        continue;
-      }
-      return false;  // kBanned / kBadRequest: permanent
-    }
-    if (resp.type != expect) {
-      // Well-framed but out-of-protocol: drop the stream and retry.
-      client_.disconnect();
-      backoff_sleep(attempt, 0);
-      continue;
-    }
-    response = resp;
-    return true;
+    backoff_sleep(attempt, backoff_floor_ms);
   }
   return false;
 }
 
 bool VolunteerSession::join() {
   Frame resp;
-  return call_with_retry(encode_join(id_, speed_milli_), MsgType::kJoined,
-                         resp, false);
+  return call_with_retry(MsgType::kJoin, {id_, speed_milli_}, "net.rpc.join",
+                         MsgType::kJoined, resp, false);
 }
 
 bool VolunteerSession::fetch_task(wbc::TaskAssignment& task,
                                   std::uint64_t& lease_ms) {
   Frame resp;
-  if (!call_with_retry(encode_get_task(id_), MsgType::kTask, resp, true))
+  if (!call_with_retry(MsgType::kGetTask, {id_}, "net.rpc.get_task",
+                       MsgType::kTask, resp, true))
     return false;
   task.task = resp.word(0);
   task.row = resp.word(1);
@@ -209,7 +229,8 @@ bool VolunteerSession::fetch_task(wbc::TaskAssignment& task,
 bool VolunteerSession::submit(wbc::TaskIndex task, wbc::Result value,
                               wbc::SubmitStatus* status) {
   Frame resp;
-  if (!call_with_retry(encode_submit(id_, task, value, stats_.retries),
+  if (!call_with_retry(MsgType::kSubmitResult,
+                       {id_, task, value, stats_.retries}, "net.rpc.submit",
                        MsgType::kSubmitAck, resp, true))
     return false;
   const auto verdict = static_cast<wbc::SubmitStatus>(resp.word(0));
@@ -221,8 +242,8 @@ bool VolunteerSession::submit(wbc::TaskIndex task, wbc::Result value,
 
 bool VolunteerSession::heartbeat(index_t& renewed) {
   Frame resp;
-  if (!call_with_retry(encode_heartbeat(id_), MsgType::kHeartbeatAck, resp,
-                       true))
+  if (!call_with_retry(MsgType::kHeartbeat, {id_}, "net.rpc.heartbeat",
+                       MsgType::kHeartbeatAck, resp, true))
     return false;
   renewed = resp.word(0);
   return true;
@@ -230,7 +251,8 @@ bool VolunteerSession::heartbeat(index_t& renewed) {
 
 void VolunteerSession::leave() {
   Frame resp;
-  call_with_retry(encode_leave(id_), MsgType::kLeft, resp, false);
+  call_with_retry(MsgType::kLeave, {id_}, "net.rpc.leave", MsgType::kLeft,
+                  resp, false);
 }
 
 namespace {

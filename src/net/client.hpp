@@ -123,9 +123,14 @@ class VolunteerSession {
 
  private:
   /// One RPC with the full retry discipline. `expect` is the success
-  /// response type; anything else well-formed is a protocol error.
-  bool call_with_retry(const std::string& request, MsgType expect,
-                       Frame& response, bool auto_rejoin);
+  /// response type; anything else well-formed is a protocol error. The
+  /// request is re-encoded per attempt so each attempt's frame carries
+  /// that attempt's span context (DESIGN.md "Distributed tracing"); one
+  /// root span named `span_name` covers the whole RPC, so every attempt
+  /// in a retry chain shares its trace_id.
+  bool call_with_retry(MsgType type, const std::vector<std::uint64_t>& words,
+                       const char* span_name, MsgType expect, Frame& response,
+                       bool auto_rejoin);
   void backoff_sleep(std::size_t attempt, std::uint64_t floor_ms);
 
   std::uint16_t port_;

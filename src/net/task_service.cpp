@@ -22,6 +22,8 @@
 #include "net/wire.hpp"
 #include "numtheory/checked.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rpcz.hpp"
+#include "obs/trace.hpp"
 
 namespace pfl::net {
 
@@ -42,8 +44,13 @@ constexpr std::size_t kMaxFramesPerSweep = 64;
 /// are clean. The eviction sweep enforces a WHOLE-EXCHANGE deadline
 /// against that stamp -- drip-feeding one byte per second (slow-loris)
 /// keeps making "progress" but still dies at io_deadline_ms.
+/// id/peer/accepted_ms/frames exist for the /connz snapshot.
 struct Conn {
   int fd = -1;
+  std::uint64_t id = 0;
+  std::string peer;
+  std::int64_t accepted_ms = 0;
+  std::uint64_t frames = 0;
   FrameReader reader;
   std::string out;
   std::size_t out_off = 0;
@@ -52,6 +59,80 @@ struct Conn {
 
   std::size_t pending_out() const { return out.size() - out_off; }
 };
+
+/// /rpcz method label for a request frame type.
+const char* rpc_method_name(MsgType type) {
+  switch (type) {
+    case MsgType::kJoin: return "join";
+    case MsgType::kLeave: return "leave";
+    case MsgType::kGetTask: return "get_task";
+    case MsgType::kSubmitResult: return "submit";
+    case MsgType::kHeartbeat: return "heartbeat";
+    default: return "other";
+  }
+}
+
+/// Server exchange span name; the client side's "net.rpc.<method>" /
+/// "net.rpc.attempt" spans parent these across the wire.
+const char* serve_span_name(MsgType type) {
+  switch (type) {
+    case MsgType::kJoin: return "net.serve.join";
+    case MsgType::kLeave: return "net.serve.leave";
+    case MsgType::kGetTask: return "net.serve.get_task";
+    case MsgType::kSubmitResult: return "net.serve.submit";
+    case MsgType::kHeartbeat: return "net.serve.heartbeat";
+    default: return "net.serve.other";
+  }
+}
+
+/// RED instruments per method. Instrument names must be string literals
+/// at the macro call site (pfl_lint obs-instrument), hence the switch
+/// instead of name concatenation.
+void record_rpc_metrics(MsgType type, bool error, std::uint64_t dur_ns) {
+  switch (type) {
+    case MsgType::kJoin:
+      PFL_OBS_COUNTER("pfl_net_rpc_requests_join_total").add();
+      if (error) PFL_OBS_COUNTER("pfl_net_rpc_errors_join_total").add();
+      PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_join_ns").record(dur_ns);
+      return;
+    case MsgType::kLeave:
+      PFL_OBS_COUNTER("pfl_net_rpc_requests_leave_total").add();
+      if (error) PFL_OBS_COUNTER("pfl_net_rpc_errors_leave_total").add();
+      PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_leave_ns").record(dur_ns);
+      return;
+    case MsgType::kGetTask:
+      PFL_OBS_COUNTER("pfl_net_rpc_requests_get_task_total").add();
+      if (error) PFL_OBS_COUNTER("pfl_net_rpc_errors_get_task_total").add();
+      PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_get_task_ns").record(dur_ns);
+      return;
+    case MsgType::kSubmitResult:
+      PFL_OBS_COUNTER("pfl_net_rpc_requests_submit_total").add();
+      if (error) PFL_OBS_COUNTER("pfl_net_rpc_errors_submit_total").add();
+      PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_submit_ns").record(dur_ns);
+      return;
+    case MsgType::kHeartbeat:
+      PFL_OBS_COUNTER("pfl_net_rpc_requests_heartbeat_total").add();
+      if (error) PFL_OBS_COUNTER("pfl_net_rpc_errors_heartbeat_total").add();
+      PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_heartbeat_ns").record(dur_ns);
+      return;
+    default:
+      PFL_OBS_COUNTER("pfl_net_rpc_requests_other_total").add();
+      if (error) PFL_OBS_COUNTER("pfl_net_rpc_errors_other_total").add();
+      PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_other_ns").record(dur_ns);
+      return;
+  }
+}
+
+/// Tail-samples an exchange the service refused before (or instead of)
+/// serving it: shed/drain at accept, framing failures at decode. These
+/// are always errors, so they bypass the buffer's success gate.
+void record_refusal_sample(const char* method, const char* verdict) {
+  obs::RpcTailSample sample;
+  sample.method = method;
+  sample.verdict = verdict;
+  sample.error = true;
+  obs::RpcTailBuffer::instance().record(sample);
+}
 
 /// Best-effort one-shot send for shed/drain rejections on a freshly
 /// accepted socket (whose send buffer is empty, so a ~40-byte frame
@@ -175,13 +256,22 @@ void TaskService::run_loop() {
   // Lease lengths travel on the wire in milliseconds: ticks * tick_ms.
   const std::uint64_t tick_ms = nt::to_index(config_.tick_interval_ms);
 
+  /// Verdict of one handled exchange, for the RED error counters and
+  /// the /rpcz tail buffer. `verdict` is always a string literal.
+  struct Outcome {
+    bool error = false;
+    const char* verdict = "ok";
+  };
+
   /// Turns one verified request frame into one response frame. All
   /// rejections are typed; DomainErrors from API misuse (a client
   /// driving the protocol out of order) degrade to kBadRequest instead
   /// of taking the loop down.
-  const auto handle = [&](const Frame& req) -> std::string {
+  const auto handle = [&](const Frame& req, Outcome& outcome) -> std::string {
     PFL_OBS_COUNTER("pfl_net_requests_total").add();
     const auto reject = [&](RejectCode code, std::uint64_t retry_ms) {
+      outcome.error = true;
+      outcome.verdict = to_string(code);
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
       PFL_OBS_COUNTER("pfl_net_requests_rejected_total").add();
       return encode_reject(code, retry_ms);
@@ -244,6 +334,8 @@ void TaskService::run_loop() {
   index_t last_tick = 0;
   bool draining = false;
   std::int64_t drain_started = 0;
+  std::uint64_t next_conn_id = 0;
+  std::int64_t last_connz_ms = -1;
 
   for (;;) {
     if (!draining && stop_requested_.load(std::memory_order_acquire)) {
@@ -289,13 +381,17 @@ void TaskService::run_loop() {
     // (typed kDraining) -- a refused client always learns why.
     if ((pfds[0].revents & POLLIN) != 0) {
       for (;;) {
-        const int conn_fd = ::accept4(listen_fd, nullptr, nullptr,
-                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        sockaddr_in peer_addr{};
+        socklen_t peer_len = sizeof(peer_addr);
+        const int conn_fd =
+            ::accept4(listen_fd, reinterpret_cast<sockaddr*>(&peer_addr),
+                      &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (conn_fd < 0) break;
         if (draining) {
           drain_rejects_.fetch_add(1, std::memory_order_relaxed);
           requests_rejected_.fetch_add(1, std::memory_order_relaxed);
           PFL_OBS_COUNTER("pfl_net_requests_rejected_total").add();
+          record_refusal_sample("accept", "draining");
           send_and_close(conn_fd,
                          encode_reject(RejectCode::kDraining,
                                        nt::to_index(config_.drain_deadline_ms)));
@@ -306,6 +402,7 @@ void TaskService::run_loop() {
           requests_rejected_.fetch_add(1, std::memory_order_relaxed);
           PFL_OBS_COUNTER("pfl_net_conns_shed_total").add();
           PFL_OBS_COUNTER("pfl_net_requests_rejected_total").add();
+          record_refusal_sample("accept", "overloaded");
           send_and_close(
               conn_fd,
               encode_reject(RejectCode::kOverloaded, config_.retry_after_ms));
@@ -313,6 +410,12 @@ void TaskService::run_loop() {
         }
         Conn c;
         c.fd = conn_fd;
+        c.id = ++next_conn_id;
+        char ip[INET_ADDRSTRLEN] = "?";
+        ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip));
+        c.peer = std::string(ip) + ":" +
+                 std::to_string(ntohs(peer_addr.sin_port));
+        c.accepted_ms = now;
         conns.push_back(std::move(c));
         connections_accepted_.fetch_add(1, std::memory_order_relaxed);
         PFL_OBS_COUNTER("pfl_net_conns_accepted_total").add();
@@ -357,18 +460,41 @@ void TaskService::run_loop() {
             crc_rejects_.fetch_add(1, std::memory_order_relaxed);
             PFL_OBS_COUNTER("pfl_net_crc_rejects_total").add();
           }
+          record_refusal_sample("decode", to_string(status));
           c.closed = true;
           break;
         }
         frames_received_.fetch_add(1, std::memory_order_relaxed);
         PFL_OBS_COUNTER("pfl_net_frames_rx_total").add();
+        ++c.frames;
         const auto t0 = Clock::now();
-        c.out += handle(frame);
-        PFL_OBS_HISTOGRAM("pfl_net_request_service_ns")
-            .record(nt::to_index(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    Clock::now() - t0)
-                    .count()));
+        Outcome outcome;
+        obs::SpanContext serve_ctx;
+        {
+          // The exchange span parents itself under the client attempt
+          // that sent the frame (its context rode the wire); a context-
+          // free frame starts a fresh server-local trace.
+          const obs::Span span(
+              serve_span_name(frame.type),
+              obs::SpanContext{frame.trace.trace_id, frame.trace.span_id});
+          serve_ctx = span.context();
+          c.out += handle(frame, outcome);
+        }
+        const std::uint64_t dur_ns = nt::to_index(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t0)
+                .count());
+        PFL_OBS_HISTOGRAM("pfl_net_request_service_ns").record(dur_ns);
+        record_rpc_metrics(frame.type, outcome.error, dur_ns);
+        obs::RpcTailSample sample;
+        sample.method = rpc_method_name(frame.type);
+        sample.verdict = outcome.verdict;
+        sample.trace_id = serve_ctx.trace_id;
+        sample.span_id = serve_ctx.span_id;
+        sample.parent_span_id = frame.trace.span_id;
+        sample.dur_ns = dur_ns;
+        sample.error = outcome.error;
+        obs::RpcTailBuffer::instance().record(sample);
         PFL_OBS_COUNTER("pfl_net_frames_tx_total").add();
         ++served;
       }
@@ -404,6 +530,32 @@ void TaskService::run_loop() {
       }
     }
 
+    // /connz snapshot, published BEFORE the reap so a connection that
+    // just got poisoned or evicted appears once with its final state.
+    // Throttled: a fresh snapshot every ~100ms is plenty for a human-
+    // facing page and keeps the set() copy off the per-sweep hot path.
+    if (last_connz_ms < 0 || now - last_connz_ms >= 100) {
+      last_connz_ms = now;
+      std::vector<obs::ConnzEntry> entries;
+      entries.reserve(conns.size());
+      for (const Conn& c : conns) {
+        obs::ConnzEntry e;
+        e.id = c.id;
+        e.peer = c.peer;
+        e.age_ms = now - c.accepted_ms;
+        e.poisoned = c.reader.poisoned();
+        const bool busy = c.reader.buffered() > 0 || c.pending_out() > 0;
+        e.state = e.poisoned ? "poisoned" : (busy ? "exchange" : "idle");
+        e.deadline_ms = c.busy_since_ms != 0
+                            ? config_.io_deadline_ms - (now - c.busy_since_ms)
+                            : -1;
+        e.out_queue_bytes = c.pending_out();
+        e.frames = c.frames;
+        entries.push_back(std::move(e));
+      }
+      obs::ConnzTable::instance().set(std::move(entries));
+    }
+
     // Reap closed connections.
     for (std::size_t i = 0; i < conns.size();) {
       if (conns[i].closed) {
@@ -419,6 +571,7 @@ void TaskService::run_loop() {
   }
 
   for (Conn& c : conns) ::close(c.fd);
+  obs::ConnzTable::instance().set({});
   PFL_OBS_GAUGE("pfl_net_open_connections").set(0);
 }
 

@@ -12,10 +12,21 @@
 //     0       4     magic "PFLW" (0x57 0x4C 0x46 0x50 on the wire, LE)
 //     4       1     version (kWireVersion)
 //     5       1     message type (MsgType)
-//     6       2     flags, must be 0 (reserved; nonzero is rejected)
+//     6       2     flags (kFlagTraceContext is the only defined bit;
+//                   any other bit set is rejected)
 //     8       4     payload length in bytes, <= kMaxPayloadBytes
 //     12      8     crc64 over header (with this field zeroed) + payload
 //     20      N     payload: little-endian u64 words
+//
+// Trace-context extension (DESIGN.md "Distributed tracing"): a frame
+// with kFlagTraceContext set carries TWO EXTRA payload words after the
+// type's own words -- the sender's obs trace_id and span_id -- so a
+// server span can parent itself under the client attempt that caused
+// it. The extension stays inside the existing envelope: same version,
+// CRC-covered like every other byte (a flipped bit in the context dies
+// on the CRC), and entirely optional -- a context-free frame (flag
+// clear, base word count) is always accepted, so old peers and
+// tracing-disabled builds interoperate unchanged.
 //
 // Receivers validate in this order: magic -> version -> flags -> length
 // cap -> (wait for the full payload) -> CRC -> per-type word count. A
@@ -46,6 +57,14 @@ namespace pfl::net {
 inline constexpr std::uint32_t kWireMagic = 0x57464C50u;  // "PLFW" LE bytes
 inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 20;
+/// Header flags (u16 at offset 6). kFlagTraceContext: the payload ends
+/// with two extra words, [trace_id, span_id] of the sending span. Any
+/// bit outside kKnownFlags poisons the stream (kBadFlags), exactly as
+/// the all-reserved flags word did before this extension.
+inline constexpr std::uint16_t kFlagTraceContext = 0x0001;
+inline constexpr std::uint16_t kKnownFlags = kFlagTraceContext;
+/// Payload words appended by kFlagTraceContext.
+inline constexpr std::size_t kTraceContextWords = 2;
 /// Requests and responses are a handful of u64 words; anything bigger is
 /// hostile or corrupt. The cap also bounds per-connection buffer growth.
 inline constexpr std::size_t kMaxPayloadBytes = 256;
@@ -93,10 +112,24 @@ constexpr const char* to_string(RejectCode code) {
   return "unknown";
 }
 
-/// One decoded frame: the type plus its payload words.
+/// Span identity as it rides the wire under kFlagTraceContext: the
+/// sending span's trace and span ids (obs::SpanContext, kept as plain
+/// u64s here so the wire layer stays obs-independent). trace_id == 0 is
+/// "no context": it encodes as a flag-free frame and decodes from one.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One decoded frame: the type plus its payload words. `words` holds
+/// only the type's own words -- when the frame carried trace context,
+/// the two trailing context words are stripped into `trace`.
 struct Frame {
   MsgType type = MsgType::kReject;
   std::vector<std::uint64_t> words;
+  TraceContext trace;
 
   std::uint64_t word(std::size_t i) const {
     return i < words.size() ? words[i] : 0;
@@ -153,19 +186,31 @@ inline std::uint64_t get_u64(const char* p) {
 
 /// Serializes one frame. The CRC is computed over the header with the CRC
 /// field zeroed, continued over the payload, then patched in -- so the
-/// digest covers type, flags and length as well as the body.
+/// digest covers type, flags and length as well as the body (including
+/// any trace-context words). A valid `trace` sets kFlagTraceContext and
+/// appends [trace_id, span_id] after the type's words; an invalid one
+/// produces the exact pre-extension byte stream.
 inline std::string encode_frame(MsgType type,
-                                const std::vector<std::uint64_t>& words) {
+                                const std::vector<std::uint64_t>& words,
+                                TraceContext trace = {}) {
+  const bool traced = trace.valid();
+  const std::size_t payload_words =
+      words.size() + (traced ? kTraceContextWords : 0);
+  const std::uint16_t flags = traced ? kFlagTraceContext : 0;
   std::string out;
-  out.reserve(kHeaderBytes + 8 * words.size());
+  out.reserve(kHeaderBytes + 8 * payload_words);
   detail::put_u32(out, kWireMagic);
   out.push_back(static_cast<char>(kWireVersion));
   out.push_back(static_cast<char>(type));
-  out.push_back('\0');  // flags lo
-  out.push_back('\0');  // flags hi
-  detail::put_u32(out, static_cast<std::uint32_t>(8 * words.size()));
+  out.push_back(static_cast<char>(flags & 0xFF));         // flags lo
+  out.push_back(static_cast<char>((flags >> 8) & 0xFF));  // flags hi
+  detail::put_u32(out, static_cast<std::uint32_t>(8 * payload_words));
   detail::put_u64(out, 0);  // crc placeholder
   for (const std::uint64_t w : words) detail::put_u64(out, w);
+  if (traced) {
+    detail::put_u64(out, trace.trace_id);
+    detail::put_u64(out, trace.span_id);
+  }
   const std::uint64_t crc = storage::crc64(out);
   std::string patched;
   detail::put_u64(patched, crc);
@@ -174,7 +219,7 @@ inline std::string encode_frame(MsgType type,
 }
 
 inline std::string encode_frame(const Frame& frame) {
-  return encode_frame(frame.type, frame.words);
+  return encode_frame(frame.type, frame.words, frame.trace);
 }
 
 /// Everything a receiver can conclude from the bytes seen so far.
@@ -231,7 +276,10 @@ class FrameReader {
     if (detail::get_u32(h) != kWireMagic) return poison(DecodeStatus::kBadMagic);
     if (static_cast<unsigned char>(h[4]) != kWireVersion)
       return poison(DecodeStatus::kBadVersion);
-    if (h[6] != '\0' || h[7] != '\0') return poison(DecodeStatus::kBadFlags);
+    const std::uint16_t flags = static_cast<std::uint16_t>(
+        static_cast<unsigned char>(h[6]) |
+        (static_cast<unsigned char>(h[7]) << 8));
+    if ((flags & ~kKnownFlags) != 0) return poison(DecodeStatus::kBadFlags);
     const std::uint32_t payload_len = detail::get_u32(h + 8);
     if (payload_len > kMaxPayloadBytes || payload_len % 8 != 0)
       return poison(DecodeStatus::kOversize);
@@ -246,13 +294,20 @@ class FrameReader {
 
     const auto type = static_cast<MsgType>(static_cast<unsigned char>(h[5]));
     const std::size_t want = expected_words(type);
-    if (want == kUnknownType || want != payload_len / 8)
+    const std::size_t extra =
+        (flags & kFlagTraceContext) != 0 ? kTraceContextWords : 0;
+    if (want == kUnknownType || want + extra != payload_len / 8)
       return poison(DecodeStatus::kBadLength);
 
     frame.type = type;
     frame.words.clear();
     for (std::size_t i = 0; i < want; ++i)
       frame.words.push_back(detail::get_u64(h + kHeaderBytes + 8 * i));
+    frame.trace = TraceContext{};
+    if (extra != 0) {
+      frame.trace.trace_id = detail::get_u64(h + kHeaderBytes + 8 * want);
+      frame.trace.span_id = detail::get_u64(h + kHeaderBytes + 8 * (want + 1));
+    }
     pos_ += kHeaderBytes + payload_len;
     compact();
     return DecodeStatus::kFrame;
@@ -282,21 +337,26 @@ class FrameReader {
 
 // --- request/response conveniences --------------------------------------
 
-inline std::string encode_join(wbc::VolunteerId v, std::uint64_t speed_milli) {
-  return encode_frame(MsgType::kJoin, {v, speed_milli});
+inline std::string encode_join(wbc::VolunteerId v, std::uint64_t speed_milli,
+                               TraceContext trace = {}) {
+  return encode_frame(MsgType::kJoin, {v, speed_milli}, trace);
 }
-inline std::string encode_leave(wbc::VolunteerId v) {
-  return encode_frame(MsgType::kLeave, {v});
+inline std::string encode_leave(wbc::VolunteerId v, TraceContext trace = {}) {
+  return encode_frame(MsgType::kLeave, {v}, trace);
 }
-inline std::string encode_get_task(wbc::VolunteerId v) {
-  return encode_frame(MsgType::kGetTask, {v});
+inline std::string encode_get_task(wbc::VolunteerId v,
+                                   TraceContext trace = {}) {
+  return encode_frame(MsgType::kGetTask, {v}, trace);
 }
 inline std::string encode_submit(wbc::VolunteerId v, wbc::TaskIndex task,
-                                 wbc::Result value, std::uint64_t attempt) {
-  return encode_frame(MsgType::kSubmitResult, {v, task, value, attempt});
+                                 wbc::Result value, std::uint64_t attempt,
+                                 TraceContext trace = {}) {
+  return encode_frame(MsgType::kSubmitResult, {v, task, value, attempt},
+                      trace);
 }
-inline std::string encode_heartbeat(wbc::VolunteerId v) {
-  return encode_frame(MsgType::kHeartbeat, {v});
+inline std::string encode_heartbeat(wbc::VolunteerId v,
+                                    TraceContext trace = {}) {
+  return encode_frame(MsgType::kHeartbeat, {v}, trace);
 }
 inline std::string encode_reject(RejectCode code,
                                  std::uint64_t retry_after_ms) {

@@ -30,6 +30,8 @@
 //   <dir>/<prefix>.metrics.prom   export.hpp to_prometheus
 //   <dir>/<prefix>.trace.json     Chrome trace (trace_report.py-valid)
 //   <dir>/<prefix>.series.json    sampler window (pfl-series/1)
+//   <dir>/<prefix>.rpcz.txt       per-method RPC stats + tail samples
+//   <dir>/<prefix>.connz.txt      live task-service connections
 //
 // With PFL_OBS=OFF everything is a no-op: install() installs nothing
 // and dump() writes nothing and returns "".
@@ -41,6 +43,7 @@
 #include "core/contract.hpp"
 #include "core/thread_safety.hpp"
 #include "obs/export.hpp"
+#include "obs/rpcz.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
@@ -54,7 +57,7 @@ namespace pfl::obs {
 struct FlightRecorderConfig {
   /// Directory the dump files land in; must already exist.
   std::string directory = ".";
-  /// Filename stem for the five dump files.
+  /// Filename stem for the dump files.
   std::string prefix = "pfl-flight";
   /// Optional sampler whose window becomes <prefix>.series.json. Not
   /// owned; uninstall() (or configure() with a different sampler) before
@@ -174,6 +177,8 @@ class FlightRecorder {
                config_.sampler != nullptr
                    ? config_.sampler->window_json()
                    : series_json({}, 0));
+    write_file(stem + ".rpcz.txt", rpcz_text());
+    write_file(stem + ".connz.txt", connz_text());
     return stem;
   }
 

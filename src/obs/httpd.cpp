@@ -30,6 +30,7 @@
 
 #include "obs/export.hpp"
 #include "obs/prof/profiler.hpp"
+#include "obs/rpcz.hpp"
 #include "obs/trace.hpp"
 
 namespace pfl::obs {
@@ -214,6 +215,12 @@ void HttpServer::handle_connection(int fd) const {
     // Profiler::start()); pipe into flamegraph.pl or speedscope.
     body = prof::Profiler::instance().collapsed();
     content_type = "text/plain; charset=utf-8";
+  } else if (path == "/rpcz") {
+    body = rpcz_text();
+    content_type = "text/plain; charset=utf-8";
+  } else if (path == "/connz") {
+    body = connz_text();
+    content_type = "text/plain; charset=utf-8";
   } else if (path == "/") {
     body =
         "pfl telemetry endpoints:\n"
@@ -222,6 +229,8 @@ void HttpServer::handle_connection(int fd) const {
         "  /series.json   pfl-series/1 sampler ring\n"
         "  /tracez        chrome trace json (load in perfetto)\n"
         "  /profilez      collapsed stacks (flamegraph.pl input)\n"
+        "  /rpcz          per-method RPC stats + tail-sampled exchanges\n"
+        "  /connz         live task-service connections\n"
         "  /healthz       liveness\n";
     content_type = "text/plain; charset=utf-8";
   } else {

@@ -9,6 +9,9 @@
 //   /tracez         recent spans as Chrome trace JSON (trace.hpp)
 //   /profilez       collapsed stacks from the sampling profiler
 //                   (obs/prof/profiler.hpp) -- flamegraph.pl input
+//   /rpcz           per-method RPC stats + tail-sampled slow/errored
+//                   exchanges (obs/rpcz.hpp)
+//   /connz          live task-service connection table (obs/rpcz.hpp)
 //   /healthz        "ok" -- liveness only
 //   /               plain-text index of the above
 //

@@ -63,6 +63,9 @@ class CountedSpan {
     if (!TraceCollector::instance().enabled()) return;
     name_ = name;
     start_ns_ = trace_detail::now_ns();
+    // Same identity protocol as a plain Span (trace.hpp): inherit the
+    // ambient parent, become the ambient context for this scope.
+    identity_.enter(trace_detail::ambient_context());
     if (SpanCounting::enabled()) {
       session_ = &span_detail::thread_session();
       begin_ = session_->read();
@@ -73,25 +76,31 @@ class CountedSpan {
   CountedSpan& operator=(const CountedSpan&) = delete;
 
   ~CountedSpan() {
-    if (name_ == nullptr || !TraceCollector::instance().enabled()) return;
+    if (name_ == nullptr) return;
+    identity_.exit();
+    if (!TraceCollector::instance().enabled()) return;
     const std::uint64_t end_ns = trace_detail::now_ns();
-    std::uint64_t cycles = 0;
-    std::uint64_t instructions = 0;
-    std::uint64_t llc_misses = 0;
+    TraceEvent ev;
+    ev.name = name_;
+    ev.ts_ns = start_ns_;
+    ev.dur_ns = end_ns - start_ns_;
+    const SpanContext ctx = identity_.context();
+    ev.trace_id = ctx.trace_id;
+    ev.span_id = ctx.span_id;
+    ev.parent_span_id = identity_.parent_span_id();
     if (session_ != nullptr) {
       const CounterReading delta = session_->read().since(begin_);
-      cycles = delta.cycles;
-      instructions = delta.instructions;
-      llc_misses = delta.cache_misses;
+      ev.cycles = delta.cycles;
+      ev.instructions = delta.instructions;
+      ev.llc_misses = delta.cache_misses;
     }
-    TraceCollector::instance().buffer_for_this_thread().push(
-        name_, start_ns_, end_ns - start_ns_, cycles, instructions,
-        llc_misses);
+    TraceCollector::instance().buffer_for_this_thread().push(ev);
   }
 
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  trace_detail::ScopedIdentity identity_;
   CounterSession* session_ = nullptr;
   CounterReading begin_;
 };

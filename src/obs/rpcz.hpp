@@ -1,0 +1,333 @@
+// Per-RPC introspection state for the networked task service (DESIGN.md
+// "Distributed tracing"): the pieces of /rpcz and /connz that cannot be
+// reconstructed from the metrics registry alone.
+//
+//   * RpcTailBuffer -- a bounded tail-sampling buffer of completed
+//     exchanges. Capacity is fixed (kCapacity); retention ranks errored
+//     exchanges above successes and, within a class, longer over
+//     shorter, so what survives is exactly what an operator asks for
+//     after an incident: the slowest requests and every recent failure,
+//     each carrying its span identity (trace/span/parent ids) and the
+//     server's verdict (ack, typed reject, shed, or decode failure).
+//     The recording fast path is two relaxed atomic loads for the
+//     common case (a success faster than the current floor); only
+//     samples that will actually be retained take the mutex.
+//   * ConnzTable -- the task service's per-sweep snapshot of its live
+//     connections (peer, age, in-flight state, deadline remaining,
+//     out-queue depth, poison status). The service loop publishes; the
+//     httpd and the flight recorder read.
+//
+// The /rpcz method table itself (request/error counts, p50/p99) is NOT
+// stored here -- it is derived on demand from the pfl_net_rpc_* RED
+// instruments in the metrics registry (rpcz_text()), so the table can
+// never drift from what /metrics exports.
+//
+// Layering: this lives in obs (not net) because obs/httpd.cpp and
+// obs/flight_recorder.hpp render it, and src/net already depends on
+// obs for its instruments -- the reverse edge would be a cycle.
+//
+// When PFL_OBS=OFF everything here is a no-op with the same API and the
+// renderers emit their header line only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/thread_safety.hpp"
+
+#if PFL_OBS_ENABLED
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <limits>
+
+#include "obs/export.hpp"
+#include "obs/stats.hpp"
+#endif
+
+namespace pfl::obs {
+
+/// One completed RPC exchange as the tail buffer retains it. `method`
+/// and `verdict` must be string literals (the buffer outlives any
+/// connection). Ids are zero when the exchange carried no trace context.
+struct RpcTailSample {
+  const char* method = "";
+  const char* verdict = "";
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t seq = 0;  ///< arrival order, assigned by record()
+  bool error = false;
+};
+
+/// One row of /connz, published by the task service's poll loop.
+struct ConnzEntry {
+  std::uint64_t id = 0;
+  std::string peer;
+  std::int64_t age_ms = 0;
+  const char* state = "idle";  ///< "idle" | "exchange" | "poisoned"
+  std::int64_t deadline_ms = -1;  ///< remaining budget; -1 = none armed
+  std::uint64_t out_queue_bytes = 0;
+  std::uint64_t frames = 0;
+  bool poisoned = false;
+};
+
+#if PFL_OBS_ENABLED
+
+/// Bounded tail-sampling buffer; see file comment for the retention
+/// policy. Thread-safe: record() may be called from any thread (the
+/// service loop, tests, multiple services in one process share it).
+class RpcTailBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  static RpcTailBuffer& instance() {
+    static RpcTailBuffer* b = new RpcTailBuffer();
+    return *b;
+  }
+
+  /// Records one completed exchange if it outranks the weakest retained
+  /// sample (always, while the buffer has room). Successes that cannot
+  /// possibly be retained are rejected by two relaxed loads without
+  /// taking the lock.
+  void record(RpcTailSample sample) {
+    if (!sample.error &&
+        sample.dur_ns < success_floor_ns_.load(std::memory_order_relaxed))
+      return;
+    par::LockGuard lock(m_);
+    sample.seq = ++seq_;
+    if (samples_.size() < kCapacity) {
+      samples_.push_back(sample);
+      if (samples_.size() == kCapacity) refresh_floor_locked();
+      return;
+    }
+    std::size_t weakest = 0;
+    for (std::size_t i = 1; i < samples_.size(); ++i)
+      if (outranks(samples_[weakest], samples_[i])) weakest = i;
+    if (outranks(sample, samples_[weakest])) {
+      samples_[weakest] = sample;
+      refresh_floor_locked();
+    }
+  }
+
+  /// Retained samples, slowest first (errors sort with everything else
+  /// by duration; their `error` flag marks them).
+  std::vector<RpcTailSample> samples() const {
+    std::vector<RpcTailSample> out;
+    {
+      par::LockGuard lock(m_);
+      out = samples_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RpcTailSample& a, const RpcTailSample& b) {
+                if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+                return a.seq < b.seq;
+              });
+    return out;
+  }
+
+  void clear() {
+    par::LockGuard lock(m_);
+    samples_.clear();
+    seq_ = 0;
+    success_floor_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  RpcTailBuffer() = default;
+
+  /// Retention order: errors outrank successes; within a class, longer
+  /// duration outranks shorter; ties go to the newer sample (so the
+  /// buffer keeps turning over under a uniform load).
+  static bool outranks(const RpcTailSample& a, const RpcTailSample& b) {
+    if (a.error != b.error) return a.error;
+    if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+    return a.seq >= b.seq;
+  }
+
+  /// Recomputes the lock-free gate for successes: the duration a new
+  /// success must beat to displace the weakest retained sample. When
+  /// errors fill the buffer no success can enter at all.
+  void refresh_floor_locked() PFL_REQUIRES(m_) {
+    std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+    bool any_success = false;
+    for (const RpcTailSample& s : samples_) {
+      if (s.error) continue;
+      any_success = true;
+      floor = std::min(floor, s.dur_ns);
+    }
+    success_floor_ns_.store(
+        any_success ? floor : std::numeric_limits<std::uint64_t>::max(),
+        std::memory_order_relaxed);
+  }
+
+  mutable par::Mutex m_;
+  std::vector<RpcTailSample> samples_ PFL_GUARDED_BY(m_);
+  std::uint64_t seq_ PFL_GUARDED_BY(m_) = 0;
+  /// 0 until the buffer fills -- everything is retained; then the
+  /// weakest retained success's duration (max when errors own every
+  /// slot). Read lock-free on the record() fast path.
+  std::atomic<std::uint64_t> success_floor_ns_{0};
+};
+
+/// Live-connection snapshot store: the task service loop set()s a fresh
+/// vector every sweep; /connz and the flight recorder get() it.
+class ConnzTable {
+ public:
+  static ConnzTable& instance() {
+    static ConnzTable* t = new ConnzTable();
+    return *t;
+  }
+
+  void set(std::vector<ConnzEntry> entries) {
+    par::LockGuard lock(m_);
+    entries_ = std::move(entries);
+  }
+
+  std::vector<ConnzEntry> get() const {
+    par::LockGuard lock(m_);
+    return entries_;
+  }
+
+ private:
+  ConnzTable() = default;
+
+  mutable par::Mutex m_;
+  std::vector<ConnzEntry> entries_ PFL_GUARDED_BY(m_);
+};
+
+namespace rpcz_detail {
+
+inline void append_hex_id(std::string& out, std::uint64_t v) {
+  for (int s = 60; s >= 0; s -= 4)
+    out.push_back("0123456789abcdef"[(v >> s) & 0xF]);
+}
+
+inline void append_fmt(std::string& out, const char* fmt, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+}  // namespace rpcz_detail
+
+/// The /rpcz page: a per-method RED table derived live from the
+/// pfl_net_rpc_* instruments, then the retained tail samples.
+inline std::string rpcz_text() {
+  const Snapshot snap = snapshot();
+  std::string out = "rpcz -- per-method RPC stats (pfl_net_rpc_*)\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %10s %10s %12s %12s\n", "method",
+                "requests", "errors", "p50_us", "p99_us");
+  out += line;
+  const std::string prefix = "pfl_net_rpc_requests_";
+  const std::string suffix = "_total";
+  for (const auto& [name, requests] : snap.counters) {
+    if (name.rfind(prefix, 0) != 0 || name.size() <= prefix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string method =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    const std::uint64_t errors =
+        snap.counter("pfl_net_rpc_errors_" + method + "_total");
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    const auto hist =
+        snap.histograms.find("pfl_net_rpc_duration_" + method + "_ns");
+    if (hist != snap.histograms.end()) {
+      p50_us = estimate_quantile(hist->second, 0.50) / 1000.0;
+      p99_us = estimate_quantile(hist->second, 0.99) / 1000.0;
+    }
+    std::snprintf(line, sizeof(line), "%-12s %10llu %10llu %12.1f %12.1f\n",
+                  method.c_str(), static_cast<unsigned long long>(requests),
+                  static_cast<unsigned long long>(errors), p50_us, p99_us);
+    out += line;
+  }
+  const std::vector<RpcTailSample> tail = RpcTailBuffer::instance().samples();
+  std::snprintf(line, sizeof(line),
+                "\nretained exchanges (slowest/errored, capacity %u):\n",
+                static_cast<unsigned>(RpcTailBuffer::kCapacity));
+  out += line;
+  std::snprintf(line, sizeof(line), "%6s %-12s %12s %-18s %-16s %-16s %s\n",
+                "seq", "method", "dur_us", "verdict", "trace_id", "span_id",
+                "parent_span_id");
+  out += line;
+  for (const RpcTailSample& s : tail) {
+    std::snprintf(line, sizeof(line), "%6llu %-12s ",
+                  static_cast<unsigned long long>(s.seq), s.method);
+    out += line;
+    rpcz_detail::append_fmt(out, "%12.1f",
+                            static_cast<double>(s.dur_ns) / 1000.0);
+    std::snprintf(line, sizeof(line), " %-18s ",
+                  s.error ? (std::string("!") + s.verdict).c_str()
+                          : s.verdict);
+    out += line;
+    rpcz_detail::append_hex_id(out, s.trace_id);
+    out.push_back(' ');
+    rpcz_detail::append_hex_id(out, s.span_id);
+    out.push_back(' ');
+    rpcz_detail::append_hex_id(out, s.parent_span_id);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// The /connz page: the task service's latest live-connection snapshot.
+inline std::string connz_text() {
+  const std::vector<ConnzEntry> entries = ConnzTable::instance().get();
+  std::string out = "connz -- " + std::to_string(entries.size()) +
+                    " live connection(s)\n";
+  char line[192];
+  std::snprintf(line, sizeof(line), "%6s %-22s %9s %-10s %12s %8s %8s %s\n",
+                "id", "peer", "age_ms", "state", "deadline_ms", "out_q",
+                "frames", "poisoned");
+  out += line;
+  for (const ConnzEntry& e : entries) {
+    std::snprintf(line, sizeof(line),
+                  "%6llu %-22s %9lld %-10s %12lld %8llu %8llu %s\n",
+                  static_cast<unsigned long long>(e.id), e.peer.c_str(),
+                  static_cast<long long>(e.age_ms), e.state,
+                  static_cast<long long>(e.deadline_ms),
+                  static_cast<unsigned long long>(e.out_queue_bytes),
+                  static_cast<unsigned long long>(e.frames),
+                  e.poisoned ? "yes" : "no");
+    out += line;
+  }
+  return out;
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+class RpcTailBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 0;
+  static RpcTailBuffer& instance() {
+    static RpcTailBuffer b;
+    return b;
+  }
+  void record(RpcTailSample) {}
+  std::vector<RpcTailSample> samples() const { return {}; }
+  void clear() {}
+};
+
+class ConnzTable {
+ public:
+  static ConnzTable& instance() {
+    static ConnzTable t;
+    return t;
+  }
+  void set(std::vector<ConnzEntry>) {}
+  std::vector<ConnzEntry> get() const { return {}; }
+};
+
+inline std::string rpcz_text() {
+  return "rpcz -- per-method RPC stats (pfl_net_rpc_*)\n";
+}
+
+inline std::string connz_text() { return "connz -- 0 live connection(s)\n"; }
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace pfl::obs

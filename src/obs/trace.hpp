@@ -16,6 +16,17 @@
 //   * tracing is off until TraceCollector::enable(); a disarmed Span is
 //     one relaxed load and no clock reads.
 //
+// Distributed-tracing identity (DESIGN.md "Distributed tracing"): every
+// armed span carries a 64-bit trace_id / span_id / parent_span_id.
+// Parentage is ambient -- a thread-local SpanContext stack maintained by
+// the Span RAII -- so nested spans chain without any plumbing, and a
+// span can instead adopt a REMOTE parent (a context that arrived on the
+// wire, net/wire.hpp kFlagTraceContext) to stitch client and server
+// timelines into one causal chain. IDs are minted deterministically: a
+// splitmix64 finalizer over (seed XOR a per-thread stream counter) --
+// no wall clock, no RNG on the hot path; see mint_id() for the
+// injectivity argument.
+//
 // When PFL_OBS=OFF, Span and TraceCollector become empty no-ops and the
 // exporter writes a valid empty trace document.
 #pragma once
@@ -33,18 +44,33 @@
 
 namespace pfl::obs {
 
+/// Propagatable span identity: which causal chain (trace_id) and which
+/// link in it (span_id). A context with trace_id == 0 is "no context" --
+/// spans under it start fresh roots, and the wire layer sends no
+/// trace-context words for it.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
 /// One completed span: [ts_ns, ts_ns + dur_ns) on thread `tid`. `name`
 /// must be a string literal (or otherwise outlive the collector).
 ///
-/// The counter fields are zero for plain Spans and carry the
-/// multiplexing-scaled deltas of the thread's counter session for
-/// counted spans (obs/prof/span_counted.hpp); the exporter emits them
-/// as Chrome trace "args" only when nonzero.
+/// The id fields are zero when tracing identity was off; the counter
+/// fields are zero for plain Spans and carry the multiplexing-scaled
+/// deltas of the thread's counter session for counted spans
+/// (obs/prof/span_counted.hpp). The exporter emits both groups as Chrome
+/// trace "args" only when nonzero.
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
   std::uint64_t llc_misses = 0;
@@ -60,6 +86,75 @@ inline std::uint64_t now_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Process-wide id seed (TraceCollector::set_id_seed). Distinct
+/// processes MUST use distinct seeds for cross-process stitching --
+/// net_service derives one from the PID at startup.
+inline std::atomic<std::uint64_t>& id_seed() {
+  static std::atomic<std::uint64_t> seed{0x9E3779B97F4A7C15ull};
+  return seed;
+}
+
+/// splitmix64 finalizer: a BIJECTION on u64, so distinct inputs give
+/// distinct outputs.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Mints the next span id for the calling thread. Deterministic and
+/// collision-free within a process: the input word is seed XOR
+/// ((stream << 40) | counter) -- stream is a unique per-thread index,
+/// counter stays under 2^40, so inputs never repeat and mix64's
+/// bijectivity makes the outputs distinct too. Zero (the "no context"
+/// sentinel) is remapped; that costs bijectivity at exactly one input,
+/// which the determinism contract tolerates. No wall clock, no RNG.
+inline std::uint64_t mint_id() {
+  static std::atomic<std::uint64_t> next_stream{1};
+  thread_local std::uint64_t stream =
+      next_stream.fetch_add(1, std::memory_order_relaxed);
+  thread_local std::uint64_t counter = 0;
+  counter = (counter + 1) & ((std::uint64_t{1} << 40) - 1);
+  const std::uint64_t id = mix64(id_seed().load(std::memory_order_relaxed) ^
+                                 ((stream << 40) | counter));
+  return id != 0 ? id : 0x9E3779B97F4A7C15ull;
+}
+
+/// The calling thread's ambient span context: the identity new child
+/// spans inherit as their parent. Maintained as a stack by the Span
+/// RAII (save on entry, restore on exit).
+inline SpanContext& ambient_context() {
+  thread_local SpanContext ctx;
+  return ctx;
+}
+
+/// Shared identity protocol for Span and CountedSpan: mint this span's
+/// ids (adopting `parent` -- ambient or remote), push self as the
+/// ambient context, restore the previous ambient on exit().
+class ScopedIdentity {
+ public:
+  void enter(SpanContext parent) {
+    parent_ = parent;
+    ctx_.span_id = mint_id();
+    ctx_.trace_id = parent.valid() ? parent.trace_id : ctx_.span_id;
+    prev_ = ambient_context();
+    ambient_context() = ctx_;
+  }
+
+  void exit() { ambient_context() = prev_; }
+
+  SpanContext context() const { return ctx_; }
+  std::uint64_t parent_span_id() const {
+    return parent_.valid() ? parent_.span_id : 0;
+  }
+
+ private:
+  SpanContext ctx_;
+  SpanContext parent_;
+  SpanContext prev_;
+};
 
 /// Bounded single-writer event buffer (see file comment for the memory
 /// ordering that makes concurrent export race-free).
@@ -79,18 +174,16 @@ class EventBuffer {
 
   std::uint32_t tid() const { return tid_; }
 
-  /// Owner thread only. The trailing counter deltas default to zero
-  /// (plain spans); counted spans pass their session's deltas.
-  void push(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
-            std::uint64_t cycles = 0, std::uint64_t instructions = 0,
-            std::uint64_t llc_misses = 0) {
+  /// Owner thread only. `event.tid` is overwritten with this buffer's
+  /// tid; everything else (ids, counter deltas) is the caller's.
+  void push(const TraceEvent& event) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (h >= slots_.size()) {
       PFL_OBS_COUNTER("pfl_obs_trace_dropped_total").add();
       return;
     }
-    slots_[h] =
-        TraceEvent{name, ts_ns, dur_ns, tid_, cycles, instructions, llc_misses};
+    slots_[h] = event;
+    slots_[h].tid = tid_;
     head_.store(h + 1, std::memory_order_release);
   }
 
@@ -128,6 +221,14 @@ class TraceCollector {
   void enable() { enabled_.store(true, std::memory_order_relaxed); }
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Seeds the span-id generator (DESIGN.md "Distributed tracing": two
+  /// processes whose dumps will be stitched MUST use distinct seeds, or
+  /// their deterministic id streams collide). Takes effect for ids
+  /// minted after the store; call before enable() for a clean stream.
+  void set_id_seed(std::uint64_t seed) {
+    trace_detail::id_seed().store(seed, std::memory_order_relaxed);
+  }
 
   /// The calling thread's buffer (created and registered on first use;
   /// kept alive by the collector after the thread exits so its events
@@ -167,7 +268,9 @@ class TraceCollector {
 
   /// Chrome trace_event "JSON Object Format": {"traceEvents": [...]} of
   /// complete ("ph":"X") events, timestamps in microseconds rebased to
-  /// the earliest event.
+  /// the earliest event. Span identities ride in "args" as 16-digit hex
+  /// STRINGS (u64 ids would lose precision as JSON doubles); counted
+  /// spans add their counter deltas to the same args object.
   void write_chrome_trace(std::ostream& os) const {
     const std::vector<TraceEvent> evs = events();
     std::uint64_t t0 = 0;
@@ -179,6 +282,10 @@ class TraceCollector {
       os << ns / 1000 << '.' << static_cast<char>('0' + frac / 100)
          << static_cast<char>('0' + (frac / 10) % 10)
          << static_cast<char>('0' + frac % 10);
+    };
+    const auto put_hex = [&os](std::uint64_t v) {
+      for (int s = 60; s >= 0; s -= 4)
+        os << "0123456789abcdef"[(v >> s) & 0xF];
     };
     os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":"
           "\"pfl-trace/1\"},\"traceEvents\":[";
@@ -192,11 +299,28 @@ class TraceCollector {
       put_us(e.ts_ns - t0);
       os << ",\"dur\":";
       put_us(e.dur_ns);
-      if (e.cycles != 0 || e.instructions != 0 || e.llc_misses != 0) {
+      const bool has_ids = e.trace_id != 0;
+      const bool has_counters =
+          e.cycles != 0 || e.instructions != 0 || e.llc_misses != 0;
+      if (has_ids || has_counters) os << ",\"args\":{";
+      if (has_ids) {
+        os << "\"trace_id\":\"";
+        put_hex(e.trace_id);
+        os << "\",\"span_id\":\"";
+        put_hex(e.span_id);
+        os << "\"";
+        if (e.parent_span_id != 0) {
+          os << ",\"parent_span_id\":\"";
+          put_hex(e.parent_span_id);
+          os << "\"";
+        }
+        if (has_counters) os << ",";
+      }
+      if (has_counters) {
         // Counted span (obs/prof/span_counted.hpp): attach the counter
         // deltas, plus IPC precomputed to 3 decimals (integer math --
         // the exporter stays float-free).
-        os << ",\"args\":{\"cycles\":" << e.cycles
+        os << "\"cycles\":" << e.cycles
            << ",\"instructions\":" << e.instructions
            << ",\"llc_misses\":" << e.llc_misses;
         if (e.cycles != 0) {
@@ -206,8 +330,8 @@ class TraceCollector {
              << static_cast<char>('0' + (milli / 10) % 10)
              << static_cast<char>('0' + milli % 10);
         }
-        os << "}";
       }
+      if (has_ids || has_counters) os << "}";
       os << "}";
     }
     os << "]}\n";
@@ -226,30 +350,57 @@ class TraceCollector {
 };
 
 /// RAII scope timer: records one complete trace event from construction
-/// to destruction when tracing is enabled; a single relaxed load when not.
+/// to destruction when tracing is enabled; a single relaxed load when
+/// not. An armed span mints its identity, parents itself on the
+/// thread's ambient context (or an explicit remote one), and is the
+/// ambient context for its scope.
 class Span {
  public:
-  explicit Span(const char* name) noexcept {
-    if (TraceCollector::instance().enabled()) {
-      name_ = name;
-      start_ns_ = trace_detail::now_ns();
-    }
+  explicit Span(const char* name) noexcept : Span(name, ambient_parent()) {}
+
+  /// Adopts an explicit parent instead of the ambient one -- the server
+  /// side of wire propagation hands the remote SpanContext here. An
+  /// invalid `parent` starts a fresh root trace.
+  Span(const char* name, SpanContext parent) noexcept {
+    if (!TraceCollector::instance().enabled()) return;
+    name_ = name;
+    start_ns_ = trace_detail::now_ns();
+    identity_.enter(parent);
   }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's minted identity; zero ids when the span is disarmed.
+  /// Put it on the wire to parent remote work under this span.
+  SpanContext context() const {
+    return name_ != nullptr ? identity_.context() : SpanContext{};
+  }
+
   ~Span() {
-    if (name_ != nullptr && TraceCollector::instance().enabled()) {
-      const std::uint64_t end_ns = trace_detail::now_ns();
-      TraceCollector::instance().buffer_for_this_thread().push(
-          name_, start_ns_, end_ns - start_ns_);
-    }
+    if (name_ == nullptr) return;
+    identity_.exit();
+    if (!TraceCollector::instance().enabled()) return;
+    const std::uint64_t end_ns = trace_detail::now_ns();
+    TraceEvent ev;
+    ev.name = name_;
+    ev.ts_ns = start_ns_;
+    ev.dur_ns = end_ns - start_ns_;
+    const SpanContext ctx = identity_.context();
+    ev.trace_id = ctx.trace_id;
+    ev.span_id = ctx.span_id;
+    ev.parent_span_id = identity_.parent_span_id();
+    TraceCollector::instance().buffer_for_this_thread().push(ev);
   }
 
  private:
+  static SpanContext ambient_parent() {
+    return trace_detail::ambient_context();
+  }
+
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  trace_detail::ScopedIdentity identity_;
 };
 
 #else  // PFL_OBS_ENABLED == 0
@@ -264,6 +415,7 @@ class TraceCollector {
   void enable() {}
   void disable() {}
   bool enabled() const { return false; }
+  void set_id_seed(std::uint64_t) {}
   std::vector<TraceEvent> events() const { return {}; }
   void clear() {}
   void write_chrome_trace(std::ostream& os) const {
@@ -275,8 +427,10 @@ class TraceCollector {
 class Span {
  public:
   explicit Span(const char*) noexcept {}
+  Span(const char*, SpanContext) noexcept {}
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+  SpanContext context() const { return {}; }
   ~Span() {}
 };
 

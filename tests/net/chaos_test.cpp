@@ -12,9 +12,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "apf/tsharp.hpp"
@@ -22,6 +24,7 @@
 #include "numtheory/checked.hpp"
 #include "net/task_service.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace pfl::net {
 namespace {
@@ -197,6 +200,84 @@ TEST(ChaosEquivalenceTest, FaultedRunCompletesTheSameWorkload) {
   EXPECT_GT(stats.frames_rejected + session_stats.retries, 0ull);
   EXPECT_GT(session_stats.retries + session_stats.reconnects, 0ull);
 }
+
+#if PFL_OBS_ENABLED
+
+// Distributed-tracing acceptance: under a hostile wire, every retry of
+// an RPC -- including transparent reconnects and rejoin recoveries --
+// must stay inside the ONE trace its root span opened. A retry that
+// minted a fresh trace_id would shatter the causal chain exactly when
+// an operator needs it most.
+TEST(ChaosTraceTest, RetryChainsShareOneTraceId) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.disable();
+  collector.clear();
+  collector.enable();
+
+  WireFaultPlan plan;
+  plan.seed = 0xDECAF;
+  plan.corrupt_prob = 0.08;
+  plan.drop_prob = 0.03;
+  plan.disconnect_prob = 0.02;
+
+  auto service = make_service();
+  ASSERT_TRUE(service.start());
+  ChaosProxy proxy(service.port(), plan);
+  ASSERT_TRUE(proxy.start());
+  SessionStats session_stats;
+  complete_workload(proxy.port(), 7, 40, &session_stats);
+  proxy.stop();
+  service.stop();
+  collector.disable();
+
+  // The wire was hostile enough that retries actually happened.
+  ASSERT_GT(session_stats.retries + session_stats.reconnects, 0ull);
+
+  const auto events = collector.events();
+  std::map<std::uint64_t, const obs::TraceEvent*> by_span;
+  for (const auto& e : events) by_span[e.span_id] = &e;
+
+  // Group attempts under their rpc root span.
+  std::map<std::uint64_t, std::set<std::uint64_t>> traces_per_root;
+  std::size_t attempts = 0;
+  for (const auto& e : events) {
+    if (std::string(e.name) != "net.rpc.attempt") continue;
+    ++attempts;
+    const auto root = by_span.find(e.parent_span_id);
+    ASSERT_NE(root, by_span.end()) << "attempt span without a live root";
+    EXPECT_EQ(e.trace_id, root->second->trace_id);
+    traces_per_root[e.parent_span_id].insert(e.trace_id);
+  }
+  ASSERT_GT(attempts, 0u);
+
+  // At least one RPC needed more than one attempt, and no root's chain
+  // ever spans two traces.
+  std::map<std::uint64_t, std::size_t> attempts_per_root;
+  for (const auto& e : events)
+    if (std::string(e.name) == "net.rpc.attempt")
+      ++attempts_per_root[e.parent_span_id];
+  std::size_t retried_roots = 0;
+  for (const auto& [root, n] : attempts_per_root)
+    if (n > 1) ++retried_roots;
+  EXPECT_GT(retried_roots, 0u) << "chaos produced no multi-attempt RPC";
+  for (const auto& [root, trace_ids] : traces_per_root)
+    EXPECT_EQ(trace_ids.size(), 1u)
+        << "retry chain under root " << root << " crossed traces";
+
+  // Rejoin recovery runs under the interrupted RPC's root, so even the
+  // nested join shares the trace of the fetch that triggered it.
+  for (const auto& e : events) {
+    const std::string name = e.name;
+    if (name.rfind("net.rpc.", 0) != 0 || name == "net.rpc.attempt") continue;
+    if (e.parent_span_id == 0) continue;  // a top-level rpc root
+    const auto outer = by_span.find(e.parent_span_id);
+    ASSERT_NE(outer, by_span.end());
+    EXPECT_EQ(e.trace_id, outer->second->trace_id);
+  }
+  collector.clear();
+}
+
+#endif  // PFL_OBS_ENABLED
 
 TEST(ChaosDisconnectTest, MidExchangeDisconnectRetriesIdempotently) {
   auto service = make_service();

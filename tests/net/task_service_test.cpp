@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,6 +23,9 @@
 #include "apf/tsharp.hpp"
 #include "net/client.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rpcz.hpp"
+#include "obs/trace.hpp"
 
 namespace pfl::net {
 namespace {
@@ -316,6 +320,83 @@ TEST(TaskServiceTest, DrainRejectsNewConnectionsThenStops) {
   EXPECT_FALSE(service.running());
   EXPECT_GE(service.stats().drain_rejects, 1ull);
 }
+
+#if PFL_OBS_ENABLED
+
+// Distributed-tracing acceptance, in-process edition: client and server
+// share one TraceCollector here, so the parent/child stitch the wire
+// context exists for is directly assertable -- every server span must
+// chain to a client attempt span in the same trace.
+TEST(TaskServiceTraceTest, ServerSpansChainToClientAttempts) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.disable();
+  collector.clear();
+  obs::RpcTailBuffer::instance().clear();
+  const std::uint64_t requests_before =
+      obs::registry().counter("pfl_net_rpc_requests_join_total").value();
+  collector.enable();
+
+  TaskServiceConfig config;
+  config.tick_interval_ms = 10;
+  auto service = make_service(config);
+  ASSERT_TRUE(service.start());
+  NetClient client;
+  VolunteerSession session(client, service.port(), 21, 1000);
+  ASSERT_TRUE(session.join());
+  wbc::TaskAssignment task;
+  std::uint64_t lease_ms = 0;
+  ASSERT_TRUE(session.fetch_task(task, lease_ms));
+  ASSERT_TRUE(session.submit(task.task, task_checksum(task.task)));
+  session.leave();
+  service.stop();
+  collector.disable();
+
+  const auto events = collector.events();
+  std::map<std::uint64_t, const obs::TraceEvent*> by_span;
+  for (const auto& e : events) by_span[e.span_id] = &e;
+
+  std::size_t serve_spans = 0;
+  std::size_t attempt_spans = 0;
+  for (const auto& e : events) {
+    const std::string name = e.name;
+    if (name.rfind("net.serve.", 0) == 0) {
+      ++serve_spans;
+      // Zero orphan server spans: the wire context resolved.
+      ASSERT_NE(e.parent_span_id, 0u) << name << " arrived context-free";
+      const auto parent = by_span.find(e.parent_span_id);
+      ASSERT_NE(parent, by_span.end())
+          << name << " has an unknown parent span";
+      EXPECT_STREQ(parent->second->name, "net.rpc.attempt");
+      EXPECT_EQ(e.trace_id, parent->second->trace_id);
+    } else if (name == "net.rpc.attempt") {
+      ++attempt_spans;
+      // Attempts chain to their rpc root, which names the trace.
+      const auto parent = by_span.find(e.parent_span_id);
+      ASSERT_NE(parent, by_span.end());
+      EXPECT_EQ(std::string(parent->second->name).rfind("net.rpc.", 0), 0u);
+      EXPECT_EQ(e.trace_id, parent->second->trace_id);
+    }
+  }
+  // join, get_task, submit, leave: at least four exchanges each way.
+  EXPECT_GE(serve_spans, 4u);
+  EXPECT_GE(attempt_spans, 4u);
+
+  // The RED instruments and the tail buffer saw the same traffic.
+  EXPECT_GT(obs::registry().counter("pfl_net_rpc_requests_join_total").value(),
+            requests_before);
+  const auto tail = obs::RpcTailBuffer::instance().samples();
+  ASSERT_FALSE(tail.empty());
+  bool stitched_sample = false;
+  for (const auto& s : tail)
+    if (s.parent_span_id != 0 && by_span.count(s.parent_span_id) != 0)
+      stitched_sample = true;
+  EXPECT_TRUE(stitched_sample)
+      << "no retained exchange carries a resolvable client parent";
+  collector.clear();
+  obs::RpcTailBuffer::instance().clear();
+}
+
+#endif  // PFL_OBS_ENABLED
 
 TEST(TaskServiceTest, CheckpointAfterStopRestoresAttribution) {
   TaskServiceConfig config;

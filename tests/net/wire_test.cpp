@@ -155,8 +155,11 @@ TEST(WireTest, HeaderChecksAreTypedAndOrdered) {
   r2.feed(bad_version);
   EXPECT_EQ(r2.take(frame), DecodeStatus::kBadVersion);
 
+  // 0x01 is kFlagTraceContext (a KNOWN flag) -- use the next bit up for
+  // the reserved-bit refusal. A known flag flipped on without its words
+  // (and without re-signing) still dies, on the CRC (covered below).
   std::string bad_flags = clean;
-  bad_flags[6] = '\x01';
+  bad_flags[6] = '\x02';
   FrameReader r3;
   r3.feed(bad_flags);
   EXPECT_EQ(r3.take(frame), DecodeStatus::kBadFlags);
@@ -219,6 +222,133 @@ TEST(WireTest, TaskChecksumIsDeterministicAndDiscriminating) {
   EXPECT_EQ(task_checksum(12345), task_checksum(12345));
   EXPECT_NE(task_checksum(12345), task_checksum(12346));
   EXPECT_NE(task_checksum(0), task_checksum(1));
+}
+
+// --- trace-context extension (DESIGN.md "Distributed tracing") ----------
+
+TEST(WireTraceContextTest, FlaggedContextWordsRoundTrip) {
+  const TraceContext ctx{0xABCDEF0123456789ull, 0x1122334455667788ull};
+  const Frame frame = decode_one(encode_get_task(9, ctx));
+  EXPECT_EQ(frame.type, MsgType::kGetTask);
+  EXPECT_EQ(frame.word(0), 9ull);
+  EXPECT_EQ(frame.words.size(), 1u);  // context words stripped, not words
+  EXPECT_TRUE(frame.trace.valid());
+  EXPECT_EQ(frame.trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(frame.trace.span_id, ctx.span_id);
+
+  // Every convenience encoder threads the context through.
+  EXPECT_EQ(decode_one(encode_join(1, 500, ctx)).trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(decode_one(encode_leave(1, ctx)).trace.span_id, ctx.span_id);
+  EXPECT_EQ(decode_one(encode_submit(1, 2, 3, 0, ctx)).trace.trace_id,
+            ctx.trace_id);
+  EXPECT_EQ(decode_one(encode_heartbeat(1, ctx)).trace.span_id, ctx.span_id);
+}
+
+TEST(WireTraceContextTest, AbsentContextIsAcceptedAndInvalid) {
+  // Context-free frames (old peers, tracing-off builds) decode exactly
+  // as before: flag clear, base word count, trace invalid.
+  const std::string bytes = encode_get_task(9);
+  EXPECT_EQ(bytes[6], '\0');
+  EXPECT_EQ(bytes[7], '\0');
+  const Frame frame = decode_one(bytes);
+  EXPECT_FALSE(frame.trace.valid());
+  EXPECT_EQ(frame.trace.trace_id, 0ull);
+  EXPECT_EQ(frame.trace.span_id, 0ull);
+}
+
+TEST(WireTraceContextTest, InvalidContextEncodesFlagFree) {
+  // trace_id == 0 means "no context": the frame must be byte-identical
+  // to the pre-extension encoding, so disabled-tracing builds put
+  // nothing new on the wire.
+  EXPECT_EQ(encode_get_task(9, TraceContext{}), encode_get_task(9));
+  EXPECT_EQ(encode_frame(MsgType::kGetTask, {9}, TraceContext{0, 77}),
+            encode_frame(MsgType::kGetTask, {9}));
+}
+
+TEST(WireTraceContextTest, ReaderResetsStaleContextBetweenFrames) {
+  const TraceContext ctx{0xAAAAull, 0xBBBBull};
+  FrameReader reader;
+  reader.feed(encode_get_task(1, ctx));
+  reader.feed(encode_get_task(2));
+  Frame frame;
+  ASSERT_EQ(reader.take(frame), DecodeStatus::kFrame);
+  EXPECT_TRUE(frame.trace.valid());
+  ASSERT_EQ(reader.take(frame), DecodeStatus::kFrame);
+  EXPECT_FALSE(frame.trace.valid());  // not inherited from the prior frame
+}
+
+TEST(WireTraceContextTest, CorruptedContextWordRefusedByCrc) {
+  const TraceContext ctx{0xABCDEF0123456789ull, 0x1122334455667788ull};
+  const std::string clean = encode_get_task(9, ctx);
+  // Flip one bit in each byte of the two trailing context words.
+  for (std::size_t i = kHeaderBytes + 8; i < clean.size(); ++i) {
+    std::string bad = clean;
+    bad[i] = static_cast<char>(static_cast<unsigned char>(bad[i]) ^ 0x10u);
+    FrameReader reader;
+    reader.feed(bad);
+    Frame frame;
+    EXPECT_EQ(reader.take(frame), DecodeStatus::kBadCrc) << "byte " << i;
+    EXPECT_TRUE(reader.poisoned()) << "byte " << i;
+  }
+}
+
+TEST(WireTraceContextTest, SingleBitCorruptionSweepStillRejectsEverything) {
+  // The PR9 integrity claim survives the extension: one flipped bit
+  // anywhere in a FLAGGED frame -- header, flags byte, payload, context
+  // words -- is refused and poisons the stream.
+  const TraceContext ctx{0xFEEDull, 0xBEEFull};
+  const std::string clean = encode_submit(42, 1234, 0xFEEDFACEull, 1, ctx);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    for (const unsigned mask : {0x01u, 0x80u}) {
+      std::string bad = clean;
+      bad[i] = static_cast<char>(static_cast<unsigned char>(bad[i]) ^ mask);
+      FrameReader reader;
+      reader.feed(bad);
+      Frame frame;
+      DecodeStatus status = reader.take(frame);
+      if (status == DecodeStatus::kNeedMore) {
+        reader.feed(std::string(kMaxFrameBytes, '\0'));
+        status = reader.take(frame);
+      }
+      EXPECT_NE(status, DecodeStatus::kFrame) << "byte " << i;
+      EXPECT_NE(status, DecodeStatus::kNeedMore) << "byte " << i;
+      EXPECT_TRUE(reader.poisoned()) << "byte " << i;
+    }
+  }
+}
+
+TEST(WireTraceContextTest, FlaggedFrameWithoutContextWordsIsBadLength) {
+  // A frame that raises the flag but does not carry the two words is
+  // lying about its length even when correctly signed.
+  std::string bytes = encode_frame(MsgType::kGetTask, {9});
+  bytes[6] = '\x01';  // set kFlagTraceContext post-hoc...
+  // ...and re-sign so the refusal is specifically the length check.
+  std::string patched = bytes;
+  patched.replace(12, 8, std::string(8, '\0'));
+  std::uint64_t crc = storage::crc64(patched);
+  std::string crc_bytes;
+  for (int b = 0; b < 8; ++b)
+    crc_bytes.push_back(static_cast<char>((crc >> (8 * b)) & 0xFF));
+  bytes.replace(12, 8, crc_bytes);
+  FrameReader reader;
+  reader.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(reader.take(frame), DecodeStatus::kBadLength);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(WireTraceContextTest, PoisonPermanenceUnchangedByExtension) {
+  const TraceContext ctx{0x1234ull, 0x5678ull};
+  FrameReader reader;
+  std::string bad = encode_get_task(1, ctx);
+  bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] + 1);
+  reader.feed(bad);
+  Frame frame;
+  EXPECT_EQ(reader.take(frame), DecodeStatus::kBadCrc);
+  // Clean flagged frames after the poison change nothing.
+  reader.feed(encode_get_task(2, ctx));
+  EXPECT_EQ(reader.take(frame), DecodeStatus::kBadCrc);
+  EXPECT_TRUE(reader.poisoned());
 }
 
 }  // namespace

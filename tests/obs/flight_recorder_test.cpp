@@ -1,6 +1,7 @@
 // obs/flight_recorder.hpp: a forced contract violation must leave a
 // readable dump set behind (reason, both metric exports, trace, sampler
-// series) while the ContractViolation still propagates; manual dump()
+// series, rpcz tail, connz) while the ContractViolation still propagates;
+// manual dump()
 // must produce the same files; uninstall() must restore the previous
 // observer. Signal-path dumping is exercised end to end by
 // tools/telemetry_smoke.sh rather than in-process (a test that raises
@@ -19,6 +20,7 @@
 
 #include "core/contract.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rpcz.hpp"
 #include "obs/sampler.hpp"
 
 namespace pfl::obs {
@@ -57,10 +59,20 @@ class FlightRecorderTest : public ::testing::Test {
   std::filesystem::path dir_;
 };
 
-TEST_F(FlightRecorderTest, ManualDumpWritesAllFiveFiles) {
+TEST_F(FlightRecorderTest, ManualDumpWritesTheFullDumpSet) {
   Sampler sampler(SamplerConfig{std::chrono::milliseconds(1000), 8});
   registry().counter("pfl_test_flight_probe_total").add(3);
   sampler.sample_once();
+  RpcTailSample rpc;
+  rpc.method = "get_task";
+  rpc.verdict = "ok";
+  rpc.span_id = 0x5u;
+  rpc.dur_ns = 777;
+  RpcTailBuffer::instance().record(rpc);
+  ConnzEntry conn;
+  conn.id = 4;
+  conn.peer = "127.0.0.1:60123";
+  ConnzTable::instance().set({conn});
   FlightRecorder::instance().configure(config(&sampler));
   const std::string stem = FlightRecorder::instance().dump("unit test");
   ASSERT_FALSE(stem.empty());
@@ -76,6 +88,16 @@ TEST_F(FlightRecorderTest, ManualDumpWritesAllFiveFiles) {
   const std::string series = slurp(stem + ".series.json");
   EXPECT_NE(series.find("\"pfl-series/1\""), std::string::npos);
   EXPECT_NE(series.find("pfl_test_flight_probe_total"), std::string::npos);
+  // PR 10: the crash dump answers "what was in flight / what had been
+  // failing" -- the rpcz tail and the live connection table ride along.
+  const std::string rpcz = slurp(stem + ".rpcz.txt");
+  EXPECT_EQ(rpcz.rfind("rpcz -- per-method RPC stats", 0), 0u);
+  EXPECT_NE(rpcz.find("get_task"), std::string::npos);
+  const std::string connz = slurp(stem + ".connz.txt");
+  EXPECT_EQ(connz.rfind("connz -- 1 live connection(s)", 0), 0u);
+  EXPECT_NE(connz.find("127.0.0.1:60123"), std::string::npos);
+  RpcTailBuffer::instance().clear();
+  ConnzTable::instance().set({});
 }
 
 TEST_F(FlightRecorderTest, ContractViolationTriggersDumpAndStillThrows) {

@@ -1,5 +1,5 @@
-// obs/httpd.{hpp,cpp}: bind/serve/stop lifecycle, all five endpoints,
-// and the error paths (404, 405, malformed request). The client side
+// obs/httpd.{hpp,cpp}: bind/serve/stop lifecycle, every endpoint, and
+// the error paths (404, 405, malformed request). The client side
 // here uses raw POSIX sockets deliberately -- tests are outside the
 // pfl_lint `no-raw-socket` scope, and a from-scratch client keeps the
 // test independent of the server's own code.
@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/rpcz.hpp"
 #include "obs/sampler.hpp"
 
 namespace pfl::obs {
@@ -109,6 +110,49 @@ TEST(HttpdTest, ServesAllFiveEndpoints) {
   EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
 
   server.stop();
+}
+
+TEST(HttpdTest, ServesRpczAndConnz) {
+  RpcTailBuffer::instance().clear();
+  ConnzTable::instance().set({});
+  RpcTailSample s;
+  s.method = "get_task";
+  s.verdict = "ok";
+  s.trace_id = 0xAB54A98CEB1F0AD2ull;
+  s.span_id = 0x1u;
+  s.dur_ns = 12'345;
+  RpcTailBuffer::instance().record(s);
+  ConnzEntry conn;
+  conn.id = 9;
+  conn.peer = "127.0.0.1:50000";
+  conn.state = "exchange";
+  ConnzTable::instance().set({conn});
+
+  HttpServer server(HttpServerConfig{});
+  ASSERT_TRUE(server.start());
+  const std::uint16_t port = server.port();
+
+  const std::string rpcz = http_get(port, "/rpcz");
+  EXPECT_NE(rpcz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(rpcz.find("text/plain"), std::string::npos);
+  const std::string rpcz_body = body_of(rpcz);
+  EXPECT_EQ(rpcz_body.rfind("rpcz -- per-method RPC stats", 0), 0u);
+  EXPECT_NE(rpcz_body.find("get_task"), std::string::npos);
+  EXPECT_NE(rpcz_body.find("ab54a98ceb1f0ad2"), std::string::npos);
+
+  const std::string connz_body = body_of(http_get(port, "/connz"));
+  EXPECT_EQ(connz_body.rfind("connz -- 1 live connection(s)", 0), 0u);
+  EXPECT_NE(connz_body.find("127.0.0.1:50000"), std::string::npos);
+  EXPECT_NE(connz_body.find("exchange"), std::string::npos);
+
+  // The index page advertises both endpoints.
+  const std::string index = body_of(http_get(port, "/"));
+  EXPECT_NE(index.find("/rpcz"), std::string::npos);
+  EXPECT_NE(index.find("/connz"), std::string::npos);
+
+  server.stop();
+  RpcTailBuffer::instance().clear();
+  ConnzTable::instance().set({});
 }
 
 TEST(HttpdTest, SeriesWithoutSamplerIsEmptyButValid) {

@@ -1,0 +1,304 @@
+// Tests for obs/rpcz.hpp: the tail-sampling retention policy, the connz
+// snapshot store, and the /rpcz + /connz text renderers. The buffer and
+// table are process-wide singletons, so every test starts from clear().
+#include "obs/rpcz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pfl::obs {
+namespace {
+
+#if PFL_OBS_ENABLED
+
+RpcTailSample sample(std::uint64_t dur_ns, bool error = false,
+                     const char* method = "get_task",
+                     const char* verdict = "ok") {
+  RpcTailSample s;
+  s.method = method;
+  s.verdict = verdict;
+  s.trace_id = 0x1111u;
+  s.span_id = dur_ns + 1;  // nonzero, distinct per sample
+  s.parent_span_id = 0x2222u;
+  s.dur_ns = dur_ns;
+  s.error = error;
+  return s;
+}
+
+class RpczTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RpcTailBuffer::instance().clear(); }
+  void TearDown() override { RpcTailBuffer::instance().clear(); }
+};
+
+TEST_F(RpczTailTest, EverythingRetainedWhileBufferHasRoom) {
+  auto& buf = RpcTailBuffer::instance();
+  for (std::uint64_t i = 0; i < RpcTailBuffer::kCapacity; ++i)
+    buf.record(sample(/*dur_ns=*/0));  // even zero-duration successes
+  EXPECT_EQ(buf.samples().size(), RpcTailBuffer::kCapacity);
+}
+
+TEST_F(RpczTailTest, SamplesSortSlowestFirstWithSeqTiebreak) {
+  auto& buf = RpcTailBuffer::instance();
+  buf.record(sample(100));
+  buf.record(sample(300));
+  buf.record(sample(200));
+  buf.record(sample(200));
+  const auto got = buf.samples();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].dur_ns, 300u);
+  EXPECT_EQ(got[1].dur_ns, 200u);
+  EXPECT_EQ(got[2].dur_ns, 200u);
+  EXPECT_LT(got[1].seq, got[2].seq);  // equal durations: older first
+  EXPECT_EQ(got[3].dur_ns, 100u);
+}
+
+TEST_F(RpczTailTest, SlowSuccessDisplacesFastOneWhenFull) {
+  auto& buf = RpcTailBuffer::instance();
+  for (std::uint64_t i = 0; i < RpcTailBuffer::kCapacity; ++i)
+    buf.record(sample(1000 + i));
+  buf.record(sample(50));  // faster than every retained sample: rejected
+  auto got = buf.samples();
+  ASSERT_EQ(got.size(), RpcTailBuffer::kCapacity);
+  EXPECT_EQ(got.back().dur_ns, 1000u);
+  buf.record(sample(9999));  // slower than all: displaces the weakest
+  got = buf.samples();
+  ASSERT_EQ(got.size(), RpcTailBuffer::kCapacity);
+  EXPECT_EQ(got.front().dur_ns, 9999u);
+  EXPECT_EQ(got.back().dur_ns, 1001u);  // old weakest (1000) evicted
+}
+
+TEST_F(RpczTailTest, ErrorsOutrankEveryFasterSuccess) {
+  auto& buf = RpcTailBuffer::instance();
+  for (std::uint64_t i = 0; i < RpcTailBuffer::kCapacity; ++i)
+    buf.record(sample(1000 + i));
+  // A zero-duration error must still displace the weakest success.
+  buf.record(sample(0, /*error=*/true, "submit", "bad_length"));
+  const auto got = buf.samples();
+  ASSERT_EQ(got.size(), RpcTailBuffer::kCapacity);
+  std::size_t errors = 0;
+  for (const auto& s : got) errors += s.error ? 1 : 0;
+  EXPECT_EQ(errors, 1u);
+  EXPECT_TRUE(got.back().error);  // sorted by duration, so it is last
+  EXPECT_STREQ(got.back().verdict, "bad_length");
+}
+
+TEST_F(RpczTailTest, SuccessNeverDisplacesAnError) {
+  auto& buf = RpcTailBuffer::instance();
+  for (std::uint64_t i = 0; i < RpcTailBuffer::kCapacity; ++i)
+    buf.record(sample(10, /*error=*/true));
+  buf.record(sample(1'000'000'000));  // a very slow success
+  const auto got = buf.samples();
+  ASSERT_EQ(got.size(), RpcTailBuffer::kCapacity);
+  for (const auto& s : got) EXPECT_TRUE(s.error);
+}
+
+TEST_F(RpczTailTest, SlowerErrorDisplacesFasterError) {
+  auto& buf = RpcTailBuffer::instance();
+  for (std::uint64_t i = 0; i < RpcTailBuffer::kCapacity; ++i)
+    buf.record(sample(1000 + i, /*error=*/true));
+  buf.record(sample(5000, /*error=*/true));
+  const auto got = buf.samples();
+  EXPECT_EQ(got.front().dur_ns, 5000u);
+  EXPECT_EQ(got.back().dur_ns, 1001u);
+}
+
+TEST_F(RpczTailTest, ClearEmptiesAndReopensTheSuccessGate) {
+  auto& buf = RpcTailBuffer::instance();
+  for (std::uint64_t i = 0; i < RpcTailBuffer::kCapacity; ++i)
+    buf.record(sample(10, /*error=*/true));  // gate slams shut: errors only
+  buf.clear();
+  EXPECT_TRUE(buf.samples().empty());
+  buf.record(sample(0));  // gate must admit successes again
+  ASSERT_EQ(buf.samples().size(), 1u);
+  EXPECT_EQ(buf.samples()[0].seq, 1u);  // seq restarts too
+}
+
+TEST_F(RpczTailTest, SamplesCarrySpanIdentity) {
+  auto& buf = RpcTailBuffer::instance();
+  RpcTailSample s = sample(42);
+  s.trace_id = 0xAAAAu;
+  s.span_id = 0xBBBBu;
+  s.parent_span_id = 0xCCCCu;
+  buf.record(s);
+  const auto got = buf.samples();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].trace_id, 0xAAAAu);
+  EXPECT_EQ(got[0].span_id, 0xBBBBu);
+  EXPECT_EQ(got[0].parent_span_id, 0xCCCCu);
+}
+
+// Named "Concurrent" so the TSan ctest preset picks it up: record() from
+// many threads against one buffer must be race-free and preserve the
+// capacity bound and the errors-survive invariant.
+class RpczConcurrentTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RpcTailBuffer::instance().clear(); }
+  void TearDown() override { RpcTailBuffer::instance().clear(); }
+};
+
+TEST_F(RpczConcurrentTest, ParallelRecordersKeepInvariants) {
+  auto& buf = RpcTailBuffer::instance();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buf, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const bool error = (i % 97) == 0;
+        RpcTailSample s = sample(
+            static_cast<std::uint64_t>(t * kPerThread + i), error,
+            error ? "submit" : "get_task", error ? "overloaded" : "ok");
+        buf.record(s);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto got = buf.samples();
+  ASSERT_EQ(got.size(), RpcTailBuffer::kCapacity);
+  // seq values are unique even under contention.
+  std::set<std::uint64_t> seqs;
+  for (const auto& s : got) seqs.insert(s.seq);
+  EXPECT_EQ(seqs.size(), got.size());
+  // Every thread produced ~20 errors (160 total > capacity), so errors
+  // own the whole buffer and the slowest one recorded must be retained.
+  for (const auto& s : got) EXPECT_TRUE(s.error);
+}
+
+TEST_F(RpczConcurrentTest, RecordRacesWithSamplesAndClear) {
+  auto& buf = RpcTailBuffer::instance();
+  std::thread writer([&buf] {
+    for (int i = 0; i < 5000; ++i)
+      buf.record(sample(static_cast<std::uint64_t>(i), (i % 13) == 0));
+  });
+  std::thread reader([&buf] {
+    for (int i = 0; i < 200; ++i) {
+      const auto got = buf.samples();
+      EXPECT_LE(got.size(), RpcTailBuffer::kCapacity);
+    }
+  });
+  std::thread clearer([&buf] {
+    for (int i = 0; i < 50; ++i) buf.clear();
+  });
+  writer.join();
+  reader.join();
+  clearer.join();
+  EXPECT_LE(buf.samples().size(), RpcTailBuffer::kCapacity);
+}
+
+// ---- connz ----------------------------------------------------------
+
+class ConnzTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ConnzTable::instance().set({}); }
+  void TearDown() override { ConnzTable::instance().set({}); }
+};
+
+TEST_F(ConnzTest, SetThenGetRoundTrips) {
+  ConnzEntry e;
+  e.id = 7;
+  e.peer = "127.0.0.1:55123";
+  e.age_ms = 1500;
+  e.state = "exchange";
+  e.deadline_ms = 230;
+  e.out_queue_bytes = 64;
+  e.frames = 12;
+  e.poisoned = false;
+  ConnzTable::instance().set({e});
+  const auto got = ConnzTable::instance().get();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 7u);
+  EXPECT_EQ(got[0].peer, "127.0.0.1:55123");
+  EXPECT_EQ(got[0].age_ms, 1500);
+  EXPECT_STREQ(got[0].state, "exchange");
+  EXPECT_EQ(got[0].deadline_ms, 230);
+  EXPECT_EQ(got[0].frames, 12u);
+}
+
+TEST_F(ConnzTest, FreshSetReplacesThePreviousSnapshot) {
+  ConnzEntry a;
+  a.id = 1;
+  ConnzTable::instance().set({a});
+  ConnzTable::instance().set({});
+  EXPECT_TRUE(ConnzTable::instance().get().empty());
+}
+
+// ---- renderers ------------------------------------------------------
+
+class RpczTextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RpcTailBuffer::instance().clear();
+    ConnzTable::instance().set({});
+  }
+  void TearDown() override {
+    RpcTailBuffer::instance().clear();
+    ConnzTable::instance().set({});
+  }
+};
+
+TEST_F(RpczTextTest, MethodTableDerivesFromRegistryInstruments) {
+  // The table is derived live from pfl_net_rpc_* instruments; use a
+  // method name no production code emits so the row is attributable.
+  PFL_OBS_COUNTER("pfl_net_rpc_requests_ping_total").add(5);
+  PFL_OBS_COUNTER("pfl_net_rpc_errors_ping_total").add(2);
+  PFL_OBS_HISTOGRAM("pfl_net_rpc_duration_ping_ns").record(1'000'000);
+  const std::string text = rpcz_text();
+  EXPECT_EQ(text.rfind("rpcz -- per-method RPC stats (pfl_net_rpc_*)\n", 0),
+            0u);
+  EXPECT_NE(text.find("ping"), std::string::npos);
+  EXPECT_NE(text.find("retained exchanges (slowest/errored, capacity 64):"),
+            std::string::npos);
+}
+
+TEST_F(RpczTextTest, TailSamplesRenderWithHexIdsAndVerdicts) {
+  RpcTailSample ok = sample(1500, false, "get_task", "ok");
+  ok.trace_id = 0xDEADBEEFu;
+  RpcTailSample bad = sample(700, true, "submit", "overloaded");
+  RpcTailBuffer::instance().record(ok);
+  RpcTailBuffer::instance().record(bad);
+  const std::string text = rpcz_text();
+  EXPECT_NE(text.find("00000000deadbeef"), std::string::npos);
+  EXPECT_NE(text.find(" ok"), std::string::npos);
+  // Errored samples render with a "!" prefix on the verdict.
+  EXPECT_NE(text.find("!overloaded"), std::string::npos);
+}
+
+TEST_F(RpczTextTest, ConnzTextListsLiveConnections) {
+  ConnzEntry e;
+  e.id = 3;
+  e.peer = "127.0.0.1:41000";
+  e.state = "poisoned";
+  e.poisoned = true;
+  ConnzTable::instance().set({e});
+  const std::string text = connz_text();
+  EXPECT_EQ(text.rfind("connz -- 1 live connection(s)\n", 0), 0u);
+  EXPECT_NE(text.find("127.0.0.1:41000"), std::string::npos);
+  EXPECT_NE(text.find("poisoned"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+#else  // PFL_OBS_ENABLED == 0
+
+TEST(RpczOffTest, EverythingIsAnInertStub) {
+  RpcTailBuffer::instance().record(RpcTailSample{});
+  EXPECT_TRUE(RpcTailBuffer::instance().samples().empty());
+  RpcTailBuffer::instance().clear();
+  ConnzTable::instance().set({ConnzEntry{}});
+  EXPECT_TRUE(ConnzTable::instance().get().empty());
+  EXPECT_EQ(rpcz_text(), "rpcz -- per-method RPC stats (pfl_net_rpc_*)\n");
+  EXPECT_EQ(connz_text(), "connz -- 0 live connection(s)\n");
+}
+
+#endif  // PFL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pfl::obs

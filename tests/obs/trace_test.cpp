@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -23,6 +25,9 @@ class TraceTest : public ::testing::Test {
   void TearDown() override {
     TraceCollector::instance().disable();
     TraceCollector::instance().clear();
+    // The id seed is process-global; put the default back so tests that
+    // re-seed cannot order-couple with the rest of the suite.
+    TraceCollector::instance().set_id_seed(0x9E3779B97F4A7C15ull);
   }
 };
 
@@ -89,6 +94,160 @@ TEST_F(TraceTest, ChromeTraceContainsTheEvents) {
   EXPECT_NE(doc.find("\"ts\":0."), std::string::npos);
 }
 
+// ---- distributed-tracing identity (DESIGN.md "Distributed tracing") --
+
+TEST_F(TraceTest, RootSpanMintsItsOwnTraceId) {
+  TraceCollector::instance().enable();
+  { const Span s("root"); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].span_id, 0u);
+  // A root (no ambient, no remote parent) starts a fresh trace named
+  // after itself and has no parent.
+  EXPECT_EQ(events[0].trace_id, events[0].span_id);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+}
+
+TEST_F(TraceTest, NestedSpanChainsToAmbientParent) {
+  TraceCollector::instance().enable();
+  {
+    const Span outer("outer");
+    { const Span inner("inner"); }
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_EQ(inner.trace_id, outer.trace_id);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+}
+
+TEST_F(TraceTest, SiblingRootsStartIndependentTraces) {
+  TraceCollector::instance().enable();
+  { const Span a("first"); }
+  { const Span b("second"); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // The ambient context is restored on exit: the second span must not
+  // inherit the (already closed) first one.
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+  EXPECT_NE(events[0].trace_id, events[1].trace_id);
+}
+
+TEST_F(TraceTest, ExplicitRemoteParentIsAdopted) {
+  // The server side of wire propagation: the frame's TraceContext is
+  // handed to the Span ctor and must chain the local span into the
+  // remote trace.
+  const SpanContext remote{0x00000000deadbeefull, 0x00000000cafef00dull};
+  TraceCollector::instance().enable();
+  { const Span s("net.serve.get_task", remote); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, remote.trace_id);
+  EXPECT_EQ(events[0].parent_span_id, remote.span_id);
+  EXPECT_NE(events[0].span_id, remote.span_id);
+  EXPECT_NE(events[0].span_id, 0u);
+}
+
+TEST_F(TraceTest, InvalidRemoteParentStartsFreshRoot) {
+  // trace_id == 0 is the wire's "no context" sentinel; the span must
+  // not fabricate parentage from the garbage span_id next to it.
+  TraceCollector::instance().enable();
+  { const Span s("net.serve.join", SpanContext{0, 77}); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, events[0].span_id);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+}
+
+TEST_F(TraceTest, ContextAccessorMatchesRecordedEvent) {
+  TraceCollector::instance().enable();
+  SpanContext ctx;
+  {
+    const Span s("observed");
+    ctx = s.context();
+    EXPECT_TRUE(ctx.valid());
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(events[0].span_id, ctx.span_id);
+}
+
+TEST_F(TraceTest, DisarmedSpanHasInvalidContext) {
+  // Tracing off: context() must return the zero sentinel so callers
+  // (the net client) encode flag-free frames.
+  const Span s("disarmed");
+  EXPECT_FALSE(s.context().valid());
+  EXPECT_EQ(s.context().span_id, 0u);
+}
+
+TEST_F(TraceTest, MintedIdsAreUniqueAcrossManySpans) {
+  TraceCollector::instance().enable();
+  constexpr int kSpans = 4096;
+  for (int i = 0; i < kSpans; ++i) {
+    const Span s("bulk");
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kSpans));
+  std::set<std::uint64_t> ids;
+  for (const TraceEvent& e : events) {
+    EXPECT_NE(e.span_id, 0u);
+    ids.insert(e.span_id);
+  }
+  // mint_id is injective per (seed, stream, counter): no collisions.
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kSpans));
+}
+
+TEST_F(TraceTest, IdMintingIsDeterministicPerSeed) {
+  // Same seed, same thread-stream state offset => same ids. The counter
+  // is thread_local and monotonic, so mint two batches back-to-back
+  // under the same seed and check the second differs (fresh counters)
+  // while re-seeding mid-stream changes subsequent ids entirely.
+  TraceCollector::instance().set_id_seed(42);
+  TraceCollector::instance().enable();
+  { const Span s("seeded"); }
+  TraceCollector::instance().set_id_seed(43);
+  { const Span s("reseeded"); }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].span_id, events[1].span_id);
+  EXPECT_NE(events[0].span_id, 0u);
+  EXPECT_NE(events[1].span_id, 0u);
+}
+
+TEST_F(TraceTest, ExporterEmitsIdsAsHexStringArgs) {
+  TraceCollector::instance().enable();
+  {
+    const Span outer("hex_outer");
+    { const Span inner("hex_inner"); }
+  }
+  TraceCollector::instance().disable();
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const std::string doc = os.str();
+  // Ids ride in "args" as 16-digit lowercase hex STRINGS (a u64 as a
+  // JSON number would lose precision in a double).
+  EXPECT_NE(doc.find("\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(doc.find("\"span_id\":\""), std::string::npos);
+  EXPECT_NE(doc.find("\"parent_span_id\":\""), std::string::npos);
+  const std::size_t at = doc.find("\"trace_id\":\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string id = doc.substr(at + 12, 16);
+  EXPECT_EQ(id.size(), 16u);
+  for (const char c : id)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "non-hex id char: " << c;
+  // Root spans have no parent: exactly one parent_span_id in the doc.
+  std::size_t parents = 0;
+  for (std::size_t p = doc.find("\"parent_span_id\""); p != std::string::npos;
+       p = doc.find("\"parent_span_id\"", p + 1))
+    ++parents;
+  EXPECT_EQ(parents, 1u);
+}
+
 #else  // PFL_OBS_ENABLED == 0
 
 TEST(TraceOffTest, CollectorIsAlwaysEmptyAndDisabled) {
@@ -99,6 +258,16 @@ TEST(TraceOffTest, CollectorIsAlwaysEmptyAndDisabled) {
   std::ostringstream os;
   TraceCollector::instance().write_chrome_trace(os);
   EXPECT_NE(os.str().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(TraceOffTest, SpanContextIsAlwaysInvalid) {
+  TraceCollector::instance().set_id_seed(42);  // no-op
+  const Span s("invisible");
+  EXPECT_FALSE(s.context().valid());
+  EXPECT_EQ(s.context().trace_id, 0u);
+  EXPECT_EQ(s.context().span_id, 0u);
+  const Span child("still_invisible", SpanContext{123, 456});
+  EXPECT_FALSE(child.context().valid());
 }
 
 #endif  // PFL_OBS_ENABLED

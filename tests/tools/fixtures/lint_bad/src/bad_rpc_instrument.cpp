@@ -1,0 +1,16 @@
+// Lint-selftest fixture: deliberately violates the `obs-instrument`
+// rule's pfl_net_rpc_* family shape in all three ways (a gauge in the
+// family, a counter off the requests/errors pattern, a histogram off
+// the duration_<method>_ns pattern). Never compiled -- only fed to
+// tools/pfl_lint.py by tests/tools/lint_selftest.py, which asserts each
+// line below is caught.
+#include "obs/metrics.hpp"
+
+void record_bad_rpc_instruments() {
+  // Gauges are not part of the RED family at all.
+  PFL_OBS_GAUGE("pfl_net_rpc_inflight_get_task").set(1);
+  // Counters must be pfl_net_rpc_{requests,errors}_<method>_total.
+  PFL_OBS_COUNTER("pfl_net_rpc_attempts_get_task_total").add();
+  // Histograms must be pfl_net_rpc_duration_<method>_ns.
+  PFL_OBS_HISTOGRAM("pfl_net_rpc_latency_get_task_us").record(7);
+}

@@ -83,6 +83,13 @@ expect("no-raw-socket catches the socket API header include", bad, 1,
 expect("no-raw-socket catches socket-family calls under the header", bad, 1,
        ["socket-family call `socket`", "socket-family call `bind`",
         "socket-family call `accept`", "socket-family call `send`"])
+expect("obs-instrument rejects a gauge in the pfl_net_rpc_* family", bad, 1,
+       ["bad_rpc_instrument.cpp", "[obs-instrument]",
+        "gauge 'pfl_net_rpc_inflight_get_task'"])
+expect("obs-instrument rejects an off-pattern RPC counter", bad, 1,
+       ["RPC counter 'pfl_net_rpc_attempts_get_task_total' must match"])
+expect("obs-instrument rejects an off-pattern RPC histogram", bad, 1,
+       ["RPC histogram 'pfl_net_rpc_latency_get_task_us' must match"])
 
 print("pfl_lint on the clean fixture tree:")
 expect("clean wrappers, a consistent order, and sanctioned src/net/ "

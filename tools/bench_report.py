@@ -93,6 +93,10 @@ ABS_FLOORS = {
     "batch_unpair/hyperbolic": 517772.0,
     # PR 9 networked task service: the committed debug-build rate is
     # ~92k requests/s over loopback; 10k/s is the regression tripwire.
+    # The PR 10 baseline re-measures with distributed tracing ARMED
+    # (span minting + wire context propagation) and must clear the same
+    # floor -- observability is not allowed to cost an order of
+    # magnitude.
     "net_load/requests/real_time": 10000.0,
 }
 

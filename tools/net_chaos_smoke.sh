@@ -4,7 +4,7 @@
 #
 #   tools/net_chaos_smoke.sh [build-dir]
 #
-# Used by the CI net-chaos-smoke job. Three phases:
+# Used by the CI net-chaos-smoke job. Four phases:
 #
 #   1. Chaos acceptance: `net_service chaos` runs an in-process service
 #      behind the seeded chaos proxy (~12% of forwarded chunks take a
@@ -22,6 +22,14 @@
 #      process, a separate `net_service drive` load (which must credit
 #      its full target with zero failed RPCs), and a second obs_watch
 #      probe on the serve process's counters.
+#   4. Distributed trace stitch: serve and drive again as separate
+#      processes with DISTINCT trace seeds, the drive side behind its
+#      own chaos proxy, both dumping Chrome traces. obs_watch --require
+#      proves the per-method pfl_net_rpc_* RED instruments fired, then
+#      tools/trace_report.py --stitch --check proves the wire-propagated
+#      contexts line up: zero orphan server spans, every child on its
+#      parent's trace_id, and at least one parent->child edge crossing
+#      the process boundary.
 #
 # Structural, not timing-sensitive: every wait is a file rendezvous or a
 # process exit, and the chaos run is seeded.
@@ -98,6 +106,33 @@ kill "$svc_pid" 2>/dev/null || true
 wait "$svc_pid" 2>/dev/null || true
 svc_pid=""
 echo "   drive credited its target with zero failed RPCs"
+
+echo
+echo "== phase 4: cross-process trace stitch over a hostile wire"
+"$svc" serve --port-file "$work/port4" --obs-port-file "$work/obs_port4" \
+    --duration-ms 60000 --trace-seed 1001 \
+    --trace-out "$work/server_trace.json" > "$work/serve4.log" 2>&1 &
+svc_pid=$!
+port="$(wait_port "$work/port4")"
+"$svc" drive --port "$port" --tasks 300 --chaos --trace-seed 2002 \
+    --trace-out "$work/client_trace.json" > "$work/drive4.log" 2>&1 || {
+  echo "net_chaos_smoke: traced chaos drive failed" >&2
+  cat "$work/drive4.log" >&2
+  exit 1
+}
+# The RED family fired per method on the serve side ...
+python3 tools/obs_watch.py --port "$(cat "$work/obs_port4")" --check \
+    --require 'pfl_net_rpc_requests_get_task_total' \
+    --require 'pfl_net_rpc_requests_submit_total' \
+    --require 'pfl_net_rpc_requests_join_total' \
+    --require 'pfl_net_rpc_duration_submit_ns'
+# ... then SIGTERM flushes the server's trace dump on its graceful path.
+kill -TERM "$svc_pid" 2>/dev/null || true
+wait "$svc_pid" 2>/dev/null || true
+svc_pid=""
+python3 tools/trace_report.py --stitch --check \
+    "$work/server_trace.json" "$work/client_trace.json"
+echo "   client and server dumps stitched into shared traces"
 
 echo
 echo "net_chaos_smoke: OK"

@@ -12,14 +12,17 @@ watch (default)
     When the sampling profiler is armed (obs_demo --serve --profile),
     /profilez is polled too and the top `--top` hot functions are
     printed -- self samples by leaf frame of the collapsed stacks.
+    With `--rpc-top N`, the top N slowest RPC methods by p99 (from the
+    pfl_net_rpc_duration_* histograms) are printed, followed by the
+    server's retained tail samples from /rpcz.
 
 --check
-    One-shot CI probe: hit all six endpoints, validate the pinned
-    schemas ("pfl-metrics/1", "pfl-series/1", Chrome trace shape,
-    /healthz == "ok", /profilez collapsed-stack grammar), check
-    percentile monotonicity on every series sample, and exit non-zero
-    with a reason on the first failure. Used by tools/telemetry_smoke.sh
-    and the CI telemetry-smoke job.
+    One-shot CI probe: hit every endpoint, validate the pinned schemas
+    ("pfl-metrics/1", "pfl-series/1", Chrome trace shape, /healthz ==
+    "ok", /profilez collapsed-stack grammar, /rpcz + /connz header
+    lines), check percentile monotonicity on every series sample, and
+    exit non-zero with a reason on the first failure. Used by
+    tools/telemetry_smoke.sh and the CI telemetry-smoke job.
 
 Stdlib only (urllib + json); no dependencies, matching the repo rule.
 """
@@ -36,7 +39,7 @@ import urllib.error
 import urllib.request
 
 ENDPOINTS = ("/healthz", "/metrics", "/metrics.json", "/series.json",
-             "/tracez", "/profilez")
+             "/tracez", "/profilez", "/rpcz", "/connz")
 
 
 def fetch(base: str, path: str, timeout: float) -> bytes:
@@ -133,9 +136,39 @@ def print_hot_functions(text: str, top: int) -> None:
         print(f"{name:<44} {count:>10} {count / total:>7.1%}")
 
 
+# --- /rpcz ---------------------------------------------------------------
+
+RPC_DURATION_RX = re.compile(r"^pfl_net_rpc_duration_([a-z0-9_]+)_ns$")
+
+
+def print_rpc_top(metrics: dict, rpcz_text: str, rpc_top: int) -> None:
+    """Top `rpc_top` slowest RPC methods by p99, then the server's
+    retained tail samples (the lines /rpcz prints after its header)."""
+    methods = []
+    for name, h in metrics.get("histograms", {}).items():
+        m = RPC_DURATION_RX.match(name)
+        if not m or h.get("count", 0) == 0:
+            continue
+        p50, _p90, p99 = percentiles(h)
+        methods.append((m.group(1), h["count"], p50, p99))
+    if not methods:
+        print("\nrpc: no pfl_net_rpc_duration_* activity")
+        return
+    methods.sort(key=lambda m: (-m[3], m[0]))
+    print(f"\n{'slowest rpc methods (by p99)':<28} {'count':>10} "
+          f"{'p50_us':>10} {'p99_us':>10}")
+    for method, count, p50, p99 in methods[:rpc_top]:
+        print(f"{method:<28} {count:>10} {p50 / 1000.0:>10.1f} "
+              f"{p99 / 1000.0:>10.1f}")
+    tail = rpcz_text.partition("\nretained exchanges")[2]
+    if tail:
+        print("\nretained exchanges" + tail.rstrip("\n"))
+
+
 # --- watch mode ----------------------------------------------------------
 
-def cmd_watch(base: str, interval: float, timeout: float, top: int) -> int:
+def cmd_watch(base: str, interval: float, timeout: float, top: int,
+              rpc_top: int = 0) -> int:
     first = json.loads(fetch(base, "/metrics.json", timeout))
     t0 = time.monotonic()
     time.sleep(interval)
@@ -164,6 +197,12 @@ def cmd_watch(base: str, interval: float, timeout: float, top: int) -> int:
         print_hot_functions(fetch(base, "/profilez", timeout).decode(), top)
     except urllib.error.HTTPError:
         pass  # server predates /profilez: the rest of the watch stands
+    if rpc_top > 0:
+        try:
+            rpcz = fetch(base, "/rpcz", timeout).decode()
+        except urllib.error.HTTPError:
+            rpcz = ""  # server predates /rpcz; metrics still tell the story
+        print_rpc_top(second, rpcz, rpc_top)
     return 0
 
 
@@ -268,6 +307,20 @@ def check(base: str, timeout: float,
         fail(f"/profilez: {e}")
 
     try:
+        rpcz = fetch(base, "/rpcz", timeout).decode()
+        if not rpcz.startswith("rpcz -- per-method RPC stats"):
+            fail(f"/rpcz: unexpected header {rpcz.splitlines()[:1]!r}")
+    except Exception as e:  # noqa: BLE001
+        fail(f"/rpcz: {e}")
+
+    try:
+        connz = fetch(base, "/connz", timeout).decode()
+        if not connz.startswith("connz -- "):
+            fail(f"/connz: unexpected header {connz.splitlines()[:1]!r}")
+    except Exception as e:  # noqa: BLE001
+        fail(f"/connz: {e}")
+
+    try:
         req = urllib.request.Request(base + "/definitely-not-an-endpoint")
         try:
             urllib.request.urlopen(req, timeout=timeout)
@@ -290,6 +343,9 @@ def main() -> int:
     parser.add_argument("--timeout", type=float, default=5.0)
     parser.add_argument("--top", type=int, default=10,
                         help="watch mode: hot functions shown from /profilez")
+    parser.add_argument("--rpc-top", type=int, default=0, metavar="N",
+                        help="watch mode: also show the N slowest RPC"
+                             " methods by p99 plus /rpcz tail samples")
     parser.add_argument("--check", action="store_true",
                         help="validate all endpoints and exit 0/1 (CI mode)")
     parser.add_argument("--require", action="append", default=[],
@@ -308,7 +364,8 @@ def main() -> int:
             return 1
         print(f"obs_watch: OK {base} ({', '.join(ENDPOINTS)})")
         return 0
-    return cmd_watch(base, args.interval, args.timeout, args.top)
+    return cmd_watch(base, args.interval, args.timeout, args.top,
+                     args.rpc_top)
 
 
 if __name__ == "__main__":

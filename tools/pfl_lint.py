@@ -52,7 +52,12 @@ obs-instrument
     every macro-registered name must follow the naming scheme
     `pfl_<layer>_<noun>[_<unit>]` (lower-snake, >= 3 segments after the
     pfl prefix counts as 2+ underscore groups), with counter names ending
-    in `_total`.
+    in `_total`. The RED family `pfl_net_rpc_*` (DESIGN.md "Distributed
+    tracing") is held to a stricter shape so /rpcz can derive its method
+    table mechanically: counters must be
+    `pfl_net_rpc_{requests,errors}_<method>_total`, histograms must be
+    `pfl_net_rpc_duration_<method>_ns`, and gauges are not part of the
+    family at all.
 
 no-naked-mutex
     src/ synchronizes ONLY through the annotated wrappers in
@@ -299,6 +304,10 @@ ZERO_COORD = re.compile(
 OBS_DIRECT_CALL = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\"")
 OBS_MACRO = re.compile(r"PFL_OBS_(COUNTER|GAUGE|HISTOGRAM)\s*\(\s*\"([^\"]*)\"")
 OBS_NAME = re.compile(r"^pfl(?:_[a-z0-9]+){2,}$")
+# The pfl_net_rpc_* RED family feeds /rpcz's derived method table, so
+# its shape is machine-checked (see the obs-instrument rule docs).
+OBS_RPC_COUNTER = re.compile(r"^pfl_net_rpc_(?:requests|errors)_[a-z0-9_]+_total$")
+OBS_RPC_HISTOGRAM = re.compile(r"^pfl_net_rpc_duration_[a-z0-9_]+_ns$")
 
 ALLOW_DIRECTIVE = re.compile(r"pfl-lint:\s*allow\(([^)]*)\)\s*(.*)")
 
@@ -629,11 +638,32 @@ def check_obs_instrument(ft: FileText, out: list[Violation]) -> None:
                     f"instrument name '{name}' violates the scheme "
                     "pfl_<layer>_<noun>[_<unit>] (lower-snake, >= 3 "
                     "segments)", raw.strip()))
-            elif kind == "COUNTER" and not name.endswith("_total"):
+                continue
+            if kind == "COUNTER" and not name.endswith("_total"):
                 out.append(Violation(
                     ft.rel, ln + 1, "obs-instrument",
                     f"counter name '{name}' must end in _total",
                     raw.strip()))
+                continue
+            if not name.startswith("pfl_net_rpc_"):
+                continue
+            if kind == "GAUGE":
+                out.append(Violation(
+                    ft.rel, ln + 1, "obs-instrument",
+                    f"gauge '{name}' in the pfl_net_rpc_* RED family -- "
+                    "the family is counters + duration histograms only "
+                    "(/rpcz derives its table from them)", raw.strip()))
+            elif kind == "COUNTER" and not OBS_RPC_COUNTER.match(name):
+                out.append(Violation(
+                    ft.rel, ln + 1, "obs-instrument",
+                    f"RPC counter '{name}' must match "
+                    "pfl_net_rpc_{requests,errors}_<method>_total",
+                    raw.strip()))
+            elif kind == "HISTOGRAM" and not OBS_RPC_HISTOGRAM.match(name):
+                out.append(Violation(
+                    ft.rel, ln + 1, "obs-instrument",
+                    f"RPC histogram '{name}' must match "
+                    "pfl_net_rpc_duration_<method>_ns", raw.strip()))
 
 
 def check_no_raw_socket(ft: FileText, out: list[Violation]) -> None:

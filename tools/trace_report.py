@@ -10,6 +10,11 @@ file written by TraceCollector::write_chrome_trace is structurally valid
 Usage:
     trace_report.py TRACE.json            validate + print summary table
     trace_report.py --check TRACE.json    validate only, quiet on success
+    trace_report.py --stitch A.json B.json [...]
+                                          merge multi-process dumps and
+                                          verify cross-process stitching
+    trace_report.py --stitch --check A.json B.json [...]
+                                          stitch checks only, quiet table
 
 Validation rules:
   * top level is an object with a "traceEvents" list
@@ -17,11 +22,23 @@ Validation rules:
     ts/dur non-negative numbers, pid/tid integers
   * the event list is sorted by ts (the exporter guarantees it)
   * when "otherData"."schema" is present it must be "pfl-trace/1"
+  * span identity (distributed tracing, DESIGN.md): trace_id/span_id/
+    parent_span_id in "args" are 16-char lowercase hex strings (u64 as a
+    JSON number would lose precision); span_id requires trace_id;
+    parent_span_id requires both
   * counted spans (PFL_OBS_SPAN_COUNTED with counters available) carry
-    an "args" object: cycles/instructions/llc_misses non-negative
-    integers, ipc a non-negative number consistent with
-    instructions/cycles; the summary then adds per-span cycle and IPC
-    columns
+    cycles/instructions/llc_misses non-negative integers in "args", ipc
+    a non-negative number consistent with instructions/cycles; the
+    summary then adds per-span cycle and IPC columns
+
+Stitch checks (--stitch):
+  * every span's parent_span_id resolves to a span in SOME input file
+    (zero orphans -- a server span whose client parent is missing means
+    context propagation broke)
+  * every child shares its parent's trace_id
+  * with >= 2 input files, at least one parent->child edge crosses a
+    process (file) boundary -- the client->server stitch actually
+    happened
 
 Exit status: 0 valid, 1 invalid, 2 usage/IO error.
 """
@@ -77,11 +94,35 @@ def validate(doc: object) -> list[dict]:
     return events
 
 
+HEX_ID_CHARS = set("0123456789abcdef")
+
+
+def is_hex_id(v: object) -> bool:
+    """16-char lowercase hex string -- how the exporter writes u64 ids."""
+    return isinstance(v, str) and len(v) == 16 and set(v) <= HEX_ID_CHARS
+
+
 def validate_counter_args(where: str, args: object) -> None:
-    """Per-span hardware counter attribution (trace.hpp counted spans)."""
+    """Span identity ids and/or hardware counter attribution in args."""
     if not isinstance(args, dict):
         fail(f"{where}: args is not an object")
-    for key in ("cycles", "instructions", "llc_misses"):
+    # Identity group (distributed tracing). Ids are hex STRINGS: a u64
+    # does not survive the round-trip through a JSON double.
+    for key in ("trace_id", "span_id", "parent_span_id"):
+        v = args.get(key)
+        if v is not None and not is_hex_id(v):
+            fail(f"{where}: args.{key} must be a 16-char lowercase hex "
+                 f"string, got {v!r}")
+    if "span_id" in args and "trace_id" not in args:
+        fail(f"{where}: args.span_id present without args.trace_id")
+    if "parent_span_id" in args and "span_id" not in args:
+        fail(f"{where}: args.parent_span_id present without args.span_id")
+    # Counter group (counted spans): all-or-nothing, required only when
+    # any counter key is present.
+    counter_keys = ("cycles", "instructions", "llc_misses")
+    if not any(key in args for key in counter_keys + ("ipc",)):
+        return
+    for key in counter_keys:
         v = args.get(key)
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
             fail(f"{where}: args.{key} must be a non-negative integer, "
@@ -139,26 +180,117 @@ def summarize(events: list[dict]) -> None:
         print(row)
 
 
-def main(argv: list[str]) -> int:
-    args = argv[1:]
-    check_only = False
-    if args and args[0] == "--check":
-        check_only = True
-        args = args[1:]
-    if len(args) != 1 or args[0] in ("-h", "--help"):
-        print(__doc__)
-        return 0 if args and args[0] in ("-h", "--help") else 2
-    path = Path(args[0])
+def load_events(path: Path) -> list[dict]:
     try:
         doc = json.loads(path.read_text(encoding="utf-8"))
     except OSError as e:
         print(f"trace_report: cannot read {path}: {e}", file=sys.stderr)
-        return 2
+        raise SystemExit(2)
     except json.JSONDecodeError as e:
         print(f"trace_report: INVALID: {path} is not JSON: {e}",
               file=sys.stderr)
+        raise SystemExit(1)
+    return validate(doc)
+
+
+def stitch(paths: list[Path], check_only: bool) -> int:
+    """Merge per-process dumps and verify cross-process parent/child
+    stitching; see the module docstring for the three checks."""
+    files = [(path, load_events(path)) for path in paths]
+
+    # Span index across every file. Distinct per-process id seeds make
+    # span ids unique across files (trace.hpp mint_id is injective per
+    # seed); a collision here means two processes shared a seed.
+    spans: dict[str, tuple[int, str | None, str]] = {}
+    for fi, (path, events) in enumerate(files):
+        for ev in events:
+            args = ev.get("args", {})
+            sid = args.get("span_id")
+            if not sid:
+                continue
+            if sid in spans and spans[sid][0] != fi:
+                fail(f"span_id {sid} appears in both {paths[spans[sid][0]]} "
+                     f"and {path} -- processes must not share an id seed")
+            spans[sid] = (fi, args.get("trace_id"), ev["name"])
+
+    orphans: list[str] = []
+    mismatches: list[str] = []
+    edges = 0
+    cross_edges = 0
+    traces: set[str] = set()
+    for fi, (path, events) in enumerate(files):
+        for ev in events:
+            args = ev.get("args", {})
+            if args.get("trace_id"):
+                traces.add(args["trace_id"])
+            parent = args.get("parent_span_id")
+            if not parent:
+                continue
+            edges += 1
+            entry = spans.get(parent)
+            if entry is None:
+                orphans.append(f"{path}: span {args.get('span_id')} "
+                               f"({ev['name']}) has parent {parent} not "
+                               f"found in any input")
+                continue
+            pfi, ptrace, _pname = entry
+            if ptrace != args.get("trace_id"):
+                mismatches.append(f"{path}: span {args.get('span_id')} "
+                                  f"({ev['name']}) trace_id "
+                                  f"{args.get('trace_id')} != parent "
+                                  f"{parent} trace_id {ptrace}")
+            if pfi != fi:
+                cross_edges += 1
+
+    problems = orphans + mismatches
+    if len(files) >= 2 and edges > 0 and cross_edges == 0:
+        problems.append("no parent->child edge crosses a process (file) "
+                        "boundary -- client->server stitching never "
+                        "happened")
+    for p in problems:
+        print(f"trace_report: STITCH FAILED: {p}", file=sys.stderr)
+    if problems:
         return 1
-    events = validate(doc)
+
+    total = sum(len(events) for _, events in files)
+    print(f"trace_report: stitch OK: {len(files)} files, {total} events, "
+          f"{len(spans)} identified spans, {len(traces)} traces, "
+          f"{edges} parent/child edges ({cross_edges} cross-process)")
+    if not check_only:
+        merged: list[dict] = []
+        for fi, (_path, events) in enumerate(files):
+            for ev in events:
+                ev = dict(ev)
+                ev["pid"] = fi + 1  # one synthetic pid per input file
+                merged.append(ev)
+        merged.sort(key=lambda e: float(e["ts"]))
+        summarize(merged)
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    check_only = False
+    stitch_mode = False
+    while args and args[0] in ("--check", "--stitch"):
+        if args[0] == "--check":
+            check_only = True
+        else:
+            stitch_mode = True
+        args = args[1:]
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if stitch_mode:
+        if not args:
+            print(__doc__)
+            return 2
+        return stitch([Path(a) for a in args], check_only)
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    path = Path(args[0])
+    events = load_events(path)
     if check_only:
         print(f"trace_report: {path} OK ({len(events)} events)")
     else:
